@@ -1,0 +1,155 @@
+//! Adaptive replication: run trials until the confidence interval of the
+//! mean is tight enough (or a cap is reached).
+//!
+//! The paper fixes 1000 instances per point; on constrained hardware it
+//! is often smarter to stop when the 95% CI half-width drops below a
+//! target fraction of the mean. Trials stay deterministic: trial `i`
+//! always uses index `i`, so an adaptive run is a prefix of the fixed run.
+
+use crate::stats::Summary;
+
+/// Stopping rule for adaptive replication.
+#[derive(Clone, Copy, Debug)]
+pub struct Convergence {
+    /// Minimum trials before the rule may stop (CI needs some support).
+    pub min_trials: usize,
+    /// Hard cap on trials.
+    pub max_trials: usize,
+    /// Stop when `ci95 / mean` falls below this.
+    pub rel_ci_target: f64,
+}
+
+impl Default for Convergence {
+    fn default() -> Self {
+        Convergence {
+            min_trials: 5,
+            max_trials: 1000,
+            rel_ci_target: 0.05,
+        }
+    }
+}
+
+/// Result of an adaptive run.
+#[derive(Clone, Debug)]
+pub struct AdaptiveResult {
+    /// Summary over the executed trials.
+    pub summary: Summary,
+    /// Whether the CI target was met (false ⇒ the cap stopped the run).
+    pub converged: bool,
+    /// Raw trial values, in index order.
+    pub values: Vec<f64>,
+}
+
+/// Runs `trial(i)` for `i = 0, 1, …` until [`Convergence`] stops it.
+/// Sequential by design: the stopping decision depends on the prefix.
+pub fn run_until_converged<F: FnMut(usize) -> f64>(
+    rule: Convergence,
+    mut trial: F,
+) -> AdaptiveResult {
+    assert!(rule.min_trials >= 2, "CI needs at least two trials");
+    assert!(rule.max_trials >= rule.min_trials);
+    assert!(rule.rel_ci_target > 0.0);
+    let mut values = Vec::with_capacity(rule.min_trials);
+    loop {
+        values.push(trial(values.len()));
+        if values.len() >= rule.min_trials {
+            let s = Summary::of(&values);
+            let rel = if s.mean.abs() > f64::MIN_POSITIVE {
+                s.ci95 / s.mean.abs()
+            } else {
+                0.0
+            };
+            if rel <= rule.rel_ci_target {
+                return AdaptiveResult {
+                    summary: s,
+                    converged: true,
+                    values,
+                };
+            }
+            if values.len() >= rule.max_trials {
+                return AdaptiveResult {
+                    summary: s,
+                    converged: false,
+                    values,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmsec_sim::seed::SplitMix64;
+
+    #[test]
+    fn constant_trials_converge_immediately() {
+        let r = run_until_converged(Convergence::default(), |_| 7.0);
+        assert!(r.converged);
+        assert_eq!(r.values.len(), Convergence::default().min_trials);
+        assert_eq!(r.summary.mean, 7.0);
+        assert_eq!(r.summary.ci95, 0.0);
+    }
+
+    #[test]
+    fn noisy_trials_run_longer_but_converge() {
+        let mut rng = SplitMix64::new(5);
+        let r = run_until_converged(
+            Convergence {
+                min_trials: 5,
+                max_trials: 10_000,
+                rel_ci_target: 0.02,
+            },
+            move |_| 10.0 + rng.next_f64(), // U(10, 11): CV ≈ 2.8%
+        );
+        assert!(r.converged, "took {} trials", r.values.len());
+        assert!(r.values.len() > 5);
+        assert!((r.summary.mean - 10.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn cap_stops_divergent_sequences() {
+        let mut x = 0.0;
+        let r = run_until_converged(
+            Convergence {
+                min_trials: 3,
+                max_trials: 20,
+                rel_ci_target: 1e-6,
+            },
+            move |_| {
+                x += 1.0;
+                x * if x as usize % 2 == 0 { 1.0 } else { -1.0 }
+            },
+        );
+        assert!(!r.converged);
+        assert_eq!(r.values.len(), 20);
+    }
+
+    #[test]
+    fn adaptive_is_prefix_of_fixed() {
+        let trial = |i: usize| mmsec_sim::seed::derive(9, "t", i as u64) as f64 / u64::MAX as f64;
+        let adaptive = run_until_converged(
+            Convergence {
+                min_trials: 5,
+                max_trials: 50,
+                rel_ci_target: 0.5,
+            },
+            trial,
+        );
+        let fixed: Vec<f64> = (0..adaptive.values.len()).map(trial).collect();
+        assert_eq!(adaptive.values, fixed);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_min_below_two() {
+        let _ = run_until_converged(
+            Convergence {
+                min_trials: 1,
+                max_trials: 5,
+                rel_ci_target: 0.1,
+            },
+            |_| 1.0,
+        );
+    }
+}

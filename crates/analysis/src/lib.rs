@@ -1,0 +1,19 @@
+//! `mmsec-analysis` — statistics, report rendering, and a deterministic
+//! parallel trial runner for the experiment harness.
+//!
+//! * [`stats::Summary`] — per-point aggregation (mean, CI95, percentiles);
+//! * [`table::Table`] — markdown/CSV rendering of result series;
+//! * [`runner::run_indexed`] — fan trials over crossbeam scoped threads
+//!   with results independent of the interleaving.
+
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod runner;
+pub mod stats;
+pub mod table;
+
+pub use convergence::{run_until_converged, AdaptiveResult, Convergence};
+pub use runner::{default_threads, run_indexed};
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,114 @@
+//! Deterministic parallel experiment runner.
+//!
+//! Every point of the paper's plots averages many independently seeded
+//! trials. Trials are embarrassingly parallel: we fan them out over scoped
+//! crossbeam threads with a shared atomic work counter. Each trial is a
+//! pure function of its index, so the result vector is identical whatever
+//! the thread interleaving — reproducibility does not depend on the
+//! machine's core count.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `trials` invocations of `f` (one per index, 0-based) across
+/// `threads` workers and returns the results in index order.
+pub fn run_indexed<T, F>(trials: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    if trials == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(trials);
+    if threads == 1 {
+        return (0..trials).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> =
+        Mutex::new((0..trials).map(|_| None).collect());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let value = f(i);
+                results.lock()[i] = Some(value);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|v| v.expect("every trial index was produced"))
+        .collect()
+}
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = run_indexed(100, 8, |i| i * 2);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let counter = AtomicU32::new(0);
+        let out = run_indexed(257, 7, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+        let set: HashSet<usize> = out.into_iter().collect();
+        assert_eq!(set.len(), 257);
+    }
+
+    #[test]
+    fn single_thread_and_zero_trials() {
+        assert_eq!(run_indexed(5, 1, |i| i), vec![0, 1, 2, 3, 4]);
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        // Deterministic trial function: results must not depend on the
+        // worker count.
+        let f = |i: usize| mmsec_sim::seed::derive(42, "trial", i as u64);
+        let serial = run_indexed(64, 1, f);
+        let parallel = run_indexed(64, 8, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = run_indexed(1, 0, |i| i);
+    }
+}

@@ -1,0 +1,125 @@
+//! Summary statistics for experiment aggregation.
+//!
+//! Each point of the paper's plots is the average of many independently
+//! seeded instances (1000 in the paper); we report the mean together with
+//! dispersion measures so the harness can print honest error bars.
+
+/// Summary of a sample of real values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected).
+    pub std: f64,
+    /// Standard error of the mean.
+    pub sem: f64,
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub ci95: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (linear interpolation).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `values`; panics on an empty sample.
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "empty sample");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std = var.sqrt();
+        let sem = std / (n as f64).sqrt();
+        Summary {
+            n,
+            mean,
+            std,
+            sem,
+            ci95: 1.96 * sem,
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            median: percentile(values, 50.0),
+        }
+    }
+}
+
+/// The `p`-th percentile (0–100) with linear interpolation.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Geometric mean (used for ratio aggregation across heterogeneous
+/// workloads).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "empty sample");
+    assert!(values.iter().all(|&v| v > 0.0), "geometric mean needs positives");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std with Bessel correction: sqrt(32/7).
+        assert!((s.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        assert!(s.ci95 > 0.0 && s.ci95 < s.std);
+    }
+
+    #[test]
+    fn single_value_summary() {
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&v, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+}

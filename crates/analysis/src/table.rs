@@ -1,0 +1,157 @@
+//! Plain-text table and CSV rendering for experiment reports.
+//!
+//! The harness regenerates the paper's figures as data series; these
+//! helpers print them as aligned ASCII/markdown tables (for the terminal
+//! and EXPERIMENTS.md) and as CSV (for external plotting).
+
+use std::fmt::Write as _;
+
+/// A simple column-oriented table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the arity differs from the header.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity does not match header"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let widths = self.column_widths();
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            out.push('|');
+            for (c, w) in cells.iter().zip(&widths) {
+                let _ = write!(out, " {c:<w$} |", w = *w);
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{:-<w$}|", "", w = *w + 2);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV (minimal quoting: fields containing `,` or `"` are
+    /// quoted with doubled quotes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let render = |cells: &[String], out: &mut String| {
+            let line: Vec<String> = cells.iter().map(|c| csv_escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        render(&self.headers, &mut out);
+        for row in &self.rows {
+            render(row, &mut out);
+        }
+        out
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Formats a float with a sensible fixed precision for reports.
+pub fn fmt_num(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(["ccr", "srpt", "ssf-edf"]);
+        t.push_row(["0.1", "1.02", "1.01"]);
+        t.push_row(["10", "2.50", "2.10"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("| ccr"));
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[3].contains("2.50"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn csv_rendering_and_escaping() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["plain", "with,comma"]);
+        t.push_row(["with\"quote", "x"]);
+        let csv = t.to_csv();
+        assert_eq!(
+            csv,
+            "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(1.2345), "1.234");
+        assert_eq!(fmt_num(12.345), "12.35");
+        // {:.0} rounds half-to-even.
+        assert_eq!(fmt_num(1234.6), "1235");
+    }
+}

@@ -1,0 +1,247 @@
+//! `mmsec` — command-line front-end to the library: generate instances,
+//! schedule them with any policy, validate, and draw Gantt charts.
+//!
+//! ```text
+//! mmsec gen random --n 50 --ccr 1.0 --load 0.05 --seed 42 --out inst.txt
+//! mmsec gen kang   --n 50 --edges 20 --seed 42 --out inst.txt
+//! mmsec run --instance inst.txt --policy ssf-edf [--gantt] [--per-job] [--export trace.csv]
+//! mmsec compare --instance inst.txt
+//! ```
+
+use mmsec_core::PolicyKind;
+use mmsec_platform::{
+    gantt, simulate, validate, GanttOptions, Instance, StretchReport, Target,
+};
+use mmsec_workload::{KangConfig, RandomCcrConfig};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mmsec gen random --n N [--ccr X] [--load X] [--seed N] [--out FILE]\n  \
+         mmsec gen kang --n N [--edges N] [--load X] [--seed N] [--out FILE]\n  \
+         mmsec run --instance FILE [--policy NAME] [--gantt] [--per-job]\n  \
+         mmsec compare --instance FILE\n\npolicies: {}",
+        PolicyKind::ALL
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(key) = args[i].strip_prefix("--") else {
+            usage();
+        };
+        // Value-less flags (e.g. --gantt) are recorded as "true".
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => {
+                flags.insert(key.to_string(), v.clone());
+                i += 2;
+            }
+            _ => {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        }
+    }
+    flags
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for --{key}: {v}");
+            exit(2)
+        }),
+    }
+}
+
+fn load_instance(flags: &HashMap<String, String>) -> Instance {
+    let Some(path) = flags.get("instance") else {
+        usage();
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    Instance::from_text(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    match command.as_str() {
+        "gen" => {
+            let Some(kind) = args.get(1) else { usage() };
+            let flags = parse_flags(&args[2..]);
+            let seed: u64 = get(&flags, "seed", 42);
+            let inst = match kind.as_str() {
+                "random" => RandomCcrConfig {
+                    n: get(&flags, "n", 50),
+                    ccr: get(&flags, "ccr", 1.0),
+                    load: get(&flags, "load", 0.05),
+                    ..RandomCcrConfig::default()
+                }
+                .generate(seed),
+                "kang" => KangConfig {
+                    n: get(&flags, "n", 50),
+                    num_edge: get(&flags, "edges", 20),
+                    load: get(&flags, "load", 0.05),
+                    ..KangConfig::default()
+                }
+                .generate(seed),
+                _ => usage(),
+            };
+            let text = inst.to_text();
+            match flags.get("out") {
+                Some(path) => {
+                    std::fs::write(path, text).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1)
+                    });
+                    eprintln!(
+                        "wrote {} jobs on {} edges / {} clouds to {path}",
+                        inst.num_jobs(),
+                        inst.spec.num_edge(),
+                        inst.spec.num_cloud()
+                    );
+                }
+                None => print!("{text}"),
+            }
+        }
+        "run" => {
+            let flags = parse_flags(&args[1..]);
+            let inst = load_instance(&flags);
+            let policy_name = flags
+                .get("policy")
+                .map(String::as_str)
+                .unwrap_or("ssf-edf");
+            let Some(kind) = PolicyKind::parse(policy_name) else {
+                eprintln!("unknown policy {policy_name}");
+                exit(2);
+            };
+            let mut policy = kind.build(get(&flags, "seed", 0));
+            let engine_opts = mmsec_platform::EngineOptions {
+                record_events: flags.contains_key("trace"),
+                ..mmsec_platform::EngineOptions::default()
+            };
+            let out = mmsec_platform::simulate_with(&inst, policy.as_mut(), engine_opts)
+                .unwrap_or_else(|e| {
+                    eprintln!("simulation failed: {e}");
+                    exit(1)
+                });
+            if let Err(violations) = validate(&inst, &out.schedule) {
+                eprintln!("INVALID schedule ({} violations):", violations.len());
+                for v in violations.iter().take(10) {
+                    eprintln!("  {v}");
+                }
+                exit(1);
+            }
+            let report = StretchReport::new(&inst, &out.schedule);
+            let offloaded = out
+                .schedule
+                .alloc
+                .iter()
+                .filter(|a| matches!(a, Some(Target::Cloud(_))))
+                .count();
+            println!("policy        {}", kind.name());
+            println!("jobs          {}", inst.num_jobs());
+            println!("max stretch   {:.4}", report.max_stretch);
+            println!("mean stretch  {:.4}", report.mean_stretch);
+            println!("max response  {:.4}", report.max_response);
+            println!("offloaded     {}/{}", offloaded, inst.num_jobs());
+            println!("re-executions {}", out.stats.restarts);
+            println!("events        {}", out.stats.events);
+            println!("decide time   {:?}", out.stats.decide_time);
+            if flags.contains_key("per-job") {
+                println!("\njob  target     stretch");
+                for (id, _) in inst.iter_jobs() {
+                    println!(
+                        "{:<4} {:<10} {:.4}",
+                        id.to_string(),
+                        out.schedule.alloc[id.0].expect("allocated").to_string(),
+                        report.stretches[id.0]
+                    );
+                }
+            }
+            if flags.contains_key("gantt") {
+                println!("\n{}", gantt(&inst, &out.schedule, GanttOptions::default()));
+            }
+            if let Some(log) = &out.event_log {
+                println!("\nevent trace ({} decisions):", log.len());
+                for rec in log {
+                    let acts: Vec<String> = rec
+                        .activations
+                        .iter()
+                        .map(|(j, p, t)| format!("{j}:{p}@{t}"))
+                        .collect();
+                    println!(
+                        "  t={:<10.4} pending={:<3} [{}]",
+                        rec.time.seconds(),
+                        rec.pending,
+                        acts.join(" ")
+                    );
+                }
+            }
+            if let Some(path) = flags.get("export") {
+                let csv = mmsec_platform::export::schedule_to_csv(&inst, &out.schedule);
+                std::fs::write(path, csv).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1)
+                });
+                eprintln!("exported activity trace to {path}");
+            }
+            if let Some(path) = flags.get("svg") {
+                let svg = mmsec_platform::svg::schedule_to_svg(
+                    &inst,
+                    &out.schedule,
+                    mmsec_platform::svg::SvgOptions::default(),
+                );
+                std::fs::write(path, svg).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1)
+                });
+                eprintln!("rendered SVG gantt to {path}");
+            }
+        }
+        "compare" => {
+            let flags = parse_flags(&args[1..]);
+            let inst = load_instance(&flags);
+            println!("policy      max-stretch  mean-stretch  re-exec  decide-time");
+            for kind in PolicyKind::ALL {
+                if kind == PolicyKind::CloudOnly && inst.spec.num_cloud() == 0 {
+                    continue;
+                }
+                let mut policy = kind.build(0);
+                let out = simulate(&inst, policy.as_mut()).unwrap_or_else(|e| {
+                    eprintln!("{kind} failed: {e}");
+                    exit(1)
+                });
+                if validate(&inst, &out.schedule).is_err() {
+                    eprintln!("{kind}: INVALID schedule");
+                    exit(1);
+                }
+                let r = StretchReport::new(&inst, &out.schedule);
+                println!(
+                    "{:<11} {:>11.4} {:>13.4} {:>8} {:>12.1?}",
+                    kind.name(),
+                    r.max_stretch,
+                    r.mean_stretch,
+                    out.stats.restarts,
+                    out.stats.decide_time
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

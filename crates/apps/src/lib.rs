@@ -1,0 +1,1 @@
+//! Examples and integration tests live in the workspace-level `examples/` and `tests/` directories, wired through this crate.

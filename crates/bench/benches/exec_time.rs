@@ -1,0 +1,61 @@
+//! E6 — scheduling time of each heuristic (criterion version of the
+//! §VI-B "Execution times" discussion): wall-clock per simulated instance,
+//! per policy, as a function of n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmsec_bench::run_policy;
+use mmsec_core::PolicyKind;
+use mmsec_platform::EngineOptions;
+use mmsec_workload::RandomCcrConfig;
+
+fn bench_policies_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_time/policy_vs_n");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let cfg = RandomCcrConfig {
+            n,
+            ccr: 1.0,
+            load: 0.05,
+            ..RandomCcrConfig::default()
+        };
+        let inst = cfg.generate(42);
+        for kind in PolicyKind::PAPER {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &inst,
+                |b, inst| {
+                    b.iter(|| run_policy(inst, kind, 7, EngineOptions::default(), false));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_policies_vs_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_time/policy_vs_load");
+    group.sample_size(10);
+    for load in [0.05f64, 0.5, 2.0] {
+        let cfg = RandomCcrConfig {
+            n: 200,
+            ccr: 1.0,
+            load,
+            ..RandomCcrConfig::default()
+        };
+        let inst = cfg.generate(42);
+        // Edge-Only is omitted at high load (as in the paper: too costly).
+        for kind in PolicyKind::CLOUD_USING {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("load{load}")),
+                &inst,
+                |b, inst| {
+                    b.iter(|| run_policy(inst, kind, 7, EngineOptions::default(), false));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies_vs_n, bench_policies_vs_load);
+criterion_main!(benches);

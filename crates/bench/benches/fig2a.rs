@@ -1,0 +1,36 @@
+//! Figure 2(a) bench — time to evaluate one random-CCR instance per
+//! heuristic across the CCR sweep (the unit of work behind each point of
+//! the figure; §VI-B reports execution times are flat in the CCR).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmsec_bench::run_policy;
+use mmsec_core::PolicyKind;
+use mmsec_platform::EngineOptions;
+use mmsec_workload::RandomCcrConfig;
+
+fn bench_fig2a_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2a/instance_eval");
+    group.sample_size(10);
+    for ccr in [0.1f64, 1.0, 10.0] {
+        let cfg = RandomCcrConfig {
+            n: 200,
+            ccr,
+            load: 0.05,
+            ..RandomCcrConfig::default()
+        };
+        let inst = cfg.generate(1);
+        for kind in PolicyKind::PAPER {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("ccr{ccr}")),
+                &inst,
+                |b, inst| {
+                    b.iter(|| run_policy(inst, kind, 3, EngineOptions::default(), false));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2a_unit);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 2(b) bench — time to evaluate one random instance per heuristic
+//! across the load sweep (the paper reports Greedy's execution time
+//! "drastically increases with the load" — this bench is where that shows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmsec_bench::run_policy;
+use mmsec_core::PolicyKind;
+use mmsec_platform::EngineOptions;
+use mmsec_workload::RandomCcrConfig;
+
+fn bench_fig2b_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2b/instance_eval");
+    group.sample_size(10);
+    for load in [0.05f64, 0.5, 1.0, 2.0] {
+        let cfg = RandomCcrConfig {
+            n: 200,
+            ccr: 1.0,
+            load,
+            ..RandomCcrConfig::default()
+        };
+        let inst = cfg.generate(1);
+        for kind in PolicyKind::CLOUD_USING {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("load{load}")),
+                &inst,
+                |b, inst| {
+                    b.iter(|| run_policy(inst, kind, 3, EngineOptions::default(), false));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2b_unit);
+criterion_main!(benches);

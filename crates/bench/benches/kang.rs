@@ -1,0 +1,35 @@
+//! Figures 2(c)/2(d) bench — time to evaluate one Kang instance per
+//! heuristic, for the 20-edge and 100-edge platforms (the paper reports
+//! much higher execution times with 100 edge units).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmsec_bench::run_policy;
+use mmsec_core::PolicyKind;
+use mmsec_platform::EngineOptions;
+use mmsec_workload::KangConfig;
+
+fn bench_kang_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kang/instance_eval");
+    group.sample_size(10);
+    for num_edge in [20usize, 100] {
+        let cfg = KangConfig {
+            num_edge,
+            n: 200,
+            ..KangConfig::default()
+        };
+        let inst = cfg.generate(1);
+        for kind in PolicyKind::PAPER {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("{num_edge}edges")),
+                &inst,
+                |b, inst| {
+                    b.iter(|| run_policy(inst, kind, 3, EngineOptions::default(), false));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kang_unit);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Substrate micro-benchmarks: event queue, interval sets, projection,
+//! instance generation — the building blocks whose cost bounds the whole
+//! simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mmsec_platform::projection::Projection;
+use mmsec_platform::{JobState, SimView};
+use mmsec_sim::{EventQueue, Interval, IntervalSet, Time};
+use mmsec_workload::{KangConfig, RandomCcrConfig};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("micro/event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                // Pseudo-shuffled times.
+                let t = ((i * 2654435761) % 10_000) as f64;
+                q.push(Time::new(t), 0, i);
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        });
+    });
+}
+
+fn bench_interval_set(c: &mut Criterion) {
+    c.bench_function("micro/interval_set_insert_1k_disjoint", |b| {
+        b.iter(|| {
+            let mut s = IntervalSet::new();
+            for i in 0..1000 {
+                let start = i as f64 * 2.0;
+                s.insert(Interval::from_secs(start, start + 1.0)).unwrap();
+            }
+            s.total_length()
+        });
+    });
+    c.bench_function("micro/interval_set_insert_1k_merging", |b| {
+        b.iter(|| {
+            let mut s = IntervalSet::new();
+            for i in 0..1000 {
+                let start = i as f64;
+                s.insert(Interval::from_secs(start, start + 1.0)).unwrap();
+            }
+            s.len()
+        });
+    });
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let cfg = RandomCcrConfig {
+        n: 200,
+        ..RandomCcrConfig::default()
+    };
+    let inst = cfg.generate(5);
+    let states: Vec<JobState> = (0..inst.num_jobs())
+        .map(|_| JobState {
+            released: true,
+            ..JobState::default()
+        })
+        .collect();
+    c.bench_function("micro/projection_place_200_jobs", |b| {
+        b.iter_batched(
+            || Projection::new(&inst.spec, Time::ZERO),
+            |mut proj| {
+                let view = SimView {
+                    instance: &inst,
+                    now: Time::ZERO,
+                    jobs: &states,
+                };
+                for (id, job) in inst.iter_jobs() {
+                    let st = &view.jobs[id.0];
+                    let (t, _) = proj.best_target(job, st, view.spec(), view.now);
+                    proj.place(job, st, t, view.spec(), view.now);
+                }
+                proj
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("micro/generate_random_ccr_1k", |b| {
+        let cfg = RandomCcrConfig {
+            n: 1000,
+            ..RandomCcrConfig::default()
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            cfg.generate(seed)
+        });
+    });
+    c.bench_function("micro/generate_kang_1k", |b| {
+        let cfg = KangConfig {
+            n: 1000,
+            ..KangConfig::default()
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            cfg.generate(seed)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_interval_set,
+    bench_projection,
+    bench_generators
+);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! `repro` — regenerate the paper's figures and tables from the command
+//! line.
+//!
+//! ```text
+//! repro <experiment> [--scale quick|standard|full] [--seed N] [--csv DIR]
+//!
+//! experiments:
+//!   fig2a fig2b fig2c fig2d   the four panels of Figure 2
+//!   exec-times                §VI-B scheduling-time table
+//!   hardness                  §IV reduction cross-checks
+//!   ablation-alpha ablation-ports ablation-preempt ablation-arrivals
+//!   ext-hetero ext-windows    extensions
+//!   mean-vs-max bender-competitive   extra studies
+//!   all                       everything above
+//! ```
+
+use mmsec_bench::experiments;
+use mmsec_bench::hardness::verify_reductions;
+use mmsec_bench::{Figure, Scale};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <fig2a|fig2b|fig2c|fig2d|exec-times|hardness|ablation-alpha|\
+         ablation-ports|ablation-preempt|ablation-arrivals|ext-hetero|ext-windows|\
+         mean-vs-max|bender-competitive|all> \
+         [--scale quick|standard|full] [--seed N] [--csv DIR]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    seed: u64,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let Some(experiment) = args.next() else {
+        usage();
+    };
+    let mut parsed = Args {
+        experiment,
+        scale: Scale::standard(),
+        seed: 20210517, // IPDPS 2021 conference date
+        csv_dir: None,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                parsed.scale = Scale::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                parsed.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--csv" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                parsed.csv_dir = Some(PathBuf::from(v));
+            }
+            _ => usage(),
+        }
+    }
+    parsed
+}
+
+fn emit(fig: &Figure, csv_dir: &Option<PathBuf>) {
+    println!("{}", fig.to_markdown());
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let file = dir.join(format!(
+            "{}.csv",
+            fig.id.replace('/', "_").replace(' ', "-")
+        ));
+        let mut f = std::fs::File::create(&file).expect("create csv file");
+        f.write_all(fig.table.to_csv().as_bytes()).expect("write csv");
+        eprintln!("[csv] wrote {}", file.display());
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let s = &args.scale;
+    let seed = args.seed;
+    let run_one = |name: &str| -> bool {
+        let fig = match name {
+            "fig2a" => experiments::fig2a(s, seed),
+            "fig2b" => experiments::fig2b(s, seed),
+            "fig2c" => experiments::fig2c(s, seed),
+            "fig2d" => experiments::fig2d(s, seed),
+            "exec-times" => experiments::exec_times(s, seed),
+            "ablation-alpha" => experiments::ablation_alpha(s, seed),
+            "ablation-ports" => experiments::ablation_ports(s, seed),
+            "ablation-preempt" => experiments::ablation_preemption(s, seed),
+            "ext-hetero" => experiments::ext_heterogeneous(s, seed),
+            "ext-windows" => experiments::ext_windows(s, seed),
+            "mean-vs-max" => mmsec_bench::extra::mean_vs_max_stretch(s, seed),
+            "bender-competitive" => mmsec_bench::extra::bender_competitiveness(s, seed),
+            "ablation-arrivals" => mmsec_bench::extra::ablation_arrivals(s, seed),
+            "adversarial" => mmsec_bench::extra::adversarial(s, seed),
+            "fairness" => mmsec_bench::extra::fairness(s, seed),
+            "hardness" => {
+                let report = verify_reductions(25, seed);
+                println!("### E7/hardness — §IV reduction cross-checks\n");
+                println!("{}", report.table.to_markdown());
+                println!(
+                    "> all trials consistent: {}",
+                    if report.all_consistent { "YES" } else { "NO" }
+                );
+                return report.all_consistent;
+            }
+            _ => return false,
+        };
+        emit(&fig, &args.csv_dir);
+        true
+    };
+
+    let ok = match args.experiment.as_str() {
+        "all" => {
+            let everything = [
+                "fig2a",
+                "fig2b",
+                "fig2c",
+                "fig2d",
+                "exec-times",
+                "hardness",
+                "ablation-alpha",
+                "ablation-ports",
+                "ablation-preempt",
+                "ablation-arrivals",
+                "ext-hetero",
+                "ext-windows",
+                "mean-vs-max",
+                "bender-competitive",
+                "adversarial",
+                "fairness",
+            ];
+            everything.iter().all(|e| run_one(e))
+        }
+        other => run_one(other),
+    };
+    if !ok {
+        usage();
+    }
+}

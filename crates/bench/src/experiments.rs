@@ -1,0 +1,551 @@
+//! The experiment suite: one function per paper figure/table (§VI) plus
+//! the ablations and extensions of DESIGN.md.
+
+use crate::run::evaluate_point;
+use crate::scale::Scale;
+use mmsec_analysis::table::fmt_num;
+use mmsec_analysis::Table;
+use mmsec_core::PolicyKind;
+use mmsec_platform::{simulate_with, EngineOptions, StretchReport};
+use mmsec_workload::{KangConfig, RandomCcrConfig};
+
+/// A regenerated figure/table.
+pub struct Figure {
+    /// Experiment id (DESIGN.md index).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// The data series.
+    pub table: Table,
+    /// Interpretation notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Renders the figure as markdown (table + notes).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n{}", self.id, self.title, self.table.to_markdown());
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out
+    }
+}
+
+/// The CCR sweep of Figure 2(a).
+pub const CCR_SWEEP: [f64; 7] = [0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0];
+
+/// The load sweep of Figure 2(b).
+pub const LOAD_SWEEP: [f64; 7] = [0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0];
+
+fn policy_headers(policies: &[PolicyKind], first: &str) -> Vec<String> {
+    let mut h = vec![first.to_string()];
+    h.extend(policies.iter().map(|p| p.name().to_string()));
+    h
+}
+
+/// Figure 2(a): max-stretch vs CCR on random instances, all four paper
+/// heuristics (Edge-Only included).
+pub fn fig2a(scale: &Scale, seed: u64) -> Figure {
+    let policies = PolicyKind::PAPER;
+    let mut table = Table::new(policy_headers(&policies, "ccr"));
+    for (pi, &ccr) in CCR_SWEEP.iter().enumerate() {
+        let cfg = RandomCcrConfig {
+            n: scale.n_random,
+            ccr,
+            ..RandomCcrConfig::default()
+        };
+        let point = evaluate_point(
+            |s| cfg.generate(s),
+            &policies,
+            scale.reps,
+            scale.threads,
+            seed ^ (pi as u64),
+            EngineOptions::default(),
+            scale.validate,
+        );
+        let mut row = vec![fmt_num(ccr)];
+        row.extend(point.max_stretch.iter().map(|s| fmt_num(s.mean)));
+        table.push_row(row);
+    }
+    Figure {
+        id: "E2/fig2a",
+        title: format!(
+            "max-stretch vs CCR (random, n={}, load 0.05, {} reps)",
+            scale.n_random, scale.reps
+        ),
+        table,
+        notes: vec![
+            "Expected shape: SSF-EDF ≤ SRPT ≪ Greedy at low CCR; Edge-Only far worse at \
+             low CCR, converging as CCR grows (the cloud stops paying off)."
+                .into(),
+        ],
+    }
+}
+
+/// Figure 2(b): max-stretch vs load at CCR = 1 (Edge-Only omitted, as in
+/// the paper: it is off-scale under load).
+pub fn fig2b(scale: &Scale, seed: u64) -> Figure {
+    let policies = PolicyKind::CLOUD_USING;
+    let mut table = Table::new(policy_headers(&policies, "load"));
+    for (pi, &load) in LOAD_SWEEP.iter().enumerate() {
+        let cfg = RandomCcrConfig {
+            n: scale.n_random,
+            ccr: 1.0,
+            load,
+            ..RandomCcrConfig::default()
+        };
+        let point = evaluate_point(
+            |s| cfg.generate(s),
+            &policies,
+            scale.reps,
+            scale.threads,
+            seed ^ (0x2b00 + pi as u64),
+            EngineOptions::default(),
+            scale.validate,
+        );
+        let mut row = vec![fmt_num(load)];
+        row.extend(point.max_stretch.iter().map(|s| fmt_num(s.mean)));
+        table.push_row(row);
+    }
+    Figure {
+        id: "E3/fig2b",
+        title: format!(
+            "max-stretch vs load (random, CCR 1, n={}, {} reps)",
+            scale.n_random, scale.reps
+        ),
+        table,
+        notes: vec![
+            "Expected shape: SRPT and Greedy degrade sharply with load; SSF-EDF stays \
+             low; Greedy can overtake SRPT at high load."
+                .into(),
+        ],
+    }
+}
+
+fn kang_figure(
+    id: &'static str,
+    num_edge: usize,
+    scale: &Scale,
+    seed: u64,
+) -> Figure {
+    let policies = PolicyKind::PAPER;
+    let mut table = Table::new(policy_headers(&policies, "n"));
+    for (pi, &n) in scale.kang_ns.iter().enumerate() {
+        let cfg = KangConfig {
+            num_edge,
+            n,
+            ..KangConfig::default()
+        };
+        let point = evaluate_point(
+            |s| cfg.generate(s),
+            &policies,
+            scale.reps,
+            scale.threads,
+            seed ^ kang_marker(pi, num_edge),
+            EngineOptions::default(),
+            scale.validate,
+        );
+        let mut row = vec![n.to_string()];
+        row.extend(point.max_stretch.iter().map(|s| fmt_num(s.mean)));
+        table.push_row(row);
+    }
+    Figure {
+        id,
+        title: format!(
+            "max-stretch vs n (Kang, {num_edge} edges, 10 clouds, {} reps)",
+            scale.reps
+        ),
+        table,
+        notes: vec![
+            "Expected shape: SSF-EDF best, SRPT close; Edge-Only cannot keep up as n \
+             grows; with many edges Greedy closes the gap."
+                .into(),
+        ],
+    }
+}
+
+/// Figure 2(c): Kang instances, 20 edge units.
+pub fn fig2c(scale: &Scale, seed: u64) -> Figure {
+    kang_figure("E4/fig2c", 20, scale, seed)
+}
+
+/// Figure 2(d): Kang instances, 100 edge units.
+pub fn fig2d(scale: &Scale, seed: u64) -> Figure {
+    kang_figure("E5/fig2d", 100, scale, seed)
+}
+
+/// E6: scheduling (decide) time per policy vs n and load (§VI-B
+/// "Execution times" — the companion-report table).
+pub fn exec_times(scale: &Scale, seed: u64) -> Figure {
+    let policies = PolicyKind::PAPER;
+    let mut headers = vec!["n".to_string(), "load".to_string()];
+    headers.extend(policies.iter().map(|p| format!("{p} [ms]")));
+    let mut table = Table::new(headers);
+    let ns = [scale.n_random / 2, scale.n_random];
+    for &n in &ns {
+        for &load in &[0.05, 0.5] {
+            let cfg = RandomCcrConfig {
+                n,
+                ccr: 1.0,
+                load,
+                ..RandomCcrConfig::default()
+            };
+            let point = evaluate_point(
+                |s| cfg.generate(s),
+                &policies,
+                scale.reps.min(10),
+                scale.threads,
+                seed ^ (0xE6 + n as u64),
+                EngineOptions::default(),
+                false,
+            );
+            let mut row = vec![n.to_string(), fmt_num(load)];
+            row.extend(point.decide_ms.iter().map(|s| fmt_num(s.mean)));
+            table.push_row(row);
+        }
+    }
+    Figure {
+        id: "E6/exec-times",
+        title: "scheduling time per heuristic [ms per instance]".into(),
+        table,
+        notes: vec![
+            "Expected shape: SRPT fastest; SSF-EDF and Edge-Only slowest; times grow \
+             with n and with load."
+                .into(),
+        ],
+    }
+}
+
+/// A1: SSF-EDF α sweep.
+pub fn ablation_alpha(scale: &Scale, seed: u64) -> Figure {
+    let alphas = [0.5, 0.8, 1.0, 1.5, 2.0];
+    let mut table = Table::new(["alpha", "max-stretch", "mean-stretch"]);
+    let cfg = RandomCcrConfig {
+        n: scale.n_random,
+        ccr: 1.0,
+        load: 0.5,
+        ..RandomCcrConfig::default()
+    };
+    for &alpha in &alphas {
+        let values: Vec<(f64, f64)> =
+            mmsec_analysis::run_indexed(scale.reps, scale.threads, |i| {
+                let inst = cfg.generate(mmsec_sim::seed::derive(seed, "alpha", i as u64));
+                let mut pol = mmsec_core::SsfEdf::with_params(alpha, 1e-3);
+                let out = simulate_with(&inst, &mut pol, EngineOptions::default())
+                    .expect("ssf-edf completes");
+                let r = StretchReport::new(&inst, &out.schedule);
+                (r.max_stretch, r.mean_stretch)
+            });
+        let maxes: Vec<f64> = values.iter().map(|v| v.0).collect();
+        let means: Vec<f64> = values.iter().map(|v| v.1).collect();
+        table.push_row([
+            fmt_num(alpha),
+            fmt_num(mmsec_analysis::Summary::of(&maxes).mean),
+            fmt_num(mmsec_analysis::Summary::of(&means).mean),
+        ]);
+    }
+    Figure {
+        id: "A1/alpha",
+        title: format!(
+            "SSF-EDF deadline multiplier α (random, CCR 1, load 0.5, n={}, {} reps)",
+            scale.n_random, scale.reps
+        ),
+        table,
+        notes: vec!["α = 1 is the paper's default; both directions should hurt or tie.".into()],
+    }
+}
+
+/// A2: one-port model vs infinite ports (macro-dataflow) — quantifies the
+/// §II claim that communication contention matters.
+pub fn ablation_ports(scale: &Scale, seed: u64) -> Figure {
+    let policies = [PolicyKind::Srpt, PolicyKind::SsfEdf];
+    let mut table = Table::new([
+        "ccr".to_string(),
+        "srpt 1-port".to_string(),
+        "srpt ∞-port".to_string(),
+        "ssf-edf 1-port".to_string(),
+        "ssf-edf ∞-port".to_string(),
+    ]);
+    for &ccr in &[0.5, 2.0, 10.0] {
+        let cfg = RandomCcrConfig {
+            n: scale.n_random,
+            ccr,
+            load: 0.5,
+            ..RandomCcrConfig::default()
+        };
+        let strict = evaluate_point(
+            |s| cfg.generate(s),
+            &policies,
+            scale.reps,
+            scale.threads,
+            seed ^ 0xA2,
+            EngineOptions::default(),
+            scale.validate,
+        );
+        let loose = evaluate_point(
+            |s| cfg.generate(s),
+            &policies,
+            scale.reps,
+            scale.threads,
+            seed ^ 0xA2,
+            EngineOptions {
+                infinite_ports: true,
+                ..EngineOptions::default()
+            },
+            false, // port checks do not apply
+        );
+        table.push_row([
+            fmt_num(ccr),
+            fmt_num(strict.max_stretch[0].mean),
+            fmt_num(loose.max_stretch[0].mean),
+            fmt_num(strict.max_stretch[1].mean),
+            fmt_num(loose.max_stretch[1].mean),
+        ]);
+    }
+    Figure {
+        id: "A2/ports",
+        title: "one-port contention vs macro-dataflow (no port limits)".into(),
+        table,
+        notes: vec![
+            "The macro-dataflow model under-reports stretch at high CCR — ignoring \
+             contention makes schedules look better than they could be in reality."
+                .into(),
+        ],
+    }
+}
+
+/// A3: preemption / re-execution disabled.
+pub fn ablation_preemption(scale: &Scale, seed: u64) -> Figure {
+    let policies = [PolicyKind::Srpt, PolicyKind::SsfEdf];
+    let variants: [(&str, EngineOptions); 3] = [
+        ("paper model", EngineOptions::default()),
+        (
+            "no re-execution",
+            EngineOptions {
+                allow_reexecution: false,
+                ..EngineOptions::default()
+            },
+        ),
+        (
+            "no preemption",
+            EngineOptions {
+                allow_preemption: false,
+                allow_reexecution: false,
+                ..EngineOptions::default()
+            },
+        ),
+    ];
+    let mut table = Table::new(["variant", "srpt", "ssf-edf"]);
+    let cfg = RandomCcrConfig {
+        n: scale.n_random,
+        ccr: 1.0,
+        load: 0.5,
+        ..RandomCcrConfig::default()
+    };
+    for (name, opts) in variants {
+        let point = evaluate_point(
+            |s| cfg.generate(s),
+            &policies,
+            scale.reps,
+            scale.threads,
+            seed ^ 0xA3,
+            opts,
+            scale.validate,
+        );
+        table.push_row([
+            name.to_string(),
+            fmt_num(point.max_stretch[0].mean),
+            fmt_num(point.max_stretch[1].mean),
+        ]);
+    }
+    Figure {
+        id: "A3/preemption",
+        title: "model ablation: preemption and re-execution".into(),
+        table,
+        notes: vec![
+            "The paper's model choices (preemption on, re-execution allowed) should \
+             dominate or tie the restricted variants."
+                .into(),
+        ],
+    }
+}
+
+/// A4: heterogeneous cloud speeds (the §II "straightforward extension").
+pub fn ext_heterogeneous(scale: &Scale, seed: u64) -> Figure {
+    let policies = [PolicyKind::Greedy, PolicyKind::Srpt, PolicyKind::SsfEdf];
+    let mut table = Table::new(["cloud", "greedy", "srpt", "ssf-edf"]);
+    // Same aggregate cloud speed (20), different shapes.
+    let shapes: [(&str, Vec<f64>); 2] = [
+        ("homogeneous 20×1.0", vec![1.0; 20]),
+        (
+            "heterogeneous 10×1.5 + 10×0.5",
+            [vec![1.5; 10], vec![0.5; 10]].concat(),
+        ),
+    ];
+    for (name, cloud_speeds) in shapes {
+        let base = RandomCcrConfig {
+            n: scale.n_random,
+            ccr: 1.0,
+            load: 0.5,
+            ..RandomCcrConfig::default()
+        };
+        let make = |s: u64| {
+            let inst = base.generate(s);
+            // Re-house the jobs on the heterogeneous platform.
+            let mut edge_speeds = Vec::new();
+            for j in inst.spec.edges() {
+                edge_speeds.push(inst.spec.edge_speed(j));
+            }
+            let spec =
+                mmsec_platform::PlatformSpec::heterogeneous(edge_speeds, cloud_speeds.clone());
+            mmsec_platform::Instance::new(spec, inst.jobs).expect("valid")
+        };
+        let point = evaluate_point(
+            make,
+            &policies,
+            scale.reps,
+            scale.threads,
+            seed ^ 0xA4,
+            EngineOptions::default(),
+            scale.validate,
+        );
+        table.push_row([
+            name.to_string(),
+            fmt_num(point.max_stretch[0].mean),
+            fmt_num(point.max_stretch[1].mean),
+            fmt_num(point.max_stretch[2].mean),
+        ]);
+    }
+    Figure {
+        id: "A4/heterogeneous-cloud",
+        title: "heterogeneous cloud speeds at equal aggregate capacity".into(),
+        table,
+        notes: vec!["All heuristics handle per-processor speeds transparently.".into()],
+    }
+}
+
+/// A5: cloud availability windows (the §VII future-work extension).
+pub fn ext_windows(scale: &Scale, seed: u64) -> Figure {
+    use mmsec_platform::CloudId;
+    use mmsec_sim::Interval;
+    let policies = [PolicyKind::Greedy, PolicyKind::Srpt, PolicyKind::SsfEdf];
+    let mut table = Table::new(["availability", "greedy", "srpt", "ssf-edf"]);
+    for (name, blocked_fraction) in [("always available", 0.0), ("half the clouds blocked 50%", 0.5)]
+    {
+        let base = RandomCcrConfig {
+            n: scale.n_random,
+            ccr: 1.0,
+            load: 0.5,
+            ..RandomCcrConfig::default()
+        };
+        let make = move |s: u64| {
+            let inst = base.generate(s);
+            if blocked_fraction == 0.0 {
+                return inst;
+            }
+            // Periodic unavailability on every second cloud processor:
+            // windows of length L every 2L across the busy horizon.
+            let horizon = inst
+                .jobs
+                .iter()
+                .map(|j| j.release.seconds())
+                .fold(0.0f64, f64::max)
+                * 1.5
+                + 100.0;
+            let len = 50.0;
+            let mut spec = inst.spec.clone();
+            for k in 0..spec.num_cloud() {
+                if k % 2 == 1 {
+                    let mut windows = Vec::new();
+                    let mut t = len;
+                    while t < horizon {
+                        windows.push(Interval::from_secs(t, t + len));
+                        t += 2.0 * len;
+                    }
+                    spec = spec.with_cloud_unavailability(CloudId(k), &windows);
+                }
+            }
+            mmsec_platform::Instance::new(spec, inst.jobs).expect("valid")
+        };
+        let point = evaluate_point(
+            make,
+            &policies,
+            scale.reps,
+            scale.threads,
+            seed ^ 0xA5,
+            EngineOptions::default(),
+            scale.validate,
+        );
+        table.push_row([
+            name.to_string(),
+            fmt_num(point.max_stretch[0].mean),
+            fmt_num(point.max_stretch[1].mean),
+            fmt_num(point.max_stretch[2].mean),
+        ]);
+    }
+    Figure {
+        id: "A5/availability-windows",
+        title: "cloud processors with periodic unavailability (§VII extension)".into(),
+        table,
+        notes: vec![
+            "Stretches degrade gracefully when half the cloud is periodically blocked."
+                .into(),
+        ],
+    }
+}
+
+fn kang_marker(pi: usize, num_edge: usize) -> u64 {
+    0x4b00 + (pi as u64) + ((num_edge as u64) << 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            reps: 2,
+            n_random: 30,
+            kang_ns: vec![12, 24],
+            threads: 2,
+            validate: true,
+        }
+    }
+
+    #[test]
+    fn fig2a_produces_rows_per_ccr() {
+        let fig = fig2a(&tiny(), 1);
+        assert_eq!(fig.table.num_rows(), CCR_SWEEP.len());
+        assert!(fig.to_markdown().contains("ssf-edf"));
+    }
+
+    #[test]
+    fn fig2b_produces_rows_per_load() {
+        let fig = fig2b(&tiny(), 1);
+        assert_eq!(fig.table.num_rows(), LOAD_SWEEP.len());
+    }
+
+    #[test]
+    fn kang_figures_produce_rows_per_n() {
+        let fig = fig2c(&tiny(), 1);
+        assert_eq!(fig.table.num_rows(), 2);
+        let fig = fig2d(&tiny(), 1);
+        assert_eq!(fig.table.num_rows(), 2);
+    }
+
+    #[test]
+    fn exec_times_runs() {
+        let fig = exec_times(&tiny(), 1);
+        assert_eq!(fig.table.num_rows(), 4);
+    }
+
+    #[test]
+    fn ablations_run() {
+        assert_eq!(ablation_alpha(&tiny(), 1).table.num_rows(), 5);
+        assert_eq!(ablation_ports(&tiny(), 1).table.num_rows(), 3);
+        assert_eq!(ablation_preemption(&tiny(), 1).table.num_rows(), 3);
+        assert_eq!(ext_heterogeneous(&tiny(), 1).table.num_rows(), 2);
+        assert_eq!(ext_windows(&tiny(), 1).table.num_rows(), 2);
+    }
+}

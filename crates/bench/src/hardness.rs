@@ -1,0 +1,135 @@
+//! E7 — numerical validation of the §IV complexity results: for randomly
+//! drawn small inputs, the combinatorial decision (partition exists?)
+//! must coincide with the scheduling decision (threshold stretch
+//! achievable?), in both directions, as Theorems 1 and 2 assert.
+
+use mmsec_analysis::Table;
+use mmsec_offline::brute::optimal_mmsh;
+use mmsec_offline::reductions::{
+    has_three_partition, has_two_partition_eq, mmsh_to_mmseco, three_partition_to_mmsh,
+    two_partition_eq_to_mmsh,
+};
+use mmsec_offline::{optimal_order_based, MmshInstance};
+use mmsec_sim::seed::SplitMix64;
+
+/// Outcome of the reduction cross-checks.
+pub struct HardnessReport {
+    /// Per-theorem agreement counts.
+    pub table: Table,
+    /// True iff every trial agreed.
+    pub all_consistent: bool,
+}
+
+/// Draws random small instances of each source problem and cross-checks
+/// the reduction equivalences.
+pub fn verify_reductions(trials: usize, seed: u64) -> HardnessReport {
+    let mut rng = SplitMix64::new(seed);
+    let mut table = Table::new(["theorem", "trials", "agreements", "yes-instances"]);
+    let mut all_ok = true;
+
+    // Theorem 1: 2-PARTITION-EQ (n = 2: four integers < S).
+    let mut agree = 0;
+    let mut yes = 0;
+    for _ in 0..trials {
+        // Draw 4 values in [1, 9], adjusting the last for an even total.
+        let mut a: Vec<u64> = (0..4).map(|_| 1 + rng.next_u64() % 9).collect();
+        if a.iter().sum::<u64>() % 2 == 1 {
+            a[3] += 1;
+        }
+        let s = a.iter().sum::<u64>() / 2;
+        if a.iter().any(|&ai| ai >= s) {
+            // Trivially-no region excluded by the reduction precondition.
+            agree += 1;
+            continue;
+        }
+        let expected = has_two_partition_eq(&a);
+        let (inst, threshold) = two_partition_eq_to_mmsh(&a);
+        let achieved = optimal_mmsh(&inst).max_stretch <= threshold + 1e-9;
+        if expected == achieved {
+            agree += 1;
+        } else {
+            all_ok = false;
+        }
+        if expected {
+            yes += 1;
+        }
+    }
+    table.push_row([
+        "Thm 1 (2-PARTITION-EQ)".to_string(),
+        trials.to_string(),
+        agree.to_string(),
+        yes.to_string(),
+    ]);
+
+    // Theorem 2: 3-PARTITION with n = 2 (six integers in (B/4, B/2)).
+    let mut agree = 0;
+    let mut yes = 0;
+    for _ in 0..trials {
+        let b = 20u64;
+        // Values in (5, 10) = {6..9}; fix the sum to 2B = 40 by retry.
+        let a: Vec<u64> = loop {
+            let cand: Vec<u64> = (0..6).map(|_| 6 + rng.next_u64() % 4).collect();
+            if cand.iter().sum::<u64>() == 2 * b {
+                break cand;
+            }
+        };
+        let expected = has_three_partition(&a, b);
+        let (inst, threshold) = three_partition_to_mmsh(&a, b);
+        let achieved = optimal_mmsh(&inst).max_stretch <= threshold + 1e-9;
+        if expected == achieved {
+            agree += 1;
+        } else {
+            all_ok = false;
+        }
+        if expected {
+            yes += 1;
+        }
+    }
+    table.push_row([
+        "Thm 2 (3-PARTITION)".to_string(),
+        trials.to_string(),
+        agree.to_string(),
+        yes.to_string(),
+    ]);
+
+    // Theorem 3: MMSH ↔ MMSECO embedding (optimal values coincide).
+    let mut agree = 0;
+    for _ in 0..trials {
+        let n_jobs = 4 + (rng.next_u64() % 3) as usize; // 4..6
+        let procs = 2 + (rng.next_u64() % 2) as usize; // 2..3
+        let works: Vec<f64> = (0..n_jobs)
+            .map(|_| 1.0 + (rng.next_u64() % 8) as f64)
+            .collect();
+        let mmsh = MmshInstance::new(procs, works);
+        let a = optimal_mmsh(&mmsh).max_stretch;
+        let b = optimal_order_based(&mmsh_to_mmseco(&mmsh)).max_stretch;
+        if (a - b).abs() < 1e-9 {
+            agree += 1;
+        } else {
+            all_ok = false;
+        }
+    }
+    table.push_row([
+        "Thm 3 (MMSH→MMSECO)".to_string(),
+        trials.to_string(),
+        agree.to_string(),
+        "-".to_string(),
+    ]);
+
+    HardnessReport {
+        table,
+        all_consistent: all_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reductions_agree_on_random_trials() {
+        let report = verify_reductions(12, 2024);
+        assert!(report.all_consistent, "\n{}", report.table.to_markdown());
+        assert_eq!(report.table.num_rows(), 3);
+    }
+}

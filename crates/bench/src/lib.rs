@@ -1,0 +1,16 @@
+//! `mmsec-bench` — the experiment harness regenerating every figure and
+//! table of the paper's evaluation (§VI), the ablations of DESIGN.md, and
+//! the §IV reduction cross-checks. The `repro` binary is the command-line
+//! front-end; the criterion benches measure heuristic scheduling time.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod extra;
+pub mod hardness;
+pub mod run;
+pub mod scale;
+
+pub use experiments::Figure;
+pub use run::{evaluate_point, run_policy, PointResult, TrialResult};
+pub use scale::Scale;

@@ -1,0 +1,95 @@
+//! Experiment scale presets.
+//!
+//! The paper averages 1000 instances of n = 4000 jobs per plotted point —
+//! hours of compute across the whole evaluation. The same code path runs
+//! at three scales; EXPERIMENTS.md records which scale produced the
+//! committed numbers.
+
+/// How big to run each experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scale {
+    /// Instances averaged per point (paper: 1000).
+    pub reps: usize,
+    /// Jobs per random instance (paper: 4000).
+    pub n_random: usize,
+    /// Job counts swept in the Kang experiments (paper: up to thousands).
+    pub kang_ns: Vec<usize>,
+    /// Worker threads for the trial runner.
+    pub threads: usize,
+    /// Validate every produced schedule against §III-B (slows large runs).
+    pub validate: bool,
+}
+
+impl Scale {
+    /// Smoke-test scale: seconds.
+    pub fn quick() -> Scale {
+        Scale {
+            reps: 3,
+            n_random: 120,
+            kang_ns: vec![30, 60, 120],
+            threads: mmsec_analysis::default_threads(),
+            validate: true,
+        }
+    }
+
+    /// Default reporting scale: minutes on a small machine (used for
+    /// EXPERIMENTS.md; increase towards `full` on many-core hosts).
+    pub fn standard() -> Scale {
+        Scale {
+            reps: 12,
+            n_random: 300,
+            kang_ns: vec![100, 200, 400],
+            threads: mmsec_analysis::default_threads(),
+            validate: true,
+        }
+    }
+
+    /// Paper scale: hours.
+    pub fn full() -> Scale {
+        Scale {
+            reps: 1000,
+            n_random: 4000,
+            kang_ns: vec![1000, 2000, 4000],
+            threads: mmsec_analysis::default_threads(),
+            validate: false,
+        }
+    }
+
+    /// Parses `quick` / `standard` / `full`.
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name {
+            "quick" => Some(Scale::quick()),
+            "standard" => Some(Scale::standard()),
+            "full" => Some(Scale::full()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::quick()));
+        assert_eq!(Scale::parse("standard"), Some(Scale::standard()));
+        assert_eq!(Scale::parse("full"), Some(Scale::full()));
+        assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::default(), Scale::standard());
+    }
+
+    #[test]
+    fn full_matches_paper_parameters() {
+        let f = Scale::full();
+        assert_eq!(f.reps, 1000);
+        assert_eq!(f.n_random, 4000);
+        assert!(f.kang_ns.contains(&4000));
+    }
+}

@@ -1,0 +1,58 @@
+//! Integration tests for the `repro` experiment CLI.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn hardness_runs_and_reports_consistency() {
+    let out = repro().args(["hardness", "--seed", "7"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("E7/hardness"));
+    assert!(stdout.contains("all trials consistent: YES"), "{stdout}");
+}
+
+#[test]
+fn adversarial_runs_quick_and_writes_csv() {
+    let dir = std::env::temp_dir().join(format!("repro-cli-{}", std::process::id()));
+    let out = repro()
+        .args(["adversarial", "--scale", "quick", "--csv", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("X4/adversarial"));
+    // The CSV landed.
+    let csv = dir.join("X4_adversarial.csv");
+    let content = std::fs::read_to_string(&csv).expect("csv written");
+    assert!(content.starts_with("instance,"));
+    assert!(content.lines().count() >= 8);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_arguments_exit_nonzero() {
+    assert!(!repro().args(["frobnicate"]).status().unwrap().success());
+    assert!(!repro().status().unwrap().success());
+    assert!(!repro()
+        .args(["fig2a", "--scale", "gigantic"])
+        .status()
+        .unwrap()
+        .success());
+}
+
+#[test]
+fn deterministic_across_invocations() {
+    let run = || {
+        let out = repro()
+            .args(["adversarial", "--scale", "quick", "--seed", "5"])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,233 @@
+//! Additional baseline policies (not in the paper's evaluation, but useful
+//! reference points for the experiment suite and for tests).
+
+use mmsec_platform::projection::Projection;
+use mmsec_platform::{Directive, Instance, JobId, OnlineScheduler, SimView, Target};
+use mmsec_sim::seed::SplitMix64;
+
+/// First-come-first-served: jobs by release date; each job is placed once,
+/// on the target with the earliest projected completion at placement time,
+/// and never reconsidered.
+#[derive(Clone, Debug, Default)]
+pub struct Fcfs {
+    chosen: Vec<Option<Target>>,
+}
+
+impl Fcfs {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Fcfs { chosen: Vec::new() }
+    }
+}
+
+impl OnlineScheduler for Fcfs {
+    fn name(&self) -> String {
+        "fcfs".into()
+    }
+
+    fn on_start(&mut self, instance: &Instance) {
+        self.chosen = vec![None; instance.num_jobs()];
+    }
+
+    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+        let spec = view.spec();
+        let mut pending: Vec<JobId> = view.pending_jobs().collect();
+        pending.sort_by_key(|&id| (view.instance.job(id).release, id));
+        // Place newly seen jobs with a shared projection so that a burst
+        // of simultaneous arrivals spreads over the platform.
+        let mut proj = Projection::from_view(view);
+        for &id in &pending {
+            if self.chosen[id.0].is_none() {
+                let job = view.instance.job(id);
+                let st = &view.jobs[id.0];
+                let (target, _) = proj.best_target(job, st, spec, view.now);
+                proj.place(job, st, target, spec, view.now);
+                self.chosen[id.0] = Some(target);
+            }
+        }
+        pending
+            .into_iter()
+            .map(|id| Directive::new(id, self.chosen[id.0].expect("placed above")))
+            .collect()
+    }
+}
+
+/// Cloud-Only: the mirror image of Edge-Only — every job is delegated to
+/// the cloud, choosing the cloud processor with the earliest projected
+/// completion at first placement; FIFO priority.
+#[derive(Clone, Debug, Default)]
+pub struct CloudOnly {
+    chosen: Vec<Option<Target>>,
+}
+
+impl CloudOnly {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        CloudOnly { chosen: Vec::new() }
+    }
+}
+
+impl OnlineScheduler for CloudOnly {
+    fn name(&self) -> String {
+        "cloud-only".into()
+    }
+
+    fn on_start(&mut self, instance: &Instance) {
+        assert!(
+            instance.spec.num_cloud() > 0,
+            "cloud-only policy needs a cloud"
+        );
+        self.chosen = vec![None; instance.num_jobs()];
+    }
+
+    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+        let spec = view.spec();
+        let mut pending: Vec<JobId> = view.pending_jobs().collect();
+        pending.sort_by_key(|&id| (view.instance.job(id).release, id));
+        let mut proj = Projection::from_view(view);
+        for &id in &pending {
+            if self.chosen[id.0].is_none() {
+                let job = view.instance.job(id);
+                let st = &view.jobs[id.0];
+                let mut best: Option<(Target, mmsec_sim::Time)> = None;
+                for k in spec.clouds() {
+                    let c = proj.completion(job, st, Target::Cloud(k), spec, view.now);
+                    if best.map_or(true, |(_, bc)| c < bc) {
+                        best = Some((Target::Cloud(k), c));
+                    }
+                }
+                let (target, _) = best.expect("at least one cloud");
+                proj.place(job, st, target, spec, view.now);
+                self.chosen[id.0] = Some(target);
+            }
+        }
+        pending
+            .into_iter()
+            .map(|id| Directive::new(id, self.chosen[id.0].expect("placed above")))
+            .collect()
+    }
+}
+
+/// Random sticky placement with FIFO priority — the weakest sensible
+/// baseline; fully deterministic given its seed.
+#[derive(Clone, Debug)]
+pub struct RandomSticky {
+    rng: SplitMix64,
+    chosen: Vec<Option<Target>>,
+}
+
+impl RandomSticky {
+    /// Creates the policy with a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomSticky {
+            rng: SplitMix64::new(seed),
+            chosen: Vec::new(),
+        }
+    }
+}
+
+impl OnlineScheduler for RandomSticky {
+    fn name(&self) -> String {
+        "random".into()
+    }
+
+    fn on_start(&mut self, instance: &Instance) {
+        self.chosen = vec![None; instance.num_jobs()];
+    }
+
+    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+        let spec = view.spec();
+        let mut pending: Vec<JobId> = view.pending_jobs().collect();
+        pending.sort_by_key(|&id| (view.instance.job(id).release, id));
+        for &id in &pending {
+            if self.chosen[id.0].is_none() {
+                let n_options = 1 + spec.num_cloud();
+                let pick = (self.rng.next_u64() as usize) % n_options;
+                let target = if pick == 0 {
+                    Target::Edge
+                } else {
+                    Target::Cloud(mmsec_platform::CloudId(pick - 1))
+                };
+                self.chosen[id.0] = Some(target);
+            }
+        }
+        pending
+            .into_iter()
+            .map(|id| Directive::new(id, self.chosen[id.0].expect("placed above")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmsec_platform::{simulate, validate, EdgeId, Instance, Job, PlatformSpec};
+
+    fn instance() -> Instance {
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.5, 0.1], 2);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 2.0, 0.5, 0.5),
+            Job::new(EdgeId(1), 0.0, 4.0, 0.2, 0.2),
+            Job::new(EdgeId(0), 1.0, 1.0, 3.0, 3.0),
+            Job::new(EdgeId(1), 2.0, 3.0, 0.1, 0.1),
+        ];
+        Instance::new(spec, jobs).unwrap()
+    }
+
+    #[test]
+    fn fcfs_completes_and_validates() {
+        let inst = instance();
+        let out = simulate(&inst, &mut Fcfs::new()).unwrap();
+        assert!(validate(&inst, &out.schedule).is_ok());
+        assert!(out.schedule.all_finished());
+        // FCFS never re-executes (sticky placement).
+        assert_eq!(out.stats.restarts, 0);
+    }
+
+    #[test]
+    fn cloud_only_uses_only_cloud() {
+        let inst = instance();
+        let out = simulate(&inst, &mut CloudOnly::new()).unwrap();
+        assert!(validate(&inst, &out.schedule).is_ok());
+        for a in &out.schedule.alloc {
+            assert!(matches!(a, Some(Target::Cloud(_))));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a cloud")]
+    fn cloud_only_requires_cloud() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let inst =
+            Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
+        let _ = simulate(&inst, &mut CloudOnly::new());
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let inst = instance();
+        let a = simulate(&inst, &mut RandomSticky::new(7)).unwrap();
+        let b = simulate(&inst, &mut RandomSticky::new(7)).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert!(validate(&inst, &a.schedule).is_ok());
+    }
+
+    #[test]
+    fn fcfs_spreads_simultaneous_burst() {
+        // Four cloud-friendly jobs at t=0, two clouds: shared projection
+        // must not pile them all on cloud 0.
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.05; 4], 2);
+        let jobs: Vec<_> = (0..4)
+            .map(|i| Job::new(EdgeId(i), 0.0, 4.0, 0.5, 0.5))
+            .collect();
+        let inst = Instance::new(spec, jobs).unwrap();
+        let out = simulate(&inst, &mut Fcfs::new()).unwrap();
+        let cloud0 = out
+            .schedule
+            .alloc
+            .iter()
+            .filter(|a| **a == Some(Target::Cloud(mmsec_platform::CloudId(0))))
+            .count();
+        assert_eq!(cloud0, 2);
+    }
+}

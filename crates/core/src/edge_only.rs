@@ -1,0 +1,216 @@
+//! The **Edge-Only** baseline (paper §V-A).
+//!
+//! No cloud: every job runs on its origin edge unit. Since edge units are
+//! then independent single machines, each one runs the stretch-so-far
+//! earliest-deadline-first algorithm of Bender et al. \[3\] (Δ-competitive
+//! on one machine): at each release, binary-search the optimal achievable
+//! stretch of the released jobs, derive deadlines
+//! `d_i = r_i + S_c · min(t^e_i, t^c_i)` — note the edge-cloud correction:
+//! the paper computes the stretch denominator against a potential cloud
+//! execution even though the job never leaves the edge — and schedule
+//! preemptive EDF until the next release.
+
+use crate::bender::{deadline, optimal_stretch_so_far, ReleasedJob};
+use mmsec_platform::{Directive, Instance, JobId, OnlineScheduler, SimView, Target};
+use mmsec_sim::Time;
+
+/// Edge-Only stretch-so-far EDF policy.
+#[derive(Clone, Debug)]
+pub struct EdgeOnly {
+    /// Multiplier α applied to the optimal stretch-so-far (paper: 1).
+    alpha: f64,
+    /// Relative precision of the stretch binary search.
+    eps_rel: f64,
+    /// Cached deadline per job (None until first computed).
+    deadlines: Vec<Option<Time>>,
+}
+
+impl Default for EdgeOnly {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EdgeOnly {
+    /// Policy with the paper's parameters (α = 1, ε = 10⁻³).
+    pub fn new() -> Self {
+        Self::with_params(1.0, 1e-3)
+    }
+
+    /// Policy with explicit α and binary-search precision.
+    pub fn with_params(alpha: f64, eps_rel: f64) -> Self {
+        assert!(alpha > 0.0 && eps_rel > 0.0);
+        EdgeOnly {
+            alpha,
+            eps_rel,
+            deadlines: Vec::new(),
+        }
+    }
+
+    /// Recomputes deadlines for all pending jobs of edge unit `unit`.
+    fn recompute_unit(&mut self, view: &SimView<'_>, unit: usize) {
+        let spec = view.spec();
+        let released: Vec<ReleasedJob> = view
+            .pending_jobs()
+            .filter(|&id| view.instance.job(id).origin.0 == unit)
+            .map(|id| {
+                let job = view.instance.job(id);
+                let st = &view.jobs[id.0];
+                ReleasedJob {
+                    id,
+                    release: job.release,
+                    proc_time: st.remaining_work(job) / spec.edge_speed(job.origin),
+                    min_time: job.min_time(spec),
+                }
+            })
+            .collect();
+        if released.is_empty() {
+            return;
+        }
+        let s_opt = optimal_stretch_so_far(view.now, &released, self.eps_rel);
+        let s_c = self.alpha * s_opt;
+        for j in &released {
+            self.deadlines[j.id.0] = Some(deadline(j, s_c));
+        }
+    }
+}
+
+impl OnlineScheduler for EdgeOnly {
+    fn name(&self) -> String {
+        if self.alpha == 1.0 {
+            "edge-only".into()
+        } else {
+            format!("edge-only(a={})", self.alpha)
+        }
+    }
+
+    fn on_start(&mut self, instance: &Instance) {
+        self.deadlines = vec![None; instance.num_jobs()];
+    }
+
+    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+        // Units with a newly released job recompute their deadlines
+        // (stretch-so-far is re-estimated at release events).
+        let mut dirty_units: Vec<usize> = view
+            .pending_jobs()
+            .filter(|id| self.deadlines[id.0].is_none())
+            .map(|id| view.instance.job(id).origin.0)
+            .collect();
+        dirty_units.sort_unstable();
+        dirty_units.dedup();
+        for unit in dirty_units {
+            self.recompute_unit(view, unit);
+        }
+
+        // Preemptive EDF per unit: a global deadline sort is fine because
+        // units share no resources.
+        let mut pending: Vec<(Time, JobId)> = view
+            .pending_jobs()
+            .map(|id| {
+                let d = self.deadlines[id.0].expect("deadline computed above");
+                (d, id)
+            })
+            .collect();
+        pending.sort();
+        pending
+            .into_iter()
+            .map(|(_, id)| Directive::new(id, Target::Edge))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmsec_platform::{
+        max_stretch, simulate, validate, EdgeId, Instance, Job, PlatformSpec, StretchReport,
+    };
+
+    #[test]
+    fn never_uses_cloud() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.1], 4);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 1.0, 0.1, 0.1),
+            Job::new(EdgeId(0), 0.0, 2.0, 0.1, 0.1),
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let out = simulate(&inst, &mut EdgeOnly::new()).unwrap();
+        assert!(validate(&inst, &out.schedule).is_ok());
+        for a in &out.schedule.alloc {
+            assert_eq!(*a, Some(Target::Edge));
+        }
+    }
+
+    #[test]
+    fn intro_example_runs_short_job_first() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
+            Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let out = simulate(&inst, &mut EdgeOnly::new()).unwrap();
+        // Optimal order: short first → max stretch 1.1.
+        let ms = max_stretch(&inst, &out.schedule);
+        assert!((ms - 1.1).abs() < 1e-6, "max stretch {ms}");
+    }
+
+    #[test]
+    fn stretch_denominator_counts_cloud_alternative() {
+        // One job, slow edge, cheap cloud alternative (min_time 4 versus
+        // 12 locally). Edge-Only still executes locally, so its stretch is
+        // 12/4 = 3 even though the schedule is the best possible locally.
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0 / 3.0], 1);
+        let jobs = vec![Job::new(EdgeId(0), 0.0, 4.0, 0.0, 0.0)];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let out = simulate(&inst, &mut EdgeOnly::new()).unwrap();
+        let ms = max_stretch(&inst, &out.schedule);
+        assert!((ms - 3.0).abs() < 1e-9, "max stretch {ms}");
+    }
+
+    #[test]
+    fn units_are_independent() {
+        // Jobs on different units do not delay each other.
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0, 1.0], 0);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 5.0, 0.0, 0.0),
+            Job::new(EdgeId(1), 0.0, 5.0, 0.0, 0.0),
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let out = simulate(&inst, &mut EdgeOnly::new()).unwrap();
+        let report = StretchReport::new(&inst, &out.schedule);
+        assert!((report.max_stretch - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadlines_reorder_on_new_release() {
+        // A long job runs; a short job arrives: its deadline is tighter,
+        // EDF preempts the long one.
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
+            Job::new(EdgeId(0), 1.0, 1.0, 0.0, 0.0),
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let out = simulate(&inst, &mut EdgeOnly::new()).unwrap();
+        assert!(validate(&inst, &out.schedule).is_ok());
+        let report = StretchReport::new(&inst, &out.schedule);
+        // Short job's stretch stays small; overall max well below the
+        // FIFO outcome (which would give the short job stretch 10).
+        assert!(report.max_stretch < 2.2, "max stretch {}", report.max_stretch);
+    }
+
+    #[test]
+    fn alpha_parameter_changes_name_and_behavior_is_sane() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0),
+            Job::new(EdgeId(0), 0.5, 1.0, 0.0, 0.0),
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let mut pol = EdgeOnly::with_params(2.0, 1e-3);
+        assert_eq!(pol.name(), "edge-only(a=2)");
+        let out = simulate(&inst, &mut pol).unwrap();
+        assert!(validate(&inst, &out.schedule).is_ok());
+    }
+}

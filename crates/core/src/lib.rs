@@ -1,0 +1,47 @@
+//! `mmsec-core` — the scheduling heuristics of *Max-Stretch Minimization
+//! on an Edge-Cloud Platform* (Benoit, Elghazi, Robert — IPDPS 2021, §V).
+//!
+//! Four policies from the paper:
+//!
+//! * [`EdgeOnly`] (§V-A) — no cloud; Bender et al. stretch-so-far EDF per
+//!   edge unit;
+//! * [`Greedy`] (§V-B) — place first the job whose best immediately
+//!   achievable stretch is worst;
+//! * [`Srpt`] (§V-C) — earliest-estimated-completion first, with
+//!   re-execution from scratch in lieu of migration;
+//! * [`SsfEdf`] (§V-D) — binary search on the target stretch, EDF order,
+//!   earliest-projected-completion processor selection: the paper's best
+//!   heuristic.
+//!
+//! Plus reference baselines ([`Fcfs`], [`CloudOnly`], [`RandomSticky`])
+//! and a [`PolicyKind`] registry for the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use mmsec_core::SsfEdf;
+//! use mmsec_platform::{figure1_instance, max_stretch, simulate, validate};
+//!
+//! let instance = figure1_instance();
+//! let out = simulate(&instance, &mut SsfEdf::new()).unwrap();
+//! assert!(validate(&instance, &out.schedule).is_ok());
+//! assert!(max_stretch(&instance, &out.schedule) >= 1.5); // optimum is 3/2
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod bender;
+pub mod edge_only;
+pub mod greedy;
+pub mod placing;
+pub mod registry;
+pub mod srpt;
+pub mod ssf_edf;
+
+pub use baselines::{CloudOnly, Fcfs, RandomSticky};
+pub use edge_only::EdgeOnly;
+pub use greedy::Greedy;
+pub use registry::PolicyKind;
+pub use srpt::Srpt;
+pub use ssf_edf::SsfEdf;

@@ -1,0 +1,390 @@
+//! Shared placement machinery for the event-driven heuristics.
+//!
+//! Greedy (§V-B) and SRPT (§V-C) both repeat, at every event: *among jobs
+//! that can start right now on some free resource, pick the best (job,
+//! resource) pair, claim the resources, and iterate*. [`RoundState`]
+//! tracks one such decision round:
+//!
+//! * a boolean map of resources already claimed *for this instant* (a job
+//!   can only be activated if its first phase's resources are free), and
+//! * a [`Projection`] of earliest-free times that accounts for the
+//!   *durations* of everything claimed earlier in the round — so that a
+//!   completion estimate on cloud `k` reflects the work already queued on
+//!   `k` this round. Without this, all of a homogeneous cloud's
+//!   processors look identical and every job piles onto the first one.
+
+use mmsec_platform::projection::Projection;
+use mmsec_platform::resource::ResourceMap;
+use mmsec_platform::{JobId, Phase, SimView, Target};
+use mmsec_sim::{Time, TIME_EPS};
+
+/// Phase the job would run first if placed on `target` *now*: the current
+/// phase when continuing on its committed target, the first non-empty
+/// phase when (re)starting fresh.
+pub fn first_phase(view: &SimView<'_>, id: JobId, target: Target) -> Option<Phase> {
+    let st = &view.jobs[id.0];
+    let job = view.instance.job(id);
+    if st.committed == Some(target) {
+        return st.current_phase(job, target);
+    }
+    match target {
+        Target::Edge => (job.work > TIME_EPS).then_some(Phase::Compute),
+        Target::Cloud(_) => {
+            if job.up > TIME_EPS {
+                Some(Phase::Uplink)
+            } else if job.work > TIME_EPS {
+                Some(Phase::Compute)
+            } else if job.dn > TIME_EPS {
+                Some(Phase::Downlink)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// A placement option that can start immediately.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StartOption {
+    /// Where the job would run.
+    pub target: Target,
+    /// Completion estimate from the round's projection (accounts for
+    /// everything claimed earlier in the round; from-scratch volumes when
+    /// `target` differs from the committed resource).
+    pub completion: Time,
+}
+
+/// State of one decision round (one event).
+///
+/// Two layers of occupancy information:
+///
+/// * the **projection** holds only what has been *claimed* this round —
+///   it drives the job-vs-job comparison (so a short job can still rank
+///   ahead of a long committed job and preempt it, as SRPT requires);
+/// * the **backlog** counts the remaining CPU work of committed-but-not-
+///   yet-claimed jobs — it drives the *choice of target within one job*,
+///   so that a fresh job facing twenty homogeneous cloud processors
+///   prefers one whose CPU is not mid-way through someone else's job.
+#[derive(Clone, Debug)]
+pub struct RoundState {
+    proj: Projection,
+    busy_now: ResourceMap<bool>,
+    /// Remaining CPU-seconds of unclaimed committed jobs, per CPU.
+    backlog: ResourceMap<f64>,
+    /// Which CPU each unclaimed committed job contributes backlog to.
+    contribution: Vec<Option<(mmsec_platform::resource::ResourceId, f64)>>,
+}
+
+impl RoundState {
+    /// Fresh round: nothing claimed yet; backlog gathered from every
+    /// pending job with progress on a committed target.
+    pub fn new(view: &SimView<'_>) -> Self {
+        let spec = view.spec();
+        let mut backlog = ResourceMap::new(spec, 0.0f64);
+        let mut contribution = vec![None; view.jobs.len()];
+        for id in view.pending_jobs() {
+            let st = &view.jobs[id.0];
+            let has_progress = st.up_done + st.work_done + st.dn_done > 0.0;
+            let Some(target) = st.committed else { continue };
+            if !has_progress {
+                continue;
+            }
+            let job = view.instance.job(id);
+            let (cpu, amount) = match target {
+                Target::Edge => (
+                    mmsec_platform::resource::ResourceId::EdgeCpu(job.origin),
+                    st.remaining_work(job) / spec.edge_speed(job.origin),
+                ),
+                Target::Cloud(k) => (
+                    mmsec_platform::resource::ResourceId::CloudCpu(k),
+                    st.remaining_work(job) / spec.cloud_speed(k),
+                ),
+            };
+            backlog[cpu] += amount;
+            contribution[id.0] = Some((cpu, amount));
+        }
+        RoundState {
+            proj: Projection::from_view(view),
+            busy_now: ResourceMap::new(spec, false),
+            backlog,
+            contribution,
+        }
+    }
+
+    /// Backlog a candidate target's CPU carries, excluding `id`'s own
+    /// contribution.
+    fn foreign_backlog(&self, view: &SimView<'_>, id: JobId, target: Target) -> f64 {
+        let job = view.instance.job(id);
+        let cpu = match target {
+            Target::Edge => mmsec_platform::resource::ResourceId::EdgeCpu(job.origin),
+            Target::Cloud(k) => mmsec_platform::resource::ResourceId::CloudCpu(k),
+        };
+        let mut b = self.backlog[cpu];
+        if let Some((own_cpu, amount)) = self.contribution[id.0] {
+            if own_cpu == cpu {
+                b -= amount;
+            }
+        }
+        b.max(0.0)
+    }
+
+    /// Best (earliest-completion) target on which `id` can start
+    /// immediately. Ties prefer the committed target (keeping progress),
+    /// then the edge, then lower cloud indices — all deterministic.
+    ///
+    /// **Re-execution guard**: a job that has made progress on its
+    /// committed target only accepts a *different* target when the
+    /// from-scratch estimate there beats the *optimistic* continuation
+    /// estimate (as if the committed resources freed right now). Waiting
+    /// costs at least that optimistic estimate, so a restart failing the
+    /// test can never pay off; without the guard, a job displaced for a
+    /// single event restarts elsewhere, gets displaced again, and thrashes
+    /// away all its progress.
+    pub fn best_startable(&self, view: &SimView<'_>, id: JobId) -> Option<StartOption> {
+        let st = &view.jobs[id.0];
+        let job = view.instance.job(id);
+        let spec = view.spec();
+        let mut best: Option<StartOption> = None;
+
+        let has_progress = st.up_done + st.work_done + st.dn_done > 0.0;
+        let continuation_bar: Option<Time> = match st.committed {
+            Some(t) if has_progress => {
+                Some(view.now + Time::new(st.remaining_time_on(job, t, spec)))
+            }
+            _ => None,
+        };
+
+        // Track the penalized score of the incumbent best for the
+        // target-choice comparison.
+        let mut best_penalized = Time::new(f64::MAX);
+
+        let mut consider = |target: Target| {
+            let Some(phase) = first_phase(view, id, target) else {
+                return;
+            };
+            if phase
+                .resources(job, target)
+                .iter()
+                .any(|r| self.busy_now[r])
+            {
+                return;
+            }
+            let completion = self.proj.completion(job, st, target, spec, view.now);
+            let penalized = completion + Time::new(self.foreign_backlog(view, id, target));
+            if st.committed != Some(target) {
+                if let Some(bar) = continuation_bar {
+                    if penalized >= bar {
+                        return; // restarting cannot beat waiting
+                    }
+                }
+            }
+            if penalized < best_penalized {
+                best_penalized = penalized;
+                best = Some(StartOption { target, completion });
+            }
+        };
+
+        // Evaluation order implements the tie preference (strict `<`).
+        if let Some(t) = st.committed {
+            consider(t);
+        }
+        consider(Target::Edge);
+        for k in spec.clouds() {
+            consider(Target::Cloud(k));
+        }
+        best
+    }
+
+    /// Claims `target` for `id`: blocks the first phase's resources for
+    /// this instant, books the job's whole remaining pipeline into the
+    /// projection, and retires its backlog contribution (its future is
+    /// now explicit in the projection).
+    pub fn claim(&mut self, view: &SimView<'_>, id: JobId, target: Target) {
+        let st = &view.jobs[id.0];
+        let job = view.instance.job(id);
+        let phase = first_phase(view, id, target).expect("claimed job has a phase to run");
+        for r in phase.resources(job, target).iter() {
+            debug_assert!(!self.busy_now[r], "double-claim of {r}");
+            self.busy_now[r] = true;
+        }
+        self.proj.place(job, st, target, view.spec(), view.now);
+        if let Some((cpu, amount)) = self.contribution[id.0].take() {
+            self.backlog[cpu] = (self.backlog[cpu] - amount).max(0.0);
+        }
+    }
+}
+
+/// Stretch of `id` if it completes at `completion`.
+pub fn stretch_at(view: &SimView<'_>, id: JobId, completion: Time) -> f64 {
+    view.stretch_if_completed_at(id, completion)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmsec_platform::{CloudId, EdgeId, Instance, Job, JobState, PlatformSpec};
+
+    fn fixture() -> (Instance, Vec<JobState>) {
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0), // edge 4, cloud 4
+            Job::new(EdgeId(0), 0.0, 6.0, 1.0, 1.0), // edge 12, cloud 8
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let mut states = vec![JobState::default(); 2];
+        for s in &mut states {
+            s.released = true;
+        }
+        (inst, states)
+    }
+
+    #[test]
+    fn first_phase_fresh_and_committed() {
+        let (inst, mut states) = fixture();
+        states[0].committed = Some(Target::Cloud(CloudId(0)));
+        states[0].up_done = 1.0; // uplink complete on cloud 0
+        let view = SimView {
+            instance: &inst,
+            now: Time::new(1.0),
+            jobs: &states,
+        };
+        assert_eq!(
+            first_phase(&view, JobId(0), Target::Cloud(CloudId(0))),
+            Some(Phase::Compute)
+        );
+        // Fresh start on cloud 1: uplink again.
+        assert_eq!(
+            first_phase(&view, JobId(0), Target::Cloud(CloudId(1))),
+            Some(Phase::Uplink)
+        );
+        assert_eq!(first_phase(&view, JobId(0), Target::Edge), Some(Phase::Compute));
+    }
+
+    #[test]
+    fn best_startable_picks_earliest_completion() {
+        let (inst, states) = fixture();
+        let view = SimView {
+            instance: &inst,
+            now: Time::ZERO,
+            jobs: &states,
+        };
+        let round = RoundState::new(&view);
+        // Job 1 (6 work): edge 12, cloud 8 → cloud.
+        let opt = round.best_startable(&view, JobId(1)).unwrap();
+        assert_eq!(opt.target, Target::Cloud(CloudId(0)));
+        assert_eq!(opt.completion, Time::new(8.0));
+        // Job 0: tie (4 vs 4); edge is evaluated before clouds, wins ties.
+        let opt = round.best_startable(&view, JobId(0)).unwrap();
+        assert_eq!(opt.target, Target::Edge);
+    }
+
+    #[test]
+    fn claims_spread_over_homogeneous_clouds() {
+        // THE regression this module guards against: with one cloud CPU
+        // claimed, the next job must see cloud 0 as slower and pick
+        // cloud 1 even though cloud 0's *ports* are free.
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.1], 2);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0), // no comm: CPU only
+            Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let mut states = vec![JobState::default(); 2];
+        for s in &mut states {
+            s.released = true;
+        }
+        let view = SimView {
+            instance: &inst,
+            now: Time::ZERO,
+            jobs: &states,
+        };
+        let mut round = RoundState::new(&view);
+        let first = round.best_startable(&view, JobId(0)).unwrap();
+        assert_eq!(first.target, Target::Cloud(CloudId(0)));
+        round.claim(&view, JobId(0), first.target);
+        let second = round.best_startable(&view, JobId(1)).unwrap();
+        assert_eq!(
+            second.target,
+            Target::Cloud(CloudId(1)),
+            "must not pile onto the claimed cloud"
+        );
+        assert_eq!(second.completion, Time::new(10.0));
+    }
+
+    #[test]
+    fn busy_first_phase_resources_exclude_targets() {
+        let (inst, states) = fixture();
+        let view = SimView {
+            instance: &inst,
+            now: Time::ZERO,
+            jobs: &states,
+        };
+        let mut round = RoundState::new(&view);
+        // Claim job 0's uplink on cloud 0: EdgeOut(0) + CloudIn(0) are
+        // busy now, so job 1 (which also needs EdgeOut(0) to reach any
+        // cloud) can only start on the edge.
+        round.claim(&view, JobId(0), Target::Cloud(CloudId(0)));
+        let opt = round.best_startable(&view, JobId(1)).unwrap();
+        assert_eq!(opt.target, Target::Edge);
+        // ... and if the edge CPU is claimed too, nothing can start.
+        round.claim(&view, JobId(1), Target::Edge);
+        let mut st2 = states.clone();
+        st2.push(JobState {
+            released: true,
+            ..JobState::default()
+        });
+        let mut jobs2 = inst.jobs.clone();
+        jobs2.push(Job::new(EdgeId(0), 0.0, 1.0, 1.0, 1.0));
+        let inst2 = Instance::new(inst.spec.clone(), jobs2).unwrap();
+        let view2 = SimView {
+            instance: &inst2,
+            now: Time::ZERO,
+            jobs: &st2,
+        };
+        assert_eq!(round.best_startable(&view2, JobId(2)), None);
+    }
+
+    #[test]
+    fn committed_target_preferred_on_tie() {
+        let (inst, mut states) = fixture();
+        states[0].committed = Some(Target::Cloud(CloudId(1)));
+        let view = SimView {
+            instance: &inst,
+            now: Time::ZERO,
+            jobs: &states,
+        };
+        let round = RoundState::new(&view);
+        let opt = round.best_startable(&view, JobId(0)).unwrap();
+        assert_eq!(opt.target, Target::Cloud(CloudId(1)));
+    }
+
+    #[test]
+    fn committed_progress_counted_in_estimates() {
+        let (inst, mut states) = fixture();
+        states[0].committed = Some(Target::Cloud(CloudId(0)));
+        states[0].up_done = 1.0;
+        states[0].work_done = 1.0;
+        let view = SimView {
+            instance: &inst,
+            now: Time::new(2.0),
+            jobs: &states,
+        };
+        let round = RoundState::new(&view);
+        let opt = round.best_startable(&view, JobId(0)).unwrap();
+        // Continue on cloud 0: 1 work + 1 dn = 2 → completes at 4;
+        // fresh anywhere would take ≥ 4.
+        assert_eq!(opt.target, Target::Cloud(CloudId(0)));
+        assert_eq!(opt.completion, Time::new(4.0));
+    }
+
+    #[test]
+    fn stretch_estimate() {
+        let (inst, states) = fixture();
+        let view = SimView {
+            instance: &inst,
+            now: Time::ZERO,
+            jobs: &states,
+        };
+        assert!((stretch_at(&view, JobId(0), Time::new(6.0)) - 1.5).abs() < 1e-12);
+    }
+}

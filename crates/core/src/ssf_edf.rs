@@ -1,0 +1,471 @@
+//! The **SSF-EDF** heuristic (paper §V-D) — stretch-so-far
+//! earliest-deadline-first, extended to the edge-cloud platform.
+//!
+//! At each *release* event:
+//! 1. binary-search the smallest target stretch `S` such that the deadline
+//!    set `d_i = r_i + S · min(t^e_i, t^c_i)` is *schedulable* by the EDF
+//!    placement rule: walk jobs by non-decreasing deadline, assign each to
+//!    the processor where the contention-profile projection completes it
+//!    earliest, and check every forecast completion against its deadline;
+//! 2. fix the plan (deadline order + chosen targets) computed at
+//!    `S_c = α · S` (α = 1 in the paper) and follow it until the next
+//!    release.
+//!
+//! EDF is *not* optimal on this platform (the paper gives a two-job
+//! counterexample, reproduced in the tests below), so the binary search
+//! may settle above the true optimum — SSF-EDF remains a heuristic.
+
+use mmsec_platform::projection::Projection;
+use mmsec_platform::{Directive, Instance, JobId, OnlineScheduler, SimView, Target};
+use mmsec_sim::Time;
+
+/// SSF-EDF policy.
+#[derive(Clone, Debug)]
+pub struct SsfEdf {
+    /// Deadline multiplier α (paper default 1).
+    alpha: f64,
+    /// Relative precision ε of the stretch binary search.
+    eps_rel: f64,
+    /// Plan: deadline per job (valid while it is pending).
+    deadlines: Vec<Option<Time>>,
+    /// Plan: chosen target per job.
+    targets: Vec<Option<Target>>,
+}
+
+impl Default for SsfEdf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SsfEdf {
+    /// Policy with the paper's parameters (α = 1, ε = 10⁻³).
+    pub fn new() -> Self {
+        Self::with_params(1.0, 1e-3)
+    }
+
+    /// Policy with explicit α and binary-search precision (the α ablation
+    /// of the experiment suite).
+    pub fn with_params(alpha: f64, eps_rel: f64) -> Self {
+        assert!(alpha > 0.0 && eps_rel > 0.0);
+        SsfEdf {
+            alpha,
+            eps_rel,
+            deadlines: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// EDF placement under target stretch `s`: returns the plan and
+    /// whether every deadline was met.
+    fn try_stretch(&self, view: &SimView<'_>, s: f64) -> Attempt {
+        let spec = view.spec();
+        let mut jobs: Vec<(Time, JobId)> = view
+            .pending_jobs()
+            .map(|id| {
+                let job = view.instance.job(id);
+                let d = job.release + Time::new(s * job.min_time(spec));
+                (d, id)
+            })
+            .collect();
+        jobs.sort();
+        let mut proj = Projection::from_view(view);
+        let mut feasible = true;
+        let mut plan = Vec::with_capacity(jobs.len());
+        for (d, id) in jobs {
+            let job = view.instance.job(id);
+            let st = &view.jobs[id.0];
+            let target = choose_target(&proj, view, id, spec);
+            let completion = proj.place(job, st, target, spec, view.now);
+            if !completion.approx_le(d) {
+                feasible = false;
+            }
+            plan.push(PlanEntry {
+                id,
+                deadline: d,
+                target,
+            });
+        }
+        Attempt { feasible, plan }
+    }
+
+    /// Full recomputation at a release event.
+    fn replan(&mut self, view: &SimView<'_>) {
+        let spec = view.spec();
+        // Lower bound: the stretch each pending job is already forced to
+        // (finishing as early as physically possible, alone).
+        let mut lo = 1.0f64;
+        for id in view.pending_jobs() {
+            let job = view.instance.job(id);
+            let st = &view.jobs[id.0];
+            let mut best = f64::INFINITY;
+            best = best.min(st.duration_if_placed(job, Target::Edge, spec));
+            for k in spec.clouds() {
+                best = best.min(st.duration_if_placed(job, Target::Cloud(k), spec));
+            }
+            let forced =
+                (view.now + Time::new(best) - job.release).seconds() / job.min_time(spec);
+            lo = lo.max(forced);
+        }
+
+        let best_plan: Attempt;
+        let at_lo = self.try_stretch(view, lo);
+        if at_lo.feasible {
+            best_plan = at_lo;
+        } else {
+            // Find a feasible upper bound by doubling.
+            let mut hi = lo.max(1.0) * 2.0;
+            let mut found = None;
+            for _ in 0..64 {
+                let attempt = self.try_stretch(view, hi);
+                if attempt.feasible {
+                    found = Some((hi, attempt));
+                    break;
+                }
+                hi *= 2.0;
+            }
+            match found {
+                None => {
+                    // Pathological: never feasible (EDF anomaly). Fall back
+                    // to the last attempt's ordering as a best effort.
+                    best_plan = self.try_stretch(view, hi);
+                }
+                Some((mut hi, mut attempt)) => {
+                    let mut lo = lo;
+                    while hi - lo > self.eps_rel * lo {
+                        let mid = 0.5 * (lo + hi);
+                        let mid_attempt = self.try_stretch(view, mid);
+                        if mid_attempt.feasible {
+                            hi = mid;
+                            attempt = mid_attempt;
+                        } else {
+                            lo = mid;
+                        }
+                    }
+                    if self.alpha != 1.0 {
+                        attempt = self.try_stretch(view, self.alpha * hi);
+                    }
+                    best_plan = attempt;
+                }
+            }
+        }
+
+        let plan = best_plan.plan;
+        for entry in plan {
+            self.deadlines[entry.id.0] = Some(entry.deadline);
+            self.targets[entry.id.0] = Some(entry.target);
+        }
+    }
+}
+
+struct PlanEntry {
+    id: JobId,
+    deadline: Time,
+    target: Target,
+}
+
+/// Earliest-projected-completion target with a *hysteresis* re-execution
+/// guard. Two failure modes bracket the design space: comparing raw
+/// projections lets every replan reshuffle in-flight jobs (>100
+/// re-executions per 600 jobs, the lost progress dominating the stretch),
+/// while an optimistic never-switch bar ratchets jobs onto congested
+/// processors they can never leave. The middle ground: a switch must beat
+/// the *projected* (queue-aware) continuation by more than the progress
+/// the job would throw away.
+fn choose_target(
+    proj: &Projection,
+    view: &SimView<'_>,
+    id: JobId,
+    spec: &mmsec_platform::PlatformSpec,
+) -> Target {
+    let st = &view.jobs[id.0];
+    let job = view.instance.job(id);
+    // Time already invested in the committed attempt (what a switch wastes).
+    let sunk = match st.committed {
+        Some(Target::Edge) => st.work_done / spec.edge_speed(job.origin),
+        Some(Target::Cloud(k)) => {
+            st.up_done + st.work_done / spec.cloud_speed(k) + st.dn_done
+        }
+        None => 0.0,
+    };
+    let bar: Option<Time> = st.committed.map(|t| {
+        proj.completion(job, st, t, spec, view.now) - Time::new(sunk)
+    });
+    let mut best: Option<(Target, Time)> = None;
+    let consider = |target: Target, best: &mut Option<(Target, Time)>| {
+        let completion = proj.completion(job, st, target, spec, view.now);
+        if st.committed != Some(target) {
+            if let Some(bar) = bar {
+                if completion >= bar {
+                    return; // gain does not cover the sunk progress
+                }
+            }
+        }
+        if best.map_or(true, |(_, c)| completion < c) {
+            *best = Some((target, completion));
+        }
+    };
+    if let Some(t) = st.committed {
+        consider(t, &mut best);
+    }
+    consider(Target::Edge, &mut best);
+    for k in spec.clouds() {
+        consider(Target::Cloud(k), &mut best);
+    }
+    best.expect("committed or edge always considered").0
+}
+
+struct Attempt {
+    feasible: bool,
+    plan: Vec<PlanEntry>,
+}
+
+impl OnlineScheduler for SsfEdf {
+    fn name(&self) -> String {
+        if self.alpha == 1.0 {
+            "ssf-edf".into()
+        } else {
+            format!("ssf-edf(a={})", self.alpha)
+        }
+    }
+
+    fn on_start(&mut self, instance: &Instance) {
+        self.deadlines = vec![None; instance.num_jobs()];
+        self.targets = vec![None; instance.num_jobs()];
+    }
+
+    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+        // Release event ⇔ some pending job has no deadline yet.
+        if view
+            .pending_jobs()
+            .any(|id| self.deadlines[id.0].is_none())
+        {
+            self.replan(view);
+        }
+        let mut pending: Vec<(Time, JobId)> = view
+            .pending_jobs()
+            .map(|id| (self.deadlines[id.0].expect("planned"), id))
+            .collect();
+        pending.sort();
+        pending
+            .into_iter()
+            .map(|(_, id)| Directive::new(id, self.targets[id.0].expect("planned")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmsec_platform::{
+        figure1_instance, max_stretch, simulate, validate, CloudId, EdgeId, Instance, Job,
+        PlatformSpec, StretchReport,
+    };
+
+    #[test]
+    fn single_job_gets_stretch_one() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 1);
+        let jobs = vec![Job::new(EdgeId(0), 0.0, 2.0, 10.0, 10.0)];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        assert!(validate(&inst, &out.schedule).is_ok());
+        assert!((max_stretch(&inst, &out.schedule) - 1.0).abs() < 1e-9);
+        assert_eq!(out.schedule.alloc[0], Some(Target::Edge));
+    }
+
+    #[test]
+    fn paper_edf_counterexample_still_schedules() {
+        // §V-D: two jobs w=3 with deadlines 5 and 6 on one cloud
+        // (up=dn=... the example uses uplink 1 implicitly): EDF order can
+        // miss a deadline that another order meets. SSF-EDF still produces
+        // a valid schedule, possibly with a larger stretch.
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.1], 1);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 3.0, 1.0, 0.0),
+            Job::new(EdgeId(0), 0.0, 3.0, 1.0, 0.0),
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        assert!(validate(&inst, &out.schedule).is_ok());
+        assert!(out.schedule.all_finished());
+    }
+
+    #[test]
+    fn intro_example_short_first() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
+            Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        let ms = max_stretch(&inst, &out.schedule);
+        assert!((ms - 1.1).abs() < 1e-2, "max stretch {ms}");
+    }
+
+    #[test]
+    fn figure1_instance_reasonable_stretch() {
+        // The optimal max-stretch of the Figure 1 instance is 3/2; SSF-EDF
+        // should land reasonably close (it is a heuristic).
+        let inst = figure1_instance();
+        let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        assert!(validate(&inst, &out.schedule).is_ok());
+        let ms = max_stretch(&inst, &out.schedule);
+        assert!(ms < 2.5, "max stretch {ms}");
+    }
+
+    #[test]
+    fn balances_over_cloud_processors() {
+        // Four identical cloud-friendly jobs from different edges, two
+        // clouds: the plan must spread them.
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.05; 4], 2);
+        let jobs: Vec<_> = (0..4)
+            .map(|i| Job::new(EdgeId(i), 0.0, 4.0, 0.5, 0.5))
+            .collect();
+        let inst = Instance::new(spec, jobs).unwrap();
+        let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        assert!(validate(&inst, &out.schedule).is_ok());
+        let on_cloud0 = out
+            .schedule
+            .alloc
+            .iter()
+            .filter(|a| **a == Some(Target::Cloud(CloudId(0))))
+            .count();
+        let on_cloud1 = out
+            .schedule
+            .alloc
+            .iter()
+            .filter(|a| **a == Some(Target::Cloud(CloudId(1))))
+            .count();
+        assert_eq!(on_cloud0 + on_cloud1, 4, "all jobs offloaded");
+        assert_eq!(on_cloud0, 2);
+        assert_eq!(on_cloud1, 2);
+    }
+
+    #[test]
+    fn online_stream_keeps_stretch_bounded() {
+        // Staggered stream: SSF-EDF keeps the max-stretch modest.
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.5, 0.5], 2);
+        let mut jobs = Vec::new();
+        for i in 0..12 {
+            jobs.push(Job::new(
+                EdgeId(i % 2),
+                i as f64 * 1.5,
+                2.0 + (i % 3) as f64,
+                0.5,
+                0.5,
+            ));
+        }
+        let inst = Instance::new(spec, jobs).unwrap();
+        let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        assert!(validate(&inst, &out.schedule).is_ok());
+        let report = StretchReport::new(&inst, &out.schedule);
+        assert!(report.max_stretch < 3.0, "max stretch {}", report.max_stretch);
+    }
+
+    #[test]
+    fn alpha_ablation_runs() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 1);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 2.0, 0.5, 0.5),
+            Job::new(EdgeId(0), 1.0, 1.0, 0.5, 0.5),
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+        for alpha in [0.5, 1.0, 2.0] {
+            let mut pol = SsfEdf::with_params(alpha, 1e-3);
+            let out = simulate(&inst, &mut pol).unwrap();
+            assert!(validate(&inst, &out.schedule).is_ok(), "alpha {alpha}");
+        }
+        assert_eq!(SsfEdf::with_params(2.0, 1e-3).name(), "ssf-edf(a=2)");
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let inst = figure1_instance();
+        let a = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        let b = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn hysteresis_switches_only_when_gain_exceeds_sunk_progress() {
+        use mmsec_platform::projection::Projection;
+        use mmsec_platform::{Instance, Job, JobState, SimView};
+        use mmsec_sim::Time;
+
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.01], 2);
+        // Job: work 4, up 1, dn 1; committed to cloud 0 with its uplink
+        // done (sunk = 1).
+        let job = Job::new(EdgeId(0), 0.0, 4.0, 1.0, 1.0);
+        let inst = Instance::new(spec, vec![job]).unwrap();
+        let mut st = JobState {
+            released: true,
+            committed: Some(Target::Cloud(CloudId(0))),
+            up_done: 1.0,
+            ..JobState::default()
+        };
+
+        // Case 1: cloud 0 lightly queued (2 seconds) — continuation
+        // projects 2 + 5 = 7 from now; switching to idle cloud 1 projects
+        // 6, a gain of 1 which does NOT exceed... it must beat
+        // (projected − sunk) = 7 − 1 = 6 strictly: 6 ≥ 6 → stay.
+        {
+            let states = vec![st.clone()];
+            let view = SimView {
+                instance: &inst,
+                now: Time::new(10.0),
+                jobs: &states,
+            };
+            let mut proj = Projection::from_view(&view);
+            // Occupy cloud 0's CPU for 2 seconds with a phantom booking.
+            let phantom = Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0);
+            let fresh = JobState {
+                released: true,
+                ..JobState::default()
+            };
+            proj.place(&phantom, &fresh, Target::Cloud(CloudId(0)), view.spec(), view.now);
+            let t = super::choose_target(&proj, &view, JobId(0), view.spec());
+            assert_eq!(t, Target::Cloud(CloudId(0)), "small gain must not switch");
+        }
+
+        // Case 2: cloud 0 deeply queued (10 seconds) — continuation
+        // projects 15, bar = 14; fresh cloud 1 projects 6 < 14 → switch.
+        {
+            let states = vec![st.clone()];
+            let view = SimView {
+                instance: &inst,
+                now: Time::new(10.0),
+                jobs: &states,
+            };
+            let mut proj = Projection::from_view(&view);
+            let phantom = Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0);
+            let fresh = JobState {
+                released: true,
+                ..JobState::default()
+            };
+            proj.place(&phantom, &fresh, Target::Cloud(CloudId(0)), view.spec(), view.now);
+            let t = super::choose_target(&proj, &view, JobId(0), view.spec());
+            assert_eq!(t, Target::Cloud(CloudId(1)), "large gain must switch");
+        }
+
+        // Case 3: no progress — free to pick the projected best.
+        {
+            st.up_done = 0.0;
+            let states = vec![st];
+            let view = SimView {
+                instance: &inst,
+                now: Time::new(10.0),
+                jobs: &states,
+            };
+            let mut proj = Projection::from_view(&view);
+            let phantom = Job::new(EdgeId(0), 0.0, 3.0, 0.0, 0.0);
+            let fresh = JobState {
+                released: true,
+                ..JobState::default()
+            };
+            proj.place(&phantom, &fresh, Target::Cloud(CloudId(0)), view.spec(), view.now);
+            let t = super::choose_target(&proj, &view, JobId(0), view.spec());
+            assert_eq!(t, Target::Cloud(CloudId(1)));
+        }
+    }
+}

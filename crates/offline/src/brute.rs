@@ -1,0 +1,189 @@
+//! Exact MMSH solver by branch-and-bound over job partitions.
+//!
+//! By Lemma 2 an optimal MMSH schedule partitions the jobs over the
+//! processors, each processor running its share in SPT order — so the
+//! search space is the set of partitions into at most `p` parts. We branch
+//! job by job (largest first) with two prunings:
+//!
+//! * **symmetry**: processors are identical, so a job may only open
+//!   "the next fresh processor" (restricted-growth enumeration);
+//! * **monotonicity**: adding a job to a processor never decreases that
+//!   processor's SPT max-stretch, so the current partial stretch is a
+//!   valid lower bound.
+//!
+//! Intended for oracle tests and the §IV reduction experiments (`n ≤ ~14`).
+
+use crate::mmsh::{spt_max_stretch, MmshInstance};
+
+/// Result of the exact search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MmshOptimum {
+    /// The optimal max-stretch.
+    pub max_stretch: f64,
+    /// An optimal assignment `job → processor` (in the instance's job
+    /// order).
+    pub assign: Vec<usize>,
+}
+
+/// Exact optimum of an MMSH instance. Exponential in the number of jobs;
+/// asserts `n ≤ 16` to keep misuse loud.
+pub fn optimal_mmsh(inst: &MmshInstance) -> MmshOptimum {
+    let n = inst.num_jobs();
+    assert!(n <= 16, "exact MMSH solver is exponential; n = {n} too large");
+    if n == 0 {
+        return MmshOptimum {
+            max_stretch: 1.0,
+            assign: Vec::new(),
+        };
+    }
+    // Branch on jobs sorted by descending work (big decisions first).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        inst.works[b]
+            .partial_cmp(&inst.works[a])
+            .expect("finite works")
+    });
+
+    let mut search = Search {
+        inst,
+        order: &order,
+        shares: vec![Vec::new(); inst.num_procs],
+        proc_stretch: vec![1.0f64; inst.num_procs],
+        assign: vec![usize::MAX; n],
+        best: MmshOptimum {
+            max_stretch: f64::INFINITY,
+            assign: vec![0; n],
+        },
+    };
+    // Seed the incumbent with round-robin over SPT-sorted jobs (decent).
+    let mut seed_assign = vec![0usize; n];
+    let mut by_work: Vec<usize> = (0..n).collect();
+    by_work.sort_by(|&a, &b| inst.works[a].partial_cmp(&inst.works[b]).expect("finite"));
+    for (rank, &job) in by_work.iter().enumerate() {
+        seed_assign[job] = rank % inst.num_procs;
+    }
+    search.best = MmshOptimum {
+        max_stretch: crate::mmsh::partition_max_stretch(inst, &seed_assign),
+        assign: seed_assign,
+    };
+    search.recurse(0, 0, 1.0);
+    search.best
+}
+
+struct Search<'a> {
+    inst: &'a MmshInstance,
+    order: &'a [usize],
+    shares: Vec<Vec<f64>>,
+    proc_stretch: Vec<f64>,
+    assign: Vec<usize>,
+    best: MmshOptimum,
+}
+
+impl Search<'_> {
+    fn recurse(&mut self, depth: usize, used_procs: usize, current: f64) {
+        if current >= self.best.max_stretch - 1e-12 {
+            return; // monotone lower bound ≥ incumbent
+        }
+        if depth == self.order.len() {
+            self.best = MmshOptimum {
+                max_stretch: current,
+                assign: self.assign.clone(),
+            };
+            return;
+        }
+        let job = self.order[depth];
+        let w = self.inst.works[job];
+        // Symmetry: only the used processors plus one fresh one.
+        let options = (used_procs + 1).min(self.inst.num_procs);
+        for p in 0..options {
+            self.shares[p].push(w);
+            let old_stretch = self.proc_stretch[p];
+            let new_stretch = spt_max_stretch(&self.shares[p]);
+            self.proc_stretch[p] = new_stretch;
+            self.assign[job] = p;
+            self.recurse(
+                depth + 1,
+                used_procs.max(p + 1),
+                current.max(new_stretch),
+            );
+            self.shares[p].pop();
+            self.proc_stretch[p] = old_stretch;
+            self.assign[job] = usize::MAX;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmsh::partition_max_stretch;
+
+    #[test]
+    fn single_processor_is_spt() {
+        let inst = MmshInstance::new(1, vec![3.0, 1.0, 2.0]);
+        let opt = optimal_mmsh(&inst);
+        assert!((opt.max_stretch - spt_max_stretch(&inst.works)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_processors_balanced_split() {
+        // Four jobs {1,1,2,2} on two processors: best is {1,2} per
+        // processor → 1.5.
+        let inst = MmshInstance::new(2, vec![1.0, 1.0, 2.0, 2.0]);
+        let opt = optimal_mmsh(&inst);
+        assert!((opt.max_stretch - 1.5).abs() < 1e-12);
+        assert!(
+            (partition_max_stretch(&inst, &opt.assign) - opt.max_stretch).abs() < 1e-12,
+            "returned assignment achieves the reported optimum"
+        );
+    }
+
+    #[test]
+    fn enough_processors_gives_stretch_one() {
+        let inst = MmshInstance::new(4, vec![5.0, 1.0, 3.0, 2.0]);
+        let opt = optimal_mmsh(&inst);
+        assert!((opt.max_stretch - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_exhaustive_enumeration() {
+        // Cross-check branch-and-bound against raw enumeration.
+        let inst = MmshInstance::new(3, vec![4.0, 2.5, 1.0, 3.0, 2.0, 1.5]);
+        let opt = optimal_mmsh(&inst);
+        let n = inst.num_jobs();
+        let mut best = f64::INFINITY;
+        for code in 0..(inst.num_procs as u32).pow(n as u32) {
+            let mut c = code;
+            let assign: Vec<usize> = (0..n)
+                .map(|_| {
+                    let p = (c % inst.num_procs as u32) as usize;
+                    c /= inst.num_procs as u32;
+                    p
+                })
+                .collect();
+            best = best.min(partition_max_stretch(&inst, &assign));
+        }
+        assert!((opt.max_stretch - best).abs() < 1e-9, "{} vs {}", opt.max_stretch, best);
+    }
+
+    #[test]
+    fn equal_jobs_spread_evenly() {
+        // 6 equal jobs, 3 processors → 2 each → stretch 2.
+        let inst = MmshInstance::new(3, vec![1.0; 6]);
+        let opt = optimal_mmsh(&inst);
+        assert!((opt.max_stretch - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = MmshInstance::new(2, vec![]);
+        assert_eq!(optimal_mmsh(&inst).max_stretch, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn rejects_large_instances() {
+        let inst = MmshInstance::new(2, vec![1.0; 17]);
+        let _ = optimal_mmsh(&inst);
+    }
+}

@@ -1,0 +1,179 @@
+//! Exact (not ε-approximate) offline optimum on one machine *without
+//! release dates*, via critical stretch values.
+//!
+//! With all jobs released at time 0 the deadline set
+//! `d_i(S) = r + S·m_i` is EDF-feasible iff, for jobs sorted by deadline,
+//! every prefix satisfies `Σ_{j ≤ i} p_j ≤ S·m_i` — a family of linear
+//! constraints in `S` whose *order* depends on `S` only through the sort
+//! of the `m_i`. Sorting by `m_i` (ties by `p_i`) is deadline order for
+//! every `S > 0`, so the optimum has the closed form
+//!
+//! `S* = max_i (Σ_{j ≤ i} p_j) / m_i`,
+//!
+//! which equals the SPT bound when `m_i = p_i`. This module provides that
+//! closed form and uses it to cross-validate the ε-binary-search of
+//! [`crate::single_machine`] (and, transitively, the online stretch-so-far
+//! machinery built on it).
+
+/// A job of the no-release-date single-machine problem.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StaticJob {
+    /// Processing time on this machine.
+    pub proc_time: f64,
+    /// Stretch denominator (dedicated-platform time).
+    pub min_time: f64,
+}
+
+impl StaticJob {
+    /// A plain job (`min_time = proc_time`).
+    pub fn plain(proc_time: f64) -> Self {
+        StaticJob {
+            proc_time,
+            min_time: proc_time,
+        }
+    }
+}
+
+/// Exact optimal max-stretch for jobs all released at time 0 on one
+/// machine (closed form; `O(n log n)`).
+pub fn exact_optimal_stretch(jobs: &[StaticJob]) -> f64 {
+    if jobs.is_empty() {
+        return 1.0;
+    }
+    assert!(
+        jobs.iter().all(|j| j.proc_time > 0.0 && j.min_time > 0.0),
+        "times must be positive"
+    );
+    let mut sorted = jobs.to_vec();
+    // Deadline order for every S > 0: by min_time; among equal min_time
+    // the constraint is on the same deadline, so order among them is
+    // irrelevant to the max — use proc_time for determinism.
+    sorted.sort_by(|a, b| {
+        (a.min_time, a.proc_time)
+            .partial_cmp(&(b.min_time, b.proc_time))
+            .expect("finite")
+    });
+    let mut prefix = 0.0;
+    let mut best: f64 = 1.0;
+    for j in &sorted {
+        prefix += j.proc_time;
+        best = best.max(prefix / j.min_time);
+    }
+    best
+}
+
+/// The job order achieving the exact optimum (non-decreasing `min_time`).
+pub fn exact_optimal_order(jobs: &[StaticJob]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..jobs.len()).collect();
+    idx.sort_by(|&a, &b| {
+        (jobs[a].min_time, jobs[a].proc_time)
+            .partial_cmp(&(jobs[b].min_time, jobs[b].proc_time))
+            .expect("finite")
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmsh::spt_max_stretch;
+    use crate::single_machine::{optimal_max_stretch, OfflineJob};
+    use mmsec_sim::seed::SplitMix64;
+
+    #[test]
+    fn matches_spt_for_plain_jobs() {
+        let works = [3.0, 1.0, 4.0, 1.5, 9.0];
+        let jobs: Vec<StaticJob> = works.iter().map(|&w| StaticJob::plain(w)).collect();
+        assert!((exact_optimal_stretch(&jobs) - spt_max_stretch(&works)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intro_example_closed_form() {
+        let jobs = [StaticJob::plain(1.0), StaticJob::plain(10.0)];
+        assert!((exact_optimal_stretch(&jobs) - 1.1).abs() < 1e-12);
+        assert_eq!(exact_optimal_order(&jobs), vec![0, 1]);
+    }
+
+    #[test]
+    fn min_time_differs_from_processing() {
+        // A 6-second local job whose dedicated time is 4 (cloud exists):
+        // alone its stretch is 1.5; order by min_time, not proc_time.
+        let jobs = [
+            StaticJob {
+                proc_time: 6.0,
+                min_time: 4.0,
+            },
+            StaticJob::plain(1.0),
+        ];
+        // Order: min_time 1 before 4; constraints: 1/1 = 1, (1+6)/4 = 1.75.
+        assert!((exact_optimal_stretch(&jobs) - 1.75).abs() < 1e-12);
+        assert_eq!(exact_optimal_order(&jobs), vec![1, 0]);
+    }
+
+    /// The ε-binary-search must agree with the closed form on random
+    /// inputs (this transitively validates the EDF feasibility test).
+    #[test]
+    fn binary_search_agrees_with_closed_form() {
+        let mut rng = SplitMix64::new(123);
+        for _ in 0..50 {
+            let n = 1 + (rng.next_u64() % 8) as usize;
+            let jobs: Vec<StaticJob> = (0..n)
+                .map(|_| {
+                    let p = 0.5 + 9.5 * rng.next_f64();
+                    // min_time ≤ proc_time (a faster alternative may exist).
+                    let m = p * (0.3 + 0.7 * rng.next_f64());
+                    StaticJob {
+                        proc_time: p,
+                        min_time: m,
+                    }
+                })
+                .collect();
+            let exact = exact_optimal_stretch(&jobs);
+            let offline: Vec<OfflineJob> = jobs
+                .iter()
+                .map(|j| OfflineJob {
+                    release: 0.0,
+                    proc_time: j.proc_time,
+                    min_time: j.min_time,
+                })
+                .collect();
+            let approx = optimal_max_stretch(&offline, 1e-9);
+            assert!(
+                (exact - approx).abs() < 1e-5 * exact,
+                "exact {exact} vs binary search {approx} on {jobs:?}"
+            );
+        }
+    }
+
+    /// The achieved stretch of the optimal order equals the optimum.
+    #[test]
+    fn order_achieves_optimum() {
+        let mut rng = SplitMix64::new(77);
+        for _ in 0..20 {
+            let n = 2 + (rng.next_u64() % 6) as usize;
+            let jobs: Vec<StaticJob> = (0..n)
+                .map(|_| StaticJob::plain(0.5 + 9.5 * rng.next_f64()))
+                .collect();
+            let order = exact_optimal_order(&jobs);
+            let mut t = 0.0;
+            let mut worst: f64 = 1.0;
+            for &i in &order {
+                t += jobs[i].proc_time;
+                worst = worst.max(t / jobs[i].min_time);
+            }
+            assert!((worst - exact_optimal_stretch(&jobs)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert_eq!(exact_optimal_stretch(&[]), 1.0);
+        assert_eq!(exact_optimal_stretch(&[StaticJob::plain(5.0)]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive() {
+        let _ = exact_optimal_stretch(&[StaticJob::plain(0.0)]);
+    }
+}

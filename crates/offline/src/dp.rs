@@ -1,0 +1,209 @@
+//! Pseudo-polynomial dynamic program for MMSH on **two** processors with
+//! integer works — the constructive counterpart of Theorem 1.
+//!
+//! Theorem 1 establishes that MMSH-Dec with two processors is NP-complete
+//! *in the weak sense*; weak NP-completeness promises a pseudo-polynomial
+//! algorithm, and this module delivers it, closing the loop:
+//!
+//! By Lemma 2 each processor runs its share in SPT order, so process jobs
+//! globally in non-decreasing work order and choose a processor for each.
+//! When job `i` (work `w_i`) is placed on a processor currently loaded
+//! `L`, its stretch is `(L + w_i)/w_i`, so a target stretch `S` is met iff
+//! `L ≤ (S − 1)·w_i`. The reachable load set of processor A (B's load is
+//! the prefix sum minus A's) is a subset of `{0, …, ΣW}` — a bitset DP of
+//! size `O(n · ΣW)`.
+//!
+//! The optimal max-stretch is itself rational with denominator some `w_i`
+//! (every stretch is `C/w_i` with `C ≤ ΣW` an integer), so the *exact*
+//! optimum — no ε — is found by binary-searching the candidate set.
+
+/// Decision: can `works` be scheduled on two processors with max-stretch
+/// at most `s`? (Integer works; exact, pseudo-polynomial.)
+pub fn mmsh2_feasible(works: &[u64], s: f64) -> bool {
+    assert!(works.iter().all(|&w| w > 0), "works must be positive");
+    if works.is_empty() {
+        return true;
+    }
+    let mut sorted = works.to_vec();
+    sorted.sort_unstable();
+    let total: u64 = sorted.iter().sum();
+    // reachable[l] = some assignment of the processed prefix puts load l
+    // on processor A.
+    let mut reachable = vec![false; total as usize + 1];
+    reachable[0] = true;
+    let mut prefix: u64 = 0;
+    for &w in &sorted {
+        // Max load a processor may carry *before* receiving this job.
+        let cap = (s - 1.0) * w as f64;
+        let cap = if cap < 0.0 { None } else { Some(cap.floor() as u64) };
+        let mut next = vec![false; total as usize + 1];
+        for l in 0..=prefix {
+            if !reachable[l as usize] {
+                continue;
+            }
+            let other = prefix - l;
+            // Place on A (load l) if allowed.
+            if let Some(cap) = cap {
+                if l <= cap {
+                    next[(l + w) as usize] = true;
+                }
+                // Place on B (load other) if allowed.
+                if other <= cap {
+                    next[l as usize] = true;
+                }
+            }
+        }
+        prefix += w;
+        reachable = next;
+        if !reachable.iter().any(|&r| r) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exact optimal max-stretch on two processors, as a reduced fraction
+/// `(numerator, denominator)` — no ε anywhere. Pseudo-polynomial:
+/// `O(n · ΣW)` per decision, `O(log(n·ΣW))` decisions.
+pub fn mmsh2_optimal_exact(works: &[u64]) -> (u64, u64) {
+    assert!(!works.is_empty(), "need at least one job");
+    assert!(works.iter().all(|&w| w > 0), "works must be positive");
+    let total: u64 = works.iter().sum();
+    // Candidate stretches: C/w with C ∈ [w, ΣW], w a job work. Collect,
+    // reduce, dedup, binary search the smallest feasible.
+    let mut candidates: Vec<(u64, u64)> = Vec::new();
+    let mut uniq_works = works.to_vec();
+    uniq_works.sort_unstable();
+    uniq_works.dedup();
+    for &w in &uniq_works {
+        for c in w..=total {
+            let g = gcd(c, w);
+            candidates.push((c / g, w / g));
+        }
+    }
+    candidates.sort_by(|a, b| (a.0 * b.1).cmp(&(b.0 * a.1)));
+    candidates.dedup();
+    // Binary search over the sorted candidate list (feasibility is
+    // monotone in the stretch).
+    let mut lo = 0usize; // always... lo may be infeasible
+    let mut hi = candidates.len() - 1; // ΣW/min(w) is always feasible
+    debug_assert!(mmsh2_feasible(works, frac(candidates[hi])));
+    if mmsh2_feasible(works, frac(candidates[0])) {
+        return candidates[0];
+    }
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if mmsh2_feasible(works, frac(candidates[mid])) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    candidates[hi]
+}
+
+fn frac((n, d): (u64, u64)) -> f64 {
+    // Nudge up by a hair so exact-boundary candidates test as feasible
+    // despite float rounding in the decision's cap computation.
+    n as f64 / d as f64 * (1.0 + 1e-12)
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::optimal_mmsh;
+    use crate::mmsh::MmshInstance;
+    use mmsec_sim::seed::SplitMix64;
+
+    #[test]
+    fn trivial_cases() {
+        // One job: stretch 1.
+        assert_eq!(mmsh2_optimal_exact(&[5]), (1, 1));
+        // Two equal jobs, two processors: stretch 1.
+        assert_eq!(mmsh2_optimal_exact(&[3, 3]), (1, 1));
+        // Three equal jobs: one processor gets two → stretch 2.
+        assert_eq!(mmsh2_optimal_exact(&[4, 4, 4]), (2, 1));
+    }
+
+    #[test]
+    fn intro_example_on_two_processors() {
+        // Jobs 1 and 10 on TWO processors: each alone → stretch 1.
+        assert_eq!(mmsh2_optimal_exact(&[1, 10]), (1, 1));
+        // {1, 1, 10}: pairing a unit job BEFORE the 10 is better than
+        // pairing the two units: the 10 completes at 11 → stretch 11/10,
+        // beating the 2 of {1,1} | {10}.
+        assert_eq!(mmsh2_optimal_exact(&[1, 1, 10]), (11, 10));
+    }
+
+    #[test]
+    fn feasibility_is_monotone() {
+        let works = [3u64, 5, 7, 2, 9];
+        let (n, d) = mmsh2_optimal_exact(&works);
+        let opt = n as f64 / d as f64;
+        assert!(mmsh2_feasible(&works, opt * 1.001));
+        assert!(!mmsh2_feasible(&works, opt * 0.999));
+    }
+
+    /// The DP's exact optimum agrees with the branch-and-bound solver on
+    /// random integer instances.
+    #[test]
+    fn agrees_with_branch_and_bound() {
+        let mut rng = SplitMix64::new(2021);
+        for _ in 0..20 {
+            let n = 2 + (rng.next_u64() % 8) as usize;
+            let works: Vec<u64> = (0..n).map(|_| 1 + rng.next_u64() % 12).collect();
+            let (num, den) = mmsh2_optimal_exact(&works);
+            let dp_opt = num as f64 / den as f64;
+            let inst = MmshInstance::new(2, works.iter().map(|&w| w as f64).collect());
+            let bb_opt = optimal_mmsh(&inst).max_stretch;
+            assert!(
+                (dp_opt - bb_opt).abs() < 1e-9,
+                "works {works:?}: DP {num}/{den} = {dp_opt} vs B&B {bb_opt}"
+            );
+        }
+    }
+
+    /// Theorem 1 reductions decided by the DP match the subset-sum DP —
+    /// the two independent decision procedures agree.
+    #[test]
+    fn decides_theorem1_reductions() {
+        use crate::reductions::{has_two_partition_eq, two_partition_eq_to_mmsh};
+        for a in [vec![1u64, 2, 3, 4], vec![2, 3, 4, 7], vec![1, 2, 3, 4, 5, 9]] {
+            let expected = has_two_partition_eq(&a);
+            let (inst, threshold) = two_partition_eq_to_mmsh(&a);
+            let works: Vec<u64> = inst.works.iter().map(|&w| w as u64).collect();
+            assert!(
+                works
+                    .iter()
+                    .zip(&inst.works)
+                    .all(|(&i, &f)| i as f64 == f),
+                "reduction works are integral"
+            );
+            let achieved = mmsh2_feasible(&works, threshold * (1.0 + 1e-12));
+            assert_eq!(expected, achieved, "instance {a:?}");
+        }
+    }
+
+    #[test]
+    fn exact_fraction_is_reduced() {
+        // {1, 2}: both on separate processors → 1/1. {1,1,1}: 2/1.
+        // A case with a genuine fraction: {2, 3} on one processor each →
+        // 1... {2,2,3}: pair the 3 alone, 2+2 together: stretch (2+2)/2=2;
+        // or 2 with 3: (2+3)/3 = 5/3 and other 2 alone → max 5/3 < 2.
+        assert_eq!(mmsh2_optimal_exact(&[2, 2, 3]), (5, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_work() {
+        let _ = mmsh2_feasible(&[0, 3], 2.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! `mmsec-offline` — the offline-complexity artifacts of paper §IV, made
+//! executable:
+//!
+//! * [`mmsh`] — the MMSH problem (homogeneous processors, no release
+//!   dates) and the SPT structure of Lemma 2;
+//! * [`brute`] — exact MMSH optimum by symmetry-pruned branch-and-bound;
+//! * [`reductions`] — the Theorem 1/2/3 constructions
+//!   (2-PARTITION-EQ → MMSH, 3-PARTITION → MMSH, MMSH → MMSECO) together
+//!   with small decision procedures so both directions can be checked
+//!   numerically;
+//! * [`single_machine`] — the offline optimal max-stretch on one machine
+//!   (binary search over preemptive-EDF feasibility, Bender et al.);
+//! * [`critical`] — the closed-form exact optimum without release dates,
+//!   used to cross-validate the ε-binary-search;
+//! * [`dp`] — the pseudo-polynomial DP for two processors with integer
+//!   works (the constructive counterpart of Theorem 1's *weak*
+//!   NP-completeness), with an exact rational optimum;
+//! * [`exhaustive`] — an exhaustive oracle for tiny MMSECO instances.
+
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod critical;
+pub mod dp;
+pub mod exhaustive;
+pub mod mmsh;
+pub mod reductions;
+pub mod single_machine;
+
+pub use brute::{optimal_mmsh, MmshOptimum};
+pub use critical::{exact_optimal_stretch, StaticJob};
+pub use exhaustive::{optimal_order_based, ExhaustiveOptimum};
+pub use mmsh::{partition_max_stretch, spt_max_stretch, MmshInstance};
+pub use single_machine::{optimal_max_stretch, OfflineJob};

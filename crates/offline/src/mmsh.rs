@@ -1,0 +1,154 @@
+//! MMSH — *max-stretch minimization on homogeneous processors without
+//! release dates* (paper §IV-B), the problem whose NP-completeness the
+//! paper establishes to derive the hardness of MMSECO.
+//!
+//! Key structural fact (Lemma 2): on a single processor there is an
+//! optimal schedule that runs jobs from shortest to longest (SPT) without
+//! preemption. A schedule is therefore characterized by the partition of
+//! jobs onto processors, each processor running its share in SPT order.
+
+/// An MMSH instance: `p` identical unit-speed processors and job works.
+/// All jobs are released at time 0; there are no communications.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MmshInstance {
+    /// Number of identical processors.
+    pub num_procs: usize,
+    /// Work of each job (execution time at unit speed).
+    pub works: Vec<f64>,
+}
+
+impl MmshInstance {
+    /// Creates an instance, checking basic sanity.
+    pub fn new(num_procs: usize, works: Vec<f64>) -> Self {
+        assert!(num_procs >= 1, "need at least one processor");
+        assert!(
+            works.iter().all(|&w| w > 0.0 && w.is_finite()),
+            "works must be positive"
+        );
+        MmshInstance { num_procs, works }
+    }
+
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.works.len()
+    }
+}
+
+/// Max-stretch of running `works` on ONE processor in SPT order — optimal
+/// by Lemma 2. With all releases at 0 and unit speed, the stretch of the
+/// job at sorted position `i` is `(Σ_{j ≤ i} w_j) / w_i`.
+pub fn spt_max_stretch(works: &[f64]) -> f64 {
+    let mut sorted = works.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut prefix = 0.0;
+    let mut worst: f64 = 0.0;
+    for w in sorted {
+        prefix += w;
+        worst = worst.max(prefix / w);
+    }
+    worst.max(1.0)
+}
+
+/// Max-stretch of a schedule running `works` on one processor in the
+/// *given* order without preemption (reference for Lemma 2 tests).
+pub fn sequence_max_stretch(works_in_order: &[f64]) -> f64 {
+    let mut prefix = 0.0;
+    let mut worst: f64 = 0.0;
+    for &w in works_in_order {
+        prefix += w;
+        worst = worst.max(prefix / w);
+    }
+    worst.max(1.0)
+}
+
+/// Max-stretch of a full assignment `assign[i] = processor of job i`
+/// (each processor runs its share in SPT order).
+pub fn partition_max_stretch(inst: &MmshInstance, assign: &[usize]) -> f64 {
+    assert_eq!(assign.len(), inst.num_jobs(), "assignment arity");
+    let mut shares: Vec<Vec<f64>> = vec![Vec::new(); inst.num_procs];
+    for (i, &p) in assign.iter().enumerate() {
+        assert!(p < inst.num_procs, "processor index out of range");
+        shares[p].push(inst.works[i]);
+    }
+    shares
+        .iter()
+        .map(|s| spt_max_stretch(s))
+        .fold(1.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intro_example() {
+        // Jobs 1 and 10 on one processor: SPT gives 1.1.
+        assert!((spt_max_stretch(&[10.0, 1.0]) - 1.1).abs() < 1e-12);
+        // Reverse order gives 11.
+        assert!((sequence_max_stretch(&[10.0, 1.0]) - 11.0).abs() < 1e-12);
+        assert!((sequence_max_stretch(&[1.0, 10.0]) - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(spt_max_stretch(&[]), 1.0);
+        assert_eq!(spt_max_stretch(&[5.0]), 1.0);
+        assert_eq!(sequence_max_stretch(&[]), 1.0);
+    }
+
+    /// Lemma 2: SPT is optimal over all orders on one processor.
+    #[test]
+    fn lemma2_spt_beats_all_permutations() {
+        // All permutations of a 6-job set.
+        let works = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6];
+        let spt = spt_max_stretch(&works);
+        let mut perm: Vec<usize> = (0..works.len()).collect();
+        // Heap's algorithm, iterative.
+        let mut c = vec![0usize; works.len()];
+        let check = |perm: &[usize]| {
+            let seq: Vec<f64> = perm.iter().map(|&i| works[i]).collect();
+            assert!(sequence_max_stretch(&seq) >= spt - 1e-12);
+        };
+        check(&perm);
+        let mut i = 0;
+        while i < works.len() {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(c[i], i);
+                }
+                check(&perm);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn equal_jobs_stretch_is_count() {
+        // k equal jobs on one processor: the last has stretch k.
+        assert!((spt_max_stretch(&[2.0; 5]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_stretch() {
+        let inst = MmshInstance::new(2, vec![1.0, 1.0, 2.0, 2.0]);
+        // Balanced: {1,2} on each: stretches max(1, 3/2) = 1.5.
+        let s = partition_max_stretch(&inst, &[0, 1, 0, 1]);
+        assert!((s - 1.5).abs() < 1e-12);
+        // All on one processor: SPT completions 1,2,4,6 → stretch 3 (at
+        // the second unit job: 2/1 = 2; fourth job 6/2 = 3).
+        let s = partition_max_stretch(&inst, &[0, 0, 0, 0]);
+        assert!((s - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "works must be positive")]
+    fn rejects_nonpositive_work() {
+        let _ = MmshInstance::new(1, vec![0.0]);
+    }
+}

@@ -1,0 +1,267 @@
+//! The NP-hardness reduction constructions of paper §IV, executable.
+//!
+//! * Theorem 1: 2-PARTITION-EQ → MMSH with two processors (weak
+//!   NP-hardness). Given `2n` integers summing to `2S`, build `2n + 2`
+//!   jobs (`w_i = nS + a_i` plus two jobs of `(n+1)S`); a partition with
+//!   equal cardinality and equal sums exists iff max-stretch
+//!   `(n² + n + 2)/(n + 1)` is achievable.
+//! * Theorem 2: 3-PARTITION → MMSH with `n` processors (strong
+//!   NP-hardness). Given `3n` integers summing to `nB` with
+//!   `B/4 < a_i < B/2`, add `n` jobs of `B/2`; a 3-partition exists iff
+//!   max-stretch 3 is achievable.
+//! * Theorem 3: MMSH → MMSECO. One edge unit at speed 1, `p − 1` cloud
+//!   processors, zero communications: the edge-cloud platform degenerates
+//!   to `p` homogeneous machines.
+//!
+//! Small decision procedures (subset-sum DP, backtracking) let the tests
+//! check both directions of each reduction numerically.
+
+use crate::mmsh::MmshInstance;
+use mmsec_platform::{EdgeId, Instance, Job, PlatformSpec};
+
+/// Theorem 1 construction. `a.len()` must be even and `Σa = 2S` even;
+/// additionally every `a_i < S` is required so that the two padding jobs
+/// `(n+1)S` are strictly the largest — the property the proof's
+/// no-direction relies on. (Instances with some `a_i ≥ S` are trivially
+/// "no" and excluded without loss of generality.) Returns the MMSH
+/// instance and the decision threshold on the max-stretch.
+pub fn two_partition_eq_to_mmsh(a: &[u64]) -> (MmshInstance, f64) {
+    assert!(!a.is_empty() && a.len() % 2 == 0, "need 2n integers");
+    let sum: u64 = a.iter().sum();
+    assert!(sum % 2 == 0, "2-PARTITION needs an even total");
+    let n = a.len() / 2;
+    let s = sum / 2;
+    assert!(
+        a.iter().all(|&ai| ai < s),
+        "reduction requires a_i < S (larger elements are trivially 'no')"
+    );
+    let mut works: Vec<f64> = a.iter().map(|&ai| (n as u64 * s + ai) as f64).collect();
+    works.push(((n as u64 + 1) * s) as f64);
+    works.push(((n as u64 + 1) * s) as f64);
+    let threshold = ((n * n + n + 2) as f64) / ((n + 1) as f64);
+    (MmshInstance::new(2, works), threshold)
+}
+
+/// Decision procedure for 2-PARTITION-EQ: is there a subset of cardinality
+/// `n` summing to half the total? (DP over count × sum; pseudo-polynomial.)
+pub fn has_two_partition_eq(a: &[u64]) -> bool {
+    if a.is_empty() || a.len() % 2 != 0 {
+        return false;
+    }
+    let total: u64 = a.iter().sum();
+    if total % 2 != 0 {
+        return false;
+    }
+    let half = (total / 2) as usize;
+    let n = a.len() / 2;
+    // reachable[c][s]: some subset of cardinality c sums to s.
+    let mut reachable = vec![vec![false; half + 1]; n + 1];
+    reachable[0][0] = true;
+    for &ai in a {
+        let ai = ai as usize;
+        if ai > half {
+            continue; // cannot belong to a half-sum subset
+        }
+        for c in (0..n).rev() {
+            for s in (0..=half - ai).rev() {
+                if reachable[c][s] {
+                    reachable[c + 1][s + ai] = true;
+                }
+            }
+        }
+    }
+    reachable[n][half]
+}
+
+/// Theorem 2 construction. `a.len() = 3n`, `Σa = nB`, `B/4 < a_i < B/2`;
+/// returns the MMSH instance (with `n` processors and `4n` jobs) and the
+/// threshold 3.
+pub fn three_partition_to_mmsh(a: &[u64], b: u64) -> (MmshInstance, f64) {
+    assert!(!a.is_empty() && a.len() % 3 == 0, "need 3n integers");
+    let n = a.len() / 3;
+    let sum: u64 = a.iter().sum();
+    assert_eq!(sum, n as u64 * b, "Σa must equal nB");
+    assert!(
+        a.iter().all(|&ai| 4 * ai > b && 4 * ai < 2 * b),
+        "need B/4 < a_i < B/2"
+    );
+    let mut works: Vec<f64> = a.iter().map(|&ai| ai as f64).collect();
+    works.extend(std::iter::repeat(b as f64 / 2.0).take(n));
+    (MmshInstance::new(n, works), 3.0)
+}
+
+/// Decision procedure for 3-PARTITION by backtracking (exponential; for
+/// the small instances of the test suite).
+pub fn has_three_partition(a: &[u64], b: u64) -> bool {
+    if a.is_empty() || a.len() % 3 != 0 {
+        return false;
+    }
+    let n = a.len() / 3;
+    if a.iter().sum::<u64>() != n as u64 * b {
+        return false;
+    }
+    let mut items: Vec<u64> = a.to_vec();
+    items.sort_unstable_by(|x, y| y.cmp(x));
+    let mut bins = vec![(0u64, 0usize); n]; // (sum, count)
+    fn place(items: &[u64], idx: usize, bins: &mut [(u64, usize)], b: u64) -> bool {
+        if idx == items.len() {
+            return bins.iter().all(|&(s, c)| s == b && c == 3);
+        }
+        let item = items[idx];
+        for i in 0..bins.len() {
+            let (s, c) = bins[i];
+            if c < 3 && s + item <= b {
+                bins[i] = (s + item, c + 1);
+                if place(items, idx + 1, bins, b) {
+                    return true;
+                }
+                bins[i] = (s, c);
+            }
+            // Symmetry: never try more than one empty bin.
+            if s == 0 && c == 0 {
+                break;
+            }
+        }
+        false
+    }
+    place(&items, 0, &mut bins, b)
+}
+
+/// Theorem 3 construction: embeds an MMSH instance into MMSECO — one edge
+/// unit at speed 1 plus `p − 1` cloud processors, all communications zero,
+/// all releases zero.
+pub fn mmsh_to_mmseco(inst: &MmshInstance) -> Instance {
+    assert!(inst.num_procs >= 1);
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], inst.num_procs - 1);
+    let jobs = inst
+        .works
+        .iter()
+        .map(|&w| Job::new(EdgeId(0), 0.0, w, 0.0, 0.0))
+        .collect();
+    Instance::new(spec, jobs).expect("reduction produces a valid instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::optimal_mmsh;
+
+    #[test]
+    fn two_partition_yes_instance() {
+        // {1,2,3,4}: n = 2, S = 5; {1,4} / {2,3} is an equal-cardinality
+        // partition. Threshold (4+2+2)/3 = 8/3.
+        let a = [1u64, 2, 3, 4];
+        assert!(has_two_partition_eq(&a));
+        let (inst, threshold) = two_partition_eq_to_mmsh(&a);
+        assert_eq!(inst.num_jobs(), 6);
+        assert_eq!(inst.num_procs, 2);
+        assert!((threshold - 8.0 / 3.0).abs() < 1e-12);
+        let opt = optimal_mmsh(&inst);
+        assert!(
+            opt.max_stretch <= threshold + 1e-9,
+            "yes-instance must meet the threshold: {} vs {threshold}",
+            opt.max_stretch
+        );
+    }
+
+    #[test]
+    fn two_partition_no_instance() {
+        // {2,3,4,7}: total 16, half S = 8, all a_i < 8, but no 2-element
+        // subset sums to 8 (2+3, 2+4, 2+7, 3+4, 3+7, 4+7 ≠ 8).
+        let a = [2u64, 3, 4, 7];
+        assert!(!has_two_partition_eq(&a));
+        let (inst, threshold) = two_partition_eq_to_mmsh(&a);
+        let opt = optimal_mmsh(&inst);
+        assert!(
+            opt.max_stretch > threshold + 1e-9,
+            "no-instance must exceed the threshold: {} vs {threshold}",
+            opt.max_stretch
+        );
+    }
+
+    #[test]
+    fn two_partition_eq_dp_edge_cases() {
+        assert!(!has_two_partition_eq(&[])); // empty
+        assert!(!has_two_partition_eq(&[1, 2])); // odd total
+        assert!(has_two_partition_eq(&[2, 2])); // trivial yes
+        assert!(!has_two_partition_eq(&[1, 2, 3])); // odd length
+        // Equal sums exist but not with equal cardinality: {3,3,1,1,1,3}
+        // total 12, half 6: {3,3} has cardinality 2 ≠ 3, but {3,1,1,1} has
+        // cardinality 4 ≠ 3... and {3,3} ∪ ... checking: subsets of size 3
+        // summing to 6: {3,1,1}? 3+1+1=5 no; {3,3,...}: 3+3+1=7 no. → false.
+        assert!(!has_two_partition_eq(&[3, 3, 1, 1, 1, 3]));
+    }
+
+    #[test]
+    fn three_partition_yes_instance() {
+        // n = 2, B = 20, bounds (5, 10): {6,7,7} and {6,6,8}.
+        let a = [6u64, 7, 7, 6, 6, 8];
+        assert!(has_three_partition(&a, 20));
+        let (inst, threshold) = three_partition_to_mmsh(&a, 20);
+        assert_eq!(inst.num_procs, 2);
+        assert_eq!(inst.num_jobs(), 8);
+        assert_eq!(threshold, 3.0);
+        let opt = optimal_mmsh(&inst);
+        assert!(
+            opt.max_stretch <= threshold + 1e-9,
+            "yes-instance: {} vs 3",
+            opt.max_stretch
+        );
+    }
+
+    #[test]
+    fn three_partition_no_instance() {
+        // n = 2, B = 12 with constraint B/4 = 3 < a_i < 6 = B/2:
+        // {4,4,4,5,5,2}? 2 violates the bound. Use {5,5,5,4,4,1}? 1
+        // violates. Valid bounded no-instance: {5,5,5,5,4,...}: need sum
+        // 24: {5,5,5,5,4,?} → ? = -... Try {4,4,5,5,5,?}: ? = 1 invalid.
+        // {4,4,4,4,4,4}: sums 24, each in (3,6); triples sum 12 = B →
+        // actually a YES instance. A bounded NO needs careful numbers:
+        // {5,5,5,4,4,?}: ? = 1 out of bounds. Mathematically, with n = 2
+        // any bounded instance summing to 2B has a solution iff some
+        // triple sums to B; {5,5,4,4,4,2}: 2 out of bounds...
+        // Use B = 20, bounds (5,10): {9,9,9,7,?,?}: need sum 40 →
+        // remaining 6: out of bounds... {9,9,7,7,?,?} → 8: {9,9,7,7,8,?}
+        // → 0. Try {9,9,9,6,?,?}: 7: {9,9,9,6,7,?} → 0... Use
+        // {6,6,6,9,6,7} sum 40: triples: 6+6+9=21≠20, 6+6+7=19, 6+9+7=22,
+        // 6+6+6=18 → NO, and all in (5,10).
+        let a = [6u64, 6, 6, 9, 6, 7];
+        assert_eq!(a.iter().sum::<u64>(), 40);
+        assert!(!has_three_partition(&a, 20));
+        let (inst, threshold) = three_partition_to_mmsh(&a, 20);
+        let opt = optimal_mmsh(&inst);
+        assert!(
+            opt.max_stretch > threshold + 1e-9,
+            "no-instance: {} vs 3",
+            opt.max_stretch
+        );
+    }
+
+    #[test]
+    fn mmseco_embedding_is_homogeneous() {
+        let mmsh = MmshInstance::new(3, vec![2.0, 1.0, 4.0]);
+        let inst = mmsh_to_mmseco(&mmsh);
+        assert_eq!(inst.spec.num_edge(), 1);
+        assert_eq!(inst.spec.num_cloud(), 2);
+        assert_eq!(inst.spec.edge_speed(EdgeId(0)), 1.0);
+        for (_, job) in inst.iter_jobs() {
+            assert_eq!(job.up, 0.0);
+            assert_eq!(job.dn, 0.0);
+            assert_eq!(job.release.seconds(), 0.0);
+            // min_time equals the work: edge and cloud are equivalent.
+            assert_eq!(job.min_time(&inst.spec), job.work);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even total")]
+    fn two_partition_rejects_odd_total() {
+        let _ = two_partition_eq_to_mmsh(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "B/4 < a_i < B/2")]
+    fn three_partition_rejects_out_of_bounds() {
+        let _ = three_partition_to_mmsh(&[1, 5, 6, 4, 4, 4], 12);
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline optimal max-stretch on a single machine with release dates and
+//! preemption (Bender, Muthukrishnan, Rajaraman \[3\], \[4\]).
+//!
+//! Preemptive EDF is feasibility-optimal on one machine, so the minimum
+//! max-stretch is the smallest `S` for which the deadline set
+//! `d_i = r_i + S · t_i^min` is EDF-schedulable. Feasibility is checked by
+//! exact EDF simulation (releases included); the minimum is located by
+//! binary search to relative precision ε — the same structure the paper
+//! reuses online for Edge-Only (§V-A) and SSF-EDF (§V-D).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A job of the offline single-machine problem.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OfflineJob {
+    /// Release date.
+    pub release: f64,
+    /// Processing time on this machine.
+    pub proc_time: f64,
+    /// Stretch denominator (dedicated-platform time; equals `proc_time`
+    /// in the pure single-machine problem, smaller when a cloud
+    /// alternative exists).
+    pub min_time: f64,
+}
+
+impl OfflineJob {
+    /// A plain single-machine job (`min_time = proc_time`).
+    pub fn plain(release: f64, proc_time: f64) -> Self {
+        OfflineJob {
+            release,
+            proc_time,
+            min_time: proc_time,
+        }
+    }
+}
+
+/// Exact preemptive-EDF feasibility of target stretch `s`.
+pub fn edf_feasible(jobs: &[OfflineJob], s: f64) -> bool {
+    // (release, deadline, remaining) sorted by release.
+    let mut by_release: Vec<(f64, f64, f64)> = jobs
+        .iter()
+        .map(|j| (j.release, j.release + s * j.min_time, j.proc_time))
+        .collect();
+    by_release.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+
+    // Min-heap on deadline of currently released, unfinished jobs.
+    let mut ready: BinaryHeap<Reverse<(OrdF64, OrdF64)>> = BinaryHeap::new();
+    let mut t = 0.0f64;
+    let mut next = 0usize;
+    let n = by_release.len();
+    while next < n || !ready.is_empty() {
+        if ready.is_empty() {
+            t = t.max(by_release[next].0);
+        }
+        while next < n && by_release[next].0 <= t + 1e-12 {
+            let (_, d, p) = by_release[next];
+            ready.push(Reverse((OrdF64(d), OrdF64(p))));
+            next += 1;
+        }
+        let Reverse((OrdF64(d), OrdF64(rem))) = ready.pop().expect("nonempty");
+        // Run the earliest-deadline job until it finishes or the next
+        // release arrives.
+        let horizon = if next < n { by_release[next].0 } else { f64::INFINITY };
+        let finish = t + rem;
+        if finish <= horizon + 1e-12 {
+            t = finish;
+            if t > d + 1e-9 * d.abs().max(1.0) {
+                return false;
+            }
+        } else {
+            let done = horizon - t;
+            t = horizon;
+            ready.push(Reverse((OrdF64(d), OrdF64(rem - done))));
+        }
+    }
+    true
+}
+
+/// Minimum achievable max-stretch, to relative precision `eps_rel`.
+pub fn optimal_max_stretch(jobs: &[OfflineJob], eps_rel: f64) -> f64 {
+    assert!(eps_rel > 0.0);
+    if jobs.is_empty() {
+        return 1.0;
+    }
+    // Lower bound: every job needs at least proc_time after its release.
+    let mut lo = jobs
+        .iter()
+        .map(|j| j.proc_time / j.min_time)
+        .fold(1.0f64, f64::max);
+    if edf_feasible(jobs, lo) {
+        return lo;
+    }
+    let mut hi = lo * 2.0;
+    let mut doubles = 0;
+    while !edf_feasible(jobs, hi) {
+        hi *= 2.0;
+        doubles += 1;
+        assert!(doubles < 128, "no feasible stretch (inconsistent input)");
+    }
+    while hi - lo > eps_rel * lo {
+        let mid = 0.5 * (lo + hi);
+        if edf_feasible(jobs, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Total-order wrapper for finite floats in the heap.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmsh::spt_max_stretch;
+
+    #[test]
+    fn no_release_dates_matches_spt() {
+        // Without release dates the optimum equals SPT (Lemma 2).
+        let works = [3.0, 1.0, 4.0, 1.5];
+        let jobs: Vec<OfflineJob> =
+            works.iter().map(|&w| OfflineJob::plain(0.0, w)).collect();
+        let opt = optimal_max_stretch(&jobs, 1e-7);
+        let spt = spt_max_stretch(&works);
+        assert!((opt - spt).abs() < 1e-4, "opt {opt} vs spt {spt}");
+    }
+
+    #[test]
+    fn disjoint_jobs_stretch_one() {
+        let jobs = [
+            OfflineJob::plain(0.0, 2.0),
+            OfflineJob::plain(5.0, 2.0),
+            OfflineJob::plain(10.0, 2.0),
+        ];
+        let opt = optimal_max_stretch(&jobs, 1e-7);
+        assert!((opt - 1.0).abs() < 1e-6);
+        assert!(edf_feasible(&jobs, 1.0));
+    }
+
+    #[test]
+    fn overlapping_release_requires_stretch() {
+        // Long job at 0, short job at 1: the offline optimum preempts the
+        // long job: short completes at 2 (stretch 1), long at 11
+        // (stretch 1.1). S = 1.1.
+        let jobs = [OfflineJob::plain(0.0, 10.0), OfflineJob::plain(1.0, 1.0)];
+        let opt = optimal_max_stretch(&jobs, 1e-7);
+        assert!((opt - 1.1).abs() < 1e-4, "opt {opt}");
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_stretch() {
+        let jobs = [
+            OfflineJob::plain(0.0, 4.0),
+            OfflineJob::plain(1.0, 2.0),
+            OfflineJob::plain(1.5, 1.0),
+        ];
+        let opt = optimal_max_stretch(&jobs, 1e-6);
+        for ds in [0.0, 0.1, 0.5, 2.0] {
+            assert!(edf_feasible(&jobs, opt + ds));
+        }
+        assert!(!edf_feasible(&jobs, opt * 0.95));
+    }
+
+    #[test]
+    fn min_time_denominator_shifts_optimum() {
+        // A job processed in 6 here but with dedicated time 4 elsewhere:
+        // even alone its stretch is 1.5.
+        let jobs = [OfflineJob {
+            release: 0.0,
+            proc_time: 6.0,
+            min_time: 4.0,
+        }];
+        let opt = optimal_max_stretch(&jobs, 1e-7);
+        assert!((opt - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_gap_then_burst() {
+        // Burst of equal jobs after an idle period.
+        let jobs = [
+            OfflineJob::plain(10.0, 1.0),
+            OfflineJob::plain(10.0, 1.0),
+            OfflineJob::plain(10.0, 1.0),
+        ];
+        let opt = optimal_max_stretch(&jobs, 1e-6);
+        assert!((opt - 3.0).abs() < 1e-3, "opt {opt}");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(optimal_max_stretch(&[], 1e-3), 1.0);
+        assert!(edf_feasible(&[], 1.0));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the offline solvers: optimality claims hold against
+//! randomized alternatives.
+
+use mmsec_offline::brute::optimal_mmsh;
+use mmsec_offline::critical::{exact_optimal_stretch, StaticJob};
+use mmsec_offline::mmsh::{partition_max_stretch, sequence_max_stretch, spt_max_stretch, MmshInstance};
+use mmsec_offline::single_machine::{edf_feasible, optimal_max_stretch, OfflineJob};
+use proptest::prelude::*;
+
+fn works_strategy(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.5f64..20.0, 1..=max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 2, property form: SPT is no worse than any random order.
+    #[test]
+    fn spt_dominates_random_orders(
+        works in works_strategy(10),
+        seed in any::<u64>(),
+    ) {
+        let spt = spt_max_stretch(&works);
+        // A seeded random permutation.
+        let mut order: Vec<usize> = (0..works.len()).collect();
+        let mut sm = mmsec_sim::seed::SplitMix64::new(seed);
+        for i in (1..order.len()).rev() {
+            let j = (sm.next_u64() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let seq: Vec<f64> = order.iter().map(|&i| works[i]).collect();
+        prop_assert!(sequence_max_stretch(&seq) >= spt - 1e-9);
+    }
+
+    /// The exact MMSH optimum is no worse than any random partition, and
+    /// some partition achieves it.
+    #[test]
+    fn brute_force_dominates_random_partitions(
+        works in works_strategy(9),
+        procs in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let inst = MmshInstance::new(procs, works.clone());
+        let opt = optimal_mmsh(&inst);
+        prop_assert!(
+            (partition_max_stretch(&inst, &opt.assign) - opt.max_stretch).abs() < 1e-9
+        );
+        let mut sm = mmsec_sim::seed::SplitMix64::new(seed);
+        for _ in 0..5 {
+            let assign: Vec<usize> = works
+                .iter()
+                .map(|_| (sm.next_u64() % procs as u64) as usize)
+                .collect();
+            prop_assert!(
+                partition_max_stretch(&inst, &assign) >= opt.max_stretch - 1e-9
+            );
+        }
+    }
+
+    /// Single-machine binary search: the reported optimum is feasible and
+    /// 2% below it is not (unless the optimum is the forced lower bound).
+    #[test]
+    fn single_machine_optimum_is_tight(
+        raw in prop::collection::vec((0.0f64..30.0, 0.5f64..10.0), 1..8),
+    ) {
+        let jobs: Vec<OfflineJob> = raw
+            .iter()
+            .map(|&(r, p)| OfflineJob::plain(r, p))
+            .collect();
+        let opt = optimal_max_stretch(&jobs, 1e-7);
+        prop_assert!(edf_feasible(&jobs, opt * (1.0 + 1e-5)));
+        let forced = jobs
+            .iter()
+            .map(|j| j.proc_time / j.min_time)
+            .fold(1.0f64, f64::max);
+        if opt > forced * 1.03 {
+            prop_assert!(!edf_feasible(&jobs, opt * 0.98), "opt {opt} not tight");
+        }
+    }
+
+    /// Closed form (no releases) agrees with the general binary search.
+    #[test]
+    fn closed_form_matches_search(
+        raw in prop::collection::vec((0.5f64..10.0, 0.3f64..1.0), 1..9),
+    ) {
+        let static_jobs: Vec<StaticJob> = raw
+            .iter()
+            .map(|&(p, frac)| StaticJob { proc_time: p, min_time: p * frac })
+            .collect();
+        let exact = exact_optimal_stretch(&static_jobs);
+        let offline: Vec<OfflineJob> = static_jobs
+            .iter()
+            .map(|j| OfflineJob { release: 0.0, proc_time: j.proc_time, min_time: j.min_time })
+            .collect();
+        let search = optimal_max_stretch(&offline, 1e-9);
+        prop_assert!((exact - search).abs() < 1e-4 * exact, "{exact} vs {search}");
+    }
+
+    /// Adding a processor never increases the MMSH optimum.
+    #[test]
+    fn more_processors_never_hurt(works in works_strategy(8)) {
+        let one = optimal_mmsh(&MmshInstance::new(1, works.clone())).max_stretch;
+        let two = optimal_mmsh(&MmshInstance::new(2, works.clone())).max_stretch;
+        let three = optimal_mmsh(&MmshInstance::new(3, works)).max_stretch;
+        prop_assert!(two <= one + 1e-9);
+        prop_assert!(three <= two + 1e-9);
+    }
+}

@@ -1,0 +1,151 @@
+//! Placement targets, phases, and scheduler directives.
+
+use crate::job::Job;
+use crate::resource::{ResourceId, ResourcePair};
+use crate::spec::{CloudId, PlatformSpec};
+use std::fmt;
+
+/// Where a job is (to be) executed: `alloc(i)` in the paper — 0 for the
+/// local edge processor, `k` for cloud processor `k`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Target {
+    /// Execute locally on the origin edge unit.
+    Edge,
+    /// Delegate to cloud processor `k`.
+    Cloud(CloudId),
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Edge => write!(f, "edge"),
+            Target::Cloud(k) => write!(f, "cloud:{}", k.0),
+        }
+    }
+}
+
+/// The phase a job is currently in on its committed target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Uplink communication (cloud targets only).
+    Uplink,
+    /// Computation (edge or cloud).
+    Compute,
+    /// Downlink communication (cloud targets only).
+    Downlink,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Uplink => write!(f, "up"),
+            Phase::Compute => write!(f, "exec"),
+            Phase::Downlink => write!(f, "down"),
+        }
+    }
+}
+
+impl Phase {
+    /// Resources occupied while running phase `self` of `job` on `target`.
+    pub fn resources(self, job: &Job, target: Target) -> ResourcePair {
+        match (target, self) {
+            (Target::Edge, Phase::Compute) => {
+                ResourcePair::single(ResourceId::EdgeCpu(job.origin))
+            }
+            (Target::Edge, _) => unreachable!("edge jobs have no communication phases"),
+            (Target::Cloud(k), Phase::Uplink) => ResourcePair::pair(
+                ResourceId::EdgeOut(job.origin),
+                ResourceId::CloudIn(k),
+            ),
+            (Target::Cloud(k), Phase::Compute) => {
+                ResourcePair::single(ResourceId::CloudCpu(k))
+            }
+            (Target::Cloud(k), Phase::Downlink) => ResourcePair::pair(
+                ResourceId::CloudOut(k),
+                ResourceId::EdgeIn(job.origin),
+            ),
+        }
+    }
+
+    /// Progress rate of the phase on `target` (work units per second for
+    /// computations, 1 for communications).
+    pub fn rate(self, job: &Job, target: Target, spec: &PlatformSpec) -> f64 {
+        match (target, self) {
+            (Target::Edge, Phase::Compute) => spec.edge_speed(job.origin),
+            (Target::Cloud(k), Phase::Compute) => spec.cloud_speed(k),
+            (_, Phase::Uplink) | (_, Phase::Downlink) => 1.0,
+        }
+    }
+}
+
+/// One entry of the prioritized list a scheduler returns at each event:
+/// "job `job` should (continue to) run on `target`".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Directive {
+    /// The job concerned.
+    pub job: crate::job::JobId,
+    /// Where it should run.
+    pub target: Target,
+}
+
+impl Directive {
+    /// Convenience constructor.
+    pub fn new(job: crate::job::JobId, target: Target) -> Self {
+        Directive { job, target }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::EdgeId;
+
+    fn job() -> Job {
+        Job::new(EdgeId(1), 0.0, 2.0, 1.0, 0.5)
+    }
+
+    fn spec() -> PlatformSpec {
+        PlatformSpec::heterogeneous(vec![0.5, 0.25], vec![1.0, 2.0])
+    }
+
+    #[test]
+    fn resources_per_phase() {
+        let j = job();
+        let up = Phase::Uplink.resources(&j, Target::Cloud(CloudId(1)));
+        assert_eq!(up.primary, ResourceId::EdgeOut(EdgeId(1)));
+        assert_eq!(up.secondary, Some(ResourceId::CloudIn(CloudId(1))));
+
+        let ex = Phase::Compute.resources(&j, Target::Cloud(CloudId(0)));
+        assert_eq!(ex.primary, ResourceId::CloudCpu(CloudId(0)));
+        assert_eq!(ex.secondary, None);
+
+        let dn = Phase::Downlink.resources(&j, Target::Cloud(CloudId(0)));
+        assert_eq!(dn.primary, ResourceId::CloudOut(CloudId(0)));
+        assert_eq!(dn.secondary, Some(ResourceId::EdgeIn(EdgeId(1))));
+
+        let local = Phase::Compute.resources(&j, Target::Edge);
+        assert_eq!(local.primary, ResourceId::EdgeCpu(EdgeId(1)));
+    }
+
+    #[test]
+    fn rates() {
+        let j = job();
+        let s = spec();
+        assert_eq!(Phase::Compute.rate(&j, Target::Edge, &s), 0.25);
+        assert_eq!(Phase::Compute.rate(&j, Target::Cloud(CloudId(1)), &s), 2.0);
+        assert_eq!(Phase::Uplink.rate(&j, Target::Cloud(CloudId(0)), &s), 1.0);
+        assert_eq!(Phase::Downlink.rate(&j, Target::Cloud(CloudId(0)), &s), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no communication phases")]
+    fn edge_uplink_is_invalid() {
+        let _ = Phase::Uplink.resources(&job(), Target::Edge);
+    }
+
+    #[test]
+    fn target_display() {
+        assert_eq!(Target::Edge.to_string(), "edge");
+        assert_eq!(Target::Cloud(CloudId(3)).to_string(), "cloud:3");
+    }
+}

@@ -1,0 +1,300 @@
+//! Schedule export: a flat CSV of every activity interval, for external
+//! plotting/visualization tools (one row per contiguous activity on a
+//! resource, abandoned attempts flagged).
+
+use crate::activity::{Phase, Target};
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use std::fmt::Write as _;
+
+/// CSV header of [`schedule_to_csv`].
+pub const CSV_HEADER: &str = "job,phase,target,start,end,resources,abandoned";
+
+/// Serializes every activity interval of `schedule` as CSV rows sorted by
+/// (start, job).
+pub fn schedule_to_csv(instance: &Instance, schedule: &Schedule) -> String {
+    let mut rows: Vec<(f64, usize, String)> = Vec::new();
+    let mut push = |job: usize, phase: Phase, target: Target, start: f64, end: f64, abandoned: bool| {
+        let resources: Vec<String> = phase
+            .resources(instance.job(crate::JobId(job)), target)
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{},{},{},{},{},{},{}",
+            job + 1,
+            phase,
+            target,
+            start,
+            end,
+            resources.join("+"),
+            abandoned
+        );
+        rows.push((start, job, line));
+    };
+
+    for (id, _) in instance.iter_jobs() {
+        if let Some(target) = schedule.alloc[id.0] {
+            for iv in schedule.exec[id.0].iter() {
+                push(id.0, Phase::Compute, target, iv.start().seconds(), iv.end().seconds(), false);
+            }
+            for iv in schedule.up[id.0].iter() {
+                push(id.0, Phase::Uplink, target, iv.start().seconds(), iv.end().seconds(), false);
+            }
+            for iv in schedule.dn[id.0].iter() {
+                push(id.0, Phase::Downlink, target, iv.start().seconds(), iv.end().seconds(), false);
+            }
+        }
+    }
+    for seg in &schedule.abandoned {
+        push(
+            seg.job.0,
+            seg.phase,
+            seg.target,
+            seg.interval.start().seconds(),
+            seg.interval.end().seconds(),
+            true,
+        );
+    }
+
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for (_, _, line) in rows {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Errors raised by [`schedule_from_csv`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ImportError {
+    /// A malformed line with its 1-based number and a message.
+    Parse {
+        /// Line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Parse { line, message } => {
+                write!(f, "import error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Rebuilds a [`Schedule`] from the CSV produced by [`schedule_to_csv`].
+/// Completion times are reconstructed as the end of each job's last
+/// non-abandoned activity. Round-trips exactly with the exporter; useful
+/// for re-validating archived schedules.
+pub fn schedule_from_csv(instance: &Instance, csv: &str) -> Result<Schedule, ImportError> {
+    use crate::schedule::TraceBuilder;
+    use crate::{CloudId, JobId};
+    use mmsec_sim::{Interval, Time};
+
+    struct Row {
+        job: usize,
+        phase: Phase,
+        target: Target,
+        start: f64,
+        end: f64,
+        abandoned: bool,
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (lineno, line) in csv.lines().enumerate() {
+        if lineno == 0 {
+            if line != CSV_HEADER {
+                return Err(ImportError::Parse {
+                    line: 1,
+                    message: format!("unexpected header {line:?}"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let err = |message: String| ImportError::Parse {
+            line: lineno + 1,
+            message,
+        };
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 7 {
+            return Err(err(format!("expected 7 fields, got {}", fields.len())));
+        }
+        let job: usize = fields[0]
+            .parse::<usize>()
+            .map_err(|e| err(format!("bad job id: {e}")))?
+            .checked_sub(1)
+            .ok_or_else(|| err("job ids are 1-based".into()))?;
+        if job >= instance.num_jobs() {
+            return Err(err(format!("job {} out of range", job + 1)));
+        }
+        let phase = match fields[1] {
+            "up" => Phase::Uplink,
+            "exec" => Phase::Compute,
+            "down" => Phase::Downlink,
+            other => return Err(err(format!("unknown phase {other:?}"))),
+        };
+        let target = if fields[2] == "edge" {
+            Target::Edge
+        } else if let Some(k) = fields[2].strip_prefix("cloud:") {
+            Target::Cloud(CloudId(
+                k.parse().map_err(|e| err(format!("bad cloud index: {e}")))?,
+            ))
+        } else {
+            return Err(err(format!("unknown target {:?}", fields[2])));
+        };
+        let start: f64 = fields[3].parse().map_err(|e| err(format!("bad start: {e}")))?;
+        let end: f64 = fields[4].parse().map_err(|e| err(format!("bad end: {e}")))?;
+        let abandoned: bool = fields[6]
+            .parse()
+            .map_err(|e| err(format!("bad abandoned flag: {e}")))?;
+        rows.push(Row {
+            job,
+            phase,
+            target,
+            start,
+            end,
+            abandoned,
+        });
+    }
+
+    // Feed the trace builder: abandoned attempts first (in time order),
+    // each followed by an abandon mark, then the final attempts.
+    let mut tb = TraceBuilder::new(instance.num_jobs());
+    rows.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite"));
+    for row in rows.iter().filter(|r| r.abandoned) {
+        tb.record(
+            JobId(row.job),
+            row.phase,
+            row.target,
+            Interval::from_secs(row.start, row.end),
+        );
+    }
+    for job in 0..instance.num_jobs() {
+        if rows.iter().any(|r| r.abandoned && r.job == job) {
+            tb.abandon(JobId(job));
+        }
+    }
+    let mut last_end = vec![f64::NEG_INFINITY; instance.num_jobs()];
+    for row in rows.iter().filter(|r| !r.abandoned) {
+        tb.record(
+            JobId(row.job),
+            row.phase,
+            row.target,
+            Interval::from_secs(row.start, row.end),
+        );
+        last_end[row.job] = last_end[row.job].max(row.end);
+    }
+    for (job, &end) in last_end.iter().enumerate() {
+        if end.is_finite() {
+            tb.complete(JobId(job), Time::new(end));
+        }
+    }
+    Ok(tb.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, OnlineScheduler};
+    use crate::instance::figure1_instance;
+    use crate::state::SimView;
+    use crate::{CloudId, Directive};
+
+    struct AllCloud;
+    impl OnlineScheduler for AllCloud {
+        fn name(&self) -> String {
+            "c".into()
+        }
+        fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+            view.pending_jobs()
+                .map(|j| Directive::new(j, Target::Cloud(CloudId(0))))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn export_contains_all_phases_sorted() {
+        let inst = figure1_instance();
+        let out = simulate(&inst, &mut AllCloud).unwrap();
+        let csv = schedule_to_csv(&inst, &out.schedule);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert!(lines.len() > 3 * 6, "6 jobs × ≥3 phases plus header");
+        // Sorted by start time.
+        let starts: Vec<f64> = lines[1..]
+            .iter()
+            .map(|l| l.split(',').nth(3).unwrap().parse().unwrap())
+            .collect();
+        for w in starts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // Every row names its resources.
+        assert!(csv.contains("out(e0)+in(c0)"));
+        assert!(csv.contains("cpu(c0)"));
+    }
+
+    #[test]
+    fn csv_roundtrip_reconstructs_schedule() {
+        let inst = figure1_instance();
+        let out = simulate(&inst, &mut AllCloud).unwrap();
+        let csv = schedule_to_csv(&inst, &out.schedule);
+        let back = schedule_from_csv(&inst, &csv).expect("import");
+        assert_eq!(back.alloc, out.schedule.alloc);
+        assert_eq!(back.exec, out.schedule.exec);
+        assert_eq!(back.up, out.schedule.up);
+        assert_eq!(back.dn, out.schedule.dn);
+        assert_eq!(back.completion, out.schedule.completion);
+        // The reconstructed schedule passes full validation too.
+        assert!(crate::validate::validate(&inst, &back).is_ok());
+    }
+
+    #[test]
+    fn import_rejects_malformed_input() {
+        let inst = figure1_instance();
+        let bad_header = "job,oops\n";
+        assert!(matches!(
+            schedule_from_csv(&inst, bad_header),
+            Err(ImportError::Parse { line: 1, .. })
+        ));
+        let bad_row = format!("{CSV_HEADER}\n1,exec,edge,0\n");
+        assert!(matches!(
+            schedule_from_csv(&inst, &bad_row),
+            Err(ImportError::Parse { line: 2, .. })
+        ));
+        let bad_job = format!("{CSV_HEADER}\n99,exec,edge,0,1,cpu(e0),false\n");
+        assert!(schedule_from_csv(&inst, &bad_job).is_err());
+        let bad_phase = format!("{CSV_HEADER}\n1,warp,edge,0,1,cpu(e0),false\n");
+        assert!(schedule_from_csv(&inst, &bad_phase).is_err());
+    }
+
+    #[test]
+    fn abandoned_segments_flagged() {
+        use crate::schedule::TraceBuilder;
+        use mmsec_sim::{Interval, Time};
+        let inst = figure1_instance();
+        let mut tb = TraceBuilder::new(inst.num_jobs());
+        tb.record(crate::JobId(0), Phase::Compute, Target::Edge, Interval::from_secs(0.0, 1.0));
+        tb.abandon(crate::JobId(0));
+        tb.record(crate::JobId(0), Phase::Compute, Target::Edge, Interval::from_secs(1.0, 4.0));
+        tb.complete(crate::JobId(0), Time::new(4.0));
+        let csv = schedule_to_csv(&inst, &tb.finish());
+        let abandoned_rows: Vec<&str> =
+            csv.lines().filter(|l| l.ends_with(",true")).collect();
+        assert_eq!(abandoned_rows.len(), 1);
+        assert!(abandoned_rows[0].starts_with("1,exec,edge,0,1"));
+    }
+}

@@ -1,0 +1,330 @@
+//! A problem instance: platform + jobs, with a dependency-free text format.
+//!
+//! The format is line-oriented so instances can be archived alongside
+//! experiment outputs and diffed:
+//!
+//! ```text
+//! # mmsec-instance v1
+//! edge 0.5
+//! edge 0.1
+//! cloud 1
+//! window 0 5 10
+//! job 0 0 4 2 2        # origin release work up dn
+//! ```
+
+use crate::job::{Job, JobId};
+use crate::spec::{CloudId, EdgeId, PlatformSpec, SpecError};
+use mmsec_sim::{Interval, Time};
+use std::fmt;
+
+/// Errors raised while validating or parsing an instance.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InstanceError {
+    /// The platform spec is invalid.
+    Spec(SpecError),
+    /// A job references an edge unit that does not exist.
+    OriginOutOfRange {
+        /// Index of the offending job.
+        job: usize,
+        /// Its origin index.
+        origin: usize,
+    },
+    /// A parse error with line number and message.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::Spec(e) => write!(f, "platform: {e}"),
+            InstanceError::OriginOutOfRange { job, origin } => {
+                write!(f, "job {job} originates from nonexistent edge unit {origin}")
+            }
+            InstanceError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+impl From<SpecError> for InstanceError {
+    fn from(e: SpecError) -> Self {
+        InstanceError::Spec(e)
+    }
+}
+
+/// A complete MinMaxStretch-EdgeCloud instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instance {
+    /// The platform.
+    pub spec: PlatformSpec,
+    /// The jobs, indexed by [`JobId`].
+    pub jobs: Vec<Job>,
+}
+
+impl Instance {
+    /// Creates and validates an instance.
+    pub fn new(spec: PlatformSpec, jobs: Vec<Job>) -> Result<Self, InstanceError> {
+        let inst = Instance { spec, jobs };
+        inst.validate()?;
+        Ok(inst)
+    }
+
+    /// Checks platform validity and job/platform consistency.
+    pub fn validate(&self) -> Result<(), InstanceError> {
+        self.spec.validate()?;
+        for (i, job) in self.jobs.iter().enumerate() {
+            if job.origin.0 >= self.spec.num_edge() {
+                return Err(InstanceError::OriginOutOfRange {
+                    job: i,
+                    origin: job.origin.0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of jobs (`n`).
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The job with the given id.
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.0]
+    }
+
+    /// Iterator over `(JobId, &Job)`.
+    pub fn iter_jobs(&self) -> impl Iterator<Item = (JobId, &Job)> {
+        self.jobs.iter().enumerate().map(|(i, j)| (JobId(i), j))
+    }
+
+    /// Ratio `Δ` between the longest and the shortest job (minimum
+    /// dedicated times) — the paper's competitive-ratio parameter.
+    pub fn delta(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for j in &self.jobs {
+            let t = j.min_time(&self.spec);
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        if self.jobs.is_empty() {
+            1.0
+        } else {
+            hi / lo
+        }
+    }
+
+    /// Serializes to the `mmsec-instance v1` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# mmsec-instance v1\n");
+        for j in self.spec.edges() {
+            out.push_str(&format!("edge {}\n", fmt_f64(self.spec.edge_speed(j))));
+        }
+        for k in self.spec.clouds() {
+            out.push_str(&format!("cloud {}\n", fmt_f64(self.spec.cloud_speed(k))));
+        }
+        for k in self.spec.clouds() {
+            for w in self.spec.cloud_unavailability(k).iter() {
+                out.push_str(&format!(
+                    "window {} {} {}\n",
+                    k.0,
+                    fmt_f64(w.start().seconds()),
+                    fmt_f64(w.end().seconds())
+                ));
+            }
+        }
+        for job in &self.jobs {
+            out.push_str(&format!(
+                "job {} {} {} {} {}\n",
+                job.origin.0,
+                fmt_f64(job.release.seconds()),
+                fmt_f64(job.work),
+                fmt_f64(job.up),
+                fmt_f64(job.dn)
+            ));
+        }
+        out
+    }
+
+    /// Parses the `mmsec-instance v1` text format.
+    pub fn from_text(text: &str) -> Result<Self, InstanceError> {
+        let mut edge_speeds = Vec::new();
+        let mut cloud_speeds = Vec::new();
+        let mut windows: Vec<(usize, f64, f64)> = Vec::new();
+        let mut jobs = Vec::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut toks = line.split_whitespace();
+            let kind = toks.next().expect("nonempty line has a first token");
+            let parse =
+                |tok: Option<&str>, what: &str| -> Result<f64, InstanceError> {
+                    tok.ok_or_else(|| InstanceError::Parse {
+                        line: lineno + 1,
+                        message: format!("missing {what}"),
+                    })?
+                    .parse::<f64>()
+                    .map_err(|e| InstanceError::Parse {
+                        line: lineno + 1,
+                        message: format!("bad {what}: {e}"),
+                    })
+                };
+            match kind {
+                "edge" => edge_speeds.push(parse(toks.next(), "edge speed")?),
+                "cloud" => cloud_speeds.push(parse(toks.next(), "cloud speed")?),
+                "window" => {
+                    let k = parse(toks.next(), "cloud index")? as usize;
+                    let a = parse(toks.next(), "window start")?;
+                    let b = parse(toks.next(), "window end")?;
+                    windows.push((k, a, b));
+                }
+                "job" => {
+                    let origin = parse(toks.next(), "origin")? as usize;
+                    let release = parse(toks.next(), "release")?;
+                    let work = parse(toks.next(), "work")?;
+                    let up = parse(toks.next(), "uplink")?;
+                    let dn = parse(toks.next(), "downlink")?;
+                    jobs.push(Job::new(EdgeId(origin), release, work, up, dn));
+                }
+                other => {
+                    return Err(InstanceError::Parse {
+                        line: lineno + 1,
+                        message: format!("unknown record kind {other:?}"),
+                    })
+                }
+            }
+        }
+
+        let mut spec = PlatformSpec::heterogeneous(edge_speeds, cloud_speeds);
+        for (k, a, b) in windows {
+            if k >= spec.num_cloud() {
+                return Err(InstanceError::Spec(SpecError::WindowOutOfRange { cloud: k }));
+            }
+            spec = spec.with_cloud_unavailability(
+                CloudId(k),
+                &[Interval::new(Time::new(a), Time::new(b))],
+            );
+        }
+        Instance::new(spec, jobs)
+    }
+}
+
+/// Formats an `f64` with full round-trip precision but without trailing
+/// noise for short decimal values.
+fn fmt_f64(x: f64) -> String {
+    let short = format!("{x}");
+    if short.parse::<f64>() == Ok(x) {
+        short
+    } else {
+        format!("{x:.17}")
+    }
+}
+
+/// The paper's Figure 1 worked example: one edge unit at speed 1/3, one
+/// cloud processor, six jobs. Used by examples, tests, and docs.
+pub fn figure1_instance() -> Instance {
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0 / 3.0], 1);
+    let jobs = vec![
+        Job::new(EdgeId(0), 0.0, 1.0, 5.0, 5.0),       // J1
+        Job::new(EdgeId(0), 0.0, 4.0, 2.0, 2.0),       // J2
+        Job::new(EdgeId(0), 3.0, 2.0, 1.0, 1.0),       // J3
+        Job::new(EdgeId(0), 5.0, 4.0 / 3.0, 5.0, 5.0), // J4
+        Job::new(EdgeId(0), 5.0, 2.0, 1.0, 1.0),       // J5
+        Job::new(EdgeId(0), 6.0, 1.0 / 3.0, 5.0, 5.0), // J6
+    ];
+    Instance::new(spec, jobs).expect("figure 1 instance is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_is_valid() {
+        let inst = figure1_instance();
+        assert_eq!(inst.num_jobs(), 6);
+        assert_eq!(inst.spec.num_edge(), 1);
+        assert_eq!(inst.spec.num_cloud(), 1);
+        // J2 min time is 8 (cloud), J6 min time is 1 (edge).
+        assert_eq!(inst.job(JobId(1)).min_time(&inst.spec), 8.0);
+        assert_eq!(inst.job(JobId(5)).min_time(&inst.spec), 1.0);
+        assert_eq!(inst.delta(), 8.0);
+    }
+
+    #[test]
+    fn origin_out_of_range_rejected() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let jobs = vec![Job::new(EdgeId(3), 0.0, 1.0, 0.0, 0.0)];
+        assert_eq!(
+            Instance::new(spec, jobs),
+            Err(InstanceError::OriginOutOfRange { job: 0, origin: 3 })
+        );
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let inst = figure1_instance();
+        let text = inst.to_text();
+        let back = Instance::from_text(&text).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn text_roundtrip_with_windows() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2).with_cloud_unavailability(
+            CloudId(1),
+            &[Interval::from_secs(1.0, 2.0), Interval::from_secs(4.0, 6.0)],
+        );
+        let jobs = vec![Job::new(EdgeId(0), 0.25, 1.5, 0.125, 0.0)];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let back = Instance::from_text(&inst.to_text()).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = Instance::from_text("edge 1\nbogus 3\n").unwrap_err();
+        assert!(matches!(err, InstanceError::Parse { line: 2, .. }));
+        let err = Instance::from_text("edge 1\ncloud 1\njob 0 0\n").unwrap_err();
+        assert!(matches!(err, InstanceError::Parse { line: 3, .. }));
+        let err = Instance::from_text("edge 1\njob 0 0 1 abc 0\n").unwrap_err();
+        assert!(matches!(err, InstanceError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nedge 1 # the only edge\ncloud 1\n  \njob 0 0 1 0 0\n";
+        let inst = Instance::from_text(text).unwrap();
+        assert_eq!(inst.num_jobs(), 1);
+    }
+
+    #[test]
+    fn delta_on_irregular_jobs() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
+            Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+        assert_eq!(inst.delta(), 10.0);
+    }
+
+    #[test]
+    fn fmt_f64_roundtrips_oddballs() {
+        for x in [1.0 / 3.0, 6.0 / 37.0, 0.1, 95.0, 1e-9] {
+            assert_eq!(fmt_f64(x).parse::<f64>().unwrap(), x);
+        }
+    }
+}

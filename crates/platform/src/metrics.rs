@@ -1,0 +1,139 @@
+//! Stretch and response-time metrics (paper §III-A).
+
+use crate::instance::Instance;
+use crate::job::JobId;
+use crate::schedule::Schedule;
+use mmsec_sim::Time;
+
+/// Per-job and aggregate stretch report of a finished schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StretchReport {
+    /// Per-job stretch `S_i = (C_i − r_i) / min(t^e_i, t^c_i)`.
+    pub stretches: Vec<f64>,
+    /// Per-job response (flow) time `C_i − r_i`.
+    pub responses: Vec<f64>,
+    /// `max_i S_i` — the paper's objective.
+    pub max_stretch: f64,
+    /// Mean stretch (the alternative fairness metric discussed in §I).
+    pub mean_stretch: f64,
+    /// Maximum response time.
+    pub max_response: f64,
+    /// Job achieving the maximum stretch.
+    pub argmax: Option<JobId>,
+}
+
+impl StretchReport {
+    /// Computes the report; panics if some job has no completion time
+    /// (validate first, or use [`try_report`]).
+    pub fn new(instance: &Instance, schedule: &Schedule) -> Self {
+        try_report(instance, schedule).expect("schedule has unfinished jobs")
+    }
+}
+
+/// Computes the stretch report, or `None` when a job never completed.
+pub fn try_report(instance: &Instance, schedule: &Schedule) -> Option<StretchReport> {
+    let n = instance.num_jobs();
+    let mut stretches = Vec::with_capacity(n);
+    let mut responses = Vec::with_capacity(n);
+    let mut max_stretch = 0.0f64;
+    let mut max_response = 0.0f64;
+    let mut argmax = None;
+    for (id, job) in instance.iter_jobs() {
+        let c: Time = schedule.completion[id.0]?;
+        let response = (c - job.release).seconds();
+        let stretch = response / job.min_time(&instance.spec);
+        if stretch > max_stretch {
+            max_stretch = stretch;
+            argmax = Some(id);
+        }
+        max_response = max_response.max(response);
+        stretches.push(stretch);
+        responses.push(response);
+    }
+    let mean_stretch = if n == 0 {
+        0.0
+    } else {
+        stretches.iter().sum::<f64>() / n as f64
+    };
+    Some(StretchReport {
+        stretches,
+        responses,
+        max_stretch,
+        mean_stretch,
+        max_response,
+        argmax,
+    })
+}
+
+/// Maximum stretch of a finished schedule (shorthand).
+pub fn max_stretch(instance: &Instance, schedule: &Schedule) -> f64 {
+    StretchReport::new(instance, schedule).max_stretch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{Phase, Target};
+    use crate::job::Job;
+    use crate::schedule::TraceBuilder;
+    use crate::spec::{EdgeId, PlatformSpec};
+    use mmsec_sim::Interval;
+
+    /// Two jobs released together on one processor: the paper's intro
+    /// example (1-hour and 10-hour jobs; shortest-first gives 1.1).
+    #[test]
+    fn intro_example_stretches() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
+            Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+
+        // Short job first.
+        let mut tb = TraceBuilder::new(2);
+        tb.record(JobId(0), Phase::Compute, Target::Edge, Interval::from_secs(0.0, 1.0));
+        tb.record(JobId(1), Phase::Compute, Target::Edge, Interval::from_secs(1.0, 11.0));
+        tb.complete(JobId(0), mmsec_sim::Time::new(1.0));
+        tb.complete(JobId(1), mmsec_sim::Time::new(11.0));
+        let report = StretchReport::new(&inst, &tb.finish());
+        assert!((report.max_stretch - 1.1).abs() < 1e-12);
+        assert_eq!(report.argmax, Some(JobId(1)));
+        assert_eq!(report.stretches, vec![1.0, 1.1]);
+        assert!((report.mean_stretch - 1.05).abs() < 1e-12);
+        assert_eq!(report.max_response, 11.0);
+
+        // Long job first: stretch 11 for the short one.
+        let mut tb = TraceBuilder::new(2);
+        tb.record(JobId(1), Phase::Compute, Target::Edge, Interval::from_secs(0.0, 10.0));
+        tb.record(JobId(0), Phase::Compute, Target::Edge, Interval::from_secs(10.0, 11.0));
+        tb.complete(JobId(0), mmsec_sim::Time::new(11.0));
+        tb.complete(JobId(1), mmsec_sim::Time::new(10.0));
+        let report = StretchReport::new(&inst, &tb.finish());
+        assert!((report.max_stretch - 11.0).abs() < 1e-12);
+        assert_eq!(report.argmax, Some(JobId(0)));
+    }
+
+    #[test]
+    fn unfinished_schedule_yields_none() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let inst =
+            Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
+        let tb = TraceBuilder::new(1);
+        assert!(try_report(&inst, &tb.finish()).is_none());
+    }
+
+    #[test]
+    fn stretch_denominator_uses_best_resource() {
+        // Job prefers cloud (min time 4) but is executed on the edge in 6:
+        // stretch must be 6/4, not 1.
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0 / 3.0], 1);
+        let inst =
+            Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0)]).unwrap();
+        let mut tb = TraceBuilder::new(1);
+        tb.record(JobId(0), Phase::Compute, Target::Edge, Interval::from_secs(0.0, 6.0));
+        tb.complete(JobId(0), mmsec_sim::Time::new(6.0));
+        let r = StretchReport::new(&inst, &tb.finish());
+        assert!((r.max_stretch - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,352 @@
+//! Contention-profile projection: a fast forecast of job completion times.
+//!
+//! SSF-EDF (§V-D) must decide, for a candidate target stretch, whether all
+//! deadlines can be met: it walks jobs in EDF order and assigns each "on
+//! the processor where it completes the earliest". Completion here is
+//! forecast with scalar *earliest-free* profiles per resource: placing a
+//! job advances the profiles of the resources it uses. This is classical
+//! list scheduling over the 6 resource families (CPUs + 4 port kinds) and
+//! deliberately ignores future preemption — it is a forecast, not a
+//! simulation; the actual execution stays event-driven and preemptive.
+
+use crate::activity::Target;
+use crate::job::{Job, JobId};
+use crate::resource::{ResourceId, ResourceMap};
+use crate::spec::PlatformSpec;
+use crate::state::{JobState, SimView};
+use mmsec_sim::Time;
+
+/// Remaining volumes of a job if placed on `target`, accounting for the
+/// loss of progress when `target` differs from the committed resource.
+fn volumes(st: &JobState, job: &Job, target: Target) -> (f64, f64, f64) {
+    let keep = st.committed == Some(target);
+    match target {
+        Target::Edge => {
+            let w = if keep { st.remaining_work(job) } else { job.work };
+            (0.0, w, 0.0)
+        }
+        Target::Cloud(_) => {
+            if keep {
+                (
+                    st.remaining_up(job),
+                    st.remaining_work(job),
+                    st.remaining_dn(job),
+                )
+            } else {
+                (job.up, job.work, job.dn)
+            }
+        }
+    }
+}
+
+/// Scalar earliest-free profiles for every resource.
+#[derive(Clone, Debug)]
+pub struct Projection {
+    free: ResourceMap<Time>,
+}
+
+impl Projection {
+    /// All resources free from `now` on.
+    pub fn new(spec: &PlatformSpec, now: Time) -> Self {
+        Projection {
+            free: ResourceMap::new(spec, now),
+        }
+    }
+
+    /// Profiles initialized from a simulation view (all resources free at
+    /// `view.now`; running activities are re-decided anyway at an event).
+    pub fn from_view(view: &SimView<'_>) -> Self {
+        Self::new(view.spec(), view.now)
+    }
+
+    /// Forecast completion time of `job` (state `st`) if placed next on
+    /// `target`, *without* reserving the resources.
+    pub fn completion(
+        &self,
+        job: &Job,
+        st: &JobState,
+        target: Target,
+        spec: &PlatformSpec,
+        now: Time,
+    ) -> Time {
+        self.forecast(job, st, target, spec, now).completion
+    }
+
+    /// Forecast and reserve: advances the profiles of every resource the
+    /// job would use. Returns the forecast completion time.
+    pub fn place(
+        &mut self,
+        job: &Job,
+        st: &JobState,
+        target: Target,
+        spec: &PlatformSpec,
+        now: Time,
+    ) -> Time {
+        let f = self.forecast(job, st, target, spec, now);
+        match target {
+            Target::Edge => {
+                self.free[ResourceId::EdgeCpu(job.origin)] = f.exec_end;
+            }
+            Target::Cloud(k) => {
+                if f.has_up {
+                    self.free[ResourceId::EdgeOut(job.origin)] = f.up_end;
+                    self.free[ResourceId::CloudIn(k)] = f.up_end;
+                }
+                self.free[ResourceId::CloudCpu(k)] = f.exec_end;
+                if f.has_dn {
+                    self.free[ResourceId::CloudOut(k)] = f.completion;
+                    self.free[ResourceId::EdgeIn(job.origin)] = f.completion;
+                }
+            }
+        }
+        f.completion
+    }
+
+    /// Picks the target (edge or any cloud processor) with the earliest
+    /// forecast completion; ties prefer the edge, then lower cloud ids
+    /// (deterministic).
+    pub fn best_target(
+        &self,
+        job: &Job,
+        st: &JobState,
+        spec: &PlatformSpec,
+        now: Time,
+    ) -> (Target, Time) {
+        let mut best = (Target::Edge, self.completion(job, st, Target::Edge, spec, now));
+        for k in spec.clouds() {
+            let t = Target::Cloud(k);
+            let c = self.completion(job, st, t, spec, now);
+            if c < best.1 {
+                best = (t, c);
+            }
+        }
+        best
+    }
+
+    fn forecast(
+        &self,
+        job: &Job,
+        st: &JobState,
+        target: Target,
+        spec: &PlatformSpec,
+        now: Time,
+    ) -> Forecast {
+        let (up, work, dn) = volumes(st, job, target);
+        match target {
+            Target::Edge => {
+                let start = self.free[ResourceId::EdgeCpu(job.origin)].max(now);
+                let end = start + Time::new(work / spec.edge_speed(job.origin));
+                Forecast {
+                    up_end: start,
+                    exec_end: end,
+                    completion: end,
+                    has_up: false,
+                    has_dn: false,
+                }
+            }
+            Target::Cloud(k) => {
+                let has_up = up > 0.0;
+                let up_start = if has_up {
+                    self.free[ResourceId::EdgeOut(job.origin)]
+                        .max(self.free[ResourceId::CloudIn(k)])
+                        .max(now)
+                } else {
+                    now
+                };
+                let up_end = up_start + Time::new(up);
+                let exec_start = up_end.max(self.free[ResourceId::CloudCpu(k)]).max(now);
+                let exec_end = exec_start + Time::new(work / spec.cloud_speed(k));
+                let has_dn = dn > 0.0;
+                let dn_start = if has_dn {
+                    exec_end
+                        .max(self.free[ResourceId::CloudOut(k)])
+                        .max(self.free[ResourceId::EdgeIn(job.origin)])
+                } else {
+                    exec_end
+                };
+                let completion = dn_start + Time::new(dn);
+                Forecast {
+                    up_end,
+                    exec_end,
+                    completion,
+                    has_up,
+                    has_dn,
+                }
+            }
+        }
+    }
+}
+
+struct Forecast {
+    up_end: Time,
+    exec_end: Time,
+    completion: Time,
+    has_up: bool,
+    has_dn: bool,
+}
+
+/// Forecast completion times for `order` (a priority-ordered list of
+/// pending jobs with chosen targets); convenience used by tests and by the
+/// SSF-EDF feasibility check.
+pub fn project_sequence(
+    view: &SimView<'_>,
+    order: &[(JobId, Target)],
+) -> Vec<(JobId, Time)> {
+    let mut proj = Projection::from_view(view);
+    order
+        .iter()
+        .map(|&(id, target)| {
+            let c = proj.place(
+                view.instance.job(id),
+                &view.jobs[id.0],
+                target,
+                view.spec(),
+                view.now,
+            );
+            (id, c)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::spec::{CloudId, EdgeId};
+
+    fn view_fixture(jobs: Vec<Job>) -> (Instance, Vec<JobState>) {
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
+        let inst = Instance::new(spec, jobs).unwrap();
+        let mut states = vec![JobState::default(); inst.num_jobs()];
+        for s in &mut states {
+            s.released = true;
+        }
+        (inst, states)
+    }
+
+    #[test]
+    fn single_job_forecasts() {
+        let (inst, states) = view_fixture(vec![Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0)]);
+        let view = SimView {
+            instance: &inst,
+            now: Time::ZERO,
+            jobs: &states,
+        };
+        let proj = Projection::from_view(&view);
+        let job = inst.job(JobId(0));
+        // Edge: 2 / 0.5 = 4. Cloud: 1 + 2 + 1 = 4.
+        assert_eq!(
+            proj.completion(job, &states[0], Target::Edge, view.spec(), view.now),
+            Time::new(4.0)
+        );
+        assert_eq!(
+            proj.completion(job, &states[0], Target::Cloud(CloudId(0)), view.spec(), view.now),
+            Time::new(4.0)
+        );
+        // Tie prefers the edge.
+        let (t, c) = proj.best_target(job, &states[0], view.spec(), view.now);
+        assert_eq!(t, Target::Edge);
+        assert_eq!(c, Time::new(4.0));
+    }
+
+    #[test]
+    fn placement_advances_profiles() {
+        let (inst, states) = view_fixture(vec![
+            Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0),
+            Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0),
+        ]);
+        let view = SimView {
+            instance: &inst,
+            now: Time::ZERO,
+            jobs: &states,
+        };
+        let mut proj = Projection::from_view(&view);
+        let spec = view.spec();
+        let c0 = proj.place(inst.job(JobId(0)), &states[0], Target::Cloud(CloudId(0)), spec, view.now);
+        assert_eq!(c0, Time::new(4.0));
+        // Second job on the same cloud: uplink waits for EdgeOut until 1,
+        // up [1,2), exec waits for cloud CPU until 3, exec [3,5), dn [5,6).
+        let c1 = proj.completion(inst.job(JobId(1)), &states[1], Target::Cloud(CloudId(0)), spec, view.now);
+        assert_eq!(c1, Time::new(6.0));
+        // On the other cloud processor: up [1,2) (EdgeOut), exec [2,4),
+        // dn [4,5) (EdgeIn free at 4 from J1's downlink... J1 dn ends 4).
+        let c1b = proj.completion(inst.job(JobId(1)), &states[1], Target::Cloud(CloudId(1)), spec, view.now);
+        assert_eq!(c1b, Time::new(5.0));
+        // best_target picks the edge (free: 2/0.5 = 4) over cloud 1 (5).
+        let (t, c) = proj.best_target(inst.job(JobId(1)), &states[1], spec, view.now);
+        assert_eq!(t, Target::Edge);
+        assert_eq!(c, Time::new(4.0));
+    }
+
+    #[test]
+    fn progress_kept_on_committed_target_only() {
+        let (inst, mut states) = view_fixture(vec![Job::new(EdgeId(0), 0.0, 4.0, 2.0, 2.0)]);
+        states[0].committed = Some(Target::Cloud(CloudId(0)));
+        states[0].up_done = 1.5;
+        let view = SimView {
+            instance: &inst,
+            now: Time::new(10.0),
+            jobs: &states,
+        };
+        let proj = Projection::from_view(&view);
+        let job = inst.job(JobId(0));
+        // Same cloud: 0.5 up + 4 work + 2 dn = 6.5 after now.
+        assert_eq!(
+            proj.completion(job, &states[0], Target::Cloud(CloudId(0)), view.spec(), view.now),
+            Time::new(16.5)
+        );
+        // Other cloud: full 2 + 4 + 2 = 8.
+        assert_eq!(
+            proj.completion(job, &states[0], Target::Cloud(CloudId(1)), view.spec(), view.now),
+            Time::new(18.0)
+        );
+    }
+
+    #[test]
+    fn zero_comm_volumes_skip_ports() {
+        let (inst, states) = view_fixture(vec![
+            Job::new(EdgeId(0), 0.0, 2.0, 5.0, 0.0), // holds EdgeOut for 5
+            Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0), // no uplink at all
+        ]);
+        let view = SimView {
+            instance: &inst,
+            now: Time::ZERO,
+            jobs: &states,
+        };
+        let mut proj = Projection::from_view(&view);
+        proj.place(inst.job(JobId(0)), &states[0], Target::Cloud(CloudId(0)), view.spec(), view.now);
+        // J2 has up = 0: it does not wait for the busy EdgeOut port; it
+        // only waits for the cloud CPU (busy until 7).
+        let c = proj.completion(inst.job(JobId(1)), &states[1], Target::Cloud(CloudId(0)), view.spec(), view.now);
+        assert_eq!(c, Time::new(9.0));
+        let c2 = proj.completion(inst.job(JobId(1)), &states[1], Target::Cloud(CloudId(1)), view.spec(), view.now);
+        assert_eq!(c2, Time::new(2.0));
+    }
+
+    #[test]
+    fn project_sequence_orders_matter() {
+        let (inst, states) = view_fixture(vec![
+            Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
+            Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
+        ]);
+        let view = SimView {
+            instance: &inst,
+            now: Time::ZERO,
+            jobs: &states,
+        };
+        // Both on the edge CPU, short first.
+        let completions = project_sequence(
+            &view,
+            &[(JobId(0), Target::Edge), (JobId(1), Target::Edge)],
+        );
+        assert_eq!(completions[0].1, Time::new(2.0));
+        assert_eq!(completions[1].1, Time::new(22.0));
+        // Long first.
+        let completions = project_sequence(
+            &view,
+            &[(JobId(1), Target::Edge), (JobId(0), Target::Edge)],
+        );
+        assert_eq!(completions[0].1, Time::new(20.0));
+        assert_eq!(completions[1].1, Time::new(22.0));
+    }
+}

@@ -1,0 +1,263 @@
+//! Resources of the one-port full-duplex communication model (§III-A).
+//!
+//! Six resource families:
+//! * `EdgeCpu(j)` — the computing unit of edge `j`;
+//! * `CloudCpu(k)` — cloud processor `k`;
+//! * `EdgeOut(j)` / `EdgeIn(j)` — send / receive port of edge `j`
+//!   (full-duplex: distinct resources, so a send and a receive may overlap);
+//! * `CloudIn(k)` / `CloudOut(k)` — receive / send port of cloud `k`.
+//!
+//! An uplink of job `i` to cloud `k` occupies `{EdgeOut(o_i), CloudIn(k)}`;
+//! the downlink occupies `{CloudOut(k), EdgeIn(o_i)}`. One-port: each port
+//! carries at most one message at a time; messages are preemptible.
+
+use crate::spec::{CloudId, EdgeId, PlatformSpec};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// One exclusive resource of the platform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResourceId {
+    /// Computing unit of an edge.
+    EdgeCpu(EdgeId),
+    /// A cloud processor.
+    CloudCpu(CloudId),
+    /// Send (uplink) port of an edge unit.
+    EdgeOut(EdgeId),
+    /// Receive (downlink) port of an edge unit.
+    EdgeIn(EdgeId),
+    /// Receive (uplink) port of a cloud processor.
+    CloudIn(CloudId),
+    /// Send (downlink) port of a cloud processor.
+    CloudOut(CloudId),
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceId::EdgeCpu(j) => write!(f, "cpu({j})"),
+            ResourceId::CloudCpu(k) => write!(f, "cpu({k})"),
+            ResourceId::EdgeOut(j) => write!(f, "out({j})"),
+            ResourceId::EdgeIn(j) => write!(f, "in({j})"),
+            ResourceId::CloudIn(k) => write!(f, "in({k})"),
+            ResourceId::CloudOut(k) => write!(f, "out({k})"),
+        }
+    }
+}
+
+/// Dense indexing of all resources of a platform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResourceIndex {
+    num_edge: usize,
+    num_cloud: usize,
+}
+
+impl ResourceIndex {
+    /// Builds the index for a platform.
+    pub fn new(spec: &PlatformSpec) -> Self {
+        ResourceIndex {
+            num_edge: spec.num_edge(),
+            num_cloud: spec.num_cloud(),
+        }
+    }
+
+    /// Total number of resources: `3·P^e + 3·P^c`.
+    pub fn count(&self) -> usize {
+        3 * self.num_edge + 3 * self.num_cloud
+    }
+
+    /// Dense index of a resource. Layout: edge CPUs, cloud CPUs, edge out,
+    /// edge in, cloud in, cloud out.
+    pub fn index(&self, r: ResourceId) -> usize {
+        let (e, c) = (self.num_edge, self.num_cloud);
+        match r {
+            ResourceId::EdgeCpu(EdgeId(j)) => {
+                debug_assert!(j < e);
+                j
+            }
+            ResourceId::CloudCpu(CloudId(k)) => {
+                debug_assert!(k < c);
+                e + k
+            }
+            ResourceId::EdgeOut(EdgeId(j)) => e + c + j,
+            ResourceId::EdgeIn(EdgeId(j)) => e + c + e + j,
+            ResourceId::CloudIn(CloudId(k)) => e + c + 2 * e + k,
+            ResourceId::CloudOut(CloudId(k)) => e + c + 2 * e + c + k,
+        }
+    }
+
+    /// Inverse of [`ResourceIndex::index`].
+    pub fn resource(&self, mut i: usize) -> ResourceId {
+        let (e, c) = (self.num_edge, self.num_cloud);
+        if i < e {
+            return ResourceId::EdgeCpu(EdgeId(i));
+        }
+        i -= e;
+        if i < c {
+            return ResourceId::CloudCpu(CloudId(i));
+        }
+        i -= c;
+        if i < e {
+            return ResourceId::EdgeOut(EdgeId(i));
+        }
+        i -= e;
+        if i < e {
+            return ResourceId::EdgeIn(EdgeId(i));
+        }
+        i -= e;
+        if i < c {
+            return ResourceId::CloudIn(CloudId(i));
+        }
+        i -= c;
+        debug_assert!(i < c, "resource index out of range");
+        ResourceId::CloudOut(CloudId(i))
+    }
+
+    /// Iterator over every resource.
+    pub fn all(&self) -> impl Iterator<Item = ResourceId> + '_ {
+        (0..self.count()).map(move |i| self.resource(i))
+    }
+}
+
+/// A dense map from resources to values of type `T`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResourceMap<T> {
+    index: ResourceIndex,
+    data: Vec<T>,
+}
+
+impl<T: Clone> ResourceMap<T> {
+    /// Creates a map with every resource bound to `init`.
+    pub fn new(spec: &PlatformSpec, init: T) -> Self {
+        let index = ResourceIndex::new(spec);
+        ResourceMap {
+            index,
+            data: vec![init; index.count()],
+        }
+    }
+
+    /// Resets every entry to `value`.
+    pub fn fill(&mut self, value: T) {
+        self.data.fill(value);
+    }
+}
+
+impl<T> ResourceMap<T> {
+    /// The underlying index.
+    pub fn index_scheme(&self) -> ResourceIndex {
+        self.index
+    }
+
+    /// Iterates over `(resource, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceId, &T)> {
+        self.data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (self.index.resource(i), v))
+    }
+}
+
+impl<T> Index<ResourceId> for ResourceMap<T> {
+    type Output = T;
+    fn index(&self, r: ResourceId) -> &T {
+        &self.data[self.index.index(r)]
+    }
+}
+
+impl<T> IndexMut<ResourceId> for ResourceMap<T> {
+    fn index_mut(&mut self, r: ResourceId) -> &mut T {
+        &mut self.data[self.index.index(r)]
+    }
+}
+
+/// The (at most two) resources an activity occupies simultaneously.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResourcePair {
+    /// Main resource (CPU for computations, sender port for messages).
+    pub primary: ResourceId,
+    /// Second resource for communications (the receiving port).
+    pub secondary: Option<ResourceId>,
+}
+
+impl ResourcePair {
+    /// A single-resource activity (computation).
+    pub fn single(r: ResourceId) -> Self {
+        ResourcePair {
+            primary: r,
+            secondary: None,
+        }
+    }
+
+    /// A two-resource activity (communication).
+    pub fn pair(a: ResourceId, b: ResourceId) -> Self {
+        ResourcePair {
+            primary: a,
+            secondary: Some(b),
+        }
+    }
+
+    /// Iterates over the occupied resources.
+    pub fn iter(&self) -> impl Iterator<Item = ResourceId> {
+        std::iter::once(self.primary).chain(self.secondary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> PlatformSpec {
+        PlatformSpec::homogeneous_cloud(vec![0.5, 0.1, 0.9], 2)
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let idx = ResourceIndex::new(&spec());
+        assert_eq!(idx.count(), 3 * 3 + 3 * 2);
+        for i in 0..idx.count() {
+            let r = idx.resource(i);
+            assert_eq!(idx.index(r), i, "roundtrip failed for {r}");
+        }
+    }
+
+    #[test]
+    fn all_resources_unique() {
+        let idx = ResourceIndex::new(&spec());
+        let all: Vec<_> = idx.all().collect();
+        assert_eq!(all.len(), idx.count());
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len());
+    }
+
+    #[test]
+    fn map_indexing() {
+        let s = spec();
+        let mut m = ResourceMap::new(&s, 0u32);
+        m[ResourceId::EdgeCpu(EdgeId(1))] = 7;
+        m[ResourceId::CloudOut(CloudId(1))] = 9;
+        assert_eq!(m[ResourceId::EdgeCpu(EdgeId(1))], 7);
+        assert_eq!(m[ResourceId::CloudOut(CloudId(1))], 9);
+        assert_eq!(m[ResourceId::EdgeCpu(EdgeId(0))], 0);
+        m.fill(1);
+        assert!(m.iter().all(|(_, &v)| v == 1));
+    }
+
+    #[test]
+    fn pair_iteration() {
+        let p = ResourcePair::pair(
+            ResourceId::EdgeOut(EdgeId(0)),
+            ResourceId::CloudIn(CloudId(0)),
+        );
+        assert_eq!(p.iter().count(), 2);
+        let s = ResourcePair::single(ResourceId::EdgeCpu(EdgeId(0)));
+        assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ResourceId::EdgeOut(EdgeId(2)).to_string(), "out(e2)");
+        assert_eq!(ResourceId::CloudCpu(CloudId(1)).to_string(), "cpu(c1)");
+    }
+}

@@ -1,0 +1,267 @@
+//! Platform description (paper §III-A).
+//!
+//! A two-level platform: `P^c` cloud processors (speed 1 in the paper; we
+//! also support the heterogeneous-cloud extension mentioned in §II) and
+//! `P^e` edge computing units with speeds `s_j ≤ 1`. The §VII future-work
+//! extension — cloud processors dynamically unavailable during given time
+//! windows — is supported through per-processor unavailability intervals.
+
+use mmsec_sim::{Interval, IntervalSet};
+use std::fmt;
+
+/// Index of an edge computing unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub usize);
+
+/// Index of a cloud processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CloudId(pub usize);
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for CloudId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Errors raised by [`PlatformSpec::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// The platform has no edge unit (jobs need an origin).
+    NoEdgeUnit,
+    /// A speed is non-positive or non-finite.
+    BadSpeed {
+        /// Human-readable resource name (`"edge 3"`, `"cloud 0"`).
+        which: String,
+        /// Offending value.
+        speed: f64,
+    },
+    /// Unavailability windows refer to a cloud processor that does not exist.
+    WindowOutOfRange {
+        /// Offending cloud index.
+        cloud: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoEdgeUnit => write!(f, "platform has no edge computing unit"),
+            SpecError::BadSpeed { which, speed } => {
+                write!(f, "non-positive speed {speed} for {which}")
+            }
+            SpecError::WindowOutOfRange { cloud } => {
+                write!(f, "unavailability window for nonexistent cloud processor {cloud}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The edge-cloud platform.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlatformSpec {
+    edge_speeds: Vec<f64>,
+    cloud_speeds: Vec<f64>,
+    /// Per cloud processor: disjoint intervals during which its CPU cannot
+    /// compute (§VII extension). Empty sets by default.
+    cloud_unavailability: Vec<IntervalSet>,
+    max_cloud_speed: f64,
+}
+
+impl PlatformSpec {
+    /// Paper platform: edge units with the given speeds and `num_cloud`
+    /// homogeneous cloud processors at speed 1.
+    pub fn homogeneous_cloud(edge_speeds: Vec<f64>, num_cloud: usize) -> Self {
+        Self::heterogeneous(edge_speeds, vec![1.0; num_cloud])
+    }
+
+    /// Extension platform with explicit per-cloud speeds (§II notes all
+    /// algorithms extend straightforwardly to a fully heterogeneous
+    /// platform).
+    pub fn heterogeneous(edge_speeds: Vec<f64>, cloud_speeds: Vec<f64>) -> Self {
+        let n_cloud = cloud_speeds.len();
+        let max_cloud_speed = cloud_speeds.iter().copied().fold(0.0_f64, f64::max);
+        let spec = PlatformSpec {
+            edge_speeds,
+            cloud_speeds,
+            cloud_unavailability: vec![IntervalSet::new(); n_cloud],
+            max_cloud_speed,
+        };
+        spec.validate().expect("invalid platform spec");
+        spec
+    }
+
+    /// Adds unavailability windows for cloud processor `k` (§VII
+    /// extension). Overlapping windows are merged-rejected by
+    /// [`IntervalSet`]; panics on overlap.
+    pub fn with_cloud_unavailability(mut self, k: CloudId, windows: &[Interval]) -> Self {
+        assert!(k.0 < self.cloud_speeds.len(), "cloud index out of range");
+        for w in windows {
+            self.cloud_unavailability[k.0]
+                .insert(*w)
+                .expect("overlapping unavailability windows");
+        }
+        self
+    }
+
+    /// Checks the platform invariants.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.edge_speeds.is_empty() {
+            return Err(SpecError::NoEdgeUnit);
+        }
+        for (j, &s) in self.edge_speeds.iter().enumerate() {
+            if !(s > 0.0 && s.is_finite()) {
+                return Err(SpecError::BadSpeed {
+                    which: format!("edge {j}"),
+                    speed: s,
+                });
+            }
+        }
+        for (k, &s) in self.cloud_speeds.iter().enumerate() {
+            if !(s > 0.0 && s.is_finite()) {
+                return Err(SpecError::BadSpeed {
+                    which: format!("cloud {k}"),
+                    speed: s,
+                });
+            }
+        }
+        if self.cloud_unavailability.len() != self.cloud_speeds.len() {
+            return Err(SpecError::WindowOutOfRange {
+                cloud: self.cloud_unavailability.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of edge computing units (`P^e`).
+    pub fn num_edge(&self) -> usize {
+        self.edge_speeds.len()
+    }
+
+    /// Number of cloud processors (`P^c`).
+    pub fn num_cloud(&self) -> usize {
+        self.cloud_speeds.len()
+    }
+
+    /// Speed of edge unit `j` (`s_j`).
+    pub fn edge_speed(&self, j: EdgeId) -> f64 {
+        self.edge_speeds[j.0]
+    }
+
+    /// Speed of cloud processor `k` (1 in the paper's model).
+    pub fn cloud_speed(&self, k: CloudId) -> f64 {
+        self.cloud_speeds[k.0]
+    }
+
+    /// Fastest cloud speed (0 when there is no cloud).
+    pub fn max_cloud_speed(&self) -> f64 {
+        self.max_cloud_speed
+    }
+
+    /// Aggregated speed `Σ_j s_j + Σ_k speed_k` (used by the load model,
+    /// §VI-A).
+    pub fn total_speed(&self) -> f64 {
+        self.edge_speeds.iter().sum::<f64>() + self.cloud_speeds.iter().sum::<f64>()
+    }
+
+    /// True when every cloud processor runs at speed 1 (paper model).
+    pub fn is_cloud_homogeneous(&self) -> bool {
+        self.cloud_speeds.iter().all(|&s| s == 1.0)
+    }
+
+    /// Iterator over edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.num_edge()).map(EdgeId)
+    }
+
+    /// Iterator over cloud ids.
+    pub fn clouds(&self) -> impl Iterator<Item = CloudId> {
+        (0..self.num_cloud()).map(CloudId)
+    }
+
+    /// Unavailability windows of cloud processor `k`.
+    pub fn cloud_unavailability(&self, k: CloudId) -> &IntervalSet {
+        &self.cloud_unavailability[k.0]
+    }
+
+    /// True when any cloud processor has unavailability windows.
+    pub fn has_unavailability(&self) -> bool {
+        self.cloud_unavailability.iter().any(|w| !w.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmsec_sim::Time;
+
+    #[test]
+    fn paper_random_platform() {
+        // §VI-A: 20 cloud processors, 10 slow edge (0.1), 10 fast edge (0.5).
+        let mut speeds = vec![0.1; 10];
+        speeds.extend(vec![0.5; 10]);
+        let spec = PlatformSpec::homogeneous_cloud(speeds, 20);
+        assert_eq!(spec.num_edge(), 20);
+        assert_eq!(spec.num_cloud(), 20);
+        assert!(spec.is_cloud_homogeneous());
+        assert_eq!(spec.max_cloud_speed(), 1.0);
+        assert!((spec.total_speed() - (1.0 + 5.0 + 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_cloud() {
+        let spec = PlatformSpec::heterogeneous(vec![0.5], vec![1.0, 2.0, 0.5]);
+        assert!(!spec.is_cloud_homogeneous());
+        assert_eq!(spec.max_cloud_speed(), 2.0);
+        assert_eq!(spec.cloud_speed(CloudId(1)), 2.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let bad = PlatformSpec {
+            edge_speeds: vec![],
+            cloud_speeds: vec![1.0],
+            cloud_unavailability: vec![IntervalSet::new()],
+            max_cloud_speed: 1.0,
+        };
+        assert_eq!(bad.validate(), Err(SpecError::NoEdgeUnit));
+
+        let bad = PlatformSpec {
+            edge_speeds: vec![0.0],
+            cloud_speeds: vec![],
+            cloud_unavailability: vec![],
+            max_cloud_speed: 0.0,
+        };
+        assert!(matches!(bad.validate(), Err(SpecError::BadSpeed { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid platform spec")]
+    fn constructor_panics_on_bad_speed() {
+        let _ = PlatformSpec::homogeneous_cloud(vec![-1.0], 1);
+    }
+
+    #[test]
+    fn unavailability_windows() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 2).with_cloud_unavailability(
+            CloudId(1),
+            &[Interval::new(Time::new(5.0), Time::new(10.0))],
+        );
+        assert!(spec.has_unavailability());
+        assert!(spec.cloud_unavailability(CloudId(0)).is_empty());
+        assert_eq!(spec.cloud_unavailability(CloudId(1)).len(), 1);
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(EdgeId(3).to_string(), "e3");
+        assert_eq!(CloudId(0).to_string(), "c0");
+    }
+}

@@ -1,0 +1,281 @@
+//! Dynamic simulation state exposed to schedulers.
+
+use crate::activity::{Phase, Target};
+use crate::instance::Instance;
+use crate::job::{Job, JobId};
+use crate::spec::PlatformSpec;
+use mmsec_sim::{Time, TIME_EPS};
+
+/// Dynamic state of one job during a simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobState {
+    /// The job has been released (`now ≥ r_i`).
+    pub released: bool,
+    /// The job has fully completed (result delivered at the origin).
+    pub finished: bool,
+    /// Completion time `C_i`, once finished.
+    pub completion: Option<Time>,
+    /// Resource the job is committed to (None before any placement).
+    pub committed: Option<Target>,
+    /// Uplink time already transferred (time units).
+    pub up_done: f64,
+    /// Work already computed (work units).
+    pub work_done: f64,
+    /// Downlink time already transferred (time units).
+    pub dn_done: f64,
+    /// Phase currently running, if the job holds resources right now.
+    pub running: Option<Phase>,
+    /// Number of re-executions from scratch this job has suffered.
+    pub restarts: u32,
+}
+
+impl Default for JobState {
+    fn default() -> Self {
+        JobState {
+            released: false,
+            finished: false,
+            completion: None,
+            committed: None,
+            up_done: 0.0,
+            work_done: 0.0,
+            dn_done: 0.0,
+            running: None,
+            restarts: 0,
+        }
+    }
+}
+
+impl JobState {
+    /// Wipes all progress (re-execution from scratch: "the time spent up to
+    /// re-assignment is lost").
+    pub fn reset_progress(&mut self) {
+        self.up_done = 0.0;
+        self.work_done = 0.0;
+        self.dn_done = 0.0;
+        self.restarts += 1;
+    }
+
+    /// Remaining uplink time for `job` if continuing on a cloud target.
+    pub fn remaining_up(&self, job: &Job) -> f64 {
+        (job.up - self.up_done).max(0.0)
+    }
+
+    /// Remaining work (in work units).
+    pub fn remaining_work(&self, job: &Job) -> f64 {
+        (job.work - self.work_done).max(0.0)
+    }
+
+    /// Remaining downlink time.
+    pub fn remaining_dn(&self, job: &Job) -> f64 {
+        (job.dn - self.dn_done).max(0.0)
+    }
+
+    /// The phase the job would run next if (re)activated on `target`,
+    /// skipping phases with (approximately) no remaining volume.
+    /// Returns `None` when nothing remains — i.e. the job is complete.
+    ///
+    /// Progress counters are meaningful only if `target` matches the
+    /// committed target; callers evaluating a *switch* must treat the job
+    /// as starting from scratch on the new target instead.
+    pub fn current_phase(&self, job: &Job, target: Target) -> Option<Phase> {
+        match target {
+            Target::Edge => {
+                if self.remaining_work(job) > TIME_EPS {
+                    Some(Phase::Compute)
+                } else {
+                    None
+                }
+            }
+            Target::Cloud(_) => {
+                if self.remaining_up(job) > TIME_EPS {
+                    Some(Phase::Uplink)
+                } else if self.remaining_work(job) > TIME_EPS {
+                    Some(Phase::Compute)
+                } else if self.remaining_dn(job) > TIME_EPS {
+                    Some(Phase::Downlink)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Contention-free remaining duration if the job continues on `target`
+    /// (same-commitment progress) — the optimistic completion-time
+    /// estimate every heuristic of §V builds on.
+    pub fn remaining_time_on(&self, job: &Job, target: Target, spec: &PlatformSpec) -> f64 {
+        match target {
+            Target::Edge => self.remaining_work(job) / spec.edge_speed(job.origin),
+            Target::Cloud(k) => {
+                self.remaining_up(job)
+                    + self.remaining_work(job) / spec.cloud_speed(k)
+                    + self.remaining_dn(job)
+            }
+        }
+    }
+
+    /// Contention-free duration if the job *restarts from scratch* on
+    /// `target` (used when evaluating a re-execution).
+    pub fn fresh_time_on(job: &Job, target: Target, spec: &PlatformSpec) -> f64 {
+        match target {
+            Target::Edge => job.edge_time(spec),
+            Target::Cloud(k) => job.cloud_time_on(spec, k),
+        }
+    }
+
+    /// Contention-free remaining duration on `target`, accounting for a
+    /// reset when `target` differs from the committed one.
+    pub fn duration_if_placed(&self, job: &Job, target: Target, spec: &PlatformSpec) -> f64 {
+        match self.committed {
+            Some(t) if t == target => self.remaining_time_on(job, target, spec),
+            _ => Self::fresh_time_on(job, target, spec),
+        }
+    }
+
+    /// True when the job has been released but not finished.
+    pub fn active(&self) -> bool {
+        self.released && !self.finished
+    }
+}
+
+/// Read-only view handed to [`crate::engine::OnlineScheduler::decide`].
+pub struct SimView<'a> {
+    /// The instance being simulated.
+    pub instance: &'a Instance,
+    /// Current virtual time.
+    pub now: Time,
+    /// Per-job dynamic state, indexed by [`JobId`].
+    pub jobs: &'a [JobState],
+}
+
+impl<'a> SimView<'a> {
+    /// The platform.
+    pub fn spec(&self) -> &'a PlatformSpec {
+        &self.instance.spec
+    }
+
+    /// Jobs that are released and unfinished, in id order.
+    pub fn pending_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active())
+            .map(|(i, _)| JobId(i))
+    }
+
+    /// Number of pending jobs.
+    pub fn num_pending(&self) -> usize {
+        self.jobs.iter().filter(|s| s.active()).count()
+    }
+
+    /// Stretch job `id` would incur if it completed at time `c`.
+    pub fn stretch_if_completed_at(&self, id: JobId, c: Time) -> f64 {
+        let job = self.instance.job(id);
+        (c - job.release).seconds() / job.min_time(self.spec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CloudId, EdgeId};
+
+    fn fixture() -> (Instance, Job) {
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
+        let job = Job::new(EdgeId(0), 1.0, 4.0, 2.0, 1.0);
+        let inst = Instance::new(spec, vec![job]).unwrap();
+        (inst, job)
+    }
+
+    #[test]
+    fn phase_progression_on_cloud() {
+        let (_inst, job) = fixture();
+        let mut st = JobState::default();
+        let tgt = Target::Cloud(CloudId(0));
+        assert_eq!(st.current_phase(&job, tgt), Some(Phase::Uplink));
+        st.up_done = 2.0;
+        assert_eq!(st.current_phase(&job, tgt), Some(Phase::Compute));
+        st.work_done = 4.0;
+        assert_eq!(st.current_phase(&job, tgt), Some(Phase::Downlink));
+        st.dn_done = 1.0;
+        assert_eq!(st.current_phase(&job, tgt), None);
+    }
+
+    #[test]
+    fn phase_skips_zero_volumes() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        // Kang-style job: no downlink.
+        let job = Job::new(EdgeId(0), 0.0, 3.0, 0.0, 0.0);
+        let inst = Instance::new(spec, vec![job]).unwrap();
+        let st = JobState::default();
+        // up = 0 → starts in Compute directly.
+        assert_eq!(
+            st.current_phase(inst.job(JobId(0)), Target::Cloud(CloudId(0))),
+            Some(Phase::Compute)
+        );
+        let mut done = st.clone();
+        done.work_done = 3.0;
+        // dn = 0 → complete as soon as work is done.
+        assert_eq!(
+            done.current_phase(inst.job(JobId(0)), Target::Cloud(CloudId(0))),
+            None
+        );
+    }
+
+    #[test]
+    fn remaining_times() {
+        let (inst, job) = fixture();
+        let spec = &inst.spec;
+        let mut st = JobState::default();
+        // Fresh: edge 4/0.5 = 8; cloud 2+4+1 = 7.
+        assert_eq!(st.remaining_time_on(&job, Target::Edge, spec), 8.0);
+        assert_eq!(
+            st.remaining_time_on(&job, Target::Cloud(CloudId(0)), spec),
+            7.0
+        );
+        st.up_done = 1.5;
+        st.committed = Some(Target::Cloud(CloudId(0)));
+        assert_eq!(
+            st.duration_if_placed(&job, Target::Cloud(CloudId(0)), spec),
+            5.5
+        );
+        // Switching to the other cloud processor restarts from scratch.
+        assert_eq!(
+            st.duration_if_placed(&job, Target::Cloud(CloudId(1)), spec),
+            7.0
+        );
+        // Switching to the edge restarts too.
+        assert_eq!(st.duration_if_placed(&job, Target::Edge, spec), 8.0);
+    }
+
+    #[test]
+    fn reset_progress_counts_restarts() {
+        let mut st = JobState {
+            up_done: 1.0,
+            work_done: 2.0,
+            dn_done: 0.5,
+            ..JobState::default()
+        };
+        st.reset_progress();
+        assert_eq!(st.up_done, 0.0);
+        assert_eq!(st.work_done, 0.0);
+        assert_eq!(st.dn_done, 0.0);
+        assert_eq!(st.restarts, 1);
+    }
+
+    #[test]
+    fn view_helpers() {
+        let (inst, _job) = fixture();
+        let mut states = vec![JobState::default()];
+        states[0].released = true;
+        let view = SimView {
+            instance: &inst,
+            now: Time::new(2.0),
+            jobs: &states,
+        };
+        assert_eq!(view.num_pending(), 1);
+        assert_eq!(view.pending_jobs().collect::<Vec<_>>(), vec![JobId(0)]);
+        // min_time = min(8, 7) = 7; completed at 8 → stretch (8-1)/7 = 1.
+        assert!((view.stretch_if_completed_at(JobId(0), Time::new(8.0)) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests: whatever an (arbitrarily misbehaved) policy does, the
+//! engine must only ever produce schedules satisfying every §III-B
+//! constraint.
+
+use mmsec_platform::{
+    simulate_with, validate_with, CloudId, Directive, EdgeId, EngineOptions, Instance, Job,
+    OnlineScheduler, PlatformSpec, SimView, Target, ValidateOptions,
+};
+use mmsec_sim::seed::SplitMix64;
+use proptest::prelude::*;
+
+/// A chaos-monkey policy: pseudo-random priority order, pseudo-random
+/// targets, occasional retargets (triggering re-executions), occasional
+/// omissions (pausing jobs).
+struct ChaosPolicy {
+    rng: SplitMix64,
+    num_cloud: usize,
+    retarget_prob: f64,
+    omit_prob: f64,
+}
+
+impl OnlineScheduler for ChaosPolicy {
+    fn name(&self) -> String {
+        "chaos".into()
+    }
+
+    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+        let mut jobs: Vec<_> = view.pending_jobs().collect();
+        // Fisher-Yates shuffle with the deterministic stream.
+        for i in (1..jobs.len()).rev() {
+            let j = (self.rng.next_u64() % (i as u64 + 1)) as usize;
+            jobs.swap(i, j);
+        }
+        let mut out = Vec::new();
+        for id in jobs {
+            if self.rng.next_f64() < self.omit_prob {
+                continue;
+            }
+            let st = &view.jobs[id.0];
+            let target = match st.committed {
+                Some(t) if self.rng.next_f64() >= self.retarget_prob => t,
+                _ => self.random_target(),
+            };
+            out.push(Directive::new(id, target));
+        }
+        out
+    }
+}
+
+impl ChaosPolicy {
+    fn random_target(&mut self) -> Target {
+        if self.num_cloud == 0 || self.rng.next_f64() < 0.4 {
+            Target::Edge
+        } else {
+            Target::Cloud(CloudId((self.rng.next_u64() as usize) % self.num_cloud))
+        }
+    }
+}
+
+/// FIFO policy that sends everything to the edge — guaranteed to finish.
+struct EdgeFifo;
+impl OnlineScheduler for EdgeFifo {
+    fn name(&self) -> String {
+        "edge-fifo".into()
+    }
+    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+        view.pending_jobs()
+            .map(|j| Directive::new(j, Target::Edge))
+            .collect()
+    }
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        1usize..4,                                        // edge units
+        0usize..3,                                        // cloud processors
+        prop::collection::vec(
+            (0.0f64..20.0, 0.1f64..8.0, 0.0f64..6.0, 0.0f64..6.0, 0usize..4),
+            1..10,
+        ),
+        prop::collection::vec(0.05f64..1.0, 1..4),        // edge speeds
+    )
+        .prop_map(|(ne, nc, raw_jobs, speeds)| {
+            let mut edge_speeds = speeds;
+            edge_speeds.resize(ne, 0.5);
+            let spec = PlatformSpec::homogeneous_cloud(edge_speeds, nc);
+            let jobs = raw_jobs
+                .into_iter()
+                .map(|(r, w, up, dn, o)| Job::new(EdgeId(o % ne), r, w, up, dn))
+                .collect();
+            Instance::new(spec, jobs).expect("generated instance valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chaos policy with bounded retargeting: if the run finishes, the
+    /// schedule is valid. (Unbounded retargeting can livelock, which the
+    /// engine reports as an error rather than producing garbage.)
+    #[test]
+    fn chaos_runs_always_validate(inst in arb_instance(), seed in any::<u64>()) {
+        let mut policy = ChaosPolicy {
+            rng: SplitMix64::new(seed),
+            num_cloud: inst.spec.num_cloud(),
+            retarget_prob: 0.05,
+            omit_prob: 0.2,
+        };
+        match simulate_with(&inst, &mut policy, EngineOptions::default()) {
+            Ok(out) => {
+                prop_assert!(out.schedule.all_finished());
+                if let Err(violations) = mmsec_platform::validate(&inst, &out.schedule) {
+                    return Err(TestCaseError::fail(format!("violations: {violations:?}")));
+                }
+                // Stretch is well-defined and ≥ 1 for every job.
+                let report = mmsec_platform::StretchReport::new(&inst, &out.schedule);
+                for (i, &s) in report.stretches.iter().enumerate() {
+                    prop_assert!(s >= 1.0 - 1e-9, "job {i} has stretch {s} < 1");
+                }
+            }
+            Err(e) => {
+                // A chaotic policy may stall or livelock; both are
+                // reported errors, never invalid schedules.
+                let _ = e;
+            }
+        }
+    }
+
+    /// The deterministic edge-FIFO policy always completes with a valid
+    /// schedule, no re-executions, and no communications.
+    #[test]
+    fn edge_fifo_always_completes(inst in arb_instance()) {
+        let out = simulate_with(&inst, &mut EdgeFifo, EngineOptions::default()).unwrap();
+        prop_assert!(out.schedule.all_finished());
+        prop_assert_eq!(out.stats.restarts, 0);
+        prop_assert!(mmsec_platform::validate(&inst, &out.schedule).is_ok());
+        for i in 0..inst.num_jobs() {
+            prop_assert!(out.schedule.up[i].is_empty());
+            prop_assert!(out.schedule.dn[i].is_empty());
+        }
+    }
+
+    /// Infinite-port runs complete and validate once port checks are
+    /// disabled. (Note: per-job completions are NOT necessarily ≤ the
+    /// strict one-port ones — removing contention shifts decision events
+    /// and triggers classic list-scheduling anomalies, which is precisely
+    /// why the ablation A2 is measured rather than assumed.)
+    #[test]
+    fn infinite_ports_runs_validate(inst in arb_instance(), seed in any::<u64>()) {
+        prop_assume!(inst.spec.num_cloud() > 0);
+        struct CloudFifo { k: usize }
+        impl OnlineScheduler for CloudFifo {
+            fn name(&self) -> String { "cloud-fifo".into() }
+            fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+                view.pending_jobs()
+                    .map(|j| Directive::new(j, Target::Cloud(CloudId(j.0 % self.k))))
+                    .collect()
+            }
+        }
+        let k = inst.spec.num_cloud();
+        let _ = seed;
+        let strict = simulate_with(&inst, &mut CloudFifo { k }, EngineOptions::default()).unwrap();
+        let loose = simulate_with(
+            &inst,
+            &mut CloudFifo { k },
+            EngineOptions { infinite_ports: true, ..EngineOptions::default() },
+        )
+        .unwrap();
+        let opts = ValidateOptions { check_ports: false, ..ValidateOptions::default() };
+        prop_assert!(validate_with(&inst, &loose.schedule, opts).is_ok());
+        prop_assert!(loose.schedule.all_finished());
+        prop_assert!(strict.schedule.all_finished());
+        prop_assert!(mmsec_platform::validate(&inst, &strict.schedule).is_ok());
+    }
+}

@@ -1,0 +1,338 @@
+//! Virtual time for the edge-cloud simulation.
+//!
+//! Time is continuous in the paper's model (job works and speeds are real
+//! numbers, e.g. the Kang edge speeds 6/11 and 6/37), so we represent
+//! instants as finite `f64` seconds wrapped in a [`Time`] newtype that
+//! provides a *total* order and rejects NaN/infinite values at
+//! construction. All tolerance-aware comparisons used by the validity
+//! checker go through [`approx`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Absolute tolerance used when comparing virtual-time quantities.
+///
+/// The engine produces event times by summing and dividing job parameters;
+/// round-off of a few ULPs accumulates, so validity checks and schedulers
+/// must not distinguish quantities closer than this.
+pub const TIME_EPS: f64 = 1e-7;
+
+/// An instant (or duration) of virtual time, in abstract "seconds".
+///
+/// `Time` is a thin wrapper over `f64` that
+/// * guarantees the value is finite (checked in [`Time::new`]),
+/// * implements `Ord`/`Eq` (total order), so it can key heaps and maps,
+/// * offers saturating/tolerant helpers used throughout the engine.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Time(f64);
+
+impl Time {
+    /// The origin of virtual time.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Creates a time value; panics on NaN or infinite input.
+    #[inline]
+    pub fn new(seconds: f64) -> Self {
+        assert!(seconds.is_finite(), "non-finite time: {seconds}");
+        Time(seconds)
+    }
+
+    /// Returns the underlying seconds value.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// `max(self, other)`.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `min(self, other)`.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True when `self` is within [`TIME_EPS`] of `other`.
+    #[inline]
+    pub fn approx_eq(self, other: Time) -> bool {
+        approx::eq(self.0, other.0)
+    }
+
+    /// True when `self ≤ other + ε`.
+    #[inline]
+    pub fn approx_le(self, other: Time) -> bool {
+        approx::le(self.0, other.0)
+    }
+
+    /// True when `self ≥ other − ε`.
+    #[inline]
+    pub fn approx_ge(self, other: Time) -> bool {
+        approx::ge(self.0, other.0)
+    }
+
+    /// True when the value is within ε of zero or below.
+    #[inline]
+    pub fn is_zero_or_negative(self) -> bool {
+        self.0 <= TIME_EPS
+    }
+
+    /// Clamps tiny negative round-off to exactly zero.
+    #[inline]
+    pub fn clamp_non_negative(self) -> Time {
+        if self.0 < 0.0 {
+            debug_assert!(
+                self.0 > -TIME_EPS,
+                "clamping a significantly negative time: {}",
+                self.0
+            );
+            Time(0.0)
+        } else {
+            self
+        }
+    }
+}
+
+impl Eq for Time {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Time {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are guaranteed finite, so partial_cmp never fails.
+        self.0.partial_cmp(&other.0).expect("finite by invariant")
+    }
+}
+
+impl PartialOrd for Time {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{:.6}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}", prec, self.0)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl From<f64> for Time {
+    #[inline]
+    fn from(seconds: f64) -> Self {
+        Time::new(seconds)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time::new(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    #[inline]
+    fn neg(self) -> Time {
+        Time::new(-self.0)
+    }
+}
+
+impl Mul<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: f64) -> Time {
+        Time::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: f64) -> Time {
+        Time::new(self.0 / rhs)
+    }
+}
+
+/// Tolerant `f64` comparisons shared by the whole workspace.
+pub mod approx {
+    use super::TIME_EPS;
+
+    /// `a == b` up to the global tolerance.
+    #[inline]
+    pub fn eq(a: f64, b: f64) -> bool {
+        (a - b).abs() <= tol(a, b)
+    }
+
+    /// `a ≤ b` up to the global tolerance.
+    #[inline]
+    pub fn le(a: f64, b: f64) -> bool {
+        a <= b + tol(a, b)
+    }
+
+    /// `a ≥ b` up to the global tolerance.
+    #[inline]
+    pub fn ge(a: f64, b: f64) -> bool {
+        a >= b - tol(a, b)
+    }
+
+    /// `a < b` by strictly more than the tolerance.
+    #[inline]
+    pub fn lt(a: f64, b: f64) -> bool {
+        a < b - tol(a, b)
+    }
+
+    /// `a > b` by strictly more than the tolerance.
+    #[inline]
+    pub fn gt(a: f64, b: f64) -> bool {
+        a > b + tol(a, b)
+    }
+
+    /// Mixed absolute/relative tolerance: absolute near zero, relative for
+    /// large magnitudes (long simulations reach times ≫ 1).
+    #[inline]
+    fn tol(a: f64, b: f64) -> f64 {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        TIME_EPS * scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Time::new(2.5);
+        assert_eq!(t.seconds(), 2.5);
+        assert_eq!(Time::ZERO.seconds(), 0.0);
+        assert_eq!(Time::from(1.0), Time::new(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let _ = Time::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_infinity() {
+        let _ = Time::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::new(3.0);
+        let b = Time::new(1.5);
+        assert_eq!((a + b).seconds(), 4.5);
+        assert_eq!((a - b).seconds(), 1.5);
+        assert_eq!((a * 2.0).seconds(), 6.0);
+        assert_eq!((a / 2.0).seconds(), 1.5);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.seconds(), 4.5);
+        c -= b;
+        assert_eq!(c.seconds(), 3.0);
+        assert_eq!((-a).seconds(), -3.0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Time::new(3.0), Time::new(-1.0), Time::new(0.5)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Time::new(-1.0), Time::new(0.5), Time::new(3.0)]
+        );
+        assert_eq!(Time::new(2.0).max(Time::new(3.0)), Time::new(3.0));
+        assert_eq!(Time::new(2.0).min(Time::new(3.0)), Time::new(2.0));
+    }
+
+    #[test]
+    fn approx_comparisons() {
+        let a = Time::new(1.0);
+        let b = Time::new(1.0 + TIME_EPS / 2.0);
+        assert!(a.approx_eq(b));
+        assert!(a.approx_le(b));
+        assert!(b.approx_ge(a));
+        assert!(a.approx_le(Time::new(2.0)));
+        assert!(!Time::new(2.0).approx_le(a));
+    }
+
+    #[test]
+    fn approx_relative_scale() {
+        // At magnitude 1e6, a 1e-3 absolute gap is below the relative
+        // tolerance of 1e-7 * 1e6 = 0.1 and must compare equal.
+        assert!(approx::eq(1.0e6, 1.0e6 + 1e-3));
+        assert!(!approx::eq(1.0, 1.0 + 1e-3));
+        assert!(approx::lt(1.0, 1.1));
+        assert!(approx::gt(1.1, 1.0));
+        assert!(!approx::lt(1.0, 1.0));
+    }
+
+    #[test]
+    fn clamp_non_negative() {
+        assert_eq!(Time::new(-1e-9).clamp_non_negative(), Time::ZERO);
+        assert_eq!(Time::new(2.0).clamp_non_negative(), Time::new(2.0));
+    }
+
+    #[test]
+    fn zero_or_negative() {
+        assert!(Time::new(0.0).is_zero_or_negative());
+        assert!(Time::new(1e-9).is_zero_or_negative());
+        assert!(!Time::new(1e-3).is_zero_or_negative());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{:.2}", Time::new(1.234)), "1.23");
+        assert_eq!(format!("{}", Time::new(1.5)), "1.5");
+        assert_eq!(format!("{:?}", Time::new(1.5)), "t1.500000");
+    }
+}

@@ -1,0 +1,176 @@
+//! Probability distributions used by the instance generators (§VI-A).
+//!
+//! The paper needs uniform variates (random instances) and normal variates
+//! with a relative standard deviation of 1/4 (Kang instances). Normals are
+//! generated with the Box–Muller transform — implemented here rather than
+//! pulling `rand_distr`, which is not on the approved dependency list —
+//! and truncated to stay positive (times are physical durations).
+
+use rand::Rng;
+
+/// A continuous distribution over positive reals.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Dist {
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Normal with the given mean and standard deviation, truncated
+    /// (by resampling) to `> floor`.
+    TruncNormal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        sd: f64,
+        /// Strict lower bound enforced by resampling.
+        floor: f64,
+    },
+    /// Point mass.
+    Constant(f64),
+}
+
+impl Dist {
+    /// Uniform over `[lo, hi)`; panics on an empty or negative range.
+    pub fn uniform(lo: f64, hi: f64) -> Dist {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad uniform range");
+        Dist::Uniform { lo, hi }
+    }
+
+    /// The paper's Kang-style normal: mean `m`, relative σ = 1/4,
+    /// truncated at 1% of the mean.
+    pub fn kang_normal(mean: f64) -> Dist {
+        assert!(mean > 0.0);
+        Dist::TruncNormal {
+            mean,
+            sd: mean / 4.0,
+            floor: mean * 0.01,
+        }
+    }
+
+    /// Expected value (of the untruncated distribution for normals — the
+    /// truncation mass is ≈ 3·10⁻⁵ at relative σ = 1/4, negligible).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Dist::TruncNormal { mean, .. } => mean,
+            Dist::Constant(c) => c,
+        }
+    }
+
+    /// Draws one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Dist::Uniform { lo, hi } => rng.gen_range(lo..hi),
+            Dist::TruncNormal { mean, sd, floor } => {
+                // Resample until above the floor (fast: the floor is far
+                // in the left tail for every paper parameterization).
+                for _ in 0..1000 {
+                    let x = mean + sd * standard_normal(rng);
+                    if x > floor {
+                        return x;
+                    }
+                }
+                floor
+            }
+            Dist::Constant(c) => c,
+        }
+    }
+
+    /// Scales the distribution by `factor` (used to tie communication
+    /// means to computation means through the CCR).
+    pub fn scaled(&self, factor: f64) -> Dist {
+        assert!(factor > 0.0 && factor.is_finite());
+        match *self {
+            Dist::Uniform { lo, hi } => Dist::Uniform {
+                lo: lo * factor,
+                hi: hi * factor,
+            },
+            Dist::TruncNormal { mean, sd, floor } => Dist::TruncNormal {
+                mean: mean * factor,
+                sd: sd * factor,
+                floor: floor * factor,
+            },
+            Dist::Constant(c) => Dist::Constant(c * factor),
+        }
+    }
+}
+
+/// One standard-normal variate via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue; // avoid ln(0)
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::uniform(2.0, 6.0);
+        assert_eq!(d.mean(), 4.0);
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| (2.0..6.0).contains(&x)));
+        let emp_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((emp_mean - 4.0).abs() < 0.05, "empirical mean {emp_mean}");
+    }
+
+    #[test]
+    fn kang_normal_statistics() {
+        let d = Dist::kang_normal(95.0); // Wi-Fi uplink
+        let mut r = rng();
+        let samples: Vec<f64> = (0..40_000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        assert!((mean - 95.0).abs() < 1.0, "mean {mean}");
+        assert!((var.sqrt() - 95.0 / 4.0).abs() < 1.0, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn scaling_preserves_shape() {
+        let d = Dist::uniform(1.0, 10.0).scaled(0.1);
+        assert_eq!(d, Dist::uniform(0.1, 1.0));
+        assert!((d.mean() - 0.55).abs() < 1e-12);
+        let n = Dist::kang_normal(6.0).scaled(2.0);
+        assert_eq!(n.mean(), 12.0);
+        assert_eq!(Dist::Constant(3.0).scaled(2.0), Dist::Constant(6.0));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let d = Dist::kang_normal(6.0);
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..50).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..50).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad uniform range")]
+    fn rejects_empty_range() {
+        let _ = Dist::uniform(5.0, 5.0);
+    }
+}

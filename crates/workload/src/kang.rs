@@ -1,0 +1,282 @@
+//! Kang-style instances (paper §VI-A, "Kang instances", after Kang et
+//! al. \[24\] — *Neurosurgeon*-style measurements of mobile/edge DNN
+//! workloads).
+//!
+//! Edge units have a compute type (GPU: speed 6/11; CPU: speed 6/37) and a
+//! network channel (Wi-Fi: mean uplink 95; LTE: 180; 3G: 870). Jobs draw:
+//!
+//! * work from `N(6, (6/4)²)`,
+//! * uplink from `N(t, (t/4)²)` with `t` set by the origin's channel,
+//! * downlink = 0 ("the place of delivery is not relevant"),
+//!
+//! all truncated positive; release dates follow the load model.
+
+use crate::dist::Dist;
+use crate::load;
+use mmsec_platform::{EdgeId, Instance, Job, PlatformSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Compute capability of an edge unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComputeType {
+    /// Mobile GPU — speed 6/11 (paper, after \[24\]).
+    Gpu,
+    /// Mobile CPU — speed 6/37.
+    Cpu,
+}
+
+impl ComputeType {
+    /// Edge speed of this compute type.
+    pub fn speed(self) -> f64 {
+        match self {
+            ComputeType::Gpu => 6.0 / 11.0,
+            ComputeType::Cpu => 6.0 / 37.0,
+        }
+    }
+}
+
+/// Network channel of an edge unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Channel {
+    /// Mean uplink time 95.
+    WiFi,
+    /// Mean uplink time 180.
+    Lte,
+    /// Mean uplink time 870.
+    ThreeG,
+}
+
+impl Channel {
+    /// Mean uplink communication time on this channel.
+    pub fn mean_uplink(self) -> f64 {
+        match self {
+            Channel::WiFi => 95.0,
+            Channel::Lte => 180.0,
+            Channel::ThreeG => 870.0,
+        }
+    }
+}
+
+/// One edge unit profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeProfile {
+    /// Compute capability.
+    pub compute: ComputeType,
+    /// Network channel.
+    pub channel: Channel,
+}
+
+/// The six (compute × channel) combinations, cycled over edge units.
+pub const PROFILE_CYCLE: [EdgeProfile; 6] = [
+    EdgeProfile { compute: ComputeType::Gpu, channel: Channel::WiFi },
+    EdgeProfile { compute: ComputeType::Cpu, channel: Channel::WiFi },
+    EdgeProfile { compute: ComputeType::Gpu, channel: Channel::Lte },
+    EdgeProfile { compute: ComputeType::Cpu, channel: Channel::Lte },
+    EdgeProfile { compute: ComputeType::Gpu, channel: Channel::ThreeG },
+    EdgeProfile { compute: ComputeType::Cpu, channel: Channel::ThreeG },
+];
+
+/// Configuration of a Kang instance (defaults = paper Figure 2(c)).
+#[derive(Clone, Debug, PartialEq)]
+pub struct KangConfig {
+    /// Number of edge units (paper: 20 in Fig. 2(c), 100 in Fig. 2(d)).
+    pub num_edge: usize,
+    /// Number of cloud processors (paper: 10).
+    pub num_cloud: usize,
+    /// Number of jobs.
+    pub n: usize,
+    /// Load ℓ (paper default 0.05).
+    pub load: f64,
+    /// Mean work (paper: 6, relative σ 1/4).
+    pub mean_work: f64,
+    /// When set, edge profiles are a seeded shuffle of the cycle instead
+    /// of the deterministic round-robin (the paper does not specify the
+    /// device mix; this probes sensitivity to it).
+    pub profile_seed: Option<u64>,
+}
+
+impl Default for KangConfig {
+    fn default() -> Self {
+        KangConfig {
+            num_edge: 20,
+            num_cloud: 10,
+            n: 1000,
+            load: 0.05,
+            mean_work: 6.0,
+            profile_seed: None,
+        }
+    }
+}
+
+impl KangConfig {
+    /// Edge profiles: the six (compute × channel) combinations cycled
+    /// round-robin, optionally shuffled by `profile_seed`.
+    pub fn profiles(&self) -> Vec<EdgeProfile> {
+        let mut profiles: Vec<EdgeProfile> = (0..self.num_edge)
+            .map(|j| PROFILE_CYCLE[j % PROFILE_CYCLE.len()])
+            .collect();
+        if let Some(seed) = self.profile_seed {
+            let mut sm = mmsec_sim::seed::SplitMix64::new(seed);
+            for i in (1..profiles.len()).rev() {
+                let j = (sm.next_u64() % (i as u64 + 1)) as usize;
+                profiles.swap(i, j);
+            }
+        }
+        profiles
+    }
+
+    /// The platform of this configuration.
+    pub fn platform(&self) -> PlatformSpec {
+        let speeds = self.profiles().iter().map(|p| p.compute.speed()).collect();
+        PlatformSpec::homogeneous_cloud(speeds, self.num_cloud)
+    }
+
+    /// Generates one instance deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Instance {
+        let spec = self.platform();
+        let profiles = self.profiles();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let work_dist = Dist::kang_normal(self.mean_work);
+
+        let origins: Vec<usize> =
+            (0..self.n).map(|_| rng.gen_range(0..self.num_edge)).collect();
+        let works: Vec<f64> = (0..self.n).map(|_| work_dist.sample(&mut rng)).collect();
+        let ups: Vec<f64> = origins
+            .iter()
+            .map(|&o| {
+                Dist::kang_normal(profiles[o].channel.mean_uplink()).sample(&mut rng)
+            })
+            .collect();
+        let releases = load::sample_releases(&works, &spec, self.load, &mut rng);
+
+        let jobs = (0..self.n)
+            .map(|i| Job::new(EdgeId(origins[i]), releases[i], works[i], ups[i], 0.0))
+            .collect();
+        Instance::new(spec, jobs).expect("generated instance is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speeds_match_paper() {
+        assert!((ComputeType::Gpu.speed() - 6.0 / 11.0).abs() < 1e-15);
+        assert!((ComputeType::Cpu.speed() - 6.0 / 37.0).abs() < 1e-15);
+        assert_eq!(Channel::WiFi.mean_uplink(), 95.0);
+        assert_eq!(Channel::Lte.mean_uplink(), 180.0);
+        assert_eq!(Channel::ThreeG.mean_uplink(), 870.0);
+    }
+
+    #[test]
+    fn platform_shape() {
+        let cfg = KangConfig::default();
+        let spec = cfg.platform();
+        assert_eq!(spec.num_edge(), 20);
+        assert_eq!(spec.num_cloud(), 10);
+        // All edge speeds come from the two compute types.
+        for j in spec.edges() {
+            let s = spec.edge_speed(j);
+            assert!(
+                (s - 6.0 / 11.0).abs() < 1e-12 || (s - 6.0 / 37.0).abs() < 1e-12,
+                "unexpected speed {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn downlinks_are_zero_and_uplinks_match_channels() {
+        let cfg = KangConfig {
+            n: 3000,
+            ..KangConfig::default()
+        };
+        let inst = cfg.generate(11);
+        let profiles = cfg.profiles();
+        assert!(inst.jobs.iter().all(|j| j.dn == 0.0));
+        // Per-channel empirical uplink means are close to the targets.
+        for channel in [Channel::WiFi, Channel::Lte, Channel::ThreeG] {
+            let ups: Vec<f64> = inst
+                .jobs
+                .iter()
+                .filter(|j| profiles[j.origin.0].channel == channel)
+                .map(|j| j.up)
+                .collect();
+            assert!(ups.len() > 100, "few samples for {channel:?}");
+            let mean = ups.iter().sum::<f64>() / ups.len() as f64;
+            let target = channel.mean_uplink();
+            assert!(
+                (mean / target - 1.0).abs() < 0.05,
+                "{channel:?}: mean {mean} vs {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn work_distribution_statistics() {
+        let cfg = KangConfig {
+            n: 20_000,
+            num_edge: 6,
+            ..KangConfig::default()
+        };
+        let inst = cfg.generate(5);
+        let works: Vec<f64> = inst.jobs.iter().map(|j| j.work).collect();
+        let mean = works.iter().sum::<f64>() / works.len() as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean work {mean}");
+        assert!(works.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = KangConfig {
+            n: 100,
+            ..KangConfig::default()
+        };
+        assert_eq!(cfg.generate(1), cfg.generate(1));
+        assert_ne!(cfg.generate(1), cfg.generate(2));
+    }
+
+    #[test]
+    fn shuffled_profiles_are_a_permutation() {
+        let base = KangConfig {
+            num_edge: 12,
+            ..KangConfig::default()
+        };
+        let shuffled = KangConfig {
+            profile_seed: Some(99),
+            ..base.clone()
+        };
+        let mut a = base.profiles();
+        let mut b = shuffled.profiles();
+        assert_ne!(a, b, "seeded shuffle must change the order");
+        // Same multiset of profiles.
+        let key = |p: &EdgeProfile| (p.compute.speed().to_bits(), p.channel.mean_uplink() as u64);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+        // Deterministic per seed; platform matches profiles.
+        assert_eq!(shuffled.profiles(), shuffled.profiles());
+        let spec = shuffled.platform();
+        for (j, p) in shuffled.profiles().iter().enumerate() {
+            assert_eq!(spec.edge_speed(mmsec_platform::EdgeId(j)), p.compute.speed());
+        }
+        // Instances generate and validate.
+        let inst = KangConfig { n: 30, ..shuffled }.generate(1);
+        assert!(inst.validate().is_ok());
+    }
+
+    #[test]
+    fn hundred_edges_config() {
+        // Figure 2(d): 100 edge units, 10 clouds.
+        let cfg = KangConfig {
+            num_edge: 100,
+            n: 200,
+            ..KangConfig::default()
+        };
+        let inst = cfg.generate(1);
+        assert_eq!(inst.spec.num_edge(), 100);
+        assert_eq!(inst.spec.num_cloud(), 10);
+        assert_eq!(inst.num_jobs(), 200);
+    }
+}

@@ -1,0 +1,27 @@
+//! `mmsec-workload` — instance generators reproducing the simulation setup
+//! of paper §VI-A:
+//!
+//! * [`RandomCcrConfig`] — random instances tied together by the
+//!   communication-to-computation ratio (Figures 2(a) and 2(b));
+//! * [`KangConfig`] — realistic instances after Kang et al. \[24\]
+//!   (Figures 2(c) and 2(d));
+//! * [`load`] — the release-date model controlling system load;
+//! * [`dist`] — the underlying distribution toolkit (uniform + Box–Muller
+//!   truncated normal).
+//!
+//! All generators are pure functions of their configuration and a `u64`
+//! seed, so experiments are exactly reproducible.
+
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod arrival;
+pub mod dist;
+pub mod kang;
+pub mod load;
+pub mod random_ccr;
+
+pub use arrival::ArrivalProcess;
+pub use dist::Dist;
+pub use kang::{Channel, ComputeType, EdgeProfile, KangConfig};
+pub use random_ccr::RandomCcrConfig;

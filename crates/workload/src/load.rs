@@ -1,0 +1,74 @@
+//! Load-controlled release dates (paper §VI-A).
+//!
+//! "The distribution of the release dates is chosen to control the load on
+//! edge processors [...] for a load ℓ, the maximum release date is set to
+//! `Σ_i w_i / (ℓ · Σ_j s_j)`" — the aggregate work over the aggregate
+//! platform speed, divided by the load. Release dates are then drawn
+//! uniformly over `[0, R]`. Small ℓ spreads jobs out (light load); the
+//! paper defaults to ℓ = 0.05 and stresses systems up to ℓ = 2.
+
+use mmsec_platform::PlatformSpec;
+use rand::Rng;
+
+/// Maximum release date for the given works, platform, and load ℓ.
+pub fn max_release(works: &[f64], spec: &PlatformSpec, load: f64) -> f64 {
+    assert!(load > 0.0, "load must be positive");
+    let total_work: f64 = works.iter().sum();
+    total_work / (load * spec.total_speed())
+}
+
+/// Draws one release date per work, uniformly over `[0, max_release)`.
+pub fn sample_releases<R: Rng + ?Sized>(
+    works: &[f64],
+    spec: &PlatformSpec,
+    load: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    let r_max = max_release(works, spec, load);
+    works
+        .iter()
+        .map(|_| {
+            if r_max > 0.0 {
+                rng.gen_range(0.0..r_max)
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn max_release_formula() {
+        // total work 100, total speed (0.5 + 0.5 + 1.0) = 2, load 0.05:
+        // R = 100 / (0.05 * 2) = 1000.
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.5, 0.5], 1);
+        let works = vec![60.0, 40.0];
+        assert!((max_release(&works, &spec, 0.05) - 1000.0).abs() < 1e-9);
+        // Doubling the load halves the horizon.
+        assert!((max_release(&works, &spec, 0.1) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn releases_within_horizon() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let works = vec![5.0; 100];
+        let mut rng = StdRng::seed_from_u64(3);
+        let releases = sample_releases(&works, &spec, 0.5, &mut rng);
+        let r_max = max_release(&works, &spec, 0.5);
+        assert_eq!(releases.len(), 100);
+        assert!(releases.iter().all(|&r| (0.0..r_max).contains(&r)));
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be positive")]
+    fn rejects_zero_load() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let _ = max_release(&[1.0], &spec, 0.0);
+    }
+}

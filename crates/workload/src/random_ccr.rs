@@ -1,0 +1,173 @@
+//! Random instances parameterized by the communication-to-computation
+//! ratio (paper §VI-A, "Random instances").
+//!
+//! Default platform: 20 cloud processors, 10 slow edge units (speed 0.1)
+//! and 10 fast edge units (speed 0.5). Work amounts and communication
+//! times are drawn from uniform distributions of the same shape, with the
+//! communication distribution scaled so that
+//! `E[comm] / E[work] = CCR` — CCR 0.1 is compute-intensive, CCR 10
+//! communication-intensive. Release dates follow the load model.
+
+use crate::arrival::{sample_arrivals, ArrivalProcess};
+use crate::dist::Dist;
+use mmsec_platform::{EdgeId, Instance, Job, PlatformSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a random-CCR instance (defaults = paper §VI-A).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RandomCcrConfig {
+    /// Number of jobs `n` (paper: 4000).
+    pub n: usize,
+    /// Communication-to-computation ratio (paper sweep: 0.1 … 10).
+    pub ccr: f64,
+    /// Load ℓ (paper default 0.05; Figure 2(b) sweeps to 2).
+    pub load: f64,
+    /// Cloud processors (paper: 20).
+    pub num_cloud: usize,
+    /// Number of slow edge units (paper: 10 at speed 0.1).
+    pub slow_edges: usize,
+    /// Speed of the slow edge units.
+    pub slow_speed: f64,
+    /// Number of fast edge units (paper: 10 at speed 0.5).
+    pub fast_edges: usize,
+    /// Speed of the fast edge units.
+    pub fast_speed: f64,
+    /// Base distribution of work amounts (communications reuse its shape
+    /// scaled by the CCR).
+    pub work_dist: Dist,
+    /// Release-date process (paper: uniform; Poisson as an extension).
+    pub arrivals: ArrivalProcess,
+}
+
+impl Default for RandomCcrConfig {
+    fn default() -> Self {
+        RandomCcrConfig {
+            n: 4000,
+            ccr: 1.0,
+            load: 0.05,
+            num_cloud: 20,
+            slow_edges: 10,
+            slow_speed: 0.1,
+            fast_edges: 10,
+            fast_speed: 0.5,
+            work_dist: Dist::uniform(1.0, 10.0),
+            arrivals: ArrivalProcess::Uniform,
+        }
+    }
+}
+
+impl RandomCcrConfig {
+    /// The platform of this configuration.
+    pub fn platform(&self) -> PlatformSpec {
+        let mut speeds = vec![self.slow_speed; self.slow_edges];
+        speeds.extend(vec![self.fast_speed; self.fast_edges]);
+        PlatformSpec::homogeneous_cloud(speeds, self.num_cloud)
+    }
+
+    /// Generates one instance deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Instance {
+        let spec = self.platform();
+        let num_edge = spec.num_edge();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let comm_dist = self.work_dist.scaled(self.ccr);
+
+        let works: Vec<f64> = (0..self.n).map(|_| self.work_dist.sample(&mut rng)).collect();
+        let ups: Vec<f64> = (0..self.n).map(|_| comm_dist.sample(&mut rng)).collect();
+        let dns: Vec<f64> = (0..self.n).map(|_| comm_dist.sample(&mut rng)).collect();
+        let origins: Vec<usize> = (0..self.n).map(|_| rng.gen_range(0..num_edge)).collect();
+        let releases = sample_arrivals(self.arrivals, &works, &spec, self.load, &mut rng);
+
+        let jobs = (0..self.n)
+            .map(|i| Job::new(EdgeId(origins[i]), releases[i], works[i], ups[i], dns[i]))
+            .collect();
+        Instance::new(spec, jobs).expect("generated instance is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_platform() {
+        let cfg = RandomCcrConfig::default();
+        let spec = cfg.platform();
+        assert_eq!(spec.num_cloud(), 20);
+        assert_eq!(spec.num_edge(), 20);
+        let slow = (0..10).filter(|&j| spec.edge_speed(EdgeId(j)) == 0.1).count();
+        let fast = (10..20).filter(|&j| spec.edge_speed(EdgeId(j)) == 0.5).count();
+        assert_eq!(slow, 10);
+        assert_eq!(fast, 10);
+    }
+
+    #[test]
+    fn ccr_controls_comm_to_work_ratio() {
+        for ccr in [0.1, 1.0, 10.0] {
+            let cfg = RandomCcrConfig {
+                n: 3000,
+                ccr,
+                ..RandomCcrConfig::default()
+            };
+            let inst = cfg.generate(42);
+            let mean_w: f64 =
+                inst.jobs.iter().map(|j| j.work).sum::<f64>() / inst.num_jobs() as f64;
+            let mean_c: f64 = inst.jobs.iter().map(|j| 0.5 * (j.up + j.dn)).sum::<f64>()
+                / inst.num_jobs() as f64;
+            let ratio = mean_c / mean_w;
+            assert!(
+                (ratio / ccr - 1.0).abs() < 0.1,
+                "ccr {ccr}: empirical ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_controls_release_horizon() {
+        let light = RandomCcrConfig {
+            n: 500,
+            load: 0.05,
+            ..RandomCcrConfig::default()
+        }
+        .generate(1);
+        let heavy = RandomCcrConfig {
+            n: 500,
+            load: 2.0,
+            ..RandomCcrConfig::default()
+        }
+        .generate(1);
+        let horizon = |inst: &Instance| {
+            inst.jobs
+                .iter()
+                .map(|j| j.release.seconds())
+                .fold(0.0f64, f64::max)
+        };
+        // 40× smaller load ⇒ about 40× wider horizon.
+        let ratio = horizon(&light) / horizon(&heavy);
+        assert!(ratio > 20.0, "horizon ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_per_seed_distinct_across_seeds() {
+        let cfg = RandomCcrConfig {
+            n: 50,
+            ..RandomCcrConfig::default()
+        };
+        assert_eq!(cfg.generate(7), cfg.generate(7));
+        assert_ne!(cfg.generate(7), cfg.generate(8));
+    }
+
+    #[test]
+    fn origins_cover_all_edges() {
+        let cfg = RandomCcrConfig {
+            n: 2000,
+            ..RandomCcrConfig::default()
+        };
+        let inst = cfg.generate(3);
+        let mut seen = vec![false; inst.spec.num_edge()];
+        for j in &inst.jobs {
+            seen[j.origin.0] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+}

@@ -1,0 +1,28 @@
+//! A miniature of the paper's Figure 2(a): sweep the communication-to-
+//! computation ratio and watch the cloud stop paying off.
+//!
+//! Run with: `cargo run --release --example ccr_sweep`
+
+use mmsec_bench::experiments::{fig2a, CCR_SWEEP};
+use mmsec_bench::Scale;
+
+fn main() {
+    let scale = Scale {
+        reps: 5,
+        n_random: 200,
+        kang_ns: vec![],
+        threads: mmsec_analysis::default_threads(),
+        validate: true,
+    };
+    println!(
+        "Sweeping CCR over {CCR_SWEEP:?} on the paper's random platform\n\
+         (20 cloud, 10 edge @ 0.1, 10 edge @ 0.5; n = {}, {} reps per point)\n",
+        scale.n_random, scale.reps
+    );
+    let fig = fig2a(&scale, 42);
+    println!("{}", fig.to_markdown());
+    println!(
+        "For the paper-scale version (n = 4000, 1000 reps), run:\n  \
+         cargo run --release -p mmsec-bench --bin repro -- fig2a --scale full"
+    );
+}

@@ -1,0 +1,55 @@
+//! A "smart-city" scenario on the Kang platform (paper §VI-A, after Kang
+//! et al. [24]): mobile devices with GPU/CPU compute and Wi-Fi/LTE/3G
+//! uplinks stream DNN-style jobs, optionally offloading to a 10-processor
+//! cloud. Compares the four paper heuristics plus the extra baselines.
+//!
+//! Run with: `cargo run --release --example kang_smart_city`
+
+use mmsec_core::PolicyKind;
+use mmsec_platform::{simulate, validate, StretchReport, Target};
+use mmsec_workload::KangConfig;
+
+fn main() {
+    let cfg = KangConfig {
+        num_edge: 20,
+        num_cloud: 10,
+        n: 400,
+        load: 0.05,
+        ..KangConfig::default()
+    };
+    let instance = cfg.generate(2021);
+    println!(
+        "Kang platform: {} edge devices (GPU/CPU × WiFi/LTE/3G), {} cloud processors, {} jobs\n",
+        cfg.num_edge, cfg.num_cloud, cfg.n
+    );
+
+    println!("policy      max-stretch  mean-stretch  offloaded  restarts  sched-time");
+    for kind in PolicyKind::ALL {
+        let mut policy = kind.build(7);
+        let out = simulate(&instance, policy.as_mut()).expect("completes");
+        validate(&instance, &out.schedule).expect("valid schedule");
+        let report = StretchReport::new(&instance, &out.schedule);
+        let offloaded = out
+            .schedule
+            .alloc
+            .iter()
+            .filter(|a| matches!(a, Some(Target::Cloud(_))))
+            .count();
+        println!(
+            "{:<11} {:>11.3} {:>13.3} {:>7}/{:<3} {:>8} {:>10.1?}",
+            kind.name(),
+            report.max_stretch,
+            report.mean_stretch,
+            offloaded,
+            instance.num_jobs(),
+            out.stats.restarts,
+            out.stats.decide_time,
+        );
+    }
+
+    println!(
+        "\nReading: with 3G uplinks averaging 870s versus ~37s of local compute, \
+         only jobs from well-connected devices are worth offloading — exactly the \
+         trade-off the heuristics navigate."
+    );
+}

@@ -1,0 +1,78 @@
+//! The offline side of the paper (§IV): exact solvers and NP-hardness
+//! reductions in action.
+//!
+//! Run with: `cargo run --example offline_optimal`
+
+use mmsec_core::PolicyKind;
+use mmsec_offline::brute::optimal_mmsh;
+use mmsec_offline::reductions::{
+    has_two_partition_eq, mmsh_to_mmseco, two_partition_eq_to_mmsh,
+};
+use mmsec_offline::single_machine::{optimal_max_stretch, OfflineJob};
+use mmsec_offline::{optimal_order_based, spt_max_stretch, MmshInstance};
+use mmsec_platform::{simulate, StretchReport};
+
+fn main() {
+    // 1. Lemma 2: SPT order on one machine.
+    let works = [1.0, 10.0];
+    println!("Lemma 2 — one processor, jobs {works:?}:");
+    println!(
+        "  shortest-first max-stretch = {:.3} (the paper's 1.1 vs 11 example)",
+        spt_max_stretch(&works)
+    );
+
+    // 2. Exact MMSH: the problem proven NP-complete by Theorem 1.
+    let inst = MmshInstance::new(2, vec![4.0, 2.5, 1.0, 3.0, 2.0, 1.5]);
+    let opt = optimal_mmsh(&inst);
+    println!(
+        "\nExact MMSH (2 processors, {} jobs): optimal max-stretch = {:.4}, assignment {:?}",
+        inst.num_jobs(),
+        opt.max_stretch,
+        opt.assign
+    );
+
+    // 3. Theorem 1 in action: a 2-PARTITION-EQ instance and its MMSH image.
+    let a = [1u64, 2, 3, 4];
+    let (reduced, threshold) = two_partition_eq_to_mmsh(&a);
+    let reduced_opt = optimal_mmsh(&reduced);
+    println!(
+        "\nTheorem 1 — 2-PARTITION-EQ {a:?}: partition exists = {}, \
+         MMSH optimum {:.4} vs threshold {:.4} → decision {}",
+        has_two_partition_eq(&a),
+        reduced_opt.max_stretch,
+        threshold,
+        reduced_opt.max_stretch <= threshold + 1e-9
+    );
+
+    // 4. Theorem 3: the same MMSH instance as an edge-cloud instance, and
+    //    what the online heuristics achieve against the offline optimum.
+    let eco = mmsh_to_mmseco(&inst);
+    let oracle = optimal_order_based(&eco);
+    println!(
+        "\nTheorem 3 embedding — offline optimum {:.4}; online heuristics:",
+        oracle.max_stretch
+    );
+    for kind in PolicyKind::PAPER {
+        let mut policy = kind.build(0);
+        let out = simulate(&eco, policy.as_mut()).expect("completes");
+        let r = StretchReport::new(&eco, &out.schedule);
+        println!(
+            "  {:<10} {:.4}  (x{:.3} of optimal)",
+            kind.name(),
+            r.max_stretch,
+            r.max_stretch / oracle.max_stretch
+        );
+    }
+
+    // 5. Single-machine offline optimum with release dates (the engine
+    //    behind Edge-Only and SSF-EDF's binary search).
+    let jobs = [
+        OfflineJob::plain(0.0, 10.0),
+        OfflineJob::plain(1.0, 1.0),
+        OfflineJob::plain(4.0, 2.0),
+    ];
+    println!(
+        "\nSingle machine with releases: optimal max-stretch = {:.4}",
+        optimal_max_stretch(&jobs, 1e-6)
+    );
+}

@@ -1,0 +1,90 @@
+//! Integration tests for the `mmsec` command-line binary.
+
+use std::process::Command;
+
+fn mmsec() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mmsec"))
+}
+
+#[test]
+fn gen_run_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("mmsec-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = dir.join("inst.txt");
+
+    let out = mmsec()
+        .args(["gen", "random", "--n", "15", "--ccr", "0.5", "--seed", "9"])
+        .args(["--out", inst.to_str().unwrap()])
+        .output()
+        .expect("gen runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(inst.exists());
+
+    let out = mmsec()
+        .args(["run", "--instance", inst.to_str().unwrap(), "--policy", "srpt"])
+        .output()
+        .expect("run runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("max stretch"), "{stdout}");
+    assert!(stdout.contains("srpt"));
+
+    let out = mmsec()
+        .args(["run", "--instance", inst.to_str().unwrap(), "--gantt", "--per-job"])
+        .output()
+        .expect("gantt runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("time 0 .."), "{stdout}");
+    assert!(stdout.contains("J1"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_lists_all_policies() {
+    let dir = std::env::temp_dir().join(format!("mmsec-cli-cmp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = dir.join("inst.txt");
+    assert!(mmsec()
+        .args(["gen", "kang", "--n", "12", "--edges", "6", "--seed", "3"])
+        .args(["--out", inst.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = mmsec()
+        .args(["compare", "--instance", inst.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["edge-only", "greedy", "srpt", "ssf-edf", "fcfs", "cloud-only", "random"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_writes_parseable_text_to_stdout() {
+    let out = mmsec()
+        .args(["gen", "random", "--n", "5", "--seed", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let parsed = mmsec_platform::Instance::from_text(&text).expect("parseable");
+    assert_eq!(parsed.num_jobs(), 5);
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = mmsec().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = mmsec()
+        .args(["run", "--instance", "/nonexistent/file.txt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = mmsec().output().unwrap();
+    assert!(!out.status.success());
+}

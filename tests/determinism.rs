@@ -1,0 +1,107 @@
+//! Reproducibility: everything is a pure function of its seeds — policies,
+//! generators, the parallel runner, and whole experiment points.
+
+use mmsec_bench::{evaluate_point, Scale};
+use mmsec_core::PolicyKind;
+use mmsec_platform::{simulate, EngineOptions};
+use mmsec_workload::{KangConfig, RandomCcrConfig};
+
+#[test]
+fn policies_are_deterministic() {
+    let cfg = RandomCcrConfig {
+        n: 50,
+        num_cloud: 4,
+        slow_edges: 2,
+        fast_edges: 2,
+        ..RandomCcrConfig::default()
+    };
+    let inst = cfg.generate(3);
+    for kind in PolicyKind::ALL {
+        let mut a = kind.build(5);
+        let mut b = kind.build(5);
+        let ra = simulate(&inst, a.as_mut()).unwrap();
+        let rb = simulate(&inst, b.as_mut()).unwrap();
+        assert_eq!(ra.schedule, rb.schedule, "{kind} is nondeterministic");
+    }
+}
+
+#[test]
+fn generators_are_pure_functions_of_seed() {
+    let r = RandomCcrConfig {
+        n: 200,
+        ..RandomCcrConfig::default()
+    };
+    assert_eq!(r.generate(42), r.generate(42));
+    assert_ne!(r.generate(42), r.generate(43));
+    let k = KangConfig {
+        n: 200,
+        ..KangConfig::default()
+    };
+    assert_eq!(k.generate(42), k.generate(42));
+    assert_ne!(k.generate(42), k.generate(43));
+}
+
+#[test]
+fn experiment_points_independent_of_thread_count() {
+    let cfg = RandomCcrConfig {
+        n: 40,
+        num_cloud: 3,
+        slow_edges: 2,
+        fast_edges: 2,
+        ..RandomCcrConfig::default()
+    };
+    let policies = [PolicyKind::Srpt, PolicyKind::SsfEdf];
+    let serial = evaluate_point(
+        |s| cfg.generate(s),
+        &policies,
+        5,
+        1,
+        77,
+        EngineOptions::default(),
+        false,
+    );
+    let parallel = evaluate_point(
+        |s| cfg.generate(s),
+        &policies,
+        5,
+        4,
+        77,
+        EngineOptions::default(),
+        false,
+    );
+    for p in 0..policies.len() {
+        assert_eq!(serial.max_stretch[p].mean, parallel.max_stretch[p].mean);
+        assert_eq!(serial.max_stretch[p].std, parallel.max_stretch[p].std);
+    }
+}
+
+#[test]
+fn full_figures_reproduce_bit_identically() {
+    let scale = Scale {
+        reps: 2,
+        n_random: 25,
+        kang_ns: vec![10],
+        threads: 2,
+        validate: false,
+    };
+    let a = mmsec_bench::experiments::fig2a(&scale, 9).table.to_csv();
+    let b = mmsec_bench::experiments::fig2a(&scale, 9).table.to_csv();
+    assert_eq!(a, b);
+    let c = mmsec_bench::experiments::fig2c(&scale, 9).table.to_csv();
+    let d = mmsec_bench::experiments::fig2c(&scale, 9).table.to_csv();
+    assert_eq!(c, d);
+}
+
+#[test]
+fn different_seeds_change_results() {
+    let scale = Scale {
+        reps: 2,
+        n_random: 25,
+        kang_ns: vec![10],
+        threads: 2,
+        validate: false,
+    };
+    let a = mmsec_bench::experiments::fig2a(&scale, 1).table.to_csv();
+    let b = mmsec_bench::experiments::fig2a(&scale, 2).table.to_csv();
+    assert_ne!(a, b);
+}

@@ -1,0 +1,84 @@
+//! Smoke tests: every experiment of the harness runs end-to-end at tiny
+//! scale and produces well-formed output with the expected qualitative
+//! ordering between heuristics.
+
+use mmsec_bench::experiments;
+use mmsec_bench::{evaluate_point, Scale};
+use mmsec_core::PolicyKind;
+use mmsec_platform::EngineOptions;
+use mmsec_workload::RandomCcrConfig;
+
+fn tiny() -> Scale {
+    Scale {
+        reps: 3,
+        n_random: 40,
+        kang_ns: vec![15, 30],
+        threads: 2,
+        validate: true,
+    }
+}
+
+#[test]
+fn every_figure_regenerates() {
+    let s = tiny();
+    for (fig, rows) in [
+        (experiments::fig2a(&s, 1), experiments::CCR_SWEEP.len()),
+        (experiments::fig2b(&s, 1), experiments::LOAD_SWEEP.len()),
+        (experiments::fig2c(&s, 1), 2),
+        (experiments::fig2d(&s, 1), 2),
+        (experiments::exec_times(&s, 1), 4),
+    ] {
+        assert_eq!(fig.table.num_rows(), rows, "{}", fig.id);
+        let md = fig.to_markdown();
+        assert!(md.contains(fig.id));
+        let csv = fig.table.to_csv();
+        assert!(csv.lines().count() == rows + 1);
+    }
+}
+
+#[test]
+fn every_ablation_regenerates() {
+    let s = tiny();
+    assert!(experiments::ablation_alpha(&s, 1).table.num_rows() > 0);
+    assert!(experiments::ablation_ports(&s, 1).table.num_rows() > 0);
+    assert!(experiments::ablation_preemption(&s, 1).table.num_rows() > 0);
+    assert!(experiments::ext_heterogeneous(&s, 1).table.num_rows() > 0);
+    assert!(experiments::ext_windows(&s, 1).table.num_rows() > 0);
+}
+
+/// The headline qualitative claim of §VI at compute-friendly CCR: the
+/// cloud-using heuristics beat Edge-Only by a wide margin, and SSF-EDF is
+/// the best of them. Averaged over enough instances to be stable.
+#[test]
+fn qualitative_ordering_at_low_ccr() {
+    let cfg = RandomCcrConfig {
+        n: 80,
+        ccr: 0.1,
+        load: 0.05,
+        num_cloud: 8,
+        slow_edges: 4,
+        fast_edges: 4,
+        ..RandomCcrConfig::default()
+    };
+    let policies = [PolicyKind::EdgeOnly, PolicyKind::Srpt, PolicyKind::SsfEdf];
+    let point = evaluate_point(
+        |s| cfg.generate(s),
+        &policies,
+        12,
+        4,
+        1234,
+        EngineOptions::default(),
+        true,
+    );
+    let edge_only = point.max_stretch[0].mean;
+    let srpt = point.max_stretch[1].mean;
+    let ssf = point.max_stretch[2].mean;
+    assert!(
+        ssf < edge_only && srpt < edge_only,
+        "cloud heuristics must beat Edge-Only at CCR 0.1: ssf {ssf}, srpt {srpt}, edge-only {edge_only}"
+    );
+    assert!(
+        ssf <= srpt + 0.5,
+        "SSF-EDF should be at least comparable to SRPT: {ssf} vs {srpt}"
+    );
+}

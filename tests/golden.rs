@@ -1,0 +1,87 @@
+//! Golden regression tests: exact max-stretch values of every policy on
+//! two fixed instances. These pin the *behavior* of the heuristics — any
+//! change to decision logic, tie-breaking, engine semantics, or generator
+//! sampling shows up here first.
+//!
+//! If a change to a heuristic is INTENTIONAL, regenerate the constants
+//! (the expected values are produced by running each policy on
+//! `RandomCcrConfig{n:80, ccr:1, load:0.3, 6 clouds, 3+3 edges}.generate(424242)`
+//! and `KangConfig{n:80, 12 edges, 4 clouds}.generate(424242)` with policy
+//! seed 11) and justify the delta in the commit.
+
+use mmsec_core::PolicyKind;
+use mmsec_platform::{simulate, validate, StretchReport};
+use mmsec_workload::{KangConfig, RandomCcrConfig};
+
+const GOLDEN: [(&str, f64, f64); 7] = [
+    ("edge-only", 26.020701173878, 2.119323549913),
+    ("greedy", 1.912137634391, 2.025026056363),
+    ("srpt", 1.912137634391, 1.960044450798),
+    ("ssf-edf", 2.085435534136, 1.960044450798),
+    ("fcfs", 12.382483088715, 3.120966269486),
+    ("cloud-only", 121.133423654057, 3415.184635778429),
+    ("random", 17.123134373795, 942.048446004000),
+];
+
+fn instances() -> (mmsec_platform::Instance, mmsec_platform::Instance) {
+    let random = RandomCcrConfig {
+        n: 80,
+        ccr: 1.0,
+        load: 0.3,
+        num_cloud: 6,
+        slow_edges: 3,
+        fast_edges: 3,
+        ..RandomCcrConfig::default()
+    }
+    .generate(424242);
+    let kang = KangConfig {
+        n: 80,
+        num_edge: 12,
+        num_cloud: 4,
+        ..KangConfig::default()
+    }
+    .generate(424242);
+    (random, kang)
+}
+
+#[test]
+fn golden_max_stretches() {
+    let (random, kang) = instances();
+    for (name, expect_random, expect_kang) in GOLDEN {
+        let kind = PolicyKind::parse(name).expect("known policy");
+        let mut policy = kind.build(11);
+        let out = simulate(&random, policy.as_mut()).unwrap();
+        assert!(validate(&random, &out.schedule).is_ok());
+        let got = StretchReport::new(&random, &out.schedule).max_stretch;
+        assert!(
+            (got - expect_random).abs() < 1e-9,
+            "{name} on random: got {got:.12}, golden {expect_random:.12}"
+        );
+
+        let mut policy = kind.build(11);
+        let out = simulate(&kang, policy.as_mut()).unwrap();
+        assert!(validate(&kang, &out.schedule).is_ok());
+        let got = StretchReport::new(&kang, &out.schedule).max_stretch;
+        assert!(
+            (got - expect_kang).abs() < 1e-9,
+            "{name} on kang: got {got:.12}, golden {expect_kang:.12}"
+        );
+    }
+}
+
+/// The golden instances themselves are stable (generator regression).
+#[test]
+fn golden_instance_fingerprints() {
+    let (random, kang) = instances();
+    let fingerprint = |inst: &mmsec_platform::Instance| -> (f64, f64, f64) {
+        let w: f64 = inst.jobs.iter().map(|j| j.work).sum();
+        let r: f64 = inst.jobs.iter().map(|j| j.release.seconds()).sum();
+        let c: f64 = inst.jobs.iter().map(|j| j.up + j.dn).sum();
+        (w, r, c)
+    };
+    let (w, r, c) = fingerprint(&random);
+    assert!((w - 420.7652575915268).abs() < 1e-6, "random works sum {w:.13}");
+    assert!(r > 0.0 && c > 0.0);
+    let (w2, _, _) = fingerprint(&kang);
+    assert!((w2 / 80.0 - 6.0).abs() < 0.5, "kang mean work {w2}");
+}

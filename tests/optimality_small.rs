@@ -1,0 +1,113 @@
+//! Oracle tests on tiny instances: heuristics versus exact solvers.
+
+use mmsec_core::PolicyKind;
+use mmsec_offline::brute::optimal_mmsh;
+use mmsec_offline::reductions::mmsh_to_mmseco;
+use mmsec_offline::{optimal_order_based, MmshInstance};
+use mmsec_platform::{simulate, validate, EdgeId, Instance, Job, PlatformSpec, StretchReport};
+use mmsec_sim::seed::SplitMix64;
+
+/// On Theorem-3 embeddings (homogeneous, no comms, no releases) the exact
+/// MMSH optimum is the true optimum; no heuristic may beat it, and the
+/// good heuristics should stay within a modest factor.
+#[test]
+fn heuristics_bounded_by_exact_optimum_on_mmsh_embeddings() {
+    let mut rng = SplitMix64::new(7);
+    for trial in 0..8 {
+        let n_jobs = 4 + (rng.next_u64() % 3) as usize;
+        let procs = 2 + (rng.next_u64() % 2) as usize;
+        let works: Vec<f64> = (0..n_jobs)
+            .map(|_| 1.0 + (rng.next_u64() % 9) as f64)
+            .collect();
+        let mmsh = MmshInstance::new(procs, works.clone());
+        let opt = optimal_mmsh(&mmsh).max_stretch;
+        let eco = mmsh_to_mmseco(&mmsh);
+        for kind in PolicyKind::PAPER {
+            let mut policy = kind.build(trial);
+            let out = simulate(&eco, policy.as_mut()).unwrap();
+            assert!(validate(&eco, &out.schedule).is_ok());
+            let got = StretchReport::new(&eco, &out.schedule).max_stretch;
+            assert!(
+                got >= opt - 1e-6,
+                "{kind} beat the optimum on {works:?}/{procs}: {got} < {opt}"
+            );
+            // Loose quality envelope — catches gross regressions.
+            // (Edge-Only ignores the cloud processors entirely, so its
+            // only envelope here is n: on one machine SPT-like behavior
+            // gives stretch ≤ n.)
+            let factor = if kind == PolicyKind::EdgeOnly {
+                n_jobs as f64
+            } else {
+                3.0
+            };
+            assert!(
+                got <= factor * opt + 1e-6,
+                "{kind} too far from optimal on {works:?}/{procs}: {got} vs {opt}"
+            );
+        }
+    }
+}
+
+/// On generic tiny edge-cloud instances, the order-based exhaustive oracle
+/// upper-bounds what a sane offline scheduler achieves; heuristics must
+/// stay within a constant factor of it, and every schedule must validate.
+#[test]
+fn heuristics_near_oracle_on_tiny_edge_cloud_instances() {
+    let mut rng = SplitMix64::new(99);
+    for trial in 0..6 {
+        let n = 4 + (rng.next_u64() % 2) as usize; // 4..5 jobs
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.25, 0.5], 2);
+        let jobs: Vec<Job> = (0..n)
+            .map(|_| {
+                Job::new(
+                    EdgeId((rng.next_u64() % 2) as usize),
+                    (rng.next_u64() % 8) as f64,
+                    1.0 + (rng.next_u64() % 5) as f64,
+                    (rng.next_u64() % 3) as f64 * 0.5,
+                    (rng.next_u64() % 3) as f64 * 0.5,
+                )
+            })
+            .collect();
+        let inst = Instance::new(spec, jobs).unwrap();
+        let oracle = optimal_order_based(&inst).max_stretch;
+        for kind in [PolicyKind::Greedy, PolicyKind::Srpt, PolicyKind::SsfEdf] {
+            let mut policy = kind.build(trial);
+            let out = simulate(&inst, policy.as_mut()).unwrap();
+            assert!(validate(&inst, &out.schedule).is_ok(), "{kind}");
+            let got = StretchReport::new(&inst, &out.schedule).max_stretch;
+            assert!(
+                got <= 4.0 * oracle + 1e-6,
+                "{kind} far from the oracle (trial {trial}): {got} vs {oracle}"
+            );
+        }
+    }
+}
+
+/// SSF-EDF matches the exact optimum on instances easy enough that EDF
+/// placement is optimal (jobs spread over enough processors).
+#[test]
+fn ssf_edf_is_optimal_when_capacity_abounds() {
+    let mmsh = MmshInstance::new(4, vec![3.0, 1.0, 2.0, 4.0]);
+    let eco = mmsh_to_mmseco(&mmsh);
+    let mut policy = PolicyKind::SsfEdf.build(0);
+    let out = simulate(&eco, policy.as_mut()).unwrap();
+    let got = StretchReport::new(&eco, &out.schedule).max_stretch;
+    assert!((got - 1.0).abs() < 1e-6, "got {got}");
+}
+
+/// Exhaustive oracle agrees with the single-machine offline optimum on
+/// one-processor instances without preemption benefit (no releases).
+#[test]
+fn oracle_matches_single_machine_optimum() {
+    use mmsec_offline::single_machine::{optimal_max_stretch, OfflineJob};
+    let works = [2.0, 5.0, 1.0, 3.0];
+    let mmsh = MmshInstance::new(1, works.to_vec());
+    let eco = mmsh_to_mmseco(&mmsh);
+    let oracle = optimal_order_based(&eco).max_stretch;
+    let jobs: Vec<OfflineJob> = works.iter().map(|&w| OfflineJob::plain(0.0, w)).collect();
+    let single = optimal_max_stretch(&jobs, 1e-7);
+    assert!(
+        (oracle - single).abs() < 1e-4,
+        "oracle {oracle} vs single-machine {single}"
+    );
+}

@@ -1,0 +1,61 @@
+//! Integration: the §IV NP-hardness reductions hold numerically over
+//! randomized trials (both directions of Theorems 1–3).
+
+use mmsec_bench::hardness::verify_reductions;
+use mmsec_offline::brute::optimal_mmsh;
+use mmsec_offline::reductions::{
+    has_three_partition, has_two_partition_eq, three_partition_to_mmsh,
+    two_partition_eq_to_mmsh,
+};
+
+#[test]
+fn randomized_reduction_cross_checks() {
+    let report = verify_reductions(20, 0xBEEF);
+    assert!(
+        report.all_consistent,
+        "reduction cross-checks disagreed:\n{}",
+        report.table.to_markdown()
+    );
+}
+
+#[test]
+fn theorem1_canonical_yes_and_no() {
+    // YES: {1,2,3,4} with {1,4}/{2,3}.
+    let (inst, thr) = two_partition_eq_to_mmsh(&[1, 2, 3, 4]);
+    assert!(optimal_mmsh(&inst).max_stretch <= thr + 1e-9);
+    // NO: {2,3,4,7} (all < S = 8, no equal-cardinality half-sum split).
+    assert!(!has_two_partition_eq(&[2, 3, 4, 7]));
+    let (inst, thr) = two_partition_eq_to_mmsh(&[2, 3, 4, 7]);
+    assert!(optimal_mmsh(&inst).max_stretch > thr + 1e-9);
+}
+
+#[test]
+fn theorem2_canonical_yes_and_no() {
+    // YES: B = 20, {6,7,7} + {6,6,8}.
+    let a = [6u64, 7, 7, 6, 6, 8];
+    assert!(has_three_partition(&a, 20));
+    let (inst, thr) = three_partition_to_mmsh(&a, 20);
+    assert!(optimal_mmsh(&inst).max_stretch <= thr + 1e-9);
+    // NO: {6,6,6,9,6,7} sums to 40 but no triple reaches 20.
+    let a = [6u64, 6, 6, 9, 6, 7];
+    assert!(!has_three_partition(&a, 20));
+    let (inst, thr) = three_partition_to_mmsh(&a, 20);
+    assert!(optimal_mmsh(&inst).max_stretch > thr + 1e-9);
+}
+
+#[test]
+fn theorem1_threshold_formula() {
+    // n = 3 (six numbers): threshold (9 + 3 + 2)/4 = 3.5.
+    let a = [1u64, 2, 3, 4, 5, 9];
+    let (_, thr) = two_partition_eq_to_mmsh(&a);
+    assert!((thr - 14.0 / 4.0).abs() < 1e-12);
+}
+
+#[test]
+fn large_side_job_precondition_is_enforced() {
+    // {1,1,1,5}: a_4 = 5 ≥ S = 4 — the construction must refuse it (such
+    // instances are trivially "no" and outside the reduction's domain;
+    // accepting them would break the no-direction, see DESIGN.md).
+    let result = std::panic::catch_unwind(|| two_partition_eq_to_mmsh(&[1, 1, 1, 5]));
+    assert!(result.is_err());
+}

@@ -1,0 +1,140 @@
+//! Integration: every policy, on every workload family, always produces a
+//! schedule satisfying every §III-B constraint, with well-defined
+//! stretches.
+
+use mmsec_core::PolicyKind;
+use mmsec_platform::{simulate, validate, StretchReport};
+use mmsec_workload::{KangConfig, RandomCcrConfig};
+
+fn check_all_policies(instance: &mmsec_platform::Instance, label: &str) {
+    for kind in PolicyKind::ALL {
+        let mut policy = kind.build(99);
+        let out = simulate(instance, policy.as_mut())
+            .unwrap_or_else(|e| panic!("{label}/{kind}: {e}"));
+        assert!(out.schedule.all_finished(), "{label}/{kind}: unfinished");
+        if let Err(violations) = validate(instance, &out.schedule) {
+            panic!(
+                "{label}/{kind}: {} violations, first: {}",
+                violations.len(),
+                violations[0]
+            );
+        }
+        let report = StretchReport::new(instance, &out.schedule);
+        assert!(
+            report.max_stretch >= 1.0 - 1e-9,
+            "{label}/{kind}: max stretch {} < 1",
+            report.max_stretch
+        );
+        for (i, &s) in report.stretches.iter().enumerate() {
+            assert!(
+                s >= 1.0 - 1e-9,
+                "{label}/{kind}: job {i} stretch {s} < 1"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_ccr_instances_across_ccrs() {
+    for ccr in [0.1, 1.0, 10.0] {
+        let cfg = RandomCcrConfig {
+            n: 60,
+            ccr,
+            num_cloud: 5,
+            slow_edges: 3,
+            fast_edges: 3,
+            ..RandomCcrConfig::default()
+        };
+        for seed in 0..3 {
+            let inst = cfg.generate(seed);
+            check_all_policies(&inst, &format!("ccr{ccr}/seed{seed}"));
+        }
+    }
+}
+
+#[test]
+fn random_ccr_instances_under_load() {
+    for load in [0.05, 0.5, 2.0] {
+        let cfg = RandomCcrConfig {
+            n: 50,
+            ccr: 1.0,
+            load,
+            num_cloud: 4,
+            slow_edges: 2,
+            fast_edges: 2,
+            ..RandomCcrConfig::default()
+        };
+        let inst = cfg.generate(11);
+        check_all_policies(&inst, &format!("load{load}"));
+    }
+}
+
+#[test]
+fn kang_instances() {
+    for (num_edge, seed) in [(6usize, 0u64), (20, 1)] {
+        let cfg = KangConfig {
+            num_edge,
+            num_cloud: 4,
+            n: 60,
+            ..KangConfig::default()
+        };
+        let inst = cfg.generate(seed);
+        check_all_policies(&inst, &format!("kang{num_edge}"));
+    }
+}
+
+#[test]
+fn degenerate_platforms() {
+    // Single edge, no cloud (cloud-only baseline excluded).
+    let cfg = RandomCcrConfig {
+        n: 20,
+        num_cloud: 0,
+        slow_edges: 1,
+        fast_edges: 0,
+        ..RandomCcrConfig::default()
+    };
+    let inst = cfg.generate(5);
+    for kind in [
+        PolicyKind::EdgeOnly,
+        PolicyKind::Greedy,
+        PolicyKind::Srpt,
+        PolicyKind::SsfEdf,
+        PolicyKind::Fcfs,
+        PolicyKind::Random,
+    ] {
+        let mut policy = kind.build(1);
+        let out = simulate(&inst, policy.as_mut()).unwrap();
+        assert!(validate(&inst, &out.schedule).is_ok(), "{kind}");
+    }
+
+    // Many clouds, one job.
+    let cfg = RandomCcrConfig {
+        n: 1,
+        num_cloud: 8,
+        slow_edges: 1,
+        fast_edges: 1,
+        ..RandomCcrConfig::default()
+    };
+    let inst = cfg.generate(6);
+    check_all_policies(&inst, "one-job");
+}
+
+#[test]
+fn simultaneous_releases_burst() {
+    // Everything released at t = 0 (load → ∞ stress).
+    use mmsec_platform::{EdgeId, Instance, Job, PlatformSpec};
+    let spec = PlatformSpec::homogeneous_cloud(vec![0.3, 0.3], 3);
+    let jobs: Vec<Job> = (0..30)
+        .map(|i| {
+            Job::new(
+                EdgeId(i % 2),
+                0.0,
+                1.0 + (i % 5) as f64,
+                0.2 * (i % 3) as f64,
+                0.1,
+            )
+        })
+        .collect();
+    let inst = Instance::new(spec, jobs).unwrap();
+    check_all_policies(&inst, "burst");
+}
