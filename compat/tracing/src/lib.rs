@@ -1,0 +1,122 @@
+//! Offline no-op stand-in for the `tracing` crate. The `mmsec-obs`
+//! `tracing` feature compiles against this; the macros accept the real
+//! crate's syntax subset used by the workspace and discard everything.
+//! Replace the path in the root `Cargo.toml` with the real `tracing` to
+//! forward spans/events to actual subscribers. See `compat/README.md`.
+
+#![warn(missing_docs)]
+
+/// Verbosity levels (mirrors `tracing::Level`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Level(&'static str);
+
+impl Level {
+    /// TRACE level.
+    pub const TRACE: Level = Level("TRACE");
+    /// DEBUG level.
+    pub const DEBUG: Level = Level("DEBUG");
+    /// INFO level.
+    pub const INFO: Level = Level("INFO");
+    /// WARN level.
+    pub const WARN: Level = Level("WARN");
+    /// ERROR level.
+    pub const ERROR: Level = Level("ERROR");
+}
+
+/// A no-op span handle (mirrors `tracing::Span`).
+#[derive(Clone, Debug, Default)]
+pub struct Span;
+
+impl Span {
+    /// A span that records nothing.
+    pub fn none() -> Span {
+        Span
+    }
+
+    /// Enters the span; the guard is inert.
+    pub fn enter(&self) -> Entered<'_> {
+        Entered(std::marker::PhantomData)
+    }
+}
+
+/// Inert guard returned by [`Span::enter`].
+pub struct Entered<'a>(std::marker::PhantomData<&'a ()>);
+
+/// No-op event macro: accepts `event!(Level::…, fmt…)` and field syntax.
+#[macro_export]
+macro_rules! event {
+    ($lvl:expr, $($rest:tt)*) => {{
+        let _ = $lvl;
+    }};
+}
+
+/// No-op span macro: returns a [`Span`].
+#[macro_export]
+macro_rules! span {
+    ($lvl:expr, $($rest:tt)*) => {{
+        let _ = $lvl;
+        $crate::Span::none()
+    }};
+}
+
+/// No-op `trace!`/`debug!`/`info!`/`warn!`/`error!` shorthands.
+#[macro_export]
+macro_rules! trace {
+    ($($rest:tt)*) => {{}};
+}
+/// See [`trace!`].
+#[macro_export]
+macro_rules! debug {
+    ($($rest:tt)*) => {{}};
+}
+/// See [`trace!`].
+#[macro_export]
+macro_rules! info {
+    ($($rest:tt)*) => {{}};
+}
+/// See [`trace!`].
+#[macro_export]
+macro_rules! warn {
+    ($($rest:tt)*) => {{}};
+}
+/// See [`trace!`].
+#[macro_export]
+macro_rules! error {
+    ($($rest:tt)*) => {{}};
+}
+
+/// No-op `trace_span!`-style shorthands returning [`Span`].
+#[macro_export]
+macro_rules! trace_span {
+    ($($rest:tt)*) => {
+        $crate::Span::none()
+    };
+}
+/// See [`trace_span!`].
+#[macro_export]
+macro_rules! debug_span {
+    ($($rest:tt)*) => {
+        $crate::Span::none()
+    };
+}
+/// See [`trace_span!`].
+#[macro_export]
+macro_rules! info_span {
+    ($($rest:tt)*) => {
+        $crate::Span::none()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_expand() {
+        let span = crate::info_span!("decide", events = 3);
+        let _guard = span.enter();
+        crate::event!(crate::Level::INFO, "hello {}", 1);
+        crate::trace!("x");
+        crate::debug!("x");
+        crate::info!("x");
+        crate::error!("x");
+    }
+}

@@ -1,14 +1,14 @@
 //! Deterministic parallel experiment runner.
 //!
 //! Every point of the paper's plots averages many independently seeded
-//! trials. Trials are embarrassingly parallel: we fan them out over scoped
-//! crossbeam threads with a shared atomic work counter. Each trial is a
-//! pure function of its index, so the result vector is identical whatever
-//! the thread interleaving — reproducibility does not depend on the
-//! machine's core count.
+//! trials. Trials are embarrassingly parallel: we fan them out over
+//! `std::thread::scope` workers with a shared atomic work counter. Each
+//! trial is a pure function of its index, so the result vector is
+//! identical whatever the thread interleaving — reproducibility does not
+//! depend on the machine's core count.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Runs `trials` invocations of `f` (one per index, 0-based) across
 /// `threads` workers and returns the results in index order.
@@ -27,25 +27,24 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<T>>> =
-        Mutex::new((0..trials).map(|_| None).collect());
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= trials {
                     break;
                 }
                 let value = f(i);
-                results.lock()[i] = Some(value);
+                results.lock().expect("runner mutex poisoned")[i] = Some(value);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     results
         .into_inner()
+        .expect("runner mutex poisoned")
         .into_iter()
         .map(|v| v.expect("every trial index was produced"))
         .collect()

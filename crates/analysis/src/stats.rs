@@ -72,7 +72,10 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
 /// workloads).
 pub fn geometric_mean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "empty sample");
-    assert!(values.iter().all(|&v| v > 0.0), "geometric mean needs positives");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean needs positives"
+    );
     (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
 }
 

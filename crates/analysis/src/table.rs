@@ -133,10 +133,7 @@ mod tests {
         t.push_row(["plain", "with,comma"]);
         t.push_row(["with\"quote", "x"]);
         let csv = t.to_csv();
-        assert_eq!(
-            csv,
-            "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n"
-        );
+        assert_eq!(csv, "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n");
     }
 
     #[test]

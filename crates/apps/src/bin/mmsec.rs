@@ -1,16 +1,19 @@
 //! `mmsec` — command-line front-end to the library: generate instances,
-//! schedule them with any policy, validate, and draw Gantt charts.
+//! schedule them with any policy, validate, draw Gantt charts, and export
+//! observability artifacts (metrics JSON, Perfetto-compatible traces).
 //!
 //! ```text
 //! mmsec gen random --n 50 --ccr 1.0 --load 0.05 --seed 42 --out inst.txt
 //! mmsec gen kang   --n 50 --edges 20 --seed 42 --out inst.txt
-//! mmsec run --instance inst.txt --policy ssf-edf [--gantt] [--per-job] [--export trace.csv]
+//! mmsec run --instance inst.txt --policy ssf-edf [--gantt] [--per-job]
+//!           [--trace trace.json] [--metrics metrics.json] [-v]
 //! mmsec compare --instance inst.txt
 //! ```
 
 use mmsec_core::PolicyKind;
+use mmsec_platform::obs::{ChromeTraceWriter, Fanout, MetricsRecorder, Shared};
 use mmsec_platform::{
-    gantt, simulate, validate, GanttOptions, Instance, StretchReport, Target,
+    gantt, simulate, simulate_observed, validate, GanttOptions, Instance, StretchReport, Target,
 };
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 use std::collections::HashMap;
@@ -20,7 +23,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  mmsec gen random --n N [--ccr X] [--load X] [--seed N] [--out FILE]\n  \
          mmsec gen kang --n N [--edges N] [--load X] [--seed N] [--out FILE]\n  \
-         mmsec run --instance FILE [--policy NAME] [--gantt] [--per-job]\n  \
+         mmsec run --instance FILE [--policy NAME] [--seed N] [--gantt] [--per-job]\n    \
+         [--export FILE.csv] [--svg FILE.svg] [--trace FILE.json] [--metrics FILE.json] [-v]\n  \
          mmsec compare --instance FILE\n\npolicies: {}",
         PolicyKind::ALL
             .iter()
@@ -31,22 +35,51 @@ fn usage() -> ! {
     exit(2);
 }
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+/// Parses `--flag [value]` pairs, rejecting anything not in `allowed`
+/// Boolean switches: every other accepted flag requires a value.
+const SWITCHES: &[&str] = &["gantt", "per-job", "verbose"];
+
+/// Parses `--flag [value]` pairs, rejecting anything not in `allowed`
+/// (so a typo like `--polcy` fails loudly instead of being ignored) and
+/// value-taking flags with a missing value (so `--trace` alone does not
+/// silently write a file named `true`).
+/// `-v` is accepted as shorthand for `--verbose`.
+fn parse_flags(args: &[String], allowed: &[&str]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        let Some(key) = args[i].strip_prefix("--") else {
-            usage();
-        };
-        // Value-less flags (e.g. --gantt) are recorded as "true".
-        match args.get(i + 1) {
-            Some(v) if !v.starts_with("--") => {
-                flags.insert(key.to_string(), v.clone());
-                i += 2;
+        let key = if args[i] == "-v" {
+            "verbose"
+        } else {
+            match args[i].strip_prefix("--") {
+                Some(key) => key,
+                None => usage(),
             }
-            _ => {
-                flags.insert(key.to_string(), "true".to_string());
-                i += 1;
+        };
+        if !allowed.contains(&key) {
+            eprintln!(
+                "unknown flag --{key}\naccepted flags: {}",
+                allowed
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            exit(2);
+        }
+        if SWITCHES.contains(&key) {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("flag --{key} requires a value");
+                    exit(2);
+                }
             }
         }
     }
@@ -83,7 +116,7 @@ fn main() {
     match command.as_str() {
         "gen" => {
             let Some(kind) = args.get(1) else { usage() };
-            let flags = parse_flags(&args[2..]);
+            let flags = parse_flags(&args[2..], &["n", "ccr", "load", "edges", "seed", "out"]);
             let seed: u64 = get(&flags, "seed", 42);
             let inst = match kind.as_str() {
                 "random" => RandomCcrConfig {
@@ -120,26 +153,53 @@ fn main() {
             }
         }
         "run" => {
-            let flags = parse_flags(&args[1..]);
+            let flags = parse_flags(
+                &args[1..],
+                &[
+                    "instance", "policy", "seed", "gantt", "per-job", "export", "svg", "trace",
+                    "metrics", "verbose",
+                ],
+            );
             let inst = load_instance(&flags);
-            let policy_name = flags
-                .get("policy")
-                .map(String::as_str)
-                .unwrap_or("ssf-edf");
+            let policy_name = flags.get("policy").map(String::as_str).unwrap_or("ssf-edf");
             let Some(kind) = PolicyKind::parse(policy_name) else {
                 eprintln!("unknown policy {policy_name}");
                 exit(2);
             };
             let mut policy = kind.build(get(&flags, "seed", 0));
+            let verbose = flags.contains_key("verbose");
             let engine_opts = mmsec_platform::EngineOptions {
-                record_events: flags.contains_key("trace"),
+                record_events: verbose,
                 ..mmsec_platform::EngineOptions::default()
             };
-            let out = mmsec_platform::simulate_with(&inst, policy.as_mut(), engine_opts)
-                .unwrap_or_else(|e| {
-                    eprintln!("simulation failed: {e}");
-                    exit(1)
-                });
+
+            // Observability: register only the requested sinks, share
+            // them between the engine and the policy (SSF-EDF reports
+            // its binary-search probes), and skip the observed path
+            // entirely when nothing was asked for.
+            let metrics = Shared::new(MetricsRecorder::new());
+            let chrome = Shared::new(ChromeTraceWriter::new());
+            let mut fan = Fanout::new();
+            if flags.contains_key("metrics") {
+                fan.push(Box::new(metrics.clone()));
+            }
+            if flags.contains_key("trace") {
+                fan.push(Box::new(chrome.clone()));
+            }
+            let observing = !fan.is_empty();
+            let shared_fan = Shared::new(fan);
+
+            let out = if observing {
+                policy.attach_observer(shared_fan.handle());
+                let mut engine_side = shared_fan.clone();
+                simulate_observed(&inst, policy.as_mut(), engine_opts, &mut engine_side)
+            } else {
+                mmsec_platform::simulate_with(&inst, policy.as_mut(), engine_opts)
+            }
+            .unwrap_or_else(|e| {
+                eprintln!("simulation failed: {e}");
+                exit(1)
+            });
             if let Err(violations) = validate(&inst, &out.schedule) {
                 eprintln!("INVALID schedule ({} violations):", violations.len());
                 for v in violations.iter().take(10) {
@@ -193,6 +253,22 @@ fn main() {
                     );
                 }
             }
+            if let Some(path) = flags.get("metrics") {
+                let doc = metrics.with(|m| m.to_json_string());
+                std::fs::write(path, doc).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1)
+                });
+                eprintln!("wrote run metrics to {path}");
+            }
+            if let Some(path) = flags.get("trace") {
+                let doc = chrome.with(|c| c.to_json_string());
+                std::fs::write(path, doc).unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    exit(1)
+                });
+                eprintln!("wrote Chrome trace to {path} (open at https://ui.perfetto.dev)");
+            }
             if let Some(path) = flags.get("export") {
                 let csv = mmsec_platform::export::schedule_to_csv(&inst, &out.schedule);
                 std::fs::write(path, csv).unwrap_or_else(|e| {
@@ -215,7 +291,7 @@ fn main() {
             }
         }
         "compare" => {
-            let flags = parse_flags(&args[1..]);
+            let flags = parse_flags(&args[1..], &["instance"]);
             let inst = load_instance(&flags);
             println!("policy      max-stretch  mean-stretch  re-exec  decide-time");
             for kind in PolicyKind::ALL {

@@ -20,13 +20,9 @@ fn bench_policies_vs_n(c: &mut Criterion) {
         };
         let inst = cfg.generate(42);
         for kind in PolicyKind::PAPER {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &inst,
-                |b, inst| {
-                    b.iter(|| run_policy(inst, kind, 7, EngineOptions::default(), false));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &inst, |b, inst| {
+                b.iter(|| run_policy(inst, kind, 7, EngineOptions::default(), false));
+            });
         }
     }
     group.finish();

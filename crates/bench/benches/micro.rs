@@ -3,8 +3,10 @@
 //! simulation.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mmsec_core::PolicyKind;
+use mmsec_platform::obs::NullObserver;
 use mmsec_platform::projection::Projection;
-use mmsec_platform::{JobState, SimView};
+use mmsec_platform::{simulate_observed, simulate_with, EngineOptions, JobState, SimView};
 use mmsec_sim::{EventQueue, Interval, IntervalSet, Time};
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 
@@ -107,11 +109,37 @@ fn bench_generators(c: &mut Criterion) {
     });
 }
 
+/// Observer-dispatch overhead: the same simulation with no observer at
+/// all (the default path) versus a [`NullObserver`] (pays the per-event
+/// branch + virtual dispatch and nothing else). The two must be
+/// indistinguishable — the observability layer's zero-overhead claim.
+fn bench_observer_overhead(c: &mut Criterion) {
+    let cfg = RandomCcrConfig {
+        n: 200,
+        ..RandomCcrConfig::default()
+    };
+    let inst = cfg.generate(5);
+    c.bench_function("micro/simulate_200_no_observer", |b| {
+        b.iter(|| {
+            let mut policy = PolicyKind::Srpt.build(1);
+            simulate_with(&inst, policy.as_mut(), EngineOptions::default()).unwrap()
+        });
+    });
+    c.bench_function("micro/simulate_200_null_observer", |b| {
+        b.iter(|| {
+            let mut policy = PolicyKind::Srpt.build(1);
+            let mut obs = NullObserver;
+            simulate_observed(&inst, policy.as_mut(), EngineOptions::default(), &mut obs).unwrap()
+        });
+    });
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_interval_set,
     bench_projection,
-    bench_generators
+    bench_generators,
+    bench_observer_overhead
 );
 criterion_main!(benches);

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale quick|standard|full] [--seed N] [--csv DIR]
+//!       [--metrics-dir DIR]
 //!
 //! experiments:
 //!   fig2a fig2b fig2c fig2d   the four panels of Figure 2
@@ -25,7 +26,7 @@ fn usage() -> ! {
         "usage: repro <fig2a|fig2b|fig2c|fig2d|exec-times|hardness|ablation-alpha|\
          ablation-ports|ablation-preempt|ablation-arrivals|ext-hetero|ext-windows|\
          mean-vs-max|bender-competitive|all> \
-         [--scale quick|standard|full] [--seed N] [--csv DIR]"
+         [--scale quick|standard|full] [--seed N] [--csv DIR] [--metrics-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -35,6 +36,7 @@ struct Args {
     scale: Scale,
     seed: u64,
     csv_dir: Option<PathBuf>,
+    metrics_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -47,6 +49,7 @@ fn parse_args() -> Args {
         scale: Scale::standard(),
         seed: 20210517, // IPDPS 2021 conference date
         csv_dir: None,
+        metrics_dir: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -62,13 +65,17 @@ fn parse_args() -> Args {
                 let v = args.next().unwrap_or_else(|| usage());
                 parsed.csv_dir = Some(PathBuf::from(v));
             }
+            "--metrics-dir" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                parsed.metrics_dir = Some(PathBuf::from(v));
+            }
             _ => usage(),
         }
     }
     parsed
 }
 
-fn emit(fig: &Figure, csv_dir: &Option<PathBuf>) {
+fn emit(fig: &Figure, csv_dir: &Option<PathBuf>, metrics_dir: &Option<PathBuf>) {
     println!("{}", fig.to_markdown());
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(dir).expect("create csv dir");
@@ -77,13 +84,32 @@ fn emit(fig: &Figure, csv_dir: &Option<PathBuf>) {
             fig.id.replace('/', "_").replace(' ', "-")
         ));
         let mut f = std::fs::File::create(&file).expect("create csv file");
-        f.write_all(fig.table.to_csv().as_bytes()).expect("write csv");
+        f.write_all(fig.table.to_csv().as_bytes())
+            .expect("write csv");
         eprintln!("[csv] wrote {}", file.display());
+    }
+    if let Some(dir) = metrics_dir {
+        // Everything evaluate_point collected since the previous figure
+        // belongs to this one.
+        let points = mmsec_bench::drain_point_metrics();
+        if !points.is_empty() {
+            std::fs::create_dir_all(dir).expect("create metrics dir");
+            let file = dir.join(format!(
+                "{}.metrics.json",
+                fig.id.replace('/', "_").replace(' ', "-")
+            ));
+            std::fs::write(&file, mmsec_bench::point_metrics_to_json(&points))
+                .expect("write metrics json");
+            eprintln!("[metrics] wrote {}", file.display());
+        }
     }
 }
 
 fn main() {
     let args = parse_args();
+    if args.metrics_dir.is_some() {
+        mmsec_bench::enable_point_metrics();
+    }
     let s = &args.scale;
     let seed = args.seed;
     let run_one = |name: &str| -> bool {
@@ -115,7 +141,7 @@ fn main() {
             }
             _ => return false,
         };
-        emit(&fig, &args.csv_dir);
+        emit(&fig, &args.csv_dir, &args.metrics_dir);
         true
     };
 

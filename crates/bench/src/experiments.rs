@@ -24,7 +24,12 @@ pub struct Figure {
 impl Figure {
     /// Renders the figure as markdown (table + notes).
     pub fn to_markdown(&self) -> String {
-        let mut out = format!("### {} — {}\n\n{}", self.id, self.title, self.table.to_markdown());
+        let mut out = format!(
+            "### {} — {}\n\n{}",
+            self.id,
+            self.title,
+            self.table.to_markdown()
+        );
         for n in &self.notes {
             out.push_str(&format!("\n> {n}\n"));
         }
@@ -123,12 +128,7 @@ pub fn fig2b(scale: &Scale, seed: u64) -> Figure {
     }
 }
 
-fn kang_figure(
-    id: &'static str,
-    num_edge: usize,
-    scale: &Scale,
-    seed: u64,
-) -> Figure {
+fn kang_figure(id: &'static str, num_edge: usize, scale: &Scale, seed: u64) -> Figure {
     let policies = PolicyKind::PAPER;
     let mut table = Table::new(policy_headers(&policies, "n"));
     for (pi, &n) in scale.kang_ns.iter().enumerate() {
@@ -228,15 +228,14 @@ pub fn ablation_alpha(scale: &Scale, seed: u64) -> Figure {
         ..RandomCcrConfig::default()
     };
     for &alpha in &alphas {
-        let values: Vec<(f64, f64)> =
-            mmsec_analysis::run_indexed(scale.reps, scale.threads, |i| {
-                let inst = cfg.generate(mmsec_sim::seed::derive(seed, "alpha", i as u64));
-                let mut pol = mmsec_core::SsfEdf::with_params(alpha, 1e-3);
-                let out = simulate_with(&inst, &mut pol, EngineOptions::default())
-                    .expect("ssf-edf completes");
-                let r = StretchReport::new(&inst, &out.schedule);
-                (r.max_stretch, r.mean_stretch)
-            });
+        let values: Vec<(f64, f64)> = mmsec_analysis::run_indexed(scale.reps, scale.threads, |i| {
+            let inst = cfg.generate(mmsec_sim::seed::derive(seed, "alpha", i as u64));
+            let mut pol = mmsec_core::SsfEdf::with_params(alpha, 1e-3);
+            let out = simulate_with(&inst, &mut pol, EngineOptions::default())
+                .expect("ssf-edf completes");
+            let r = StretchReport::new(&inst, &out.schedule);
+            (r.max_stretch, r.mean_stretch)
+        });
         let maxes: Vec<f64> = values.iter().map(|v| v.0).collect();
         let means: Vec<f64> = values.iter().map(|v| v.1).collect();
         table.push_row([
@@ -431,8 +430,10 @@ pub fn ext_windows(scale: &Scale, seed: u64) -> Figure {
     use mmsec_sim::Interval;
     let policies = [PolicyKind::Greedy, PolicyKind::Srpt, PolicyKind::SsfEdf];
     let mut table = Table::new(["availability", "greedy", "srpt", "ssf-edf"]);
-    for (name, blocked_fraction) in [("always available", 0.0), ("half the clouds blocked 50%", 0.5)]
-    {
+    for (name, blocked_fraction) in [
+        ("always available", 0.0),
+        ("half the clouds blocked 50%", 0.5),
+    ] {
         let base = RandomCcrConfig {
             n: scale.n_random,
             ccr: 1.0,
@@ -489,8 +490,7 @@ pub fn ext_windows(scale: &Scale, seed: u64) -> Figure {
         title: "cloud processors with periodic unavailability (§VII extension)".into(),
         table,
         notes: vec![
-            "Stretches degrade gracefully when half the cloud is periodically blocked."
-                .into(),
+            "Stretches degrade gracefully when half the cloud is periodically blocked.".into(),
         ],
     }
 }

@@ -69,37 +69,36 @@ pub fn mean_vs_max_stretch(scale: &Scale, seed_root: u64) -> Figure {
 pub fn bender_competitiveness(scale: &Scale, seed_root: u64) -> Figure {
     let mut table = Table::new(["Δ (max/min job)", "mean ratio", "p95 ratio", "max ratio"]);
     for &delta_target in &[2.0f64, 10.0, 50.0] {
-        let ratios: Vec<f64> =
-            mmsec_analysis::run_indexed(scale.reps, scale.threads, |i| {
-                let s = seed::derive(seed_root, "bender", (delta_target as u64) << 32 | i as u64);
-                // One edge unit at speed 1, no cloud; works spread to hit
-                // the target Δ.
-                let cfg = RandomCcrConfig {
-                    n: (scale.n_random / 10).max(8),
-                    num_cloud: 0,
-                    slow_edges: 1,
-                    fast_edges: 0,
-                    slow_speed: 1.0,
-                    load: 0.5,
-                    work_dist: mmsec_workload::Dist::uniform(1.0, delta_target),
-                    ..RandomCcrConfig::default()
-                };
-                let inst = cfg.generate(s);
-                let mut policy = PolicyKind::EdgeOnly.build(s);
-                let out = simulate(&inst, policy.as_mut()).expect("completes");
-                let online = StretchReport::new(&inst, &out.schedule).max_stretch;
-                let jobs: Vec<OfflineJob> = inst
-                    .jobs
-                    .iter()
-                    .map(|j| OfflineJob {
-                        release: j.release.seconds(),
-                        proc_time: j.work,
-                        min_time: j.min_time(&inst.spec),
-                    })
-                    .collect();
-                let offline = optimal_max_stretch(&jobs, 1e-6);
-                online / offline
-            });
+        let ratios: Vec<f64> = mmsec_analysis::run_indexed(scale.reps, scale.threads, |i| {
+            let s = seed::derive(seed_root, "bender", (delta_target as u64) << 32 | i as u64);
+            // One edge unit at speed 1, no cloud; works spread to hit
+            // the target Δ.
+            let cfg = RandomCcrConfig {
+                n: (scale.n_random / 10).max(8),
+                num_cloud: 0,
+                slow_edges: 1,
+                fast_edges: 0,
+                slow_speed: 1.0,
+                load: 0.5,
+                work_dist: mmsec_workload::Dist::uniform(1.0, delta_target),
+                ..RandomCcrConfig::default()
+            };
+            let inst = cfg.generate(s);
+            let mut policy = PolicyKind::EdgeOnly.build(s);
+            let out = simulate(&inst, policy.as_mut()).expect("completes");
+            let online = StretchReport::new(&inst, &out.schedule).max_stretch;
+            let jobs: Vec<OfflineJob> = inst
+                .jobs
+                .iter()
+                .map(|j| OfflineJob {
+                    release: j.release.seconds(),
+                    proc_time: j.work,
+                    min_time: j.min_time(&inst.spec),
+                })
+                .collect();
+            let offline = optimal_max_stretch(&jobs, 1e-6);
+            online / offline
+        });
         let summary = Summary::of(&ratios);
         table.push_row([
             fmt_num(delta_target),
@@ -173,13 +172,12 @@ pub fn fairness(scale: &Scale, seed_root: u64) -> Figure {
     };
     for kind in policies {
         // Pool per-job stretches over all reps.
-        let pooled: Vec<Vec<f64>> =
-            mmsec_analysis::run_indexed(scale.reps, scale.threads, |i| {
-                let inst = cfg.generate(seed::derive(seed_root, "fair", i as u64));
-                let mut policy = kind.build(seed::derive(seed_root, "fairp", i as u64));
-                let out = simulate(&inst, policy.as_mut()).expect("completes");
-                StretchReport::new(&inst, &out.schedule).stretches
-            });
+        let pooled: Vec<Vec<f64>> = mmsec_analysis::run_indexed(scale.reps, scale.threads, |i| {
+            let inst = cfg.generate(seed::derive(seed_root, "fair", i as u64));
+            let mut policy = kind.build(seed::derive(seed_root, "fairp", i as u64));
+            let out = simulate(&inst, policy.as_mut()).expect("completes");
+            StretchReport::new(&inst, &out.schedule).stretches
+        });
         let all: Vec<f64> = pooled.into_iter().flatten().collect();
         table.push_row([
             kind.name().to_string(),
@@ -212,14 +210,12 @@ pub fn adversarial(_scale: &Scale, _seed_root: u64) -> Figure {
     let mut headers = vec!["instance".to_string()];
     headers.extend(policies.iter().map(|p| p.name().to_string()));
     let mut table = Table::new(headers);
-    let mut eval = |label: String, inst: &mmsec_platform::Instance, table: &mut Table| {
+    let eval = |label: String, inst: &mmsec_platform::Instance, table: &mut Table| {
         let mut row = vec![label];
         for kind in policies {
             let mut policy = kind.build(0);
             let out = simulate(inst, policy.as_mut()).expect("completes");
-            row.push(fmt_num(
-                StretchReport::new(inst, &out.schedule).max_stretch,
-            ));
+            row.push(fmt_num(StretchReport::new(inst, &out.schedule).max_stretch));
         }
         table.push_row(row);
     };

@@ -12,5 +12,8 @@ pub mod run;
 pub mod scale;
 
 pub use experiments::Figure;
-pub use run::{evaluate_point, run_policy, PointResult, TrialResult};
+pub use run::{
+    drain_point_metrics, enable_point_metrics, evaluate_point, point_metrics_to_json, run_policy,
+    try_run_policy, PointMetrics, PointResult, TrialError, TrialResult,
+};
 pub use scale::Scale;

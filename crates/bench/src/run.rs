@@ -2,10 +2,16 @@
 
 use mmsec_analysis::{run_indexed, Summary};
 use mmsec_core::PolicyKind;
+use mmsec_platform::obs::json::Json;
+use mmsec_platform::obs::metrics::Histogram;
 use mmsec_platform::{
-    simulate_with, validate_with, EngineOptions, Instance, StretchReport, ValidateOptions,
+    simulate_with, validate_with, EngineError, EngineOptions, Instance, StretchReport,
+    ValidateOptions, Violation,
 };
 use mmsec_sim::seed;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Outcome of one policy on one instance.
@@ -21,8 +27,111 @@ pub struct TrialResult {
     pub restarts: u64,
 }
 
-/// Runs `kind` on `instance`; panics (with the violation list) if the
-/// schedule is invalid — experiments must never aggregate invalid runs.
+/// Why a trial could not produce a usable result.
+#[derive(Clone, Debug)]
+pub enum TrialError {
+    /// The engine aborted (stall or event-limit).
+    Engine {
+        /// Policy that was running.
+        kind: PolicyKind,
+        /// The engine's error.
+        error: EngineError,
+    },
+    /// The produced schedule failed validation.
+    InvalidSchedule {
+        /// Policy that was running.
+        kind: PolicyKind,
+        /// Every violated constraint.
+        violations: Vec<Violation>,
+    },
+}
+
+impl TrialError {
+    /// Policy the failing trial was running.
+    pub fn kind(&self) -> PolicyKind {
+        match self {
+            TrialError::Engine { kind, .. } => *kind,
+            TrialError::InvalidSchedule { kind, .. } => *kind,
+        }
+    }
+
+    /// Writes the offending instance and the full violation list to a
+    /// dump file (under `$MMSEC_FAILURE_DIR`, default `target/failures`)
+    /// so the failure can be replayed with
+    /// `mmsec run --instance <dump> --policy <kind>`. Returns the path,
+    /// or `None` when even the dump could not be written.
+    pub fn dump(&self, instance: &Instance, policy_seed: u64) -> Option<PathBuf> {
+        let dir = std::env::var("MMSEC_FAILURE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/failures"));
+        std::fs::create_dir_all(&dir).ok()?;
+        let path = dir.join(format!("{}-seed{}.txt", self.kind(), policy_seed));
+        let mut report = String::new();
+        report.push_str(&format!("# trial failure: {self}\n"));
+        report.push_str(&format!("# policy seed: {policy_seed}\n"));
+        if let TrialError::InvalidSchedule { violations, .. } = self {
+            report.push_str(&format!("# {} violation(s):\n", violations.len()));
+            for v in violations {
+                report.push_str(&format!("#   {v}\n"));
+            }
+        }
+        report.push_str("# offending instance follows:\n");
+        report.push_str(&instance.to_text());
+        std::fs::write(&path, report).ok()?;
+        Some(path)
+    }
+}
+
+impl fmt::Display for TrialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrialError::Engine { kind, error } => write!(f, "{kind} failed: {error}"),
+            TrialError::InvalidSchedule { kind, violations } => write!(
+                f,
+                "{kind} produced an invalid schedule ({} violations; first: {})",
+                violations.len(),
+                violations[0]
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrialError {}
+
+/// Fallible form of [`run_policy`]: returns the structured error instead
+/// of aborting, leaving dump/abort policy to the caller.
+pub fn try_run_policy(
+    instance: &Instance,
+    kind: PolicyKind,
+    policy_seed: u64,
+    opts: EngineOptions,
+    validate: bool,
+) -> Result<TrialResult, TrialError> {
+    let mut policy = kind.build(policy_seed);
+    let out = simulate_with(instance, policy.as_mut(), opts)
+        .map_err(|error| TrialError::Engine { kind, error })?;
+    if validate {
+        let vopts = ValidateOptions {
+            check_ports: !opts.infinite_ports,
+            ..ValidateOptions::default()
+        };
+        if let Err(violations) = validate_with(instance, &out.schedule, vopts) {
+            return Err(TrialError::InvalidSchedule { kind, violations });
+        }
+    }
+    let report = StretchReport::new(instance, &out.schedule);
+    Ok(TrialResult {
+        max_stretch: report.max_stretch,
+        mean_stretch: report.mean_stretch,
+        decide_time: out.stats.decide_time,
+        restarts: out.stats.restarts,
+    })
+}
+
+/// Runs `kind` on `instance`; aborts if the schedule is invalid —
+/// experiments must never aggregate invalid runs. Before aborting, the
+/// offending instance and the full violation list are dumped to a file
+/// (see [`TrialError::dump`]) so the failure can be replayed offline.
 pub fn run_policy(
     instance: &Instance,
     kind: PolicyKind,
@@ -30,29 +139,82 @@ pub fn run_policy(
     opts: EngineOptions,
     validate: bool,
 ) -> TrialResult {
-    let mut policy = kind.build(policy_seed);
-    let out = simulate_with(instance, policy.as_mut(), opts)
-        .unwrap_or_else(|e| panic!("{kind} failed: {e}"));
-    if validate {
-        let vopts = ValidateOptions {
-            check_ports: !opts.infinite_ports,
-            ..ValidateOptions::default()
-        };
-        if let Err(violations) = validate_with(instance, &out.schedule, vopts) {
-            panic!(
-                "{kind} produced an invalid schedule ({} violations; first: {})",
-                violations.len(),
-                violations[0]
-            );
+    try_run_policy(instance, kind, policy_seed, opts, validate).unwrap_or_else(|e| {
+        match e.dump(instance, policy_seed) {
+            Some(path) => panic!("{e}\n(instance + violations dumped to {})", path.display()),
+            None => panic!("{e}\n(failure dump could not be written)"),
         }
+    })
+}
+
+/// Decide-time histograms collected per [`evaluate_point`] call while
+/// collection is enabled (the `repro --metrics-dir` flag).
+pub struct PointMetrics {
+    /// Base seed of the point (ties the entry to the experiment sweep).
+    pub base_seed: u64,
+    /// Policy names, parallel to `decide_hist`.
+    pub policies: Vec<String>,
+    /// Per-policy histogram of per-trial total decide time (seconds).
+    pub decide_hist: Vec<Histogram>,
+}
+
+static POINT_METRICS: Mutex<Option<Vec<PointMetrics>>> = Mutex::new(None);
+
+/// Starts collecting per-point decide-time histograms (idempotent).
+pub fn enable_point_metrics() {
+    let mut guard = POINT_METRICS.lock().expect("metrics mutex poisoned");
+    if guard.is_none() {
+        *guard = Some(Vec::new());
     }
-    let report = StretchReport::new(instance, &out.schedule);
-    TrialResult {
-        max_stretch: report.max_stretch,
-        mean_stretch: report.mean_stretch,
-        decide_time: out.stats.decide_time,
-        restarts: out.stats.restarts,
+}
+
+/// Takes every point collected since the last drain (empty when
+/// collection was never enabled).
+pub fn drain_point_metrics() -> Vec<PointMetrics> {
+    let mut guard = POINT_METRICS.lock().expect("metrics mutex poisoned");
+    match guard.as_mut() {
+        Some(points) => std::mem::take(points),
+        None => Vec::new(),
     }
+}
+
+fn record_point_metrics(make: impl FnOnce() -> PointMetrics) {
+    let mut guard = POINT_METRICS.lock().expect("metrics mutex poisoned");
+    if let Some(points) = guard.as_mut() {
+        points.push(make());
+    }
+}
+
+/// Serializes drained points as a JSON document (one entry per
+/// `evaluate_point` call, in execution order).
+pub fn point_metrics_to_json(points: &[PointMetrics]) -> String {
+    let entries: Vec<Json> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let per_policy: Vec<Json> = p
+                .policies
+                .iter()
+                .zip(&p.decide_hist)
+                .map(|(name, hist)| {
+                    Json::obj(vec![
+                        ("policy", Json::str(name.clone())),
+                        ("decide_time", hist.to_json()),
+                    ])
+                })
+                .collect();
+            Json::obj(vec![
+                ("point", Json::int(i)),
+                ("base_seed", Json::Num(p.base_seed as f64)),
+                ("policies", Json::Arr(per_policy)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::str("mmsec-bench-metrics/1")),
+        ("points", Json::Arr(entries)),
+    ])
+    .to_string_pretty()
 }
 
 /// One point of a figure: per-policy summaries of max-stretch over `reps`
@@ -89,6 +251,19 @@ where
                 run_policy(&inst, kind, pseed, opts, validate)
             })
             .collect()
+    });
+    record_point_metrics(|| {
+        let mut decide_hist: Vec<Histogram> = vec![Histogram::default(); policies.len()];
+        for trial in &trials {
+            for (p, r) in trial.iter().enumerate() {
+                decide_hist[p].record(r.decide_time.as_secs_f64());
+            }
+        }
+        PointMetrics {
+            base_seed,
+            policies: policies.iter().map(|p| p.name().to_string()).collect(),
+            decide_hist,
+        }
     });
     let column = |f: &dyn Fn(&TrialResult) -> f64, p: usize| -> Summary {
         let values: Vec<f64> = trials.iter().map(|t| f(&t[p])).collect();
@@ -148,6 +323,43 @@ mod tests {
             fast_edges: 2,
             ..RandomCcrConfig::default()
         }
+    }
+
+    #[test]
+    fn trial_error_dump_is_a_replayable_report() {
+        use mmsec_platform::JobId;
+        let inst = small_cfg().generate(3);
+        let err = TrialError::InvalidSchedule {
+            kind: PolicyKind::Srpt,
+            violations: vec![
+                mmsec_platform::Violation::Unfinished(JobId(0)),
+                mmsec_platform::Violation::Unallocated(JobId(1)),
+            ],
+        };
+        let dir = std::env::temp_dir().join(format!("mmsec-dump-{}", std::process::id()));
+        // The env var is process-global; keep the whole suite honest by
+        // restoring it even though no other test currently reads it.
+        std::env::set_var("MMSEC_FAILURE_DIR", &dir);
+        let path = err.dump(&inst, 7).expect("dump written");
+        std::env::remove_var("MMSEC_FAILURE_DIR");
+        assert!(path.starts_with(&dir));
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("seed7"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("invalid schedule"), "{text}");
+        assert!(text.contains("2 violation(s)"), "{text}");
+        // The dumped instance round-trips, so the failure is replayable.
+        let tail = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .collect::<Vec<_>>();
+        let back = Instance::from_text(&tail.join("\n")).expect("replayable instance");
+        assert_eq!(back, inst);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

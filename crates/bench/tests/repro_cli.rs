@@ -19,10 +19,20 @@ fn hardness_runs_and_reports_consistency() {
 fn adversarial_runs_quick_and_writes_csv() {
     let dir = std::env::temp_dir().join(format!("repro-cli-{}", std::process::id()));
     let out = repro()
-        .args(["adversarial", "--scale", "quick", "--csv", dir.to_str().unwrap()])
+        .args([
+            "adversarial",
+            "--scale",
+            "quick",
+            "--csv",
+            dir.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("X4/adversarial"));
     // The CSV landed.

@@ -198,8 +198,7 @@ mod tests {
     #[should_panic(expected = "needs a cloud")]
     fn cloud_only_requires_cloud() {
         let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
-        let inst =
-            Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
+        let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
         let _ = simulate(&inst, &mut CloudOnly::new());
     }
 

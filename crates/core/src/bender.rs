@@ -79,7 +79,10 @@ pub fn optimal_stretch_so_far(now: Time, jobs: &[ReleasedJob], eps_rel: f64) -> 
     while !edf_feasible(now, jobs, hi) {
         hi *= 2.0;
         doubles += 1;
-        assert!(doubles < 128, "no feasible stretch found (inconsistent input)");
+        assert!(
+            doubles < 128,
+            "no feasible stretch found (inconsistent input)"
+        );
     }
     // Binary search [lo, hi).
     while hi - lo > eps_rel * lo {

@@ -197,7 +197,11 @@ mod tests {
         let report = StretchReport::new(&inst, &out.schedule);
         // Short job's stretch stays small; overall max well below the
         // FIFO outcome (which would give the short job stretch 10).
-        assert!(report.max_stretch < 2.2, "max stretch {}", report.max_stretch);
+        assert!(
+            report.max_stretch < 2.2,
+            "max stretch {}",
+            report.max_stretch
+        );
     }
 
     #[test]

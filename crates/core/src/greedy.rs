@@ -48,9 +48,7 @@ impl OnlineScheduler for Greedy {
                 let better = match &pick {
                     None => true,
                     Some((_, bid, _, bs, bmt)) => {
-                        s > *bs
-                            || (s == *bs && mt < *bmt)
-                            || (s == *bs && mt == *bmt && id < *bid)
+                        s > *bs || (s == *bs && mt < *bmt) || (s == *bs && mt == *bmt && id < *bid)
                     }
                 };
                 if better {

@@ -257,7 +257,10 @@ mod tests {
             first_phase(&view, JobId(0), Target::Cloud(CloudId(1))),
             Some(Phase::Uplink)
         );
-        assert_eq!(first_phase(&view, JobId(0), Target::Edge), Some(Phase::Compute));
+        assert_eq!(
+            first_phase(&view, JobId(0), Target::Edge),
+            Some(Phase::Compute)
+        );
     }
 
     #[test]

@@ -52,12 +52,9 @@ impl OnlineScheduler for Srpt {
             let Some(opt) = round.best_startable(view, id) else {
                 continue; // can no longer start in this round
             };
-            let is_min = heap
-                .peek()
-                .map_or(true, |Reverse((next, next_id))| {
-                    opt.completion < *next
-                        || (opt.completion == *next && id < *next_id)
-                });
+            let is_min = heap.peek().map_or(true, |Reverse((next, next_id))| {
+                opt.completion < *next || (opt.completion == *next && id < *next_id)
+            });
             if is_min {
                 round.claim(view, id, opt.target);
                 directives.push(Directive::new(id, opt.target));
@@ -73,8 +70,7 @@ impl OnlineScheduler for Srpt {
 mod tests {
     use super::*;
     use mmsec_platform::{
-        max_stretch, simulate, validate, EdgeId, Instance, Job, PlatformSpec, StretchReport,
-        Target,
+        max_stretch, simulate, validate, EdgeId, Instance, Job, PlatformSpec, StretchReport, Target,
     };
 
     #[test]
@@ -90,14 +86,8 @@ mod tests {
         let out = simulate(&inst, &mut Srpt::new()).unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         // Short job runs [2,3), long job [0,2) ∪ [3,11).
-        assert_eq!(
-            out.schedule.completion[1],
-            Some(mmsec_sim::Time::new(3.0))
-        );
-        assert_eq!(
-            out.schedule.completion[0],
-            Some(mmsec_sim::Time::new(11.0))
-        );
+        assert_eq!(out.schedule.completion[1], Some(mmsec_sim::Time::new(3.0)));
+        assert_eq!(out.schedule.completion[0], Some(mmsec_sim::Time::new(11.0)));
         let report = StretchReport::new(&inst, &out.schedule);
         assert!((report.stretches[1] - 1.0).abs() < 1e-9);
         assert!((report.stretches[0] - 1.1).abs() < 1e-9);
@@ -139,7 +129,7 @@ mod tests {
         // a job and the result still validates.
         let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
         let jobs = vec![
-            Job::new(EdgeId(0), 0.0, 6.0, 3.0, 3.0),  // cloud 12, edge 6
+            Job::new(EdgeId(0), 0.0, 6.0, 3.0, 3.0),   // cloud 12, edge 6
             Job::new(EdgeId(0), 1.0, 1.0, 10.0, 10.0), // must run on edge
         ];
         let inst = Instance::new(spec, jobs).unwrap();

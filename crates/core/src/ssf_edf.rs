@@ -15,8 +15,11 @@
 //! counterexample, reproduced in the tests below), so the binary search
 //! may settle above the true optimum — SSF-EDF remains a heuristic.
 
+use mmsec_platform::obs::Event as ObsEvent;
 use mmsec_platform::projection::Projection;
-use mmsec_platform::{Directive, Instance, JobId, OnlineScheduler, SimView, Target};
+use mmsec_platform::{
+    Directive, Instance, JobId, ObserverHandle, OnlineScheduler, SimView, Target,
+};
 use mmsec_sim::Time;
 
 /// SSF-EDF policy.
@@ -30,6 +33,8 @@ pub struct SsfEdf {
     deadlines: Vec<Option<Time>>,
     /// Plan: chosen target per job.
     targets: Vec<Option<Target>>,
+    /// Sink for `BinarySearchProbe` events, when attached.
+    observer: Option<ObserverHandle>,
 }
 
 impl Default for SsfEdf {
@@ -53,7 +58,24 @@ impl SsfEdf {
             eps_rel,
             deadlines: Vec::new(),
             targets: Vec::new(),
+            observer: None,
         }
+    }
+
+    /// Runs one feasibility probe of the stretch binary search and reports
+    /// it to the attached observer, if any.
+    fn probe(&self, view: &SimView<'_>, s: f64) -> Attempt {
+        let attempt = self.try_stretch(view, s);
+        if let Some(obs) = &self.observer {
+            obs.with(|o| {
+                o.on_event(&ObsEvent::BinarySearchProbe {
+                    t: view.now,
+                    stretch: s,
+                    feasible: attempt.feasible,
+                })
+            });
+        }
+        attempt
     }
 
     /// EDF placement under target stretch `s`: returns the plan and
@@ -103,13 +125,12 @@ impl SsfEdf {
             for k in spec.clouds() {
                 best = best.min(st.duration_if_placed(job, Target::Cloud(k), spec));
             }
-            let forced =
-                (view.now + Time::new(best) - job.release).seconds() / job.min_time(spec);
+            let forced = (view.now + Time::new(best) - job.release).seconds() / job.min_time(spec);
             lo = lo.max(forced);
         }
 
         let best_plan: Attempt;
-        let at_lo = self.try_stretch(view, lo);
+        let at_lo = self.probe(view, lo);
         if at_lo.feasible {
             best_plan = at_lo;
         } else {
@@ -117,7 +138,7 @@ impl SsfEdf {
             let mut hi = lo.max(1.0) * 2.0;
             let mut found = None;
             for _ in 0..64 {
-                let attempt = self.try_stretch(view, hi);
+                let attempt = self.probe(view, hi);
                 if attempt.feasible {
                     found = Some((hi, attempt));
                     break;
@@ -128,13 +149,13 @@ impl SsfEdf {
                 None => {
                     // Pathological: never feasible (EDF anomaly). Fall back
                     // to the last attempt's ordering as a best effort.
-                    best_plan = self.try_stretch(view, hi);
+                    best_plan = self.probe(view, hi);
                 }
                 Some((mut hi, mut attempt)) => {
                     let mut lo = lo;
                     while hi - lo > self.eps_rel * lo {
                         let mid = 0.5 * (lo + hi);
-                        let mid_attempt = self.try_stretch(view, mid);
+                        let mid_attempt = self.probe(view, mid);
                         if mid_attempt.feasible {
                             hi = mid;
                             attempt = mid_attempt;
@@ -143,7 +164,7 @@ impl SsfEdf {
                         }
                     }
                     if self.alpha != 1.0 {
-                        attempt = self.try_stretch(view, self.alpha * hi);
+                        attempt = self.probe(view, self.alpha * hi);
                     }
                     best_plan = attempt;
                 }
@@ -183,14 +204,12 @@ fn choose_target(
     // Time already invested in the committed attempt (what a switch wastes).
     let sunk = match st.committed {
         Some(Target::Edge) => st.work_done / spec.edge_speed(job.origin),
-        Some(Target::Cloud(k)) => {
-            st.up_done + st.work_done / spec.cloud_speed(k) + st.dn_done
-        }
+        Some(Target::Cloud(k)) => st.up_done + st.work_done / spec.cloud_speed(k) + st.dn_done,
         None => 0.0,
     };
-    let bar: Option<Time> = st.committed.map(|t| {
-        proj.completion(job, st, t, spec, view.now) - Time::new(sunk)
-    });
+    let bar: Option<Time> = st
+        .committed
+        .map(|t| proj.completion(job, st, t, spec, view.now) - Time::new(sunk));
     let mut best: Option<(Target, Time)> = None;
     let consider = |target: Target, best: &mut Option<(Target, Time)>| {
         let completion = proj.completion(job, st, target, spec, view.now);
@@ -234,12 +253,13 @@ impl OnlineScheduler for SsfEdf {
         self.targets = vec![None; instance.num_jobs()];
     }
 
+    fn attach_observer(&mut self, observer: ObserverHandle) {
+        self.observer = Some(observer);
+    }
+
     fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
         // Release event ⇔ some pending job has no deadline yet.
-        if view
-            .pending_jobs()
-            .any(|id| self.deadlines[id.0].is_none())
-        {
+        if view.pending_jobs().any(|id| self.deadlines[id.0].is_none()) {
             self.replan(view);
         }
         let mut pending: Vec<(Time, JobId)> = view
@@ -360,7 +380,11 @@ mod tests {
         let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         let report = StretchReport::new(&inst, &out.schedule);
-        assert!(report.max_stretch < 3.0, "max stretch {}", report.max_stretch);
+        assert!(
+            report.max_stretch < 3.0,
+            "max stretch {}",
+            report.max_stretch
+        );
     }
 
     #[test]
@@ -423,7 +447,13 @@ mod tests {
                 released: true,
                 ..JobState::default()
             };
-            proj.place(&phantom, &fresh, Target::Cloud(CloudId(0)), view.spec(), view.now);
+            proj.place(
+                &phantom,
+                &fresh,
+                Target::Cloud(CloudId(0)),
+                view.spec(),
+                view.now,
+            );
             let t = super::choose_target(&proj, &view, JobId(0), view.spec());
             assert_eq!(t, Target::Cloud(CloudId(0)), "small gain must not switch");
         }
@@ -443,7 +473,13 @@ mod tests {
                 released: true,
                 ..JobState::default()
             };
-            proj.place(&phantom, &fresh, Target::Cloud(CloudId(0)), view.spec(), view.now);
+            proj.place(
+                &phantom,
+                &fresh,
+                Target::Cloud(CloudId(0)),
+                view.spec(),
+                view.now,
+            );
             let t = super::choose_target(&proj, &view, JobId(0), view.spec());
             assert_eq!(t, Target::Cloud(CloudId(1)), "large gain must switch");
         }
@@ -463,7 +499,13 @@ mod tests {
                 released: true,
                 ..JobState::default()
             };
-            proj.place(&phantom, &fresh, Target::Cloud(CloudId(0)), view.spec(), view.now);
+            proj.place(
+                &phantom,
+                &fresh,
+                Target::Cloud(CloudId(0)),
+                view.spec(),
+                view.now,
+            );
             let t = super::choose_target(&proj, &view, JobId(0), view.spec());
             assert_eq!(t, Target::Cloud(CloudId(1)));
         }

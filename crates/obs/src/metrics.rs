@@ -1,0 +1,512 @@
+//! Run-level metrics aggregated from the event stream.
+//!
+//! [`MetricsRecorder`] is an [`Observer`] that folds events into compact
+//! aggregates as they arrive — counters, a log-bucketed decide-latency
+//! histogram, per-unit busy time (→ utilization), communication volume,
+//! ready-queue depth samples, and binary-search probe counts — and
+//! serializes the result with [`MetricsRecorder::to_json`]. Memory use is
+//! bounded: the only per-event growth is the decimated queue-depth sample
+//! buffer, capped at [`MAX_QUEUE_SAMPLES`].
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::{Event, Observer, PhaseKind};
+
+/// Hard cap on stored queue-depth samples; past it the recorder doubles
+/// its sampling stride and keeps every other retained sample.
+pub const MAX_QUEUE_SAMPLES: usize = 4096;
+
+/// Fixed log-scale histogram for positive durations (seconds).
+///
+/// Buckets are powers of `10^(1/4)` spanning 100 ns … 100 s (two
+/// overflow-catching open buckets at the ends), so any decide latency the
+/// simulator can plausibly produce lands in a finite bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_seconds: f64,
+    min_seconds: f64,
+    max_seconds: f64,
+}
+
+const HIST_DECADES: f64 = 9.0; // 1e-7 .. 1e2
+const HIST_BUCKETS_PER_DECADE: f64 = 4.0;
+const HIST_LO: f64 = 1e-7;
+const HIST_INNER: usize = (HIST_DECADES * HIST_BUCKETS_PER_DECADE) as usize;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            // Underflow + inner buckets + overflow.
+            counts: vec![0; HIST_INNER + 2],
+            total: 0,
+            sum_seconds: 0.0,
+            min_seconds: f64::INFINITY,
+            max_seconds: 0.0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, seconds: f64) {
+        let seconds = seconds.max(0.0);
+        self.total += 1;
+        self.sum_seconds += seconds;
+        self.min_seconds = self.min_seconds.min(seconds);
+        self.max_seconds = self.max_seconds.max(seconds);
+        let idx = if seconds < HIST_LO {
+            0
+        } else {
+            let log = (seconds / HIST_LO).log10() * HIST_BUCKETS_PER_DECADE;
+            (log.floor() as usize + 1).min(HIST_INNER + 1)
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded observations (0 when empty).
+    pub fn mean_seconds(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_seconds / self.total as f64
+        }
+    }
+
+    /// Upper bound (seconds) of bucket `idx`; the last bucket is open.
+    fn bucket_upper(idx: usize) -> f64 {
+        if idx > HIST_INNER {
+            f64::INFINITY
+        } else {
+            HIST_LO * 10f64.powf(idx as f64 / HIST_BUCKETS_PER_DECADE)
+        }
+    }
+
+    /// Approximate quantile from the bucket boundaries (0 when empty).
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = Self::bucket_upper(idx);
+                return if upper.is_finite() {
+                    upper.min(self.max_seconds)
+                } else {
+                    self.max_seconds
+                };
+            }
+        }
+        self.max_seconds
+    }
+
+    /// JSON form: summary stats plus the non-empty buckets as
+    /// `{"le": upper_bound_seconds, "count": n}` entries.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| {
+                let upper = Self::bucket_upper(idx);
+                Json::obj(vec![
+                    (
+                        "le",
+                        if upper.is_finite() {
+                            Json::Num(upper)
+                        } else {
+                            Json::str("inf")
+                        },
+                    ),
+                    ("count", Json::Num(c as f64)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("count", Json::Num(self.total as f64)),
+            ("sum_seconds", Json::Num(self.sum_seconds)),
+            (
+                "min_seconds",
+                Json::Num(if self.total == 0 {
+                    0.0
+                } else {
+                    self.min_seconds
+                }),
+            ),
+            ("max_seconds", Json::Num(self.max_seconds)),
+            ("mean_seconds", Json::Num(self.mean_seconds())),
+            ("p50_seconds", Json::Num(self.quantile_seconds(0.5))),
+            ("p99_seconds", Json::Num(self.quantile_seconds(0.99))),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct UnitStats {
+    busy_seconds: f64,
+    intervals: u64,
+    comm_volume: f64,
+}
+
+/// Aggregating observer; see the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRecorder {
+    policy: String,
+    jobs: usize,
+    events: u64,
+    releases: u64,
+    completions: u64,
+    restarts: u64,
+    restarts_per_job: BTreeMap<usize, u64>,
+    decides: u64,
+    directives: u64,
+    decide_latency: Histogram,
+    response_sum: f64,
+    response_max: f64,
+    probes: u64,
+    probes_feasible: u64,
+    units: BTreeMap<String, UnitStats>,
+    uplink_volume: f64,
+    downlink_volume: f64,
+    queue_samples: Vec<(f64, usize)>,
+    queue_stride: usize,
+    queue_seen: usize,
+    queue_max: usize,
+    makespan: f64,
+}
+
+impl MetricsRecorder {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        MetricsRecorder {
+            queue_stride: 1,
+            ..MetricsRecorder::default()
+        }
+    }
+
+    /// Number of events folded so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Total restarts observed.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// The decide-latency histogram.
+    pub fn decide_latency(&self) -> &Histogram {
+        &self.decide_latency
+    }
+
+    fn sample_queue(&mut self, t: f64, depth: usize) {
+        self.queue_max = self.queue_max.max(depth);
+        self.queue_seen += 1;
+        if (self.queue_seen - 1) % self.queue_stride != 0 {
+            return;
+        }
+        self.queue_samples.push((t, depth));
+        if self.queue_samples.len() >= MAX_QUEUE_SAMPLES {
+            // Keep every other sample and double the stride: the buffer
+            // stays bounded while coverage stays uniform over the run.
+            let mut keep = 0;
+            for i in (0..self.queue_samples.len()).step_by(2) {
+                self.queue_samples[keep] = self.queue_samples[i];
+                keep += 1;
+            }
+            self.queue_samples.truncate(keep);
+            self.queue_stride *= 2;
+        }
+    }
+
+    /// Serializes the aggregates. Utilization is busy time divided by the
+    /// final makespan (0 when the makespan is 0).
+    pub fn to_json(&self) -> Json {
+        let denom = if self.makespan > 0.0 {
+            self.makespan
+        } else {
+            f64::INFINITY
+        };
+        let units: Vec<Json> = self
+            .units
+            .iter()
+            .map(|(track, st)| {
+                Json::obj(vec![
+                    ("unit", Json::str(track.clone())),
+                    ("busy_seconds", Json::Num(st.busy_seconds)),
+                    ("intervals", Json::Num(st.intervals as f64)),
+                    ("utilization", Json::Num(st.busy_seconds / denom)),
+                    ("comm_volume", Json::Num(st.comm_volume)),
+                ])
+            })
+            .collect();
+        let restarts_per_job: Vec<Json> = self
+            .restarts_per_job
+            .iter()
+            .map(|(job, n)| {
+                Json::obj(vec![
+                    ("job", Json::int(*job)),
+                    ("restarts", Json::Num(*n as f64)),
+                ])
+            })
+            .collect();
+        let queue: Vec<Json> = self
+            .queue_samples
+            .iter()
+            .map(|&(t, d)| Json::Arr(vec![Json::Num(t), Json::int(d)]))
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::str("mmsec-metrics/1")),
+            ("policy", Json::str(self.policy.clone())),
+            ("jobs", Json::int(self.jobs)),
+            ("makespan_seconds", Json::Num(self.makespan)),
+            (
+                "counters",
+                Json::obj(vec![
+                    ("events", Json::Num(self.events as f64)),
+                    ("releases", Json::Num(self.releases as f64)),
+                    ("completions", Json::Num(self.completions as f64)),
+                    ("restarts", Json::Num(self.restarts as f64)),
+                    ("decides", Json::Num(self.decides as f64)),
+                    ("directives", Json::Num(self.directives as f64)),
+                    ("binary_search_probes", Json::Num(self.probes as f64)),
+                    (
+                        "binary_search_probes_feasible",
+                        Json::Num(self.probes_feasible as f64),
+                    ),
+                ]),
+            ),
+            ("decide_latency", self.decide_latency.to_json()),
+            (
+                "responses",
+                Json::obj(vec![
+                    (
+                        "mean_seconds",
+                        Json::Num(if self.completions == 0 {
+                            0.0
+                        } else {
+                            self.response_sum / self.completions as f64
+                        }),
+                    ),
+                    ("max_seconds", Json::Num(self.response_max)),
+                ]),
+            ),
+            ("units", Json::Arr(units)),
+            (
+                "communication",
+                Json::obj(vec![
+                    ("uplink_volume", Json::Num(self.uplink_volume)),
+                    ("downlink_volume", Json::Num(self.downlink_volume)),
+                ]),
+            ),
+            ("restarts_per_job", Json::Arr(restarts_per_job)),
+            (
+                "ready_queue",
+                Json::obj(vec![
+                    ("max_depth", Json::int(self.queue_max)),
+                    ("sample_stride", Json::int(self.queue_stride)),
+                    ("samples", Json::Arr(queue)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Pretty-printed JSON document (see [`MetricsRecorder::to_json`]).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+}
+
+impl Observer for MetricsRecorder {
+    fn on_event(&mut self, event: &Event) {
+        self.events += 1;
+        match event {
+            Event::RunStart { policy, jobs, .. } => {
+                self.policy = policy.clone();
+                self.jobs = *jobs;
+            }
+            Event::JobReleased { .. } => self.releases += 1,
+            Event::DecideStart { t, pending } => {
+                self.sample_queue(t.seconds(), *pending);
+            }
+            Event::DecideEnd {
+                wall, directives, ..
+            } => {
+                self.decides += 1;
+                self.directives += *directives as u64;
+                self.decide_latency.record(duration_seconds(*wall));
+            }
+            Event::Placed {
+                target,
+                phase,
+                interval,
+                volume,
+                ..
+            } => {
+                let st = self.units.entry(target.track(*phase)).or_default();
+                st.busy_seconds += interval.length().seconds();
+                st.intervals += 1;
+                st.comm_volume += volume;
+                match phase {
+                    PhaseKind::Uplink => self.uplink_volume += volume,
+                    PhaseKind::Downlink => self.downlink_volume += volume,
+                    PhaseKind::Compute => {}
+                }
+            }
+            Event::Restarted { job, .. } => {
+                self.restarts += 1;
+                *self.restarts_per_job.entry(*job).or_insert(0) += 1;
+            }
+            Event::Completed { response, .. } => {
+                self.completions += 1;
+                self.response_sum += response;
+                self.response_max = self.response_max.max(*response);
+            }
+            Event::BinarySearchProbe { feasible, .. } => {
+                self.probes += 1;
+                if *feasible {
+                    self.probes_feasible += 1;
+                }
+            }
+            Event::RunEnd { makespan } => {
+                self.makespan = makespan.seconds();
+            }
+        }
+    }
+}
+
+fn duration_seconds(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Unit;
+    use mmsec_sim::{Interval, Time};
+
+    #[test]
+    fn histogram_tracks_summary_stats() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile_seconds(0.5), 0.0);
+        for &v in &[1e-6, 2e-6, 4e-6, 1e-3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean_seconds() - (1e-6 + 2e-6 + 4e-6 + 1e-3) / 4.0).abs() < 1e-12);
+        let p50 = h.quantile_seconds(0.5);
+        assert!((1e-6..1e-3).contains(&p50), "p50 {p50}");
+        assert_eq!(h.quantile_seconds(1.0), 1e-3);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = Histogram::default();
+        h.record(0.0); // underflow bucket
+        h.record(1e9); // overflow bucket
+        assert_eq!(h.count(), 2);
+        let json = h.to_json();
+        let buckets = json.get("buckets").and_then(Json::as_arr).unwrap();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[1].get("le").and_then(Json::as_str), Some("inf"));
+    }
+
+    #[test]
+    fn recorder_folds_a_small_run() {
+        let mut rec = MetricsRecorder::new();
+        rec.on_event(&Event::RunStart {
+            policy: "test".into(),
+            jobs: 2,
+            edges: 1,
+            clouds: 1,
+        });
+        rec.on_event(&Event::JobReleased {
+            t: Time::ZERO,
+            job: 0,
+        });
+        rec.on_event(&Event::DecideStart {
+            t: Time::ZERO,
+            pending: 1,
+        });
+        rec.on_event(&Event::DecideEnd {
+            t: Time::ZERO,
+            wall: Duration::from_micros(5),
+            directives: 1,
+        });
+        rec.on_event(&Event::Placed {
+            job: 0,
+            origin: 0,
+            target: Unit::Edge(0),
+            phase: PhaseKind::Compute,
+            interval: Interval::from_secs(0.0, 2.0),
+            volume: 0.0,
+        });
+        rec.on_event(&Event::Placed {
+            job: 1,
+            origin: 0,
+            target: Unit::Cloud(0),
+            phase: PhaseKind::Uplink,
+            interval: Interval::from_secs(0.0, 1.0),
+            volume: 3.5,
+        });
+        rec.on_event(&Event::Restarted {
+            t: Time::new(1.0),
+            job: 0,
+            from: Unit::Edge(0),
+            to: Unit::Cloud(0),
+        });
+        rec.on_event(&Event::Completed {
+            t: Time::new(2.0),
+            job: 0,
+            response: 2.0,
+        });
+        rec.on_event(&Event::RunEnd {
+            makespan: Time::new(4.0),
+        });
+
+        assert_eq!(rec.events(), 9);
+        assert_eq!(rec.restarts(), 1);
+        let json = rec.to_json();
+        let counters = json.get("counters").unwrap();
+        assert_eq!(counters.get("releases").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(counters.get("restarts").and_then(Json::as_f64), Some(1.0));
+        let units = json.get("units").and_then(Json::as_arr).unwrap();
+        assert_eq!(units.len(), 2);
+        // edge-0 cpu busy 2 s over makespan 4 s → utilization 0.5.
+        let edge = units
+            .iter()
+            .find(|u| u.get("unit").and_then(Json::as_str) == Some("edge-0 cpu"))
+            .expect("edge cpu track present");
+        assert_eq!(edge.get("utilization").and_then(Json::as_f64), Some(0.5));
+        let comm = json.get("communication").unwrap();
+        assert_eq!(comm.get("uplink_volume").and_then(Json::as_f64), Some(3.5));
+    }
+
+    #[test]
+    fn queue_sampling_stays_bounded() {
+        let mut rec = MetricsRecorder::new();
+        for i in 0..(MAX_QUEUE_SAMPLES * 10) {
+            rec.sample_queue(i as f64, i % 17);
+        }
+        assert!(rec.queue_samples.len() < MAX_QUEUE_SAMPLES);
+        assert!(rec.queue_stride > 1);
+        assert_eq!(rec.queue_max, 16);
+        // Samples remain in time order after decimation.
+        for pair in rec.queue_samples.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+        }
+    }
+}

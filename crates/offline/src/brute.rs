@@ -29,7 +29,10 @@ pub struct MmshOptimum {
 /// asserts `n ≤ 16` to keep misuse loud.
 pub fn optimal_mmsh(inst: &MmshInstance) -> MmshOptimum {
     let n = inst.num_jobs();
-    assert!(n <= 16, "exact MMSH solver is exponential; n = {n} too large");
+    assert!(
+        n <= 16,
+        "exact MMSH solver is exponential; n = {n} too large"
+    );
     if n == 0 {
         return MmshOptimum {
             max_stretch: 1.0,
@@ -101,11 +104,7 @@ impl Search<'_> {
             let new_stretch = spt_max_stretch(&self.shares[p]);
             self.proc_stretch[p] = new_stretch;
             self.assign[job] = p;
-            self.recurse(
-                depth + 1,
-                used_procs.max(p + 1),
-                current.max(new_stretch),
-            );
+            self.recurse(depth + 1, used_procs.max(p + 1), current.max(new_stretch));
             self.shares[p].pop();
             self.proc_stretch[p] = old_stretch;
             self.assign[job] = usize::MAX;
@@ -163,7 +162,12 @@ mod tests {
                 .collect();
             best = best.min(partition_max_stretch(&inst, &assign));
         }
-        assert!((opt.max_stretch - best).abs() < 1e-9, "{} vs {}", opt.max_stretch, best);
+        assert!(
+            (opt.max_stretch - best).abs() < 1e-9,
+            "{} vs {}",
+            opt.max_stretch,
+            best
+        );
     }
 
     #[test]

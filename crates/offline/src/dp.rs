@@ -35,7 +35,11 @@ pub fn mmsh2_feasible(works: &[u64], s: f64) -> bool {
     for &w in &sorted {
         // Max load a processor may carry *before* receiving this job.
         let cap = (s - 1.0) * w as f64;
-        let cap = if cap < 0.0 { None } else { Some(cap.floor() as u64) };
+        let cap = if cap < 0.0 {
+            None
+        } else {
+            Some(cap.floor() as u64)
+        };
         let mut next = vec![false; total as usize + 1];
         for l in 0..=prefix {
             if !reachable[l as usize] {
@@ -176,15 +180,16 @@ mod tests {
     #[test]
     fn decides_theorem1_reductions() {
         use crate::reductions::{has_two_partition_eq, two_partition_eq_to_mmsh};
-        for a in [vec![1u64, 2, 3, 4], vec![2, 3, 4, 7], vec![1, 2, 3, 4, 5, 9]] {
+        for a in [
+            vec![1u64, 2, 3, 4],
+            vec![2, 3, 4, 7],
+            vec![1, 2, 3, 4, 5, 9],
+        ] {
             let expected = has_two_partition_eq(&a);
             let (inst, threshold) = two_partition_eq_to_mmsh(&a);
             let works: Vec<u64> = inst.works.iter().map(|&w| w as u64).collect();
             assert!(
-                works
-                    .iter()
-                    .zip(&inst.works)
-                    .all(|(&i, &f)| i as f64 == f),
+                works.iter().zip(&inst.works).all(|(&i, &f)| i as f64 == f),
                 "reduction works are integral"
             );
             let achieved = mmsh2_feasible(&works, threshold * (1.0 + 1e-12));

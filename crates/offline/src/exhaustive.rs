@@ -150,8 +150,7 @@ mod tests {
     fn single_job_picks_best_resource() {
         let spec = PlatformSpec::homogeneous_cloud(vec![0.25], 1);
         // Edge 8; cloud 1+2+1 = 4.
-        let inst =
-            Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0)]).unwrap();
+        let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0)]).unwrap();
         let opt = optimal_order_based(&inst);
         assert!((opt.max_stretch - 1.0).abs() < 1e-12);
         assert!(matches!(opt.alloc[0], Target::Cloud(_)));

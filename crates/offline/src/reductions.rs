@@ -185,10 +185,10 @@ mod tests {
         assert!(!has_two_partition_eq(&[1, 2])); // odd total
         assert!(has_two_partition_eq(&[2, 2])); // trivial yes
         assert!(!has_two_partition_eq(&[1, 2, 3])); // odd length
-        // Equal sums exist but not with equal cardinality: {3,3,1,1,1,3}
-        // total 12, half 6: {3,3} has cardinality 2 ≠ 3, but {3,1,1,1} has
-        // cardinality 4 ≠ 3... and {3,3} ∪ ... checking: subsets of size 3
-        // summing to 6: {3,1,1}? 3+1+1=5 no; {3,3,...}: 3+3+1=7 no. → false.
+                                                    // Equal sums exist but not with equal cardinality: {3,3,1,1,1,3}
+                                                    // total 12, half 6: {3,3} has cardinality 2 ≠ 3, but {3,1,1,1} has
+                                                    // cardinality 4 ≠ 3... and {3,3} ∪ ... checking: subsets of size 3
+                                                    // summing to 6: {3,1,1}? 3+1+1=5 no; {3,3,...}: 3+3+1=7 no. → false.
         assert!(!has_two_partition_eq(&[3, 3, 1, 1, 1, 3]));
     }
 

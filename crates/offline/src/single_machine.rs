@@ -61,7 +61,11 @@ pub fn edf_feasible(jobs: &[OfflineJob], s: f64) -> bool {
         let Reverse((OrdF64(d), OrdF64(rem))) = ready.pop().expect("nonempty");
         // Run the earliest-deadline job until it finishes or the next
         // release arrives.
-        let horizon = if next < n { by_release[next].0 } else { f64::INFINITY };
+        let horizon = if next < n {
+            by_release[next].0
+        } else {
+            f64::INFINITY
+        };
         let finish = t + rem;
         if finish <= horizon + 1e-12 {
             t = finish;
@@ -136,8 +140,7 @@ mod tests {
     fn no_release_dates_matches_spt() {
         // Without release dates the optimum equals SPT (Lemma 2).
         let works = [3.0, 1.0, 4.0, 1.5];
-        let jobs: Vec<OfflineJob> =
-            works.iter().map(|&w| OfflineJob::plain(0.0, w)).collect();
+        let jobs: Vec<OfflineJob> = works.iter().map(|&w| OfflineJob::plain(0.0, w)).collect();
         let opt = optimal_max_stretch(&jobs, 1e-7);
         let spt = spt_max_stretch(&works);
         assert!((opt - spt).abs() < 1e-4, "opt {opt} vs spt {spt}");

@@ -3,7 +3,9 @@
 
 use mmsec_offline::brute::optimal_mmsh;
 use mmsec_offline::critical::{exact_optimal_stretch, StaticJob};
-use mmsec_offline::mmsh::{partition_max_stretch, sequence_max_stretch, spt_max_stretch, MmshInstance};
+use mmsec_offline::mmsh::{
+    partition_max_stretch, sequence_max_stretch, spt_max_stretch, MmshInstance,
+};
 use mmsec_offline::single_machine::{edf_feasible, optimal_max_stretch, OfflineJob};
 use proptest::prelude::*;
 

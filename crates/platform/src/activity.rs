@@ -49,21 +49,15 @@ impl Phase {
     /// Resources occupied while running phase `self` of `job` on `target`.
     pub fn resources(self, job: &Job, target: Target) -> ResourcePair {
         match (target, self) {
-            (Target::Edge, Phase::Compute) => {
-                ResourcePair::single(ResourceId::EdgeCpu(job.origin))
-            }
+            (Target::Edge, Phase::Compute) => ResourcePair::single(ResourceId::EdgeCpu(job.origin)),
             (Target::Edge, _) => unreachable!("edge jobs have no communication phases"),
-            (Target::Cloud(k), Phase::Uplink) => ResourcePair::pair(
-                ResourceId::EdgeOut(job.origin),
-                ResourceId::CloudIn(k),
-            ),
-            (Target::Cloud(k), Phase::Compute) => {
-                ResourcePair::single(ResourceId::CloudCpu(k))
+            (Target::Cloud(k), Phase::Uplink) => {
+                ResourcePair::pair(ResourceId::EdgeOut(job.origin), ResourceId::CloudIn(k))
             }
-            (Target::Cloud(k), Phase::Downlink) => ResourcePair::pair(
-                ResourceId::CloudOut(k),
-                ResourceId::EdgeIn(job.origin),
-            ),
+            (Target::Cloud(k), Phase::Compute) => ResourcePair::single(ResourceId::CloudCpu(k)),
+            (Target::Cloud(k), Phase::Downlink) => {
+                ResourcePair::pair(ResourceId::CloudOut(k), ResourceId::EdgeIn(job.origin))
+            }
         }
     }
 

@@ -25,6 +25,7 @@ use crate::job::JobId;
 use crate::resource::{ResourceId, ResourceMap, ResourcePair};
 use crate::schedule::{Schedule, TraceBuilder};
 use crate::state::{JobState, SimView};
+use mmsec_obs::{Event as ObsEvent, Observer, ObserverHandle, PhaseKind, Unit};
 use mmsec_sim::{EventQueue, Interval, Time};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -41,6 +42,12 @@ pub trait OnlineScheduler {
     /// omitted from the list stay paused (keeping progress), jobs whose
     /// target changed are re-executed from scratch.
     fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive>;
+
+    /// Offers the policy an observer for its internal events (e.g. SSF-EDF
+    /// reports its stretch binary-search probes). The default keeps none;
+    /// policies that emit must store the handle. Called by the run wiring
+    /// (not the engine) before the simulation starts.
+    fn attach_observer(&mut self, _observer: ObserverHandle) {}
 }
 
 /// Engine knobs. Defaults reproduce the paper's model exactly; the other
@@ -198,13 +205,9 @@ pub fn greedy_allocate(
         };
         let resources = phase.resources(job, d.target);
         let needs_exclusive = |r: ResourceId| -> bool {
-            !infinite_ports
-                || matches!(r, ResourceId::EdgeCpu(_) | ResourceId::CloudCpu(_))
+            !infinite_ports || matches!(r, ResourceId::EdgeCpu(_) | ResourceId::CloudCpu(_))
         };
-        if resources
-            .iter()
-            .any(|r| needs_exclusive(r) && blocked[r])
-        {
+        if resources.iter().any(|r| needs_exclusive(r) && blocked[r]) {
             continue;
         }
         for r in resources.iter() {
@@ -247,6 +250,61 @@ pub fn simulate_with(
     scheduler: &mut dyn OnlineScheduler,
     opts: EngineOptions,
 ) -> Result<RunOutcome, EngineError> {
+    simulate_impl(instance, scheduler, opts, None)
+}
+
+/// Simulates `instance` while streaming typed [`ObsEvent`]s to `observer`.
+///
+/// The observer sees the full engine-side taxonomy (releases, decide
+/// start/end with wall-clock latency, placed intervals, restarts,
+/// completions, run start/end). Policy-internal events (binary-search
+/// probes) additionally require handing the policy a clone of the same
+/// observer via [`OnlineScheduler::attach_observer`] *before* calling
+/// this — typically through [`mmsec_obs::Shared`].
+pub fn simulate_observed(
+    instance: &Instance,
+    scheduler: &mut dyn OnlineScheduler,
+    opts: EngineOptions,
+    observer: &mut dyn Observer,
+) -> Result<RunOutcome, EngineError> {
+    simulate_impl(instance, scheduler, opts, Some(observer))
+}
+
+/// Resource a `phase` of a job occupies, in observer terms: communications
+/// are attributed to the origin edge's ports, computations to the unit
+/// that executes them.
+fn obs_unit(origin: crate::spec::EdgeId, target: Target, phase: Phase) -> Unit {
+    match (phase, target) {
+        (Phase::Compute, Target::Cloud(k)) => Unit::Cloud(k.0),
+        (Phase::Compute, Target::Edge) => Unit::Edge(origin.0),
+        (Phase::Uplink | Phase::Downlink, _) => Unit::Edge(origin.0),
+    }
+}
+
+fn obs_phase(phase: Phase) -> PhaseKind {
+    match phase {
+        Phase::Uplink => PhaseKind::Uplink,
+        Phase::Compute => PhaseKind::Compute,
+        Phase::Downlink => PhaseKind::Downlink,
+    }
+}
+
+fn simulate_impl(
+    instance: &Instance,
+    scheduler: &mut dyn OnlineScheduler,
+    opts: EngineOptions,
+    mut observer: Option<&mut dyn Observer>,
+) -> Result<RunOutcome, EngineError> {
+    // Evaluates the event expression only when an observer is attached:
+    // an unobserved run pays one branch per emission point and nothing
+    // else (no allocation, no formatting).
+    macro_rules! emit {
+        ($ev:expr) => {
+            if let Some(o) = observer.as_deref_mut() {
+                o.on_event(&$ev);
+            }
+        };
+    }
     let started = Instant::now();
     let spec = &instance.spec;
     assert!(
@@ -275,6 +333,12 @@ pub fn simulate_with(
     let mut event_log: Option<Vec<EventRecord>> = opts.record_events.then(Vec::new);
     let mut now = queue.peek_time().unwrap_or(Time::ZERO);
     scheduler.on_start(instance);
+    emit!(ObsEvent::RunStart {
+        policy: scheduler.name(),
+        jobs: n,
+        edges: spec.num_edge(),
+        clouds: spec.num_cloud(),
+    });
 
     loop {
         // 1. Fire all events at (approximately) the current instant.
@@ -283,6 +347,7 @@ pub fn simulate_with(
                 let (_, ev) = queue.pop().expect("peeked");
                 if let EngineEvent::Release(id) = ev {
                     jobs[id.0].released = true;
+                    emit!(ObsEvent::JobReleased { t: now, job: id.0 });
                 }
             } else {
                 break;
@@ -305,10 +370,21 @@ pub fn simulate_with(
                 now,
                 jobs: &jobs,
             };
+            emit!(ObsEvent::DecideStart {
+                t: now,
+                pending: view.num_pending(),
+            });
             let t0 = Instant::now();
             let raw = scheduler.decide(&view);
-            stats.decide_time += t0.elapsed();
-            sanitize(raw, &jobs)
+            let wall = t0.elapsed();
+            stats.decide_time += wall;
+            let clean = sanitize(raw, &jobs);
+            emit!(ObsEvent::DecideEnd {
+                t: now,
+                wall,
+                directives: clean.len(),
+            });
+            clean
         };
 
         // 3. Apply commitments / re-executions.
@@ -319,8 +395,7 @@ pub fn simulate_with(
                 None => st.committed = Some(d.target),
                 Some(t) if t == d.target => {}
                 Some(t) => {
-                    let has_progress =
-                        st.up_done + st.work_done + st.dn_done > 0.0;
+                    let has_progress = st.up_done + st.work_done + st.dn_done > 0.0;
                     let pinned = !opts.allow_preemption && st.running.is_some();
                     if !has_progress && !pinned {
                         // Nothing executed yet: re-commitment is free.
@@ -329,6 +404,12 @@ pub fn simulate_with(
                         st.reset_progress();
                         stats.restarts += 1;
                         trace.abandon(d.job);
+                        emit!(ObsEvent::Restarted {
+                            t: now,
+                            job: d.job.0,
+                            from: obs_unit(instance.job(d.job).origin, t, Phase::Compute),
+                            to: obs_unit(instance.job(d.job).origin, d.target, Phase::Compute),
+                        });
                         st.committed = Some(d.target);
                     } else {
                         // Retarget refused: keep the old commitment.
@@ -342,11 +423,7 @@ pub fn simulate_with(
         //    (non-preemptable) running activities.
         let mut blocked = ResourceMap::new(spec, false);
         for k in spec.clouds() {
-            if spec
-                .cloud_unavailability(k)
-                .iter()
-                .any(|w| w.contains(now))
-            {
+            if spec.cloud_unavailability(k).iter().any(|w| w.contains(now)) {
                 blocked[ResourceId::CloudCpu(k)] = true;
             }
         }
@@ -445,6 +522,18 @@ pub fn simulate_with(
                     Phase::Downlink => st.dn_done += amount,
                 }
                 trace.record(act.job, act.phase, act.target, Interval::new(now, t_next));
+                emit!(ObsEvent::Placed {
+                    job: act.job.0,
+                    origin: instance.job(act.job).origin.0,
+                    target: obs_unit(instance.job(act.job).origin, act.target, act.phase),
+                    phase: obs_phase(act.phase),
+                    interval: Interval::new(now, t_next),
+                    volume: if act.phase == Phase::Compute {
+                        0.0
+                    } else {
+                        amount
+                    },
+                });
             }
         }
         now = t_next;
@@ -462,10 +551,16 @@ pub fn simulate_with(
                 st.completion = Some(now);
                 st.running = None;
                 trace.complete(act.job, now);
+                emit!(ObsEvent::Completed {
+                    t: now,
+                    job: act.job.0,
+                    response: (now - job.release).seconds(),
+                });
             }
         }
     }
 
+    emit!(ObsEvent::RunEnd { makespan: now });
     stats.total_time = started.elapsed();
     Ok(RunOutcome {
         schedule: trace.finish(),
@@ -480,9 +575,7 @@ fn sanitize(directives: Vec<Directive>, jobs: &[JobState]) -> Vec<Directive> {
     directives
         .into_iter()
         .filter(|d| {
-            let ok = d.job.0 < jobs.len()
-                && jobs[d.job.0].active()
-                && !seen[d.job.0];
+            let ok = d.job.0 < jobs.len() && jobs[d.job.0].active() && !seen[d.job.0];
             if ok {
                 seen[d.job.0] = true;
             }
@@ -677,7 +770,9 @@ mod tests {
                 } else {
                     Target::Cloud(CloudId(0))
                 };
-                view.pending_jobs().map(|j| Directive::new(j, tgt)).collect()
+                view.pending_jobs()
+                    .map(|j| Directive::new(j, tgt))
+                    .collect()
             }
         }
 
@@ -718,7 +813,9 @@ mod tests {
                 } else {
                     Target::Cloud(CloudId(0))
                 };
-                view.pending_jobs().map(|j| Directive::new(j, tgt)).collect()
+                view.pending_jobs()
+                    .map(|j| Directive::new(j, tgt))
+                    .collect()
             }
         }
 
@@ -831,6 +928,46 @@ mod tests {
         // Without the option, no log is produced.
         let out = simulate(&inst, &mut AllCloudFifo).unwrap();
         assert!(out.event_log.is_none());
+    }
+
+    #[test]
+    fn observed_run_emits_a_well_formed_event_stream() {
+        struct Capture(Vec<String>, usize, usize);
+        impl Observer for Capture {
+            fn on_event(&mut self, event: &ObsEvent) {
+                self.0.push(event.tag().to_string());
+                match event {
+                    ObsEvent::Placed { interval, .. } => {
+                        assert!(interval.length() > Time::ZERO);
+                        self.1 += 1;
+                    }
+                    ObsEvent::Completed { response, .. } => {
+                        assert!(*response > 0.0);
+                        self.2 += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let inst = figure1_instance();
+        let mut cap = Capture(Vec::new(), 0, 0);
+        let out = simulate_observed(&inst, &mut AllCloudFifo, EngineOptions::default(), &mut cap)
+            .unwrap();
+        let Capture(tags, placed, completed) = cap;
+        assert_eq!(tags.first().map(String::as_str), Some("run-start"));
+        assert_eq!(tags.last().map(String::as_str), Some("run-end"));
+        assert_eq!(tags.iter().filter(|t| *t == "job-released").count(), 6);
+        assert_eq!(completed, 6);
+        // Each cloud job contributes at least uplink + compute + downlink.
+        assert!(placed >= 3 * 6, "only {placed} placements observed");
+        // Every decide-start is eventually closed by a decide-end.
+        assert_eq!(
+            tags.iter().filter(|t| *t == "decide-start").count(),
+            tags.iter().filter(|t| *t == "decide-end").count()
+        );
+        // The observed run produces the same schedule as the plain one.
+        let plain = simulate(&inst, &mut AllCloudFifo).unwrap();
+        assert_eq!(out.schedule, plain.schedule);
     }
 
     #[test]

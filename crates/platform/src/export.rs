@@ -14,37 +14,59 @@ pub const CSV_HEADER: &str = "job,phase,target,start,end,resources,abandoned";
 /// (start, job).
 pub fn schedule_to_csv(instance: &Instance, schedule: &Schedule) -> String {
     let mut rows: Vec<(f64, usize, String)> = Vec::new();
-    let mut push = |job: usize, phase: Phase, target: Target, start: f64, end: f64, abandoned: bool| {
-        let resources: Vec<String> = phase
-            .resources(instance.job(crate::JobId(job)), target)
-            .iter()
-            .map(|r| r.to_string())
-            .collect();
-        let mut line = String::new();
-        let _ = write!(
-            line,
-            "{},{},{},{},{},{},{}",
-            job + 1,
-            phase,
-            target,
-            start,
-            end,
-            resources.join("+"),
-            abandoned
-        );
-        rows.push((start, job, line));
-    };
+    let mut push =
+        |job: usize, phase: Phase, target: Target, start: f64, end: f64, abandoned: bool| {
+            let resources: Vec<String> = phase
+                .resources(instance.job(crate::JobId(job)), target)
+                .iter()
+                .map(|r| r.to_string())
+                .collect();
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "{},{},{},{},{},{},{}",
+                job + 1,
+                phase,
+                target,
+                start,
+                end,
+                resources.join("+"),
+                abandoned
+            );
+            rows.push((start, job, line));
+        };
 
     for (id, _) in instance.iter_jobs() {
         if let Some(target) = schedule.alloc[id.0] {
             for iv in schedule.exec[id.0].iter() {
-                push(id.0, Phase::Compute, target, iv.start().seconds(), iv.end().seconds(), false);
+                push(
+                    id.0,
+                    Phase::Compute,
+                    target,
+                    iv.start().seconds(),
+                    iv.end().seconds(),
+                    false,
+                );
             }
             for iv in schedule.up[id.0].iter() {
-                push(id.0, Phase::Uplink, target, iv.start().seconds(), iv.end().seconds(), false);
+                push(
+                    id.0,
+                    Phase::Uplink,
+                    target,
+                    iv.start().seconds(),
+                    iv.end().seconds(),
+                    false,
+                );
             }
             for iv in schedule.dn[id.0].iter() {
-                push(id.0, Phase::Downlink, target, iv.start().seconds(), iv.end().seconds(), false);
+                push(
+                    id.0,
+                    Phase::Downlink,
+                    target,
+                    iv.start().seconds(),
+                    iv.end().seconds(),
+                    false,
+                );
             }
         }
     }
@@ -151,13 +173,18 @@ pub fn schedule_from_csv(instance: &Instance, csv: &str) -> Result<Schedule, Imp
             Target::Edge
         } else if let Some(k) = fields[2].strip_prefix("cloud:") {
             Target::Cloud(CloudId(
-                k.parse().map_err(|e| err(format!("bad cloud index: {e}")))?,
+                k.parse()
+                    .map_err(|e| err(format!("bad cloud index: {e}")))?,
             ))
         } else {
             return Err(err(format!("unknown target {:?}", fields[2])));
         };
-        let start: f64 = fields[3].parse().map_err(|e| err(format!("bad start: {e}")))?;
-        let end: f64 = fields[4].parse().map_err(|e| err(format!("bad end: {e}")))?;
+        let start: f64 = fields[3]
+            .parse()
+            .map_err(|e| err(format!("bad start: {e}")))?;
+        let end: f64 = fields[4]
+            .parse()
+            .map_err(|e| err(format!("bad end: {e}")))?;
         let abandoned: bool = fields[6]
             .parse()
             .map_err(|e| err(format!("bad abandoned flag: {e}")))?;
@@ -287,13 +314,22 @@ mod tests {
         use mmsec_sim::{Interval, Time};
         let inst = figure1_instance();
         let mut tb = TraceBuilder::new(inst.num_jobs());
-        tb.record(crate::JobId(0), Phase::Compute, Target::Edge, Interval::from_secs(0.0, 1.0));
+        tb.record(
+            crate::JobId(0),
+            Phase::Compute,
+            Target::Edge,
+            Interval::from_secs(0.0, 1.0),
+        );
         tb.abandon(crate::JobId(0));
-        tb.record(crate::JobId(0), Phase::Compute, Target::Edge, Interval::from_secs(1.0, 4.0));
+        tb.record(
+            crate::JobId(0),
+            Phase::Compute,
+            Target::Edge,
+            Interval::from_secs(1.0, 4.0),
+        );
         tb.complete(crate::JobId(0), Time::new(4.0));
         let csv = schedule_to_csv(&inst, &tb.finish());
-        let abandoned_rows: Vec<&str> =
-            csv.lines().filter(|l| l.ends_with(",true")).collect();
+        let abandoned_rows: Vec<&str> = csv.lines().filter(|l| l.ends_with(",true")).collect();
         assert_eq!(abandoned_rows.len(), 1);
         assert!(abandoned_rows[0].starts_with("1,exec,edge,0,1"));
     }

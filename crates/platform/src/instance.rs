@@ -43,7 +43,10 @@ impl fmt::Display for InstanceError {
         match self {
             InstanceError::Spec(e) => write!(f, "platform: {e}"),
             InstanceError::OriginOutOfRange { job, origin } => {
-                write!(f, "job {job} originates from nonexistent edge unit {origin}")
+                write!(
+                    f,
+                    "job {job} originates from nonexistent edge unit {origin}"
+                )
             }
             InstanceError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
@@ -169,18 +172,17 @@ impl Instance {
             }
             let mut toks = line.split_whitespace();
             let kind = toks.next().expect("nonempty line has a first token");
-            let parse =
-                |tok: Option<&str>, what: &str| -> Result<f64, InstanceError> {
-                    tok.ok_or_else(|| InstanceError::Parse {
-                        line: lineno + 1,
-                        message: format!("missing {what}"),
-                    })?
-                    .parse::<f64>()
-                    .map_err(|e| InstanceError::Parse {
-                        line: lineno + 1,
-                        message: format!("bad {what}: {e}"),
-                    })
-                };
+            let parse = |tok: Option<&str>, what: &str| -> Result<f64, InstanceError> {
+                tok.ok_or_else(|| InstanceError::Parse {
+                    line: lineno + 1,
+                    message: format!("missing {what}"),
+                })?
+                .parse::<f64>()
+                .map_err(|e| InstanceError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad {what}: {e}"),
+                })
+            };
             match kind {
                 "edge" => edge_speeds.push(parse(toks.next(), "edge speed")?),
                 "cloud" => cloud_speeds.push(parse(toks.next(), "cloud speed")?),
@@ -210,7 +212,9 @@ impl Instance {
         let mut spec = PlatformSpec::heterogeneous(edge_speeds, cloud_speeds);
         for (k, a, b) in windows {
             if k >= spec.num_cloud() {
-                return Err(InstanceError::Spec(SpecError::WindowOutOfRange { cloud: k }));
+                return Err(InstanceError::Spec(SpecError::WindowOutOfRange {
+                    cloud: k,
+                }));
             }
             spec = spec.with_cloud_unavailability(
                 CloudId(k),

@@ -40,15 +40,18 @@ pub mod validate;
 
 pub use activity::{Directive, Phase, Target};
 pub use engine::{
-    simulate, simulate_with, EngineError, EngineOptions, EventRecord, OnlineScheduler,
-    RunOutcome, RunStats,
+    simulate, simulate_observed, simulate_with, EngineError, EngineOptions, EventRecord,
+    OnlineScheduler, RunOutcome, RunStats,
 };
+// Observability surface (see `mmsec-obs` and `docs/observability.md`).
 pub use instance::{figure1_instance, Instance, InstanceError};
 pub use job::{Job, JobId};
 pub use metrics::{max_stretch, StretchReport};
+pub use mmsec_obs as obs;
+pub use mmsec_obs::{Observer, ObserverHandle};
 pub use render::{gantt, GanttOptions};
 pub use schedule::Schedule;
 pub use spec::{CloudId, EdgeId, PlatformSpec};
-pub use stats::{schedule_stats, ScheduleStats};
 pub use state::{JobState, SimView};
+pub use stats::{schedule_stats, ScheduleStats};
 pub use validate::{validate, validate_with, ValidateOptions, Violation};

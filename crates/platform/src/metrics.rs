@@ -92,8 +92,18 @@ mod tests {
 
         // Short job first.
         let mut tb = TraceBuilder::new(2);
-        tb.record(JobId(0), Phase::Compute, Target::Edge, Interval::from_secs(0.0, 1.0));
-        tb.record(JobId(1), Phase::Compute, Target::Edge, Interval::from_secs(1.0, 11.0));
+        tb.record(
+            JobId(0),
+            Phase::Compute,
+            Target::Edge,
+            Interval::from_secs(0.0, 1.0),
+        );
+        tb.record(
+            JobId(1),
+            Phase::Compute,
+            Target::Edge,
+            Interval::from_secs(1.0, 11.0),
+        );
         tb.complete(JobId(0), mmsec_sim::Time::new(1.0));
         tb.complete(JobId(1), mmsec_sim::Time::new(11.0));
         let report = StretchReport::new(&inst, &tb.finish());
@@ -105,8 +115,18 @@ mod tests {
 
         // Long job first: stretch 11 for the short one.
         let mut tb = TraceBuilder::new(2);
-        tb.record(JobId(1), Phase::Compute, Target::Edge, Interval::from_secs(0.0, 10.0));
-        tb.record(JobId(0), Phase::Compute, Target::Edge, Interval::from_secs(10.0, 11.0));
+        tb.record(
+            JobId(1),
+            Phase::Compute,
+            Target::Edge,
+            Interval::from_secs(0.0, 10.0),
+        );
+        tb.record(
+            JobId(0),
+            Phase::Compute,
+            Target::Edge,
+            Interval::from_secs(10.0, 11.0),
+        );
         tb.complete(JobId(0), mmsec_sim::Time::new(11.0));
         tb.complete(JobId(1), mmsec_sim::Time::new(10.0));
         let report = StretchReport::new(&inst, &tb.finish());
@@ -117,9 +137,47 @@ mod tests {
     #[test]
     fn unfinished_schedule_yields_none() {
         let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
-        let inst =
-            Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
+        let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
         let tb = TraceBuilder::new(1);
+        assert!(try_report(&inst, &tb.finish()).is_none());
+    }
+
+    /// The degenerate zero-job instance is still a valid input: the
+    /// report exists, every aggregate is zero, and there is no argmax.
+    #[test]
+    fn empty_instance_reports_zeros() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let inst = Instance::new(spec, vec![]).unwrap();
+        let report =
+            try_report(&inst, &TraceBuilder::new(0).finish()).expect("empty instance must report");
+        assert!(report.stretches.is_empty());
+        assert!(report.responses.is_empty());
+        assert_eq!(report.max_stretch, 0.0);
+        assert_eq!(report.mean_stretch, 0.0);
+        assert_eq!(report.max_response, 0.0);
+        assert_eq!(report.argmax, None);
+    }
+
+    /// One unfinished job poisons the whole report even when every other
+    /// job completed — a partial report would silently understate the
+    /// max stretch.
+    #[test]
+    fn single_unfinished_job_among_finished_yields_none() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
+            Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0),
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let mut tb = TraceBuilder::new(2);
+        tb.record(
+            JobId(0),
+            Phase::Compute,
+            Target::Edge,
+            Interval::from_secs(0.0, 1.0),
+        );
+        tb.complete(JobId(0), mmsec_sim::Time::new(1.0));
+        // JobId(1) never completes.
         assert!(try_report(&inst, &tb.finish()).is_none());
     }
 
@@ -128,10 +186,14 @@ mod tests {
         // Job prefers cloud (min time 4) but is executed on the edge in 6:
         // stretch must be 6/4, not 1.
         let spec = PlatformSpec::homogeneous_cloud(vec![1.0 / 3.0], 1);
-        let inst =
-            Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0)]).unwrap();
+        let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0)]).unwrap();
         let mut tb = TraceBuilder::new(1);
-        tb.record(JobId(0), Phase::Compute, Target::Edge, Interval::from_secs(0.0, 6.0));
+        tb.record(
+            JobId(0),
+            Phase::Compute,
+            Target::Edge,
+            Interval::from_secs(0.0, 6.0),
+        );
         tb.complete(JobId(0), mmsec_sim::Time::new(6.0));
         let r = StretchReport::new(&inst, &tb.finish());
         assert!((r.max_stretch - 1.5).abs() < 1e-12);

@@ -22,7 +22,11 @@ fn volumes(st: &JobState, job: &Job, target: Target) -> (f64, f64, f64) {
     let keep = st.committed == Some(target);
     match target {
         Target::Edge => {
-            let w = if keep { st.remaining_work(job) } else { job.work };
+            let w = if keep {
+                st.remaining_work(job)
+            } else {
+                job.work
+            };
             (0.0, w, 0.0)
         }
         Target::Cloud(_) => {
@@ -112,7 +116,10 @@ impl Projection {
         spec: &PlatformSpec,
         now: Time,
     ) -> (Target, Time) {
-        let mut best = (Target::Edge, self.completion(job, st, Target::Edge, spec, now));
+        let mut best = (
+            Target::Edge,
+            self.completion(job, st, Target::Edge, spec, now),
+        );
         for k in spec.clouds() {
             let t = Target::Cloud(k);
             let c = self.completion(job, st, t, spec, now);
@@ -188,10 +195,7 @@ struct Forecast {
 /// Forecast completion times for `order` (a priority-ordered list of
 /// pending jobs with chosen targets); convenience used by tests and by the
 /// SSF-EDF feasibility check.
-pub fn project_sequence(
-    view: &SimView<'_>,
-    order: &[(JobId, Target)],
-) -> Vec<(JobId, Time)> {
+pub fn project_sequence(view: &SimView<'_>, order: &[(JobId, Target)]) -> Vec<(JobId, Time)> {
     let mut proj = Projection::from_view(view);
     order
         .iter()
@@ -240,7 +244,13 @@ mod tests {
             Time::new(4.0)
         );
         assert_eq!(
-            proj.completion(job, &states[0], Target::Cloud(CloudId(0)), view.spec(), view.now),
+            proj.completion(
+                job,
+                &states[0],
+                Target::Cloud(CloudId(0)),
+                view.spec(),
+                view.now
+            ),
             Time::new(4.0)
         );
         // Tie prefers the edge.
@@ -262,15 +272,33 @@ mod tests {
         };
         let mut proj = Projection::from_view(&view);
         let spec = view.spec();
-        let c0 = proj.place(inst.job(JobId(0)), &states[0], Target::Cloud(CloudId(0)), spec, view.now);
+        let c0 = proj.place(
+            inst.job(JobId(0)),
+            &states[0],
+            Target::Cloud(CloudId(0)),
+            spec,
+            view.now,
+        );
         assert_eq!(c0, Time::new(4.0));
         // Second job on the same cloud: uplink waits for EdgeOut until 1,
         // up [1,2), exec waits for cloud CPU until 3, exec [3,5), dn [5,6).
-        let c1 = proj.completion(inst.job(JobId(1)), &states[1], Target::Cloud(CloudId(0)), spec, view.now);
+        let c1 = proj.completion(
+            inst.job(JobId(1)),
+            &states[1],
+            Target::Cloud(CloudId(0)),
+            spec,
+            view.now,
+        );
         assert_eq!(c1, Time::new(6.0));
         // On the other cloud processor: up [1,2) (EdgeOut), exec [2,4),
         // dn [4,5) (EdgeIn free at 4 from J1's downlink... J1 dn ends 4).
-        let c1b = proj.completion(inst.job(JobId(1)), &states[1], Target::Cloud(CloudId(1)), spec, view.now);
+        let c1b = proj.completion(
+            inst.job(JobId(1)),
+            &states[1],
+            Target::Cloud(CloudId(1)),
+            spec,
+            view.now,
+        );
         assert_eq!(c1b, Time::new(5.0));
         // best_target picks the edge (free: 2/0.5 = 4) over cloud 1 (5).
         let (t, c) = proj.best_target(inst.job(JobId(1)), &states[1], spec, view.now);
@@ -292,12 +320,24 @@ mod tests {
         let job = inst.job(JobId(0));
         // Same cloud: 0.5 up + 4 work + 2 dn = 6.5 after now.
         assert_eq!(
-            proj.completion(job, &states[0], Target::Cloud(CloudId(0)), view.spec(), view.now),
+            proj.completion(
+                job,
+                &states[0],
+                Target::Cloud(CloudId(0)),
+                view.spec(),
+                view.now
+            ),
             Time::new(16.5)
         );
         // Other cloud: full 2 + 4 + 2 = 8.
         assert_eq!(
-            proj.completion(job, &states[0], Target::Cloud(CloudId(1)), view.spec(), view.now),
+            proj.completion(
+                job,
+                &states[0],
+                Target::Cloud(CloudId(1)),
+                view.spec(),
+                view.now
+            ),
             Time::new(18.0)
         );
     }
@@ -314,12 +354,30 @@ mod tests {
             jobs: &states,
         };
         let mut proj = Projection::from_view(&view);
-        proj.place(inst.job(JobId(0)), &states[0], Target::Cloud(CloudId(0)), view.spec(), view.now);
+        proj.place(
+            inst.job(JobId(0)),
+            &states[0],
+            Target::Cloud(CloudId(0)),
+            view.spec(),
+            view.now,
+        );
         // J2 has up = 0: it does not wait for the busy EdgeOut port; it
         // only waits for the cloud CPU (busy until 7).
-        let c = proj.completion(inst.job(JobId(1)), &states[1], Target::Cloud(CloudId(0)), view.spec(), view.now);
+        let c = proj.completion(
+            inst.job(JobId(1)),
+            &states[1],
+            Target::Cloud(CloudId(0)),
+            view.spec(),
+            view.now,
+        );
         assert_eq!(c, Time::new(9.0));
-        let c2 = proj.completion(inst.job(JobId(1)), &states[1], Target::Cloud(CloudId(1)), view.spec(), view.now);
+        let c2 = proj.completion(
+            inst.job(JobId(1)),
+            &states[1],
+            Target::Cloud(CloudId(1)),
+            view.spec(),
+            view.now,
+        );
         assert_eq!(c2, Time::new(2.0));
     }
 
@@ -335,17 +393,13 @@ mod tests {
             jobs: &states,
         };
         // Both on the edge CPU, short first.
-        let completions = project_sequence(
-            &view,
-            &[(JobId(0), Target::Edge), (JobId(1), Target::Edge)],
-        );
+        let completions =
+            project_sequence(&view, &[(JobId(0), Target::Edge), (JobId(1), Target::Edge)]);
         assert_eq!(completions[0].1, Time::new(2.0));
         assert_eq!(completions[1].1, Time::new(22.0));
         // Long first.
-        let completions = project_sequence(
-            &view,
-            &[(JobId(1), Target::Edge), (JobId(0), Target::Edge)],
-        );
+        let completions =
+            project_sequence(&view, &[(JobId(1), Target::Edge), (JobId(0), Target::Edge)]);
         assert_eq!(completions[0].1, Time::new(20.0));
         assert_eq!(completions[1].1, Time::new(22.0));
     }

@@ -194,7 +194,10 @@ mod tests {
     fn empty_schedule_renders_placeholder() {
         let inst = figure1_instance();
         let empty = crate::schedule::TraceBuilder::new(inst.num_jobs()).finish();
-        assert_eq!(gantt(&inst, &empty, GanttOptions::default()), "(empty schedule)\n");
+        assert_eq!(
+            gantt(&inst, &empty, GanttOptions::default()),
+            "(empty schedule)\n"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl fmt::Display for SpecError {
                 write!(f, "non-positive speed {speed} for {which}")
             }
             SpecError::WindowOutOfRange { cloud } => {
-                write!(f, "unavailability window for nonexistent cloud processor {cloud}")
+                write!(
+                    f,
+                    "unavailability window for nonexistent cloud processor {cloud}"
+                )
             }
         }
     }

@@ -132,7 +132,12 @@ mod tests {
         ];
         let inst = Instance::new(spec, jobs).unwrap();
         let mut tb = TraceBuilder::new(2);
-        tb.record(JobId(0), Phase::Compute, Target::Edge, Interval::from_secs(0.0, 4.0));
+        tb.record(
+            JobId(0),
+            Phase::Compute,
+            Target::Edge,
+            Interval::from_secs(0.0, 4.0),
+        );
         let c = Target::Cloud(CloudId(0));
         tb.record(JobId(1), Phase::Uplink, c, Interval::from_secs(0.0, 1.0));
         tb.record(JobId(1), Phase::Compute, c, Interval::from_secs(1.0, 4.0));

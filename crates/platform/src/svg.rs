@@ -166,9 +166,7 @@ pub fn schedule_to_svg(instance: &Instance, schedule: &Schedule, opts: SvgOption
 }
 
 fn resource_label(r: ResourceId) -> String {
-    r.to_string()
-        .replace('(', " ")
-        .replace(')', "")
+    r.to_string().replace('(', " ").replace(')', "")
 }
 
 #[cfg(test)]
@@ -217,9 +215,19 @@ mod tests {
         use mmsec_sim::{Interval, Time};
         let inst = figure1_instance();
         let mut tb = TraceBuilder::new(inst.num_jobs());
-        tb.record(JobId(0), Phase::Compute, Target::Edge, Interval::from_secs(0.0, 1.0));
+        tb.record(
+            JobId(0),
+            Phase::Compute,
+            Target::Edge,
+            Interval::from_secs(0.0, 1.0),
+        );
         tb.abandon(JobId(0));
-        tb.record(JobId(0), Phase::Compute, Target::Edge, Interval::from_secs(1.0, 4.0));
+        tb.record(
+            JobId(0),
+            Phase::Compute,
+            Target::Edge,
+            Interval::from_secs(1.0, 4.0),
+        );
         tb.complete(JobId(0), Time::new(4.0));
         let svg = schedule_to_svg(&inst, &tb.finish(), SvgOptions::default());
         assert!(svg.contains("url(#hatch)"));

@@ -115,10 +115,19 @@ impl fmt::Display for Violation {
         match self {
             Violation::Unfinished(j) => write!(f, "{j} never completed"),
             Violation::Unallocated(j) => write!(f, "{j} completed without an allocation"),
-            Violation::BeforeRelease { job, start, release } => {
+            Violation::BeforeRelease {
+                job,
+                start,
+                release,
+            } => {
                 write!(f, "{job} active at {start} before release {release}")
             }
-            Violation::MissingVolume { job, phase, required, got } => {
+            Violation::MissingVolume {
+                job,
+                phase,
+                required,
+                got,
+            } => {
                 write!(f, "{job} {phase}: needs {required}, got {got}")
             }
             Violation::OutOfOrder { job, before, after } => {
@@ -127,10 +136,22 @@ impl fmt::Display for Violation {
             Violation::SpuriousCommunication(j) => {
                 write!(f, "{j} runs on the edge but has communication intervals")
             }
-            Violation::CompletionMismatch { job, recorded, actual } => {
-                write!(f, "{job}: completion recorded {recorded}, activities end {actual}")
+            Violation::CompletionMismatch {
+                job,
+                recorded,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "{job}: completion recorded {recorded}, activities end {actual}"
+                )
             }
-            Violation::ResourceOverlap { resource, a, b, overlap } => {
+            Violation::ResourceOverlap {
+                resource,
+                a,
+                b,
+                overlap,
+            } => {
                 write!(f, "{a} and {b} overlap by {overlap} on {resource}")
             }
             Violation::UnavailableCloudUsed { job, window } => {
@@ -341,10 +362,7 @@ fn check_resources(
     let mut usage = resource_usage(instance, schedule);
     for (ri, uses) in usage.iter_mut().enumerate() {
         let resource = index.resource(ri);
-        let is_port = !matches!(
-            resource,
-            ResourceId::EdgeCpu(_) | ResourceId::CloudCpu(_)
-        );
+        let is_port = !matches!(resource, ResourceId::EdgeCpu(_) | ResourceId::CloudCpu(_));
         if is_port && !opts.check_ports {
             continue;
         }
@@ -434,7 +452,10 @@ mod tests {
         let errs = validate(&inst, &tb.finish()).unwrap_err();
         assert!(errs.iter().any(|e| matches!(
             e,
-            Violation::MissingVolume { phase: Phase::Compute, .. }
+            Violation::MissingVolume {
+                phase: Phase::Compute,
+                ..
+            }
         )));
     }
 
@@ -451,15 +472,18 @@ mod tests {
         let errs = validate(&inst, &tb.finish()).unwrap_err();
         assert!(errs.iter().any(|e| matches!(
             e,
-            Violation::OutOfOrder { before: Phase::Uplink, after: Phase::Compute, .. }
+            Violation::OutOfOrder {
+                before: Phase::Uplink,
+                after: Phase::Compute,
+                ..
+            }
         )));
     }
 
     #[test]
     fn detects_work_before_release() {
         let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
-        let inst =
-            Instance::new(spec, vec![Job::new(EdgeId(0), 5.0, 1.0, 0.0, 0.0)]).unwrap();
+        let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 5.0, 1.0, 0.0, 0.0)]).unwrap();
         let mut tb = TraceBuilder::new(1);
         tb.record(JobId(0), Phase::Compute, Target::Edge, iv(0.0, 1.0));
         tb.complete(JobId(0), Time::new(1.0));
@@ -486,7 +510,10 @@ mod tests {
         let errs = validate(&inst, &tb.finish()).unwrap_err();
         assert!(errs.iter().any(|e| matches!(
             e,
-            Violation::ResourceOverlap { resource: ResourceId::EdgeCpu(_), .. }
+            Violation::ResourceOverlap {
+                resource: ResourceId::EdgeCpu(_),
+                ..
+            }
         )));
     }
 
@@ -500,17 +527,40 @@ mod tests {
         let inst = Instance::new(spec, jobs).unwrap();
         let mut tb = TraceBuilder::new(2);
         // Parallel uplinks from one edge: violates EdgeOut exclusivity.
-        tb.record(JobId(0), Phase::Uplink, Target::Cloud(CloudId(0)), iv(0.0, 2.0));
-        tb.record(JobId(1), Phase::Uplink, Target::Cloud(CloudId(1)), iv(0.0, 2.0));
-        tb.record(JobId(0), Phase::Compute, Target::Cloud(CloudId(0)), iv(2.0, 3.0));
-        tb.record(JobId(1), Phase::Compute, Target::Cloud(CloudId(1)), iv(2.0, 3.0));
+        tb.record(
+            JobId(0),
+            Phase::Uplink,
+            Target::Cloud(CloudId(0)),
+            iv(0.0, 2.0),
+        );
+        tb.record(
+            JobId(1),
+            Phase::Uplink,
+            Target::Cloud(CloudId(1)),
+            iv(0.0, 2.0),
+        );
+        tb.record(
+            JobId(0),
+            Phase::Compute,
+            Target::Cloud(CloudId(0)),
+            iv(2.0, 3.0),
+        );
+        tb.record(
+            JobId(1),
+            Phase::Compute,
+            Target::Cloud(CloudId(1)),
+            iv(2.0, 3.0),
+        );
         tb.complete(JobId(0), Time::new(3.0));
         tb.complete(JobId(1), Time::new(3.0));
         let schedule = tb.finish();
         let errs = validate(&inst, &schedule).unwrap_err();
         assert!(errs.iter().any(|e| matches!(
             e,
-            Violation::ResourceOverlap { resource: ResourceId::EdgeOut(_), .. }
+            Violation::ResourceOverlap {
+                resource: ResourceId::EdgeOut(_),
+                ..
+            }
         )));
         // With port checks disabled (macro-dataflow), the schedule passes.
         let opts = ValidateOptions {
@@ -559,8 +609,7 @@ mod tests {
     #[test]
     fn detects_completion_mismatch() {
         let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
-        let inst =
-            Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
+        let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
         let mut tb = TraceBuilder::new(1);
         tb.record(JobId(0), Phase::Compute, Target::Edge, iv(0.0, 1.0));
         tb.complete(JobId(0), Time::new(2.5));
@@ -574,10 +623,14 @@ mod tests {
     fn detects_computation_in_unavailability_window() {
         let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1)
             .with_cloud_unavailability(CloudId(0), &[iv(1.0, 2.0)]);
-        let inst =
-            Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 3.0, 0.0, 0.0)]).unwrap();
+        let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 3.0, 0.0, 0.0)]).unwrap();
         let mut tb = TraceBuilder::new(1);
-        tb.record(JobId(0), Phase::Compute, Target::Cloud(CloudId(0)), iv(0.0, 3.0));
+        tb.record(
+            JobId(0),
+            Phase::Compute,
+            Target::Cloud(CloudId(0)),
+            iv(0.0, 3.0),
+        );
         tb.complete(JobId(0), Time::new(3.0));
         let errs = validate(&inst, &tb.finish()).unwrap_err();
         assert!(errs

@@ -72,13 +72,19 @@ impl OnlineScheduler for EdgeFifo {
 
 fn arb_instance() -> impl Strategy<Value = Instance> {
     (
-        1usize..4,                                        // edge units
-        0usize..3,                                        // cloud processors
+        1usize..4, // edge units
+        0usize..3, // cloud processors
         prop::collection::vec(
-            (0.0f64..20.0, 0.1f64..8.0, 0.0f64..6.0, 0.0f64..6.0, 0usize..4),
+            (
+                0.0f64..20.0,
+                0.1f64..8.0,
+                0.0f64..6.0,
+                0.0f64..6.0,
+                0usize..4,
+            ),
             1..10,
         ),
-        prop::collection::vec(0.05f64..1.0, 1..4),        // edge speeds
+        prop::collection::vec(0.05f64..1.0, 1..4), // edge speeds
     )
         .prop_map(|(ne, nc, raw_jobs, speeds)| {
             let mut edge_speeds = speeds;

@@ -85,7 +85,12 @@ impl Interval {
 
 impl fmt::Debug for Interval {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:.6}, {:.6})", self.start.seconds(), self.end.seconds())
+        write!(
+            f,
+            "[{:.6}, {:.6})",
+            self.start.seconds(),
+            self.end.seconds()
+        )
     }
 }
 
@@ -131,9 +136,7 @@ impl IntervalSet {
             return Ok(());
         }
         // Find insertion position by start time.
-        let pos = self
-            .items
-            .partition_point(|m| m.start() < iv.start());
+        let pos = self.items.partition_point(|m| m.start() < iv.start());
         // Overlap may only involve the predecessor or the successor run.
         if pos > 0 && self.items[pos - 1].overlaps(&iv) {
             return Err(self.items[pos - 1]);

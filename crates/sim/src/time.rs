@@ -286,10 +286,7 @@ mod tests {
     fn ordering_is_total() {
         let mut v = vec![Time::new(3.0), Time::new(-1.0), Time::new(0.5)];
         v.sort();
-        assert_eq!(
-            v,
-            vec![Time::new(-1.0), Time::new(0.5), Time::new(3.0)]
-        );
+        assert_eq!(v, vec![Time::new(-1.0), Time::new(0.5), Time::new(3.0)]);
         assert_eq!(Time::new(2.0).max(Time::new(3.0)), Time::new(3.0));
         assert_eq!(Time::new(2.0).min(Time::new(3.0)), Time::new(2.0));
     }

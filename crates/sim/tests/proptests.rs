@@ -7,8 +7,7 @@ use proptest::prelude::*;
 
 /// Strategy: a well-formed interval with endpoints in [0, 1000].
 fn interval_strategy() -> impl Strategy<Value = Interval> {
-    (0.0f64..1000.0, 0.0f64..50.0)
-        .prop_map(|(start, len)| Interval::from_secs(start, start + len))
+    (0.0f64..1000.0, 0.0f64..50.0).prop_map(|(start, len)| Interval::from_secs(start, start + len))
 }
 
 proptest! {

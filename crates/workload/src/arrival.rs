@@ -34,7 +34,13 @@ pub fn sample_arrivals<R: Rng + ?Sized>(
     match process {
         ArrivalProcess::Uniform => works
             .iter()
-            .map(|_| if r_max > 0.0 { rng.gen_range(0.0..r_max) } else { 0.0 })
+            .map(|_| {
+                if r_max > 0.0 {
+                    rng.gen_range(0.0..r_max)
+                } else {
+                    0.0
+                }
+            })
             .collect(),
         ArrivalProcess::Poisson => {
             let n = works.len();
@@ -72,8 +78,7 @@ mod tests {
         let works = vec![2.0; 50];
         let mut a = StdRng::seed_from_u64(5);
         let mut b = StdRng::seed_from_u64(5);
-        let via_arrival =
-            sample_arrivals(ArrivalProcess::Uniform, &works, &spec(), 0.5, &mut a);
+        let via_arrival = sample_arrivals(ArrivalProcess::Uniform, &works, &spec(), 0.5, &mut a);
         let via_load = crate::load::sample_releases(&works, &spec(), 0.5, &mut b);
         assert_eq!(via_arrival, via_load);
     }
@@ -83,8 +88,7 @@ mod tests {
         let works = vec![1.0; 2000];
         let mut rng = StdRng::seed_from_u64(7);
         let r_max = max_release(&works, &spec(), 0.5);
-        let arrivals =
-            sample_arrivals(ArrivalProcess::Poisson, &works, &spec(), 0.5, &mut rng);
+        let arrivals = sample_arrivals(ArrivalProcess::Poisson, &works, &spec(), 0.5, &mut rng);
         assert!(arrivals.iter().all(|&r| (0.0..r_max).contains(&r)));
         // First half of the horizon should hold roughly half the jobs.
         let first_half = arrivals.iter().filter(|&&r| r < r_max / 2.0).count();
@@ -109,7 +113,6 @@ mod tests {
     #[test]
     fn empty_and_degenerate() {
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(sample_arrivals(ArrivalProcess::Poisson, &[], &spec(), 0.5, &mut rng)
-            .is_empty());
+        assert!(sample_arrivals(ArrivalProcess::Poisson, &[], &spec(), 0.5, &mut rng).is_empty());
     }
 }

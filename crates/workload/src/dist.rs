@@ -35,7 +35,10 @@ pub enum Dist {
 impl Dist {
     /// Uniform over `[lo, hi)`; panics on an empty or negative range.
     pub fn uniform(lo: f64, hi: f64) -> Dist {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad uniform range");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad uniform range"
+        );
         Dist::Uniform { lo, hi }
     }
 

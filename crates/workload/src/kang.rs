@@ -69,12 +69,30 @@ pub struct EdgeProfile {
 
 /// The six (compute × channel) combinations, cycled over edge units.
 pub const PROFILE_CYCLE: [EdgeProfile; 6] = [
-    EdgeProfile { compute: ComputeType::Gpu, channel: Channel::WiFi },
-    EdgeProfile { compute: ComputeType::Cpu, channel: Channel::WiFi },
-    EdgeProfile { compute: ComputeType::Gpu, channel: Channel::Lte },
-    EdgeProfile { compute: ComputeType::Cpu, channel: Channel::Lte },
-    EdgeProfile { compute: ComputeType::Gpu, channel: Channel::ThreeG },
-    EdgeProfile { compute: ComputeType::Cpu, channel: Channel::ThreeG },
+    EdgeProfile {
+        compute: ComputeType::Gpu,
+        channel: Channel::WiFi,
+    },
+    EdgeProfile {
+        compute: ComputeType::Cpu,
+        channel: Channel::WiFi,
+    },
+    EdgeProfile {
+        compute: ComputeType::Gpu,
+        channel: Channel::Lte,
+    },
+    EdgeProfile {
+        compute: ComputeType::Cpu,
+        channel: Channel::Lte,
+    },
+    EdgeProfile {
+        compute: ComputeType::Gpu,
+        channel: Channel::ThreeG,
+    },
+    EdgeProfile {
+        compute: ComputeType::Cpu,
+        channel: Channel::ThreeG,
+    },
 ];
 
 /// Configuration of a Kang instance (defaults = paper Figure 2(c)).
@@ -139,14 +157,13 @@ impl KangConfig {
         let mut rng = StdRng::seed_from_u64(seed);
         let work_dist = Dist::kang_normal(self.mean_work);
 
-        let origins: Vec<usize> =
-            (0..self.n).map(|_| rng.gen_range(0..self.num_edge)).collect();
+        let origins: Vec<usize> = (0..self.n)
+            .map(|_| rng.gen_range(0..self.num_edge))
+            .collect();
         let works: Vec<f64> = (0..self.n).map(|_| work_dist.sample(&mut rng)).collect();
         let ups: Vec<f64> = origins
             .iter()
-            .map(|&o| {
-                Dist::kang_normal(profiles[o].channel.mean_uplink()).sample(&mut rng)
-            })
+            .map(|&o| Dist::kang_normal(profiles[o].channel.mean_uplink()).sample(&mut rng))
             .collect();
         let releases = load::sample_releases(&works, &spec, self.load, &mut rng);
 
@@ -259,7 +276,10 @@ mod tests {
         assert_eq!(shuffled.profiles(), shuffled.profiles());
         let spec = shuffled.platform();
         for (j, p) in shuffled.profiles().iter().enumerate() {
-            assert_eq!(spec.edge_speed(mmsec_platform::EdgeId(j)), p.compute.speed());
+            assert_eq!(
+                spec.edge_speed(mmsec_platform::EdgeId(j)),
+                p.compute.speed()
+            );
         }
         // Instances generate and validate.
         let inst = KangConfig { n: 30, ..shuffled }.generate(1);

@@ -72,7 +72,9 @@ impl RandomCcrConfig {
         let mut rng = StdRng::seed_from_u64(seed);
         let comm_dist = self.work_dist.scaled(self.ccr);
 
-        let works: Vec<f64> = (0..self.n).map(|_| self.work_dist.sample(&mut rng)).collect();
+        let works: Vec<f64> = (0..self.n)
+            .map(|_| self.work_dist.sample(&mut rng))
+            .collect();
         let ups: Vec<f64> = (0..self.n).map(|_| comm_dist.sample(&mut rng)).collect();
         let dns: Vec<f64> = (0..self.n).map(|_| comm_dist.sample(&mut rng)).collect();
         let origins: Vec<usize> = (0..self.n).map(|_| rng.gen_range(0..num_edge)).collect();
@@ -95,8 +97,12 @@ mod tests {
         let spec = cfg.platform();
         assert_eq!(spec.num_cloud(), 20);
         assert_eq!(spec.num_edge(), 20);
-        let slow = (0..10).filter(|&j| spec.edge_speed(EdgeId(j)) == 0.1).count();
-        let fast = (10..20).filter(|&j| spec.edge_speed(EdgeId(j)) == 0.5).count();
+        let slow = (0..10)
+            .filter(|&j| spec.edge_speed(EdgeId(j)) == 0.1)
+            .count();
+        let fast = (10..20)
+            .filter(|&j| spec.edge_speed(EdgeId(j)) == 0.5)
+            .count();
         assert_eq!(slow, 10);
         assert_eq!(fast, 10);
     }
@@ -112,8 +118,8 @@ mod tests {
             let inst = cfg.generate(42);
             let mean_w: f64 =
                 inst.jobs.iter().map(|j| j.work).sum::<f64>() / inst.num_jobs() as f64;
-            let mean_c: f64 = inst.jobs.iter().map(|j| 0.5 * (j.up + j.dn)).sum::<f64>()
-                / inst.num_jobs() as f64;
+            let mean_c: f64 =
+                inst.jobs.iter().map(|j| 0.5 * (j.up + j.dn)).sum::<f64>() / inst.num_jobs() as f64;
             let ratio = mean_c / mean_w;
             assert!(
                 (ratio / ccr - 1.0).abs() < 0.1,

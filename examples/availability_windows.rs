@@ -38,7 +38,10 @@ fn main() {
     // Extension: cloud 1 is requisitioned during [3, 8) and [12, 16).
     let spec = PlatformSpec::homogeneous_cloud(edge_speeds, 2).with_cloud_unavailability(
         CloudId(1),
-        &[Interval::from_secs(3.0, 8.0), Interval::from_secs(12.0, 16.0)],
+        &[
+            Interval::from_secs(3.0, 8.0),
+            Interval::from_secs(12.0, 16.0),
+        ],
     );
     let inst = Instance::new(spec, jobs()).unwrap();
     let out = simulate(&inst, &mut SsfEdf::new()).unwrap();

@@ -5,9 +5,7 @@
 
 use mmsec_core::PolicyKind;
 use mmsec_offline::brute::optimal_mmsh;
-use mmsec_offline::reductions::{
-    has_two_partition_eq, mmsh_to_mmseco, two_partition_eq_to_mmsh,
-};
+use mmsec_offline::reductions::{has_two_partition_eq, mmsh_to_mmseco, two_partition_eq_to_mmsh};
 use mmsec_offline::single_machine::{optimal_max_stretch, OfflineJob};
 use mmsec_offline::{optimal_order_based, spt_max_stretch, MmshInstance};
 use mmsec_platform::{simulate, StretchReport};

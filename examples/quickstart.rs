@@ -50,7 +50,9 @@ fn main() {
     println!(
         "\nmax stretch = {:.3} (achieved by {})",
         report.max_stretch,
-        report.argmax.map_or("-".to_string(), |j: JobId| j.to_string()),
+        report
+            .argmax
+            .map_or("-".to_string(), |j: JobId| j.to_string()),
     );
     println!("mean stretch = {:.3}", report.mean_stretch);
     println!(

@@ -17,20 +17,40 @@ fn gen_run_roundtrip() {
         .args(["--out", inst.to_str().unwrap()])
         .output()
         .expect("gen runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(inst.exists());
 
     let out = mmsec()
-        .args(["run", "--instance", inst.to_str().unwrap(), "--policy", "srpt"])
+        .args([
+            "run",
+            "--instance",
+            inst.to_str().unwrap(),
+            "--policy",
+            "srpt",
+        ])
         .output()
         .expect("run runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("max stretch"), "{stdout}");
     assert!(stdout.contains("srpt"));
 
     let out = mmsec()
-        .args(["run", "--instance", inst.to_str().unwrap(), "--gantt", "--per-job"])
+        .args([
+            "run",
+            "--instance",
+            inst.to_str().unwrap(),
+            "--gantt",
+            "--per-job",
+        ])
         .output()
         .expect("gantt runs");
     assert!(out.status.success());
@@ -56,9 +76,21 @@ fn compare_lists_all_policies() {
         .args(["compare", "--instance", inst.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for name in ["edge-only", "greedy", "srpt", "ssf-edf", "fcfs", "cloud-only", "random"] {
+    for name in [
+        "edge-only",
+        "greedy",
+        "srpt",
+        "ssf-edf",
+        "fcfs",
+        "cloud-only",
+        "random",
+    ] {
         assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
     }
     std::fs::remove_dir_all(&dir).ok();
@@ -74,6 +106,121 @@ fn gen_writes_parseable_text_to_stdout() {
     let text = String::from_utf8_lossy(&out.stdout);
     let parsed = mmsec_platform::Instance::from_text(&text).expect("parseable");
     assert_eq!(parsed.num_jobs(), 5);
+}
+
+#[test]
+fn unknown_flag_is_rejected_with_accepted_set() {
+    // A typo like --polcy must fail loudly and name the flags that would
+    // have been accepted, not be silently ignored.
+    let out = mmsec()
+        .args(["run", "--instance", "x.txt", "--polcy", "srpt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --polcy"), "{stderr}");
+    assert!(stderr.contains("accepted flags:"), "{stderr}");
+    assert!(stderr.contains("--policy"), "{stderr}");
+
+    let out = mmsec()
+        .args(["gen", "random", "--n", "5", "--sed", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --sed"), "{stderr}");
+    assert!(stderr.contains("--seed"), "{stderr}");
+}
+
+#[test]
+fn trace_and_metrics_roundtrip() {
+    use mmsec_platform::obs::json::{parse, Json};
+
+    let dir = std::env::temp_dir().join(format!("mmsec-cli-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = dir.join("fig1.txt");
+    std::fs::write(&inst, mmsec_platform::figure1_instance().to_text()).unwrap();
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.json");
+
+    let out = mmsec()
+        .args([
+            "run",
+            "--instance",
+            inst.to_str().unwrap(),
+            "--policy",
+            "ssf-edf",
+        ])
+        .args(["--trace", trace.to_str().unwrap()])
+        .args(["--metrics", metrics.to_str().unwrap()])
+        .output()
+        .expect("observed run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Metrics: valid JSON with the documented schema and sane counters.
+    let doc = parse(&std::fs::read_to_string(&metrics).unwrap()).expect("valid metrics JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("mmsec-metrics/1")
+    );
+    let counters = doc.get("counters").expect("counters section");
+    assert_eq!(counters.get("releases").and_then(Json::as_f64), Some(6.0));
+    assert_eq!(
+        counters.get("completions").and_then(Json::as_f64),
+        Some(6.0)
+    );
+    assert!(
+        counters
+            .get("binary_search_probes")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0,
+        "ssf-edf must report probes"
+    );
+    for section in ["decide_latency", "units", "ready_queue"] {
+        assert!(doc.get(section).is_some(), "missing {section}");
+    }
+
+    // Chrome trace: valid JSON, monotone non-decreasing timestamps, and
+    // every duration-begin has a matching end on the same track.
+    let doc = parse(&std::fs::read_to_string(&trace).unwrap()).expect("valid trace JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut depth: std::collections::HashMap<i64, i64> = std::collections::HashMap::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
+        if ph == "M" {
+            continue; // metadata records carry no timestamp ordering
+        }
+        let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
+        assert!(ts >= last_ts, "timestamps must be sorted: {ts} < {last_ts}");
+        last_ts = ts;
+        let tid = ev.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as i64;
+        match ph {
+            "B" => *depth.entry(tid).or_default() += 1,
+            "E" => {
+                let d = depth.entry(tid).or_default();
+                *d -= 1;
+                assert!(*d >= 0, "E without B on tid {tid}");
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        depth.values().all(|&d| d == 0),
+        "unbalanced B/E pairs: {depth:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -4,9 +4,7 @@
 //! invariants.
 
 use mmsec_core::PolicyKind;
-use mmsec_platform::{
-    simulate_with, validate_with, EngineOptions, StretchReport, ValidateOptions,
-};
+use mmsec_platform::{simulate_with, validate_with, EngineOptions, StretchReport, ValidateOptions};
 use mmsec_workload::RandomCcrConfig;
 
 fn cfg() -> RandomCcrConfig {
@@ -42,8 +40,12 @@ fn option_matrix() -> Vec<EngineOptions> {
 fn every_option_combination_validates() {
     let inst = cfg().generate(31);
     for opts in option_matrix() {
-        for kind in [PolicyKind::Greedy, PolicyKind::Srpt, PolicyKind::SsfEdf, PolicyKind::Fcfs]
-        {
+        for kind in [
+            PolicyKind::Greedy,
+            PolicyKind::Srpt,
+            PolicyKind::SsfEdf,
+            PolicyKind::Fcfs,
+        ] {
             let mut policy = kind.build(1);
             let out = simulate_with(&inst, policy.as_mut(), opts)
                 .unwrap_or_else(|e| panic!("{kind} with {opts:?}: {e}"));
@@ -53,7 +55,11 @@ fn every_option_combination_validates() {
                 ..ValidateOptions::default()
             };
             if let Err(v) = validate_with(&inst, &out.schedule, vopts) {
-                panic!("{kind} with {opts:?}: {} violations, first {}", v.len(), v[0]);
+                panic!(
+                    "{kind} with {opts:?}: {} violations, first {}",
+                    v.len(),
+                    v[0]
+                );
             }
             let r = StretchReport::new(&inst, &out.schedule);
             assert!(r.max_stretch >= 1.0 - 1e-9);

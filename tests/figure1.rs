@@ -4,6 +4,7 @@
 //! in DESIGN.md); per-job facts from the paper's §III-C discussion hold.
 
 use mmsec_core::PolicyKind;
+use mmsec_platform::metrics::try_report;
 use mmsec_platform::schedule::TraceBuilder;
 use mmsec_platform::{
     figure1_instance, simulate, validate, CloudId, JobId, Phase, StretchReport, Target,
@@ -77,6 +78,20 @@ fn reconstructed_schedule_is_valid_and_achieves_three_halves() {
 }
 
 #[test]
+fn try_report_agrees_with_figure1() {
+    // The fallible path must agree with `StretchReport::new` on the
+    // reconstructed optimum: same max stretch, and the argmax is the
+    // first job attaining it (J3, stretch 3/2).
+    let inst = figure1_instance();
+    let schedule = optimal_schedule();
+    let report = try_report(&inst, &schedule).expect("schedule is complete");
+    assert_eq!(report, StretchReport::new(&inst, &schedule));
+    assert!((report.max_stretch - 1.5).abs() < 1e-12);
+    assert_eq!(report.argmax, Some(JobId(2)));
+    assert!((report.stretches[2] - report.max_stretch).abs() < 1e-12);
+}
+
+#[test]
 fn online_heuristics_cannot_beat_the_offline_optimum() {
     let inst = figure1_instance();
     for kind in PolicyKind::ALL {
@@ -114,9 +129,7 @@ fn full_overlap_at_time_six_and_a_half() {
     // a downlink (J2) are all in flight.
     let schedule = optimal_schedule();
     let t = 6.5;
-    let active = |set: &mmsec_sim::IntervalSet| {
-        set.iter().any(|iv| iv.contains(Time::new(t)))
-    };
+    let active = |set: &mmsec_sim::IntervalSet| set.iter().any(|iv| iv.contains(Time::new(t)));
     assert!(active(&schedule.exec[5]), "edge computes J6");
     assert!(active(&schedule.exec[2]), "cloud computes J3");
     assert!(active(&schedule.up[4]), "J5 uplink in flight");

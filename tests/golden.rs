@@ -8,19 +8,24 @@
 //! `RandomCcrConfig{n:80, ccr:1, load:0.3, 6 clouds, 3+3 edges}.generate(424242)`
 //! and `KangConfig{n:80, 12 edges, 4 clouds}.generate(424242)` with policy
 //! seed 11) and justify the delta in the commit.
+//!
+//! NOTE: the constants below were produced with the offline `compat/rand`
+//! stub (xoshiro256++-backed `StdRng`). Swapping the real `rand` crate
+//! back in changes the sampled instances and requires regeneration; see
+//! `compat/README.md`.
 
 use mmsec_core::PolicyKind;
 use mmsec_platform::{simulate, validate, StretchReport};
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 
 const GOLDEN: [(&str, f64, f64); 7] = [
-    ("edge-only", 26.020701173878, 2.119323549913),
-    ("greedy", 1.912137634391, 2.025026056363),
-    ("srpt", 1.912137634391, 1.960044450798),
-    ("ssf-edf", 2.085435534136, 1.960044450798),
-    ("fcfs", 12.382483088715, 3.120966269486),
-    ("cloud-only", 121.133423654057, 3415.184635778429),
-    ("random", 17.123134373795, 942.048446004000),
+    ("edge-only", 25.347763273044, 1.889926286681),
+    ("greedy", 2.654181501811, 2.480915313072),
+    ("srpt", 2.273706298370, 1.889926286681),
+    ("ssf-edf", 2.026217898667, 1.889926286681),
+    ("fcfs", 13.048103266584, 2.882795624786),
+    ("cloud-only", 113.060795456141, 4194.826712471643),
+    ("random", 11.485762028979, 1150.864087085813),
 ];
 
 fn instances() -> (mmsec_platform::Instance, mmsec_platform::Instance) {
@@ -80,7 +85,10 @@ fn golden_instance_fingerprints() {
         (w, r, c)
     };
     let (w, r, c) = fingerprint(&random);
-    assert!((w - 420.7652575915268).abs() < 1e-6, "random works sum {w:.13}");
+    assert!(
+        (w - 444.544928239938).abs() < 1e-6,
+        "random works sum {w:.13}"
+    );
     assert!(r > 0.0 && c > 0.0);
     let (w2, _, _) = fingerprint(&kang);
     assert!((w2 / 80.0 - 6.0).abs() < 0.5, "kang mean work {w2}");

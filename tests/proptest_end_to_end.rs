@@ -8,12 +8,12 @@ use proptest::prelude::*;
 
 fn arb_random_cfg() -> impl Strategy<Value = RandomCcrConfig> {
     (
-        1usize..25,    // n
-        0.1f64..10.0,  // ccr
-        0.05f64..2.0,  // load
-        1usize..4,     // clouds
-        1usize..3,     // slow edges
-        0usize..3,     // fast edges
+        1usize..25,   // n
+        0.1f64..10.0, // ccr
+        0.05f64..2.0, // load
+        1usize..4,    // clouds
+        1usize..3,    // slow edges
+        0usize..3,    // fast edges
     )
         .prop_map(|(n, ccr, load, num_cloud, slow, fast)| RandomCcrConfig {
             n,

@@ -4,8 +4,7 @@
 use mmsec_bench::hardness::verify_reductions;
 use mmsec_offline::brute::optimal_mmsh;
 use mmsec_offline::reductions::{
-    has_three_partition, has_two_partition_eq, three_partition_to_mmsh,
-    two_partition_eq_to_mmsh,
+    has_three_partition, has_two_partition_eq, three_partition_to_mmsh, two_partition_eq_to_mmsh,
 };
 
 #[test]

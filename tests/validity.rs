@@ -9,8 +9,8 @@ use mmsec_workload::{KangConfig, RandomCcrConfig};
 fn check_all_policies(instance: &mmsec_platform::Instance, label: &str) {
     for kind in PolicyKind::ALL {
         let mut policy = kind.build(99);
-        let out = simulate(instance, policy.as_mut())
-            .unwrap_or_else(|e| panic!("{label}/{kind}: {e}"));
+        let out =
+            simulate(instance, policy.as_mut()).unwrap_or_else(|e| panic!("{label}/{kind}: {e}"));
         assert!(out.schedule.all_finished(), "{label}/{kind}: unfinished");
         if let Err(violations) = validate(instance, &out.schedule) {
             panic!(
@@ -26,10 +26,7 @@ fn check_all_policies(instance: &mmsec_platform::Instance, label: &str) {
             report.max_stretch
         );
         for (i, &s) in report.stretches.iter().enumerate() {
-            assert!(
-                s >= 1.0 - 1e-9,
-                "{label}/{kind}: job {i} stretch {s} < 1"
-            );
+            assert!(s >= 1.0 - 1e-9, "{label}/{kind}: job {i} stretch {s} < 1");
         }
     }
 }
