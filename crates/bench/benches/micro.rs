@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mmsec_core::PolicyKind;
 use mmsec_platform::obs::NullObserver;
 use mmsec_platform::projection::Projection;
-use mmsec_platform::{simulate_observed, simulate_with, EngineOptions, JobState, SimView};
+use mmsec_platform::{
+    simulate_observed, simulate_with, EngineOptions, JobState, PendingSet, SimView,
+};
 use mmsec_sim::{EventQueue, Interval, IntervalSet, Time};
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 
@@ -63,15 +65,12 @@ fn bench_projection(c: &mut Criterion) {
             ..JobState::default()
         })
         .collect();
+    let pending = PendingSet::from_states(&inst, &states);
     c.bench_function("micro/projection_place_200_jobs", |b| {
         b.iter_batched(
             || Projection::new(&inst.spec, Time::ZERO),
             |mut proj| {
-                let view = SimView {
-                    instance: &inst,
-                    now: Time::ZERO,
-                    jobs: &states,
-                };
+                let view = SimView::new(&inst, Time::ZERO, &states, &pending);
                 for (id, job) in inst.iter_jobs() {
                     let st = &view.jobs[id.0];
                     let (t, _) = proj.best_target(job, st, view.spec(), view.now);
@@ -134,12 +133,38 @@ fn bench_observer_overhead(c: &mut Criterion) {
     });
 }
 
+/// High-n decide-path cost: the incremental pending-set and the reusable
+/// directive buffer matter most when each event sees many pending jobs.
+fn bench_decide_path_high_n(c: &mut Criterion) {
+    let cfg = RandomCcrConfig {
+        n: 1000,
+        ..RandomCcrConfig::default()
+    };
+    let inst = cfg.generate(5);
+    let mut group = c.benchmark_group("micro/high_n");
+    group.sample_size(10);
+    group.bench_function("simulate_1000_srpt", |b| {
+        b.iter(|| {
+            let mut policy = PolicyKind::Srpt.build(1);
+            simulate_with(&inst, policy.as_mut(), EngineOptions::default()).unwrap()
+        });
+    });
+    group.bench_function("simulate_1000_fcfs", |b| {
+        b.iter(|| {
+            let mut policy = PolicyKind::Fcfs.build(1);
+            simulate_with(&inst, policy.as_mut(), EngineOptions::default()).unwrap()
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_interval_set,
     bench_projection,
     bench_generators,
-    bench_observer_overhead
+    bench_observer_overhead,
+    bench_decide_path_high_n
 );
 criterion_main!(benches);

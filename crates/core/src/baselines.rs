@@ -2,7 +2,7 @@
 //! reference points for the experiment suite and for tests).
 
 use mmsec_platform::projection::Projection;
-use mmsec_platform::{Directive, Instance, JobId, OnlineScheduler, SimView, Target};
+use mmsec_platform::{DirectiveBuffer, Instance, OnlineScheduler, SimView, Target};
 use mmsec_sim::seed::SplitMix64;
 
 /// First-come-first-served: jobs by release date; each job is placed once,
@@ -29,14 +29,14 @@ impl OnlineScheduler for Fcfs {
         self.chosen = vec![None; instance.num_jobs()];
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
         let spec = view.spec();
-        let mut pending: Vec<JobId> = view.pending_jobs().collect();
-        pending.sort_by_key(|&id| (view.instance.job(id).release, id));
+        // `pending_jobs()` iterates in (release, id) order — exactly the
+        // FIFO priority this policy wants; no sort needed.
         // Place newly seen jobs with a shared projection so that a burst
         // of simultaneous arrivals spreads over the platform.
         let mut proj = Projection::from_view(view);
-        for &id in &pending {
+        for id in view.pending_jobs() {
             if self.chosen[id.0].is_none() {
                 let job = view.instance.job(id);
                 let st = &view.jobs[id.0];
@@ -44,11 +44,8 @@ impl OnlineScheduler for Fcfs {
                 proj.place(job, st, target, spec, view.now);
                 self.chosen[id.0] = Some(target);
             }
+            out.push(id, self.chosen[id.0].expect("placed above"));
         }
-        pending
-            .into_iter()
-            .map(|id| Directive::new(id, self.chosen[id.0].expect("placed above")))
-            .collect()
     }
 }
 
@@ -80,12 +77,11 @@ impl OnlineScheduler for CloudOnly {
         self.chosen = vec![None; instance.num_jobs()];
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
         let spec = view.spec();
-        let mut pending: Vec<JobId> = view.pending_jobs().collect();
-        pending.sort_by_key(|&id| (view.instance.job(id).release, id));
         let mut proj = Projection::from_view(view);
-        for &id in &pending {
+        // (release, id) iteration order = FIFO priority.
+        for id in view.pending_jobs() {
             if self.chosen[id.0].is_none() {
                 let job = view.instance.job(id);
                 let st = &view.jobs[id.0];
@@ -100,11 +96,8 @@ impl OnlineScheduler for CloudOnly {
                 proj.place(job, st, target, spec, view.now);
                 self.chosen[id.0] = Some(target);
             }
+            out.push(id, self.chosen[id.0].expect("placed above"));
         }
-        pending
-            .into_iter()
-            .map(|id| Directive::new(id, self.chosen[id.0].expect("placed above")))
-            .collect()
     }
 }
 
@@ -135,11 +128,12 @@ impl OnlineScheduler for RandomSticky {
         self.chosen = vec![None; instance.num_jobs()];
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
         let spec = view.spec();
-        let mut pending: Vec<JobId> = view.pending_jobs().collect();
-        pending.sort_by_key(|&id| (view.instance.job(id).release, id));
-        for &id in &pending {
+        // (release, id) iteration order = FIFO priority; it also fixes the
+        // order in which new jobs draw from the RNG, keeping the policy
+        // deterministic per seed.
+        for id in view.pending_jobs() {
             if self.chosen[id.0].is_none() {
                 let n_options = 1 + spec.num_cloud();
                 let pick = (self.rng.next_u64() as usize) % n_options;
@@ -150,11 +144,8 @@ impl OnlineScheduler for RandomSticky {
                 };
                 self.chosen[id.0] = Some(target);
             }
+            out.push(id, self.chosen[id.0].expect("placed above"));
         }
-        pending
-            .into_iter()
-            .map(|id| Directive::new(id, self.chosen[id.0].expect("placed above")))
-            .collect()
     }
 }
 

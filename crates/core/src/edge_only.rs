@@ -11,7 +11,7 @@
 //! preemptive EDF until the next release.
 
 use crate::bender::{deadline, optimal_stretch_so_far, ReleasedJob};
-use mmsec_platform::{Directive, Instance, JobId, OnlineScheduler, SimView, Target};
+use mmsec_platform::{DirectiveBuffer, Instance, JobId, OnlineScheduler, SimView, Target};
 use mmsec_sim::Time;
 
 /// Edge-Only stretch-so-far EDF policy.
@@ -23,6 +23,8 @@ pub struct EdgeOnly {
     eps_rel: f64,
     /// Cached deadline per job (None until first computed).
     deadlines: Vec<Option<Time>>,
+    /// Reusable (deadline, id) sort scratch for `decide`.
+    order: Vec<(Time, JobId)>,
 }
 
 impl Default for EdgeOnly {
@@ -44,6 +46,7 @@ impl EdgeOnly {
             alpha,
             eps_rel,
             deadlines: Vec::new(),
+            order: Vec::new(),
         }
     }
 
@@ -88,7 +91,7 @@ impl OnlineScheduler for EdgeOnly {
         self.deadlines = vec![None; instance.num_jobs()];
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
         // Units with a newly released job recompute their deadlines
         // (stretch-so-far is re-estimated at release events).
         let mut dirty_units: Vec<usize> = view
@@ -104,18 +107,15 @@ impl OnlineScheduler for EdgeOnly {
 
         // Preemptive EDF per unit: a global deadline sort is fine because
         // units share no resources.
-        let mut pending: Vec<(Time, JobId)> = view
-            .pending_jobs()
-            .map(|id| {
-                let d = self.deadlines[id.0].expect("deadline computed above");
-                (d, id)
-            })
-            .collect();
-        pending.sort();
-        pending
-            .into_iter()
-            .map(|(_, id)| Directive::new(id, Target::Edge))
-            .collect()
+        self.order.clear();
+        self.order.extend(view.pending_jobs().map(|id| {
+            let d = self.deadlines[id.0].expect("deadline computed above");
+            (d, id)
+        }));
+        self.order.sort();
+        for &(_, id) in &self.order {
+            out.push(id, Target::Edge);
+        }
     }
 }
 

@@ -7,16 +7,19 @@
 //! on the resource achieving its minimum; claim the resources and repeat.
 
 use crate::placing::{stretch_at, RoundState};
-use mmsec_platform::{Directive, Instance, JobId, OnlineScheduler, SimView};
+use mmsec_platform::{DirectiveBuffer, Instance, JobId, OnlineScheduler, SimView};
 
 /// Greedy max-imminent-stretch-first policy.
 #[derive(Clone, Debug, Default)]
-pub struct Greedy;
+pub struct Greedy {
+    /// Reusable list of not-yet-placed jobs for the selection loop.
+    unassigned: Vec<JobId>,
+}
 
 impl Greedy {
     /// Creates the policy.
     pub fn new() -> Self {
-        Greedy
+        Greedy::default()
     }
 }
 
@@ -27,10 +30,11 @@ impl OnlineScheduler for Greedy {
 
     fn on_start(&mut self, _instance: &Instance) {}
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
         let mut round = RoundState::new(view);
-        let mut unassigned: Vec<JobId> = view.pending_jobs().collect();
-        let mut directives = Vec::with_capacity(unassigned.len());
+        let unassigned = &mut self.unassigned;
+        unassigned.clear();
+        unassigned.extend(view.pending_jobs());
 
         while !unassigned.is_empty() {
             // For each job: its best immediately startable option. Ties on
@@ -59,10 +63,9 @@ impl OnlineScheduler for Greedy {
                 break; // nothing can start anymore
             };
             round.claim(view, id, opt.target);
-            directives.push(Directive::new(id, opt.target));
+            out.push(id, opt.target);
             unassigned.swap_remove(pos);
         }
-        directives
     }
 }
 

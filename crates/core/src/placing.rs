@@ -16,7 +16,8 @@
 use mmsec_platform::projection::Projection;
 use mmsec_platform::resource::ResourceMap;
 use mmsec_platform::{JobId, Phase, SimView, Target};
-use mmsec_sim::{Time, TIME_EPS};
+use mmsec_sim::time::approx;
+use mmsec_sim::Time;
 
 /// Phase the job would run first if placed on `target` *now*: the current
 /// phase when continuing on its committed target, the first non-empty
@@ -28,13 +29,13 @@ pub fn first_phase(view: &SimView<'_>, id: JobId, target: Target) -> Option<Phas
         return st.current_phase(job, target);
     }
     match target {
-        Target::Edge => (job.work > TIME_EPS).then_some(Phase::Compute),
+        Target::Edge => approx::positive(job.work).then_some(Phase::Compute),
         Target::Cloud(_) => {
-            if job.up > TIME_EPS {
+            if approx::positive(job.up) {
                 Some(Phase::Uplink)
-            } else if job.work > TIME_EPS {
+            } else if approx::positive(job.work) {
                 Some(Phase::Compute)
-            } else if job.dn > TIME_EPS {
+            } else if approx::positive(job.dn) {
                 Some(Phase::Downlink)
             } else {
                 None
@@ -222,7 +223,7 @@ pub fn stretch_at(view: &SimView<'_>, id: JobId, completion: Time) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmsec_platform::{CloudId, EdgeId, Instance, Job, JobState, PlatformSpec};
+    use mmsec_platform::{CloudId, EdgeId, Instance, Job, JobState, PendingSet, PlatformSpec};
 
     fn fixture() -> (Instance, Vec<JobState>) {
         let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
@@ -243,11 +244,8 @@ mod tests {
         let (inst, mut states) = fixture();
         states[0].committed = Some(Target::Cloud(CloudId(0)));
         states[0].up_done = 1.0; // uplink complete on cloud 0
-        let view = SimView {
-            instance: &inst,
-            now: Time::new(1.0),
-            jobs: &states,
-        };
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::new(1.0), &states, &pending);
         assert_eq!(
             first_phase(&view, JobId(0), Target::Cloud(CloudId(0))),
             Some(Phase::Compute)
@@ -266,11 +264,8 @@ mod tests {
     #[test]
     fn best_startable_picks_earliest_completion() {
         let (inst, states) = fixture();
-        let view = SimView {
-            instance: &inst,
-            now: Time::ZERO,
-            jobs: &states,
-        };
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
         let round = RoundState::new(&view);
         // Job 1 (6 work): edge 12, cloud 8 → cloud.
         let opt = round.best_startable(&view, JobId(1)).unwrap();
@@ -296,11 +291,8 @@ mod tests {
         for s in &mut states {
             s.released = true;
         }
-        let view = SimView {
-            instance: &inst,
-            now: Time::ZERO,
-            jobs: &states,
-        };
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
         let mut round = RoundState::new(&view);
         let first = round.best_startable(&view, JobId(0)).unwrap();
         assert_eq!(first.target, Target::Cloud(CloudId(0)));
@@ -317,11 +309,8 @@ mod tests {
     #[test]
     fn busy_first_phase_resources_exclude_targets() {
         let (inst, states) = fixture();
-        let view = SimView {
-            instance: &inst,
-            now: Time::ZERO,
-            jobs: &states,
-        };
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
         let mut round = RoundState::new(&view);
         // Claim job 0's uplink on cloud 0: EdgeOut(0) + CloudIn(0) are
         // busy now, so job 1 (which also needs EdgeOut(0) to reach any
@@ -339,11 +328,8 @@ mod tests {
         let mut jobs2 = inst.jobs.clone();
         jobs2.push(Job::new(EdgeId(0), 0.0, 1.0, 1.0, 1.0));
         let inst2 = Instance::new(inst.spec.clone(), jobs2).unwrap();
-        let view2 = SimView {
-            instance: &inst2,
-            now: Time::ZERO,
-            jobs: &st2,
-        };
+        let pending2 = PendingSet::from_states(&inst2, &st2);
+        let view2 = SimView::new(&inst2, Time::ZERO, &st2, &pending2);
         assert_eq!(round.best_startable(&view2, JobId(2)), None);
     }
 
@@ -351,11 +337,8 @@ mod tests {
     fn committed_target_preferred_on_tie() {
         let (inst, mut states) = fixture();
         states[0].committed = Some(Target::Cloud(CloudId(1)));
-        let view = SimView {
-            instance: &inst,
-            now: Time::ZERO,
-            jobs: &states,
-        };
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
         let round = RoundState::new(&view);
         let opt = round.best_startable(&view, JobId(0)).unwrap();
         assert_eq!(opt.target, Target::Cloud(CloudId(1)));
@@ -367,11 +350,8 @@ mod tests {
         states[0].committed = Some(Target::Cloud(CloudId(0)));
         states[0].up_done = 1.0;
         states[0].work_done = 1.0;
-        let view = SimView {
-            instance: &inst,
-            now: Time::new(2.0),
-            jobs: &states,
-        };
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::new(2.0), &states, &pending);
         let round = RoundState::new(&view);
         let opt = round.best_startable(&view, JobId(0)).unwrap();
         // Continue on cloud 0: 1 work + 1 dn = 2 → completes at 4;
@@ -383,11 +363,8 @@ mod tests {
     #[test]
     fn stretch_estimate() {
         let (inst, states) = fixture();
-        let view = SimView {
-            instance: &inst,
-            now: Time::ZERO,
-            jobs: &states,
-        };
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
         assert!((stretch_at(&view, JobId(0), Time::new(6.0)) - 1.5).abs() < 1e-12);
     }
 }

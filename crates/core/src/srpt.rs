@@ -8,19 +8,23 @@
 //! penalty is part of the completion estimate.
 
 use crate::placing::RoundState;
-use mmsec_platform::{Directive, JobId, OnlineScheduler, SimView};
+use mmsec_platform::{DirectiveBuffer, JobId, OnlineScheduler, SimView};
 use mmsec_sim::Time;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Earliest-estimated-completion-first policy.
 #[derive(Clone, Debug, Default)]
-pub struct Srpt;
+pub struct Srpt {
+    /// Reusable min-heap keyed by (completion, id), kept across events so
+    /// the decide hot path reuses its backing allocation.
+    heap: BinaryHeap<Reverse<(Time, JobId)>>,
+}
 
 impl Srpt {
     /// Creates the policy.
     pub fn new() -> Self {
-        Srpt
+        Srpt::default()
     }
 }
 
@@ -36,33 +40,31 @@ impl OnlineScheduler for Srpt {
     /// estimate still beats the heap's next key is the true minimum. This
     /// replaces the quadratic rescans of the naive matching loop — the
     /// reason SRPT stays fast under load while Greedy does not (§VI-B).
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
         let mut round = RoundState::new(view);
-        let mut directives = Vec::new();
         // Min-heap keyed by (completion, id); ties resolve to smaller id,
         // matching the exact scan.
-        let mut heap: BinaryHeap<Reverse<(Time, JobId)>> = BinaryHeap::new();
+        self.heap.clear();
         for id in view.pending_jobs() {
             if let Some(opt) = round.best_startable(view, id) {
-                heap.push(Reverse((opt.completion, id)));
+                self.heap.push(Reverse((opt.completion, id)));
             }
         }
-        while let Some(Reverse((_, id))) = heap.pop() {
+        while let Some(Reverse((_, id))) = self.heap.pop() {
             // Refresh: the cached key may be stale (a lower bound).
             let Some(opt) = round.best_startable(view, id) else {
                 continue; // can no longer start in this round
             };
-            let is_min = heap.peek().map_or(true, |Reverse((next, next_id))| {
+            let is_min = self.heap.peek().map_or(true, |Reverse((next, next_id))| {
                 opt.completion < *next || (opt.completion == *next && id < *next_id)
             });
             if is_min {
                 round.claim(view, id, opt.target);
-                directives.push(Directive::new(id, opt.target));
+                out.push(id, opt.target);
             } else {
-                heap.push(Reverse((opt.completion, id)));
+                self.heap.push(Reverse((opt.completion, id)));
             }
         }
-        directives
     }
 }
 

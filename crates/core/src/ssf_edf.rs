@@ -18,7 +18,7 @@
 use mmsec_platform::obs::Event as ObsEvent;
 use mmsec_platform::projection::Projection;
 use mmsec_platform::{
-    Directive, Instance, JobId, ObserverHandle, OnlineScheduler, SimView, Target,
+    DirectiveBuffer, Instance, JobId, ObserverHandle, OnlineScheduler, SimView, Target,
 };
 use mmsec_sim::Time;
 
@@ -33,6 +33,8 @@ pub struct SsfEdf {
     deadlines: Vec<Option<Time>>,
     /// Plan: chosen target per job.
     targets: Vec<Option<Target>>,
+    /// Reusable (deadline, id) sort scratch for `decide`.
+    order: Vec<(Time, JobId)>,
     /// Sink for `BinarySearchProbe` events, when attached.
     observer: Option<ObserverHandle>,
 }
@@ -58,6 +60,7 @@ impl SsfEdf {
             eps_rel,
             deadlines: Vec::new(),
             targets: Vec::new(),
+            order: Vec::new(),
             observer: None,
         }
     }
@@ -84,11 +87,7 @@ impl SsfEdf {
         let spec = view.spec();
         let mut jobs: Vec<(Time, JobId)> = view
             .pending_jobs()
-            .map(|id| {
-                let job = view.instance.job(id);
-                let d = job.release + Time::new(s * job.min_time(spec));
-                (d, id)
-            })
+            .map(|id| (view.deadline_under_stretch(id, s), id))
             .collect();
         jobs.sort();
         let mut proj = Projection::from_view(view);
@@ -113,20 +112,11 @@ impl SsfEdf {
 
     /// Full recomputation at a release event.
     fn replan(&mut self, view: &SimView<'_>) {
-        let spec = view.spec();
         // Lower bound: the stretch each pending job is already forced to
         // (finishing as early as physically possible, alone).
         let mut lo = 1.0f64;
         for id in view.pending_jobs() {
-            let job = view.instance.job(id);
-            let st = &view.jobs[id.0];
-            let mut best = f64::INFINITY;
-            best = best.min(st.duration_if_placed(job, Target::Edge, spec));
-            for k in spec.clouds() {
-                best = best.min(st.duration_if_placed(job, Target::Cloud(k), spec));
-            }
-            let forced = (view.now + Time::new(best) - job.release).seconds() / job.min_time(spec);
-            lo = lo.max(forced);
+            lo = lo.max(view.forced_stretch(id));
         }
 
         let best_plan: Attempt;
@@ -257,20 +247,20 @@ impl OnlineScheduler for SsfEdf {
         self.observer = Some(observer);
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
         // Release event ⇔ some pending job has no deadline yet.
         if view.pending_jobs().any(|id| self.deadlines[id.0].is_none()) {
             self.replan(view);
         }
-        let mut pending: Vec<(Time, JobId)> = view
-            .pending_jobs()
-            .map(|id| (self.deadlines[id.0].expect("planned"), id))
-            .collect();
-        pending.sort();
-        pending
-            .into_iter()
-            .map(|(_, id)| Directive::new(id, self.targets[id.0].expect("planned")))
-            .collect()
+        self.order.clear();
+        self.order.extend(
+            view.pending_jobs()
+                .map(|id| (self.deadlines[id.0].expect("planned"), id)),
+        );
+        self.order.sort();
+        for &(_, id) in &self.order {
+            out.push(id, self.targets[id.0].expect("planned"));
+        }
     }
 }
 
@@ -414,7 +404,7 @@ mod tests {
     #[test]
     fn hysteresis_switches_only_when_gain_exceeds_sunk_progress() {
         use mmsec_platform::projection::Projection;
-        use mmsec_platform::{Instance, Job, JobState, SimView};
+        use mmsec_platform::{Instance, Job, JobState, PendingSet, SimView};
         use mmsec_sim::Time;
 
         let spec = PlatformSpec::homogeneous_cloud(vec![0.01], 2);
@@ -435,11 +425,8 @@ mod tests {
         // (projected − sunk) = 7 − 1 = 6 strictly: 6 ≥ 6 → stay.
         {
             let states = vec![st.clone()];
-            let view = SimView {
-                instance: &inst,
-                now: Time::new(10.0),
-                jobs: &states,
-            };
+            let pending = PendingSet::from_states(&inst, &states);
+            let view = SimView::new(&inst, Time::new(10.0), &states, &pending);
             let mut proj = Projection::from_view(&view);
             // Occupy cloud 0's CPU for 2 seconds with a phantom booking.
             let phantom = Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0);
@@ -462,11 +449,8 @@ mod tests {
         // projects 15, bar = 14; fresh cloud 1 projects 6 < 14 → switch.
         {
             let states = vec![st.clone()];
-            let view = SimView {
-                instance: &inst,
-                now: Time::new(10.0),
-                jobs: &states,
-            };
+            let pending = PendingSet::from_states(&inst, &states);
+            let view = SimView::new(&inst, Time::new(10.0), &states, &pending);
             let mut proj = Projection::from_view(&view);
             let phantom = Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0);
             let fresh = JobState {
@@ -488,11 +472,8 @@ mod tests {
         {
             st.up_done = 0.0;
             let states = vec![st];
-            let view = SimView {
-                instance: &inst,
-                now: Time::new(10.0),
-                jobs: &states,
-            };
+            let pending = PendingSet::from_states(&inst, &states);
+            let view = SimView::new(&inst, Time::new(10.0), &states, &pending);
             let mut proj = Projection::from_view(&view);
             let phantom = Job::new(EdgeId(0), 0.0, 3.0, 0.0, 0.0);
             let fresh = JobState {

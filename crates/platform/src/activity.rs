@@ -89,6 +89,82 @@ impl Directive {
     }
 }
 
+/// Reusable, engine-owned buffer a scheduler fills at each decision.
+///
+/// The engine allocates one buffer per run, clears it before every
+/// [`crate::engine::OnlineScheduler::decide`] call, and hands the policy a
+/// `&mut` — so the decide hot path performs no per-event allocation for
+/// the directive list (the backing `Vec` reaches its high-water capacity
+/// after a few events and is reused from then on).
+///
+/// Directives are prioritized in push order, exactly like the `Vec` the
+/// old contract returned.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DirectiveBuffer {
+    items: Vec<Directive>,
+}
+
+impl DirectiveBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        DirectiveBuffer::default()
+    }
+
+    /// Drops every directive, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Appends "job should (continue to) run on target" with the next
+    /// lower priority.
+    pub fn push(&mut self, job: crate::job::JobId, target: Target) {
+        self.items.push(Directive::new(job, target));
+    }
+
+    /// Appends an already-built directive.
+    pub fn push_directive(&mut self, d: Directive) {
+        self.items.push(d);
+    }
+
+    /// Number of buffered directives.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no directive is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The prioritized directive list.
+    pub fn as_slice(&self) -> &[Directive] {
+        &self.items
+    }
+
+    /// Mutable access (the engine rewrites targets of refused retargets).
+    pub fn as_mut_slice(&mut self) -> &mut [Directive] {
+        &mut self.items
+    }
+
+    /// Keeps only the directives satisfying `keep`, preserving order.
+    pub fn retain(&mut self, keep: impl FnMut(&Directive) -> bool) {
+        self.items.retain(keep);
+    }
+
+    /// Iterates over the buffered directives in priority order.
+    pub fn iter(&self) -> impl Iterator<Item = &Directive> {
+        self.items.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a DirectiveBuffer {
+    type Item = &'a Directive;
+    type IntoIter = std::slice::Iter<'a, Directive>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,138 @@
+//! Engine events: the queue of future decision points and the mapping of
+//! engine happenings onto the observer taxonomy.
+
+use crate::activity::{Phase, Target};
+use crate::instance::Instance;
+use crate::job::JobId;
+use crate::spec::EdgeId;
+use mmsec_obs::{PhaseKind, Unit};
+use mmsec_sim::EventQueue;
+
+/// A future decision point known in advance (phase completions are
+/// discovered dynamically and never enter the queue: the engine advances
+/// time directly to the earliest one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) enum EngineEvent {
+    /// A job becomes available for scheduling.
+    Release(JobId),
+    /// Cloud availability-window boundary: a pure decision point.
+    Boundary,
+}
+
+/// Boundaries fire before releases at equal times so that a decision taken
+/// at the instant a window opens/closes already sees the new availability.
+pub(super) const RANK_BOUNDARY: u8 = 0;
+pub(super) const RANK_RELEASE: u8 = 1;
+
+/// Builds the initial event queue: one release per job plus both
+/// boundaries of every cloud availability window.
+pub(super) fn prime_queue(instance: &Instance) -> EventQueue<EngineEvent> {
+    let mut queue = EventQueue::new();
+    for (id, job) in instance.iter_jobs() {
+        queue.push(job.release, RANK_RELEASE, EngineEvent::Release(id));
+    }
+    let spec = &instance.spec;
+    for k in spec.clouds() {
+        for w in spec.cloud_unavailability(k).iter() {
+            queue.push(w.start(), RANK_BOUNDARY, EngineEvent::Boundary);
+            queue.push(w.end(), RANK_BOUNDARY, EngineEvent::Boundary);
+        }
+    }
+    queue
+}
+
+/// Automatic event cap used when [`super::EngineOptions::max_events`] is
+/// `None`: `1000 + 64·n + 8·w`, where `n` is the number of jobs and `w`
+/// the total number of cloud availability windows.
+///
+/// Rationale: a well-behaved policy generates O(1) events per job — one
+/// release, at most three phase completions, and a bounded number of
+/// re-execution points — so `64·n` leaves a generous ~20× margin over the
+/// worst observed policies; each availability window adds two boundary
+/// events plus the pause/resume churn around them, covered by `8·w`; the
+/// `1000` floor keeps tiny instances from tripping the cap during
+/// pathological-but-finite warm-up behavior. A policy that exceeds this
+/// budget is almost certainly livelocked (e.g. retargeting a job forever,
+/// wiping its progress each time, so the simulation never advances) and
+/// the run is aborted with [`super::EngineError::EventLimit`].
+pub fn auto_event_limit(instance: &Instance) -> u64 {
+    1000 + 64 * instance.num_jobs() as u64 + 8 * total_windows(instance) as u64
+}
+
+/// Total number of cloud availability windows over all cloud processors.
+pub(super) fn total_windows(instance: &Instance) -> usize {
+    instance
+        .spec
+        .clouds()
+        .map(|k| instance.spec.cloud_unavailability(k).len())
+        .sum()
+}
+
+/// Resource a `phase` of a job occupies, in observer terms: communications
+/// are attributed to the origin edge's ports, computations to the unit
+/// that executes them.
+pub(super) fn obs_unit(origin: EdgeId, target: Target, phase: Phase) -> Unit {
+    match (phase, target) {
+        (Phase::Compute, Target::Cloud(k)) => Unit::Cloud(k.0),
+        (Phase::Compute, Target::Edge) => Unit::Edge(origin.0),
+        (Phase::Uplink | Phase::Downlink, _) => Unit::Edge(origin.0),
+    }
+}
+
+pub(super) fn obs_phase(phase: Phase) -> PhaseKind {
+    match phase {
+        Phase::Uplink => PhaseKind::Uplink,
+        Phase::Compute => PhaseKind::Compute,
+        Phase::Downlink => PhaseKind::Downlink,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::spec::{CloudId, PlatformSpec};
+    use mmsec_sim::Interval;
+
+    #[test]
+    fn auto_event_limit_formula() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let jobs: Vec<_> = (0..5)
+            .map(|i| Job::new(EdgeId(0), i as f64, 1.0, 0.0, 0.0))
+            .collect();
+        let inst = Instance::new(spec, jobs).unwrap();
+        // No windows: 1000 + 64·5.
+        assert_eq!(auto_event_limit(&inst), 1000 + 64 * 5);
+
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 2)
+            .with_cloud_unavailability(CloudId(0), &[Interval::from_secs(1.0, 2.0)])
+            .with_cloud_unavailability(
+                CloudId(1),
+                &[Interval::from_secs(0.5, 1.0), Interval::from_secs(3.0, 4.0)],
+            );
+        let jobs = vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)];
+        let inst = Instance::new(spec, jobs).unwrap();
+        // 3 windows over both clouds: 1000 + 64·1 + 8·3.
+        assert_eq!(auto_event_limit(&inst), 1000 + 64 + 24);
+    }
+
+    #[test]
+    fn prime_queue_orders_boundaries_before_releases() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1)
+            .with_cloud_unavailability(CloudId(0), &[Interval::from_secs(2.0, 5.0)]);
+        let jobs = vec![Job::new(EdgeId(0), 2.0, 1.0, 0.0, 0.0)];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let mut queue = prime_queue(&inst);
+        // At t = 2 the window-start boundary outranks the release.
+        let (t, ev) = queue.pop().unwrap();
+        assert_eq!(t.seconds(), 2.0);
+        assert_eq!(ev, EngineEvent::Boundary);
+        let (t, ev) = queue.pop().unwrap();
+        assert_eq!(t.seconds(), 2.0);
+        assert_eq!(ev, EngineEvent::Release(JobId(0)));
+        let (t, ev) = queue.pop().unwrap();
+        assert_eq!(t.seconds(), 5.0);
+        assert_eq!(ev, EngineEvent::Boundary);
+        assert!(queue.pop().is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! Resource-grant walk: turning a prioritized directive list into the set
+//! of activities that hold resources until the next event.
+
+use crate::activity::{Directive, Phase, Target};
+use crate::job::{Job, JobId};
+use crate::resource::{ResourceId, ResourceMap, ResourcePair};
+use crate::state::JobState;
+use crate::view::SimView;
+
+/// An activity granted resources until the next event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Activation {
+    /// The job being advanced.
+    pub job: JobId,
+    /// Its committed target.
+    pub target: Target,
+    /// The phase being run.
+    pub phase: Phase,
+    /// Progress rate (volume units per second).
+    pub rate: f64,
+    /// Resources held.
+    pub resources: ResourcePair,
+}
+
+/// Remaining volume (time units for communications, work units for
+/// computations) of `phase` for a job in state `st`.
+pub fn remaining_volume(st: &JobState, job: &Job, phase: Phase) -> f64 {
+    match phase {
+        Phase::Uplink => st.remaining_up(job),
+        Phase::Compute => st.remaining_work(job),
+        Phase::Downlink => st.remaining_dn(job),
+    }
+}
+
+/// Greedy list allocation shared by the engine and by schedulers that want
+/// to predict it: walk `directives` in priority order and activate each
+/// job's current phase iff its resources are unblocked. Claimed resources
+/// are marked in `blocked`; granted activities are appended to `out`
+/// (callers reuse the buffer across events to stay allocation-free).
+pub fn greedy_allocate(
+    view: &SimView<'_>,
+    directives: &[Directive],
+    blocked: &mut ResourceMap<bool>,
+    skip: &[bool],
+    infinite_ports: bool,
+    out: &mut Vec<Activation>,
+) {
+    let spec = view.spec();
+    for d in directives {
+        let st = &view.jobs[d.job.0];
+        if skip.get(d.job.0).copied().unwrap_or(false) || !st.active() {
+            continue;
+        }
+        debug_assert_eq!(
+            st.committed,
+            Some(d.target),
+            "allocation must follow commitment"
+        );
+        let job = view.instance.job(d.job);
+        let Some(phase) = st.current_phase(job, d.target) else {
+            continue;
+        };
+        let resources = phase.resources(job, d.target);
+        let needs_exclusive = |r: ResourceId| -> bool {
+            !infinite_ports || matches!(r, ResourceId::EdgeCpu(_) | ResourceId::CloudCpu(_))
+        };
+        if resources.iter().any(|r| needs_exclusive(r) && blocked[r]) {
+            continue;
+        }
+        for r in resources.iter() {
+            if needs_exclusive(r) {
+                blocked[r] = true;
+            }
+        }
+        out.push(Activation {
+            job: d.job,
+            target: d.target,
+            phase,
+            rate: phase.rate(job, d.target, spec),
+            resources,
+        });
+    }
+}
+
+/// Non-preemptive pinning: every activity that was running and has not
+/// completed its phase keeps its resources, ahead of any new grant. Marks
+/// the held resources in `blocked`, the pinned jobs in `skip`, and appends
+/// the continued activations to `out`.
+pub(super) fn pin_running(
+    view: &SimView<'_>,
+    blocked: &mut ResourceMap<bool>,
+    skip: &mut [bool],
+    out: &mut Vec<Activation>,
+) {
+    let spec = view.spec();
+    for (i, st) in view.jobs.iter().enumerate() {
+        let (Some(phase), Some(target)) = (st.running, st.committed) else {
+            continue;
+        };
+        if st.finished {
+            continue;
+        }
+        let job = view.instance.job(JobId(i));
+        // Still the same phase? (A completed phase unpins the job.)
+        if st.current_phase(job, target) != Some(phase) {
+            continue;
+        }
+        let resources = phase.resources(job, target);
+        for r in resources.iter() {
+            blocked[r] = true;
+        }
+        skip[i] = true;
+        out.push(Activation {
+            job: JobId(i),
+            target,
+            phase,
+            rate: phase.rate(job, target, spec),
+            resources,
+        });
+    }
+}

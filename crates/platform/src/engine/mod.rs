@@ -1,0 +1,412 @@
+//! Event-driven simulation engine.
+//!
+//! The engine realizes the execution model of §III and the event-based
+//! decision structure of §V: decisions are (re)taken only when an event
+//! occurs — a job release, an uplink/downlink completion, or an execution
+//! completion (plus, for the §VII extension, a cloud availability-window
+//! boundary). At each event the scheduler fills a *prioritized directive
+//! buffer* `(job → target)`; the engine walks it in order and activates
+//! each job's current phase iff every resource it needs is free. Between
+//! two events the assignment of activities to resources is constant.
+//!
+//! Semantics enforced here:
+//! * **preemption** — a job that is not granted resources at an event
+//!   simply pauses (progress kept) and may resume later;
+//! * **no migration, re-execution allowed** — when a directive changes a
+//!   job's committed target, all progress is wiped and the abandoned
+//!   activity is recorded (it occupied resources but is lost);
+//! * **one-port full-duplex** — communications claim the sender and
+//!   receiver ports exclusively (unless the macro-dataflow ablation
+//!   `infinite_ports` is enabled).
+//!
+//! # Module layout
+//!
+//! * [`mod@self`] — the [`OnlineScheduler`] contract, [`EngineOptions`],
+//!   and the seven-step run loop ([`simulate`] / [`simulate_with`] /
+//!   [`simulate_observed`]);
+//! * [`grant`] — the greedy resource-grant walk ([`greedy_allocate`]) and
+//!   non-preemptive pinning;
+//! * [`events`] — the event queue priming, the automatic event cap
+//!   ([`events::auto_event_limit`]), and observer-taxonomy mapping;
+//! * [`outcome`] — [`RunOutcome`], [`RunStats`], [`EngineError`], and the
+//!   optional [`EventRecord`] log.
+//!
+//! # Allocation discipline
+//!
+//! The decide hot path performs no per-event allocation: the engine owns
+//! one [`DirectiveBuffer`] (cleared and refilled by the policy at each
+//! event), one activation buffer, one resource-block map, and a stamp
+//! array for directive sanitization — all sized once per run and reused
+//! across events. The incrementally maintained [`PendingSet`] replaces the
+//! per-event full-state rescan policies used to pay to enumerate pending
+//! jobs.
+
+pub mod events;
+pub mod grant;
+pub mod outcome;
+
+pub use grant::{greedy_allocate, remaining_volume, Activation};
+pub use outcome::{EngineError, EventRecord, RunOutcome, RunStats};
+
+use crate::activity::{DirectiveBuffer, Phase};
+use crate::instance::Instance;
+use crate::job::JobId;
+use crate::resource::{ResourceId, ResourceMap};
+use crate::schedule::TraceBuilder;
+use crate::state::JobState;
+use crate::view::{PendingSet, SimView};
+use events::{obs_phase, obs_unit, prime_queue, EngineEvent};
+use mmsec_obs::{Event as ObsEvent, Observer, ObserverHandle};
+use mmsec_sim::{Interval, Time};
+use std::time::Instant;
+
+/// An online scheduling policy (the object of study of paper §V).
+pub trait OnlineScheduler {
+    /// Human-readable policy name (used in reports).
+    fn name(&self) -> String;
+
+    /// Called once before the simulation starts.
+    fn on_start(&mut self, _instance: &Instance) {}
+
+    /// Called at every event. Fills `out` — cleared by the engine before
+    /// the call — with the prioritized directive list: jobs omitted stay
+    /// paused (keeping progress), jobs whose target changed are re-executed
+    /// from scratch. The buffer is engine-owned and reused across events,
+    /// so a steady-state decision allocates nothing for its output.
+    fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer);
+
+    /// Offers the policy an observer for its internal events (e.g. SSF-EDF
+    /// reports its stretch binary-search probes). The default keeps none;
+    /// policies that emit must store the handle. Called by the run wiring
+    /// (not the engine) before the simulation starts.
+    fn attach_observer(&mut self, _observer: ObserverHandle) {}
+}
+
+/// Engine knobs. Defaults reproduce the paper's model exactly; the other
+/// settings drive the ablation experiments.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineOptions {
+    /// Disable the one-port model: communications do not contend for ports
+    /// (the "macro-dataflow" model the paper argues against in §II).
+    pub infinite_ports: bool,
+    /// Allow pausing a started activity (paper: true).
+    pub allow_preemption: bool,
+    /// Allow restarting a job from scratch on another resource (paper: true).
+    pub allow_reexecution: bool,
+    /// Hard cap on decision events (guards against livelocking policies).
+    /// `None` picks [`events::auto_event_limit`] automatically.
+    pub max_events: Option<u64>,
+    /// Record a per-event log (time, pending count, activations) in
+    /// [`RunOutcome::event_log`] — for debugging and the CLI's `--trace`.
+    pub record_events: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            infinite_ports: false,
+            allow_preemption: true,
+            allow_reexecution: true,
+            max_events: None,
+            record_events: false,
+        }
+    }
+}
+
+/// Simulates `instance` under `scheduler` with the paper's default model.
+pub fn simulate(
+    instance: &Instance,
+    scheduler: &mut dyn OnlineScheduler,
+) -> Result<RunOutcome, EngineError> {
+    simulate_with(instance, scheduler, EngineOptions::default())
+}
+
+/// Simulates `instance` under `scheduler` with explicit engine options.
+pub fn simulate_with(
+    instance: &Instance,
+    scheduler: &mut dyn OnlineScheduler,
+    opts: EngineOptions,
+) -> Result<RunOutcome, EngineError> {
+    simulate_impl(instance, scheduler, opts, None)
+}
+
+/// Simulates `instance` while streaming typed [`ObsEvent`]s to `observer`.
+///
+/// The observer sees the full engine-side taxonomy (releases, decide
+/// start/end with wall-clock latency, placed intervals, restarts,
+/// completions, run start/end). Policy-internal events (binary-search
+/// probes) additionally require handing the policy a clone of the same
+/// observer via [`OnlineScheduler::attach_observer`] *before* calling
+/// this — typically through [`mmsec_obs::Shared`].
+pub fn simulate_observed(
+    instance: &Instance,
+    scheduler: &mut dyn OnlineScheduler,
+    opts: EngineOptions,
+    observer: &mut dyn Observer,
+) -> Result<RunOutcome, EngineError> {
+    simulate_impl(instance, scheduler, opts, Some(observer))
+}
+
+fn simulate_impl(
+    instance: &Instance,
+    scheduler: &mut dyn OnlineScheduler,
+    opts: EngineOptions,
+    mut observer: Option<&mut dyn Observer>,
+) -> Result<RunOutcome, EngineError> {
+    // Evaluates the event expression only when an observer is attached:
+    // an unobserved run pays one branch per emission point and nothing
+    // else (no allocation, no formatting).
+    macro_rules! emit {
+        ($ev:expr) => {
+            if let Some(o) = observer.as_deref_mut() {
+                o.on_event(&$ev);
+            }
+        };
+    }
+    let started = Instant::now();
+    let spec = &instance.spec;
+    assert!(
+        !spec.has_unavailability() || opts.allow_preemption,
+        "cloud availability windows require preemption"
+    );
+    let n = instance.num_jobs();
+    let limit = opts
+        .max_events
+        .unwrap_or_else(|| events::auto_event_limit(instance));
+
+    let mut jobs = vec![JobState::default(); n];
+    let mut queue = prime_queue(instance);
+
+    let mut trace = TraceBuilder::new(n);
+    let mut stats = RunStats::default();
+    let mut event_log: Option<Vec<EventRecord>> = opts.record_events.then(Vec::new);
+    let mut now = queue.peek_time().unwrap_or(Time::ZERO);
+
+    // Run-long buffers, reused across events (see "Allocation discipline"
+    // in the module docs).
+    let mut pending = PendingSet::new();
+    let mut buf = DirectiveBuffer::new();
+    let mut activations: Vec<Activation> = Vec::new();
+    let mut blocked = ResourceMap::new(spec, false);
+    let mut skip = vec![false; n];
+    // Per-event "first directive wins" marks, stamped with the event
+    // counter so no per-event clearing is needed.
+    let mut seen = vec![0u64; n];
+
+    scheduler.on_start(instance);
+    emit!(ObsEvent::RunStart {
+        policy: scheduler.name(),
+        jobs: n,
+        edges: spec.num_edge(),
+        clouds: spec.num_cloud(),
+    });
+
+    loop {
+        // 1. Fire all events at (approximately) the current instant.
+        while let Some(t) = queue.peek_time() {
+            if t.approx_le(now) {
+                let (_, ev) = queue.pop().expect("peeked");
+                if let EngineEvent::Release(id) = ev {
+                    jobs[id.0].released = true;
+                    pending.insert(instance.job(id).release, id);
+                    emit!(ObsEvent::JobReleased { t: now, job: id.0 });
+                }
+            } else {
+                break;
+            }
+        }
+
+        if jobs.iter().all(|s| s.finished) {
+            break;
+        }
+
+        stats.events += 1;
+        if stats.events > limit {
+            return Err(EngineError::EventLimit { limit });
+        }
+
+        // 2. Ask the policy for directives.
+        {
+            let view = SimView::new(instance, now, &jobs, &pending);
+            emit!(ObsEvent::DecideStart {
+                t: now,
+                pending: view.num_pending(),
+            });
+            buf.clear();
+            let t0 = Instant::now();
+            scheduler.decide(&view, &mut buf);
+            let wall = t0.elapsed();
+            stats.decide_time += wall;
+            // Sanitize: keep the first directive per job, drop
+            // unreleased/finished jobs.
+            let stamp = stats.events;
+            buf.retain(|d| {
+                let ok = d.job.0 < n && jobs[d.job.0].active() && seen[d.job.0] != stamp;
+                if ok {
+                    seen[d.job.0] = stamp;
+                }
+                ok
+            });
+            emit!(ObsEvent::DecideEnd {
+                t: now,
+                wall,
+                directives: buf.len(),
+            });
+        }
+
+        // 3. Apply commitments / re-executions.
+        for d in buf.as_mut_slice() {
+            let st = &mut jobs[d.job.0];
+            match st.committed {
+                None => st.committed = Some(d.target),
+                Some(t) if t == d.target => {}
+                Some(t) => {
+                    let has_progress = st.up_done + st.work_done + st.dn_done > 0.0;
+                    let pinned = !opts.allow_preemption && st.running.is_some();
+                    if !has_progress && !pinned {
+                        // Nothing executed yet: re-commitment is free.
+                        st.committed = Some(d.target);
+                    } else if opts.allow_reexecution && !pinned {
+                        st.reset_progress();
+                        stats.restarts += 1;
+                        trace.abandon(d.job);
+                        emit!(ObsEvent::Restarted {
+                            t: now,
+                            job: d.job.0,
+                            from: obs_unit(instance.job(d.job).origin, t, Phase::Compute),
+                            to: obs_unit(instance.job(d.job).origin, d.target, Phase::Compute),
+                        });
+                        st.committed = Some(d.target);
+                    } else {
+                        // Retarget refused: keep the old commitment.
+                        d.target = t;
+                    }
+                }
+            }
+        }
+
+        // 4. Block resources: unavailability windows, then pinned
+        //    (non-preemptable) running activities, then the greedy grant.
+        blocked.fill(false);
+        for k in spec.clouds() {
+            if spec.cloud_unavailability(k).iter().any(|w| w.contains(now)) {
+                blocked[ResourceId::CloudCpu(k)] = true;
+            }
+        }
+        activations.clear();
+        {
+            let view = SimView::new(instance, now, &jobs, &pending);
+            if !opts.allow_preemption {
+                skip.fill(false);
+                grant::pin_running(&view, &mut blocked, &mut skip, &mut activations);
+            }
+            greedy_allocate(
+                &view,
+                buf.as_slice(),
+                &mut blocked,
+                &skip,
+                opts.infinite_ports,
+                &mut activations,
+            );
+        }
+
+        for st in jobs.iter_mut() {
+            st.running = None;
+        }
+        for act in &activations {
+            jobs[act.job.0].running = Some(act.phase);
+        }
+
+        if let Some(log) = event_log.as_mut() {
+            log.push(EventRecord {
+                time: now,
+                pending: pending.len(),
+                activations: activations
+                    .iter()
+                    .map(|a| (a.job, a.phase, a.target))
+                    .collect(),
+            });
+        }
+
+        // 5. Find the next event horizon.
+        let mut t_next = queue.peek_time();
+        for act in &activations {
+            let st = &jobs[act.job.0];
+            let job = instance.job(act.job);
+            let rem = remaining_volume(st, job, act.phase) / act.rate;
+            let fin = now + Time::new(rem);
+            t_next = Some(t_next.map_or(fin, |t| t.min(fin)));
+        }
+        let Some(t_next) = t_next else {
+            let pending = jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.finished)
+                .map(|(i, _)| JobId(i))
+                .collect();
+            return Err(EngineError::Stalled { time: now, pending });
+        };
+
+        // 6. Advance time, accrue progress, record the trace.
+        let t_next = t_next.max(now);
+        let dt = (t_next - now).seconds();
+        if dt > 0.0 {
+            for act in &activations {
+                let st = &mut jobs[act.job.0];
+                let amount = act.rate * dt;
+                match act.phase {
+                    Phase::Uplink => st.up_done += amount,
+                    Phase::Compute => st.work_done += amount,
+                    Phase::Downlink => st.dn_done += amount,
+                }
+                trace.record(act.job, act.phase, act.target, Interval::new(now, t_next));
+                emit!(ObsEvent::Placed {
+                    job: act.job.0,
+                    origin: instance.job(act.job).origin.0,
+                    target: obs_unit(instance.job(act.job).origin, act.target, act.phase),
+                    phase: obs_phase(act.phase),
+                    interval: Interval::new(now, t_next),
+                    volume: if act.phase == Phase::Compute {
+                        0.0
+                    } else {
+                        amount
+                    },
+                });
+            }
+        }
+        now = t_next;
+
+        // 7. Job completions (phase transitions become visible to the next
+        //    decision automatically).
+        for act in &activations {
+            let st = &mut jobs[act.job.0];
+            if st.finished {
+                continue;
+            }
+            let job = instance.job(act.job);
+            if st.current_phase(job, act.target).is_none() {
+                st.finished = true;
+                st.completion = Some(now);
+                st.running = None;
+                pending.remove(job.release, act.job);
+                trace.complete(act.job, now);
+                emit!(ObsEvent::Completed {
+                    t: now,
+                    job: act.job.0,
+                    response: (now - job.release).seconds(),
+                });
+            }
+        }
+    }
+
+    emit!(ObsEvent::RunEnd { makespan: now });
+    stats.total_time = started.elapsed();
+    Ok(RunOutcome {
+        schedule: trace.finish(),
+        stats,
+        event_log,
+    })
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,427 @@
+use super::*;
+use crate::activity::Target;
+use crate::instance::figure1_instance;
+use crate::job::Job;
+use crate::spec::{CloudId, EdgeId, PlatformSpec};
+
+/// Sends every job to the cloud processor 0, FIFO priority.
+struct AllCloudFifo;
+impl OnlineScheduler for AllCloudFifo {
+    fn name(&self) -> String {
+        "all-cloud-fifo".into()
+    }
+    fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+        for j in view.pending_jobs() {
+            out.push(j, Target::Cloud(CloudId(0)));
+        }
+    }
+}
+
+/// Runs every job locally, FIFO priority.
+struct AllEdgeFifo;
+impl OnlineScheduler for AllEdgeFifo {
+    fn name(&self) -> String {
+        "all-edge-fifo".into()
+    }
+    fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+        for j in view.pending_jobs() {
+            out.push(j, Target::Edge);
+        }
+    }
+}
+
+/// Never schedules anything.
+struct DoNothing;
+impl OnlineScheduler for DoNothing {
+    fn name(&self) -> String {
+        "do-nothing".into()
+    }
+    fn decide(&mut self, _view: &SimView<'_>, _out: &mut DirectiveBuffer) {}
+}
+
+fn single_job_instance(work: f64, up: f64, dn: f64) -> Instance {
+    let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 1);
+    Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, work, up, dn)]).unwrap()
+}
+
+#[test]
+fn single_cloud_job_timing() {
+    let inst = single_job_instance(3.0, 1.0, 2.0);
+    let out = simulate(&inst, &mut AllCloudFifo).unwrap();
+    // up 1 + work 3 + dn 2 = 6.
+    assert_eq!(out.schedule.completion[0], Some(Time::new(6.0)));
+    assert_eq!(out.schedule.alloc[0], Some(Target::Cloud(CloudId(0))));
+    assert_eq!(out.schedule.up[0].total_length(), Time::new(1.0));
+    assert_eq!(out.schedule.exec[0].total_length(), Time::new(3.0));
+    assert_eq!(out.schedule.dn[0].total_length(), Time::new(2.0));
+    assert!(out.stats.events <= 8);
+}
+
+#[test]
+fn single_edge_job_timing() {
+    let inst = single_job_instance(3.0, 1.0, 2.0);
+    let out = simulate(&inst, &mut AllEdgeFifo).unwrap();
+    // 3 work at speed 0.5 → 6 seconds.
+    assert_eq!(out.schedule.completion[0], Some(Time::new(6.0)));
+    assert_eq!(out.schedule.alloc[0], Some(Target::Edge));
+    assert!(out.schedule.up[0].is_empty());
+}
+
+#[test]
+fn zero_comm_job_skips_phases() {
+    let inst = single_job_instance(4.0, 0.0, 0.0);
+    let out = simulate(&inst, &mut AllCloudFifo).unwrap();
+    assert_eq!(out.schedule.completion[0], Some(Time::new(4.0)));
+    assert!(out.schedule.up[0].is_empty());
+    assert!(out.schedule.dn[0].is_empty());
+}
+
+#[test]
+fn release_dates_are_respected() {
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let jobs = vec![Job::new(EdgeId(0), 5.0, 2.0, 0.0, 0.0)];
+    let inst = Instance::new(spec, jobs).unwrap();
+    let out = simulate(&inst, &mut AllEdgeFifo).unwrap();
+    assert_eq!(out.schedule.exec[0].min_start(), Some(Time::new(5.0)));
+    assert_eq!(out.schedule.completion[0], Some(Time::new(7.0)));
+}
+
+#[test]
+fn cloud_serializes_two_jobs() {
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let jobs = vec![
+        Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0),
+        Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0),
+    ];
+    let inst = Instance::new(spec, jobs).unwrap();
+    let out = simulate(&inst, &mut AllCloudFifo).unwrap();
+    // J1: up [0,1), exec [1,3), dn [3,4). J2's uplink must wait for the
+    // edge send port: up [1,2), exec [3,5), dn [5,6).
+    assert_eq!(out.schedule.completion[0], Some(Time::new(4.0)));
+    assert_eq!(out.schedule.completion[1], Some(Time::new(6.0)));
+    assert_eq!(out.schedule.up[1].min_start(), Some(Time::new(1.0)));
+}
+
+#[test]
+fn stalled_scheduler_reports_error() {
+    let inst = single_job_instance(1.0, 0.0, 0.0);
+    let err = simulate(&inst, &mut DoNothing).unwrap_err();
+    assert!(matches!(err, EngineError::Stalled { pending, .. } if pending.len() == 1));
+}
+
+#[test]
+fn infinite_ports_allow_parallel_uplinks() {
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 2);
+    // Two jobs from the same edge, each to a different cloud processor.
+    let jobs = vec![
+        Job::new(EdgeId(0), 0.0, 1.0, 2.0, 0.0),
+        Job::new(EdgeId(0), 0.0, 1.0, 2.0, 0.0),
+    ];
+    let inst = Instance::new(spec, jobs).unwrap();
+
+    struct SpreadCloud;
+    impl OnlineScheduler for SpreadCloud {
+        fn name(&self) -> String {
+            "spread".into()
+        }
+        fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+            for j in view.pending_jobs() {
+                out.push(j, Target::Cloud(CloudId(j.0 % 2)));
+            }
+        }
+    }
+
+    // One-port: second uplink waits → completions 3 and 5.
+    let strict = simulate(&inst, &mut SpreadCloud).unwrap();
+    assert_eq!(strict.schedule.completion[0], Some(Time::new(3.0)));
+    assert_eq!(strict.schedule.completion[1], Some(Time::new(5.0)));
+
+    // Macro-dataflow ablation: both uplinks in parallel → both at 3.
+    let loose = simulate_with(
+        &inst,
+        &mut SpreadCloud,
+        EngineOptions {
+            infinite_ports: true,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(loose.schedule.completion[0], Some(Time::new(3.0)));
+    assert_eq!(loose.schedule.completion[1], Some(Time::new(3.0)));
+}
+
+/// Starts the job on the edge, then retargets it to the cloud at the
+/// second decision.
+struct Flip {
+    calls: u32,
+}
+impl OnlineScheduler for Flip {
+    fn name(&self) -> String {
+        "flip".into()
+    }
+    fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+        self.calls += 1;
+        let tgt = if self.calls == 1 {
+            Target::Edge
+        } else {
+            Target::Cloud(CloudId(0))
+        };
+        for j in view.pending_jobs() {
+            out.push(j, tgt);
+        }
+    }
+}
+
+#[test]
+fn reexecution_wipes_progress() {
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let jobs = vec![Job::new(EdgeId(0), 0.0, 4.0, 1.0, 1.0)];
+    let inst = Instance::new(spec, jobs).unwrap();
+
+    // Add a decoy job released at t=2 to create a mid-flight event (after
+    // 4 work-seconds would be too late, so we force an artificial event
+    // via a second job's release).
+    let mut jobs2 = inst.jobs.clone();
+    jobs2.push(Job::new(EdgeId(0), 2.0, 0.5, 10.0, 10.0));
+    let inst2 = Instance::new(inst.spec.clone(), jobs2).unwrap();
+    let out = simulate(&inst2, &mut Flip { calls: 0 }).unwrap();
+    // J1 runs on edge [0,2) (2 of 4 work done), then restarts on the
+    // cloud at t=2: up [2,3), exec [3,7), dn [7,8).
+    assert_eq!(out.schedule.completion[0], Some(Time::new(8.0)));
+    assert_eq!(out.schedule.restarts[0], 1);
+    assert_eq!(out.schedule.wasted_time(), Time::new(2.0));
+    assert_eq!(out.stats.restarts, 1);
+    assert_eq!(out.schedule.alloc[0], Some(Target::Cloud(CloudId(0))));
+}
+
+#[test]
+fn reexecution_can_be_disabled() {
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let jobs = vec![
+        Job::new(EdgeId(0), 0.0, 4.0, 1.0, 1.0),
+        Job::new(EdgeId(0), 2.0, 0.5, 10.0, 10.0),
+    ];
+    let inst = Instance::new(spec, jobs).unwrap();
+
+    let out = simulate_with(
+        &inst,
+        &mut Flip { calls: 0 },
+        EngineOptions {
+            allow_reexecution: false,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    // The retarget is refused: J1 stays on the edge, finishing at 4.
+    assert_eq!(out.schedule.completion[0], Some(Time::new(4.0)));
+    assert_eq!(out.schedule.restarts[0], 0);
+    assert_eq!(out.schedule.alloc[0], Some(Target::Edge));
+}
+
+#[test]
+fn non_preemptive_mode_pins_activities() {
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+    // Long job first, short job released mid-flight. LIFO priority
+    // would preempt; non-preemptive mode must refuse.
+    let jobs = vec![
+        Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
+        Job::new(EdgeId(0), 1.0, 1.0, 0.0, 0.0),
+    ];
+    let inst = Instance::new(spec, jobs).unwrap();
+
+    struct Lifo;
+    impl OnlineScheduler for Lifo {
+        fn name(&self) -> String {
+            "lifo".into()
+        }
+        fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+            let mut v: Vec<_> = view.pending_jobs().collect();
+            v.reverse();
+            for j in v {
+                out.push(j, Target::Edge);
+            }
+        }
+    }
+
+    let preemptive = simulate(&inst, &mut Lifo).unwrap();
+    assert_eq!(preemptive.schedule.completion[1], Some(Time::new(2.0)));
+    assert_eq!(preemptive.schedule.completion[0], Some(Time::new(11.0)));
+
+    let nonpre = simulate_with(
+        &inst,
+        &mut Lifo,
+        EngineOptions {
+            allow_preemption: false,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(nonpre.schedule.completion[0], Some(Time::new(10.0)));
+    assert_eq!(nonpre.schedule.completion[1], Some(Time::new(11.0)));
+}
+
+#[test]
+fn unavailability_window_pauses_cloud_compute() {
+    use mmsec_sim::Interval;
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1)
+        .with_cloud_unavailability(CloudId(0), &[Interval::from_secs(2.0, 5.0)]);
+    let jobs = vec![Job::new(EdgeId(0), 0.0, 4.0, 1.0, 0.0)];
+    let inst = Instance::new(spec, jobs).unwrap();
+    let out = simulate(&inst, &mut AllCloudFifo).unwrap();
+    // up [0,1), exec [1,2) then paused during [2,5), exec [5,8).
+    assert_eq!(out.schedule.completion[0], Some(Time::new(8.0)));
+    assert_eq!(out.schedule.exec[0].total_length(), Time::new(4.0));
+    assert_eq!(out.schedule.exec[0].len(), 2);
+}
+
+#[test]
+fn figure1_runs_under_fifo_policies() {
+    let inst = figure1_instance();
+    let out = simulate(&inst, &mut AllEdgeFifo).unwrap();
+    assert!(out.schedule.all_finished());
+    let out = simulate(&inst, &mut AllCloudFifo).unwrap();
+    assert!(out.schedule.all_finished());
+}
+
+#[test]
+fn event_log_records_decisions() {
+    let inst = single_job_instance(3.0, 1.0, 2.0);
+    let out = simulate_with(
+        &inst,
+        &mut AllCloudFifo,
+        EngineOptions {
+            record_events: true,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    let log = out.event_log.expect("log recorded");
+    assert!(!log.is_empty());
+    // First decision at t = 0 activates the uplink.
+    assert_eq!(log[0].time, Time::ZERO);
+    assert_eq!(log[0].pending, 1);
+    assert_eq!(
+        log[0].activations,
+        vec![(JobId(0), Phase::Uplink, Target::Cloud(CloudId(0)))]
+    );
+    // Times are non-decreasing; phases progress up → exec → down.
+    for w in log.windows(2) {
+        assert!(w[0].time <= w[1].time);
+    }
+    // Without the option, no log is produced.
+    let out = simulate(&inst, &mut AllCloudFifo).unwrap();
+    assert!(out.event_log.is_none());
+}
+
+#[test]
+fn observed_run_emits_a_well_formed_event_stream() {
+    struct Capture(Vec<String>, usize, usize);
+    impl Observer for Capture {
+        fn on_event(&mut self, event: &ObsEvent) {
+            self.0.push(event.tag().to_string());
+            match event {
+                ObsEvent::Placed { interval, .. } => {
+                    assert!(interval.length() > Time::ZERO);
+                    self.1 += 1;
+                }
+                ObsEvent::Completed { response, .. } => {
+                    assert!(*response > 0.0);
+                    self.2 += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    let inst = figure1_instance();
+    let mut cap = Capture(Vec::new(), 0, 0);
+    let out =
+        simulate_observed(&inst, &mut AllCloudFifo, EngineOptions::default(), &mut cap).unwrap();
+    let Capture(tags, placed, completed) = cap;
+    assert_eq!(tags.first().map(String::as_str), Some("run-start"));
+    assert_eq!(tags.last().map(String::as_str), Some("run-end"));
+    assert_eq!(tags.iter().filter(|t| *t == "job-released").count(), 6);
+    assert_eq!(completed, 6);
+    // Each cloud job contributes at least uplink + compute + downlink.
+    assert!(placed >= 3 * 6, "only {placed} placements observed");
+    // Every decide-start is eventually closed by a decide-end.
+    assert_eq!(
+        tags.iter().filter(|t| *t == "decide-start").count(),
+        tags.iter().filter(|t| *t == "decide-end").count()
+    );
+    // The observed run produces the same schedule as the plain one.
+    let plain = simulate(&inst, &mut AllCloudFifo).unwrap();
+    assert_eq!(out.schedule, plain.schedule);
+}
+
+#[test]
+fn event_limit_guards_against_livelock() {
+    let inst = single_job_instance(1e9, 0.0, 0.0);
+    let err = simulate_with(
+        &inst,
+        &mut AllEdgeFifo,
+        EngineOptions {
+            max_events: Some(0),
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert_eq!(err, EngineError::EventLimit { limit: 0 });
+}
+
+#[test]
+fn auto_event_limit_catches_livelocked_policy() {
+    // A genuinely livelocked policy: it flips the single job between two
+    // cloud processors at every decision. Each uplink completion triggers
+    // a decision, the retarget wipes the uplink progress, and a fresh
+    // uplink starts — the simulation generates events forever without
+    // ever finishing the job. The automatic `1000 + 64·n + 8·w` cap (see
+    // `events::auto_event_limit`) must abort the run.
+    struct Thrash {
+        calls: u64,
+    }
+    impl OnlineScheduler for Thrash {
+        fn name(&self) -> String {
+            "thrash".into()
+        }
+        fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+            self.calls += 1;
+            let tgt = Target::Cloud(CloudId((self.calls % 2) as usize));
+            for j in view.pending_jobs() {
+                out.push(j, tgt);
+            }
+        }
+    }
+
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 2);
+    let jobs = vec![Job::new(EdgeId(0), 0.0, 1.0, 1.0, 1.0)];
+    let inst = Instance::new(spec, jobs).unwrap();
+    let expected = events::auto_event_limit(&inst);
+    assert_eq!(expected, 1000 + 64);
+    let err = simulate(&inst, &mut Thrash { calls: 0 }).unwrap_err();
+    assert_eq!(err, EngineError::EventLimit { limit: expected });
+}
+
+#[test]
+fn pending_set_is_maintained_incrementally() {
+    // Two staggered jobs: the event log's pending counts must follow the
+    // release/completion lifecycle exactly.
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let jobs = vec![
+        Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0),
+        Job::new(EdgeId(0), 1.0, 2.0, 0.0, 0.0),
+    ];
+    let inst = Instance::new(spec, jobs).unwrap();
+    let out = simulate_with(
+        &inst,
+        &mut AllEdgeFifo,
+        EngineOptions {
+            record_events: true,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    let log = out.event_log.expect("log recorded");
+    let counts: Vec<_> = log.iter().map(|r| r.pending).collect();
+    // t=0: job 0 pending; t=1: both pending; t=2: job 0 done, job 1 left.
+    assert_eq!(counts, vec![1, 2, 1]);
+}

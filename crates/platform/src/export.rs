@@ -238,18 +238,18 @@ mod tests {
     use super::*;
     use crate::engine::{simulate, OnlineScheduler};
     use crate::instance::figure1_instance;
-    use crate::state::SimView;
-    use crate::{CloudId, Directive};
+    use crate::view::SimView;
+    use crate::{CloudId, DirectiveBuffer};
 
     struct AllCloud;
     impl OnlineScheduler for AllCloud {
         fn name(&self) -> String {
             "c".into()
         }
-        fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
-            view.pending_jobs()
-                .map(|j| Directive::new(j, Target::Cloud(CloudId(0))))
-                .collect()
+        fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+            for j in view.pending_jobs() {
+                out.push(j, Target::Cloud(CloudId(0)));
+            }
         }
     }
 

@@ -37,8 +37,9 @@ pub mod state;
 pub mod stats;
 pub mod svg;
 pub mod validate;
+pub mod view;
 
-pub use activity::{Directive, Phase, Target};
+pub use activity::{Directive, DirectiveBuffer, Phase, Target};
 pub use engine::{
     simulate, simulate_observed, simulate_with, EngineError, EngineOptions, EventRecord,
     OnlineScheduler, RunOutcome, RunStats,
@@ -52,6 +53,7 @@ pub use mmsec_obs::{Observer, ObserverHandle};
 pub use render::{gantt, GanttOptions};
 pub use schedule::Schedule;
 pub use spec::{CloudId, EdgeId, PlatformSpec};
-pub use state::{JobState, SimView};
+pub use state::JobState;
 pub use stats::{schedule_stats, ScheduleStats};
 pub use validate::{validate, validate_with, ValidateOptions, Violation};
+pub use view::{PendingSet, SimView};

@@ -13,7 +13,8 @@ use crate::activity::Target;
 use crate::job::{Job, JobId};
 use crate::resource::{ResourceId, ResourceMap};
 use crate::spec::PlatformSpec;
-use crate::state::{JobState, SimView};
+use crate::state::JobState;
+use crate::view::SimView;
 use mmsec_sim::Time;
 
 /// Remaining volumes of a job if placed on `target`, accounting for the
@@ -217,6 +218,7 @@ mod tests {
     use super::*;
     use crate::instance::Instance;
     use crate::spec::{CloudId, EdgeId};
+    use crate::view::PendingSet;
 
     fn view_fixture(jobs: Vec<Job>) -> (Instance, Vec<JobState>) {
         let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
@@ -231,11 +233,8 @@ mod tests {
     #[test]
     fn single_job_forecasts() {
         let (inst, states) = view_fixture(vec![Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0)]);
-        let view = SimView {
-            instance: &inst,
-            now: Time::ZERO,
-            jobs: &states,
-        };
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
         let proj = Projection::from_view(&view);
         let job = inst.job(JobId(0));
         // Edge: 2 / 0.5 = 4. Cloud: 1 + 2 + 1 = 4.
@@ -265,11 +264,8 @@ mod tests {
             Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0),
             Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0),
         ]);
-        let view = SimView {
-            instance: &inst,
-            now: Time::ZERO,
-            jobs: &states,
-        };
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
         let mut proj = Projection::from_view(&view);
         let spec = view.spec();
         let c0 = proj.place(
@@ -311,11 +307,8 @@ mod tests {
         let (inst, mut states) = view_fixture(vec![Job::new(EdgeId(0), 0.0, 4.0, 2.0, 2.0)]);
         states[0].committed = Some(Target::Cloud(CloudId(0)));
         states[0].up_done = 1.5;
-        let view = SimView {
-            instance: &inst,
-            now: Time::new(10.0),
-            jobs: &states,
-        };
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::new(10.0), &states, &pending);
         let proj = Projection::from_view(&view);
         let job = inst.job(JobId(0));
         // Same cloud: 0.5 up + 4 work + 2 dn = 6.5 after now.
@@ -348,11 +341,8 @@ mod tests {
             Job::new(EdgeId(0), 0.0, 2.0, 5.0, 0.0), // holds EdgeOut for 5
             Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0), // no uplink at all
         ]);
-        let view = SimView {
-            instance: &inst,
-            now: Time::ZERO,
-            jobs: &states,
-        };
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
         let mut proj = Projection::from_view(&view);
         proj.place(
             inst.job(JobId(0)),
@@ -387,11 +377,8 @@ mod tests {
             Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
             Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
         ]);
-        let view = SimView {
-            instance: &inst,
-            now: Time::ZERO,
-            jobs: &states,
-        };
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
         // Both on the edge CPU, short first.
         let completions =
             project_sequence(&view, &[(JobId(0), Target::Edge), (JobId(1), Target::Edge)]);

@@ -137,18 +137,18 @@ mod tests {
     use super::*;
     use crate::engine::{simulate, OnlineScheduler};
     use crate::instance::figure1_instance;
-    use crate::state::SimView;
-    use crate::Directive;
+    use crate::view::SimView;
+    use crate::DirectiveBuffer;
 
     struct AllCloud;
     impl OnlineScheduler for AllCloud {
         fn name(&self) -> String {
             "all-cloud".into()
         }
-        fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
-            view.pending_jobs()
-                .map(|j| Directive::new(j, Target::Cloud(crate::CloudId(0))))
-                .collect()
+        fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+            for j in view.pending_jobs() {
+                out.push(j, Target::Cloud(crate::CloudId(0)));
+            }
         }
     }
 
@@ -157,10 +157,10 @@ mod tests {
         fn name(&self) -> String {
             "all-edge".into()
         }
-        fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
-            view.pending_jobs()
-                .map(|j| Directive::new(j, Target::Edge))
-                .collect()
+        fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+            for j in view.pending_jobs() {
+                out.push(j, Target::Edge);
+            }
         }
     }
 

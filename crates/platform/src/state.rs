@@ -1,10 +1,13 @@
-//! Dynamic simulation state exposed to schedulers.
+//! Dynamic per-job simulation state.
+//!
+//! The read-only view handed to schedulers ([`crate::view::SimView`]) and
+//! the incrementally maintained pending set live in [`crate::view`].
 
 use crate::activity::{Phase, Target};
-use crate::instance::Instance;
-use crate::job::{Job, JobId};
+use crate::job::Job;
 use crate::spec::PlatformSpec;
-use mmsec_sim::{Time, TIME_EPS};
+use mmsec_sim::time::approx;
+use mmsec_sim::Time;
 
 /// Dynamic state of one job during a simulation.
 #[derive(Clone, Debug, PartialEq)]
@@ -80,18 +83,18 @@ impl JobState {
     pub fn current_phase(&self, job: &Job, target: Target) -> Option<Phase> {
         match target {
             Target::Edge => {
-                if self.remaining_work(job) > TIME_EPS {
+                if approx::positive(self.remaining_work(job)) {
                     Some(Phase::Compute)
                 } else {
                     None
                 }
             }
             Target::Cloud(_) => {
-                if self.remaining_up(job) > TIME_EPS {
+                if approx::positive(self.remaining_up(job)) {
                     Some(Phase::Uplink)
-                } else if self.remaining_work(job) > TIME_EPS {
+                } else if approx::positive(self.remaining_work(job)) {
                     Some(Phase::Compute)
-                } else if self.remaining_dn(job) > TIME_EPS {
+                } else if approx::positive(self.remaining_dn(job)) {
                     Some(Phase::Downlink)
                 } else {
                     None
@@ -138,46 +141,11 @@ impl JobState {
     }
 }
 
-/// Read-only view handed to [`crate::engine::OnlineScheduler::decide`].
-pub struct SimView<'a> {
-    /// The instance being simulated.
-    pub instance: &'a Instance,
-    /// Current virtual time.
-    pub now: Time,
-    /// Per-job dynamic state, indexed by [`JobId`].
-    pub jobs: &'a [JobState],
-}
-
-impl<'a> SimView<'a> {
-    /// The platform.
-    pub fn spec(&self) -> &'a PlatformSpec {
-        &self.instance.spec
-    }
-
-    /// Jobs that are released and unfinished, in id order.
-    pub fn pending_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
-        self.jobs
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.active())
-            .map(|(i, _)| JobId(i))
-    }
-
-    /// Number of pending jobs.
-    pub fn num_pending(&self) -> usize {
-        self.jobs.iter().filter(|s| s.active()).count()
-    }
-
-    /// Stretch job `id` would incur if it completed at time `c`.
-    pub fn stretch_if_completed_at(&self, id: JobId, c: Time) -> f64 {
-        let job = self.instance.job(id);
-        (c - job.release).seconds() / job.min_time(self.spec())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instance::Instance;
+    use crate::job::JobId;
     use crate::spec::{CloudId, EdgeId};
 
     fn fixture() -> (Instance, Job) {
@@ -261,21 +229,5 @@ mod tests {
         assert_eq!(st.work_done, 0.0);
         assert_eq!(st.dn_done, 0.0);
         assert_eq!(st.restarts, 1);
-    }
-
-    #[test]
-    fn view_helpers() {
-        let (inst, _job) = fixture();
-        let mut states = vec![JobState::default()];
-        states[0].released = true;
-        let view = SimView {
-            instance: &inst,
-            now: Time::new(2.0),
-            jobs: &states,
-        };
-        assert_eq!(view.num_pending(), 1);
-        assert_eq!(view.pending_jobs().collect::<Vec<_>>(), vec![JobId(0)]);
-        // min_time = min(8, 7) = 7; completed at 8 → stretch (8-1)/7 = 1.
-        assert!((view.stretch_if_completed_at(JobId(0), Time::new(8.0)) - 1.0).abs() < 1e-12);
     }
 }

@@ -174,16 +174,17 @@ mod tests {
     #[test]
     fn engine_output_feeds_stats() {
         use crate::engine::{simulate, OnlineScheduler};
-        use crate::state::SimView;
+        use crate::view::SimView;
+        use crate::DirectiveBuffer;
         struct EdgeFifo;
         impl OnlineScheduler for EdgeFifo {
             fn name(&self) -> String {
                 "f".into()
             }
-            fn decide(&mut self, view: &SimView<'_>) -> Vec<crate::Directive> {
-                view.pending_jobs()
-                    .map(|j| crate::Directive::new(j, Target::Edge))
-                    .collect()
+            fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+                for j in view.pending_jobs() {
+                    out.push(j, Target::Edge);
+                }
             }
         }
         let inst = crate::instance::figure1_instance();

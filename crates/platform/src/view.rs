@@ -1,0 +1,301 @@
+//! Scheduler-facing view of a running simulation.
+//!
+//! Two pieces hoisted out of the engine's hot path:
+//!
+//! * [`PendingSet`] — the released-but-unfinished jobs, kept **sorted by
+//!   (release, id)** and updated incrementally on release/completion
+//!   events. Policies iterate it instead of rescanning every job's state
+//!   at every event (the per-event O(n) scan the decision core used to
+//!   pay in each policy).
+//! * [`SimView`] — the read-only view handed to
+//!   [`crate::engine::OnlineScheduler::decide`], bundling the instance,
+//!   the current time, per-job dynamic state, and the pending set, plus
+//!   the deadline/remaining-time-per-target helpers that every heuristic
+//!   of paper §V builds on (previously duplicated across policies).
+
+use crate::activity::Target;
+use crate::instance::Instance;
+use crate::job::{Job, JobId};
+use crate::spec::PlatformSpec;
+use crate::state::JobState;
+use mmsec_sim::Time;
+
+/// Released, unfinished jobs, kept sorted by `(release, id)`.
+///
+/// The engine owns one and maintains it incrementally: a job is inserted
+/// when its release event fires and removed when it completes. Between
+/// those events membership never changes, so policies get an O(pending)
+/// iteration per decision instead of an O(n) rescan of all job states.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PendingSet {
+    /// Sorted ascending; `Time` is the job's release date.
+    entries: Vec<(Time, JobId)>,
+}
+
+impl PendingSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        PendingSet::default()
+    }
+
+    /// Brute-force construction from a full state scan — for building
+    /// ad-hoc views in tests and tools; the engine never calls this in
+    /// its event loop.
+    pub fn from_states(instance: &Instance, jobs: &[JobState]) -> Self {
+        let mut set = PendingSet::new();
+        for (i, st) in jobs.iter().enumerate() {
+            if st.active() {
+                set.insert(instance.job(JobId(i)).release, JobId(i));
+            }
+        }
+        set
+    }
+
+    /// Inserts a job (keyed by its release date). No-op if already present.
+    pub fn insert(&mut self, release: Time, id: JobId) {
+        let key = (release, id);
+        if let Err(pos) = self.entries.binary_search(&key) {
+            self.entries.insert(pos, key);
+        }
+    }
+
+    /// Removes a job (keyed by its release date). No-op if absent.
+    pub fn remove(&mut self, release: Time, id: JobId) {
+        if let Ok(pos) = self.entries.binary_search(&(release, id)) {
+            self.entries.remove(pos);
+        }
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of pending jobs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no job is pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when `id` (released at `release`) is in the set.
+    pub fn contains(&self, release: Time, id: JobId) -> bool {
+        self.entries.binary_search(&(release, id)).is_ok()
+    }
+
+    /// Pending jobs in `(release, id)` order.
+    pub fn iter(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.entries.iter().map(|&(_, id)| id)
+    }
+}
+
+/// Read-only view handed to [`crate::engine::OnlineScheduler::decide`].
+pub struct SimView<'a> {
+    /// The instance being simulated.
+    pub instance: &'a Instance,
+    /// Current virtual time.
+    pub now: Time,
+    /// Per-job dynamic state, indexed by [`JobId`].
+    pub jobs: &'a [JobState],
+    /// Released, unfinished jobs (incrementally maintained by the engine).
+    pub pending: &'a PendingSet,
+}
+
+impl<'a> SimView<'a> {
+    /// Builds a view.
+    pub fn new(
+        instance: &'a Instance,
+        now: Time,
+        jobs: &'a [JobState],
+        pending: &'a PendingSet,
+    ) -> Self {
+        SimView {
+            instance,
+            now,
+            jobs,
+            pending,
+        }
+    }
+
+    /// The platform.
+    pub fn spec(&self) -> &'a PlatformSpec {
+        &self.instance.spec
+    }
+
+    /// The static description of job `id`.
+    pub fn job(&self, id: JobId) -> &'a Job {
+        self.instance.job(id)
+    }
+
+    /// The dynamic state of job `id`.
+    pub fn state(&self, id: JobId) -> &'a JobState {
+        &self.jobs[id.0]
+    }
+
+    /// Jobs that are released and unfinished, in `(release, id)` order
+    /// (an O(pending) walk of the incrementally maintained [`PendingSet`],
+    /// not a state rescan).
+    pub fn pending_jobs(&self) -> impl Iterator<Item = JobId> + 'a {
+        self.pending.iter()
+    }
+
+    /// Number of pending jobs.
+    pub fn num_pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Stretch job `id` would incur if it completed at time `c`.
+    pub fn stretch_if_completed_at(&self, id: JobId, c: Time) -> f64 {
+        let job = self.job(id);
+        (c - job.release).seconds() / job.min_time(self.spec())
+    }
+
+    /// Best dedicated-platform time `min(t^e_i, t^c_i)` of job `id` — the
+    /// stretch denominator.
+    pub fn min_time(&self, id: JobId) -> f64 {
+        self.job(id).min_time(self.spec())
+    }
+
+    /// Deadline of job `id` under target stretch `s`:
+    /// `d_i = r_i + s · min(t^e_i, t^c_i)` (paper §V-D).
+    pub fn deadline_under_stretch(&self, id: JobId, s: f64) -> Time {
+        let job = self.job(id);
+        job.release + Time::new(s * job.min_time(self.spec()))
+    }
+
+    /// Contention-free remaining duration of job `id` on `target`,
+    /// accounting for the from-scratch reset when `target` differs from
+    /// the committed one.
+    pub fn duration_if_placed(&self, id: JobId, target: Target) -> f64 {
+        self.state(id)
+            .duration_if_placed(self.job(id), target, self.spec())
+    }
+
+    /// Smallest contention-free remaining duration of job `id` over every
+    /// target (edge + all cloud processors).
+    pub fn best_duration(&self, id: JobId) -> f64 {
+        let mut best = self.duration_if_placed(id, Target::Edge);
+        for k in self.spec().clouds() {
+            best = best.min(self.duration_if_placed(id, Target::Cloud(k)));
+        }
+        best
+    }
+
+    /// Stretch job `id` is already forced to at `now`: even if it finished
+    /// as early as physically possible (alone, on its best target), its
+    /// stretch would be at least this.
+    pub fn forced_stretch(&self, id: JobId) -> f64 {
+        let job = self.job(id);
+        (self.now + Time::new(self.best_duration(id)) - job.release).seconds()
+            / job.min_time(self.spec())
+    }
+
+    /// Remaining local processing time of job `id` on its origin edge unit
+    /// (seconds), assuming same-commitment progress.
+    pub fn remaining_on_edge(&self, id: JobId) -> f64 {
+        let job = self.job(id);
+        self.state(id).remaining_work(job) / self.spec().edge_speed(job.origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CloudId, EdgeId};
+
+    fn fixture() -> (Instance, Vec<JobState>) {
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
+        // min_time = min(4/0.5, 2+4+1) = min(8, 7) = 7.
+        let job = Job::new(EdgeId(0), 1.0, 4.0, 2.0, 1.0);
+        let inst = Instance::new(spec, vec![job]).unwrap();
+        let mut states = vec![JobState::default()];
+        states[0].released = true;
+        (inst, states)
+    }
+
+    #[test]
+    fn pending_set_insert_remove_sorted() {
+        let mut set = PendingSet::new();
+        set.insert(Time::new(2.0), JobId(5));
+        set.insert(Time::new(1.0), JobId(9));
+        set.insert(Time::new(2.0), JobId(1));
+        assert_eq!(
+            set.iter().collect::<Vec<_>>(),
+            vec![JobId(9), JobId(1), JobId(5)]
+        );
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(Time::new(1.0), JobId(9)));
+        // Double insert is a no-op.
+        set.insert(Time::new(1.0), JobId(9));
+        assert_eq!(set.len(), 3);
+        set.remove(Time::new(2.0), JobId(1));
+        assert!(!set.contains(Time::new(2.0), JobId(1)));
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![JobId(9), JobId(5)]);
+        // Removing an absent entry is a no-op.
+        set.remove(Time::new(7.0), JobId(3));
+        assert_eq!(set.len(), 2);
+        set.clear();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn from_states_matches_active_scan() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 1);
+        let jobs = vec![
+            Job::new(EdgeId(0), 3.0, 1.0, 0.0, 0.0),
+            Job::new(EdgeId(0), 1.0, 1.0, 0.0, 0.0),
+            Job::new(EdgeId(0), 2.0, 1.0, 0.0, 0.0),
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let mut states = vec![JobState::default(); 3];
+        states[0].released = true;
+        states[1].released = true;
+        states[2].released = true;
+        states[2].finished = true; // completed: not pending
+        let set = PendingSet::from_states(&inst, &states);
+        // Release order: job 1 (r=1) before job 0 (r=3).
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![JobId(1), JobId(0)]);
+    }
+
+    #[test]
+    fn view_helpers() {
+        let (inst, states) = fixture();
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::new(2.0), &states, &pending);
+        assert_eq!(view.num_pending(), 1);
+        assert_eq!(view.pending_jobs().collect::<Vec<_>>(), vec![JobId(0)]);
+        // min_time = min(8, 7) = 7; completed at 8 → stretch (8-1)/7 = 1.
+        assert!((view.stretch_if_completed_at(JobId(0), Time::new(8.0)) - 1.0).abs() < 1e-12);
+        assert!((view.min_time(JobId(0)) - 7.0).abs() < 1e-12);
+        // Deadline under stretch 2: r + 2·7 = 15.
+        assert_eq!(view.deadline_under_stretch(JobId(0), 2.0), Time::new(15.0));
+    }
+
+    #[test]
+    fn duration_helpers() {
+        let (inst, mut states) = fixture();
+        states[0].committed = Some(Target::Cloud(CloudId(0)));
+        states[0].up_done = 1.5;
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::new(4.0), &states, &pending);
+        // Continue on cloud 0: 0.5 up + 4 work + 1 dn = 5.5.
+        assert_eq!(
+            view.duration_if_placed(JobId(0), Target::Cloud(CloudId(0))),
+            5.5
+        );
+        // Fresh on cloud 1: 2 + 4 + 1 = 7; fresh on edge: 8.
+        assert_eq!(
+            view.duration_if_placed(JobId(0), Target::Cloud(CloudId(1))),
+            7.0
+        );
+        assert_eq!(view.duration_if_placed(JobId(0), Target::Edge), 8.0);
+        assert_eq!(view.best_duration(JobId(0)), 5.5);
+        // Forced stretch at now=4: (4 + 5.5 − 1) / 7.
+        assert!((view.forced_stretch(JobId(0)) - 8.5 / 7.0).abs() < 1e-12);
+        // Remaining on edge: 4 work / 0.5 speed.
+        assert_eq!(view.remaining_on_edge(JobId(0)), 8.0);
+    }
+}

@@ -3,8 +3,8 @@
 //! constraint.
 
 use mmsec_platform::{
-    simulate_with, validate_with, CloudId, Directive, EdgeId, EngineOptions, Instance, Job,
-    OnlineScheduler, PlatformSpec, SimView, Target, ValidateOptions,
+    simulate_with, validate_with, CloudId, DirectiveBuffer, EdgeId, EngineOptions, Instance, Job,
+    JobId, OnlineScheduler, PendingSet, PlatformSpec, SimView, Target, ValidateOptions,
 };
 use mmsec_sim::seed::SplitMix64;
 use proptest::prelude::*;
@@ -24,14 +24,13 @@ impl OnlineScheduler for ChaosPolicy {
         "chaos".into()
     }
 
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
+    fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
         let mut jobs: Vec<_> = view.pending_jobs().collect();
         // Fisher-Yates shuffle with the deterministic stream.
         for i in (1..jobs.len()).rev() {
             let j = (self.rng.next_u64() % (i as u64 + 1)) as usize;
             jobs.swap(i, j);
         }
-        let mut out = Vec::new();
         for id in jobs {
             if self.rng.next_f64() < self.omit_prob {
                 continue;
@@ -41,9 +40,8 @@ impl OnlineScheduler for ChaosPolicy {
                 Some(t) if self.rng.next_f64() >= self.retarget_prob => t,
                 _ => self.random_target(),
             };
-            out.push(Directive::new(id, target));
+            out.push(id, target);
         }
-        out
     }
 }
 
@@ -63,10 +61,10 @@ impl OnlineScheduler for EdgeFifo {
     fn name(&self) -> String {
         "edge-fifo".into()
     }
-    fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
-        view.pending_jobs()
-            .map(|j| Directive::new(j, Target::Edge))
-            .collect()
+    fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+        for j in view.pending_jobs() {
+            out.push(j, Target::Edge);
+        }
     }
 }
 
@@ -157,10 +155,10 @@ proptest! {
         struct CloudFifo { k: usize }
         impl OnlineScheduler for CloudFifo {
             fn name(&self) -> String { "cloud-fifo".into() }
-            fn decide(&mut self, view: &SimView<'_>) -> Vec<Directive> {
-                view.pending_jobs()
-                    .map(|j| Directive::new(j, Target::Cloud(CloudId(j.0 % self.k))))
-                    .collect()
+            fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+                for j in view.pending_jobs() {
+                    out.push(j, Target::Cloud(CloudId(j.0 % self.k)));
+                }
             }
         }
         let k = inst.spec.num_cloud();
@@ -177,5 +175,63 @@ proptest! {
         prop_assert!(loose.schedule.all_finished());
         prop_assert!(strict.schedule.all_finished());
         prop_assert!(mmsec_platform::validate(&inst, &strict.schedule).is_ok());
+    }
+
+    /// The incrementally maintained [`PendingSet`] stays identical to a
+    /// brute-force rescan of the job states after *every* event of an
+    /// arbitrary release/completion sequence — the invariant the engine
+    /// relies on when it swaps the per-event O(n) scan for incremental
+    /// insert/remove.
+    #[test]
+    fn pending_set_matches_brute_force_rescan(inst in arb_instance(), seed in any::<u64>()) {
+        use mmsec_platform::JobState;
+
+        let n = inst.num_jobs();
+        let mut rng = SplitMix64::new(seed);
+        let mut states = vec![JobState::default(); n];
+        let mut pending = PendingSet::new();
+
+        // Drive an arbitrary-but-legal event sequence: each step either
+        // releases an unreleased job or completes a pending one, mirroring
+        // exactly the two transitions the engine performs (release fires →
+        // insert; completion in step 7 → remove). 2n steps exhaust all
+        // jobs' lifecycles.
+        for _ in 0..2 * n {
+            let releasable: Vec<JobId> = (0..n)
+                .map(JobId)
+                .filter(|id| !states[id.0].released)
+                .collect();
+            let completable: Vec<JobId> = (0..n)
+                .map(JobId)
+                .filter(|id| states[id.0].active())
+                .collect();
+            let release_step = !releasable.is_empty()
+                && (completable.is_empty() || rng.next_u64() % 2 == 0);
+            if release_step {
+                let id = releasable[(rng.next_u64() as usize) % releasable.len()];
+                states[id.0].released = true;
+                pending.insert(inst.job(id).release, id);
+            } else if !completable.is_empty() {
+                let id = completable[(rng.next_u64() as usize) % completable.len()];
+                states[id.0].finished = true;
+                pending.remove(inst.job(id).release, id);
+            }
+
+            // The incremental set must equal the brute-force rescan…
+            let rescan = PendingSet::from_states(&inst, &states);
+            prop_assert_eq!(&pending, &rescan);
+            // …and iterate in (release, id) order.
+            let mut expected: Vec<(mmsec_sim::Time, JobId)> = (0..n)
+                .map(JobId)
+                .filter(|id| states[id.0].active())
+                .map(|id| (inst.job(id).release, id))
+                .collect();
+            expected.sort();
+            let got: Vec<JobId> = pending.iter().collect();
+            let expected_ids: Vec<JobId> = expected.into_iter().map(|(_, id)| id).collect();
+            prop_assert_eq!(got, expected_ids);
+        }
+        // Every lifecycle exhausted: nothing is pending.
+        prop_assert!(pending.is_empty());
     }
 }

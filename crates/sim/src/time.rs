@@ -233,6 +233,22 @@ pub mod approx {
         a > b + tol(a, b)
     }
 
+    /// `a == 0` up to the global tolerance. The canonical "is this volume
+    /// exhausted?" test — policies and the validity checker must use this
+    /// instead of hand-rolled `x > TIME_EPS` comparisons so that every
+    /// layer agrees on when a phase is empty.
+    #[inline]
+    pub fn zero(a: f64) -> bool {
+        eq(a, 0.0)
+    }
+
+    /// `a > 0` by strictly more than the tolerance: the complement of
+    /// [`zero`] for non-negative quantities (remaining volumes, durations).
+    #[inline]
+    pub fn positive(a: f64) -> bool {
+        gt(a, 0.0)
+    }
+
     /// Mixed absolute/relative tolerance: absolute near zero, relative for
     /// large magnitudes (long simulations reach times ≫ 1).
     #[inline]
@@ -300,6 +316,21 @@ mod tests {
         assert!(b.approx_ge(a));
         assert!(a.approx_le(Time::new(2.0)));
         assert!(!Time::new(2.0).approx_le(a));
+    }
+
+    #[test]
+    fn approx_zero_and_positive() {
+        assert!(approx::zero(0.0));
+        assert!(approx::zero(TIME_EPS / 2.0));
+        assert!(approx::zero(-TIME_EPS / 2.0));
+        assert!(!approx::zero(1e-3));
+        assert!(approx::positive(1e-3));
+        assert!(!approx::positive(TIME_EPS / 2.0));
+        assert!(!approx::positive(0.0));
+        // positive() is the exact complement of zero() on x ≥ 0.
+        for x in [0.0, TIME_EPS / 3.0, TIME_EPS, 2.0 * TIME_EPS, 0.5, 7.0] {
+            assert_ne!(approx::zero(x), approx::positive(x), "x = {x}");
+        }
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 use mmsec_bench::{evaluate_point, Scale};
 use mmsec_core::PolicyKind;
-use mmsec_platform::{simulate, EngineOptions};
+use mmsec_platform::obs::NullObserver;
+use mmsec_platform::{simulate, simulate_observed, EngineOptions};
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 
 #[test]
@@ -22,6 +23,31 @@ fn policies_are_deterministic() {
         let ra = simulate(&inst, a.as_mut()).unwrap();
         let rb = simulate(&inst, b.as_mut()).unwrap();
         assert_eq!(ra.schedule, rb.schedule, "{kind} is nondeterministic");
+    }
+}
+
+/// The observability layer must not perturb the simulation: for every
+/// registry policy, `simulate_observed` with a [`NullObserver`] produces
+/// exactly the schedule of the plain `simulate` path.
+#[test]
+fn null_observer_does_not_change_schedules() {
+    let cfg = RandomCcrConfig {
+        n: 50,
+        num_cloud: 4,
+        slow_edges: 2,
+        fast_edges: 2,
+        ..RandomCcrConfig::default()
+    };
+    let inst = cfg.generate(3);
+    for kind in PolicyKind::ALL {
+        let mut plain = kind.build(5);
+        let mut observed = kind.build(5);
+        let a = simulate(&inst, plain.as_mut()).unwrap();
+        let mut obs = NullObserver;
+        let b = simulate_observed(&inst, observed.as_mut(), EngineOptions::default(), &mut obs)
+            .unwrap();
+        assert_eq!(a.schedule, b.schedule, "{kind} perturbed by observer");
+        assert_eq!(a.stats.restarts, b.stats.restarts);
     }
 }
 
