@@ -124,6 +124,32 @@ impl Bencher {
             median,
             sorted.len()
         );
+        append_json_record(name, mean, median, sorted.len());
+    }
+}
+
+/// When `$MMSEC_BENCH_JSON` names a file, every reported benchmark also
+/// appends one JSON line `{"name","mean_ns","median_ns","iters"}` to it —
+/// the machine-readable feed of `cargo xtask bench-baseline` /
+/// `bench-check` (the CI regression gate).
+fn append_json_record(name: &str, mean: Duration, median: Duration, iters: usize) {
+    let Ok(path) = std::env::var("MMSEC_BENCH_JSON") else {
+        return;
+    };
+    let line = format!(
+        "{{\"name\":\"{}\",\"mean_ns\":{},\"median_ns\":{},\"iters\":{}}}\n",
+        name.replace('\\', "\\\\").replace('"', "\\\""),
+        mean.as_nanos(),
+        median.as_nanos(),
+        iters
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("warning: cannot append to MMSEC_BENCH_JSON={path}: {e}");
     }
 }
 
@@ -281,6 +307,32 @@ mod tests {
     fn bench_function_runs_and_reports() {
         let mut c = tiny();
         c.bench_function("compat/noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn json_records_append_as_one_line_per_bench() {
+        let path = std::env::temp_dir().join(format!("mmsec-bench-json-{}", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        // The env var is process-global: set, run, unset within one test
+        // (the compat crate's tests run single-threaded per process here,
+        // and no other test reads this variable).
+        std::env::set_var("MMSEC_BENCH_JSON", &path);
+        let mut c = tiny();
+        c.bench_function("compat/json-a", |b| b.iter(|| 1 + 1));
+        c.bench_function("compat/json-b", |b| b.iter(|| 2 + 2));
+        std::env::remove_var("MMSEC_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).expect("json lines written");
+        std::fs::remove_file(&path).ok();
+        // Other tests running concurrently in this process may also report
+        // while the env var is set; only count our own records.
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"name\":\"compat/json-"))
+            .collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"name\":\"compat/json-a\""), "{text}");
+        assert!(lines[0].contains("\"mean_ns\":"), "{text}");
+        assert!(lines[1].contains("\"median_ns\":"), "{text}");
     }
 
     #[test]

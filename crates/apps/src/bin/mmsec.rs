@@ -13,7 +13,8 @@
 use mmsec_core::PolicyKind;
 use mmsec_platform::obs::{ChromeTraceWriter, Fanout, MetricsRecorder, Shared};
 use mmsec_platform::{
-    gantt, simulate, simulate_observed, validate, GanttOptions, Instance, StretchReport, Target,
+    gantt, simulate, simulate_observed, simulate_with_faults, simulate_with_faults_observed,
+    validate, FaultConfig, GanttOptions, Instance, StretchReport, Target,
 };
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 use std::collections::HashMap;
@@ -24,7 +25,8 @@ fn usage() -> ! {
         "usage:\n  mmsec gen random --n N [--ccr X] [--load X] [--seed N] [--out FILE]\n  \
          mmsec gen kang --n N [--edges N] [--load X] [--seed N] [--out FILE]\n  \
          mmsec run --instance FILE [--policy NAME] [--seed N] [--gantt] [--per-job]\n    \
-         [--export FILE.csv] [--svg FILE.svg] [--trace FILE.json] [--metrics FILE.json] [-v]\n  \
+         [--export FILE.csv] [--svg FILE.svg] [--trace FILE.json] [--metrics FILE.json]\n    \
+         [--fault-mtbf SECS [--fault-mttr SECS] [--fault-seed N]] [-v]\n  \
          mmsec compare --instance FILE\n\npolicies: {}",
         PolicyKind::ALL
             .iter()
@@ -156,8 +158,19 @@ fn main() {
             let flags = parse_flags(
                 &args[1..],
                 &[
-                    "instance", "policy", "seed", "gantt", "per-job", "export", "svg", "trace",
-                    "metrics", "verbose",
+                    "instance",
+                    "policy",
+                    "seed",
+                    "gantt",
+                    "per-job",
+                    "export",
+                    "svg",
+                    "trace",
+                    "metrics",
+                    "verbose",
+                    "fault-mtbf",
+                    "fault-mttr",
+                    "fault-seed",
                 ],
             );
             let inst = load_instance(&flags);
@@ -172,6 +185,32 @@ fn main() {
                 record_events: verbose,
                 ..mmsec_platform::EngineOptions::default()
             };
+
+            // Fault injection: --fault-mtbf enables a uniform seeded
+            // exponential crash/recover model on every unit (docs/faults.md).
+            if !flags.contains_key("fault-mtbf")
+                && (flags.contains_key("fault-mttr") || flags.contains_key("fault-seed"))
+            {
+                eprintln!("--fault-mttr/--fault-seed require --fault-mtbf");
+                exit(2);
+            }
+            let fault_plan = flags.contains_key("fault-mtbf").then(|| {
+                let mtbf: f64 = get(&flags, "fault-mtbf", 0.0);
+                let mttr: f64 = get(&flags, "fault-mttr", 10.0);
+                if !(mtbf.is_finite() && mtbf > 0.0 && mttr.is_finite() && mttr > 0.0) {
+                    eprintln!("--fault-mtbf/--fault-mttr must be positive seconds");
+                    exit(2);
+                }
+                let fault_seed: u64 = get(&flags, "fault-seed", 1);
+                let horizon = mmsec_bench::experiments::fault_horizon(&inst);
+                FaultConfig::uniform_exponential(
+                    inst.spec.num_edge(),
+                    inst.spec.num_cloud(),
+                    mtbf,
+                    mttr,
+                )
+                .compile(fault_seed, horizon)
+            });
 
             // Observability: register only the requested sinks, share
             // them between the engine and the policy (SSF-EDF reports
@@ -192,9 +231,23 @@ fn main() {
             let out = if observing {
                 policy.attach_observer(shared_fan.handle());
                 let mut engine_side = shared_fan.clone();
-                simulate_observed(&inst, policy.as_mut(), engine_opts, &mut engine_side)
+                match &fault_plan {
+                    Some(plan) => simulate_with_faults_observed(
+                        &inst,
+                        policy.as_mut(),
+                        engine_opts,
+                        plan,
+                        &mut engine_side,
+                    ),
+                    None => {
+                        simulate_observed(&inst, policy.as_mut(), engine_opts, &mut engine_side)
+                    }
+                }
             } else {
-                mmsec_platform::simulate_with(&inst, policy.as_mut(), engine_opts)
+                match &fault_plan {
+                    Some(plan) => simulate_with_faults(&inst, policy.as_mut(), engine_opts, plan),
+                    None => mmsec_platform::simulate_with(&inst, policy.as_mut(), engine_opts),
+                }
             }
             .unwrap_or_else(|e| {
                 eprintln!("simulation failed: {e}");
@@ -220,6 +273,15 @@ fn main() {
             println!("mean stretch  {:.4}", report.mean_stretch);
             println!("max response  {:.4}", report.max_response);
             println!("offloaded     {}/{}", offloaded, inst.num_jobs());
+            if let Some(plan) = &fault_plan {
+                println!(
+                    "faults        mtbf {} mttr {} seed {} ({} downtime windows)",
+                    get::<f64>(&flags, "fault-mtbf", 0.0),
+                    get::<f64>(&flags, "fault-mttr", 10.0),
+                    get::<u64>(&flags, "fault-seed", 1),
+                    plan.total_windows()
+                );
+            }
             println!("re-executions {}", out.stats.restarts);
             println!("events        {}", out.stats.events);
             println!("decide time   {:?}", out.stats.decide_time);

@@ -2,7 +2,7 @@
 //! line.
 //!
 //! ```text
-//! repro <experiment> [--scale quick|standard|full] [--seed N] [--csv DIR]
+//! repro <experiment> [--scale smoke|quick|standard|full] [--seed N] [--csv DIR]
 //!       [--metrics-dir DIR]
 //!
 //! experiments:
@@ -11,6 +11,7 @@
 //!   hardness                  §IV reduction cross-checks
 //!   ablation-alpha ablation-ports ablation-preempt ablation-arrivals
 //!   ext-hetero ext-windows    extensions
+//!   robustness                E-fault: max-stretch vs unit failure rate
 //!   mean-vs-max bender-competitive   extra studies
 //!   all                       everything above
 //! ```
@@ -25,8 +26,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <fig2a|fig2b|fig2c|fig2d|exec-times|hardness|ablation-alpha|\
          ablation-ports|ablation-preempt|ablation-arrivals|ext-hetero|ext-windows|\
-         mean-vs-max|bender-competitive|all> \
-         [--scale quick|standard|full] [--seed N] [--csv DIR] [--metrics-dir DIR]"
+         robustness|mean-vs-max|bender-competitive|all> \
+         [--scale smoke|quick|standard|full] [--seed N] [--csv DIR] [--metrics-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -124,6 +125,7 @@ fn main() {
             "ablation-preempt" => experiments::ablation_preemption(s, seed),
             "ext-hetero" => experiments::ext_heterogeneous(s, seed),
             "ext-windows" => experiments::ext_windows(s, seed),
+            "robustness" => experiments::fault_robustness(s, seed),
             "mean-vs-max" => mmsec_bench::extra::mean_vs_max_stretch(s, seed),
             "bender-competitive" => mmsec_bench::extra::bender_competitiveness(s, seed),
             "ablation-arrivals" => mmsec_bench::extra::ablation_arrivals(s, seed),
@@ -160,6 +162,7 @@ fn main() {
                 "ablation-arrivals",
                 "ext-hetero",
                 "ext-windows",
+                "robustness",
                 "mean-vs-max",
                 "bender-competitive",
                 "adversarial",

@@ -495,6 +495,109 @@ pub fn ext_windows(scale: &Scale, seed: u64) -> Figure {
     }
 }
 
+/// MTBF sweep of the robustness experiment (seconds per unit;
+/// `f64::INFINITY` is the fault-free reference point).
+pub const MTBF_SWEEP: [f64; 5] = [f64::INFINITY, 800.0, 400.0, 200.0, 100.0];
+
+/// Mean time to repair used throughout the robustness experiment.
+pub const FAULT_MTTR: f64 = 10.0;
+
+/// Sampling horizon for a fault plan on `inst`: past the last release plus
+/// a generous multiple of the work-over-capacity lower bound, so failures
+/// keep arriving for the whole (fault-extended) run. Windows sampled near
+/// the horizon keep their full length, so every crash's recovery fires
+/// even when the run overshoots the estimate.
+pub fn fault_horizon(inst: &mmsec_platform::Instance) -> mmsec_sim::Time {
+    let spec = &inst.spec;
+    let volume: f64 = inst.jobs.iter().map(|j| j.up + j.work + j.dn).sum();
+    let capacity: f64 = spec.edges().map(|j| spec.edge_speed(j)).sum::<f64>()
+        + spec.clouds().map(|k| spec.cloud_speed(k)).sum::<f64>();
+    let last_release = inst
+        .jobs
+        .iter()
+        .map(|j| j.release.seconds())
+        .fold(0.0f64, f64::max);
+    mmsec_sim::Time::new((last_release + 8.0 * volume / capacity).max(1_000.0))
+}
+
+/// E-fault: max-stretch (and re-executions) vs failure rate. Every unit —
+/// edge and cloud — crashes and recovers under a seeded exponential
+/// MTBF/MTTR model; work in flight on a crashed unit is lost and the job
+/// restarts from scratch (see `docs/faults.md`). Instance and policy seeds
+/// match the fault-free runner, so each row degrades the *same* workloads.
+pub fn fault_robustness(scale: &Scale, seed: u64) -> Figure {
+    use crate::run::evaluate_point_with_faults;
+    use mmsec_platform::FaultConfig;
+
+    let policies = PolicyKind::PAPER;
+    let mut headers = policy_headers(&policies, "mtbf");
+    headers.extend(policies.iter().map(|p| format!("{}-restarts", p.name())));
+    let mut table = Table::new(headers);
+    for (pi, &mtbf) in MTBF_SWEEP.iter().enumerate() {
+        let cfg = RandomCcrConfig {
+            n: scale.n_random,
+            ccr: 1.0,
+            load: 0.5,
+            ..RandomCcrConfig::default()
+        };
+        let make = |s: u64| cfg.generate(s);
+        let base_seed = seed ^ (0xFA00 + pi as u64);
+        let point = if mtbf.is_infinite() {
+            evaluate_point(
+                make,
+                &policies,
+                scale.reps,
+                scale.threads,
+                base_seed,
+                EngineOptions::default(),
+                scale.validate,
+            )
+        } else {
+            evaluate_point_with_faults(
+                make,
+                |inst, fault_seed| {
+                    FaultConfig::uniform_exponential(
+                        inst.spec.num_edge(),
+                        inst.spec.num_cloud(),
+                        mtbf,
+                        FAULT_MTTR,
+                    )
+                    .compile(fault_seed, fault_horizon(inst))
+                },
+                &policies,
+                scale.reps,
+                scale.threads,
+                base_seed,
+                EngineOptions::default(),
+                scale.validate,
+            )
+        };
+        let mut row = vec![if mtbf.is_infinite() {
+            "inf".to_string()
+        } else {
+            fmt_num(mtbf)
+        }];
+        row.extend(point.max_stretch.iter().map(|s| fmt_num(s.mean)));
+        row.extend(point.restarts.iter().map(|s| fmt_num(s.mean)));
+        table.push_row(row);
+    }
+    Figure {
+        id: "E-fault/robustness",
+        title: format!(
+            "max-stretch vs unit MTBF (random, CCR 1, load 0.5, n={}, MTTR {}, {} reps)",
+            scale.n_random, FAULT_MTTR, scale.reps
+        ),
+        table,
+        notes: vec![
+            "Expected shape: stretches grow as MTBF shrinks; cloud-using policies degrade \
+             more gracefully than Edge-Only (a crashed edge strands its whole queue, while \
+             crashed cloud work respreads); restart counts grow roughly linearly in the \
+             failure rate."
+                .into(),
+        ],
+    }
+}
+
 fn kang_marker(pi: usize, num_edge: usize) -> u64 {
     0x4b00 + (pi as u64) + ((num_edge as u64) << 8)
 }
@@ -538,6 +641,26 @@ mod tests {
     fn exec_times_runs() {
         let fig = exec_times(&tiny(), 1);
         assert_eq!(fig.table.num_rows(), 4);
+    }
+
+    #[test]
+    fn fault_robustness_sweeps_mtbf_and_counts_restarts() {
+        let fig = fault_robustness(&tiny(), 3);
+        assert_eq!(fig.table.num_rows(), MTBF_SWEEP.len());
+        let csv = fig.table.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        // Columns: mtbf, one stretch and one restart column per policy.
+        assert!(lines[0].starts_with("mtbf,"));
+        assert!(lines[0].contains("ssf-edf-restarts"));
+        assert!(lines[1].starts_with("inf,"));
+        // The harshest failure rate must actually force restarts.
+        let last: Vec<&str> = lines.last().unwrap().split(',').collect();
+        assert_eq!(last.len(), 1 + 2 * PolicyKind::PAPER.len());
+        let total: f64 = last[1 + PolicyKind::PAPER.len()..]
+            .iter()
+            .map(|v| v.parse::<f64>().unwrap())
+            .sum();
+        assert!(total > 0.0, "no restarts at MTBF {}: {csv}", MTBF_SWEEP[4]);
     }
 
     #[test]

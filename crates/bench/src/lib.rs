@@ -13,7 +13,8 @@ pub mod scale;
 
 pub use experiments::Figure;
 pub use run::{
-    drain_point_metrics, enable_point_metrics, evaluate_point, point_metrics_to_json, run_policy,
-    try_run_policy, PointMetrics, PointResult, TrialError, TrialResult,
+    drain_point_metrics, enable_point_metrics, evaluate_point, evaluate_point_with_faults,
+    point_metrics_to_json, run_policy, try_run_policy, try_run_policy_with_faults, PointMetrics,
+    PointResult, TrialError, TrialResult,
 };
 pub use scale::Scale;

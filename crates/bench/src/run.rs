@@ -5,8 +5,8 @@ use mmsec_core::PolicyKind;
 use mmsec_platform::obs::json::Json;
 use mmsec_platform::obs::metrics::Histogram;
 use mmsec_platform::{
-    simulate_with, validate_with, EngineError, EngineOptions, Instance, StretchReport,
-    ValidateOptions, Violation,
+    simulate_with, simulate_with_faults, validate_with, EngineError, EngineOptions, FaultPlan,
+    Instance, StretchReport, ValidateOptions, Violation,
 };
 use mmsec_sim::seed;
 use std::fmt;
@@ -107,9 +107,37 @@ pub fn try_run_policy(
     opts: EngineOptions,
     validate: bool,
 ) -> Result<TrialResult, TrialError> {
+    try_run_policy_impl(instance, kind, policy_seed, opts, None, validate)
+}
+
+/// [`try_run_policy`] under a compiled fault plan (the robustness
+/// experiment, see `docs/faults.md`). An empty plan is exactly
+/// [`try_run_policy`].
+pub fn try_run_policy_with_faults(
+    instance: &Instance,
+    kind: PolicyKind,
+    policy_seed: u64,
+    opts: EngineOptions,
+    faults: &FaultPlan,
+    validate: bool,
+) -> Result<TrialResult, TrialError> {
+    try_run_policy_impl(instance, kind, policy_seed, opts, Some(faults), validate)
+}
+
+fn try_run_policy_impl(
+    instance: &Instance,
+    kind: PolicyKind,
+    policy_seed: u64,
+    opts: EngineOptions,
+    faults: Option<&FaultPlan>,
+    validate: bool,
+) -> Result<TrialResult, TrialError> {
     let mut policy = kind.build(policy_seed);
-    let out = simulate_with(instance, policy.as_mut(), opts)
-        .map_err(|error| TrialError::Engine { kind, error })?;
+    let out = match faults {
+        None => simulate_with(instance, policy.as_mut(), opts),
+        Some(plan) => simulate_with_faults(instance, policy.as_mut(), opts, plan),
+    }
+    .map_err(|error| TrialError::Engine { kind, error })?;
     if validate {
         let vopts = ValidateOptions {
             check_ports: !opts.infinite_ports,
@@ -226,6 +254,9 @@ pub struct PointResult {
     pub decide_ms: Vec<Summary>,
     /// Per policy: summary of mean stretch.
     pub mean_stretch: Vec<Summary>,
+    /// Per policy: summary of re-executions per trial (always 0 for
+    /// policies that never restart; nonzero under fault injection).
+    pub restarts: Vec<Summary>,
 }
 
 /// Evaluates every policy on `reps` instances generated by `make`
@@ -242,13 +273,82 @@ pub fn evaluate_point<F>(
 where
     F: Fn(u64) -> Instance + Sync,
 {
+    evaluate_point_impl(
+        make,
+        |_, _| None,
+        policies,
+        reps,
+        threads,
+        base_seed,
+        opts,
+        validate,
+    )
+}
+
+/// [`evaluate_point`] under fault injection: `fault_plan` compiles a plan
+/// for each generated instance from the per-instance fault seed
+/// `derive(base_seed, "faults", i)` — so trial `i` keeps its instance and
+/// policy seeds from the fault-free runner and results are comparable
+/// point-to-point across failure rates (the robustness experiment).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_point_with_faults<F, G>(
+    make: F,
+    fault_plan: G,
+    policies: &[PolicyKind],
+    reps: usize,
+    threads: usize,
+    base_seed: u64,
+    opts: EngineOptions,
+    validate: bool,
+) -> PointResult
+where
+    F: Fn(u64) -> Instance + Sync,
+    G: Fn(&Instance, u64) -> FaultPlan + Sync,
+{
+    evaluate_point_impl(
+        make,
+        |inst, fseed| Some(fault_plan(inst, fseed)),
+        policies,
+        reps,
+        threads,
+        base_seed,
+        opts,
+        validate,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn evaluate_point_impl<F, G>(
+    make: F,
+    fault_plan: G,
+    policies: &[PolicyKind],
+    reps: usize,
+    threads: usize,
+    base_seed: u64,
+    opts: EngineOptions,
+    validate: bool,
+) -> PointResult
+where
+    F: Fn(u64) -> Instance + Sync,
+    G: Fn(&Instance, u64) -> Option<FaultPlan> + Sync,
+{
     let trials: Vec<Vec<TrialResult>> = run_indexed(reps, threads, |i| {
         let inst = make(seed::derive(base_seed, "instance", i as u64));
+        let plan = fault_plan(&inst, seed::derive(base_seed, "faults", i as u64));
         policies
             .iter()
             .map(|&kind| {
                 let pseed = seed::derive(base_seed, "policy", i as u64);
-                run_policy(&inst, kind, pseed, opts, validate)
+                let result = match &plan {
+                    None => try_run_policy(&inst, kind, pseed, opts, validate),
+                    Some(p) => try_run_policy_with_faults(&inst, kind, pseed, opts, p, validate),
+                };
+                result.unwrap_or_else(|e| match e.dump(&inst, pseed) {
+                    Some(path) => {
+                        panic!("{e}\n(instance + violations dumped to {})", path.display())
+                    }
+                    None => panic!("{e}\n(failure dump could not be written)"),
+                })
             })
             .collect()
     });
@@ -278,6 +378,9 @@ where
             .collect(),
         mean_stretch: (0..policies.len())
             .map(|p| column(&|t| t.mean_stretch, p))
+            .collect(),
+        restarts: (0..policies.len())
+            .map(|p| column(&|t| t.restarts as f64, p))
             .collect(),
     }
 }
@@ -389,6 +492,61 @@ mod tests {
         assert_eq!(point.decide_ms.len(), 2);
         assert_eq!(point.max_stretch[0].n, 4);
         assert!(point.max_stretch.iter().all(|s| s.mean >= 1.0 - 1e-9));
+    }
+
+    #[test]
+    fn faulted_point_reports_restarts_and_matches_fault_free_seeds() {
+        use mmsec_platform::FaultConfig;
+        use mmsec_sim::Time;
+        let cfg = small_cfg();
+        let policies = [PolicyKind::Srpt, PolicyKind::SsfEdf];
+        let faulted = evaluate_point_with_faults(
+            |s| cfg.generate(s),
+            |inst, fseed| {
+                FaultConfig::uniform_exponential(
+                    inst.spec.num_edge(),
+                    inst.spec.num_cloud(),
+                    60.0,
+                    5.0,
+                )
+                .compile(fseed, Time::new(5_000.0))
+            },
+            &policies,
+            4,
+            2,
+            99,
+            EngineOptions::default(),
+            true,
+        );
+        assert!(
+            faulted.restarts.iter().any(|s| s.mean > 0.0),
+            "exponential crashes at MTBF 60 never forced a restart"
+        );
+        // An always-empty plan reproduces the fault-free runner exactly
+        // (same instance/policy seeds, same engine path).
+        let empty = evaluate_point_with_faults(
+            |s| cfg.generate(s),
+            |inst, _| FaultPlan::empty(inst.spec.num_edge(), inst.spec.num_cloud()),
+            &policies,
+            4,
+            2,
+            99,
+            EngineOptions::default(),
+            true,
+        );
+        let plain = evaluate_point(
+            |s| cfg.generate(s),
+            &policies,
+            4,
+            2,
+            99,
+            EngineOptions::default(),
+            true,
+        );
+        for p in 0..policies.len() {
+            assert_eq!(empty.max_stretch[p].mean, plain.max_stretch[p].mean);
+            assert!(faulted.max_stretch[p].mean >= plain.max_stretch[p].mean - 1e-9);
+        }
     }
 
     #[test]

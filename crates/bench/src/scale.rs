@@ -21,6 +21,18 @@ pub struct Scale {
 }
 
 impl Scale {
+    /// CI scale: the smallest run that still exercises every code path —
+    /// the `repro-smoke` CI job runs `all` at this scale on every push.
+    pub fn smoke() -> Scale {
+        Scale {
+            reps: 2,
+            n_random: 60,
+            kang_ns: vec![20, 40],
+            threads: mmsec_analysis::default_threads(),
+            validate: true,
+        }
+    }
+
     /// Smoke-test scale: seconds.
     pub fn quick() -> Scale {
         Scale {
@@ -55,9 +67,10 @@ impl Scale {
         }
     }
 
-    /// Parses `quick` / `standard` / `full`.
+    /// Parses `smoke` / `quick` / `standard` / `full`.
     pub fn parse(name: &str) -> Option<Scale> {
         match name {
+            "smoke" => Some(Scale::smoke()),
             "quick" => Some(Scale::quick()),
             "standard" => Some(Scale::standard()),
             "full" => Some(Scale::full()),
@@ -78,6 +91,7 @@ mod tests {
 
     #[test]
     fn presets_parse() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::smoke()));
         assert_eq!(Scale::parse("quick"), Some(Scale::quick()));
         assert_eq!(Scale::parse("standard"), Some(Scale::standard()));
         assert_eq!(Scale::parse("full"), Some(Scale::full()));

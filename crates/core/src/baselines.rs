@@ -37,10 +37,37 @@ impl OnlineScheduler for Fcfs {
         // of simultaneous arrivals spreads over the platform.
         let mut proj = Projection::from_view(view);
         for id in view.pending_jobs() {
+            let job = view.instance.job(id);
+            // Fault injection: a sticky choice whose unit went down is
+            // dropped and re-made among the units still up.
+            if self.chosen[id.0].is_some_and(|t| !view.target_available(job.origin, t)) {
+                self.chosen[id.0] = None;
+            }
             if self.chosen[id.0].is_none() {
-                let job = view.instance.job(id);
                 let st = &view.jobs[id.0];
                 let (target, _) = proj.best_target(job, st, spec, view.now);
+                let target = if view.target_available(job.origin, target) {
+                    Some(target)
+                } else {
+                    // The projected best is down: best available fallback.
+                    let mut best: Option<(Target, mmsec_sim::Time)> = None;
+                    let mut consider = |t: Target| {
+                        if !view.target_available(job.origin, t) {
+                            return;
+                        }
+                        let c = proj.completion(job, st, t, spec, view.now);
+                        if best.map_or(true, |(_, bc)| c < bc) {
+                            best = Some((t, c));
+                        }
+                    };
+                    consider(Target::Edge);
+                    for k in spec.clouds() {
+                        consider(Target::Cloud(k));
+                    }
+                    best.map(|(t, _)| t)
+                };
+                // Everything down: leave the job unplaced this round.
+                let Some(target) = target else { continue };
                 proj.place(job, st, target, spec, view.now);
                 self.chosen[id.0] = Some(target);
             }
@@ -82,17 +109,27 @@ impl OnlineScheduler for CloudOnly {
         let mut proj = Projection::from_view(view);
         // (release, id) iteration order = FIFO priority.
         for id in view.pending_jobs() {
+            // Fault injection: re-pick when the sticky cloud went down.
+            if self.chosen[id.0]
+                .is_some_and(|t| matches!(t, Target::Cloud(k) if !view.cloud_available(k)))
+            {
+                self.chosen[id.0] = None;
+            }
             if self.chosen[id.0].is_none() {
                 let job = view.instance.job(id);
                 let st = &view.jobs[id.0];
                 let mut best: Option<(Target, mmsec_sim::Time)> = None;
                 for k in spec.clouds() {
+                    if !view.cloud_available(k) {
+                        continue;
+                    }
                     let c = proj.completion(job, st, Target::Cloud(k), spec, view.now);
                     if best.map_or(true, |(_, bc)| c < bc) {
                         best = Some((Target::Cloud(k), c));
                     }
                 }
-                let (target, _) = best.expect("at least one cloud");
+                // Every cloud down: leave the job unplaced this round.
+                let Some((target, _)) = best else { continue };
                 proj.place(job, st, target, spec, view.now);
                 self.chosen[id.0] = Some(target);
             }
@@ -134,15 +171,31 @@ impl OnlineScheduler for RandomSticky {
         // order in which new jobs draw from the RNG, keeping the policy
         // deterministic per seed.
         for id in view.pending_jobs() {
+            let origin = view.instance.job(id).origin;
+            // Fault injection: re-draw when the sticky unit went down.
+            if self.chosen[id.0].is_some_and(|t| !view.target_available(origin, t)) {
+                self.chosen[id.0] = None;
+            }
             if self.chosen[id.0].is_none() {
-                let n_options = 1 + spec.num_cloud();
-                let pick = (self.rng.next_u64() as usize) % n_options;
-                let target = if pick == 0 {
-                    Target::Edge
-                } else {
-                    Target::Cloud(mmsec_platform::CloudId(pick - 1))
-                };
-                self.chosen[id.0] = Some(target);
+                // Draw among the units currently up. With no fault plan
+                // every unit is up, so the option list — and thus the RNG
+                // stream — is identical to the fault-free policy.
+                let mut options: Vec<Target> = Vec::with_capacity(1 + spec.num_cloud());
+                if view.edge_available(origin) {
+                    options.push(Target::Edge);
+                }
+                for k in spec.clouds() {
+                    if view.cloud_available(k) {
+                        options.push(Target::Cloud(k));
+                    }
+                }
+                // Everything down: leave the job unplaced this round
+                // (without consuming a random draw).
+                if options.is_empty() {
+                    continue;
+                }
+                let pick = (self.rng.next_u64() as usize) % options.len();
+                self.chosen[id.0] = Some(options[pick]);
             }
             out.push(id, self.chosen[id.0].expect("placed above"));
         }

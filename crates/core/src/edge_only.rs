@@ -114,7 +114,11 @@ impl OnlineScheduler for EdgeOnly {
         }));
         self.order.sort();
         for &(_, id) in &self.order {
-            out.push(id, Target::Edge);
+            // Fault injection: don't (re)commit jobs whose origin edge is
+            // currently down — they wait, uncommitted, until it recovers.
+            if view.edge_available(view.instance.job(id).origin) {
+                out.push(id, Target::Edge);
+            }
         }
     }
 }

@@ -160,6 +160,9 @@ impl RoundState {
         let mut best_penalized = Time::new(f64::MAX);
 
         let mut consider = |target: Target| {
+            if !view.target_available(job.origin, target) {
+                return; // unit is down (fault injection): never place on it
+            }
             let Some(phase) = first_phase(view, id, target) else {
                 return;
             };
@@ -358,6 +361,34 @@ mod tests {
         // fresh anywhere would take ≥ 4.
         assert_eq!(opt.target, Target::Cloud(CloudId(0)));
         assert_eq!(opt.completion, Time::new(4.0));
+    }
+
+    #[test]
+    fn down_units_are_never_placement_targets() {
+        use mmsec_platform::Availability;
+        let (inst, states) = fixture();
+        let pending = PendingSet::from_states(&inst, &states);
+        let mut avail = Availability::all_up(1, 2);
+        // Job 1 prefers cloud 0 (see `best_startable_picks_earliest_
+        // completion`); with cloud 0 down it must fall over to cloud 1,
+        // and with the whole cloud down it must run locally.
+        avail.cloud_up[0] = false;
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending).with_availability(&avail);
+        let round = RoundState::new(&view);
+        let opt = round.best_startable(&view, JobId(1)).unwrap();
+        assert_eq!(opt.target, Target::Cloud(CloudId(1)));
+
+        avail.cloud_up[1] = false;
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending).with_availability(&avail);
+        let round = RoundState::new(&view);
+        let opt = round.best_startable(&view, JobId(1)).unwrap();
+        assert_eq!(opt.target, Target::Edge);
+
+        // Everything down: nothing startable at all.
+        avail.edge_up[0] = false;
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending).with_availability(&avail);
+        let round = RoundState::new(&view);
+        assert_eq!(round.best_startable(&view, JobId(1)), None);
     }
 
     #[test]

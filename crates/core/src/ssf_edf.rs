@@ -202,6 +202,9 @@ fn choose_target(
         .map(|t| proj.completion(job, st, t, spec, view.now) - Time::new(sunk));
     let mut best: Option<(Target, Time)> = None;
     let consider = |target: Target, best: &mut Option<(Target, Time)>| {
+        if !view.target_available(job.origin, target) {
+            return; // unit is down (fault injection): never place on it
+        }
         let completion = proj.completion(job, st, target, spec, view.now);
         if st.committed != Some(target) {
             if let Some(bar) = bar {
@@ -221,7 +224,10 @@ fn choose_target(
     for k in spec.clouds() {
         consider(Target::Cloud(k), &mut best);
     }
-    best.expect("committed or edge always considered").0
+    // Every unit can be down at once under fault injection; park the job on
+    // its committed target (or the edge) until something recovers — the
+    // engine's resource blocking keeps it from actually starting there.
+    best.map_or(st.committed.unwrap_or(Target::Edge), |(t, _)| t)
 }
 
 struct Attempt {

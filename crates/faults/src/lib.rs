@@ -1,0 +1,614 @@
+//! `mmsec-faults` — seeded failure models for the edge-cloud platform.
+//!
+//! The paper's online model (§III-C) allows a job to be *interrupted and
+//! restarted*, but the base engine never forces a restart: no unit fails,
+//! no link degrades. This crate supplies that missing half. A
+//! [`FaultConfig`] describes *how* units fail — per-unit crash/recover
+//! availability via exponential MTBF/MTTR sampling or explicit trace
+//! lists, plus transient communication outage/degradation windows — and
+//! [`FaultConfig::compile`] turns it into a [`FaultPlan`]: a concrete,
+//! fully deterministic family of down-windows that the engine replays as
+//! `UnitDown`/`UnitUp`/`LinkChange` events.
+//!
+//! Everything is a pure function of the fault seed: the same
+//! `(config, seed, horizon)` triple always compiles to bit-identical
+//! plans, so faulty experiments are as reproducible as fault-free ones.
+//! An empty plan (`FaultPlan::empty`, or any config whose models are all
+//! [`UnitFaultModel::None`]) injects nothing and must leave the engine's
+//! schedule bit-identical to a run without a plan.
+
+#![warn(missing_docs)]
+
+use mmsec_sim::seed::{self, SplitMix64};
+use mmsec_sim::{Interval, IntervalSet, Time};
+
+/// A transient communication window on one edge's uplink/downlink pair.
+///
+/// While `window` is active the edge's communication capacity is scaled by
+/// `factor`: `0.0` is a full outage (no bytes move, in-flight transfers
+/// pause in place), values in `(0, 1)` model degradation (transfers slow
+/// down proportionally). Progress is *not* lost — unlike a unit crash, a
+/// link fault never triggers a restart.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkWindow {
+    /// When the fault is active.
+    pub window: Interval,
+    /// Capacity multiplier in `[0, 1]` applied to both link directions.
+    pub factor: f64,
+}
+
+impl LinkWindow {
+    /// Creates a window; panics unless `factor ∈ [0, 1]`.
+    pub fn new(window: Interval, factor: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "link factor {factor} outside [0, 1]"
+        );
+        LinkWindow { window, factor }
+    }
+}
+
+/// How one unit (edge server or cloud processor) fails over time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UnitFaultModel {
+    /// The unit never fails.
+    None,
+    /// Alternating up/down durations sampled i.i.d. exponential: up-times
+    /// with mean `mtbf`, repair times with mean `mttr` (both in virtual
+    /// seconds, both strictly positive).
+    Exponential {
+        /// Mean time between failures.
+        mtbf: f64,
+        /// Mean time to repair.
+        mttr: f64,
+    },
+    /// Explicit list of down-windows (must be pairwise disjoint).
+    Trace(Vec<Interval>),
+    /// Fail-stop: the unit crashes at the given time and never recovers.
+    /// A job whose only compatible unit is fail-stopped can never finish;
+    /// the engine surfaces that as a clean `Stalled` error once nothing
+    /// else can make progress.
+    FailStop(f64),
+}
+
+/// How one edge's communication link fails over time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LinkFaultModel {
+    /// The link never degrades.
+    None,
+    /// Exponentially sampled outage/degradation windows: up-times with
+    /// mean `mtbf`, fault durations with mean `mttr`, each fault scaling
+    /// capacity by `factor`.
+    Exponential {
+        /// Mean time between link faults.
+        mtbf: f64,
+        /// Mean fault duration.
+        mttr: f64,
+        /// Capacity multiplier while faulty (`0.0` = outage).
+        factor: f64,
+    },
+    /// Explicit degradation windows (must be pairwise disjoint).
+    Windows(Vec<LinkWindow>),
+}
+
+/// Failure models for every unit of a platform, ready to compile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// One model per edge server (crash/recover).
+    pub edges: Vec<UnitFaultModel>,
+    /// One model per cloud processor (crash/recover).
+    pub clouds: Vec<UnitFaultModel>,
+    /// One model per edge's uplink/downlink pair.
+    pub links: Vec<LinkFaultModel>,
+}
+
+impl FaultConfig {
+    /// A config that injects nothing on a `num_edge` × `num_cloud` platform.
+    pub fn none(num_edge: usize, num_cloud: usize) -> Self {
+        FaultConfig {
+            edges: vec![UnitFaultModel::None; num_edge],
+            clouds: vec![UnitFaultModel::None; num_cloud],
+            links: vec![LinkFaultModel::None; num_edge],
+        }
+    }
+
+    /// The CLI/bench workhorse: every edge and cloud fails with the same
+    /// exponential `mtbf`/`mttr`, links stay healthy.
+    pub fn uniform_exponential(num_edge: usize, num_cloud: usize, mtbf: f64, mttr: f64) -> Self {
+        let model = UnitFaultModel::Exponential { mtbf, mttr };
+        FaultConfig {
+            edges: vec![model.clone(); num_edge],
+            clouds: vec![model; num_cloud],
+            links: vec![LinkFaultModel::None; num_edge],
+        }
+    }
+
+    /// Compiles the config into a concrete plan.
+    ///
+    /// Exponential models are sampled with per-unit RNG streams derived
+    /// from `fault_seed` (labels `"edge-fault"`, `"cloud-fault"`,
+    /// `"link-fault"`), so adding a unit never perturbs the windows of the
+    /// others. Sampling stops once a fault would *begin* at or beyond
+    /// `horizon`; a window that starts before the horizon keeps its full
+    /// sampled length, so its recovery boundary still fires. Trace models
+    /// are copied through verbatim (and may extend past the horizon —
+    /// that is how a permanently-down unit is expressed).
+    ///
+    /// Panics on overlapping trace windows or non-positive MTBF/MTTR.
+    pub fn compile(&self, fault_seed: u64, horizon: Time) -> FaultPlan {
+        let mut plan = FaultPlan::empty(self.edges.len(), self.clouds.len());
+        for (j, model) in self.edges.iter().enumerate() {
+            let rng = SplitMix64::new(seed::derive(fault_seed, "edge-fault", j as u64));
+            if let UnitFaultModel::FailStop(t) = model {
+                plan.set_edge_dead_from(j, Time::new(*t));
+            } else {
+                sample_unit(model, rng, horizon, &mut plan.edge_down[j], "edge", j);
+            }
+        }
+        for (k, model) in self.clouds.iter().enumerate() {
+            let rng = SplitMix64::new(seed::derive(fault_seed, "cloud-fault", k as u64));
+            if let UnitFaultModel::FailStop(t) = model {
+                plan.set_cloud_dead_from(k, Time::new(*t));
+            } else {
+                sample_unit(model, rng, horizon, &mut plan.cloud_down[k], "cloud", k);
+            }
+        }
+        for (j, model) in self.links.iter().enumerate() {
+            plan.link[j] = sample_link(
+                model,
+                SplitMix64::new(seed::derive(fault_seed, "link-fault", j as u64)),
+                horizon,
+                j,
+            );
+        }
+        plan
+    }
+}
+
+/// Samples one exponential duration with the given mean.
+fn exp_sample(rng: &mut SplitMix64, mean: f64) -> f64 {
+    // Inverse-CDF; `1 − u ∈ (0, 1]` keeps ln finite.
+    -mean * (1.0 - rng.next_f64()).ln()
+}
+
+fn sample_unit(
+    model: &UnitFaultModel,
+    mut rng: SplitMix64,
+    horizon: Time,
+    out: &mut IntervalSet,
+    kind: &str,
+    idx: usize,
+) {
+    match model {
+        UnitFaultModel::None => {}
+        UnitFaultModel::FailStop(_) => unreachable!("handled by the compile loop"),
+        UnitFaultModel::Exponential { mtbf, mttr } => {
+            assert!(
+                *mtbf > 0.0 && mtbf.is_finite() && *mttr > 0.0 && mttr.is_finite(),
+                "{kind} {idx}: MTBF/MTTR must be positive finite, got {mtbf}/{mttr}"
+            );
+            let mut t = 0.0;
+            loop {
+                t += exp_sample(&mut rng, *mtbf);
+                if t >= horizon.seconds() {
+                    break;
+                }
+                let down = exp_sample(&mut rng, *mttr);
+                out.insert(Interval::from_secs(t, t + down))
+                    .expect("sampled windows are generated in order and disjoint");
+                t += down;
+            }
+        }
+        UnitFaultModel::Trace(windows) => {
+            for w in windows {
+                out.insert(*w)
+                    .unwrap_or_else(|c| panic!("{kind} {idx}: trace window {w:?} overlaps {c:?}"));
+            }
+        }
+    }
+}
+
+fn sample_link(
+    model: &LinkFaultModel,
+    mut rng: SplitMix64,
+    horizon: Time,
+    idx: usize,
+) -> Vec<LinkWindow> {
+    match model {
+        LinkFaultModel::None => Vec::new(),
+        LinkFaultModel::Exponential { mtbf, mttr, factor } => {
+            assert!(
+                *mtbf > 0.0 && mtbf.is_finite() && *mttr > 0.0 && mttr.is_finite(),
+                "link {idx}: MTBF/MTTR must be positive finite, got {mtbf}/{mttr}"
+            );
+            let mut out = Vec::new();
+            let mut t = 0.0;
+            loop {
+                t += exp_sample(&mut rng, *mtbf);
+                if t >= horizon.seconds() {
+                    break;
+                }
+                let down = exp_sample(&mut rng, *mttr);
+                let window = Interval::from_secs(t, t + down);
+                if !window.is_empty() {
+                    out.push(LinkWindow::new(window, *factor));
+                }
+                t += down;
+            }
+            out
+        }
+        LinkFaultModel::Windows(windows) => {
+            let mut out = windows.clone();
+            out.sort_by_key(|a| a.window.start());
+            for pair in out.windows(2) {
+                assert!(
+                    !pair[0].window.overlaps(&pair[1].window),
+                    "link {idx}: windows {:?} and {:?} overlap",
+                    pair[0].window,
+                    pair[1].window
+                );
+            }
+            for w in &out {
+                // Re-run the factor range check for windows built literally.
+                let _ = LinkWindow::new(w.window, w.factor);
+            }
+            out.retain(|w| !w.window.is_empty());
+            out
+        }
+    }
+}
+
+/// One availability-change boundary of a compiled plan, in the order the
+/// engine must observe them when priming its event queue.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultBoundary {
+    /// Edge server `.0` crashes at `.1`.
+    EdgeDown(usize, Time),
+    /// Edge server `.0` recovers at `.1`.
+    EdgeUp(usize, Time),
+    /// Cloud processor `.0` crashes at `.1`.
+    CloudDown(usize, Time),
+    /// Cloud processor `.0` recovers at `.1`.
+    CloudUp(usize, Time),
+    /// The link capacity of edge `.0` changes at `.1` (either direction —
+    /// the engine re-reads the factor from the plan).
+    LinkChange(usize, Time),
+}
+
+/// A compiled, concrete fault schedule: per-unit down-window sets plus
+/// per-edge link windows. This is what the engine consumes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    edge_down: Vec<IntervalSet>,
+    cloud_down: Vec<IntervalSet>,
+    /// Fail-stop instant per edge: down forever from that time on.
+    edge_dead_from: Vec<Option<Time>>,
+    /// Fail-stop instant per cloud.
+    cloud_dead_from: Vec<Option<Time>>,
+    link: Vec<Vec<LinkWindow>>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults for a `num_edge` × `num_cloud` platform.
+    pub fn empty(num_edge: usize, num_cloud: usize) -> Self {
+        FaultPlan {
+            edge_down: vec![IntervalSet::new(); num_edge],
+            cloud_down: vec![IntervalSet::new(); num_cloud],
+            edge_dead_from: vec![None; num_edge],
+            cloud_dead_from: vec![None; num_cloud],
+            link: vec![Vec::new(); num_edge],
+        }
+    }
+
+    /// Number of edge servers the plan covers.
+    pub fn num_edges(&self) -> usize {
+        self.edge_down.len()
+    }
+
+    /// Number of cloud processors the plan covers.
+    pub fn num_clouds(&self) -> usize {
+        self.cloud_down.len()
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.total_windows() == 0
+    }
+
+    /// Total number of fault windows (unit crashes + link windows) — the
+    /// quantity the engine's automatic event cap scales with.
+    pub fn total_windows(&self) -> usize {
+        self.edge_down.iter().map(IntervalSet::len).sum::<usize>()
+            + self.cloud_down.iter().map(IntervalSet::len).sum::<usize>()
+            + self.link.iter().map(Vec::len).sum::<usize>()
+            + self.edge_dead_from.iter().flatten().count()
+            + self.cloud_dead_from.iter().flatten().count()
+    }
+
+    /// Marks edge `j` as permanently down from `t` on.
+    pub fn set_edge_dead_from(&mut self, j: usize, t: Time) {
+        self.edge_dead_from[j] = Some(t);
+    }
+
+    /// Marks cloud `k` as permanently down from `t` on.
+    pub fn set_cloud_dead_from(&mut self, k: usize, t: Time) {
+        self.cloud_dead_from[k] = Some(t);
+    }
+
+    /// Adds a crash window for edge `j`; panics on overlap with an
+    /// existing window of the same edge.
+    pub fn add_edge_down(&mut self, j: usize, window: Interval) {
+        self.edge_down[j]
+            .insert(window)
+            .unwrap_or_else(|c| panic!("edge {j}: window {window:?} overlaps {c:?}"));
+    }
+
+    /// Adds a crash window for cloud `k`; panics on overlap.
+    pub fn add_cloud_down(&mut self, k: usize, window: Interval) {
+        self.cloud_down[k]
+            .insert(window)
+            .unwrap_or_else(|c| panic!("cloud {k}: window {window:?} overlaps {c:?}"));
+    }
+
+    /// Adds a link window for edge `j`; panics on overlap or a factor
+    /// outside `[0, 1]`.
+    pub fn add_link_window(&mut self, j: usize, window: LinkWindow) {
+        let w = LinkWindow::new(window.window, window.factor);
+        assert!(
+            !self.link[j].iter().any(|x| x.window.overlaps(&w.window)),
+            "link {j}: window {:?} overlaps an existing one",
+            w.window
+        );
+        if !w.window.is_empty() {
+            self.link[j].push(w);
+            self.link[j].sort_by_key(|a| a.window.start());
+        }
+    }
+
+    /// True when edge `j` is down at `t` (windows are half-open, so a unit
+    /// is back up exactly at its recovery instant).
+    pub fn edge_down_at(&self, j: usize, t: Time) -> bool {
+        self.edge_dead_from[j].is_some_and(|d| t >= d)
+            || self.edge_down[j].iter().any(|w| w.contains(t))
+    }
+
+    /// True when cloud `k` is down at `t`.
+    pub fn cloud_down_at(&self, k: usize, t: Time) -> bool {
+        self.cloud_dead_from[k].is_some_and(|d| t >= d)
+            || self.cloud_down[k].iter().any(|w| w.contains(t))
+    }
+
+    /// Capacity factor of edge `j`'s link at `t` (`1.0` when healthy).
+    pub fn link_factor_at(&self, j: usize, t: Time) -> f64 {
+        self.link[j]
+            .iter()
+            .find(|w| w.window.contains(t))
+            .map_or(1.0, |w| w.factor)
+    }
+
+    /// Crash windows of edge `j`.
+    pub fn edge_windows(&self, j: usize) -> impl Iterator<Item = &Interval> {
+        self.edge_down[j].iter()
+    }
+
+    /// Crash windows of cloud `k`.
+    pub fn cloud_windows(&self, k: usize) -> impl Iterator<Item = &Interval> {
+        self.cloud_down[k].iter()
+    }
+
+    /// Link windows of edge `j`, sorted by start.
+    pub fn link_windows(&self, j: usize) -> &[LinkWindow] {
+        &self.link[j]
+    }
+
+    /// Every availability boundary in the plan, for event-queue priming.
+    /// Each crash window yields a down and an up boundary; each link
+    /// window yields two change boundaries.
+    pub fn boundaries(&self) -> Vec<FaultBoundary> {
+        let mut out = Vec::with_capacity(2 * self.total_windows());
+        for (j, set) in self.edge_down.iter().enumerate() {
+            for w in set.iter() {
+                out.push(FaultBoundary::EdgeDown(j, w.start()));
+                out.push(FaultBoundary::EdgeUp(j, w.end()));
+            }
+            if let Some(d) = self.edge_dead_from[j] {
+                // Fail-stop: a down boundary with no matching recovery.
+                out.push(FaultBoundary::EdgeDown(j, d));
+            }
+        }
+        for (k, set) in self.cloud_down.iter().enumerate() {
+            for w in set.iter() {
+                out.push(FaultBoundary::CloudDown(k, w.start()));
+                out.push(FaultBoundary::CloudUp(k, w.end()));
+            }
+            if let Some(d) = self.cloud_dead_from[k] {
+                out.push(FaultBoundary::CloudDown(k, d));
+            }
+        }
+        for (j, windows) in self.link.iter().enumerate() {
+            for w in windows {
+                out.push(FaultBoundary::LinkChange(j, w.window.start()));
+                out.push(FaultBoundary::LinkChange(j, w.window.end()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: f64, b: f64) -> Interval {
+        Interval::from_secs(a, b)
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::empty(3, 2);
+        assert!(plan.is_empty());
+        assert_eq!(plan.num_edges(), 3);
+        assert_eq!(plan.num_clouds(), 2);
+        assert_eq!(plan.total_windows(), 0);
+        assert!(plan.boundaries().is_empty());
+        assert!(!plan.edge_down_at(0, Time::new(5.0)));
+        assert!(!plan.cloud_down_at(1, Time::new(5.0)));
+        assert_eq!(plan.link_factor_at(2, Time::new(5.0)), 1.0);
+    }
+
+    #[test]
+    fn none_config_compiles_to_empty_plan() {
+        let cfg = FaultConfig::none(2, 3);
+        let plan = cfg.compile(42, Time::new(1000.0));
+        assert!(plan.is_empty());
+        assert_eq!(plan, FaultPlan::empty(2, 3));
+    }
+
+    #[test]
+    fn compile_is_a_pure_function_of_the_seed() {
+        let cfg = FaultConfig::uniform_exponential(3, 2, 50.0, 5.0);
+        let h = Time::new(2000.0);
+        let a = cfg.compile(7, h);
+        let b = cfg.compile(7, h);
+        assert_eq!(a, b, "same seed must compile bit-identically");
+        let c = cfg.compile(8, h);
+        assert_ne!(a, c, "different seed must move the windows");
+        assert!(!a.is_empty(), "horizon ≫ MTBF must produce failures");
+    }
+
+    #[test]
+    fn per_unit_streams_are_independent() {
+        // Adding a cloud must not change the edges' windows.
+        let small = FaultConfig::uniform_exponential(2, 1, 50.0, 5.0);
+        let large = FaultConfig::uniform_exponential(2, 4, 50.0, 5.0);
+        let h = Time::new(1000.0);
+        let a = small.compile(9, h);
+        let b = large.compile(9, h);
+        for j in 0..2 {
+            assert_eq!(
+                a.edge_windows(j).collect::<Vec<_>>(),
+                b.edge_windows(j).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(
+            a.cloud_windows(0).collect::<Vec<_>>(),
+            b.cloud_windows(0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn exponential_downtime_fraction_is_plausible() {
+        // MTBF 40, MTTR 10 → expected unavailability 10/(40+10) = 20%.
+        // Over a long horizon the sampled fraction must land in a loose
+        // band around it (deterministic given the seed — not flaky).
+        let cfg = FaultConfig::uniform_exponential(1, 0, 40.0, 10.0);
+        let h = 200_000.0;
+        let plan = cfg.compile(1234, Time::new(h));
+        let down: f64 = plan
+            .edge_windows(0)
+            .map(|w| w.length().seconds())
+            .sum::<f64>();
+        let frac = down / h;
+        assert!(
+            (0.1..0.3).contains(&frac),
+            "downtime fraction {frac} implausible for MTTR/(MTBF+MTTR) = 0.2"
+        );
+    }
+
+    #[test]
+    fn sampling_stops_at_the_horizon() {
+        let cfg = FaultConfig::uniform_exponential(1, 1, 10.0, 2.0);
+        let plan = cfg.compile(5, Time::new(100.0));
+        for w in plan.edge_windows(0).chain(plan.cloud_windows(0)) {
+            assert!(
+                w.start().seconds() < 100.0,
+                "window {w:?} starts past horizon"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_model_passes_through() {
+        let mut cfg = FaultConfig::none(2, 1);
+        cfg.edges[1] = UnitFaultModel::Trace(vec![iv(3.0, 5.0), iv(8.0, 9.0)]);
+        cfg.clouds[0] = UnitFaultModel::Trace(vec![iv(0.0, 1e9)]); // permanently down
+        let plan = cfg.compile(0, Time::new(10.0));
+        assert!(!plan.edge_down_at(0, Time::new(4.0)));
+        assert!(plan.edge_down_at(1, Time::new(4.0)));
+        assert!(!plan.edge_down_at(1, Time::new(5.0)), "half-open recovery");
+        assert!(plan.edge_down_at(1, Time::new(8.5)));
+        assert!(plan.cloud_down_at(0, Time::new(123456.0)));
+        assert_eq!(plan.total_windows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_trace_rejected() {
+        let mut cfg = FaultConfig::none(1, 0);
+        cfg.edges[0] = UnitFaultModel::Trace(vec![iv(0.0, 5.0), iv(3.0, 6.0)]);
+        let _ = cfg.compile(0, Time::new(10.0));
+    }
+
+    #[test]
+    fn link_windows_report_factors() {
+        let mut cfg = FaultConfig::none(1, 1);
+        cfg.links[0] = LinkFaultModel::Windows(vec![
+            LinkWindow::new(iv(2.0, 4.0), 0.0),
+            LinkWindow::new(iv(6.0, 7.0), 0.25),
+        ]);
+        let plan = cfg.compile(0, Time::new(10.0));
+        assert_eq!(plan.link_factor_at(0, Time::new(1.0)), 1.0);
+        assert_eq!(plan.link_factor_at(0, Time::new(2.0)), 0.0);
+        assert_eq!(plan.link_factor_at(0, Time::new(4.0)), 1.0);
+        assert_eq!(plan.link_factor_at(0, Time::new(6.5)), 0.25);
+        assert_eq!(plan.total_windows(), 2);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn boundaries_enumerate_every_window_twice() {
+        let mut plan = FaultPlan::empty(2, 1);
+        plan.add_edge_down(0, iv(1.0, 2.0));
+        plan.add_cloud_down(0, iv(3.0, 4.0));
+        plan.add_link_window(1, LinkWindow::new(iv(5.0, 6.0), 0.5));
+        let bs = plan.boundaries();
+        assert_eq!(bs.len(), 6);
+        assert!(bs.contains(&FaultBoundary::EdgeDown(0, Time::new(1.0))));
+        assert!(bs.contains(&FaultBoundary::EdgeUp(0, Time::new(2.0))));
+        assert!(bs.contains(&FaultBoundary::CloudDown(0, Time::new(3.0))));
+        assert!(bs.contains(&FaultBoundary::CloudUp(0, Time::new(4.0))));
+        assert!(bs.contains(&FaultBoundary::LinkChange(1, Time::new(5.0))));
+        assert!(bs.contains(&FaultBoundary::LinkChange(1, Time::new(6.0))));
+    }
+
+    #[test]
+    fn fail_stop_is_down_forever() {
+        let mut cfg = FaultConfig::none(1, 1);
+        cfg.edges[0] = UnitFaultModel::FailStop(5.0);
+        let plan = cfg.compile(0, Time::new(100.0));
+        assert!(!plan.edge_down_at(0, Time::new(4.9)));
+        assert!(plan.edge_down_at(0, Time::new(5.0)));
+        assert!(plan.edge_down_at(0, Time::new(1e12)));
+        assert_eq!(plan.total_windows(), 1);
+        // Exactly one boundary: the crash, with no recovery.
+        assert_eq!(
+            plan.boundaries(),
+            vec![FaultBoundary::EdgeDown(0, Time::new(5.0))]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn link_factor_out_of_range_rejected() {
+        let _ = LinkWindow::new(iv(0.0, 1.0), 1.5);
+    }
+
+    #[test]
+    fn uniform_constructor_shapes() {
+        let cfg = FaultConfig::uniform_exponential(3, 2, 100.0, 10.0);
+        assert_eq!(cfg.edges.len(), 3);
+        assert_eq!(cfg.clouds.len(), 2);
+        assert_eq!(cfg.links.len(), 3);
+        assert!(cfg.links.iter().all(|l| matches!(l, LinkFaultModel::None)));
+    }
+}

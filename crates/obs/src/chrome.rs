@@ -266,6 +266,41 @@ impl Observer for ChromeTraceWriter {
                     ],
                 );
             }
+            Event::UnitDown { t, unit } => {
+                self.instant(
+                    "unit-down",
+                    us(*t),
+                    POLICY_TID,
+                    vec![("unit", Json::str(unit.to_string()))],
+                );
+            }
+            Event::UnitUp { t, unit } => {
+                self.instant(
+                    "unit-up",
+                    us(*t),
+                    POLICY_TID,
+                    vec![("unit", Json::str(unit.to_string()))],
+                );
+            }
+            Event::LinkDegraded { t, edge, factor } => {
+                self.instant(
+                    "link-degraded",
+                    us(*t),
+                    POLICY_TID,
+                    vec![("edge", Json::int(*edge)), ("factor", Json::Num(*factor))],
+                );
+            }
+            Event::JobKilled { t, job, unit } => {
+                self.instant(
+                    "job-killed",
+                    us(*t),
+                    POLICY_TID,
+                    vec![
+                        ("job", Json::int(*job)),
+                        ("unit", Json::str(unit.to_string())),
+                    ],
+                );
+            }
             Event::RunEnd { makespan } => {
                 self.instant(
                     "run-end",

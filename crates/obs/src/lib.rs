@@ -176,6 +176,39 @@ pub enum Event {
         /// Response time `completion − release` in virtual seconds.
         response: f64,
     },
+    /// A unit crashed (fault injection): in-flight work on it is lost.
+    UnitDown {
+        /// Virtual time of the crash.
+        t: Time,
+        /// The failed unit.
+        unit: Unit,
+    },
+    /// A crashed unit recovered and accepts work again.
+    UnitUp {
+        /// Virtual time of the recovery.
+        t: Time,
+        /// The recovered unit.
+        unit: Unit,
+    },
+    /// An edge's communication link changed capacity (fault injection).
+    LinkDegraded {
+        /// Virtual time of the change.
+        t: Time,
+        /// Edge unit whose uplink/downlink pair is affected.
+        edge: usize,
+        /// New capacity factor: `0.0` outage, `1.0` fully recovered.
+        factor: f64,
+    },
+    /// A job's in-flight work was wiped by a unit crash; the job is
+    /// re-released and will re-execute from scratch.
+    JobKilled {
+        /// Virtual time of the kill.
+        t: Time,
+        /// Killed job index.
+        job: usize,
+        /// The unit whose crash caused the kill.
+        unit: Unit,
+    },
     /// One feasibility probe of SSF-EDF's stretch binary search.
     BinarySearchProbe {
         /// Virtual time of the enclosing decision.
@@ -204,6 +237,10 @@ impl Event {
             Event::Placed { .. } => "placed",
             Event::Restarted { .. } => "restarted",
             Event::Completed { .. } => "completed",
+            Event::UnitDown { .. } => "unit-down",
+            Event::UnitUp { .. } => "unit-up",
+            Event::LinkDegraded { .. } => "link-degraded",
+            Event::JobKilled { .. } => "job-killed",
             Event::BinarySearchProbe { .. } => "binary-search-probe",
             Event::RunEnd { .. } => "run-end",
         }

@@ -178,6 +178,14 @@ pub struct MetricsRecorder {
     response_max: f64,
     probes: u64,
     probes_feasible: u64,
+    unit_downs: u64,
+    unit_ups: u64,
+    job_kills: u64,
+    link_changes: u64,
+    /// Accumulated down-seconds per unit display name.
+    downtime: BTreeMap<String, f64>,
+    /// Units currently down, with the time the outage began.
+    down_since: BTreeMap<String, f64>,
     units: BTreeMap<String, UnitStats>,
     uplink_volume: f64,
     downlink_volume: f64,
@@ -202,9 +210,19 @@ impl MetricsRecorder {
         self.events
     }
 
-    /// Total restarts observed.
+    /// Total restarts observed (policy retargets plus fault kills).
     pub fn restarts(&self) -> u64 {
         self.restarts
+    }
+
+    /// Jobs whose in-flight work was wiped by a unit crash.
+    pub fn job_kills(&self) -> u64 {
+        self.job_kills
+    }
+
+    /// Unit crash events observed.
+    pub fn unit_downs(&self) -> u64 {
+        self.unit_downs
     }
 
     /// The decide-latency histogram.
@@ -268,7 +286,7 @@ impl MetricsRecorder {
             .iter()
             .map(|&(t, d)| Json::Arr(vec![Json::Num(t), Json::int(d)]))
             .collect();
-        Json::obj(vec![
+        let mut fields = vec![
             ("schema", Json::str("mmsec-metrics/1")),
             ("policy", Json::str(self.policy.clone())),
             ("jobs", Json::int(self.jobs)),
@@ -321,7 +339,32 @@ impl MetricsRecorder {
                     ("samples", Json::Arr(queue)),
                 ]),
             ),
-        ])
+        ];
+        // Fault section only when fault injection was active, so fault-free
+        // runs serialize exactly as before this section existed.
+        if self.unit_downs + self.unit_ups + self.job_kills + self.link_changes > 0 {
+            let downtime: Vec<Json> = self
+                .downtime
+                .iter()
+                .map(|(unit, secs)| {
+                    Json::obj(vec![
+                        ("unit", Json::str(unit.clone())),
+                        ("down_seconds", Json::Num(*secs)),
+                    ])
+                })
+                .collect();
+            fields.push((
+                "faults",
+                Json::obj(vec![
+                    ("unit_downs", Json::Num(self.unit_downs as f64)),
+                    ("unit_ups", Json::Num(self.unit_ups as f64)),
+                    ("job_kills", Json::Num(self.job_kills as f64)),
+                    ("link_changes", Json::Num(self.link_changes as f64)),
+                    ("downtime", Json::Arr(downtime)),
+                ]),
+            ));
+        }
+        Json::obj(fields)
     }
 
     /// Pretty-printed JSON document (see [`MetricsRecorder::to_json`]).
@@ -381,8 +424,35 @@ impl Observer for MetricsRecorder {
                     self.probes_feasible += 1;
                 }
             }
+            Event::UnitDown { t, unit } => {
+                self.unit_downs += 1;
+                self.down_since
+                    .entry(unit.to_string())
+                    .or_insert(t.seconds());
+            }
+            Event::UnitUp { t, unit } => {
+                self.unit_ups += 1;
+                if let Some(since) = self.down_since.remove(&unit.to_string()) {
+                    *self.downtime.entry(unit.to_string()).or_insert(0.0) +=
+                        (t.seconds() - since).max(0.0);
+                }
+            }
+            Event::LinkDegraded { .. } => self.link_changes += 1,
+            Event::JobKilled { job, .. } => {
+                // A kill is a forced restart: fold it into the restart
+                // aggregates so the recorder matches the engine's
+                // `stats.restarts`, and count it separately as well.
+                self.job_kills += 1;
+                self.restarts += 1;
+                *self.restarts_per_job.entry(*job).or_insert(0) += 1;
+            }
             Event::RunEnd { makespan } => {
                 self.makespan = makespan.seconds();
+                // Close outages still open at the end of the run (e.g.
+                // fail-stopped units have no recovery event).
+                for (unit, since) in std::mem::take(&mut self.down_since) {
+                    *self.downtime.entry(unit).or_insert(0.0) += (self.makespan - since).max(0.0);
+                }
             }
         }
     }
@@ -493,6 +563,60 @@ mod tests {
         assert_eq!(edge.get("utilization").and_then(Json::as_f64), Some(0.5));
         let comm = json.get("communication").unwrap();
         assert_eq!(comm.get("uplink_volume").and_then(Json::as_f64), Some(3.5));
+    }
+
+    #[test]
+    fn recorder_folds_fault_events() {
+        let mut rec = MetricsRecorder::new();
+        rec.on_event(&Event::UnitDown {
+            t: Time::new(1.0),
+            unit: Unit::Edge(0),
+        });
+        rec.on_event(&Event::JobKilled {
+            t: Time::new(1.0),
+            job: 3,
+            unit: Unit::Edge(0),
+        });
+        rec.on_event(&Event::UnitUp {
+            t: Time::new(3.5),
+            unit: Unit::Edge(0),
+        });
+        rec.on_event(&Event::UnitDown {
+            t: Time::new(5.0),
+            unit: Unit::Cloud(1),
+        });
+        rec.on_event(&Event::LinkDegraded {
+            t: Time::new(6.0),
+            edge: 0,
+            factor: 0.5,
+        });
+        rec.on_event(&Event::RunEnd {
+            makespan: Time::new(7.0),
+        });
+        assert_eq!(rec.job_kills(), 1);
+        assert_eq!(rec.unit_downs(), 2);
+        assert_eq!(rec.restarts(), 1, "kills count as restarts");
+        let json = rec.to_json();
+        let faults = json.get("faults").expect("faults section present");
+        assert_eq!(faults.get("unit_downs").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(faults.get("job_kills").and_then(Json::as_f64), Some(1.0));
+        let downtime = faults.get("downtime").and_then(Json::as_arr).unwrap();
+        // edge-0 down 2.5 s; cloud-1 still down at run end → 2 s.
+        assert_eq!(downtime.len(), 2);
+        let cloud = downtime
+            .iter()
+            .find(|d| d.get("unit").and_then(Json::as_str) == Some("cloud-1"))
+            .unwrap();
+        assert_eq!(cloud.get("down_seconds").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn fault_free_json_has_no_fault_section() {
+        let mut rec = MetricsRecorder::new();
+        rec.on_event(&Event::RunEnd {
+            makespan: Time::new(1.0),
+        });
+        assert!(rec.to_json().get("faults").is_none());
     }
 
     #[test]

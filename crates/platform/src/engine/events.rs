@@ -4,7 +4,8 @@
 use crate::activity::{Phase, Target};
 use crate::instance::Instance;
 use crate::job::JobId;
-use crate::spec::EdgeId;
+use crate::spec::{CloudId, EdgeId};
+use mmsec_faults::{FaultBoundary, FaultPlan};
 use mmsec_obs::{PhaseKind, Unit};
 use mmsec_sim::EventQueue;
 
@@ -17,12 +18,55 @@ pub(super) enum EngineEvent {
     Release(JobId),
     /// Cloud availability-window boundary: a pure decision point.
     Boundary,
+    /// Fault injection: edge server crashes (work in flight on it is lost).
+    EdgeDown(EdgeId),
+    /// Fault injection: edge server recovers.
+    EdgeUp(EdgeId),
+    /// Fault injection: cloud processor crashes.
+    CloudDown(CloudId),
+    /// Fault injection: cloud processor recovers.
+    CloudUp(CloudId),
+    /// Fault injection: the link capacity of an edge changes (the new
+    /// factor is read back from the [`FaultPlan`] at the event's time).
+    LinkChange(EdgeId),
 }
 
 /// Boundaries fire before releases at equal times so that a decision taken
 /// at the instant a window opens/closes already sees the new availability.
+/// Fault recoveries share the boundary rank and fault crashes follow them,
+/// so two windows touching at an instant net to "down" at that instant
+/// (half-open windows: recovery applies first, then the next crash).
+/// Releases keep firing last. With no fault plan the queue only ever holds
+/// boundaries and releases, whose relative order is unchanged — fault-free
+/// runs stay bit-identical to the pre-fault engine.
 pub(super) const RANK_BOUNDARY: u8 = 0;
-pub(super) const RANK_RELEASE: u8 = 1;
+pub(super) const RANK_FAULT_UP: u8 = 0;
+pub(super) const RANK_FAULT_DOWN: u8 = 1;
+pub(super) const RANK_RELEASE: u8 = 2;
+
+/// Pushes every availability boundary of a compiled fault plan into the
+/// queue (called right after [`prime_queue`] when a plan is supplied).
+pub(super) fn prime_faults(queue: &mut EventQueue<EngineEvent>, plan: &FaultPlan) {
+    for b in plan.boundaries() {
+        match b {
+            FaultBoundary::EdgeDown(j, t) => {
+                queue.push(t, RANK_FAULT_DOWN, EngineEvent::EdgeDown(EdgeId(j)));
+            }
+            FaultBoundary::EdgeUp(j, t) => {
+                queue.push(t, RANK_FAULT_UP, EngineEvent::EdgeUp(EdgeId(j)));
+            }
+            FaultBoundary::CloudDown(k, t) => {
+                queue.push(t, RANK_FAULT_DOWN, EngineEvent::CloudDown(CloudId(k)));
+            }
+            FaultBoundary::CloudUp(k, t) => {
+                queue.push(t, RANK_FAULT_UP, EngineEvent::CloudUp(CloudId(k)));
+            }
+            FaultBoundary::LinkChange(j, t) => {
+                queue.push(t, RANK_FAULT_DOWN, EngineEvent::LinkChange(EdgeId(j)));
+            }
+        }
+    }
+}
 
 /// Builds the initial event queue: one release per job plus both
 /// boundaries of every cloud availability window.
@@ -59,6 +103,13 @@ pub fn auto_event_limit(instance: &Instance) -> u64 {
     1000 + 64 * instance.num_jobs() as u64 + 8 * total_windows(instance) as u64
 }
 
+/// Like [`auto_event_limit`], with a fault plan contributing `8` events
+/// per fault window — two boundaries plus the kill/replace churn around
+/// each — mirroring the budget of cloud availability windows.
+pub fn auto_event_limit_with_faults(instance: &Instance, plan: &FaultPlan) -> u64 {
+    auto_event_limit(instance) + 8 * plan.total_windows() as u64
+}
+
 /// Total number of cloud availability windows over all cloud processors.
 pub(super) fn total_windows(instance: &Instance) -> usize {
     instance
@@ -92,7 +143,7 @@ mod tests {
     use super::*;
     use crate::job::Job;
     use crate::spec::{CloudId, PlatformSpec};
-    use mmsec_sim::Interval;
+    use mmsec_sim::{Interval, Time};
 
     #[test]
     fn auto_event_limit_formula() {
@@ -114,6 +165,46 @@ mod tests {
         let inst = Instance::new(spec, jobs).unwrap();
         // 3 windows over both clouds: 1000 + 64·1 + 8·3.
         assert_eq!(auto_event_limit(&inst), 1000 + 64 + 24);
+    }
+
+    #[test]
+    fn fault_recovery_outranks_crash_outranks_release() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let jobs = vec![Job::new(EdgeId(0), 2.0, 1.0, 0.0, 0.0)];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let mut plan = FaultPlan::empty(1, 1);
+        plan.add_edge_down(0, Interval::from_secs(1.0, 2.0));
+        plan.add_cloud_down(0, Interval::from_secs(2.0, 3.0));
+        let mut queue = prime_queue(&inst);
+        prime_faults(&mut queue, &plan);
+        let fired: Vec<_> = std::iter::from_fn(|| queue.pop()).collect();
+        assert_eq!(
+            fired,
+            vec![
+                (Time::new(1.0), EngineEvent::EdgeDown(EdgeId(0))),
+                // At t = 2: recovery first, then the next crash, then the
+                // release — a decision at t = 2 sees edge 0 up and cloud 0
+                // down.
+                (Time::new(2.0), EngineEvent::EdgeUp(EdgeId(0))),
+                (Time::new(2.0), EngineEvent::CloudDown(CloudId(0))),
+                (Time::new(2.0), EngineEvent::Release(JobId(0))),
+                (Time::new(3.0), EngineEvent::CloudUp(CloudId(0))),
+            ]
+        );
+    }
+
+    #[test]
+    fn fault_event_limit_extends_the_base_budget() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let jobs = vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let mut plan = FaultPlan::empty(1, 1);
+        plan.add_edge_down(0, Interval::from_secs(1.0, 2.0));
+        plan.add_cloud_down(0, Interval::from_secs(4.0, 5.0));
+        assert_eq!(
+            auto_event_limit_with_faults(&inst, &plan),
+            auto_event_limit(&inst) + 16
+        );
     }
 
     #[test]

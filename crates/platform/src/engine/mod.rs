@@ -48,15 +48,16 @@ pub mod outcome;
 pub use grant::{greedy_allocate, remaining_volume, Activation};
 pub use outcome::{EngineError, EventRecord, RunOutcome, RunStats};
 
-use crate::activity::{DirectiveBuffer, Phase};
+use crate::activity::{DirectiveBuffer, Phase, Target};
 use crate::instance::Instance;
 use crate::job::JobId;
 use crate::resource::{ResourceId, ResourceMap};
 use crate::schedule::TraceBuilder;
 use crate::state::JobState;
-use crate::view::{PendingSet, SimView};
-use events::{obs_phase, obs_unit, prime_queue, EngineEvent};
-use mmsec_obs::{Event as ObsEvent, Observer, ObserverHandle};
+use crate::view::{Availability, PendingSet, SimView};
+use events::{obs_phase, obs_unit, prime_faults, prime_queue, EngineEvent};
+use mmsec_faults::FaultPlan;
+use mmsec_obs::{Event as ObsEvent, Observer, ObserverHandle, Unit};
 use mmsec_sim::{Interval, Time};
 use std::time::Instant;
 
@@ -127,7 +128,41 @@ pub fn simulate_with(
     scheduler: &mut dyn OnlineScheduler,
     opts: EngineOptions,
 ) -> Result<RunOutcome, EngineError> {
-    simulate_impl(instance, scheduler, opts, None)
+    simulate_impl(instance, scheduler, opts, None, None)
+}
+
+/// Simulates `instance` while injecting the faults of a compiled
+/// [`FaultPlan`]: units crash and recover at the plan's window boundaries,
+/// work in flight on a crashed unit is lost (the job re-executes from
+/// scratch and [`RunStats::restarts`] is incremented), and link windows
+/// pause or slow the affected edge's communications without wiping
+/// progress. Policies see the current availability through
+/// [`SimView::edge_available`] and friends.
+///
+/// An empty plan takes the exact fault-free code path, so it is
+/// bit-identical to [`simulate_with`]. Fault injection requires
+/// `opts.allow_preemption`; link windows additionally require the one-port
+/// model (`!opts.infinite_ports`), since with infinite ports there is no
+/// port resource to block.
+pub fn simulate_with_faults(
+    instance: &Instance,
+    scheduler: &mut dyn OnlineScheduler,
+    opts: EngineOptions,
+    faults: &FaultPlan,
+) -> Result<RunOutcome, EngineError> {
+    simulate_impl(instance, scheduler, opts, Some(faults), None)
+}
+
+/// [`simulate_with_faults`] with an observer attached (fault injection
+/// additionally emits `UnitDown`/`UnitUp`/`LinkDegraded`/`JobKilled`).
+pub fn simulate_with_faults_observed(
+    instance: &Instance,
+    scheduler: &mut dyn OnlineScheduler,
+    opts: EngineOptions,
+    faults: &FaultPlan,
+    observer: &mut dyn Observer,
+) -> Result<RunOutcome, EngineError> {
+    simulate_impl(instance, scheduler, opts, Some(faults), Some(observer))
 }
 
 /// Simulates `instance` while streaming typed [`ObsEvent`]s to `observer`.
@@ -144,13 +179,14 @@ pub fn simulate_observed(
     opts: EngineOptions,
     observer: &mut dyn Observer,
 ) -> Result<RunOutcome, EngineError> {
-    simulate_impl(instance, scheduler, opts, Some(observer))
+    simulate_impl(instance, scheduler, opts, None, Some(observer))
 }
 
 fn simulate_impl(
     instance: &Instance,
     scheduler: &mut dyn OnlineScheduler,
     opts: EngineOptions,
+    faults: Option<&FaultPlan>,
     mut observer: Option<&mut dyn Observer>,
 ) -> Result<RunOutcome, EngineError> {
     // Evaluates the event expression only when an observer is attached:
@@ -169,13 +205,39 @@ fn simulate_impl(
         !spec.has_unavailability() || opts.allow_preemption,
         "cloud availability windows require preemption"
     );
+    // A plan that injects nothing takes the exact fault-free code path,
+    // so a zero-failure fault model is bit-identical to no model at all.
+    let faults = faults.filter(|p| !p.is_empty());
+    if let Some(plan) = faults {
+        assert_eq!(
+            plan.num_edges(),
+            spec.num_edge(),
+            "fault plan covers a different number of edges than the platform"
+        );
+        assert_eq!(
+            plan.num_clouds(),
+            spec.num_cloud(),
+            "fault plan covers a different number of clouds than the platform"
+        );
+        assert!(opts.allow_preemption, "fault injection requires preemption");
+        assert!(
+            !opts.infinite_ports || spec.edges().all(|j| plan.link_windows(j.0).is_empty()),
+            "link faults require the one-port model (infinite_ports = false)"
+        );
+    }
     let n = instance.num_jobs();
-    let limit = opts
-        .max_events
-        .unwrap_or_else(|| events::auto_event_limit(instance));
+    let limit = opts.max_events.unwrap_or_else(|| match faults {
+        Some(plan) => events::auto_event_limit_with_faults(instance, plan),
+        None => events::auto_event_limit(instance),
+    });
 
     let mut jobs = vec![JobState::default(); n];
     let mut queue = prime_queue(instance);
+    if let Some(plan) = faults {
+        prime_faults(&mut queue, plan);
+    }
+    // Availability state, flipped by fault events as they fire.
+    let mut avail = faults.map(|_| Availability::all_up(spec.num_edge(), spec.num_cloud()));
 
     let mut trace = TraceBuilder::new(n);
     let mut stats = RunStats::default();
@@ -204,15 +266,110 @@ fn simulate_impl(
     loop {
         // 1. Fire all events at (approximately) the current instant.
         while let Some(t) = queue.peek_time() {
-            if t.approx_le(now) {
-                let (_, ev) = queue.pop().expect("peeked");
-                if let EngineEvent::Release(id) = ev {
+            if !t.approx_le(now) {
+                break;
+            }
+            let (t_ev, ev) = queue.pop().expect("peeked");
+            match ev {
+                EngineEvent::Release(id) => {
                     jobs[id.0].released = true;
                     pending.insert(instance.job(id).release, id);
                     emit!(ObsEvent::JobReleased { t: now, job: id.0 });
                 }
-            } else {
-                break;
+                EngineEvent::Boundary => {}
+                EngineEvent::EdgeDown(j) => {
+                    let av = avail.as_mut().expect("fault events imply a plan");
+                    av.edge_up[j.0] = false;
+                    emit!(ObsEvent::UnitDown {
+                        t: now,
+                        unit: Unit::Edge(j.0),
+                    });
+                    // Work in flight on the crashed unit is lost: every
+                    // job of this origin committed to its edge CPU is
+                    // wiped and re-released (paper restart semantics).
+                    // Cloud-committed jobs of this origin merely pause —
+                    // their ports are blocked while the edge is down.
+                    for (i, st) in jobs.iter_mut().enumerate() {
+                        if st.finished
+                            || instance.job(JobId(i)).origin != j
+                            || st.committed != Some(Target::Edge)
+                        {
+                            continue;
+                        }
+                        let had_progress = st.up_done + st.work_done + st.dn_done > 0.0;
+                        st.committed = None;
+                        st.running = None;
+                        if had_progress {
+                            st.reset_progress();
+                            stats.restarts += 1;
+                            trace.abandon(JobId(i));
+                            emit!(ObsEvent::JobKilled {
+                                t: now,
+                                job: i,
+                                unit: Unit::Edge(j.0),
+                            });
+                        }
+                    }
+                }
+                EngineEvent::EdgeUp(j) => {
+                    let av = avail.as_mut().expect("fault events imply a plan");
+                    av.edge_up[j.0] = true;
+                    emit!(ObsEvent::UnitUp {
+                        t: now,
+                        unit: Unit::Edge(j.0),
+                    });
+                }
+                EngineEvent::CloudDown(k) => {
+                    let av = avail.as_mut().expect("fault events imply a plan");
+                    av.cloud_up[k.0] = false;
+                    emit!(ObsEvent::UnitDown {
+                        t: now,
+                        unit: Unit::Cloud(k.0),
+                    });
+                    for (i, st) in jobs.iter_mut().enumerate() {
+                        if st.finished || st.committed != Some(Target::Cloud(k)) {
+                            continue;
+                        }
+                        let had_progress = st.up_done + st.work_done + st.dn_done > 0.0;
+                        st.committed = None;
+                        st.running = None;
+                        if had_progress {
+                            st.reset_progress();
+                            stats.restarts += 1;
+                            trace.abandon(JobId(i));
+                            emit!(ObsEvent::JobKilled {
+                                t: now,
+                                job: i,
+                                unit: Unit::Cloud(k.0),
+                            });
+                        }
+                    }
+                }
+                EngineEvent::CloudUp(k) => {
+                    let av = avail.as_mut().expect("fault events imply a plan");
+                    av.cloud_up[k.0] = true;
+                    emit!(ObsEvent::UnitUp {
+                        t: now,
+                        unit: Unit::Cloud(k.0),
+                    });
+                }
+                EngineEvent::LinkChange(j) => {
+                    // Re-read the factor at the event's own (exact) time:
+                    // windows are half-open, so the change at a window's
+                    // end restores 1.0 and the one at its start applies
+                    // the window's factor.
+                    let plan = faults.expect("fault events imply a plan");
+                    let av = avail.as_mut().expect("fault events imply a plan");
+                    let f = plan.link_factor_at(j.0, t_ev);
+                    if av.link_factor[j.0] != f {
+                        av.link_factor[j.0] = f;
+                        emit!(ObsEvent::LinkDegraded {
+                            t: now,
+                            edge: j.0,
+                            factor: f,
+                        });
+                    }
+                }
             }
         }
 
@@ -227,7 +384,10 @@ fn simulate_impl(
 
         // 2. Ask the policy for directives.
         {
-            let view = SimView::new(instance, now, &jobs, &pending);
+            let mut view = SimView::new(instance, now, &jobs, &pending);
+            if let Some(av) = avail.as_ref() {
+                view = view.with_availability(av);
+            }
             emit!(ObsEvent::DecideStart {
                 t: now,
                 pending: view.num_pending(),
@@ -293,9 +453,34 @@ fn simulate_impl(
                 blocked[ResourceId::CloudCpu(k)] = true;
             }
         }
+        if let Some(av) = avail.as_ref() {
+            // A down edge takes its CPU and both ports with it; a link
+            // outage (factor 0) blocks only the ports, so edge-local
+            // compute continues and cloud-bound jobs pause in place.
+            for j in spec.edges() {
+                if !av.edge_up[j.0] {
+                    blocked[ResourceId::EdgeCpu(j)] = true;
+                    blocked[ResourceId::EdgeOut(j)] = true;
+                    blocked[ResourceId::EdgeIn(j)] = true;
+                } else if av.link_factor[j.0] == 0.0 {
+                    blocked[ResourceId::EdgeOut(j)] = true;
+                    blocked[ResourceId::EdgeIn(j)] = true;
+                }
+            }
+            for k in spec.clouds() {
+                if !av.cloud_up[k.0] {
+                    blocked[ResourceId::CloudCpu(k)] = true;
+                    blocked[ResourceId::CloudIn(k)] = true;
+                    blocked[ResourceId::CloudOut(k)] = true;
+                }
+            }
+        }
         activations.clear();
         {
-            let view = SimView::new(instance, now, &jobs, &pending);
+            let mut view = SimView::new(instance, now, &jobs, &pending);
+            if let Some(av) = avail.as_ref() {
+                view = view.with_availability(av);
+            }
             if !opts.allow_preemption {
                 skip.fill(false);
                 grant::pin_running(&view, &mut blocked, &mut skip, &mut activations);
@@ -308,6 +493,20 @@ fn simulate_impl(
                 opts.infinite_ports,
                 &mut activations,
             );
+        }
+        if let Some(av) = avail.as_ref() {
+            // Link degradation: scale granted communication rates by the
+            // origin edge's current factor. Factors of exactly 1.0 leave
+            // the rate bit-identical; factor 0 never reaches here (the
+            // ports were blocked above, so no activation was granted).
+            for act in activations.iter_mut() {
+                if act.phase != Phase::Compute {
+                    let f = av.link_factor[instance.job(act.job).origin.0];
+                    if f != 1.0 {
+                        act.rate *= f;
+                    }
+                }
+            }
         }
 
         for st in jobs.iter_mut() {

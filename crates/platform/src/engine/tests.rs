@@ -425,3 +425,142 @@ fn pending_set_is_maintained_incrementally() {
     // t=0: job 0 pending; t=1: both pending; t=2: job 0 done, job 1 left.
     assert_eq!(counts, vec![1, 2, 1]);
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection (see `mmsec-faults` and `docs/faults.md`).
+// ---------------------------------------------------------------------------
+
+mod faults {
+    use super::*;
+    use mmsec_faults::{FaultPlan, LinkWindow};
+    use mmsec_sim::Interval;
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_fault_free_run() {
+        let inst = figure1_instance();
+        let plain = simulate(&inst, &mut AllCloudFifo).unwrap();
+        let plan = FaultPlan::empty(inst.spec.num_edge(), inst.spec.num_cloud());
+        let faulted =
+            simulate_with_faults(&inst, &mut AllCloudFifo, EngineOptions::default(), &plan)
+                .unwrap();
+        assert_eq!(plain.schedule, faulted.schedule);
+        assert_eq!(plain.stats.events, faulted.stats.events);
+    }
+
+    #[test]
+    fn edge_crash_wipes_local_progress_and_restarts() {
+        // Work 4 at edge speed 0.5 → 8 s nominally. The crash at t = 2
+        // wipes the first unit of work; the job restarts from scratch when
+        // the edge recovers at t = 3 and finishes at 3 + 8 = 11.
+        let inst = single_job_instance(4.0, 0.0, 0.0);
+        let mut plan = FaultPlan::empty(1, 1);
+        plan.add_edge_down(0, Interval::from_secs(2.0, 3.0));
+        let out =
+            simulate_with_faults(&inst, &mut AllEdgeFifo, EngineOptions::default(), &plan).unwrap();
+        assert_eq!(out.schedule.completion[0], Some(Time::new(11.0)));
+        assert_eq!(out.stats.restarts, 1);
+    }
+
+    #[test]
+    fn cloud_crash_during_downlink_rereleases_instead_of_completing() {
+        // Phases without faults: up [0,1), exec [1,2), dn [2,4) → C = 4.
+        // The cloud crashes at t = 2.5 — mid-downlink, after the compute
+        // has finished. Paper restart semantics: the result is lost and the
+        // job re-runs from scratch, it does NOT silently complete. The
+        // re-run waits for recovery at t = 3 (the down cloud's ports are
+        // blocked): up [3,4), exec [4,5), dn [5,7).
+        let inst = single_job_instance(1.0, 1.0, 2.0);
+        let mut plan = FaultPlan::empty(1, 1);
+        plan.add_cloud_down(0, Interval::from_secs(2.5, 3.0));
+        let out = simulate_with_faults(&inst, &mut AllCloudFifo, EngineOptions::default(), &plan)
+            .unwrap();
+        assert_eq!(out.schedule.completion[0], Some(Time::new(7.0)));
+        assert_eq!(out.stats.restarts, 1);
+    }
+
+    #[test]
+    fn origin_edge_crash_pauses_cloud_committed_job_without_restart() {
+        // Up 2, work 1, no downlink → C = 3 without faults. The origin
+        // edge goes down during the uplink [1, 2): a cloud-committed job is
+        // not killed — its data is already (partially) off the edge — but
+        // the edge's ports are blocked, so the uplink pauses and resumes on
+        // recovery with progress intact: up [0,1) ∪ [2,3), exec [3,4).
+        let inst = single_job_instance(1.0, 2.0, 0.0);
+        let mut plan = FaultPlan::empty(1, 1);
+        plan.add_edge_down(0, Interval::from_secs(1.0, 2.0));
+        let out = simulate_with_faults(&inst, &mut AllCloudFifo, EngineOptions::default(), &plan)
+            .unwrap();
+        assert_eq!(out.schedule.completion[0], Some(Time::new(4.0)));
+        assert_eq!(out.stats.restarts, 0);
+        assert_eq!(out.schedule.up[0].total_length(), Time::new(2.0));
+    }
+
+    #[test]
+    fn link_outage_pauses_comm_without_restart() {
+        // Same shape as above but through a link window with factor 0: the
+        // edge CPU stays usable, only the ports are blocked.
+        let inst = single_job_instance(1.0, 2.0, 0.0);
+        let mut plan = FaultPlan::empty(1, 1);
+        plan.add_link_window(0, LinkWindow::new(Interval::from_secs(1.0, 2.0), 0.0));
+        let out = simulate_with_faults(&inst, &mut AllCloudFifo, EngineOptions::default(), &plan)
+            .unwrap();
+        assert_eq!(out.schedule.completion[0], Some(Time::new(4.0)));
+        assert_eq!(out.stats.restarts, 0);
+    }
+
+    #[test]
+    fn link_degradation_slows_comm_only() {
+        // Factor 0.5 over the whole run: the 1-second uplink takes 2
+        // seconds, the compute is unaffected → up [0,2), exec [2,3).
+        let inst = single_job_instance(1.0, 1.0, 0.0);
+        let mut plan = FaultPlan::empty(1, 1);
+        plan.add_link_window(0, LinkWindow::new(Interval::from_secs(0.0, 10.0), 0.5));
+        let out = simulate_with_faults(&inst, &mut AllCloudFifo, EngineOptions::default(), &plan)
+            .unwrap();
+        assert_eq!(out.schedule.completion[0], Some(Time::new(3.0)));
+        assert_eq!(out.schedule.up[0].total_length(), Time::new(2.0));
+        assert_eq!(out.schedule.exec[0].total_length(), Time::new(1.0));
+        assert_eq!(out.stats.restarts, 0);
+    }
+
+    #[test]
+    fn permanently_down_unit_surfaces_clean_stall_not_event_limit() {
+        // The only unit the policy will use fail-stops mid-run. The engine
+        // must surface `Stalled` (job can never finish) rather than
+        // livelocking into `EventLimit`.
+        let inst = single_job_instance(4.0, 0.0, 0.0);
+        let mut plan = FaultPlan::empty(1, 1);
+        plan.set_edge_dead_from(0, Time::new(2.0));
+        let err = simulate_with_faults(&inst, &mut AllEdgeFifo, EngineOptions::default(), &plan)
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::Stalled { ref pending, .. } if pending.len() == 1),
+            "expected Stalled, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn fault_events_reach_the_observer() {
+        struct Capture(Vec<String>);
+        impl Observer for Capture {
+            fn on_event(&mut self, event: &ObsEvent) {
+                self.0.push(event.tag().to_string());
+            }
+        }
+        let inst = single_job_instance(4.0, 0.0, 0.0);
+        let mut plan = FaultPlan::empty(1, 1);
+        plan.add_edge_down(0, Interval::from_secs(2.0, 3.0));
+        let mut cap = Capture(Vec::new());
+        simulate_with_faults_observed(
+            &inst,
+            &mut AllEdgeFifo,
+            EngineOptions::default(),
+            &plan,
+            &mut cap,
+        )
+        .unwrap();
+        assert!(cap.0.iter().any(|t| t == "unit-down"));
+        assert!(cap.0.iter().any(|t| t == "unit-up"));
+        assert!(cap.0.iter().any(|t| t == "job-killed"));
+    }
+}

@@ -41,13 +41,17 @@ pub mod view;
 
 pub use activity::{Directive, DirectiveBuffer, Phase, Target};
 pub use engine::{
-    simulate, simulate_observed, simulate_with, EngineError, EngineOptions, EventRecord,
-    OnlineScheduler, RunOutcome, RunStats,
+    simulate, simulate_observed, simulate_with, simulate_with_faults,
+    simulate_with_faults_observed, EngineError, EngineOptions, EventRecord, OnlineScheduler,
+    RunOutcome, RunStats,
 };
 // Observability surface (see `mmsec-obs` and `docs/observability.md`).
 pub use instance::{figure1_instance, Instance, InstanceError};
 pub use job::{Job, JobId};
 pub use metrics::{max_stretch, StretchReport};
+// Fault-injection surface (see `mmsec-faults` and `docs/faults.md`).
+pub use mmsec_faults as faults;
+pub use mmsec_faults::{FaultConfig, FaultPlan, LinkFaultModel, LinkWindow, UnitFaultModel};
 pub use mmsec_obs as obs;
 pub use mmsec_obs::{Observer, ObserverHandle};
 pub use render::{gantt, GanttOptions};
@@ -56,4 +60,4 @@ pub use spec::{CloudId, EdgeId, PlatformSpec};
 pub use state::JobState;
 pub use stats::{schedule_stats, ScheduleStats};
 pub use validate::{validate, validate_with, ValidateOptions, Violation};
-pub use view::{PendingSet, SimView};
+pub use view::{Availability, PendingSet, SimView};

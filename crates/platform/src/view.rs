@@ -16,9 +16,38 @@
 use crate::activity::Target;
 use crate::instance::Instance;
 use crate::job::{Job, JobId};
-use crate::spec::PlatformSpec;
+use crate::spec::{CloudId, EdgeId, PlatformSpec};
 use crate::state::JobState;
 use mmsec_sim::Time;
+
+/// Instantaneous unit/link availability under fault injection.
+///
+/// The engine owns one and flips flags as `UnitDown`/`UnitUp`/`LinkChange`
+/// events fire; policies read it through the [`SimView`] accessors
+/// ([`SimView::edge_available`], [`SimView::cloud_available`],
+/// [`SimView::link_factor`], [`SimView::target_available`]) so they can
+/// skip down units when placing. A view without an attached availability
+/// (the fault-free engine path) reports every unit as up.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Availability {
+    /// Per-edge up flag, indexed by [`EdgeId`].
+    pub edge_up: Vec<bool>,
+    /// Per-cloud up flag, indexed by [`CloudId`].
+    pub cloud_up: Vec<bool>,
+    /// Per-edge link capacity factor (`1.0` healthy, `0.0` outage).
+    pub link_factor: Vec<f64>,
+}
+
+impl Availability {
+    /// Everything up on a `num_edge` × `num_cloud` platform.
+    pub fn all_up(num_edge: usize, num_cloud: usize) -> Self {
+        Availability {
+            edge_up: vec![true; num_edge],
+            cloud_up: vec![true; num_cloud],
+            link_factor: vec![1.0; num_edge],
+        }
+    }
+}
 
 /// Released, unfinished jobs, kept sorted by `(release, id)`.
 ///
@@ -102,10 +131,13 @@ pub struct SimView<'a> {
     pub jobs: &'a [JobState],
     /// Released, unfinished jobs (incrementally maintained by the engine).
     pub pending: &'a PendingSet,
+    /// Current unit/link availability under fault injection; `None` (the
+    /// fault-free path) means everything is up.
+    availability: Option<&'a Availability>,
 }
 
 impl<'a> SimView<'a> {
-    /// Builds a view.
+    /// Builds a view (fault-free: every unit reported up).
     pub fn new(
         instance: &'a Instance,
         now: Time,
@@ -117,6 +149,42 @@ impl<'a> SimView<'a> {
             now,
             jobs,
             pending,
+            availability: None,
+        }
+    }
+
+    /// Attaches the current availability state (builder style; used by the
+    /// fault-injecting engine path).
+    pub fn with_availability(mut self, availability: &'a Availability) -> Self {
+        self.availability = Some(availability);
+        self
+    }
+
+    /// True when edge `j`'s computing unit is currently up.
+    pub fn edge_available(&self, j: EdgeId) -> bool {
+        self.availability.map_or(true, |a| a.edge_up[j.0])
+    }
+
+    /// True when cloud processor `k` is currently up.
+    pub fn cloud_available(&self, k: CloudId) -> bool {
+        self.availability.map_or(true, |a| a.cloud_up[k.0])
+    }
+
+    /// Current capacity factor of edge `j`'s communication link
+    /// (`1.0` healthy, `0.0` outage).
+    pub fn link_factor(&self, j: EdgeId) -> f64 {
+        self.availability.map_or(1.0, |a| a.link_factor[j.0])
+    }
+
+    /// True when `target` can currently accept work from a job originating
+    /// at `origin`: the edge target requires the origin's unit to be up,
+    /// a cloud target requires that processor to be up. (A down origin
+    /// edge or a link outage merely *pauses* cloud-bound communication —
+    /// it does not invalidate the placement — so neither is checked here.)
+    pub fn target_available(&self, origin: EdgeId, target: Target) -> bool {
+        match target {
+            Target::Edge => self.edge_available(origin),
+            Target::Cloud(k) => self.cloud_available(k),
         }
     }
 
@@ -272,6 +340,29 @@ mod tests {
         assert!((view.min_time(JobId(0)) - 7.0).abs() < 1e-12);
         // Deadline under stretch 2: r + 2·7 = 15.
         assert_eq!(view.deadline_under_stretch(JobId(0), 2.0), Time::new(15.0));
+    }
+
+    #[test]
+    fn availability_accessors_default_to_up() {
+        let (inst, states) = fixture();
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        assert!(view.edge_available(EdgeId(0)));
+        assert!(view.cloud_available(CloudId(1)));
+        assert_eq!(view.link_factor(EdgeId(0)), 1.0);
+
+        let mut avail = Availability::all_up(1, 2);
+        avail.cloud_up[0] = false;
+        avail.edge_up[0] = false;
+        avail.link_factor[0] = 0.25;
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending).with_availability(&avail);
+        assert!(!view.edge_available(EdgeId(0)));
+        assert!(!view.cloud_available(CloudId(0)));
+        assert!(view.cloud_available(CloudId(1)));
+        assert!(!view.target_available(EdgeId(0), Target::Edge));
+        assert!(!view.target_available(EdgeId(0), Target::Cloud(CloudId(0))));
+        assert!(view.target_available(EdgeId(0), Target::Cloud(CloudId(1))));
+        assert_eq!(view.link_factor(EdgeId(0)), 0.25);
     }
 
     #[test]

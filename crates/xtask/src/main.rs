@@ -1,0 +1,425 @@
+//! Repo automation tasks (`cargo xtask <task>`), following the
+//! cargo-xtask convention: plain Rust instead of shell scripts, so the
+//! same commands run identically on developer machines and in CI.
+//!
+//! Tasks:
+//!
+//! - `bench-baseline` — run the `micro` benchmark suite with the JSONL
+//!   feed enabled (`MMSEC_BENCH_JSON`) and write the measured means to
+//!   `BENCH_BASELINE.json` at the repo root. Commit the file to move
+//!   the reference point.
+//! - `bench-check` — re-run the same suite and compare each mean
+//!   against the committed baseline. Fails (exit 1) when any benchmark
+//!   regressed by more than the tolerance (default 25%). Writes a
+//!   markdown report for CI artifact upload.
+//!
+//! Both tasks accept `--window-ms N` (per-bench measurement window,
+//! default 150 — the "quick" profile used by the CI smoke gate; use a
+//! larger window for a quieter baseline) and `--json PATH` to keep the
+//! raw JSONL feed. `bench-check` additionally accepts
+//! `--tolerance FRAC` (e.g. `0.25`) and `--report PATH`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+const BASELINE_FILE: &str = "BENCH_BASELINE.json";
+const DEFAULT_WINDOW_MS: u64 = 150;
+const DEFAULT_TOLERANCE: f64 = 0.25;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(task) = args.first() else {
+        eprintln!("usage: cargo xtask <bench-baseline|bench-check> [options]");
+        return ExitCode::from(2);
+    };
+    let opts = match Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match task.as_str() {
+        "bench-baseline" => bench_baseline(&opts),
+        "bench-check" => bench_check(&opts),
+        other => {
+            eprintln!("unknown task `{other}`; tasks: bench-baseline, bench-check");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    window_ms: u64,
+    tolerance: f64,
+    json: Option<PathBuf>,
+    report: Option<PathBuf>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Options {
+            window_ms: DEFAULT_WINDOW_MS,
+            tolerance: DEFAULT_TOLERANCE,
+            json: None,
+            report: None,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--window-ms" => {
+                    opts.window_ms = value("--window-ms")?
+                        .parse()
+                        .map_err(|e| format!("--window-ms: {e}"))?
+                }
+                "--tolerance" => {
+                    opts.tolerance = value("--tolerance")?
+                        .parse()
+                        .map_err(|e| format!("--tolerance: {e}"))?;
+                    if !(opts.tolerance.is_finite() && opts.tolerance > 0.0) {
+                        return Err("--tolerance must be positive".into());
+                    }
+                }
+                "--json" => opts.json = Some(PathBuf::from(value("--json")?)),
+                "--report" => opts.report = Some(PathBuf::from(value("--report")?)),
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Workspace root: xtask lives at `<root>/crates/xtask`.
+fn repo_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| std::env::current_dir().expect("cwd"));
+    manifest
+        .ancestors()
+        .find(|p| p.join("Cargo.toml").exists() && p.join("crates").is_dir())
+        .expect("workspace root above crates/xtask")
+        .to_path_buf()
+}
+
+/// Runs `cargo bench -p mmsec-bench --bench micro` with the JSONL feed
+/// enabled and returns the measured mean (ns) per benchmark name.
+fn run_micro_suite(root: &Path, opts: &Options) -> Result<BTreeMap<String, u64>, String> {
+    let json_path = opts
+        .json
+        .clone()
+        .unwrap_or_else(|| root.join("target").join("bench-smoke.jsonl"));
+    if let Some(parent) = json_path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::remove_file(&json_path).ok();
+
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    eprintln!(
+        "running micro benches (window {} ms) -> {}",
+        opts.window_ms,
+        json_path.display()
+    );
+    let status = Command::new(cargo)
+        .args(["bench", "-p", "mmsec-bench", "--bench", "micro"])
+        .current_dir(root)
+        .env("MMSEC_BENCH_JSON", &json_path)
+        .env("MMSEC_BENCH_WINDOW_MS", opts.window_ms.to_string())
+        .status()
+        .map_err(|e| format!("spawning cargo bench: {e}"))?;
+    if !status.success() {
+        return Err(format!("cargo bench failed: {status}"));
+    }
+    let text = std::fs::read_to_string(&json_path)
+        .map_err(|e| format!("reading {}: {e}", json_path.display()))?;
+    let means = parse_jsonl(&text);
+    if means.is_empty() {
+        return Err("benchmark run produced no JSONL records".into());
+    }
+    Ok(means)
+}
+
+/// Extracts `name -> mean_ns` from the compat-criterion JSONL feed.
+/// Hand-rolled (no serde in this workspace); tolerant of unknown keys.
+fn parse_jsonl(text: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(name) = extract_str(line, "name") else {
+            continue;
+        };
+        let Some(mean) = extract_u64(line, "mean_ns") else {
+            continue;
+        };
+        out.insert(name, mean);
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let mut value = String::new();
+    let mut chars = rest.chars();
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' => return Some(value),
+            '\\' => value.push(chars.next()?),
+            other => value.push(other),
+        }
+    }
+    None
+}
+
+fn extract_u64(line: &str, key: &str) -> Option<u64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn write_baseline(
+    path: &Path,
+    window_ms: u64,
+    means: &BTreeMap<String, u64>,
+) -> std::io::Result<()> {
+    let mut text = String::from("{\n");
+    text.push_str("  \"schema\": \"mmsec-bench-baseline/1\",\n");
+    text.push_str(&format!("  \"window_ms\": {window_ms},\n"));
+    text.push_str("  \"benches\": {\n");
+    let last = means.len().saturating_sub(1);
+    for (i, (name, mean)) in means.iter().enumerate() {
+        let comma = if i == last { "" } else { "," };
+        text.push_str(&format!("    \"{name}\": {mean}{comma}\n"));
+    }
+    text.push_str("  }\n}\n");
+    std::fs::write(path, text)
+}
+
+/// Parses the committed baseline file back into `name -> mean_ns`.
+fn parse_baseline(text: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        // Entries look like `"micro/foo": 1234`; skip schema/window keys.
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if key == "schema" || key == "window_ms" || key == "benches" {
+            continue;
+        }
+        if let Ok(mean) = value.trim().parse::<u64>() {
+            out.insert(key.to_string(), mean);
+        }
+    }
+    out
+}
+
+fn bench_baseline(opts: &Options) -> Result<bool, String> {
+    let root = repo_root();
+    let means = run_micro_suite(&root, opts)?;
+    let path = root.join(BASELINE_FILE);
+    write_baseline(&path, opts.window_ms, &means).map_err(|e| format!("writing baseline: {e}"))?;
+    println!("wrote {} ({} benches)", path.display(), means.len());
+    Ok(true)
+}
+
+struct Row {
+    name: String,
+    baseline_ns: u64,
+    current_ns: u64,
+    ratio: f64,
+    regressed: bool,
+}
+
+/// Compares a fresh run against the baseline. Returns the per-bench
+/// rows plus names present in only one of the two sets.
+fn compare(
+    baseline: &BTreeMap<String, u64>,
+    current: &BTreeMap<String, u64>,
+    tolerance: f64,
+) -> (Vec<Row>, Vec<String>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for (name, &base) in baseline {
+        match current.get(name) {
+            Some(&cur) => {
+                let ratio = cur as f64 / base.max(1) as f64;
+                rows.push(Row {
+                    name: name.clone(),
+                    baseline_ns: base,
+                    current_ns: cur,
+                    ratio,
+                    regressed: ratio > 1.0 + tolerance,
+                });
+            }
+            None => missing.push(name.clone()),
+        }
+    }
+    let new: Vec<String> = current
+        .keys()
+        .filter(|n| !baseline.contains_key(*n))
+        .cloned()
+        .collect();
+    (rows, missing, new)
+}
+
+fn render_report(
+    rows: &[Row],
+    missing: &[String],
+    new: &[String],
+    tolerance: f64,
+) -> (String, bool) {
+    let regressions: Vec<&Row> = rows.iter().filter(|r| r.regressed).collect();
+    let failed = !regressions.is_empty() || !missing.is_empty();
+    let mut md = String::from("# Bench regression report\n\n");
+    md.push_str(&format!(
+        "Tolerance: +{:.0}% over `{}`. Result: **{}**.\n\n",
+        tolerance * 100.0,
+        BASELINE_FILE,
+        if failed { "FAIL" } else { "OK" }
+    ));
+    md.push_str("| benchmark | baseline | current | ratio | status |\n");
+    md.push_str("|---|---:|---:|---:|---|\n");
+    for r in rows {
+        md.push_str(&format!(
+            "| {} | {} ns | {} ns | {:.2}x | {} |\n",
+            r.name,
+            r.baseline_ns,
+            r.current_ns,
+            r.ratio,
+            if r.regressed { "REGRESSED" } else { "ok" }
+        ));
+    }
+    for name in missing {
+        md.push_str(&format!("| {name} | — | missing | — | MISSING |\n"));
+    }
+    for name in new {
+        md.push_str(&format!(
+            "| {name} | new | — | — | new (re-run `cargo xtask bench-baseline`) |\n"
+        ));
+    }
+    (md, failed)
+}
+
+fn bench_check(opts: &Options) -> Result<bool, String> {
+    let root = repo_root();
+    let baseline_path = root.join(BASELINE_FILE);
+    let baseline_text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        format!(
+            "reading {}: {e} (run `cargo xtask bench-baseline` first)",
+            baseline_path.display()
+        )
+    })?;
+    let baseline = parse_baseline(&baseline_text);
+    if baseline.is_empty() {
+        return Err(format!("{BASELINE_FILE} has no bench entries"));
+    }
+    let current = run_micro_suite(&root, opts)?;
+
+    let (rows, missing, new) = compare(&baseline, &current, opts.tolerance);
+    let (report, failed) = render_report(&rows, &missing, &new, opts.tolerance);
+    print!("{report}");
+
+    let report_path = opts
+        .report
+        .clone()
+        .unwrap_or_else(|| root.join("target").join("bench-report.md"));
+    if let Some(parent) = report_path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(&report_path, &report).map_err(|e| format!("writing report: {e}"))?;
+    eprintln!("report written to {}", report_path.display());
+
+    if failed {
+        eprintln!(
+            "bench-check FAILED: {} regression(s), {} missing bench(es)",
+            rows.iter().filter(|r| r.regressed).count(),
+            missing.len()
+        );
+    }
+    Ok(!failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_roundtrip_and_escapes() {
+        let text = concat!(
+            "{\"name\":\"micro/a\",\"mean_ns\":120,\"median_ns\":100,\"iters\":10}\n",
+            "{\"name\":\"micro/quo\\\"te\",\"mean_ns\":7,\"median_ns\":7,\"iters\":3}\n",
+            "garbage line\n",
+        );
+        let means = parse_jsonl(text);
+        assert_eq!(means.len(), 2);
+        assert_eq!(means["micro/a"], 120);
+        assert_eq!(means["micro/quo\"te"], 7);
+    }
+
+    #[test]
+    fn baseline_write_parse_roundtrip() {
+        let mut means = BTreeMap::new();
+        means.insert("micro/a".to_string(), 1500u64);
+        means.insert("micro/b".to_string(), 42u64);
+        let dir = std::env::temp_dir().join(format!("xtask-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        write_baseline(&path, 150, &means).unwrap();
+        let parsed = parse_baseline(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(parsed, means);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let mut baseline = BTreeMap::new();
+        baseline.insert("fast".to_string(), 100u64);
+        baseline.insert("slow".to_string(), 100u64);
+        baseline.insert("gone".to_string(), 100u64);
+        let mut current = BTreeMap::new();
+        current.insert("fast".to_string(), 110u64); // +10% — within tolerance
+        current.insert("slow".to_string(), 140u64); // +40% — regression
+        current.insert("fresh".to_string(), 5u64);
+        let (rows, missing, new) = compare(&baseline, &current, 0.25);
+        assert_eq!(rows.len(), 2);
+        assert!(!rows.iter().find(|r| r.name == "fast").unwrap().regressed);
+        assert!(rows.iter().find(|r| r.name == "slow").unwrap().regressed);
+        assert_eq!(missing, vec!["gone".to_string()]);
+        assert_eq!(new, vec!["fresh".to_string()]);
+
+        let (report, failed) = render_report(&rows, &missing, &new, 0.25);
+        assert!(failed);
+        assert!(report.contains("REGRESSED"));
+        assert!(report.contains("MISSING"));
+        assert!(report.contains("**FAIL**"));
+    }
+
+    #[test]
+    fn clean_comparison_passes() {
+        let mut baseline = BTreeMap::new();
+        baseline.insert("a".to_string(), 100u64);
+        let (rows, missing, new) = compare(&baseline, &baseline, 0.25);
+        let (report, failed) = render_report(&rows, &missing, &new, 0.25);
+        assert!(!failed);
+        assert!(report.contains("**OK**"));
+    }
+}

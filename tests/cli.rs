@@ -224,6 +224,83 @@ fn trace_and_metrics_roundtrip() {
 }
 
 #[test]
+fn fault_injection_flags_run_and_are_strict() {
+    let dir = std::env::temp_dir().join(format!("mmsec-cli-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = dir.join("inst.txt");
+    let out = mmsec()
+        .args(["gen", "random", "--n", "30", "--seed", "7"])
+        .args(["--out", inst.to_str().unwrap()])
+        .output()
+        .expect("gen runs");
+    assert!(out.status.success());
+
+    let out = mmsec()
+        .args(["run", "--instance", inst.to_str().unwrap()])
+        .args(["--policy", "ssf-edf"])
+        .args([
+            "--fault-mtbf",
+            "50",
+            "--fault-mttr",
+            "5",
+            "--fault-seed",
+            "3",
+        ])
+        .output()
+        .expect("faulted run runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("faults        mtbf 50"), "{stdout}");
+    assert!(stdout.contains("downtime windows"), "{stdout}");
+    // Same fault seed → same outcome; the run is reproducible (everything
+    // except the wall-clock decide-time line is bit-identical).
+    let again = mmsec()
+        .args(["run", "--instance", inst.to_str().unwrap()])
+        .args(["--policy", "ssf-edf"])
+        .args([
+            "--fault-mtbf",
+            "50",
+            "--fault-mttr",
+            "5",
+            "--fault-seed",
+            "3",
+        ])
+        .output()
+        .expect("faulted run runs");
+    let strip_clock = |bytes: &[u8]| -> String {
+        String::from_utf8_lossy(bytes)
+            .lines()
+            .filter(|l| !l.starts_with("decide time"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip_clock(&out.stdout), strip_clock(&again.stdout));
+
+    // Strict parsing: fault knobs without --fault-mtbf are rejected.
+    let out = mmsec()
+        .args(["run", "--instance", inst.to_str().unwrap()])
+        .args(["--fault-mttr", "5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("require --fault-mtbf"), "{stderr}");
+    // ... and a non-positive MTBF is rejected.
+    let out = mmsec()
+        .args(["run", "--instance", inst.to_str().unwrap()])
+        .args(["--fault-mtbf", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = mmsec().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());

@@ -4,7 +4,10 @@
 use mmsec_bench::{evaluate_point, Scale};
 use mmsec_core::PolicyKind;
 use mmsec_platform::obs::NullObserver;
-use mmsec_platform::{simulate, simulate_observed, EngineOptions};
+use mmsec_platform::{
+    simulate, simulate_observed, simulate_with_faults, EngineOptions, FaultConfig,
+};
+use mmsec_sim::Time;
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 
 #[test]
@@ -23,6 +26,36 @@ fn policies_are_deterministic() {
         let ra = simulate(&inst, a.as_mut()).unwrap();
         let rb = simulate(&inst, b.as_mut()).unwrap();
         assert_eq!(ra.schedule, rb.schedule, "{kind} is nondeterministic");
+    }
+}
+
+/// Fault injection with a zero-failure model must be a no-op: the compiled
+/// plan is empty and `simulate_with_faults` takes the exact fault-free code
+/// path, so every registry policy produces a bit-identical schedule.
+#[test]
+fn zero_failure_fault_model_is_bit_identical() {
+    let cfg = RandomCcrConfig {
+        n: 50,
+        num_cloud: 4,
+        slow_edges: 2,
+        fast_edges: 2,
+        ..RandomCcrConfig::default()
+    };
+    let inst = cfg.generate(3);
+    let plan =
+        FaultConfig::none(inst.spec.num_edge(), inst.spec.num_cloud()).compile(11, Time::new(1e6));
+    assert!(plan.is_empty());
+    for kind in PolicyKind::ALL {
+        let mut a = kind.build(5);
+        let mut b = kind.build(5);
+        let ra = simulate(&inst, a.as_mut()).unwrap();
+        let rb = simulate_with_faults(&inst, b.as_mut(), EngineOptions::default(), &plan).unwrap();
+        assert_eq!(
+            ra.schedule, rb.schedule,
+            "{kind} differs under the zero-failure fault model"
+        );
+        assert_eq!(ra.stats.events, rb.stats.events);
+        assert_eq!(ra.stats.restarts, rb.stats.restarts);
     }
 }
 

@@ -1,0 +1,92 @@
+//! Fault-injection integration: registry policies route around injected
+//! failures end-to-end, and faulted runs stay deterministic per seed.
+//! (Model semantics are unit-tested in `mmsec-faults` and in the engine;
+//! see `docs/faults.md`.)
+
+use mmsec_core::PolicyKind;
+use mmsec_platform::{
+    simulate, simulate_with_faults, validate, EngineOptions, FaultConfig, Instance, Job,
+    PlatformSpec, UnitFaultModel,
+};
+use mmsec_platform::{EdgeId, Target};
+use mmsec_sim::{Interval, Time};
+use mmsec_workload::RandomCcrConfig;
+
+fn workload() -> Instance {
+    RandomCcrConfig {
+        n: 40,
+        num_cloud: 4,
+        slow_edges: 2,
+        fast_edges: 2,
+        ..RandomCcrConfig::default()
+    }
+    .generate(3)
+}
+
+/// Every registry policy completes a faulted run with a valid schedule,
+/// and the injected crashes actually bite (restarts observed somewhere).
+#[test]
+fn all_policies_survive_uniform_exponential_faults() {
+    let inst = workload();
+    let plan =
+        FaultConfig::uniform_exponential(inst.spec.num_edge(), inst.spec.num_cloud(), 80.0, 5.0)
+            .compile(42, Time::new(5_000.0));
+    assert!(!plan.is_empty());
+    let mut total_restarts = 0;
+    for kind in PolicyKind::ALL {
+        let mut pol = kind.build(5);
+        let out = simulate_with_faults(&inst, pol.as_mut(), EngineOptions::default(), &plan)
+            .unwrap_or_else(|e| panic!("{kind} failed under faults: {e:?}"));
+        assert!(out.schedule.all_finished(), "{kind} left jobs unfinished");
+        assert!(
+            validate(&inst, &out.schedule).is_ok(),
+            "{kind} produced an invalid schedule under faults"
+        );
+        total_restarts += out.stats.restarts;
+    }
+    assert!(
+        total_restarts > 0,
+        "no crash ever bit a job across all policies"
+    );
+}
+
+/// Same instance, same policy seed, same fault plan → bit-identical runs.
+#[test]
+fn faulted_runs_are_deterministic() {
+    let inst = workload();
+    let plan =
+        FaultConfig::uniform_exponential(inst.spec.num_edge(), inst.spec.num_cloud(), 80.0, 5.0)
+            .compile(42, Time::new(5_000.0));
+    let mut a = PolicyKind::SsfEdf.build(5);
+    let mut b = PolicyKind::SsfEdf.build(5);
+    let ra = simulate_with_faults(&inst, a.as_mut(), EngineOptions::default(), &plan).unwrap();
+    let rb = simulate_with_faults(&inst, b.as_mut(), EngineOptions::default(), &plan).unwrap();
+    assert_eq!(ra.schedule, rb.schedule);
+    assert_eq!(ra.stats.restarts, rb.stats.restarts);
+}
+
+/// A scripted (trace) crash mid-execution forces a restart with the exact
+/// paper semantics: progress wiped, job re-released, completion delayed by
+/// the downtime plus the lost work.
+#[test]
+fn trace_fault_forces_restart_with_predictable_timing() {
+    // One edge at speed 1, no cloud: work 2 completes at t = 2 fault-free.
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+    let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0)]).unwrap();
+    let mut cfg = FaultConfig::none(1, 0);
+    cfg.edges[0] = UnitFaultModel::Trace(vec![Interval::from_secs(1.0, 3.0)]);
+    let plan = cfg.compile(0, Time::new(100.0));
+
+    let mut pol = PolicyKind::EdgeOnly.build(0);
+    let plain = simulate(&inst, pol.as_mut()).unwrap();
+    assert_eq!(plain.schedule.completion[0], Some(Time::new(2.0)));
+
+    let mut pol = PolicyKind::EdgeOnly.build(0);
+    let out = simulate_with_faults(&inst, pol.as_mut(), EngineOptions::default(), &plan).unwrap();
+    // Crash at t = 1 wipes one unit of work; restart at recovery t = 3,
+    // full re-run of 2 seconds.
+    assert_eq!(out.schedule.completion[0], Some(Time::new(5.0)));
+    assert_eq!(out.stats.restarts, 1);
+    assert_eq!(out.schedule.alloc[0], Some(Target::Edge));
+    assert!(validate(&inst, &out.schedule).is_ok());
+}
