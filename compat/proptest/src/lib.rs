@@ -238,6 +238,67 @@ impl<T: Arbitrary> Strategy for Any<T> {
     }
 }
 
+/// A type-erased value generator, as produced by [`boxed_gen`].
+pub type BoxedGen<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Weighted choice between strategies of a common value type (the
+/// expansion target of [`prop_oneof!`]; mirrors
+/// `proptest::strategy::Union`, generation only).
+pub struct Union<V> {
+    variants: Vec<(u32, BoxedGen<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds the union; weights must not all be zero.
+    pub fn new(variants: Vec<(u32, BoxedGen<V>)>) -> Self {
+        let total_weight = variants.iter().map(|(w, _)| *w as u64).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs a positive total weight"
+        );
+        Union {
+            variants,
+            total_weight,
+        }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, gen) in &self.variants {
+            let weight = *weight as u64;
+            if pick < weight {
+                return gen(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick below total weight")
+    }
+}
+
+/// Type-erases a strategy into a boxed generator (the [`prop_oneof!`]
+/// building block; keeps the union's value type inferred from its arms).
+pub fn boxed_gen<S: Strategy + 'static>(strat: S) -> BoxedGen<S::Value> {
+    Box::new(move |rng| strat.generate(rng))
+}
+
+/// Chooses between strategies, optionally weighted (`w => strategy`).
+/// All arms must generate the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((($weight) as u32, $crate::boxed_gen($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
 /// The `any::<T>()` entry point.
 pub fn any<T: Arbitrary>() -> Any<T> {
     Any(std::marker::PhantomData)
@@ -302,8 +363,8 @@ pub mod prelude {
     /// crate's prelude.
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
-        ProptestConfig, Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, Union,
     };
 }
 
@@ -453,5 +514,30 @@ mod tests {
             prop_assert_eq!(x % 2, 0);
             prop_assert_ne!(x, 4);
         }
+
+        #[test]
+        fn oneof_draws_from_every_arm(x in prop_oneof![0u64..10, 20u64..30]) {
+            prop_assert!(x < 10 || (20..30).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_oneof_respects_zero_weight() {
+        let strat = prop_oneof![0 => Just(1u64), 3 => Just(2u64)];
+        let mut rng = crate::TestRng::deterministic("weighted_oneof");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut rng), 2u64, "zero-weight arm drawn");
+        }
+    }
+
+    #[test]
+    fn unweighted_oneof_eventually_draws_each_arm() {
+        let strat = prop_oneof![Just(0u64), Just(1u64), Just(2u64)];
+        let mut rng = crate::TestRng::deterministic("oneof_coverage");
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
     }
 }

@@ -155,6 +155,26 @@ fn bench_decide_path_high_n(c: &mut Criterion) {
             simulate_with(&inst, policy.as_mut(), EngineOptions::default()).unwrap()
         });
     });
+    // n=5000: only viable at all because decision-epoch gating and the
+    // incremental policy state cap per-event cost; sized to stay inside
+    // the CI smoke budget.
+    let cfg = RandomCcrConfig {
+        n: 5000,
+        ..RandomCcrConfig::default()
+    };
+    let inst = cfg.generate(5);
+    group.bench_function("simulate_5000_srpt", |b| {
+        b.iter(|| {
+            let mut policy = PolicyKind::Srpt.build(1);
+            simulate_with(&inst, policy.as_mut(), EngineOptions::default()).unwrap()
+        });
+    });
+    group.bench_function("simulate_5000_fcfs", |b| {
+        b.iter(|| {
+            let mut policy = PolicyKind::Fcfs.build(1);
+            simulate_with(&inst, policy.as_mut(), EngineOptions::default()).unwrap()
+        });
+    });
     group.finish();
 }
 

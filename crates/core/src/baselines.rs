@@ -2,7 +2,9 @@
 //! reference points for the experiment suite and for tests).
 
 use mmsec_platform::projection::Projection;
-use mmsec_platform::{DirectiveBuffer, Instance, OnlineScheduler, SimView, Target};
+use mmsec_platform::{
+    DecisionCadence, DirectiveBuffer, Instance, OnlineScheduler, SimView, Target,
+};
 use mmsec_sim::seed::SplitMix64;
 
 /// First-come-first-served: jobs by release date; each job is placed once,
@@ -11,12 +13,15 @@ use mmsec_sim::seed::SplitMix64;
 #[derive(Clone, Debug, Default)]
 pub struct Fcfs {
     chosen: Vec<Option<Target>>,
+    /// Run-long projection, rebuilt in place only at decides that place a
+    /// new job — steady-state decides allocate nothing.
+    proj: Option<Projection>,
 }
 
 impl Fcfs {
     /// Creates the policy.
     pub fn new() -> Self {
-        Fcfs { chosen: Vec::new() }
+        Fcfs::default()
     }
 }
 
@@ -25,8 +30,13 @@ impl OnlineScheduler for Fcfs {
         "fcfs".into()
     }
 
+    fn cadence(&self) -> DecisionCadence {
+        DecisionCadence::OnEpochChange
+    }
+
     fn on_start(&mut self, instance: &Instance) {
         self.chosen = vec![None; instance.num_jobs()];
+        self.proj = None;
     }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
@@ -34,8 +44,10 @@ impl OnlineScheduler for Fcfs {
         // `pending_jobs()` iterates in (release, id) order — exactly the
         // FIFO priority this policy wants; no sort needed.
         // Place newly seen jobs with a shared projection so that a burst
-        // of simultaneous arrivals spreads over the platform.
-        let mut proj = Projection::from_view(view);
+        // of simultaneous arrivals spreads over the platform; the
+        // projection is (re)initialized lazily, at the first job that
+        // actually needs placing this call.
+        let mut proj_ready = false;
         for id in view.pending_jobs() {
             let job = view.instance.job(id);
             // Fault injection: a sticky choice whose unit went down is
@@ -44,6 +56,14 @@ impl OnlineScheduler for Fcfs {
                 self.chosen[id.0] = None;
             }
             if self.chosen[id.0].is_none() {
+                if !proj_ready {
+                    match self.proj.as_mut() {
+                        Some(p) => p.reset(view.now),
+                        None => self.proj = Some(Projection::from_view(view)),
+                    }
+                    proj_ready = true;
+                }
+                let proj = self.proj.as_mut().expect("initialized above");
                 let st = &view.jobs[id.0];
                 let (target, _) = proj.best_target(job, st, spec, view.now);
                 let target = if view.target_available(job.origin, target) {
@@ -82,12 +102,15 @@ impl OnlineScheduler for Fcfs {
 #[derive(Clone, Debug, Default)]
 pub struct CloudOnly {
     chosen: Vec<Option<Target>>,
+    /// Run-long projection, rebuilt in place only at decides that place a
+    /// new job — steady-state decides allocate nothing.
+    proj: Option<Projection>,
 }
 
 impl CloudOnly {
     /// Creates the policy.
     pub fn new() -> Self {
-        CloudOnly { chosen: Vec::new() }
+        CloudOnly::default()
     }
 }
 
@@ -96,17 +119,22 @@ impl OnlineScheduler for CloudOnly {
         "cloud-only".into()
     }
 
+    fn cadence(&self) -> DecisionCadence {
+        DecisionCadence::OnEpochChange
+    }
+
     fn on_start(&mut self, instance: &Instance) {
         assert!(
             instance.spec.num_cloud() > 0,
             "cloud-only policy needs a cloud"
         );
         self.chosen = vec![None; instance.num_jobs()];
+        self.proj = None;
     }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
         let spec = view.spec();
-        let mut proj = Projection::from_view(view);
+        let mut proj_ready = false;
         // (release, id) iteration order = FIFO priority.
         for id in view.pending_jobs() {
             // Fault injection: re-pick when the sticky cloud went down.
@@ -116,6 +144,14 @@ impl OnlineScheduler for CloudOnly {
                 self.chosen[id.0] = None;
             }
             if self.chosen[id.0].is_none() {
+                if !proj_ready {
+                    match self.proj.as_mut() {
+                        Some(p) => p.reset(view.now),
+                        None => self.proj = Some(Projection::from_view(view)),
+                    }
+                    proj_ready = true;
+                }
+                let proj = self.proj.as_mut().expect("initialized above");
                 let job = view.instance.job(id);
                 let st = &view.jobs[id.0];
                 let mut best: Option<(Target, mmsec_sim::Time)> = None;
@@ -159,6 +195,13 @@ impl RandomSticky {
 impl OnlineScheduler for RandomSticky {
     fn name(&self) -> String {
         "random".into()
+    }
+
+    fn cadence(&self) -> DecisionCadence {
+        // Draws happen only for newly released or fault-displaced jobs —
+        // both epoch bumps — so the RNG stream (and thus the schedule) is
+        // identical with gating on or off.
+        DecisionCadence::OnEpochChange
     }
 
     fn on_start(&mut self, instance: &Instance) {

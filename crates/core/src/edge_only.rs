@@ -11,7 +11,9 @@
 //! preemptive EDF until the next release.
 
 use crate::bender::{deadline, optimal_stretch_so_far, ReleasedJob};
-use mmsec_platform::{DirectiveBuffer, Instance, JobId, OnlineScheduler, SimView, Target};
+use mmsec_platform::{
+    DecisionCadence, DirectiveBuffer, Instance, JobId, OnlineScheduler, SimView, Target,
+};
 use mmsec_sim::Time;
 
 /// Edge-Only stretch-so-far EDF policy.
@@ -23,8 +25,13 @@ pub struct EdgeOnly {
     eps_rel: f64,
     /// Cached deadline per job (None until first computed).
     deadlines: Vec<Option<Time>>,
-    /// Reusable (deadline, id) sort scratch for `decide`.
+    /// Pending jobs sorted by (deadline, id); kept alive across decide
+    /// calls and maintained from the view's pending delta.
     order: Vec<(Time, JobId)>,
+    /// Maintain `order` incrementally (default); `false` rebuilds it at
+    /// every decide and demotes the policy to
+    /// `DecisionCadence::EveryEvent` (equivalence-test reference mode).
+    incremental: bool,
 }
 
 impl Default for EdgeOnly {
@@ -47,7 +54,17 @@ impl EdgeOnly {
             eps_rel,
             deadlines: Vec::new(),
             order: Vec::new(),
+            incremental: true,
         }
+    }
+
+    /// Disables the incremental order maintenance *and* decision-epoch
+    /// gating: every decide rebuilds the EDF order from scratch.
+    /// Schedules are bit-identical to the default mode; used as the
+    /// reference in equivalence tests.
+    pub fn with_recompute(mut self) -> Self {
+        self.incremental = false;
+        self
     }
 
     /// Recomputes deadlines for all pending jobs of edge unit `unit`.
@@ -87,8 +104,17 @@ impl OnlineScheduler for EdgeOnly {
         }
     }
 
+    fn cadence(&self) -> DecisionCadence {
+        if self.incremental {
+            DecisionCadence::OnEpochChange
+        } else {
+            DecisionCadence::EveryEvent
+        }
+    }
+
     fn on_start(&mut self, instance: &Instance) {
         self.deadlines = vec![None; instance.num_jobs()];
+        self.order.clear();
     }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
@@ -101,18 +127,32 @@ impl OnlineScheduler for EdgeOnly {
             .collect();
         dirty_units.sort_unstable();
         dirty_units.dedup();
+        let recomputed = !dirty_units.is_empty();
         for unit in dirty_units {
             self.recompute_unit(view, unit);
         }
 
         // Preemptive EDF per unit: a global deadline sort is fine because
         // units share no resources.
-        self.order.clear();
-        self.order.extend(view.pending_jobs().map(|id| {
-            let d = self.deadlines[id.0].expect("deadline computed above");
-            (d, id)
-        }));
-        self.order.sort();
+        if recomputed || !self.incremental {
+            // A recompute rewrote deadlines of whole units: rebuild.
+            self.order.clear();
+            self.order.extend(view.pending_jobs().map(|id| {
+                let d = self.deadlines[id.0].expect("deadline computed above");
+                (d, id)
+            }));
+            self.order.sort();
+        } else {
+            // Deadlines unchanged since the last call: the order only
+            // shrinks by the jobs that completed in between (new
+            // releases force the rebuild branch above).
+            for &id in view.delta_removed() {
+                let key = (self.deadlines[id.0].expect("was planned"), id);
+                if let Ok(pos) = self.order.binary_search(&key) {
+                    self.order.remove(pos);
+                }
+            }
+        }
         for &(_, id) in &self.order {
             // Fault injection: don't (re)commit jobs whose origin edge is
             // currently down — they wait, uncommitted, until it recovers.

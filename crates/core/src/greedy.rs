@@ -14,6 +14,9 @@ use mmsec_platform::{DirectiveBuffer, Instance, JobId, OnlineScheduler, SimView}
 pub struct Greedy {
     /// Reusable list of not-yet-placed jobs for the selection loop.
     unassigned: Vec<JobId>,
+    /// Run-long round state, rebuilt in place at each decide; dropped in
+    /// `on_start` so a new run (possibly a new platform) starts fresh.
+    round: Option<RoundState>,
 }
 
 impl Greedy {
@@ -28,10 +31,18 @@ impl OnlineScheduler for Greedy {
         "greedy".into()
     }
 
-    fn on_start(&mut self, _instance: &Instance) {}
+    fn on_start(&mut self, _instance: &Instance) {
+        self.round = None;
+    }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
-        let mut round = RoundState::new(view);
+        let round = match self.round.as_mut() {
+            Some(r) => {
+                r.reset(view);
+                r
+            }
+            None => self.round.insert(RoundState::new(view)),
+        };
         let unassigned = &mut self.unassigned;
         unassigned.clear();
         unassigned.extend(view.pending_jobs());

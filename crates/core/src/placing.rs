@@ -15,7 +15,7 @@
 
 use mmsec_platform::projection::Projection;
 use mmsec_platform::resource::ResourceMap;
-use mmsec_platform::{JobId, Phase, SimView, Target};
+use mmsec_platform::{CloudId, Job, JobId, JobState, Phase, SimView, Target};
 use mmsec_sim::time::approx;
 use mmsec_sim::Time;
 
@@ -74,6 +74,20 @@ pub struct RoundState {
     backlog: ResourceMap<f64>,
     /// Which CPU each unclaimed committed job contributes backlog to.
     contribution: Vec<Option<(mmsec_platform::resource::ResourceId, f64)>>,
+    /// Jobs whose `contribution` entry was set this round, so `reset` can
+    /// clear them without an O(n) sweep.
+    contributors: Vec<usize>,
+    /// Cloud ids grouped by exact speed (ascending within each group).
+    /// Clouds the round has not touched are interchangeable within a
+    /// group, so `best_startable` forecasts one representative per group
+    /// instead of every cloud.
+    speed_classes: Vec<Vec<CloudId>>,
+    /// Clouds this round has touched — claimed, or carrying committed-job
+    /// backlog — and which therefore need individual evaluation.
+    touched: Vec<bool>,
+    /// Set entries of `touched`, so `reset` clears them without an O(K)
+    /// sweep.
+    touched_list: Vec<CloudId>,
 }
 
 impl RoundState {
@@ -81,8 +95,52 @@ impl RoundState {
     /// pending job with progress on a committed target.
     pub fn new(view: &SimView<'_>) -> Self {
         let spec = view.spec();
-        let mut backlog = ResourceMap::new(spec, 0.0f64);
-        let mut contribution = vec![None; view.jobs.len()];
+        let mut speed_classes: Vec<(f64, Vec<CloudId>)> = Vec::new();
+        for k in spec.clouds() {
+            let s = spec.cloud_speed(k);
+            match speed_classes.iter_mut().find(|(cs, _)| *cs == s) {
+                Some((_, class)) => class.push(k),
+                None => speed_classes.push((s, vec![k])),
+            }
+        }
+        let mut round = RoundState {
+            proj: Projection::from_view(view),
+            busy_now: ResourceMap::new(spec, false),
+            backlog: ResourceMap::new(spec, 0.0f64),
+            contribution: vec![None; view.jobs.len()],
+            contributors: Vec::new(),
+            speed_classes: speed_classes.into_iter().map(|(_, c)| c).collect(),
+            touched: vec![false; spec.num_cloud()],
+            touched_list: Vec::new(),
+        };
+        round.gather(view);
+        round
+    }
+
+    /// Rebuilds the round in place for a new decision instant —
+    /// equivalent to `RoundState::new(view)` but reusing every
+    /// allocation. The view must describe the same platform the round
+    /// was built for (policies hold one round per run and rebuild it in
+    /// `on_start`).
+    pub fn reset(&mut self, view: &SimView<'_>) {
+        self.proj.reset(view.now);
+        self.busy_now.fill(false);
+        self.backlog.fill(0.0);
+        for i in self.contributors.drain(..) {
+            self.contribution[i] = None;
+        }
+        for k in self.touched_list.drain(..) {
+            self.touched[k.0] = false;
+        }
+        if self.contribution.len() != view.jobs.len() {
+            self.contribution.clear();
+            self.contribution.resize(view.jobs.len(), None);
+        }
+        self.gather(view);
+    }
+
+    fn gather(&mut self, view: &SimView<'_>) {
+        let spec = view.spec();
         for id in view.pending_jobs() {
             let st = &view.jobs[id.0];
             let has_progress = st.up_done + st.work_done + st.dn_done > 0.0;
@@ -101,14 +159,21 @@ impl RoundState {
                     st.remaining_work(job) / spec.cloud_speed(k),
                 ),
             };
-            backlog[cpu] += amount;
-            contribution[id.0] = Some((cpu, amount));
+            self.backlog[cpu] += amount;
+            self.contribution[id.0] = Some((cpu, amount));
+            self.contributors.push(id.0);
+            if let Target::Cloud(k) = target {
+                self.touch(k);
+            }
         }
-        RoundState {
-            proj: Projection::from_view(view),
-            busy_now: ResourceMap::new(spec, false),
-            backlog,
-            contribution,
+    }
+
+    /// Marks cloud `k` as no longer interchangeable with its speed class
+    /// this round.
+    fn touch(&mut self, k: CloudId) {
+        if !self.touched[k.0] {
+            self.touched[k.0] = true;
+            self.touched_list.push(k);
         }
     }
 
@@ -145,7 +210,6 @@ impl RoundState {
         let st = &view.jobs[id.0];
         let job = view.instance.job(id);
         let spec = view.spec();
-        let mut best: Option<StartOption> = None;
 
         let has_progress = st.up_done + st.work_done + st.dn_done > 0.0;
         let continuation_bar: Option<Time> = match st.committed {
@@ -155,40 +219,139 @@ impl RoundState {
             _ => None,
         };
 
-        // Track the penalized score of the incumbent best for the
-        // target-choice comparison.
+        // Evaluation order implements the tie preference (strict `<`):
+        // committed target first, then the edge.
+        let mut best: Option<StartOption> = None;
         let mut best_penalized = Time::new(f64::MAX);
-
-        let mut consider = |target: Target| {
-            if !view.target_available(job.origin, target) {
-                return; // unit is down (fault injection): never place on it
-            }
-            let Some(phase) = first_phase(view, id, target) else {
-                return;
-            };
-            if phase
-                .resources(job, target)
-                .iter()
-                .any(|r| self.busy_now[r])
-            {
-                return;
-            }
-            let completion = self.proj.completion(job, st, target, spec, view.now);
-            let penalized = completion + Time::new(self.foreign_backlog(view, id, target));
-            if st.committed != Some(target) {
-                if let Some(bar) = continuation_bar {
-                    if penalized >= bar {
-                        return; // restarting cannot beat waiting
-                    }
+        if let Some(t) = st.committed {
+            if let Some((p, opt)) = self.evaluate(view, id, st, job, t, continuation_bar) {
+                if p < best_penalized {
+                    best_penalized = p;
+                    best = Some(opt);
                 }
             }
-            if penalized < best_penalized {
-                best_penalized = penalized;
-                best = Some(StartOption { target, completion });
+        }
+        if let Some((p, opt)) = self.evaluate(view, id, st, job, Target::Edge, continuation_bar) {
+            if p < best_penalized {
+                best_penalized = p;
+                best = Some(opt);
             }
+        }
+
+        // Cloud scan. An ascending index scan with strict `<` selects the
+        // lowest-indexed cloud achieving the minimum penalized score —
+        // the lexicographic minimum of (penalized, k) — so clouds may be
+        // visited grouped by speed instead of by index. Within a group,
+        // untouched clouds are indistinguishable: the projection holds
+        // identical (reset) free times for their resources, their backlog
+        // is zero, and every origin-side input is shared, so the forecast
+        // — the expensive part of a decision round — is computed once, on
+        // the group's first available untouched member. Later untouched
+        // members tie it and lose on index; touched members can only
+        // score worse (claims advance free times, backlog only adds); so
+        // each group's scan stops at its first untouched cloud.
+        let mut cloud_best: Option<(Time, CloudId, StartOption)> = None;
+        for class in &self.speed_classes {
+            for &k in class {
+                if st.committed == Some(Target::Cloud(k)) {
+                    // Already evaluated above; the score is identical and
+                    // strict `<` would discard the re-evaluation.
+                    continue;
+                }
+                let touched = self.touched[k.0];
+                if !touched && !view.target_available(job.origin, Target::Cloud(k)) {
+                    continue; // a down cloud does not end the group scan
+                }
+                if let Some((p, opt)) =
+                    self.evaluate(view, id, st, job, Target::Cloud(k), continuation_bar)
+                {
+                    let better = match &cloud_best {
+                        None => true,
+                        Some((bp, bk, _)) => p < *bp || (p == *bp && k.0 < bk.0),
+                    };
+                    if better {
+                        cloud_best = Some((p, k, opt));
+                    }
+                }
+                if !touched {
+                    break;
+                }
+            }
+        }
+        if let Some((p, _, opt)) = cloud_best {
+            if p < best_penalized {
+                best = Some(opt);
+            }
+        }
+        best
+    }
+
+    /// Evaluates one placement candidate: `Some((penalized_score, opt))`
+    /// if `id` could start on `target` right now, `None` otherwise. This
+    /// is exactly the per-target body of the reference ascending scan
+    /// ([`Self::best_startable_exhaustive`]); `best_startable` calls it
+    /// only on candidates that can still win.
+    fn evaluate(
+        &self,
+        view: &SimView<'_>,
+        id: JobId,
+        st: &JobState,
+        job: &Job,
+        target: Target,
+        continuation_bar: Option<Time>,
+    ) -> Option<(Time, StartOption)> {
+        if !view.target_available(job.origin, target) {
+            return None; // unit is down (fault injection): never place on it
+        }
+        let phase = first_phase(view, id, target)?;
+        if phase
+            .resources(job, target)
+            .iter()
+            .any(|r| self.busy_now[r])
+        {
+            return None;
+        }
+        let spec = view.spec();
+        let completion = self.proj.completion(job, st, target, spec, view.now);
+        let penalized = completion + Time::new(self.foreign_backlog(view, id, target));
+        if st.committed != Some(target) {
+            if let Some(bar) = continuation_bar {
+                if penalized >= bar {
+                    return None; // restarting cannot beat waiting
+                }
+            }
+        }
+        Some((penalized, StartOption { target, completion }))
+    }
+
+    /// Reference implementation of [`Self::best_startable`]: the plain
+    /// ascending scan over every target, with no speed-class sharing.
+    /// The fast path must match it bit-for-bit (pinned by the
+    /// `fast_path_matches_exhaustive_scan` proptest below).
+    #[cfg(test)]
+    fn best_startable_exhaustive(&self, view: &SimView<'_>, id: JobId) -> Option<StartOption> {
+        let st = &view.jobs[id.0];
+        let job = view.instance.job(id);
+        let spec = view.spec();
+
+        let has_progress = st.up_done + st.work_done + st.dn_done > 0.0;
+        let continuation_bar: Option<Time> = match st.committed {
+            Some(t) if has_progress => {
+                Some(view.now + Time::new(st.remaining_time_on(job, t, spec)))
+            }
+            _ => None,
         };
 
-        // Evaluation order implements the tie preference (strict `<`).
+        let mut best: Option<StartOption> = None;
+        let mut best_penalized = Time::new(f64::MAX);
+        let mut consider = |target: Target| {
+            if let Some((p, opt)) = self.evaluate(view, id, st, job, target, continuation_bar) {
+                if p < best_penalized {
+                    best_penalized = p;
+                    best = Some(opt);
+                }
+            }
+        };
         if let Some(t) = st.committed {
             consider(t);
         }
@@ -214,6 +377,9 @@ impl RoundState {
         self.proj.place(job, st, target, view.spec(), view.now);
         if let Some((cpu, amount)) = self.contribution[id.0].take() {
             self.backlog[cpu] = (self.backlog[cpu] - amount).max(0.0);
+        }
+        if let Target::Cloud(k) = target {
+            self.touch(k);
         }
     }
 }
@@ -337,6 +503,30 @@ mod tests {
     }
 
     #[test]
+    fn reset_reproduces_a_fresh_round() {
+        let (inst, mut states) = fixture();
+        states[0].committed = Some(Target::Cloud(CloudId(0)));
+        states[0].up_done = 1.0;
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::new(1.0), &states, &pending);
+        let mut round = RoundState::new(&view);
+        round.claim(&view, JobId(0), Target::Cloud(CloudId(0)));
+        // Later instant, more progress: the reused round must behave
+        // exactly like a freshly built one.
+        states[0].work_done = 1.0;
+        let pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::new(2.0), &states, &pending);
+        round.reset(&view);
+        let fresh = RoundState::new(&view);
+        for id in [JobId(0), JobId(1)] {
+            assert_eq!(
+                round.best_startable(&view, id),
+                fresh.best_startable(&view, id)
+            );
+        }
+    }
+
+    #[test]
     fn committed_target_preferred_on_tie() {
         let (inst, mut states) = fixture();
         states[0].committed = Some(Target::Cloud(CloudId(1)));
@@ -389,6 +579,104 @@ mod tests {
         let view = SimView::new(&inst, Time::ZERO, &states, &pending).with_availability(&avail);
         let round = RoundState::new(&view);
         assert_eq!(round.best_startable(&view, JobId(1)), None);
+    }
+
+    mod fast_path {
+        use super::super::*;
+        use mmsec_platform::{
+            Availability, CloudId, EdgeId, Instance, Job, JobState, PendingSet, PlatformSpec,
+        };
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The speed-class fast path must reproduce the exhaustive
+            /// ascending scan bit-for-bit: heterogeneous cloud speeds
+            /// (so groups and cross-group ties exist), jobs in every
+            /// commitment/progress state, random down units, and claims
+            /// applied mid-round.
+            #[test]
+            fn fast_path_matches_exhaustive_scan(
+                speed_picks in proptest::collection::vec(0usize..3, 1..8),
+                job_descs in proptest::collection::vec(
+                    (0.0f64..4.0, 0.5f64..8.0, 0.0f64..3.0, 0.0f64..3.0, 0u8..2, 0u8..4),
+                    1..12,
+                ),
+                down in proptest::collection::vec(any::<bool>(), 10),
+                claims in 0usize..4,
+                now in 4.0f64..6.0,
+            ) {
+                let speeds: Vec<f64> =
+                    speed_picks.iter().map(|&p| [0.5, 1.0, 2.0][p]).collect();
+                let num_cloud = speeds.len();
+                let spec = PlatformSpec::heterogeneous(vec![1.0, 0.5], speeds);
+                let jobs: Vec<Job> = job_descs
+                    .iter()
+                    .map(|&(rel, work, up, dn, origin, _)| {
+                        Job::new(EdgeId(origin as usize), rel, work, up, dn)
+                    })
+                    .collect();
+                let inst = Instance::new(spec, jobs).unwrap();
+                let mut states = vec![JobState::default(); inst.num_jobs()];
+                for (i, (st, &(_, work, up, _, _, kind))) in
+                    states.iter_mut().zip(job_descs.iter()).enumerate()
+                {
+                    st.released = true;
+                    match kind {
+                        1 => {
+                            st.committed = Some(Target::Edge);
+                            st.work_done = 0.5 * work;
+                        }
+                        2 => {
+                            st.committed = Some(Target::Cloud(CloudId(i % num_cloud)));
+                            st.up_done = 0.5 * up;
+                        }
+                        3 => {
+                            st.committed = Some(Target::Cloud(CloudId(i % num_cloud)));
+                            st.up_done = up;
+                            st.work_done = 0.25 * work;
+                        }
+                        _ => {}
+                    }
+                }
+                let mut avail = Availability::all_up(2, num_cloud);
+                for (up, d) in avail.cloud_up.iter_mut().zip(down.iter()) {
+                    *up = !d;
+                }
+                avail.edge_up[0] = !down[8];
+                avail.edge_up[1] = !down[9];
+                let pending = PendingSet::from_states(&inst, &states);
+                let view = SimView::new(&inst, Time::new(now), &states, &pending)
+                    .with_availability(&avail);
+                let mut round = RoundState::new(&view);
+                let check = |round: &RoundState| -> Result<(), TestCaseError> {
+                    for id in view.pending_jobs() {
+                        prop_assert_eq!(
+                            round.best_startable(&view, id),
+                            round.best_startable_exhaustive(&view, id),
+                            "job {:?} diverges",
+                            id
+                        );
+                    }
+                    Ok(())
+                };
+                check(&round)?;
+                // Claim a few jobs (whatever the scan picks) and re-check:
+                // claims create touched clouds mid-round.
+                let mut claimed = 0;
+                for id in view.pending_jobs() {
+                    if claimed == claims {
+                        break;
+                    }
+                    if let Some(opt) = round.best_startable(&view, id) {
+                        round.claim(&view, id, opt.target);
+                        claimed += 1;
+                        check(&round)?;
+                    }
+                }
+            }
+        }
     }
 
     #[test]

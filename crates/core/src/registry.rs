@@ -83,6 +83,18 @@ impl PolicyKind {
             PolicyKind::Random => Box::new(RandomSticky::new(seed)),
         }
     }
+
+    /// Instantiates the policy in *reference* mode: incremental state
+    /// maintenance and decision-epoch gating disabled, so every event
+    /// triggers a full recompute. Schedules must be bit-identical to
+    /// [`PolicyKind::build`] — the equivalence proptests compare the two.
+    pub fn build_reference(self, seed: u64) -> Box<dyn OnlineScheduler> {
+        match self {
+            PolicyKind::EdgeOnly => Box::new(EdgeOnly::new().with_recompute()),
+            PolicyKind::SsfEdf => Box::new(SsfEdf::new().with_recompute()),
+            other => other.build(seed),
+        }
+    }
 }
 
 impl std::fmt::Display for PolicyKind {

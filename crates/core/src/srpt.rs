@@ -8,7 +8,7 @@
 //! penalty is part of the completion estimate.
 
 use crate::placing::RoundState;
-use mmsec_platform::{DirectiveBuffer, JobId, OnlineScheduler, SimView};
+use mmsec_platform::{DirectiveBuffer, Instance, JobId, OnlineScheduler, SimView};
 use mmsec_sim::Time;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -19,6 +19,9 @@ pub struct Srpt {
     /// Reusable min-heap keyed by (completion, id), kept across events so
     /// the decide hot path reuses its backing allocation.
     heap: BinaryHeap<Reverse<(Time, JobId)>>,
+    /// Run-long round state, rebuilt in place at each decide; dropped in
+    /// `on_start` so a new run (possibly a new platform) starts fresh.
+    round: Option<RoundState>,
 }
 
 impl Srpt {
@@ -33,6 +36,10 @@ impl OnlineScheduler for Srpt {
         "srpt".into()
     }
 
+    fn on_start(&mut self, _instance: &Instance) {
+        self.round = None;
+    }
+
     /// Repeatedly picks the globally earliest-completing (job, target)
     /// pair with a *lazy* min-heap: within one round, every claim only
     /// pushes estimates later (the projection's free times move forward,
@@ -41,7 +48,13 @@ impl OnlineScheduler for Srpt {
     /// replaces the quadratic rescans of the naive matching loop — the
     /// reason SRPT stays fast under load while Greedy does not (§VI-B).
     fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
-        let mut round = RoundState::new(view);
+        let round = match self.round.as_mut() {
+            Some(r) => {
+                r.reset(view);
+                r
+            }
+            None => self.round.insert(RoundState::new(view)),
+        };
         // Min-heap keyed by (completion, id); ties resolve to smaller id,
         // matching the exact scan.
         self.heap.clear();

@@ -18,7 +18,8 @@
 use mmsec_platform::obs::Event as ObsEvent;
 use mmsec_platform::projection::Projection;
 use mmsec_platform::{
-    DirectiveBuffer, Instance, JobId, ObserverHandle, OnlineScheduler, SimView, Target,
+    DecisionCadence, DirectiveBuffer, Instance, JobId, ObserverHandle, OnlineScheduler, SimView,
+    Target,
 };
 use mmsec_sim::Time;
 
@@ -33,8 +34,14 @@ pub struct SsfEdf {
     deadlines: Vec<Option<Time>>,
     /// Plan: chosen target per job.
     targets: Vec<Option<Target>>,
-    /// Reusable (deadline, id) sort scratch for `decide`.
+    /// Pending jobs sorted by (deadline, id); kept alive across decide
+    /// calls and maintained from the view's pending delta.
     order: Vec<(Time, JobId)>,
+    /// Maintain `order` incrementally (default). `false` rebuilds and
+    /// re-sorts it at every decide and demotes the policy to
+    /// `DecisionCadence::EveryEvent` — the reference mode the
+    /// gating-equivalence proptest compares against.
+    incremental: bool,
     /// Sink for `BinarySearchProbe` events, when attached.
     observer: Option<ObserverHandle>,
 }
@@ -61,8 +68,19 @@ impl SsfEdf {
             deadlines: Vec::new(),
             targets: Vec::new(),
             order: Vec::new(),
+            incremental: true,
             observer: None,
         }
+    }
+
+    /// Disables the incremental order maintenance *and* decision-epoch
+    /// gating (the policy reports `DecisionCadence::EveryEvent`): every
+    /// decide rebuilds the EDF order from scratch. Schedules are
+    /// bit-identical to the default mode; used as the reference in
+    /// equivalence tests.
+    pub fn with_recompute(mut self) -> Self {
+        self.incremental = false;
+        self
     }
 
     /// Runs one feasibility probe of the stretch binary search and reports
@@ -244,9 +262,18 @@ impl OnlineScheduler for SsfEdf {
         }
     }
 
+    fn cadence(&self) -> DecisionCadence {
+        if self.incremental {
+            DecisionCadence::OnEpochChange
+        } else {
+            DecisionCadence::EveryEvent
+        }
+    }
+
     fn on_start(&mut self, instance: &Instance) {
         self.deadlines = vec![None; instance.num_jobs()];
         self.targets = vec![None; instance.num_jobs()];
+        self.order.clear();
     }
 
     fn attach_observer(&mut self, observer: ObserverHandle) {
@@ -255,15 +282,33 @@ impl OnlineScheduler for SsfEdf {
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
         // Release event ⇔ some pending job has no deadline yet.
-        if view.pending_jobs().any(|id| self.deadlines[id.0].is_none()) {
+        let replanned = if view.pending_jobs().any(|id| self.deadlines[id.0].is_none()) {
             self.replan(view);
+            true
+        } else {
+            false
+        };
+        if replanned || !self.incremental {
+            // A replan rewrote every pending deadline: rebuild the order.
+            self.order.clear();
+            self.order.extend(
+                view.pending_jobs()
+                    .map(|id| (self.deadlines[id.0].expect("planned"), id)),
+            );
+            self.order.sort();
+        } else {
+            // Deadlines unchanged since the last call: the order only
+            // shrinks by the jobs that completed in between. Newly
+            // released jobs cannot appear here — they have no deadline
+            // yet, which forces the replan branch above (stale inserts
+            // from a prior rebuild are already in the order).
+            for &id in view.delta_removed() {
+                let key = (self.deadlines[id.0].expect("was planned"), id);
+                if let Ok(pos) = self.order.binary_search(&key) {
+                    self.order.remove(pos);
+                }
+            }
         }
-        self.order.clear();
-        self.order.extend(
-            view.pending_jobs()
-                .map(|id| (self.deadlines[id.0].expect("planned"), id)),
-        );
-        self.order.sort();
         for &(_, id) in &self.order {
             out.push(id, self.targets[id.0].expect("planned"));
         }
@@ -415,13 +460,13 @@ mod tests {
 
         let spec = PlatformSpec::homogeneous_cloud(vec![0.01], 2);
         // Job: work 4, up 1, dn 1; committed to cloud 0 with its uplink
-        // done (sunk = 1).
+        // done (sunk = 1), except where a case overrides `up_done`.
         let job = Job::new(EdgeId(0), 0.0, 4.0, 1.0, 1.0);
         let inst = Instance::new(spec, vec![job]).unwrap();
-        let mut st = JobState {
+        let state_with_up_done = |up_done: f64| JobState {
             released: true,
             committed: Some(Target::Cloud(CloudId(0))),
-            up_done: 1.0,
+            up_done,
             ..JobState::default()
         };
 
@@ -430,7 +475,7 @@ mod tests {
         // 6, a gain of 1 which does NOT exceed... it must beat
         // (projected − sunk) = 7 − 1 = 6 strictly: 6 ≥ 6 → stay.
         {
-            let states = vec![st.clone()];
+            let states = vec![state_with_up_done(1.0)];
             let pending = PendingSet::from_states(&inst, &states);
             let view = SimView::new(&inst, Time::new(10.0), &states, &pending);
             let mut proj = Projection::from_view(&view);
@@ -454,7 +499,7 @@ mod tests {
         // Case 2: cloud 0 deeply queued (10 seconds) — continuation
         // projects 15, bar = 14; fresh cloud 1 projects 6 < 14 → switch.
         {
-            let states = vec![st.clone()];
+            let states = vec![state_with_up_done(1.0)];
             let pending = PendingSet::from_states(&inst, &states);
             let view = SimView::new(&inst, Time::new(10.0), &states, &pending);
             let mut proj = Projection::from_view(&view);
@@ -476,8 +521,7 @@ mod tests {
 
         // Case 3: no progress — free to pick the projected best.
         {
-            st.up_done = 0.0;
-            let states = vec![st];
+            let states = vec![state_with_up_done(0.0)];
             let pending = PendingSet::from_states(&inst, &states);
             let view = SimView::new(&inst, Time::new(10.0), &states, &pending);
             let mut proj = Projection::from_view(&view);

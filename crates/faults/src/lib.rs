@@ -275,6 +275,30 @@ pub enum FaultBoundary {
     LinkChange(usize, Time),
 }
 
+impl FaultBoundary {
+    /// True for boundaries that restore capacity (unit recoveries).
+    ///
+    /// The engine queues recoveries at an earlier rank than crashes so
+    /// that two windows touching at an instant net to "down" there
+    /// (half-open windows: recovery applies first, then the next crash).
+    /// Link changes are *not* recoveries even when the factor goes back
+    /// up — the engine re-reads the factor either way.
+    pub fn is_recovery(self) -> bool {
+        matches!(self, FaultBoundary::EdgeUp(..) | FaultBoundary::CloudUp(..))
+    }
+
+    /// The instant the boundary fires.
+    pub fn time(self) -> Time {
+        match self {
+            FaultBoundary::EdgeDown(_, t)
+            | FaultBoundary::EdgeUp(_, t)
+            | FaultBoundary::CloudDown(_, t)
+            | FaultBoundary::CloudUp(_, t)
+            | FaultBoundary::LinkChange(_, t) => t,
+        }
+    }
+}
+
 /// A compiled, concrete fault schedule: per-unit down-window sets plus
 /// per-edge link windows. This is what the engine consumes.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -579,6 +603,26 @@ mod tests {
         assert!(bs.contains(&FaultBoundary::CloudUp(0, Time::new(4.0))));
         assert!(bs.contains(&FaultBoundary::LinkChange(1, Time::new(5.0))));
         assert!(bs.contains(&FaultBoundary::LinkChange(1, Time::new(6.0))));
+    }
+
+    #[test]
+    fn is_recovery_classifies_boundaries() {
+        let mut plan = FaultPlan::empty(1, 1);
+        plan.add_edge_down(0, iv(1.0, 2.0));
+        plan.add_cloud_down(0, iv(3.0, 4.0));
+        plan.add_link_window(0, LinkWindow::new(iv(5.0, 6.0), 0.5));
+        let bs = plan.boundaries();
+        let recoveries: Vec<_> = bs.iter().filter(|b| b.is_recovery()).collect();
+        assert_eq!(
+            recoveries,
+            vec![
+                &FaultBoundary::EdgeUp(0, Time::new(2.0)),
+                &FaultBoundary::CloudUp(0, Time::new(4.0)),
+            ],
+            "only unit recoveries qualify — link-change ends do not"
+        );
+        let times: Vec<f64> = bs.iter().map(|b| b.time().seconds()).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
     }
 
     #[test]

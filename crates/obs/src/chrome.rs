@@ -181,6 +181,17 @@ impl Observer for ChromeTraceWriter {
                     ("args", Json::obj(vec![("depth", Json::int(*pending))])),
                 ]);
             }
+            Event::DecideSkipped { t, pending } => {
+                // Keep the ready-queue counter track continuous even at
+                // skipped decisions so its samples match the event grid.
+                self.push(vec![
+                    ("tid", Json::int(QUEUE_TID)),
+                    ("ts", Json::Num(us(*t))),
+                    ("ph", Json::str("C")),
+                    ("name", Json::str("ready-queue")),
+                    ("args", Json::obj(vec![("depth", Json::int(*pending))])),
+                ]);
+            }
             Event::DecideEnd {
                 t,
                 wall,

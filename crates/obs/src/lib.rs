@@ -132,6 +132,15 @@ pub enum Event {
         /// Jobs released but not yet completed.
         pending: usize,
     },
+    /// The policy call was skipped by decision-epoch gating: no
+    /// decision-relevant state changed since the last invoked decide, so
+    /// the engine reused the previous directives.
+    DecideSkipped {
+        /// Virtual time of the decision point.
+        t: Time,
+        /// Jobs released but not yet completed.
+        pending: usize,
+    },
     /// The policy's `decide` returned.
     DecideEnd {
         /// Virtual time of the decision point.
@@ -233,6 +242,7 @@ impl Event {
             Event::RunStart { .. } => "run-start",
             Event::JobReleased { .. } => "job-released",
             Event::DecideStart { .. } => "decide-start",
+            Event::DecideSkipped { .. } => "decide-skipped",
             Event::DecideEnd { .. } => "decide-end",
             Event::Placed { .. } => "placed",
             Event::Restarted { .. } => "restarted",

@@ -172,6 +172,7 @@ pub struct MetricsRecorder {
     restarts: u64,
     restarts_per_job: BTreeMap<usize, u64>,
     decides: u64,
+    decide_skips: u64,
     directives: u64,
     decide_latency: Histogram,
     response_sum: f64,
@@ -299,6 +300,11 @@ impl MetricsRecorder {
                     ("completions", Json::Num(self.completions as f64)),
                     ("restarts", Json::Num(self.restarts as f64)),
                     ("decides", Json::Num(self.decides as f64)),
+                    ("decide_skips", Json::Num(self.decide_skips as f64)),
+                    (
+                        "engine_events",
+                        Json::Num((self.decides + self.decide_skips) as f64),
+                    ),
                     ("directives", Json::Num(self.directives as f64)),
                     ("binary_search_probes", Json::Num(self.probes as f64)),
                     (
@@ -383,6 +389,10 @@ impl Observer for MetricsRecorder {
             }
             Event::JobReleased { .. } => self.releases += 1,
             Event::DecideStart { t, pending } => {
+                self.sample_queue(t.seconds(), *pending);
+            }
+            Event::DecideSkipped { t, pending } => {
+                self.decide_skips += 1;
                 self.sample_queue(t.seconds(), *pending);
             }
             Event::DecideEnd {
@@ -608,6 +618,45 @@ mod tests {
             .find(|d| d.get("unit").and_then(Json::as_str) == Some("cloud-1"))
             .unwrap();
         assert_eq!(cloud.get("down_seconds").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn recorder_counts_decide_skips() {
+        let mut rec = MetricsRecorder::new();
+        rec.on_event(&Event::DecideStart {
+            t: Time::ZERO,
+            pending: 1,
+        });
+        rec.on_event(&Event::DecideEnd {
+            t: Time::ZERO,
+            wall: Duration::from_micros(2),
+            directives: 1,
+        });
+        rec.on_event(&Event::DecideSkipped {
+            t: Time::new(1.0),
+            pending: 2,
+        });
+        rec.on_event(&Event::DecideSkipped {
+            t: Time::new(2.0),
+            pending: 1,
+        });
+        rec.on_event(&Event::RunEnd {
+            makespan: Time::new(3.0),
+        });
+        let json = rec.to_json();
+        let counters = json.get("counters").unwrap();
+        assert_eq!(counters.get("decides").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            counters.get("decide_skips").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        // Engine-side event count: decides + skips.
+        assert_eq!(
+            counters.get("engine_events").and_then(Json::as_f64),
+            Some(3.0)
+        );
+        // Skipped decisions still sample the ready queue.
+        assert_eq!(rec.queue_samples.len(), 3);
     }
 
     #[test]

@@ -44,27 +44,38 @@ pub(super) const RANK_FAULT_UP: u8 = 0;
 pub(super) const RANK_FAULT_DOWN: u8 = 1;
 pub(super) const RANK_RELEASE: u8 = 2;
 
+/// Whether events of `rank` are decision-relevant: firing one can change
+/// what a policy would decide, so the engine bumps its decision epoch.
+/// Every rank currently queued qualifies — boundaries flip blocked
+/// resources, fault transitions flip availability, releases change the
+/// pending membership. The classification is by rank (via
+/// [`mmsec_sim::EventQueue::pop_ranked`]) so a future bookkeeping-only
+/// rank can opt out without the engine matching on payloads; the one
+/// payload-level refinement is a [`EngineEvent::LinkChange`] that re-reads
+/// an unchanged factor, which the engine demotes to a no-op itself.
+pub(super) fn rank_is_decision_relevant(rank: u8) -> bool {
+    matches!(rank, RANK_BOUNDARY | RANK_FAULT_DOWN | RANK_RELEASE)
+}
+
 /// Pushes every availability boundary of a compiled fault plan into the
 /// queue (called right after [`prime_queue`] when a plan is supplied).
 pub(super) fn prime_faults(queue: &mut EventQueue<EngineEvent>, plan: &FaultPlan) {
     for b in plan.boundaries() {
-        match b {
-            FaultBoundary::EdgeDown(j, t) => {
-                queue.push(t, RANK_FAULT_DOWN, EngineEvent::EdgeDown(EdgeId(j)));
-            }
-            FaultBoundary::EdgeUp(j, t) => {
-                queue.push(t, RANK_FAULT_UP, EngineEvent::EdgeUp(EdgeId(j)));
-            }
-            FaultBoundary::CloudDown(k, t) => {
-                queue.push(t, RANK_FAULT_DOWN, EngineEvent::CloudDown(CloudId(k)));
-            }
-            FaultBoundary::CloudUp(k, t) => {
-                queue.push(t, RANK_FAULT_UP, EngineEvent::CloudUp(CloudId(k)));
-            }
-            FaultBoundary::LinkChange(j, t) => {
-                queue.push(t, RANK_FAULT_DOWN, EngineEvent::LinkChange(EdgeId(j)));
-            }
-        }
+        // Recoveries take the earlier rank (see the rank table above);
+        // crashes and link changes fire after them at equal times.
+        let rank = if b.is_recovery() {
+            RANK_FAULT_UP
+        } else {
+            RANK_FAULT_DOWN
+        };
+        let event = match b {
+            FaultBoundary::EdgeDown(j, _) => EngineEvent::EdgeDown(EdgeId(j)),
+            FaultBoundary::EdgeUp(j, _) => EngineEvent::EdgeUp(EdgeId(j)),
+            FaultBoundary::CloudDown(k, _) => EngineEvent::CloudDown(CloudId(k)),
+            FaultBoundary::CloudUp(k, _) => EngineEvent::CloudUp(CloudId(k)),
+            FaultBoundary::LinkChange(j, _) => EngineEvent::LinkChange(EdgeId(j)),
+        };
+        queue.push(b.time(), rank, event);
     }
 }
 

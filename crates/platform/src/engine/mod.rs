@@ -40,6 +40,21 @@
 //! across events. The incrementally maintained [`PendingSet`] replaces the
 //! per-event full-state rescan policies used to pay to enumerate pending
 //! jobs.
+//!
+//! # Decision-epoch gating
+//!
+//! The engine maintains a *decision epoch*, bumped only by transitions
+//! that can change a schedule: job releases, job completions,
+//! unit/link availability changes, and directive refusals. For policies
+//! declaring [`DecisionCadence::OnEpochChange`] (and under preemption),
+//! the policy call is skipped entirely at events where the epoch is
+//! unchanged and the previous directives are reused — bit-identical to
+//! deciding again, and visible in [`RunStats::decides`] versus
+//! [`RunStats::decide_skips`]. Policies read the epoch and the pending
+//! membership delta since their last call via
+//! [`SimView::decision_epoch`], [`SimView::delta_inserted`], and
+//! [`SimView::delta_removed`], enabling incremental priority structures
+//! instead of per-call rebuild-and-sort.
 
 pub mod events;
 pub mod grant;
@@ -61,10 +76,38 @@ use mmsec_obs::{Event as ObsEvent, Observer, ObserverHandle, Unit};
 use mmsec_sim::{Interval, Time};
 use std::time::Instant;
 
+/// How often a policy's `decide` must be invoked (see
+/// [`OnlineScheduler::cadence`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionCadence {
+    /// `decide` must run at every event. Always sound: the default for
+    /// policies whose output depends on the current time or on job
+    /// progress (SRPT and Greedy rank jobs by projected completion, which
+    /// moves at every phase transition).
+    EveryEvent,
+    /// `decide` output is a pure function of the pending membership, the
+    /// current availability, and the policy's own cached plan. The engine
+    /// may then skip the call at events where none of those changed
+    /// (decision-epoch gating) and reuse the previous directives
+    /// unchanged. A policy declaring this promises that two consecutive
+    /// calls with no intervening release, completion, availability change,
+    /// or directive invalidation would fill the buffer identically.
+    OnEpochChange,
+}
+
 /// An online scheduling policy (the object of study of paper §V).
 pub trait OnlineScheduler {
     /// Human-readable policy name (used in reports).
     fn name(&self) -> String;
+
+    /// Declares when `decide` must be invoked. The conservative default
+    /// re-decides at every event; pending/availability-pure policies
+    /// (SSF-EDF, Edge-Only, and the sticky baselines) opt into
+    /// [`DecisionCadence::OnEpochChange`] so the engine can skip events
+    /// that cannot change their output.
+    fn cadence(&self) -> DecisionCadence {
+        DecisionCadence::EveryEvent
+    }
 
     /// Called once before the simulation starts.
     fn on_start(&mut self, _instance: &Instance) {}
@@ -100,6 +143,16 @@ pub struct EngineOptions {
     /// Record a per-event log (time, pending count, activations) in
     /// [`RunOutcome::event_log`] — for debugging and the CLI's `--trace`.
     pub record_events: bool,
+    /// Decision-epoch gating (default true): skip the policy call at
+    /// events where no decision-relevant state changed since the last
+    /// invoked decide, reusing the previous directives. Only applies to
+    /// policies declaring [`DecisionCadence::OnEpochChange`], and only
+    /// under preemption (without it, a pin can expire at a phase
+    /// completion — not an epoch bump — so a gated run would miss the
+    /// re-target an ungated run applies there). Schedules are
+    /// bit-identical with the gate on or off; disable to measure its
+    /// effect or to force every-event decides while debugging a policy.
+    pub decision_gating: bool,
 }
 
 impl Default for EngineOptions {
@@ -110,6 +163,7 @@ impl Default for EngineOptions {
             allow_reexecution: true,
             max_events: None,
             record_events: false,
+            decision_gating: true,
         }
     }
 }
@@ -231,6 +285,19 @@ fn simulate_impl(
         None => events::auto_event_limit(instance),
     });
 
+    // Decision-epoch gating: with an epoch-pure policy (see
+    // [`DecisionCadence::OnEpochChange`]) the engine tracks an epoch
+    // counter bumped only by decision-relevant transitions — releases,
+    // completions, availability changes, directive refusals — and skips
+    // the decide call entirely at events where the epoch is unchanged,
+    // reusing the previous (already sanitized) directive buffer.
+    let gating = opts.decision_gating
+        && opts.allow_preemption
+        && scheduler.cadence() == DecisionCadence::OnEpochChange;
+    let mut epoch: u64 = 1;
+    let mut decided_epoch: u64 = 0;
+    let mut unfinished = n;
+
     let mut jobs = vec![JobState::default(); n];
     let mut queue = prime_queue(instance);
     if let Some(plan) = faults {
@@ -249,6 +316,9 @@ fn simulate_impl(
     let mut pending = PendingSet::new();
     let mut buf = DirectiveBuffer::new();
     let mut activations: Vec<Activation> = Vec::new();
+    // The previous event's grants: the only jobs whose `running` flag can
+    // be set, so clearing just them replaces a full O(n) sweep per event.
+    let mut prev_activations: Vec<Activation> = Vec::new();
     let mut blocked = ResourceMap::new(spec, false);
     let mut skip = vec![false; n];
     // Per-event "first directive wins" marks, stamped with the event
@@ -269,7 +339,10 @@ fn simulate_impl(
             if !t.approx_le(now) {
                 break;
             }
-            let (t_ev, ev) = queue.pop().expect("peeked");
+            let (t_ev, rank, ev) = queue.pop_ranked().expect("peeked");
+            // Classify by rank class; the LinkChange arm below demotes
+            // itself when the re-read factor turns out unchanged.
+            let mut bump = events::rank_is_decision_relevant(rank);
             match ev {
                 EngineEvent::Release(id) => {
                     jobs[id.0].released = true;
@@ -368,12 +441,17 @@ fn simulate_impl(
                             edge: j.0,
                             factor: f,
                         });
+                    } else {
+                        bump = false;
                     }
                 }
             }
+            if bump {
+                epoch += 1;
+            }
         }
 
-        if jobs.iter().all(|s| s.finished) {
+        if unfinished == 0 {
             break;
         }
 
@@ -382,36 +460,53 @@ fn simulate_impl(
             return Err(EngineError::EventLimit { limit });
         }
 
-        // 2. Ask the policy for directives.
-        {
-            let mut view = SimView::new(instance, now, &jobs, &pending);
-            if let Some(av) = avail.as_ref() {
-                view = view.with_availability(av);
-            }
-            emit!(ObsEvent::DecideStart {
+        // 2. Ask the policy for directives — unless gating is on and no
+        //    decision-relevant state changed since the last invoked
+        //    decide, in which case the previous sanitized buffer is
+        //    reused verbatim (finished/killed jobs always bump the
+        //    epoch, so a stale directive cannot survive a skip).
+        if gating && epoch == decided_epoch {
+            stats.decide_skips += 1;
+            emit!(ObsEvent::DecideSkipped {
                 t: now,
-                pending: view.num_pending(),
+                pending: pending.len(),
             });
-            buf.clear();
-            let t0 = Instant::now();
-            scheduler.decide(&view, &mut buf);
-            let wall = t0.elapsed();
-            stats.decide_time += wall;
-            // Sanitize: keep the first directive per job, drop
-            // unreleased/finished jobs.
-            let stamp = stats.events;
-            buf.retain(|d| {
-                let ok = d.job.0 < n && jobs[d.job.0].active() && seen[d.job.0] != stamp;
-                if ok {
-                    seen[d.job.0] = stamp;
+        } else {
+            {
+                let mut view = SimView::new(instance, now, &jobs, &pending).with_epoch(epoch);
+                if let Some(av) = avail.as_ref() {
+                    view = view.with_availability(av);
                 }
-                ok
-            });
-            emit!(ObsEvent::DecideEnd {
-                t: now,
-                wall,
-                directives: buf.len(),
-            });
+                emit!(ObsEvent::DecideStart {
+                    t: now,
+                    pending: view.num_pending(),
+                });
+                buf.clear();
+                let t0 = Instant::now();
+                scheduler.decide(&view, &mut buf);
+                let wall = t0.elapsed();
+                stats.decide_time += wall;
+                // Sanitize: keep the first directive per job, drop
+                // unreleased/finished jobs.
+                let stamp = stats.events;
+                buf.retain(|d| {
+                    let ok = d.job.0 < n && jobs[d.job.0].active() && seen[d.job.0] != stamp;
+                    if ok {
+                        seen[d.job.0] = stamp;
+                    }
+                    ok
+                });
+                emit!(ObsEvent::DecideEnd {
+                    t: now,
+                    wall,
+                    directives: buf.len(),
+                });
+            }
+            stats.decides += 1;
+            decided_epoch = epoch;
+            // The delta always describes "membership change since the
+            // last invoked decide", for gated and ungated runs alike.
+            pending.clear_delta();
         }
 
         // 3. Apply commitments / re-executions.
@@ -438,8 +533,12 @@ fn simulate_impl(
                         });
                         st.committed = Some(d.target);
                     } else {
-                        // Retarget refused: keep the old commitment.
+                        // Retarget refused: keep the old commitment. The
+                        // engine's buffer now differs from what the policy
+                        // emitted, so conservatively treat the rewrite as
+                        // a decision-relevant transition.
                         d.target = t;
+                        epoch += 1;
                     }
                 }
             }
@@ -477,7 +576,7 @@ fn simulate_impl(
         }
         activations.clear();
         {
-            let mut view = SimView::new(instance, now, &jobs, &pending);
+            let mut view = SimView::new(instance, now, &jobs, &pending).with_epoch(epoch);
             if let Some(av) = avail.as_ref() {
                 view = view.with_availability(av);
             }
@@ -509,8 +608,11 @@ fn simulate_impl(
             }
         }
 
-        for st in jobs.iter_mut() {
-            st.running = None;
+        // Only the previous grant can have left `running` flags set
+        // (fault kills and completions clear theirs inline), so sweep
+        // just those instead of every job.
+        for act in &prev_activations {
+            jobs[act.job.0].running = None;
         }
         for act in &activations {
             jobs[act.job.0].running = Some(act.phase);
@@ -588,6 +690,10 @@ fn simulate_impl(
                 st.completion = Some(now);
                 st.running = None;
                 pending.remove(job.release, act.job);
+                unfinished -= 1;
+                // A completion shrinks the pending membership: always a
+                // decision-relevant transition.
+                epoch += 1;
                 trace.complete(act.job, now);
                 emit!(ObsEvent::Completed {
                     t: now,
@@ -596,6 +702,7 @@ fn simulate_impl(
                 });
             }
         }
+        std::mem::swap(&mut prev_activations, &mut activations);
     }
 
     emit!(ObsEvent::RunEnd { makespan: now });

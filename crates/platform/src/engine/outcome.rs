@@ -58,6 +58,14 @@ impl std::error::Error for EngineError {}
 pub struct RunStats {
     /// Number of decision events.
     pub events: u64,
+    /// Number of events at which `scheduler.decide` was actually invoked.
+    /// Always `events` unless decision-epoch gating skipped some (see
+    /// [`EngineOptions::decision_gating`](super::EngineOptions::decision_gating));
+    /// `decides + decide_skips == events`.
+    pub decides: u64,
+    /// Number of events at which the policy call was skipped because no
+    /// decision-relevant state had changed since the last invoked decide.
+    pub decide_skips: u64,
     /// Total wall-clock time spent inside `scheduler.decide`.
     pub decide_time: Duration,
     /// Total wall-clock time of the simulation.

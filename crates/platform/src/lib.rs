@@ -42,8 +42,8 @@ pub mod view;
 pub use activity::{Directive, DirectiveBuffer, Phase, Target};
 pub use engine::{
     simulate, simulate_observed, simulate_with, simulate_with_faults,
-    simulate_with_faults_observed, EngineError, EngineOptions, EventRecord, OnlineScheduler,
-    RunOutcome, RunStats,
+    simulate_with_faults_observed, DecisionCadence, EngineError, EngineOptions, EventRecord,
+    OnlineScheduler, RunOutcome, RunStats,
 };
 // Observability surface (see `mmsec-obs` and `docs/observability.md`).
 pub use instance::{figure1_instance, Instance, InstanceError};

@@ -64,6 +64,12 @@ impl Projection {
         Self::new(view.spec(), view.now)
     }
 
+    /// Re-frees every resource from `now` on, reusing the allocation:
+    /// equivalent to building a fresh projection for the same platform.
+    pub fn reset(&mut self, now: Time) {
+        self.free.fill(now);
+    }
+
     /// Forecast completion time of `job` (state `st`) if placed next on
     /// `target`, *without* reserving the resources.
     pub fn completion(

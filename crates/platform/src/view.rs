@@ -55,10 +55,35 @@ impl Availability {
 /// when its release event fires and removed when it completes. Between
 /// those events membership never changes, so policies get an O(pending)
 /// iteration per decision instead of an O(n) rescan of all job states.
-#[derive(Clone, Debug, Default, PartialEq)]
+///
+/// # Membership delta
+///
+/// Besides the sorted membership, the set records which jobs were
+/// inserted and removed since the last [`PendingSet::clear_delta`]. The
+/// engine clears the delta after every *invoked* `decide`, so a policy
+/// that keeps its own priority structure (e.g. SSF-EDF's `(deadline, id)`
+/// order) can update it from [`PendingSet::delta_inserted`] /
+/// [`PendingSet::delta_removed`] instead of rebuilding and re-sorting
+/// from the full membership at every event. When the engine skips decides
+/// (decision-epoch gating), the delta accumulates across the skipped
+/// events and the policy still observes every membership change exactly
+/// once.
+#[derive(Clone, Debug, Default)]
 pub struct PendingSet {
     /// Sorted ascending; `Time` is the job's release date.
     entries: Vec<(Time, JobId)>,
+    /// Jobs inserted since the last `clear_delta`, in insertion order.
+    inserted: Vec<JobId>,
+    /// Jobs removed since the last `clear_delta`, in removal order.
+    removed: Vec<JobId>,
+}
+
+/// Equality is membership-only: two sets with the same entries compare
+/// equal even when their (transient) deltas differ.
+impl PartialEq for PendingSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
 }
 
 impl PendingSet {
@@ -85,6 +110,7 @@ impl PendingSet {
         let key = (release, id);
         if let Err(pos) = self.entries.binary_search(&key) {
             self.entries.insert(pos, key);
+            self.inserted.push(id);
         }
     }
 
@@ -92,12 +118,34 @@ impl PendingSet {
     pub fn remove(&mut self, release: Time, id: JobId) {
         if let Ok(pos) = self.entries.binary_search(&(release, id)) {
             self.entries.remove(pos);
+            self.removed.push(id);
         }
     }
 
-    /// Removes every entry.
+    /// Removes every entry (and forgets the delta).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.clear_delta();
+    }
+
+    /// Jobs inserted since the last [`PendingSet::clear_delta`], in
+    /// insertion order.
+    pub fn delta_inserted(&self) -> &[JobId] {
+        &self.inserted
+    }
+
+    /// Jobs removed since the last [`PendingSet::clear_delta`], in removal
+    /// order.
+    pub fn delta_removed(&self) -> &[JobId] {
+        &self.removed
+    }
+
+    /// Forgets the recorded membership delta. The engine calls this after
+    /// every invoked `decide`, so the delta a policy observes is exactly
+    /// the membership change since the last time it was asked to decide.
+    pub fn clear_delta(&mut self) {
+        self.inserted.clear();
+        self.removed.clear();
     }
 
     /// Number of pending jobs.
@@ -134,6 +182,9 @@ pub struct SimView<'a> {
     /// Current unit/link availability under fault injection; `None` (the
     /// fault-free path) means everything is up.
     availability: Option<&'a Availability>,
+    /// Engine decision epoch (see [`SimView::decision_epoch`]); 0 for
+    /// ad-hoc views built outside the engine loop.
+    epoch: u64,
 }
 
 impl<'a> SimView<'a> {
@@ -150,6 +201,7 @@ impl<'a> SimView<'a> {
             jobs,
             pending,
             availability: None,
+            epoch: 0,
         }
     }
 
@@ -158,6 +210,34 @@ impl<'a> SimView<'a> {
     pub fn with_availability(mut self, availability: &'a Availability) -> Self {
         self.availability = Some(availability);
         self
+    }
+
+    /// Attaches the engine's decision epoch (builder style).
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The engine's decision epoch: a counter bumped only by transitions
+    /// that can change a scheduling decision (job release, job completion,
+    /// availability change, directive invalidation). Two views with the
+    /// same epoch present the same decision-relevant state; policies and
+    /// tests may use it to detect that nothing changed since the last
+    /// decide.
+    pub fn decision_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Jobs inserted into the pending set since the last invoked decide
+    /// (see [`PendingSet::delta_inserted`]).
+    pub fn delta_inserted(&self) -> &'a [JobId] {
+        self.pending.delta_inserted()
+    }
+
+    /// Jobs removed from the pending set since the last invoked decide
+    /// (see [`PendingSet::delta_removed`]).
+    pub fn delta_removed(&self) -> &'a [JobId] {
+        self.pending.delta_removed()
     }
 
     /// True when edge `j`'s computing unit is currently up.
@@ -307,6 +387,52 @@ mod tests {
         assert_eq!(set.len(), 2);
         set.clear();
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn delta_tracks_membership_changes_between_clears() {
+        let mut set = PendingSet::new();
+        set.insert(Time::new(1.0), JobId(4));
+        set.insert(Time::new(2.0), JobId(7));
+        assert_eq!(set.delta_inserted(), &[JobId(4), JobId(7)]);
+        assert!(set.delta_removed().is_empty());
+        // No-op insert/remove leave the delta alone.
+        set.insert(Time::new(1.0), JobId(4));
+        set.remove(Time::new(9.0), JobId(1));
+        assert_eq!(set.delta_inserted(), &[JobId(4), JobId(7)]);
+        assert!(set.delta_removed().is_empty());
+
+        set.clear_delta();
+        assert!(set.delta_inserted().is_empty());
+        set.remove(Time::new(2.0), JobId(7));
+        assert_eq!(set.delta_removed(), &[JobId(7)]);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![JobId(4)]);
+
+        // Equality ignores the delta: same membership, different history.
+        let mut other = PendingSet::new();
+        other.insert(Time::new(1.0), JobId(4));
+        other.clear_delta();
+        assert_eq!(set, other);
+
+        set.clear();
+        assert!(set.delta_removed().is_empty() && set.delta_inserted().is_empty());
+    }
+
+    #[test]
+    fn view_exposes_epoch_and_delta() {
+        let (inst, states) = fixture();
+        let mut pending = PendingSet::from_states(&inst, &states);
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        assert_eq!(view.decision_epoch(), 0);
+        {
+            let view = SimView::new(&inst, Time::ZERO, &states, &pending).with_epoch(17);
+            assert_eq!(view.decision_epoch(), 17);
+            assert_eq!(view.delta_inserted(), &[JobId(0)]);
+            assert!(view.delta_removed().is_empty());
+        }
+        pending.clear_delta();
+        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        assert!(view.delta_inserted().is_empty());
     }
 
     #[test]

@@ -102,9 +102,19 @@ impl<E: Eq> EventQueue<E> {
 
     /// Removes and returns the next event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.pop_ranked().map(|(t, _, payload)| (t, payload))
+    }
+
+    /// Removes and returns the next event as `(time, rank, payload)`.
+    ///
+    /// Exposing the rank lets callers classify the event without matching
+    /// on the payload — e.g. the simulation engine tags which rank classes
+    /// are decision-relevant (can change a scheduling decision) when
+    /// maintaining its decision epoch.
+    pub fn pop_ranked(&mut self) -> Option<(Time, u8, E)> {
         let e = self.heap.pop()?;
         self.popped_until = e.time;
-        Some((e.time, e.payload))
+        Some((e.time, e.rank, e.payload))
     }
 
     /// Removes every event scheduled at (approximately) the same instant as
@@ -163,6 +173,16 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "first");
         assert_eq!(q.pop().unwrap().1, "second");
         assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn pop_ranked_exposes_the_rank() {
+        let mut q = EventQueue::new();
+        q.push(Time::new(1.0), 2, "release");
+        q.push(Time::new(1.0), 0, "boundary");
+        assert_eq!(q.pop_ranked(), Some((Time::new(1.0), 0, "boundary")));
+        assert_eq!(q.pop_ranked(), Some((Time::new(1.0), 2, "release")));
+        assert_eq!(q.pop_ranked(), None);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! - `bench-check` — re-run the same suite and compare each mean
 //!   against the committed baseline. Fails (exit 1) when any benchmark
 //!   regressed by more than the tolerance (default 25%). Writes a
-//!   markdown report for CI artifact upload.
+//!   markdown report for CI artifact upload, and appends it to
+//!   `$GITHUB_STEP_SUMMARY` when set so the delta table shows up on the
+//!   GitHub Actions job summary page.
 //!
 //! Both tasks accept `--window-ms N` (per-bench measurement window,
 //! default 150 — the "quick" profile used by the CI smoke gate; use a
@@ -319,6 +321,28 @@ fn render_report(
     (md, failed)
 }
 
+/// On GitHub Actions, surfaces `report` on the job's summary page by
+/// appending it to the file named by `GITHUB_STEP_SUMMARY` (the file
+/// aggregates every step's summary, hence append). A no-op when the
+/// variable is unset or empty (local runs).
+fn append_step_summary(report: &str) {
+    let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if summary.is_empty() {
+        return;
+    }
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&summary)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, report.as_bytes()));
+    match result {
+        Ok(()) => eprintln!("report appended to GITHUB_STEP_SUMMARY ({summary})"),
+        Err(e) => eprintln!("warning: cannot append to GITHUB_STEP_SUMMARY={summary}: {e}"),
+    }
+}
+
 fn bench_check(opts: &Options) -> Result<bool, String> {
     let root = repo_root();
     let baseline_path = root.join(BASELINE_FILE);
@@ -347,6 +371,8 @@ fn bench_check(opts: &Options) -> Result<bool, String> {
     }
     std::fs::write(&report_path, &report).map_err(|e| format!("writing report: {e}"))?;
     eprintln!("report written to {}", report_path.display());
+
+    append_step_summary(&report);
 
     if failed {
         eprintln!(
@@ -411,6 +437,24 @@ mod tests {
         assert!(report.contains("REGRESSED"));
         assert!(report.contains("MISSING"));
         assert!(report.contains("**FAIL**"));
+    }
+
+    #[test]
+    fn step_summary_appends_to_the_named_file() {
+        let dir = std::env::temp_dir().join(format!("xtask-summary-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("summary.md");
+        std::fs::write(&path, "# earlier step\n").unwrap();
+        // Safety note: test-local env mutation; no other xtask test reads
+        // GITHUB_STEP_SUMMARY.
+        std::env::set_var("GITHUB_STEP_SUMMARY", &path);
+        append_step_summary("# Bench regression report\n");
+        std::env::set_var("GITHUB_STEP_SUMMARY", "");
+        append_step_summary("must not crash when unset/empty");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "# earlier step\n# Bench regression report\n");
+        std::env::remove_var("GITHUB_STEP_SUMMARY");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
