@@ -27,7 +27,12 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
+    // One slot per trial, each behind its own lock: workers write disjoint
+    // indices, so a whole-vector mutex would serialize nothing but still
+    // contend on every store. Per-slot cells keep stores contention-free
+    // (the work counter is the only shared atomic on the hot path) while
+    // preserving index order.
+    let slots: Vec<Mutex<Option<T>>> = (0..trials).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -37,16 +42,18 @@ where
                     break;
                 }
                 let value = f(i);
-                results.lock().expect("runner mutex poisoned")[i] = Some(value);
+                *slots[i].lock().expect("runner slot poisoned") = Some(value);
             });
         }
     });
 
-    results
-        .into_inner()
-        .expect("runner mutex poisoned")
+    slots
         .into_iter()
-        .map(|v| v.expect("every trial index was produced"))
+        .map(|cell| {
+            cell.into_inner()
+                .expect("runner slot poisoned")
+                .expect("every trial index was produced")
+        })
         .collect()
 }
 
@@ -88,6 +95,17 @@ mod tests {
     fn single_thread_and_zero_trials() {
         assert_eq!(run_indexed(5, 1, |i| i), vec![0, 1, 2, 3, 4]);
         assert!(run_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn slow_early_trials_do_not_scramble_order() {
+        // Earlier indices finish *after* later ones (reverse-staggered
+        // sleeps), so any ordering bug in the slot writes would surface.
+        let out = run_indexed(16, 8, |i| {
+            std::thread::sleep(std::time::Duration::from_millis((16 - i) as u64));
+            i * 3
+        });
+        assert_eq!(out, (0..16).map(|i| i * 3).collect::<Vec<_>>());
     }
 
     #[test]

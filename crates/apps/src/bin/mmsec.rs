@@ -10,31 +10,34 @@
 //! mmsec compare --instance inst.txt
 //! ```
 
+use mmsec_apps::cli::{fail, CliError};
+use mmsec_apps::serve::{serve, ServeConfig};
 use mmsec_core::PolicyKind;
 use mmsec_platform::obs::{ChromeTraceWriter, Fanout, MetricsRecorder, Shared};
 use mmsec_platform::{
-    gantt, simulate, simulate_observed, simulate_with_faults, simulate_with_faults_observed,
-    validate, FaultConfig, GanttOptions, Instance, StretchReport, Target,
+    gantt, validate, FaultConfig, GanttOptions, Instance, Simulation, StretchReport, Target,
 };
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 use std::collections::HashMap;
-use std::process::exit;
+use std::io::{BufReader, Write};
 
 fn usage() -> ! {
-    eprintln!(
+    fail(CliError::Usage(format!(
         "usage:\n  mmsec gen random --n N [--ccr X] [--load X] [--seed N] [--out FILE]\n  \
          mmsec gen kang --n N [--edges N] [--load X] [--seed N] [--out FILE]\n  \
          mmsec run --instance FILE [--policy NAME] [--seed N] [--gantt] [--per-job]\n    \
          [--export FILE.csv] [--svg FILE.svg] [--trace FILE.json] [--metrics FILE.json]\n    \
          [--fault-mtbf SECS [--fault-mttr SECS] [--fault-seed N]] [-v]\n  \
-         mmsec compare --instance FILE\n\npolicies: {}",
+         mmsec compare --instance FILE\n  \
+         mmsec serve --instance FILE [--policy NAME] [--seed N] [--input FILE]\n    \
+         [--speedup X] [--max-pending N] [--heartbeat SECS]\n    \
+         [--trace FILE.json] [--metrics FILE.json]\n\npolicies: {}",
         PolicyKind::ALL
             .iter()
             .map(|k| k.name())
             .collect::<Vec<_>>()
             .join(", ")
-    );
-    exit(2);
+    )));
 }
 
 /// Parses `--flag [value]` pairs, rejecting anything not in `allowed`
@@ -59,15 +62,14 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> HashMap<String, String> {
             }
         };
         if !allowed.contains(&key) {
-            eprintln!(
+            fail(CliError::Usage(format!(
                 "unknown flag --{key}\naccepted flags: {}",
                 allowed
                     .iter()
                     .map(|f| format!("--{f}"))
                     .collect::<Vec<_>>()
                     .join(", ")
-            );
-            exit(2);
+            )));
         }
         if SWITCHES.contains(&key) {
             flags.insert(key.to_string(), "true".to_string());
@@ -78,10 +80,7 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> HashMap<String, String> {
                     flags.insert(key.to_string(), v.clone());
                     i += 2;
                 }
-                _ => {
-                    eprintln!("flag --{key} requires a value");
-                    exit(2);
-                }
+                _ => fail(CliError::Usage(format!("flag --{key} requires a value"))),
             }
         }
     }
@@ -91,10 +90,9 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> HashMap<String, String> {
 fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
     match flags.get(key) {
         None => default,
-        Some(v) => v.parse().unwrap_or_else(|_| {
-            eprintln!("bad value for --{key}: {v}");
-            exit(2)
-        }),
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| fail(CliError::Usage(format!("bad value for --{key}: {v}")))),
     }
 }
 
@@ -102,14 +100,9 @@ fn load_instance(flags: &HashMap<String, String>) -> Instance {
     let Some(path) = flags.get("instance") else {
         usage();
     };
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        exit(1)
-    });
-    Instance::from_text(&text).unwrap_or_else(|e| {
-        eprintln!("cannot parse {path}: {e}");
-        exit(1)
-    })
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(CliError::io(path, e)));
+    Instance::from_text(&text)
+        .unwrap_or_else(|e| fail(CliError::Validation(format!("cannot parse {path}: {e}"))))
 }
 
 fn main() {
@@ -140,10 +133,7 @@ fn main() {
             let text = inst.to_text();
             match flags.get("out") {
                 Some(path) => {
-                    std::fs::write(path, text).unwrap_or_else(|e| {
-                        eprintln!("cannot write {path}: {e}");
-                        exit(1)
-                    });
+                    std::fs::write(path, text).unwrap_or_else(|e| fail(CliError::io(path, e)));
                     eprintln!(
                         "wrote {} jobs on {} edges / {} clouds to {path}",
                         inst.num_jobs(),
@@ -176,8 +166,7 @@ fn main() {
             let inst = load_instance(&flags);
             let policy_name = flags.get("policy").map(String::as_str).unwrap_or("ssf-edf");
             let Some(kind) = PolicyKind::parse(policy_name) else {
-                eprintln!("unknown policy {policy_name}");
-                exit(2);
+                fail(CliError::Usage(format!("unknown policy {policy_name}")));
             };
             let mut policy = kind.build(get(&flags, "seed", 0));
             let verbose = flags.contains_key("verbose");
@@ -191,15 +180,17 @@ fn main() {
             if !flags.contains_key("fault-mtbf")
                 && (flags.contains_key("fault-mttr") || flags.contains_key("fault-seed"))
             {
-                eprintln!("--fault-mttr/--fault-seed require --fault-mtbf");
-                exit(2);
+                fail(CliError::Usage(
+                    "--fault-mttr/--fault-seed require --fault-mtbf".into(),
+                ));
             }
             let fault_plan = flags.contains_key("fault-mtbf").then(|| {
                 let mtbf: f64 = get(&flags, "fault-mtbf", 0.0);
                 let mttr: f64 = get(&flags, "fault-mttr", 10.0);
                 if !(mtbf.is_finite() && mtbf > 0.0 && mttr.is_finite() && mttr > 0.0) {
-                    eprintln!("--fault-mtbf/--fault-mttr must be positive seconds");
-                    exit(2);
+                    fail(CliError::Usage(
+                        "--fault-mtbf/--fault-mttr must be positive seconds".into(),
+                    ));
                 }
                 let fault_seed: u64 = get(&flags, "fault-seed", 1);
                 let horizon = mmsec_bench::experiments::fault_horizon(&inst);
@@ -232,33 +223,38 @@ fn main() {
                 policy.attach_observer(shared_fan.handle());
                 let mut engine_side = shared_fan.clone();
                 match &fault_plan {
-                    Some(plan) => simulate_with_faults_observed(
-                        &inst,
-                        policy.as_mut(),
-                        engine_opts,
-                        plan,
-                        &mut engine_side,
-                    ),
-                    None => {
-                        simulate_observed(&inst, policy.as_mut(), engine_opts, &mut engine_side)
-                    }
+                    Some(plan) => Simulation::of(&inst)
+                        .policy(policy.as_mut())
+                        .options(engine_opts)
+                        .faults(plan)
+                        .observer(&mut engine_side)
+                        .run(),
+                    None => Simulation::of(&inst)
+                        .policy(policy.as_mut())
+                        .options(engine_opts)
+                        .observer(&mut engine_side)
+                        .run(),
                 }
             } else {
                 match &fault_plan {
-                    Some(plan) => simulate_with_faults(&inst, policy.as_mut(), engine_opts, plan),
-                    None => mmsec_platform::simulate_with(&inst, policy.as_mut(), engine_opts),
+                    Some(plan) => Simulation::of(&inst)
+                        .policy(policy.as_mut())
+                        .options(engine_opts)
+                        .faults(plan)
+                        .run(),
+                    None => Simulation::of(&inst)
+                        .policy(policy.as_mut())
+                        .options(engine_opts)
+                        .run(),
                 }
             }
-            .unwrap_or_else(|e| {
-                eprintln!("simulation failed: {e}");
-                exit(1)
-            });
+            .unwrap_or_else(|e| fail(CliError::Failure(format!("simulation failed: {e}"))));
             if let Err(violations) = validate(&inst, &out.schedule) {
-                eprintln!("INVALID schedule ({} violations):", violations.len());
+                let mut msg = format!("INVALID schedule ({} violations):", violations.len());
                 for v in violations.iter().take(10) {
-                    eprintln!("  {v}");
+                    msg.push_str(&format!("\n  {v}"));
                 }
-                exit(1);
+                fail(CliError::Validation(msg));
             }
             let report = StretchReport::new(&inst, &out.schedule);
             let offloaded = out
@@ -317,26 +313,17 @@ fn main() {
             }
             if let Some(path) = flags.get("metrics") {
                 let doc = metrics.with(|m| m.to_json_string());
-                std::fs::write(path, doc).unwrap_or_else(|e| {
-                    eprintln!("cannot write {path}: {e}");
-                    exit(1)
-                });
+                std::fs::write(path, doc).unwrap_or_else(|e| fail(CliError::io(path, e)));
                 eprintln!("wrote run metrics to {path}");
             }
             if let Some(path) = flags.get("trace") {
                 let doc = chrome.with(|c| c.to_json_string());
-                std::fs::write(path, doc).unwrap_or_else(|e| {
-                    eprintln!("cannot write {path}: {e}");
-                    exit(1)
-                });
+                std::fs::write(path, doc).unwrap_or_else(|e| fail(CliError::io(path, e)));
                 eprintln!("wrote Chrome trace to {path} (open at https://ui.perfetto.dev)");
             }
             if let Some(path) = flags.get("export") {
                 let csv = mmsec_platform::export::schedule_to_csv(&inst, &out.schedule);
-                std::fs::write(path, csv).unwrap_or_else(|e| {
-                    eprintln!("cannot write {path}: {e}");
-                    exit(1)
-                });
+                std::fs::write(path, csv).unwrap_or_else(|e| fail(CliError::io(path, e)));
                 eprintln!("exported activity trace to {path}");
             }
             if let Some(path) = flags.get("svg") {
@@ -345,10 +332,7 @@ fn main() {
                     &out.schedule,
                     mmsec_platform::svg::SvgOptions::default(),
                 );
-                std::fs::write(path, svg).unwrap_or_else(|e| {
-                    eprintln!("cannot write {path}: {e}");
-                    exit(1)
-                });
+                std::fs::write(path, svg).unwrap_or_else(|e| fail(CliError::io(path, e)));
                 eprintln!("rendered SVG gantt to {path}");
             }
         }
@@ -361,13 +345,12 @@ fn main() {
                     continue;
                 }
                 let mut policy = kind.build(0);
-                let out = simulate(&inst, policy.as_mut()).unwrap_or_else(|e| {
-                    eprintln!("{kind} failed: {e}");
-                    exit(1)
-                });
+                let out = Simulation::of(&inst)
+                    .policy(policy.as_mut())
+                    .run()
+                    .unwrap_or_else(|e| fail(CliError::Failure(format!("{kind} failed: {e}"))));
                 if validate(&inst, &out.schedule).is_err() {
-                    eprintln!("{kind}: INVALID schedule");
-                    exit(1);
+                    fail(CliError::Validation(format!("{kind}: INVALID schedule")));
                 }
                 let r = StretchReport::new(&inst, &out.schedule);
                 println!(
@@ -379,6 +362,91 @@ fn main() {
                     out.stats.decide_time
                 );
             }
+        }
+        "serve" => {
+            let flags = parse_flags(
+                &args[1..],
+                &[
+                    "instance",
+                    "policy",
+                    "seed",
+                    "input",
+                    "speedup",
+                    "max-pending",
+                    "heartbeat",
+                    "trace",
+                    "metrics",
+                ],
+            );
+            let inst = load_instance(&flags);
+            let policy_name = flags.get("policy").map(String::as_str).unwrap_or("ssf-edf");
+            let Some(kind) = PolicyKind::parse(policy_name) else {
+                fail(CliError::Usage(format!("unknown policy {policy_name}")));
+            };
+            let cfg = ServeConfig {
+                policy: kind,
+                seed: get(&flags, "seed", 0),
+                heartbeat: get(&flags, "heartbeat", 10.0),
+                max_pending: flags
+                    .contains_key("max-pending")
+                    .then(|| get(&flags, "max-pending", 0usize)),
+                speedup: flags
+                    .contains_key("speedup")
+                    .then(|| get(&flags, "speedup", 1.0)),
+                ..ServeConfig::default()
+            };
+
+            // Observability sinks, exactly as in `run`.
+            let metrics = Shared::new(MetricsRecorder::new());
+            let chrome = Shared::new(ChromeTraceWriter::new());
+            let mut fan = Fanout::new();
+            if flags.contains_key("metrics") {
+                fan.push(Box::new(metrics.clone()));
+            }
+            if flags.contains_key("trace") {
+                fan.push(Box::new(chrome.clone()));
+            }
+            let observing = !fan.is_empty();
+            let mut shared_fan = Shared::new(fan);
+            let observer: Option<&mut dyn mmsec_platform::Observer> =
+                observing.then_some(&mut shared_fan as _);
+
+            let stdout = std::io::stdout();
+            let mut out = std::io::BufWriter::new(stdout.lock());
+            let result = match flags.get("input") {
+                Some(path) => {
+                    let file =
+                        std::fs::File::open(path).unwrap_or_else(|e| fail(CliError::io(path, e)));
+                    serve(&inst, &cfg, BufReader::new(file), &mut out, observer)
+                }
+                None => {
+                    let stdin = std::io::stdin();
+                    serve(&inst, &cfg, stdin.lock(), &mut out, observer)
+                }
+            };
+            out.flush()
+                .unwrap_or_else(|e| fail(CliError::Io(format!("stdout: {e}"))));
+            let summary = result.unwrap_or_else(|e| fail(e));
+            if let Some(path) = flags.get("metrics") {
+                let doc = metrics.with(|m| m.to_json_string());
+                std::fs::write(path, doc).unwrap_or_else(|e| fail(CliError::io(path, e)));
+                eprintln!("wrote run metrics to {path}");
+            }
+            if let Some(path) = flags.get("trace") {
+                let doc = chrome.with(|c| c.to_json_string());
+                std::fs::write(path, doc).unwrap_or_else(|e| fail(CliError::io(path, e)));
+                eprintln!("wrote Chrome trace to {path} (open at https://ui.perfetto.dev)");
+            }
+            eprintln!(
+                "served {} line(s): {} admitted, {} shed, {} rejected, {} completed, \
+                 max stretch {:.4}",
+                summary.lines,
+                summary.admitted,
+                summary.shed,
+                summary.rejected,
+                summary.completed,
+                summary.max_stretch
+            );
         }
         _ => usage(),
     }

@@ -16,6 +16,7 @@
 //!   all                       everything above
 //! ```
 
+use mmsec_apps::cli::{fail, CliError};
 use mmsec_bench::experiments;
 use mmsec_bench::hardness::verify_reductions;
 use mmsec_bench::{Figure, Scale};
@@ -23,13 +24,13 @@ use std::io::Write;
 use std::path::PathBuf;
 
 fn usage() -> ! {
-    eprintln!(
+    fail(CliError::Usage(
         "usage: repro <fig2a|fig2b|fig2c|fig2d|exec-times|hardness|ablation-alpha|\
          ablation-ports|ablation-preempt|ablation-arrivals|ext-hetero|ext-windows|\
          robustness|mean-vs-max|bender-competitive|all> \
          [--scale smoke|quick|standard|full] [--seed N] [--csv DIR] [--metrics-dir DIR]"
-    );
-    std::process::exit(2);
+            .into(),
+    ));
 }
 
 struct Args {
@@ -79,14 +80,16 @@ fn parse_args() -> Args {
 fn emit(fig: &Figure, csv_dir: &Option<PathBuf>, metrics_dir: &Option<PathBuf>) {
     println!("{}", fig.to_markdown());
     if let Some(dir) = csv_dir {
-        std::fs::create_dir_all(dir).expect("create csv dir");
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fail(CliError::io(&dir.display().to_string(), e)));
         let file = dir.join(format!(
             "{}.csv",
             fig.id.replace('/', "_").replace(' ', "-")
         ));
-        let mut f = std::fs::File::create(&file).expect("create csv file");
+        let path = file.display().to_string();
+        let mut f = std::fs::File::create(&file).unwrap_or_else(|e| fail(CliError::io(&path, e)));
         f.write_all(fig.table.to_csv().as_bytes())
-            .expect("write csv");
+            .unwrap_or_else(|e| fail(CliError::io(&path, e)));
         eprintln!("[csv] wrote {}", file.display());
     }
     if let Some(dir) = metrics_dir {
@@ -94,13 +97,14 @@ fn emit(fig: &Figure, csv_dir: &Option<PathBuf>, metrics_dir: &Option<PathBuf>) 
         // belongs to this one.
         let points = mmsec_bench::drain_point_metrics();
         if !points.is_empty() {
-            std::fs::create_dir_all(dir).expect("create metrics dir");
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| fail(CliError::io(&dir.display().to_string(), e)));
             let file = dir.join(format!(
                 "{}.metrics.json",
                 fig.id.replace('/', "_").replace(' ', "-")
             ));
             std::fs::write(&file, mmsec_bench::point_metrics_to_json(&points))
-                .expect("write metrics json");
+                .unwrap_or_else(|e| fail(CliError::io(&file.display().to_string(), e)));
             eprintln!("[metrics] wrote {}", file.display());
         }
     }

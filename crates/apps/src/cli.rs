@@ -1,0 +1,86 @@
+//! Shared command-line failure handling for the workspace binaries
+//! (`mmsec`, `repro`).
+//!
+//! Every failure path funnels into [`CliError`], which fixes the exit
+//! codes scripts can rely on:
+//!
+//! | code | meaning                                    |
+//! |------|--------------------------------------------|
+//! | 1    | runtime failure (stalled run, event limit) |
+//! | 2    | usage error (bad flags, unknown command)   |
+//! | 3    | I/O error (missing or unwritable file)     |
+//! | 4    | validation error (bad input data, invalid schedule) |
+
+use std::fmt;
+
+/// A fatal CLI failure with a stable exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation: unknown command, unknown flag, missing value.
+    /// Exit code 2.
+    Usage(String),
+    /// A file could not be read or written. Exit code 3.
+    Io(String),
+    /// Input parsed but is semantically invalid (bad instance, bad job,
+    /// invalid schedule). Exit code 4.
+    Validation(String),
+    /// The run itself failed (stalled policy, event-limit livelock).
+    /// Exit code 1.
+    Failure(String),
+}
+
+impl CliError {
+    /// The process exit code for this error class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Failure(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Validation(_) => 4,
+        }
+    }
+
+    /// Convenience constructor for file I/O failures.
+    pub fn io(path: &str, err: impl fmt::Display) -> CliError {
+        CliError::Io(format!("{path}: {err}"))
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m)
+            | CliError::Io(m)
+            | CliError::Validation(m)
+            | CliError::Failure(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Prints the error to stderr and exits with its stable code.
+pub fn fail(err: CliError) -> ! {
+    eprintln!("{err}");
+    std::process::exit(err.exit_code());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_stable() {
+        assert_eq!(CliError::Failure("x".into()).exit_code(), 1);
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Io("x".into()).exit_code(), 3);
+        assert_eq!(CliError::Validation("x".into()).exit_code(), 4);
+    }
+
+    #[test]
+    fn io_helper_includes_the_path() {
+        let e = CliError::io("inst.txt", "no such file");
+        assert_eq!(e.to_string(), "inst.txt: no such file");
+        assert_eq!(e.exit_code(), 3);
+    }
+}

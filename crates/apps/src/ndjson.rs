@@ -1,0 +1,357 @@
+//! Minimal newline-delimited JSON support for `mmsec serve`.
+//!
+//! The serving protocol only ever exchanges *flat* JSON objects — string
+//! or numeric fields, no nesting, no arrays — so this module hand-rolls
+//! exactly that subset instead of pulling in a serialization framework:
+//! [`parse_object`] reads one `{"k": v, ...}` line, [`ObjWriter`] builds
+//! one. Unknown fields are preserved by the parser so callers can choose
+//! to ignore or reject them.
+
+use std::fmt::Write as _;
+
+/// A scalar JSON value (the protocol never nests).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always parsed as `f64`).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+}
+
+impl Value {
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex}"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are outside the protocol's
+                            // needs; reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or(format!("\\u{hex} is not a scalar value"))?;
+                            out.push(c);
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the raw byte run through.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && !matches!(self.bytes[end], b'"' | b'\\') {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+                {
+                    self.pos += 1;
+                }
+                let text =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number run");
+                let x: f64 = text.parse().map_err(|_| format!("bad number {text:?}"))?;
+                if !x.is_finite() {
+                    return Err(format!("non-finite number {text:?}"));
+                }
+                Ok(Value::Num(x))
+            }
+            Some(b'{' | b'[') => Err("nested values are not supported".into()),
+            _ => Err(format!("expected a value at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("expected {lit} at byte {}", self.pos))
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"key": scalar, ...}`). Duplicate keys
+/// keep their last value, matching common JSON parser behavior.
+pub fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'{')?;
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            let val = p.value()?;
+            if let Some(slot) = fields.iter_mut().find(|(k, _)| *k == key) {
+                slot.1 = val;
+            } else {
+                fields.push((key, val));
+            }
+            match p.peek() {
+                Some(b',') => p.pos += 1,
+                Some(b'}') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", p.pos)),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(fields)
+}
+
+/// Escapes `s` as JSON string *contents* (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds one flat JSON object incrementally.
+#[derive(Debug)]
+pub struct ObjWriter {
+    buf: String,
+    first: bool,
+}
+
+impl ObjWriter {
+    /// Starts an object with a `"type"` discriminator field — every
+    /// record in the serving protocol leads with one.
+    pub fn typed(kind: &str) -> Self {
+        let mut w = ObjWriter {
+            buf: String::from("{"),
+            first: true,
+        };
+        w.str_field("type", kind);
+        w
+    }
+
+    fn sep(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{}\":", escape(key));
+    }
+
+    /// Appends a numeric field. Non-finite values serialize as `null`
+    /// (JSON has no NaN/inf).
+    pub fn num_field(&mut self, key: &str, x: f64) -> &mut Self {
+        self.sep(key);
+        if x.is_finite() {
+            // Shortest roundtrip form, integer-like values without ".0".
+            if x == x.trunc() && x.abs() < 1e15 {
+                let _ = write!(self.buf, "{}", x as i64);
+            } else {
+                let _ = write!(self.buf, "{x}");
+            }
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str_field(&mut self, key: &str, s: &str) -> &mut Self {
+        self.sep(key);
+        let _ = write!(self.buf, "\"{}\"", escape(s));
+        self
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_flat_object() {
+        let got =
+            parse_object(r#"{"origin": 2, "release": 1.5, "note": "a\"b", "ok": true}"#).unwrap();
+        assert_eq!(got[0], ("origin".into(), Value::Num(2.0)));
+        assert_eq!(got[1], ("release".into(), Value::Num(1.5)));
+        assert_eq!(got[2], ("note".into(), Value::Str("a\"b".into())));
+        assert_eq!(got[3], ("ok".into(), Value::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_object("").is_err());
+        assert!(parse_object("{").is_err());
+        assert!(parse_object(r#"{"a": }"#).is_err());
+        assert!(parse_object(r#"{"a": 1} trailing"#).is_err());
+        assert!(parse_object(r#"{"a": {"nested": 1}}"#).is_err());
+        assert!(
+            parse_object(r#"{"a": 1e999}"#).is_err(),
+            "inf must be rejected"
+        );
+        assert!(parse_object("[1, 2]").is_err());
+    }
+
+    #[test]
+    fn empty_object_is_fine() {
+        assert!(parse_object("{}").unwrap().is_empty());
+        assert!(parse_object(" { } ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last_value() {
+        let got = parse_object(r#"{"a": 1, "a": 2}"#).unwrap();
+        assert_eq!(got, vec![("a".into(), Value::Num(2.0))]);
+    }
+
+    #[test]
+    fn writer_roundtrips_through_the_parser() {
+        let mut w = ObjWriter::typed("completion");
+        w.num_field("job", 3.0)
+            .num_field("stretch", 1.25)
+            .str_field("target", "cloud:1")
+            .str_field("weird", "a\"b\\c\nd");
+        let line = w.finish();
+        let got = parse_object(&line).unwrap();
+        assert_eq!(got[0].1, Value::Str("completion".into()));
+        assert_eq!(got[1].1, Value::Num(3.0));
+        assert_eq!(got[2].1, Value::Num(1.25));
+        assert_eq!(got[3].1, Value::Str("cloud:1".into()));
+        assert_eq!(got[4].1, Value::Str("a\"b\\c\nd".into()));
+    }
+
+    #[test]
+    fn integers_serialize_without_a_decimal_point() {
+        let mut w = ObjWriter::typed("t");
+        w.num_field("n", 42.0);
+        assert_eq!(w.finish(), r#"{"type":"t","n":42}"#);
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let got = parse_object(r#"{"s": "caf\u00e9"}"#).unwrap();
+        assert_eq!(got[0].1, Value::Str("café".into()));
+        // Raw multi-byte UTF-8 passes through untouched too.
+        let got = parse_object(r#"{"s": "café"}"#).unwrap();
+        assert_eq!(got[0].1, Value::Str("café".into()));
+    }
+}

@@ -1,0 +1,382 @@
+//! `mmsec serve` — drive a [`Session`] from a newline-delimited JSON job
+//! stream (see `docs/serving.md` for the protocol).
+//!
+//! Input: one JSON object per line, each a job submission:
+//!
+//! ```text
+//! {"origin": 0, "release": 1.5, "work": 2.0, "up": 0.5, "dn": 0.25}
+//! ```
+//!
+//! `release` is optional (defaults to the current virtual time); `up` and
+//! `dn` default to 0. Output: one JSON record per line — `admit` / `shed`
+//! / `reject` for each input line, `completion` per finished job with its
+//! stretch, periodic `heartbeat` snapshots at a fixed virtual-time
+//! cadence, and one final `summary`. Heartbeat timestamps are strictly
+//! monotone: the loop always advances the session to the next heartbeat
+//! boundary *before* admitting later arrivals.
+//!
+//! The core ([`serve`]) is generic over reader/writer so tests can run it
+//! in memory; the binary hands it stdin/stdout (or `--input FILE`,
+//! replayed in wall time with `--speedup`).
+
+use crate::cli::CliError;
+use crate::ndjson::{parse_object, ObjWriter, Value};
+use mmsec_core::PolicyKind;
+use mmsec_platform::{
+    CompletionRecord, EdgeId, EngineOptions, Instance, Job, Observer, Session, SessionStatus,
+    Simulation,
+};
+use mmsec_sim::Time;
+use std::io::{BufRead, Write};
+
+/// Serving-loop knobs (the binary fills these from flags).
+pub struct ServeConfig {
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Seed for seeded policies.
+    pub seed: u64,
+    /// Engine options.
+    pub engine: EngineOptions,
+    /// Emit a `heartbeat` record every this many virtual seconds.
+    pub heartbeat: f64,
+    /// Bounded admission: shed submissions that would push the number of
+    /// unfinished jobs beyond this. `None` = unbounded.
+    pub max_pending: Option<usize>,
+    /// Wall-clock pacing for file replay: sleep `(Δrelease)/speedup`
+    /// between arrivals. `None` = as fast as possible (the only mode used
+    /// in tests and CI).
+    pub speedup: Option<f64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            policy: PolicyKind::SsfEdf,
+            seed: 0,
+            engine: EngineOptions::default(),
+            heartbeat: 10.0,
+            max_pending: None,
+            speedup: None,
+        }
+    }
+}
+
+/// Totals returned by [`serve`] (also emitted as the final `summary`
+/// record).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeSummary {
+    /// Lines read from the input stream.
+    pub lines: usize,
+    /// Jobs admitted into the session.
+    pub admitted: usize,
+    /// Submissions dropped by bounded admission.
+    pub shed: usize,
+    /// Lines rejected as malformed or invalid.
+    pub rejected: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Maximum stretch over completed jobs.
+    pub max_stretch: f64,
+}
+
+/// One parsed submission line.
+struct SubmitRequest {
+    origin: usize,
+    release: Option<f64>,
+    work: f64,
+    up: f64,
+    dn: f64,
+}
+
+/// Parses a submission line, reporting protocol violations as strings
+/// (the loop turns them into `reject` records, not fatal errors).
+fn parse_submit(line: &str) -> Result<SubmitRequest, String> {
+    let fields = parse_object(line)?;
+    let mut req = SubmitRequest {
+        origin: 0,
+        release: None,
+        work: f64::NAN,
+        up: 0.0,
+        dn: 0.0,
+    };
+    let mut saw_origin = false;
+    for (key, value) in &fields {
+        let num = |v: &Value| v.as_num().ok_or(format!("field {key:?} must be a number"));
+        match key.as_str() {
+            "origin" => {
+                let x = num(value)?;
+                if x < 0.0 || x.fract() != 0.0 {
+                    return Err(format!("origin must be a non-negative integer, got {x}"));
+                }
+                req.origin = x as usize;
+                saw_origin = true;
+            }
+            "release" => req.release = Some(num(value)?),
+            "work" => req.work = num(value)?,
+            "up" => req.up = num(value)?,
+            "dn" => req.dn = num(value)?,
+            // Tolerated so producers can tag lines for their own use.
+            "type" | "id" | "tag" => {}
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    if !saw_origin {
+        return Err("missing field \"origin\"".into());
+    }
+    if !(req.work > 0.0 && req.work.is_finite()) {
+        return Err("field \"work\" must be a positive number".into());
+    }
+    if req.up < 0.0 || req.dn < 0.0 {
+        return Err("fields \"up\"/\"dn\" must be ≥ 0".into());
+    }
+    if req.release.is_some_and(|r| r < 0.0) {
+        return Err("field \"release\" must be ≥ 0".into());
+    }
+    Ok(req)
+}
+
+fn write_line(out: &mut impl Write, line: String) -> Result<(), CliError> {
+    writeln!(out, "{line}").map_err(|e| CliError::Io(format!("output stream: {e}")))
+}
+
+fn emit_completions(
+    session: &mut Session<'_>,
+    out: &mut impl Write,
+    summary: &mut ServeSummary,
+) -> Result<(), CliError> {
+    for c in session.take_completions() {
+        summary.completed += 1;
+        summary.max_stretch = summary.max_stretch.max(c.stretch);
+        write_line(out, completion_record(&c))?;
+    }
+    Ok(())
+}
+
+fn completion_record(c: &CompletionRecord) -> String {
+    let mut w = ObjWriter::typed("completion");
+    w.num_field("job", c.job.0 as f64)
+        .str_field("target", &c.target.to_string())
+        .num_field("release", c.release.seconds())
+        .num_field("completion", c.completion.seconds())
+        .num_field("response", c.response())
+        .num_field("stretch", c.stretch);
+    w.finish()
+}
+
+fn heartbeat_record(session: &Session<'_>) -> String {
+    let s = session.snapshot();
+    let mut w = ObjWriter::typed("heartbeat");
+    w.num_field("now", s.now.seconds())
+        .num_field("submitted", s.submitted as f64)
+        .num_field("completed", s.completed as f64)
+        .num_field("unfinished", s.unfinished as f64)
+        .num_field("pending", s.pending as f64)
+        .num_field("max_stretch", s.max_stretch)
+        .num_field("mean_stretch", s.mean_stretch)
+        .num_field("events", s.run.events as f64);
+    w.finish()
+}
+
+/// Advances the session to virtual time `target`, emitting a heartbeat at
+/// every multiple of the heartbeat interval crossed on the way. Keeps
+/// heartbeat timestamps strictly monotone regardless of arrival pattern.
+fn advance_to(
+    session: &mut Session<'_>,
+    target: Time,
+    next_beat: &mut f64,
+    beat: f64,
+    out: &mut impl Write,
+    summary: &mut ServeSummary,
+) -> Result<(), CliError> {
+    loop {
+        let stop = if *next_beat < target.seconds() {
+            Time::new(*next_beat)
+        } else {
+            target
+        };
+        let status = session
+            .run_until(stop)
+            .map_err(|e| CliError::Failure(format!("engine: {e}")))?;
+        emit_completions(session, out, summary)?;
+        match status {
+            // Blocked: only a later submission can unblock — hand control
+            // back. Done: an idle session needs no heartbeats.
+            SessionStatus::Blocked | SessionStatus::Done => return Ok(()),
+            SessionStatus::Reached | SessionStatus::Advanced => {}
+        }
+        // Paused exactly at `stop`: beat if this was a heartbeat
+        // boundary (now == next_beat, keeping timestamps strictly
+        // monotone), then continue toward `target`.
+        if *next_beat <= session.now().seconds() {
+            write_line(out, heartbeat_record(session))?;
+            *next_beat += beat;
+        }
+        if session.now() >= target {
+            return Ok(());
+        }
+    }
+}
+
+/// Runs the serving loop: reads NDJSON submissions from `input`, steps a
+/// [`Session`] between arrivals, and writes NDJSON records to `out`.
+///
+/// `inst` provides the platform (its jobs, if any, are pre-submitted as a
+/// warm batch). Per-event observability flows through `observer` exactly
+/// as in a batch run.
+pub fn serve(
+    inst: &Instance,
+    cfg: &ServeConfig,
+    input: impl BufRead,
+    mut out: impl Write,
+    observer: Option<&mut dyn Observer>,
+) -> Result<ServeSummary, CliError> {
+    if !(cfg.heartbeat > 0.0 && cfg.heartbeat.is_finite()) {
+        return Err(CliError::Usage(
+            "--heartbeat must be positive seconds".into(),
+        ));
+    }
+    if cfg.speedup.is_some_and(|x| x <= 0.0 || x.is_nan()) {
+        return Err(CliError::Usage("--speedup must be positive".into()));
+    }
+    let mut policy = cfg.policy.build(cfg.seed);
+    let mut sim = Simulation::of(inst)
+        .policy(policy.as_mut())
+        .options(cfg.engine);
+    if let Some(obs) = observer {
+        sim = sim.observer(obs);
+    }
+    let mut session = sim.session();
+    let mut summary = ServeSummary {
+        admitted: inst.num_jobs(),
+        ..ServeSummary::default()
+    };
+
+    let mut hello = ObjWriter::typed("hello");
+    hello
+        .str_field("policy", cfg.policy.name())
+        .num_field("edges", inst.spec.num_edge() as f64)
+        .num_field("clouds", inst.spec.num_cloud() as f64)
+        .num_field("preloaded", inst.num_jobs() as f64)
+        .num_field("heartbeat", cfg.heartbeat);
+    write_line(&mut out, hello.finish())?;
+
+    let wall_start = std::time::Instant::now();
+    let mut next_beat = cfg.heartbeat;
+    for line in input.lines() {
+        let line = line.map_err(|e| CliError::Io(format!("input stream: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        summary.lines += 1;
+        let seq = summary.lines;
+        let req = match parse_submit(&line) {
+            Ok(req) => req,
+            Err(why) => {
+                summary.rejected += 1;
+                let mut w = ObjWriter::typed("reject");
+                w.num_field("line", seq as f64).str_field("error", &why);
+                write_line(&mut out, w.finish())?;
+                continue;
+            }
+        };
+
+        // Bring virtual time up to the arrival (file replay of a
+        // historical trace), beating on the way.
+        if let Some(release) = req.release {
+            if let Some(speedup) = cfg.speedup {
+                let due = std::time::Duration::from_secs_f64(release.max(0.0) / speedup);
+                if let Some(sleep) = due.checked_sub(wall_start.elapsed()) {
+                    std::thread::sleep(sleep);
+                }
+            }
+            if Time::new(release) > session.now() {
+                advance_to(
+                    &mut session,
+                    Time::new(release),
+                    &mut next_beat,
+                    cfg.heartbeat,
+                    &mut out,
+                    &mut summary,
+                )?;
+            }
+        }
+
+        // Bounded admission: shed (with an explicit record) rather than
+        // queueing without limit.
+        let unfinished = session.snapshot().unfinished;
+        if cfg.max_pending.is_some_and(|cap| unfinished >= cap) {
+            summary.shed += 1;
+            let mut w = ObjWriter::typed("shed");
+            w.num_field("line", seq as f64)
+                .str_field("reason", "max-pending")
+                .num_field("unfinished", unfinished as f64);
+            write_line(&mut out, w.finish())?;
+            continue;
+        }
+
+        let release = req.release.unwrap_or_else(|| session.now().seconds());
+        match session.submit(Job::new(
+            EdgeId(req.origin),
+            release.max(0.0),
+            req.work,
+            req.up,
+            req.dn,
+        )) {
+            Ok(id) => {
+                summary.admitted += 1;
+                let mut w = ObjWriter::typed("admit");
+                w.num_field("line", seq as f64)
+                    .num_field("job", id.0 as f64)
+                    .num_field("release", release);
+                write_line(&mut out, w.finish())?;
+            }
+            Err(e) => {
+                summary.rejected += 1;
+                let mut w = ObjWriter::typed("reject");
+                w.num_field("line", seq as f64)
+                    .str_field("error", &e.to_string());
+                write_line(&mut out, w.finish())?;
+            }
+        }
+    }
+
+    // Input exhausted: run the backlog dry, still beating periodically.
+    loop {
+        let status = session
+            .run_until(Time::new(next_beat))
+            .map_err(|e| CliError::Failure(format!("engine: {e}")))?;
+        emit_completions(&mut session, &mut out, &mut summary)?;
+        match status {
+            SessionStatus::Done => break,
+            SessionStatus::Blocked => {
+                return Err(CliError::Failure(format!(
+                    "stalled at t={} with {} unfinished job(s): the policy \
+                     granted no activity and no event is queued",
+                    session.now(),
+                    session.snapshot().unfinished
+                )));
+            }
+            SessionStatus::Reached => {
+                write_line(&mut out, heartbeat_record(&session))?;
+                next_beat += cfg.heartbeat;
+            }
+            SessionStatus::Advanced => {}
+        }
+    }
+
+    let snap = session.snapshot();
+    summary.max_stretch = summary.max_stretch.max(snap.max_stretch);
+    let mut w = ObjWriter::typed("summary");
+    w.num_field("now", snap.now.seconds())
+        .num_field("lines", summary.lines as f64)
+        .num_field("admitted", summary.admitted as f64)
+        .num_field("shed", summary.shed as f64)
+        .num_field("rejected", summary.rejected as f64)
+        .num_field("completed", snap.completed as f64)
+        .num_field("max_stretch", snap.max_stretch)
+        .num_field("mean_stretch", snap.mean_stretch)
+        .num_field("events", snap.run.events as f64);
+    write_line(&mut out, w.finish())?;
+    summary.completed = snap.completed;
+    Ok(summary)
+}

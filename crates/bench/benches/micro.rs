@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mmsec_core::PolicyKind;
 use mmsec_platform::obs::NullObserver;
 use mmsec_platform::projection::Projection;
-use mmsec_platform::{
-    simulate_observed, simulate_with, EngineOptions, JobState, PendingSet, SimView,
-};
+use mmsec_platform::{JobState, PendingSet, SimView, Simulation};
 use mmsec_sim::{EventQueue, Interval, IntervalSet, Time};
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 
@@ -121,14 +119,18 @@ fn bench_observer_overhead(c: &mut Criterion) {
     c.bench_function("micro/simulate_200_no_observer", |b| {
         b.iter(|| {
             let mut policy = PolicyKind::Srpt.build(1);
-            simulate_with(&inst, policy.as_mut(), EngineOptions::default()).unwrap()
+            Simulation::of(&inst).policy(policy.as_mut()).run().unwrap()
         });
     });
     c.bench_function("micro/simulate_200_null_observer", |b| {
         b.iter(|| {
             let mut policy = PolicyKind::Srpt.build(1);
             let mut obs = NullObserver;
-            simulate_observed(&inst, policy.as_mut(), EngineOptions::default(), &mut obs).unwrap()
+            Simulation::of(&inst)
+                .policy(policy.as_mut())
+                .observer(&mut obs)
+                .run()
+                .unwrap()
         });
     });
 }
@@ -146,13 +148,13 @@ fn bench_decide_path_high_n(c: &mut Criterion) {
     group.bench_function("simulate_1000_srpt", |b| {
         b.iter(|| {
             let mut policy = PolicyKind::Srpt.build(1);
-            simulate_with(&inst, policy.as_mut(), EngineOptions::default()).unwrap()
+            Simulation::of(&inst).policy(policy.as_mut()).run().unwrap()
         });
     });
     group.bench_function("simulate_1000_fcfs", |b| {
         b.iter(|| {
             let mut policy = PolicyKind::Fcfs.build(1);
-            simulate_with(&inst, policy.as_mut(), EngineOptions::default()).unwrap()
+            Simulation::of(&inst).policy(policy.as_mut()).run().unwrap()
         });
     });
     // n=5000: only viable at all because decision-epoch gating and the
@@ -166,13 +168,13 @@ fn bench_decide_path_high_n(c: &mut Criterion) {
     group.bench_function("simulate_5000_srpt", |b| {
         b.iter(|| {
             let mut policy = PolicyKind::Srpt.build(1);
-            simulate_with(&inst, policy.as_mut(), EngineOptions::default()).unwrap()
+            Simulation::of(&inst).policy(policy.as_mut()).run().unwrap()
         });
     });
     group.bench_function("simulate_5000_fcfs", |b| {
         b.iter(|| {
             let mut policy = PolicyKind::Fcfs.build(1);
-            simulate_with(&inst, policy.as_mut(), EngineOptions::default()).unwrap()
+            Simulation::of(&inst).policy(policy.as_mut()).run().unwrap()
         });
     });
     group.finish();

@@ -6,7 +6,7 @@ use crate::scale::Scale;
 use mmsec_analysis::table::fmt_num;
 use mmsec_analysis::Table;
 use mmsec_core::PolicyKind;
-use mmsec_platform::{simulate_with, EngineOptions, StretchReport};
+use mmsec_platform::{EngineOptions, Simulation, StretchReport};
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 
 /// A regenerated figure/table.
@@ -231,7 +231,9 @@ pub fn ablation_alpha(scale: &Scale, seed: u64) -> Figure {
         let values: Vec<(f64, f64)> = mmsec_analysis::run_indexed(scale.reps, scale.threads, |i| {
             let inst = cfg.generate(mmsec_sim::seed::derive(seed, "alpha", i as u64));
             let mut pol = mmsec_core::SsfEdf::with_params(alpha, 1e-3);
-            let out = simulate_with(&inst, &mut pol, EngineOptions::default())
+            let out = Simulation::of(&inst)
+                .policy(&mut pol)
+                .run()
                 .expect("ssf-edf completes");
             let r = StretchReport::new(&inst, &out.schedule);
             (r.max_stretch, r.mean_stretch)

@@ -17,7 +17,7 @@ use mmsec_analysis::table::fmt_num;
 use mmsec_analysis::{Summary, Table};
 use mmsec_core::PolicyKind;
 use mmsec_offline::single_machine::{optimal_max_stretch, OfflineJob};
-use mmsec_platform::{simulate, EngineOptions, StretchReport};
+use mmsec_platform::{EngineOptions, Simulation, StretchReport};
 use mmsec_sim::seed;
 use mmsec_workload::{ArrivalProcess, RandomCcrConfig};
 
@@ -85,7 +85,10 @@ pub fn bender_competitiveness(scale: &Scale, seed_root: u64) -> Figure {
             };
             let inst = cfg.generate(s);
             let mut policy = PolicyKind::EdgeOnly.build(s);
-            let out = simulate(&inst, policy.as_mut()).expect("completes");
+            let out = Simulation::of(&inst)
+                .policy(policy.as_mut())
+                .run()
+                .expect("completes");
             let online = StretchReport::new(&inst, &out.schedule).max_stretch;
             let jobs: Vec<OfflineJob> = inst
                 .jobs
@@ -175,7 +178,10 @@ pub fn fairness(scale: &Scale, seed_root: u64) -> Figure {
         let pooled: Vec<Vec<f64>> = mmsec_analysis::run_indexed(scale.reps, scale.threads, |i| {
             let inst = cfg.generate(seed::derive(seed_root, "fair", i as u64));
             let mut policy = kind.build(seed::derive(seed_root, "fairp", i as u64));
-            let out = simulate(&inst, policy.as_mut()).expect("completes");
+            let out = Simulation::of(&inst)
+                .policy(policy.as_mut())
+                .run()
+                .expect("completes");
             StretchReport::new(&inst, &out.schedule).stretches
         });
         let all: Vec<f64> = pooled.into_iter().flatten().collect();
@@ -214,7 +220,10 @@ pub fn adversarial(_scale: &Scale, _seed_root: u64) -> Figure {
         let mut row = vec![label];
         for kind in policies {
             let mut policy = kind.build(0);
-            let out = simulate(inst, policy.as_mut()).expect("completes");
+            let out = Simulation::of(inst)
+                .policy(policy.as_mut())
+                .run()
+                .expect("completes");
             row.push(fmt_num(StretchReport::new(inst, &out.schedule).max_stretch));
         }
         table.push_row(row);

@@ -5,8 +5,8 @@ use mmsec_core::PolicyKind;
 use mmsec_platform::obs::json::Json;
 use mmsec_platform::obs::metrics::Histogram;
 use mmsec_platform::{
-    simulate_with, simulate_with_faults, validate_with, EngineError, EngineOptions, FaultPlan,
-    Instance, StretchReport, ValidateOptions, Violation,
+    validate_with, EngineError, EngineOptions, FaultPlan, Instance, Simulation, StretchReport,
+    ValidateOptions, Violation,
 };
 use mmsec_sim::seed;
 use std::fmt;
@@ -134,8 +134,15 @@ fn try_run_policy_impl(
 ) -> Result<TrialResult, TrialError> {
     let mut policy = kind.build(policy_seed);
     let out = match faults {
-        None => simulate_with(instance, policy.as_mut(), opts),
-        Some(plan) => simulate_with_faults(instance, policy.as_mut(), opts, plan),
+        None => Simulation::of(instance)
+            .policy(policy.as_mut())
+            .options(opts)
+            .run(),
+        Some(plan) => Simulation::of(instance)
+            .policy(policy.as_mut())
+            .options(opts)
+            .faults(plan)
+            .run(),
     }
     .map_err(|error| TrialError::Engine { kind, error })?;
     if validate {

@@ -40,6 +40,10 @@ impl OnlineScheduler for Fcfs {
     }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+        // Streaming sessions admit jobs after `on_start`.
+        if self.chosen.len() < view.jobs.len() {
+            self.chosen.resize(view.jobs.len(), None);
+        }
         let spec = view.spec();
         // `pending_jobs()` iterates in (release, id) order — exactly the
         // FIFO priority this policy wants; no sort needed.
@@ -133,6 +137,10 @@ impl OnlineScheduler for CloudOnly {
     }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+        // Streaming sessions admit jobs after `on_start`.
+        if self.chosen.len() < view.jobs.len() {
+            self.chosen.resize(view.jobs.len(), None);
+        }
         let spec = view.spec();
         let mut proj_ready = false;
         // (release, id) iteration order = FIFO priority.
@@ -209,6 +217,10 @@ impl OnlineScheduler for RandomSticky {
     }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+        // Streaming sessions admit jobs after `on_start`.
+        if self.chosen.len() < view.jobs.len() {
+            self.chosen.resize(view.jobs.len(), None);
+        }
         let spec = view.spec();
         // (release, id) iteration order = FIFO priority; it also fixes the
         // order in which new jobs draw from the RNG, keeping the policy
@@ -248,7 +260,7 @@ impl OnlineScheduler for RandomSticky {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmsec_platform::{simulate, validate, EdgeId, Instance, Job, PlatformSpec};
+    use mmsec_platform::{validate, EdgeId, Instance, Job, PlatformSpec, Simulation};
 
     fn instance() -> Instance {
         let spec = PlatformSpec::homogeneous_cloud(vec![0.5, 0.1], 2);
@@ -264,7 +276,10 @@ mod tests {
     #[test]
     fn fcfs_completes_and_validates() {
         let inst = instance();
-        let out = simulate(&inst, &mut Fcfs::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut Fcfs::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         assert!(out.schedule.all_finished());
         // FCFS never re-executes (sticky placement).
@@ -274,7 +289,10 @@ mod tests {
     #[test]
     fn cloud_only_uses_only_cloud() {
         let inst = instance();
-        let out = simulate(&inst, &mut CloudOnly::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut CloudOnly::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         for a in &out.schedule.alloc {
             assert!(matches!(a, Some(Target::Cloud(_))));
@@ -286,14 +304,20 @@ mod tests {
     fn cloud_only_requires_cloud() {
         let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
         let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
-        let _ = simulate(&inst, &mut CloudOnly::new());
+        let _ = Simulation::of(&inst).policy(&mut CloudOnly::new()).run();
     }
 
     #[test]
     fn random_is_deterministic_per_seed() {
         let inst = instance();
-        let a = simulate(&inst, &mut RandomSticky::new(7)).unwrap();
-        let b = simulate(&inst, &mut RandomSticky::new(7)).unwrap();
+        let a = Simulation::of(&inst)
+            .policy(&mut RandomSticky::new(7))
+            .run()
+            .unwrap();
+        let b = Simulation::of(&inst)
+            .policy(&mut RandomSticky::new(7))
+            .run()
+            .unwrap();
         assert_eq!(a.schedule, b.schedule);
         assert!(validate(&inst, &a.schedule).is_ok());
     }
@@ -307,7 +331,10 @@ mod tests {
             .map(|i| Job::new(EdgeId(i), 0.0, 4.0, 0.5, 0.5))
             .collect();
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut Fcfs::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut Fcfs::new())
+            .run()
+            .unwrap();
         let cloud0 = out
             .schedule
             .alloc

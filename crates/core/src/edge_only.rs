@@ -118,6 +118,10 @@ impl OnlineScheduler for EdgeOnly {
     }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+        // Streaming sessions admit jobs after `on_start`.
+        if self.deadlines.len() < view.jobs.len() {
+            self.deadlines.resize(view.jobs.len(), None);
+        }
         // Units with a newly released job recompute their deadlines
         // (stretch-so-far is re-estimated at release events).
         let mut dirty_units: Vec<usize> = view
@@ -167,7 +171,7 @@ impl OnlineScheduler for EdgeOnly {
 mod tests {
     use super::*;
     use mmsec_platform::{
-        max_stretch, simulate, validate, EdgeId, Instance, Job, PlatformSpec, StretchReport,
+        max_stretch, validate, EdgeId, Instance, Job, PlatformSpec, Simulation, StretchReport,
     };
 
     #[test]
@@ -178,7 +182,10 @@ mod tests {
             Job::new(EdgeId(0), 0.0, 2.0, 0.1, 0.1),
         ];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut EdgeOnly::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut EdgeOnly::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         for a in &out.schedule.alloc {
             assert_eq!(*a, Some(Target::Edge));
@@ -193,7 +200,10 @@ mod tests {
             Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
         ];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut EdgeOnly::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut EdgeOnly::new())
+            .run()
+            .unwrap();
         // Optimal order: short first → max stretch 1.1.
         let ms = max_stretch(&inst, &out.schedule);
         assert!((ms - 1.1).abs() < 1e-6, "max stretch {ms}");
@@ -207,7 +217,10 @@ mod tests {
         let spec = PlatformSpec::homogeneous_cloud(vec![1.0 / 3.0], 1);
         let jobs = vec![Job::new(EdgeId(0), 0.0, 4.0, 0.0, 0.0)];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut EdgeOnly::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut EdgeOnly::new())
+            .run()
+            .unwrap();
         let ms = max_stretch(&inst, &out.schedule);
         assert!((ms - 3.0).abs() < 1e-9, "max stretch {ms}");
     }
@@ -221,7 +234,10 @@ mod tests {
             Job::new(EdgeId(1), 0.0, 5.0, 0.0, 0.0),
         ];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut EdgeOnly::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut EdgeOnly::new())
+            .run()
+            .unwrap();
         let report = StretchReport::new(&inst, &out.schedule);
         assert!((report.max_stretch - 1.0).abs() < 1e-9);
     }
@@ -236,7 +252,10 @@ mod tests {
             Job::new(EdgeId(0), 1.0, 1.0, 0.0, 0.0),
         ];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut EdgeOnly::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut EdgeOnly::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         let report = StretchReport::new(&inst, &out.schedule);
         // Short job's stretch stays small; overall max well below the
@@ -258,7 +277,7 @@ mod tests {
         let inst = Instance::new(spec, jobs).unwrap();
         let mut pol = EdgeOnly::with_params(2.0, 1e-3);
         assert_eq!(pol.name(), "edge-only(a=2)");
-        let out = simulate(&inst, &mut pol).unwrap();
+        let out = Simulation::of(&inst).policy(&mut pol).run().unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
     }
 }

@@ -84,7 +84,7 @@ impl OnlineScheduler for Greedy {
 mod tests {
     use super::*;
     use mmsec_platform::{
-        max_stretch, simulate, validate, EdgeId, Instance, Job, PlatformSpec, Target,
+        max_stretch, validate, EdgeId, Instance, Job, PlatformSpec, Simulation, Target,
     };
 
     #[test]
@@ -100,7 +100,10 @@ mod tests {
             Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
         ];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut Greedy::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut Greedy::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         assert!(out.schedule.all_finished());
     }
@@ -114,7 +117,10 @@ mod tests {
             Job::new(EdgeId(0), 0.0, 4.0, 0.1, 0.1),
         ];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut Greedy::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut Greedy::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         assert!(matches!(out.schedule.alloc[0], Some(Target::Cloud(_))));
         assert!(matches!(out.schedule.alloc[1], Some(Target::Cloud(_))));
@@ -129,7 +135,10 @@ mod tests {
         let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
         let jobs = vec![Job::new(EdgeId(0), 0.0, 1.0, 50.0, 50.0)];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut Greedy::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut Greedy::new())
+            .run()
+            .unwrap();
         assert_eq!(out.schedule.alloc[0], Some(Target::Edge));
         assert!((max_stretch(&inst, &out.schedule) - 1.0).abs() < 1e-9);
     }
@@ -144,7 +153,10 @@ mod tests {
             Job::new(EdgeId(1), 0.0, 2.0, 0.5, 0.5),
         ];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut Greedy::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut Greedy::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         // Both should finish at 3.0 (fully parallel), stretch 1.
         let ms = max_stretch(&inst, &out.schedule);
@@ -157,8 +169,14 @@ mod tests {
         let spec = PlatformSpec::homogeneous_cloud(vec![0.1], 3);
         let jobs = vec![Job::new(EdgeId(0), 0.0, 1.0, 0.1, 0.1)];
         let inst = Instance::new(spec, jobs).unwrap();
-        let a = simulate(&inst, &mut Greedy::new()).unwrap();
-        let b = simulate(&inst, &mut Greedy::new()).unwrap();
+        let a = Simulation::of(&inst)
+            .policy(&mut Greedy::new())
+            .run()
+            .unwrap();
+        let b = Simulation::of(&inst)
+            .policy(&mut Greedy::new())
+            .run()
+            .unwrap();
         assert_eq!(a.schedule, b.schedule);
     }
 }

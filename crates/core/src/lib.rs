@@ -20,10 +20,10 @@
 //!
 //! ```
 //! use mmsec_core::SsfEdf;
-//! use mmsec_platform::{figure1_instance, max_stretch, simulate, validate};
+//! use mmsec_platform::{figure1_instance, max_stretch, validate, Simulation};
 //!
 //! let instance = figure1_instance();
-//! let out = simulate(&instance, &mut SsfEdf::new()).unwrap();
+//! let out = Simulation::of(&instance).policy(&mut SsfEdf::new()).run().unwrap();
 //! assert!(validate(&instance, &out.schedule).is_ok());
 //! assert!(max_stretch(&instance, &out.schedule) >= 1.5); // optimum is 3/2
 //! ```

@@ -85,7 +85,8 @@ impl OnlineScheduler for Srpt {
 mod tests {
     use super::*;
     use mmsec_platform::{
-        max_stretch, simulate, validate, EdgeId, Instance, Job, PlatformSpec, StretchReport, Target,
+        max_stretch, validate, EdgeId, Instance, Job, PlatformSpec, Simulation, StretchReport,
+        Target,
     };
 
     #[test]
@@ -98,7 +99,10 @@ mod tests {
             Job::new(EdgeId(0), 2.0, 1.0, 0.0, 0.0),
         ];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut Srpt::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut Srpt::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         // Short job runs [2,3), long job [0,2) ∪ [3,11).
         assert_eq!(out.schedule.completion[1], Some(mmsec_sim::Time::new(3.0)));
@@ -118,7 +122,10 @@ mod tests {
             jobs.push(Job::new(EdgeId(0), i as f64, 1.0, 0.0, 0.0));
         }
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut Srpt::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut Srpt::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         let report = StretchReport::new(&inst, &out.schedule);
         // The long job's stretch far exceeds the short ones'.
@@ -131,7 +138,10 @@ mod tests {
         let spec = PlatformSpec::homogeneous_cloud(vec![0.1], 1);
         let jobs = vec![Job::new(EdgeId(0), 0.0, 5.0, 0.5, 0.5)];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut Srpt::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut Srpt::new())
+            .run()
+            .unwrap();
         assert!(matches!(out.schedule.alloc[0], Some(Target::Cloud(_))));
         assert!((max_stretch(&inst, &out.schedule) - 1.0).abs() < 1e-9);
     }
@@ -148,7 +158,10 @@ mod tests {
             Job::new(EdgeId(0), 1.0, 1.0, 10.0, 10.0), // must run on edge
         ];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut Srpt::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut Srpt::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         assert!(out.schedule.all_finished());
     }
@@ -162,8 +175,14 @@ mod tests {
             Job::new(EdgeId(0), 1.0, 1.0, 5.0, 5.0),
         ];
         let inst = Instance::new(spec, jobs).unwrap();
-        let a = simulate(&inst, &mut Srpt::new()).unwrap();
-        let b = simulate(&inst, &mut Srpt::new()).unwrap();
+        let a = Simulation::of(&inst)
+            .policy(&mut Srpt::new())
+            .run()
+            .unwrap();
+        let b = Simulation::of(&inst)
+            .policy(&mut Srpt::new())
+            .run()
+            .unwrap();
         assert_eq!(a.schedule, b.schedule);
     }
 }

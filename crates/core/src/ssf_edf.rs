@@ -281,6 +281,11 @@ impl OnlineScheduler for SsfEdf {
     }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+        // Streaming sessions admit jobs after `on_start`.
+        if self.deadlines.len() < view.jobs.len() {
+            self.deadlines.resize(view.jobs.len(), None);
+            self.targets.resize(view.jobs.len(), None);
+        }
         // Release event ⇔ some pending job has no deadline yet.
         let replanned = if view.pending_jobs().any(|id| self.deadlines[id.0].is_none()) {
             self.replan(view);
@@ -319,8 +324,8 @@ impl OnlineScheduler for SsfEdf {
 mod tests {
     use super::*;
     use mmsec_platform::{
-        figure1_instance, max_stretch, simulate, validate, CloudId, EdgeId, Instance, Job,
-        PlatformSpec, StretchReport,
+        figure1_instance, max_stretch, validate, CloudId, EdgeId, Instance, Job, PlatformSpec,
+        Simulation, StretchReport,
     };
 
     #[test]
@@ -328,7 +333,10 @@ mod tests {
         let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 1);
         let jobs = vec![Job::new(EdgeId(0), 0.0, 2.0, 10.0, 10.0)];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut SsfEdf::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         assert!((max_stretch(&inst, &out.schedule) - 1.0).abs() < 1e-9);
         assert_eq!(out.schedule.alloc[0], Some(Target::Edge));
@@ -346,7 +354,10 @@ mod tests {
             Job::new(EdgeId(0), 0.0, 3.0, 1.0, 0.0),
         ];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut SsfEdf::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         assert!(out.schedule.all_finished());
     }
@@ -359,7 +370,10 @@ mod tests {
             Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
         ];
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut SsfEdf::new())
+            .run()
+            .unwrap();
         let ms = max_stretch(&inst, &out.schedule);
         assert!((ms - 1.1).abs() < 1e-2, "max stretch {ms}");
     }
@@ -369,7 +383,10 @@ mod tests {
         // The optimal max-stretch of the Figure 1 instance is 3/2; SSF-EDF
         // should land reasonably close (it is a heuristic).
         let inst = figure1_instance();
-        let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut SsfEdf::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         let ms = max_stretch(&inst, &out.schedule);
         assert!(ms < 2.5, "max stretch {ms}");
@@ -384,7 +401,10 @@ mod tests {
             .map(|i| Job::new(EdgeId(i), 0.0, 4.0, 0.5, 0.5))
             .collect();
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut SsfEdf::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         let on_cloud0 = out
             .schedule
@@ -418,7 +438,10 @@ mod tests {
             ));
         }
         let inst = Instance::new(spec, jobs).unwrap();
-        let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut SsfEdf::new())
+            .run()
+            .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         let report = StretchReport::new(&inst, &out.schedule);
         assert!(
@@ -438,7 +461,7 @@ mod tests {
         let inst = Instance::new(spec, jobs).unwrap();
         for alpha in [0.5, 1.0, 2.0] {
             let mut pol = SsfEdf::with_params(alpha, 1e-3);
-            let out = simulate(&inst, &mut pol).unwrap();
+            let out = Simulation::of(&inst).policy(&mut pol).run().unwrap();
             assert!(validate(&inst, &out.schedule).is_ok(), "alpha {alpha}");
         }
         assert_eq!(SsfEdf::with_params(2.0, 1e-3).name(), "ssf-edf(a=2)");
@@ -447,8 +470,14 @@ mod tests {
     #[test]
     fn is_deterministic() {
         let inst = figure1_instance();
-        let a = simulate(&inst, &mut SsfEdf::new()).unwrap();
-        let b = simulate(&inst, &mut SsfEdf::new()).unwrap();
+        let a = Simulation::of(&inst)
+            .policy(&mut SsfEdf::new())
+            .run()
+            .unwrap();
+        let b = Simulation::of(&inst)
+            .policy(&mut SsfEdf::new())
+            .run()
+            .unwrap();
         assert_eq!(a.schedule, b.schedule);
     }
 

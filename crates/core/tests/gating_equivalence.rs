@@ -7,7 +7,7 @@
 
 use mmsec_core::PolicyKind;
 use mmsec_faults::FaultConfig;
-use mmsec_platform::{simulate_with, simulate_with_faults, EngineOptions, Instance};
+use mmsec_platform::{EngineOptions, Instance, Simulation};
 use mmsec_sim::Time;
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 use proptest::prelude::*;
@@ -64,8 +64,14 @@ fn assert_equivalent(
     };
     let (a, b) = match faults {
         None => (
-            simulate_with(inst, fast.as_mut(), gated),
-            simulate_with(inst, reference.as_mut(), ungated),
+            Simulation::of(inst)
+                .policy(fast.as_mut())
+                .options(gated)
+                .run(),
+            Simulation::of(inst)
+                .policy(reference.as_mut())
+                .options(ungated)
+                .run(),
         ),
         Some((mtbf, mttr, fault_seed)) => {
             let cfg = FaultConfig::uniform_exponential(
@@ -76,8 +82,16 @@ fn assert_equivalent(
             );
             let plan = cfg.compile(fault_seed, Time::new(1e5));
             (
-                simulate_with_faults(inst, fast.as_mut(), gated, &plan),
-                simulate_with_faults(inst, reference.as_mut(), ungated, &plan),
+                Simulation::of(inst)
+                    .policy(fast.as_mut())
+                    .options(gated)
+                    .faults(&plan)
+                    .run(),
+                Simulation::of(inst)
+                    .policy(reference.as_mut())
+                    .options(ungated)
+                    .faults(&plan)
+                    .run(),
             )
         }
     };
@@ -129,16 +143,15 @@ fn gating_skips_events_on_larger_instances_without_changing_schedules() {
     for kind in PolicyKind::ALL {
         let mut fast = kind.build(3);
         let mut reference = kind.build_reference(3);
-        let a = simulate_with(&inst, fast.as_mut(), EngineOptions::default()).unwrap();
-        let b = simulate_with(
-            &inst,
-            reference.as_mut(),
-            EngineOptions {
+        let a = Simulation::of(&inst).policy(fast.as_mut()).run().unwrap();
+        let b = Simulation::of(&inst)
+            .policy(reference.as_mut())
+            .options(EngineOptions {
                 decision_gating: false,
                 ..EngineOptions::default()
-            },
-        )
-        .unwrap();
+            })
+            .run()
+            .unwrap();
         assert_eq!(a.schedule, b.schedule, "{kind} schedule differs");
         assert_eq!(a.stats.decides + a.stats.decide_skips, a.stats.events);
         skipped_anywhere |= a.stats.decide_skips > 0;

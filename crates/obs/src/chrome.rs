@@ -162,6 +162,9 @@ impl Observer for ChromeTraceWriter {
                     ],
                 );
             }
+            Event::JobSubmitted { t, job } => {
+                self.instant("submit", us(*t), POLICY_TID, vec![("job", Json::int(*job))]);
+            }
             Event::JobReleased { t, job } => {
                 self.instant(
                     "release",

@@ -10,9 +10,9 @@
 //!
 //! * [`NullObserver`] — discards everything (useful to measure the cost of
 //!   the dispatch itself);
-//! * [`MetricsRecorder`](metrics::MetricsRecorder) — counters, decide-time
+//! * [`MetricsRecorder`] — counters, decide-time
 //!   histogram, per-unit utilization, queue-depth samples → JSON;
-//! * [`ChromeTraceWriter`](chrome::ChromeTraceWriter) — Chrome
+//! * [`ChromeTraceWriter`] — Chrome
 //!   trace-event JSON viewable in Perfetto (<https://ui.perfetto.dev>) or
 //!   `chrome://tracing`, one track per edge unit / cloud processor plus a
 //!   policy track;
@@ -20,7 +20,7 @@
 //! * [`Shared`] — `Rc<RefCell<…>>` wrapper so one recorder can be fed from
 //!   two emission sites (engine *and* policy) in a single-threaded run.
 //!
-//! With the `tracing` feature enabled, [`forward_to_tracing`] additionally
+//! With the `tracing` feature enabled, `forward_to_tracing` additionally
 //! mirrors events to `tracing` subscribers.
 
 #![warn(missing_docs)]
@@ -123,6 +123,14 @@ pub enum Event {
         /// Virtual time of the release.
         t: Time,
         /// Released job index.
+        job: usize,
+    },
+    /// A job was submitted to a running session (streaming mode only:
+    /// batch construction does not emit this).
+    JobSubmitted {
+        /// Virtual time of the submission.
+        t: Time,
+        /// Submitted job index.
         job: usize,
     },
     /// The policy's `decide` is about to run.
@@ -241,6 +249,7 @@ impl Event {
         match self {
             Event::RunStart { .. } => "run-start",
             Event::JobReleased { .. } => "job-released",
+            Event::JobSubmitted { .. } => "job-submitted",
             Event::DecideStart { .. } => "decide-start",
             Event::DecideSkipped { .. } => "decide-skipped",
             Event::DecideEnd { .. } => "decide-end",

@@ -388,6 +388,9 @@ impl Observer for MetricsRecorder {
                 self.jobs = *jobs;
             }
             Event::JobReleased { .. } => self.releases += 1,
+            // Submission is bookkeeping, not simulation activity; the
+            // release that follows is what the metrics track.
+            Event::JobSubmitted { .. } => {}
             Event::DecideStart { t, pending } => {
                 self.sample_queue(t.seconds(), *pending);
             }

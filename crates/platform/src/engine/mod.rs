@@ -22,8 +22,11 @@
 //! # Module layout
 //!
 //! * [`mod@self`] — the [`OnlineScheduler`] contract, [`EngineOptions`],
-//!   and the seven-step run loop ([`simulate`] / [`simulate_with`] /
-//!   [`simulate_observed`]);
+//!   and the deprecated `simulate*` wrappers over [`Simulation`];
+//! * [`session`] — the seven-step run loop as a resumable [`Session`]
+//!   driver (pause/resume, mid-run [`Session::submit`]);
+//! * [`simulation`] — the [`Simulation`] builder, the one batch entry
+//!   point;
 //! * [`grant`] — the greedy resource-grant walk ([`greedy_allocate`]) and
 //!   non-preemptive pinning;
 //! * [`events`] — the event queue priming, the automatic event cap
@@ -37,7 +40,7 @@
 //! one [`DirectiveBuffer`] (cleared and refilled by the policy at each
 //! event), one activation buffer, one resource-block map, and a stamp
 //! array for directive sanitization — all sized once per run and reused
-//! across events. The incrementally maintained [`PendingSet`] replaces the
+//! across events. The incrementally maintained [`PendingSet`](crate::view::PendingSet) replaces the
 //! per-event full-state rescan policies used to pay to enumerate pending
 //! jobs.
 //!
@@ -59,22 +62,19 @@
 pub mod events;
 pub mod grant;
 pub mod outcome;
+pub mod session;
+pub mod simulation;
 
 pub use grant::{greedy_allocate, remaining_volume, Activation};
 pub use outcome::{EngineError, EventRecord, RunOutcome, RunStats};
+pub use session::{CompletionRecord, Session, SessionStats, SessionStatus};
+pub use simulation::Simulation;
 
-use crate::activity::{DirectiveBuffer, Phase, Target};
+use crate::activity::DirectiveBuffer;
 use crate::instance::Instance;
-use crate::job::JobId;
-use crate::resource::{ResourceId, ResourceMap};
-use crate::schedule::TraceBuilder;
-use crate::state::JobState;
-use crate::view::{Availability, PendingSet, SimView};
-use events::{obs_phase, obs_unit, prime_faults, prime_queue, EngineEvent};
+use crate::view::SimView;
 use mmsec_faults::FaultPlan;
-use mmsec_obs::{Event as ObsEvent, Observer, ObserverHandle, Unit};
-use mmsec_sim::{Interval, Time};
-use std::time::Instant;
+use mmsec_obs::{Observer, ObserverHandle};
 
 /// How often a policy's `decide` must be invoked (see
 /// [`OnlineScheduler::cadence`]).
@@ -117,6 +117,13 @@ pub trait OnlineScheduler {
     /// paused (keeping progress), jobs whose target changed are re-executed
     /// from scratch. The buffer is engine-owned and reused across events,
     /// so a steady-state decision allocates nothing for its output.
+    ///
+    /// **Growth contract (streaming sessions):** a [`Session`] may
+    /// [`Session::submit`] jobs *after* `on_start`, so `view.jobs.len()`
+    /// can exceed the job count the policy sized its state for. Policies
+    /// keeping per-job vectors must grow them to `view.jobs.len()` at the
+    /// top of `decide` (cheap: a length check per call). Batch runs never
+    /// trigger this path.
     fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer);
 
     /// Offers the policy an observer for its internal events (e.g. SSF-EDF
@@ -169,46 +176,52 @@ impl Default for EngineOptions {
 }
 
 /// Simulates `instance` under `scheduler` with the paper's default model.
+#[deprecated(note = "use `Simulation`: `Simulation::of(instance).policy(scheduler).run()`")]
 pub fn simulate(
     instance: &Instance,
     scheduler: &mut dyn OnlineScheduler,
 ) -> Result<RunOutcome, EngineError> {
-    simulate_with(instance, scheduler, EngineOptions::default())
+    Simulation::of(instance).policy(scheduler).run()
 }
 
 /// Simulates `instance` under `scheduler` with explicit engine options.
+#[deprecated(
+    note = "use `Simulation`: `Simulation::of(instance).policy(scheduler).options(opts).run()`"
+)]
 pub fn simulate_with(
     instance: &Instance,
     scheduler: &mut dyn OnlineScheduler,
     opts: EngineOptions,
 ) -> Result<RunOutcome, EngineError> {
-    simulate_impl(instance, scheduler, opts, None, None)
+    Simulation::of(instance)
+        .policy(scheduler)
+        .options(opts)
+        .run()
 }
 
 /// Simulates `instance` while injecting the faults of a compiled
-/// [`FaultPlan`]: units crash and recover at the plan's window boundaries,
-/// work in flight on a crashed unit is lost (the job re-executes from
-/// scratch and [`RunStats::restarts`] is incremented), and link windows
-/// pause or slow the affected edge's communications without wiping
-/// progress. Policies see the current availability through
-/// [`SimView::edge_available`] and friends.
-///
-/// An empty plan takes the exact fault-free code path, so it is
-/// bit-identical to [`simulate_with`]. Fault injection requires
-/// `opts.allow_preemption`; link windows additionally require the one-port
-/// model (`!opts.infinite_ports`), since with infinite ports there is no
-/// port resource to block.
+/// [`FaultPlan`] (see [`Simulation::faults`]).
+#[deprecated(
+    note = "use `Simulation`: `Simulation::of(instance).policy(scheduler).options(opts).faults(plan).run()`"
+)]
 pub fn simulate_with_faults(
     instance: &Instance,
     scheduler: &mut dyn OnlineScheduler,
     opts: EngineOptions,
     faults: &FaultPlan,
 ) -> Result<RunOutcome, EngineError> {
-    simulate_impl(instance, scheduler, opts, Some(faults), None)
+    Simulation::of(instance)
+        .policy(scheduler)
+        .options(opts)
+        .faults(faults)
+        .run()
 }
 
-/// [`simulate_with_faults`] with an observer attached (fault injection
-/// additionally emits `UnitDown`/`UnitUp`/`LinkDegraded`/`JobKilled`).
+/// [`simulate_with_faults`] with an observer attached (see
+/// [`Simulation::observer`]).
+#[deprecated(
+    note = "use `Simulation`: `Simulation::of(instance).policy(scheduler).options(opts).faults(plan).observer(o).run()`"
+)]
 pub fn simulate_with_faults_observed(
     instance: &Instance,
     scheduler: &mut dyn OnlineScheduler,
@@ -216,502 +229,30 @@ pub fn simulate_with_faults_observed(
     faults: &FaultPlan,
     observer: &mut dyn Observer,
 ) -> Result<RunOutcome, EngineError> {
-    simulate_impl(instance, scheduler, opts, Some(faults), Some(observer))
+    Simulation::of(instance)
+        .policy(scheduler)
+        .options(opts)
+        .faults(faults)
+        .observer(observer)
+        .run()
 }
 
-/// Simulates `instance` while streaming typed [`ObsEvent`]s to `observer`.
-///
-/// The observer sees the full engine-side taxonomy (releases, decide
-/// start/end with wall-clock latency, placed intervals, restarts,
-/// completions, run start/end). Policy-internal events (binary-search
-/// probes) additionally require handing the policy a clone of the same
-/// observer via [`OnlineScheduler::attach_observer`] *before* calling
-/// this — typically through [`mmsec_obs::Shared`].
+/// Simulates `instance` while streaming typed [`mmsec_obs::Event`]s to
+/// `observer` (see [`Simulation::observer`]).
+#[deprecated(
+    note = "use `Simulation`: `Simulation::of(instance).policy(scheduler).options(opts).observer(o).run()`"
+)]
 pub fn simulate_observed(
     instance: &Instance,
     scheduler: &mut dyn OnlineScheduler,
     opts: EngineOptions,
     observer: &mut dyn Observer,
 ) -> Result<RunOutcome, EngineError> {
-    simulate_impl(instance, scheduler, opts, None, Some(observer))
-}
-
-fn simulate_impl(
-    instance: &Instance,
-    scheduler: &mut dyn OnlineScheduler,
-    opts: EngineOptions,
-    faults: Option<&FaultPlan>,
-    mut observer: Option<&mut dyn Observer>,
-) -> Result<RunOutcome, EngineError> {
-    // Evaluates the event expression only when an observer is attached:
-    // an unobserved run pays one branch per emission point and nothing
-    // else (no allocation, no formatting).
-    macro_rules! emit {
-        ($ev:expr) => {
-            if let Some(o) = observer.as_deref_mut() {
-                o.on_event(&$ev);
-            }
-        };
-    }
-    let started = Instant::now();
-    let spec = &instance.spec;
-    assert!(
-        !spec.has_unavailability() || opts.allow_preemption,
-        "cloud availability windows require preemption"
-    );
-    // A plan that injects nothing takes the exact fault-free code path,
-    // so a zero-failure fault model is bit-identical to no model at all.
-    let faults = faults.filter(|p| !p.is_empty());
-    if let Some(plan) = faults {
-        assert_eq!(
-            plan.num_edges(),
-            spec.num_edge(),
-            "fault plan covers a different number of edges than the platform"
-        );
-        assert_eq!(
-            plan.num_clouds(),
-            spec.num_cloud(),
-            "fault plan covers a different number of clouds than the platform"
-        );
-        assert!(opts.allow_preemption, "fault injection requires preemption");
-        assert!(
-            !opts.infinite_ports || spec.edges().all(|j| plan.link_windows(j.0).is_empty()),
-            "link faults require the one-port model (infinite_ports = false)"
-        );
-    }
-    let n = instance.num_jobs();
-    let limit = opts.max_events.unwrap_or_else(|| match faults {
-        Some(plan) => events::auto_event_limit_with_faults(instance, plan),
-        None => events::auto_event_limit(instance),
-    });
-
-    // Decision-epoch gating: with an epoch-pure policy (see
-    // [`DecisionCadence::OnEpochChange`]) the engine tracks an epoch
-    // counter bumped only by decision-relevant transitions — releases,
-    // completions, availability changes, directive refusals — and skips
-    // the decide call entirely at events where the epoch is unchanged,
-    // reusing the previous (already sanitized) directive buffer.
-    let gating = opts.decision_gating
-        && opts.allow_preemption
-        && scheduler.cadence() == DecisionCadence::OnEpochChange;
-    let mut epoch: u64 = 1;
-    let mut decided_epoch: u64 = 0;
-    let mut unfinished = n;
-
-    let mut jobs = vec![JobState::default(); n];
-    let mut queue = prime_queue(instance);
-    if let Some(plan) = faults {
-        prime_faults(&mut queue, plan);
-    }
-    // Availability state, flipped by fault events as they fire.
-    let mut avail = faults.map(|_| Availability::all_up(spec.num_edge(), spec.num_cloud()));
-
-    let mut trace = TraceBuilder::new(n);
-    let mut stats = RunStats::default();
-    let mut event_log: Option<Vec<EventRecord>> = opts.record_events.then(Vec::new);
-    let mut now = queue.peek_time().unwrap_or(Time::ZERO);
-
-    // Run-long buffers, reused across events (see "Allocation discipline"
-    // in the module docs).
-    let mut pending = PendingSet::new();
-    let mut buf = DirectiveBuffer::new();
-    let mut activations: Vec<Activation> = Vec::new();
-    // The previous event's grants: the only jobs whose `running` flag can
-    // be set, so clearing just them replaces a full O(n) sweep per event.
-    let mut prev_activations: Vec<Activation> = Vec::new();
-    let mut blocked = ResourceMap::new(spec, false);
-    let mut skip = vec![false; n];
-    // Per-event "first directive wins" marks, stamped with the event
-    // counter so no per-event clearing is needed.
-    let mut seen = vec![0u64; n];
-
-    scheduler.on_start(instance);
-    emit!(ObsEvent::RunStart {
-        policy: scheduler.name(),
-        jobs: n,
-        edges: spec.num_edge(),
-        clouds: spec.num_cloud(),
-    });
-
-    loop {
-        // 1. Fire all events at (approximately) the current instant.
-        while let Some(t) = queue.peek_time() {
-            if !t.approx_le(now) {
-                break;
-            }
-            let (t_ev, rank, ev) = queue.pop_ranked().expect("peeked");
-            // Classify by rank class; the LinkChange arm below demotes
-            // itself when the re-read factor turns out unchanged.
-            let mut bump = events::rank_is_decision_relevant(rank);
-            match ev {
-                EngineEvent::Release(id) => {
-                    jobs[id.0].released = true;
-                    pending.insert(instance.job(id).release, id);
-                    emit!(ObsEvent::JobReleased { t: now, job: id.0 });
-                }
-                EngineEvent::Boundary => {}
-                EngineEvent::EdgeDown(j) => {
-                    let av = avail.as_mut().expect("fault events imply a plan");
-                    av.edge_up[j.0] = false;
-                    emit!(ObsEvent::UnitDown {
-                        t: now,
-                        unit: Unit::Edge(j.0),
-                    });
-                    // Work in flight on the crashed unit is lost: every
-                    // job of this origin committed to its edge CPU is
-                    // wiped and re-released (paper restart semantics).
-                    // Cloud-committed jobs of this origin merely pause —
-                    // their ports are blocked while the edge is down.
-                    for (i, st) in jobs.iter_mut().enumerate() {
-                        if st.finished
-                            || instance.job(JobId(i)).origin != j
-                            || st.committed != Some(Target::Edge)
-                        {
-                            continue;
-                        }
-                        let had_progress = st.up_done + st.work_done + st.dn_done > 0.0;
-                        st.committed = None;
-                        st.running = None;
-                        if had_progress {
-                            st.reset_progress();
-                            stats.restarts += 1;
-                            trace.abandon(JobId(i));
-                            emit!(ObsEvent::JobKilled {
-                                t: now,
-                                job: i,
-                                unit: Unit::Edge(j.0),
-                            });
-                        }
-                    }
-                }
-                EngineEvent::EdgeUp(j) => {
-                    let av = avail.as_mut().expect("fault events imply a plan");
-                    av.edge_up[j.0] = true;
-                    emit!(ObsEvent::UnitUp {
-                        t: now,
-                        unit: Unit::Edge(j.0),
-                    });
-                }
-                EngineEvent::CloudDown(k) => {
-                    let av = avail.as_mut().expect("fault events imply a plan");
-                    av.cloud_up[k.0] = false;
-                    emit!(ObsEvent::UnitDown {
-                        t: now,
-                        unit: Unit::Cloud(k.0),
-                    });
-                    for (i, st) in jobs.iter_mut().enumerate() {
-                        if st.finished || st.committed != Some(Target::Cloud(k)) {
-                            continue;
-                        }
-                        let had_progress = st.up_done + st.work_done + st.dn_done > 0.0;
-                        st.committed = None;
-                        st.running = None;
-                        if had_progress {
-                            st.reset_progress();
-                            stats.restarts += 1;
-                            trace.abandon(JobId(i));
-                            emit!(ObsEvent::JobKilled {
-                                t: now,
-                                job: i,
-                                unit: Unit::Cloud(k.0),
-                            });
-                        }
-                    }
-                }
-                EngineEvent::CloudUp(k) => {
-                    let av = avail.as_mut().expect("fault events imply a plan");
-                    av.cloud_up[k.0] = true;
-                    emit!(ObsEvent::UnitUp {
-                        t: now,
-                        unit: Unit::Cloud(k.0),
-                    });
-                }
-                EngineEvent::LinkChange(j) => {
-                    // Re-read the factor at the event's own (exact) time:
-                    // windows are half-open, so the change at a window's
-                    // end restores 1.0 and the one at its start applies
-                    // the window's factor.
-                    let plan = faults.expect("fault events imply a plan");
-                    let av = avail.as_mut().expect("fault events imply a plan");
-                    let f = plan.link_factor_at(j.0, t_ev);
-                    if av.link_factor[j.0] != f {
-                        av.link_factor[j.0] = f;
-                        emit!(ObsEvent::LinkDegraded {
-                            t: now,
-                            edge: j.0,
-                            factor: f,
-                        });
-                    } else {
-                        bump = false;
-                    }
-                }
-            }
-            if bump {
-                epoch += 1;
-            }
-        }
-
-        if unfinished == 0 {
-            break;
-        }
-
-        stats.events += 1;
-        if stats.events > limit {
-            return Err(EngineError::EventLimit { limit });
-        }
-
-        // 2. Ask the policy for directives — unless gating is on and no
-        //    decision-relevant state changed since the last invoked
-        //    decide, in which case the previous sanitized buffer is
-        //    reused verbatim (finished/killed jobs always bump the
-        //    epoch, so a stale directive cannot survive a skip).
-        if gating && epoch == decided_epoch {
-            stats.decide_skips += 1;
-            emit!(ObsEvent::DecideSkipped {
-                t: now,
-                pending: pending.len(),
-            });
-        } else {
-            {
-                let mut view = SimView::new(instance, now, &jobs, &pending).with_epoch(epoch);
-                if let Some(av) = avail.as_ref() {
-                    view = view.with_availability(av);
-                }
-                emit!(ObsEvent::DecideStart {
-                    t: now,
-                    pending: view.num_pending(),
-                });
-                buf.clear();
-                let t0 = Instant::now();
-                scheduler.decide(&view, &mut buf);
-                let wall = t0.elapsed();
-                stats.decide_time += wall;
-                // Sanitize: keep the first directive per job, drop
-                // unreleased/finished jobs.
-                let stamp = stats.events;
-                buf.retain(|d| {
-                    let ok = d.job.0 < n && jobs[d.job.0].active() && seen[d.job.0] != stamp;
-                    if ok {
-                        seen[d.job.0] = stamp;
-                    }
-                    ok
-                });
-                emit!(ObsEvent::DecideEnd {
-                    t: now,
-                    wall,
-                    directives: buf.len(),
-                });
-            }
-            stats.decides += 1;
-            decided_epoch = epoch;
-            // The delta always describes "membership change since the
-            // last invoked decide", for gated and ungated runs alike.
-            pending.clear_delta();
-        }
-
-        // 3. Apply commitments / re-executions.
-        for d in buf.as_mut_slice() {
-            let st = &mut jobs[d.job.0];
-            match st.committed {
-                None => st.committed = Some(d.target),
-                Some(t) if t == d.target => {}
-                Some(t) => {
-                    let has_progress = st.up_done + st.work_done + st.dn_done > 0.0;
-                    let pinned = !opts.allow_preemption && st.running.is_some();
-                    if !has_progress && !pinned {
-                        // Nothing executed yet: re-commitment is free.
-                        st.committed = Some(d.target);
-                    } else if opts.allow_reexecution && !pinned {
-                        st.reset_progress();
-                        stats.restarts += 1;
-                        trace.abandon(d.job);
-                        emit!(ObsEvent::Restarted {
-                            t: now,
-                            job: d.job.0,
-                            from: obs_unit(instance.job(d.job).origin, t, Phase::Compute),
-                            to: obs_unit(instance.job(d.job).origin, d.target, Phase::Compute),
-                        });
-                        st.committed = Some(d.target);
-                    } else {
-                        // Retarget refused: keep the old commitment. The
-                        // engine's buffer now differs from what the policy
-                        // emitted, so conservatively treat the rewrite as
-                        // a decision-relevant transition.
-                        d.target = t;
-                        epoch += 1;
-                    }
-                }
-            }
-        }
-
-        // 4. Block resources: unavailability windows, then pinned
-        //    (non-preemptable) running activities, then the greedy grant.
-        blocked.fill(false);
-        for k in spec.clouds() {
-            if spec.cloud_unavailability(k).iter().any(|w| w.contains(now)) {
-                blocked[ResourceId::CloudCpu(k)] = true;
-            }
-        }
-        if let Some(av) = avail.as_ref() {
-            // A down edge takes its CPU and both ports with it; a link
-            // outage (factor 0) blocks only the ports, so edge-local
-            // compute continues and cloud-bound jobs pause in place.
-            for j in spec.edges() {
-                if !av.edge_up[j.0] {
-                    blocked[ResourceId::EdgeCpu(j)] = true;
-                    blocked[ResourceId::EdgeOut(j)] = true;
-                    blocked[ResourceId::EdgeIn(j)] = true;
-                } else if av.link_factor[j.0] == 0.0 {
-                    blocked[ResourceId::EdgeOut(j)] = true;
-                    blocked[ResourceId::EdgeIn(j)] = true;
-                }
-            }
-            for k in spec.clouds() {
-                if !av.cloud_up[k.0] {
-                    blocked[ResourceId::CloudCpu(k)] = true;
-                    blocked[ResourceId::CloudIn(k)] = true;
-                    blocked[ResourceId::CloudOut(k)] = true;
-                }
-            }
-        }
-        activations.clear();
-        {
-            let mut view = SimView::new(instance, now, &jobs, &pending).with_epoch(epoch);
-            if let Some(av) = avail.as_ref() {
-                view = view.with_availability(av);
-            }
-            if !opts.allow_preemption {
-                skip.fill(false);
-                grant::pin_running(&view, &mut blocked, &mut skip, &mut activations);
-            }
-            greedy_allocate(
-                &view,
-                buf.as_slice(),
-                &mut blocked,
-                &skip,
-                opts.infinite_ports,
-                &mut activations,
-            );
-        }
-        if let Some(av) = avail.as_ref() {
-            // Link degradation: scale granted communication rates by the
-            // origin edge's current factor. Factors of exactly 1.0 leave
-            // the rate bit-identical; factor 0 never reaches here (the
-            // ports were blocked above, so no activation was granted).
-            for act in activations.iter_mut() {
-                if act.phase != Phase::Compute {
-                    let f = av.link_factor[instance.job(act.job).origin.0];
-                    if f != 1.0 {
-                        act.rate *= f;
-                    }
-                }
-            }
-        }
-
-        // Only the previous grant can have left `running` flags set
-        // (fault kills and completions clear theirs inline), so sweep
-        // just those instead of every job.
-        for act in &prev_activations {
-            jobs[act.job.0].running = None;
-        }
-        for act in &activations {
-            jobs[act.job.0].running = Some(act.phase);
-        }
-
-        if let Some(log) = event_log.as_mut() {
-            log.push(EventRecord {
-                time: now,
-                pending: pending.len(),
-                activations: activations
-                    .iter()
-                    .map(|a| (a.job, a.phase, a.target))
-                    .collect(),
-            });
-        }
-
-        // 5. Find the next event horizon.
-        let mut t_next = queue.peek_time();
-        for act in &activations {
-            let st = &jobs[act.job.0];
-            let job = instance.job(act.job);
-            let rem = remaining_volume(st, job, act.phase) / act.rate;
-            let fin = now + Time::new(rem);
-            t_next = Some(t_next.map_or(fin, |t| t.min(fin)));
-        }
-        let Some(t_next) = t_next else {
-            let pending = jobs
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| !s.finished)
-                .map(|(i, _)| JobId(i))
-                .collect();
-            return Err(EngineError::Stalled { time: now, pending });
-        };
-
-        // 6. Advance time, accrue progress, record the trace.
-        let t_next = t_next.max(now);
-        let dt = (t_next - now).seconds();
-        if dt > 0.0 {
-            for act in &activations {
-                let st = &mut jobs[act.job.0];
-                let amount = act.rate * dt;
-                match act.phase {
-                    Phase::Uplink => st.up_done += amount,
-                    Phase::Compute => st.work_done += amount,
-                    Phase::Downlink => st.dn_done += amount,
-                }
-                trace.record(act.job, act.phase, act.target, Interval::new(now, t_next));
-                emit!(ObsEvent::Placed {
-                    job: act.job.0,
-                    origin: instance.job(act.job).origin.0,
-                    target: obs_unit(instance.job(act.job).origin, act.target, act.phase),
-                    phase: obs_phase(act.phase),
-                    interval: Interval::new(now, t_next),
-                    volume: if act.phase == Phase::Compute {
-                        0.0
-                    } else {
-                        amount
-                    },
-                });
-            }
-        }
-        now = t_next;
-
-        // 7. Job completions (phase transitions become visible to the next
-        //    decision automatically).
-        for act in &activations {
-            let st = &mut jobs[act.job.0];
-            if st.finished {
-                continue;
-            }
-            let job = instance.job(act.job);
-            if st.current_phase(job, act.target).is_none() {
-                st.finished = true;
-                st.completion = Some(now);
-                st.running = None;
-                pending.remove(job.release, act.job);
-                unfinished -= 1;
-                // A completion shrinks the pending membership: always a
-                // decision-relevant transition.
-                epoch += 1;
-                trace.complete(act.job, now);
-                emit!(ObsEvent::Completed {
-                    t: now,
-                    job: act.job.0,
-                    response: (now - job.release).seconds(),
-                });
-            }
-        }
-        std::mem::swap(&mut prev_activations, &mut activations);
-    }
-
-    emit!(ObsEvent::RunEnd { makespan: now });
-    stats.total_time = started.elapsed();
-    Ok(RunOutcome {
-        schedule: trace.finish(),
-        stats,
-        event_log,
-    })
+    Simulation::of(instance)
+        .policy(scheduler)
+        .options(opts)
+        .observer(observer)
+        .run()
 }
 
 #[cfg(test)]

@@ -1,0 +1,965 @@
+//! Resumable simulation sessions: the engine loop as a driver object.
+//!
+//! A [`Session`] owns every piece of engine state that the batch
+//! `simulate*` entry points used to keep as locals — the event queue, the
+//! per-job dynamic states, the pending set, the decision epoch, the
+//! reusable buffers — so the simulation can be *paused and resumed*
+//! between events, and jobs can be [`Session::submit`]ted while it runs.
+//! The paper's online model (§III, §V) is a stream: jobs are revealed at
+//! their release dates and the scheduler reacts. The session layer makes
+//! that literal — the batch API ([`super::simulation::Simulation::run`])
+//! is now a thin wrapper that submits everything up front and
+//! [`Session::drain`]s.
+//!
+//! # Equivalence with batch runs
+//!
+//! A session fed each job at (or before) its release date takes the exact
+//! decision points a batch run takes: the initial queue of a batch run
+//! contains every release up front, so both runs split progress accrual
+//! at the same instants and the schedules are **bit-identical** (the
+//! `session_equivalence` proptest pins this across the policy registry
+//! and fault plans). Pausing at other instants via [`Session::run_until`]
+//! inserts extra decision points; schedules remain valid but are not
+//! guaranteed bit-identical to a batch run.
+//!
+//! # Late submissions
+//!
+//! A job submitted with a release date in the past (relative to the
+//! session's virtual clock) is admitted immediately: its release event
+//! fires at the current virtual time, while its stretch keeps being
+//! measured from the *declared* release date, exactly as a batch run
+//! would have measured it.
+
+use crate::activity::{DirectiveBuffer, Phase, Target};
+use crate::instance::{Instance, InstanceError};
+use crate::job::{Job, JobId};
+use crate::resource::{ResourceId, ResourceMap};
+use crate::schedule::TraceBuilder;
+use crate::spec::EdgeId;
+use crate::state::JobState;
+use crate::view::{Availability, PendingSet, SimView};
+use std::borrow::Cow;
+use std::time::Instant;
+
+use super::events::{
+    self, obs_phase, obs_unit, prime_faults, prime_queue, EngineEvent, RANK_RELEASE,
+};
+use super::grant::{self, greedy_allocate, remaining_volume, Activation};
+use super::outcome::{EngineError, EventRecord, RunOutcome, RunStats};
+use super::{DecisionCadence, EngineOptions, OnlineScheduler};
+use mmsec_faults::FaultPlan;
+use mmsec_obs::{Event as ObsEvent, Observer, Unit};
+use mmsec_sim::{EventQueue, Interval, Time};
+
+/// Evaluates the event expression only when an observer is attached: an
+/// unobserved session pays one branch per emission point and nothing else.
+macro_rules! emit {
+    ($s:expr, $ev:expr) => {
+        if let Some(o) = $s.observer.as_deref_mut() {
+            o.on_event(&$ev);
+        }
+    };
+}
+
+/// What a bounded stepping call achieved (see [`Session::step`] and
+/// [`Session::run_until`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// One engine step ran: events fired, a decision was taken (or
+    /// skipped under gating), and virtual time advanced to the next
+    /// event horizon.
+    Advanced,
+    /// The requested time bound capped the advance: virtual time sits at
+    /// the bound, in-flight progress was accrued up to it, and the next
+    /// engine event still lies in the future.
+    Reached,
+    /// Every submitted job has finished. The session is idle; submitting
+    /// more work wakes it up.
+    Done,
+    /// Unfinished jobs exist but no activity was granted and no future
+    /// event is queued — a batch run would fail with
+    /// [`EngineError::Stalled`] here. A session reports it as a status
+    /// because a later [`Session::submit`] can unblock the run.
+    Blocked,
+}
+
+/// A completed job, as accumulated by the session between
+/// [`Session::take_completions`] calls.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompletionRecord {
+    /// The job.
+    pub job: JobId,
+    /// Origin edge unit.
+    pub origin: EdgeId,
+    /// Target the final (successful) attempt ran on.
+    pub target: Target,
+    /// Declared release date.
+    pub release: Time,
+    /// Completion time.
+    pub completion: Time,
+    /// Stretch `(C_i − r_i) / min(t^e_i, t^c_i)` — the paper's objective.
+    pub stretch: f64,
+}
+
+impl CompletionRecord {
+    /// Response time `C_i − r_i`, in seconds.
+    pub fn response(&self) -> f64 {
+        (self.completion - self.release).seconds()
+    }
+}
+
+/// A point-in-time summary of a running session (see
+/// [`Session::snapshot`]). Cheap to produce: no allocation.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionStats {
+    /// Current virtual time.
+    pub now: Time,
+    /// Jobs submitted so far (batch construction counts as submission).
+    pub submitted: usize,
+    /// Jobs that have completed.
+    pub completed: usize,
+    /// Jobs submitted but not yet finished (released or not).
+    pub unfinished: usize,
+    /// Jobs currently released and unfinished.
+    pub pending: usize,
+    /// Maximum stretch over completed jobs (`0.0` before any completion).
+    pub max_stretch: f64,
+    /// Mean stretch over completed jobs (`0.0` before any completion).
+    pub mean_stretch: f64,
+    /// Engine counters (events, decides, skips, restarts, wall time so
+    /// far).
+    pub run: RunStats,
+}
+
+/// A resumable simulation: the engine loop, paused between events.
+///
+/// Build one through [`super::simulation::Simulation::session`]; drive it
+/// with [`Session::submit`], [`Session::step`], [`Session::run_until`],
+/// and [`Session::drain`]; read progress with [`Session::snapshot`] and
+/// [`Session::take_completions`]; convert the finished run into a
+/// [`RunOutcome`] with [`Session::into_outcome`].
+pub struct Session<'a> {
+    scheduler: &'a mut dyn OnlineScheduler,
+    observer: Option<&'a mut dyn Observer>,
+    /// Borrowed for batch runs; promoted to an owned clone on the first
+    /// post-construction [`Session::submit`].
+    instance: Cow<'a, Instance>,
+    faults: Option<&'a FaultPlan>,
+    opts: EngineOptions,
+    gating: bool,
+    started_wall: Instant,
+
+    epoch: u64,
+    decided_epoch: u64,
+    unfinished: usize,
+    jobs: Vec<JobState>,
+    queue: EventQueue<EngineEvent>,
+    avail: Option<Availability>,
+    trace: TraceBuilder,
+    stats: RunStats,
+    event_log: Option<Vec<EventRecord>>,
+    now: Time,
+    /// False until the first step: the virtual clock snaps to the
+    /// earliest queued event then, so pre-start submissions can still
+    /// move the start of time backwards.
+    started: bool,
+    /// Event cap; recomputed from [`events::auto_event_limit`] on submit
+    /// (unless pinned by [`EngineOptions::max_events`]) and extended by
+    /// one per externally-imposed pause.
+    limit: u64,
+
+    // Run-long buffers, reused across events (see "Allocation
+    // discipline" in the engine module docs).
+    pending: PendingSet,
+    buf: DirectiveBuffer,
+    activations: Vec<Activation>,
+    prev_activations: Vec<Activation>,
+    blocked: ResourceMap<bool>,
+    skip: Vec<bool>,
+    seen: Vec<u64>,
+
+    completions: Vec<CompletionRecord>,
+    completed: usize,
+    stretch_sum: f64,
+    stretch_max: f64,
+    /// Epoch at which the last [`SessionStatus::Blocked`] was observed:
+    /// lets [`Session::run_until`] report Blocked again without burning
+    /// an event on a decide that cannot have changed.
+    blocked_epoch: Option<u64>,
+    /// True right after a bound capped an advance at the current time:
+    /// lets a repeated [`Session::run_until`] with the same bound return
+    /// immediately instead of re-deciding.
+    paused_at_bound: bool,
+}
+
+impl<'a> Session<'a> {
+    pub(super) fn new(
+        instance: Cow<'a, Instance>,
+        scheduler: &'a mut dyn OnlineScheduler,
+        opts: EngineOptions,
+        faults: Option<&'a FaultPlan>,
+        observer: Option<&'a mut dyn Observer>,
+    ) -> Self {
+        let started_wall = Instant::now();
+        let spec = &instance.spec;
+        assert!(
+            !spec.has_unavailability() || opts.allow_preemption,
+            "cloud availability windows require preemption"
+        );
+        // A plan that injects nothing takes the exact fault-free code
+        // path, so a zero-failure fault model is bit-identical to no
+        // model at all.
+        let faults = faults.filter(|p| !p.is_empty());
+        if let Some(plan) = faults {
+            assert_eq!(
+                plan.num_edges(),
+                spec.num_edge(),
+                "fault plan covers a different number of edges than the platform"
+            );
+            assert_eq!(
+                plan.num_clouds(),
+                spec.num_cloud(),
+                "fault plan covers a different number of clouds than the platform"
+            );
+            assert!(opts.allow_preemption, "fault injection requires preemption");
+            assert!(
+                !opts.infinite_ports || spec.edges().all(|j| plan.link_windows(j.0).is_empty()),
+                "link faults require the one-port model (infinite_ports = false)"
+            );
+        }
+        let n = instance.num_jobs();
+        let limit = opts.max_events.unwrap_or_else(|| match faults {
+            Some(plan) => events::auto_event_limit_with_faults(&instance, plan),
+            None => events::auto_event_limit(&instance),
+        });
+        let gating = opts.decision_gating
+            && opts.allow_preemption
+            && scheduler.cadence() == DecisionCadence::OnEpochChange;
+        let mut queue = prime_queue(&instance);
+        if let Some(plan) = faults {
+            prime_faults(&mut queue, plan);
+        }
+        let avail = faults.map(|_| Availability::all_up(spec.num_edge(), spec.num_cloud()));
+        let now = queue.peek_time().unwrap_or(Time::ZERO);
+        let blocked = ResourceMap::new(spec, false);
+        let event_log = opts.record_events.then(Vec::new);
+
+        scheduler.on_start(&instance);
+        let mut session = Session {
+            scheduler,
+            observer,
+            instance,
+            faults,
+            opts,
+            gating,
+            started_wall,
+            epoch: 1,
+            decided_epoch: 0,
+            unfinished: n,
+            jobs: vec![JobState::default(); n],
+            queue,
+            avail,
+            trace: TraceBuilder::new(n),
+            stats: RunStats::default(),
+            event_log,
+            now,
+            started: false,
+            limit,
+            pending: PendingSet::new(),
+            buf: DirectiveBuffer::new(),
+            activations: Vec::new(),
+            prev_activations: Vec::new(),
+            blocked,
+            skip: vec![false; n],
+            seen: vec![0u64; n],
+            completions: Vec::new(),
+            completed: 0,
+            stretch_sum: 0.0,
+            stretch_max: 0.0,
+            blocked_epoch: None,
+            paused_at_bound: false,
+        };
+        emit!(
+            session,
+            ObsEvent::RunStart {
+                policy: session.scheduler.name(),
+                jobs: n,
+                edges: session.instance.spec.num_edge(),
+                clouds: session.instance.spec.num_cloud(),
+            }
+        );
+        session
+    }
+
+    /// The instance as the session currently sees it (grows on submit).
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// True when every submitted job has finished.
+    pub fn is_idle(&self) -> bool {
+        self.unfinished == 0
+    }
+
+    /// Submits a job to the running session and returns its id.
+    ///
+    /// The job's release event is queued at its declared release date, or
+    /// at the current virtual time when that date is already in the past
+    /// (late submission — see the module docs). Fails if the origin edge
+    /// does not exist on the platform.
+    pub fn submit(&mut self, job: Job) -> Result<JobId, InstanceError> {
+        if job.origin.0 >= self.instance.spec.num_edge() {
+            return Err(InstanceError::OriginOutOfRange {
+                job: self.instance.num_jobs(),
+                origin: job.origin.0,
+            });
+        }
+        let id = JobId(self.instance.num_jobs());
+        self.instance.to_mut().jobs.push(job);
+        self.jobs.push(JobState::default());
+        self.skip.push(false);
+        self.seen.push(0);
+        self.trace.grow(1);
+        self.unfinished += 1;
+        let at = if self.started && job.release < self.now {
+            self.now
+        } else {
+            job.release
+        };
+        self.queue.push(at, RANK_RELEASE, EngineEvent::Release(id));
+        // The livelock budget scales with the submitted workload.
+        if self.opts.max_events.is_none() {
+            self.limit = match self.faults {
+                Some(plan) => events::auto_event_limit_with_faults(&self.instance, plan),
+                None => events::auto_event_limit(&self.instance),
+            };
+        }
+        self.paused_at_bound = false;
+        emit!(
+            self,
+            ObsEvent::JobSubmitted {
+                t: self.now,
+                job: id.0,
+            }
+        );
+        Ok(id)
+    }
+
+    /// Runs one engine step to the next event horizon (unbounded in
+    /// time). Equivalent to one iteration of the batch loop.
+    pub fn step(&mut self) -> Result<SessionStatus, EngineError> {
+        self.step_inner(None)
+    }
+
+    /// Advances the session up to virtual time `t` (inclusive): steps
+    /// while the next event horizon is at or before `t`, then accrues
+    /// in-flight progress up to `t` and pauses there.
+    ///
+    /// Returns [`SessionStatus::Reached`] when `t` capped the advance,
+    /// [`SessionStatus::Done`] when all submitted jobs finished first,
+    /// and [`SessionStatus::Blocked`] when unfinished jobs can make no
+    /// progress until more work is submitted.
+    pub fn run_until(&mut self, t: Time) -> Result<SessionStatus, EngineError> {
+        loop {
+            if self.unfinished == 0 {
+                return Ok(SessionStatus::Done);
+            }
+            if self.started {
+                let due = self
+                    .queue
+                    .peek_time()
+                    .is_some_and(|p| p.approx_le(self.now));
+                if !due {
+                    // Already paused at (or beyond) the bound: nothing
+                    // new can happen before `t`, so don't burn an event
+                    // on a decide that cannot change anything.
+                    if self.now > t || (self.now >= t && self.paused_at_bound) {
+                        return Ok(SessionStatus::Reached);
+                    }
+                    // Known-blocked at this epoch with an empty queue:
+                    // only a submission can unblock the run.
+                    if self.blocked_epoch == Some(self.epoch) && self.queue.is_empty() {
+                        return Ok(SessionStatus::Blocked);
+                    }
+                }
+            }
+            match self.step_inner(Some(t))? {
+                SessionStatus::Advanced => continue,
+                status => return Ok(status),
+            }
+        }
+    }
+
+    /// Runs the session to completion of every submitted job. A blocked
+    /// session is an error here — this is the batch semantics, where
+    /// unfinished jobs with no future event mean the scheduler stopped
+    /// scheduling them.
+    pub fn drain(&mut self) -> Result<(), EngineError> {
+        loop {
+            match self.step_inner(None)? {
+                SessionStatus::Advanced => {}
+                SessionStatus::Done => return Ok(()),
+                SessionStatus::Blocked => {
+                    let pending = self
+                        .jobs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| !s.finished)
+                        .map(|(i, _)| JobId(i))
+                        .collect();
+                    return Err(EngineError::Stalled {
+                        time: self.now,
+                        pending,
+                    });
+                }
+                SessionStatus::Reached => unreachable!("unbounded step cannot hit a bound"),
+            }
+        }
+    }
+
+    /// A point-in-time summary of the session. Allocation-free.
+    pub fn snapshot(&self) -> SessionStats {
+        let mut run = self.stats;
+        run.total_time = self.started_wall.elapsed();
+        SessionStats {
+            now: self.now,
+            submitted: self.instance.num_jobs(),
+            completed: self.completed,
+            unfinished: self.unfinished,
+            pending: self.pending.len(),
+            max_stretch: self.stretch_max,
+            mean_stretch: if self.completed > 0 {
+                self.stretch_sum / self.completed as f64
+            } else {
+                0.0
+            },
+            run,
+        }
+    }
+
+    /// Takes the completion records accumulated since the last call (in
+    /// completion order).
+    pub fn take_completions(&mut self) -> Vec<CompletionRecord> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Finalizes the session into a batch-style [`RunOutcome`].
+    pub fn into_outcome(mut self) -> RunOutcome {
+        emit!(self, ObsEvent::RunEnd { makespan: self.now });
+        let mut stats = self.stats;
+        stats.total_time = self.started_wall.elapsed();
+        RunOutcome {
+            schedule: self.trace.finish(),
+            stats,
+            event_log: self.event_log,
+        }
+    }
+
+    /// One iteration of the batch engine loop, optionally capped at a
+    /// time bound: fire due events, decide (or skip under gating), apply
+    /// commitments, grant resources, advance to the next horizon (or the
+    /// bound), accrue progress, process completions.
+    fn step_inner(&mut self, bound: Option<Time>) -> Result<SessionStatus, EngineError> {
+        if !self.started {
+            let Some(t0) = self.queue.peek_time() else {
+                // Nothing was ever submitted (submissions always queue a
+                // release): the session is trivially done.
+                debug_assert_eq!(self.unfinished, 0);
+                return Ok(SessionStatus::Done);
+            };
+            if bound.is_some_and(|b| t0 > b) {
+                // Time has not started yet and nothing happens before the
+                // bound; stay unstarted so earlier submissions can still
+                // move the start of time backwards.
+                return Ok(SessionStatus::Reached);
+            }
+            self.now = t0;
+            self.started = true;
+        }
+        debug_assert!(
+            bound.map_or(true, |b| b >= self.now),
+            "bound lies in the past"
+        );
+        self.paused_at_bound = false;
+
+        // 1. Fire all events at (approximately) the current instant.
+        self.fire_due_events();
+
+        if self.unfinished == 0 {
+            return Ok(SessionStatus::Done);
+        }
+
+        self.stats.events += 1;
+        if self.stats.events > self.limit {
+            return Err(EngineError::EventLimit { limit: self.limit });
+        }
+
+        // 2. Ask the policy for directives — unless gating is on and no
+        //    decision-relevant state changed since the last invoked
+        //    decide, in which case the previous sanitized buffer is
+        //    reused verbatim (finished/killed jobs always bump the
+        //    epoch, so a stale directive cannot survive a skip).
+        if self.gating && self.epoch == self.decided_epoch {
+            self.stats.decide_skips += 1;
+            emit!(
+                self,
+                ObsEvent::DecideSkipped {
+                    t: self.now,
+                    pending: self.pending.len(),
+                }
+            );
+        } else {
+            {
+                let mut view = SimView::new(&self.instance, self.now, &self.jobs, &self.pending)
+                    .with_epoch(self.epoch);
+                if let Some(av) = self.avail.as_ref() {
+                    view = view.with_availability(av);
+                }
+                emit!(
+                    self,
+                    ObsEvent::DecideStart {
+                        t: self.now,
+                        pending: view.num_pending(),
+                    }
+                );
+                self.buf.clear();
+                let t0 = Instant::now();
+                self.scheduler.decide(&view, &mut self.buf);
+                let wall = t0.elapsed();
+                self.stats.decide_time += wall;
+                // Sanitize: keep the first directive per job, drop
+                // unreleased/finished jobs.
+                let stamp = self.stats.events;
+                let jobs = &self.jobs;
+                let seen = &mut self.seen;
+                let n = jobs.len();
+                self.buf.retain(|d| {
+                    let ok = d.job.0 < n && jobs[d.job.0].active() && seen[d.job.0] != stamp;
+                    if ok {
+                        seen[d.job.0] = stamp;
+                    }
+                    ok
+                });
+                emit!(
+                    self,
+                    ObsEvent::DecideEnd {
+                        t: self.now,
+                        wall,
+                        directives: self.buf.len(),
+                    }
+                );
+            }
+            self.stats.decides += 1;
+            self.decided_epoch = self.epoch;
+            // The delta always describes "membership change since the
+            // last invoked decide", for gated and ungated runs alike.
+            self.pending.clear_delta();
+        }
+
+        // 3. Apply commitments / re-executions.
+        for d in self.buf.as_mut_slice() {
+            let st = &mut self.jobs[d.job.0];
+            match st.committed {
+                None => st.committed = Some(d.target),
+                Some(t) if t == d.target => {}
+                Some(t) => {
+                    let has_progress = st.up_done + st.work_done + st.dn_done > 0.0;
+                    let pinned = !self.opts.allow_preemption && st.running.is_some();
+                    if !has_progress && !pinned {
+                        // Nothing executed yet: re-commitment is free.
+                        st.committed = Some(d.target);
+                    } else if self.opts.allow_reexecution && !pinned {
+                        st.reset_progress();
+                        self.stats.restarts += 1;
+                        self.trace.abandon(d.job);
+                        emit!(
+                            self,
+                            ObsEvent::Restarted {
+                                t: self.now,
+                                job: d.job.0,
+                                from: obs_unit(self.instance.job(d.job).origin, t, Phase::Compute),
+                                to: obs_unit(
+                                    self.instance.job(d.job).origin,
+                                    d.target,
+                                    Phase::Compute
+                                ),
+                            }
+                        );
+                        let st = &mut self.jobs[d.job.0];
+                        st.committed = Some(d.target);
+                    } else {
+                        // Retarget refused: keep the old commitment. The
+                        // engine's buffer now differs from what the
+                        // policy emitted, so conservatively treat the
+                        // rewrite as a decision-relevant transition.
+                        d.target = t;
+                        self.epoch += 1;
+                    }
+                }
+            }
+        }
+
+        // 4. Block resources: unavailability windows, then pinned
+        //    (non-preemptable) running activities, then the greedy grant.
+        self.blocked.fill(false);
+        {
+            let spec = &self.instance.spec;
+            for k in spec.clouds() {
+                if spec
+                    .cloud_unavailability(k)
+                    .iter()
+                    .any(|w| w.contains(self.now))
+                {
+                    self.blocked[ResourceId::CloudCpu(k)] = true;
+                }
+            }
+            if let Some(av) = self.avail.as_ref() {
+                // A down edge takes its CPU and both ports with it; a
+                // link outage (factor 0) blocks only the ports, so
+                // edge-local compute continues and cloud-bound jobs pause
+                // in place.
+                for j in spec.edges() {
+                    if !av.edge_up[j.0] {
+                        self.blocked[ResourceId::EdgeCpu(j)] = true;
+                        self.blocked[ResourceId::EdgeOut(j)] = true;
+                        self.blocked[ResourceId::EdgeIn(j)] = true;
+                    } else if av.link_factor[j.0] == 0.0 {
+                        self.blocked[ResourceId::EdgeOut(j)] = true;
+                        self.blocked[ResourceId::EdgeIn(j)] = true;
+                    }
+                }
+                for k in spec.clouds() {
+                    if !av.cloud_up[k.0] {
+                        self.blocked[ResourceId::CloudCpu(k)] = true;
+                        self.blocked[ResourceId::CloudIn(k)] = true;
+                        self.blocked[ResourceId::CloudOut(k)] = true;
+                    }
+                }
+            }
+        }
+        self.activations.clear();
+        {
+            let mut view = SimView::new(&self.instance, self.now, &self.jobs, &self.pending)
+                .with_epoch(self.epoch);
+            if let Some(av) = self.avail.as_ref() {
+                view = view.with_availability(av);
+            }
+            if !self.opts.allow_preemption {
+                self.skip.fill(false);
+                grant::pin_running(
+                    &view,
+                    &mut self.blocked,
+                    &mut self.skip,
+                    &mut self.activations,
+                );
+            }
+            greedy_allocate(
+                &view,
+                self.buf.as_slice(),
+                &mut self.blocked,
+                &self.skip,
+                self.opts.infinite_ports,
+                &mut self.activations,
+            );
+        }
+        if let Some(av) = self.avail.as_ref() {
+            // Link degradation: scale granted communication rates by the
+            // origin edge's current factor. Factors of exactly 1.0 leave
+            // the rate bit-identical; factor 0 never reaches here (the
+            // ports were blocked above, so no activation was granted).
+            for act in self.activations.iter_mut() {
+                if act.phase != Phase::Compute {
+                    let f = av.link_factor[self.instance.job(act.job).origin.0];
+                    if f != 1.0 {
+                        act.rate *= f;
+                    }
+                }
+            }
+        }
+
+        // Only the previous grant can have left `running` flags set
+        // (fault kills and completions clear theirs inline), so sweep
+        // just those instead of every job.
+        for act in &self.prev_activations {
+            self.jobs[act.job.0].running = None;
+        }
+        for act in &self.activations {
+            self.jobs[act.job.0].running = Some(act.phase);
+        }
+
+        if let Some(log) = self.event_log.as_mut() {
+            log.push(EventRecord {
+                time: self.now,
+                pending: self.pending.len(),
+                activations: self
+                    .activations
+                    .iter()
+                    .map(|a| (a.job, a.phase, a.target))
+                    .collect(),
+            });
+        }
+
+        // 5. Find the next event horizon.
+        let mut t_next = self.queue.peek_time();
+        for act in &self.activations {
+            let st = &self.jobs[act.job.0];
+            let job = self.instance.job(act.job);
+            let rem = remaining_volume(st, job, act.phase) / act.rate;
+            let fin = self.now + Time::new(rem);
+            t_next = Some(t_next.map_or(fin, |t| t.min(fin)));
+        }
+        let Some(t_next) = t_next else {
+            self.blocked_epoch = Some(self.epoch);
+            return Ok(SessionStatus::Blocked);
+        };
+
+        // 6. Advance time (capped at the bound, if any), accrue progress,
+        //    record the trace.
+        let t_next = t_next.max(self.now);
+        let capped = bound.is_some_and(|b| b < t_next);
+        let t_adv = if capped {
+            // An externally-imposed pause splits one engine step in two;
+            // extend the livelock budget by the extra event.
+            self.limit += 1;
+            bound.expect("capped implies a bound").max(self.now)
+        } else {
+            t_next
+        };
+        let dt = (t_adv - self.now).seconds();
+        if dt > 0.0 {
+            for act in &self.activations {
+                let st = &mut self.jobs[act.job.0];
+                let amount = act.rate * dt;
+                match act.phase {
+                    Phase::Uplink => st.up_done += amount,
+                    Phase::Compute => st.work_done += amount,
+                    Phase::Downlink => st.dn_done += amount,
+                }
+                self.trace.record(
+                    act.job,
+                    act.phase,
+                    act.target,
+                    Interval::new(self.now, t_adv),
+                );
+                emit!(
+                    self,
+                    ObsEvent::Placed {
+                        job: act.job.0,
+                        origin: self.instance.job(act.job).origin.0,
+                        target: obs_unit(self.instance.job(act.job).origin, act.target, act.phase),
+                        phase: obs_phase(act.phase),
+                        interval: Interval::new(self.now, t_adv),
+                        volume: if act.phase == Phase::Compute {
+                            0.0
+                        } else {
+                            amount
+                        },
+                    }
+                );
+            }
+        }
+        self.now = t_adv;
+
+        // 7. Job completions (phase transitions become visible to the
+        //    next decision automatically). A capped advance stops
+        //    strictly before the next completion, so the scan is a no-op
+        //    there (kept unconditional to absorb float-boundary cases).
+        for act in &self.activations {
+            let st = &mut self.jobs[act.job.0];
+            if st.finished {
+                continue;
+            }
+            let job = self.instance.job(act.job);
+            if st.current_phase(job, act.target).is_none() {
+                st.finished = true;
+                st.completion = Some(self.now);
+                st.running = None;
+                self.pending.remove(job.release, act.job);
+                self.unfinished -= 1;
+                // A completion shrinks the pending membership: always a
+                // decision-relevant transition.
+                self.epoch += 1;
+                self.trace.complete(act.job, self.now);
+                let stretch =
+                    (self.now - job.release).seconds() / job.min_time(&self.instance.spec);
+                self.completed += 1;
+                self.stretch_sum += stretch;
+                self.stretch_max = self.stretch_max.max(stretch);
+                self.completions.push(CompletionRecord {
+                    job: act.job,
+                    origin: job.origin,
+                    target: act.target,
+                    release: job.release,
+                    completion: self.now,
+                    stretch,
+                });
+                emit!(
+                    self,
+                    ObsEvent::Completed {
+                        t: self.now,
+                        job: act.job.0,
+                        response: (self.now - job.release).seconds(),
+                    }
+                );
+            }
+        }
+        std::mem::swap(&mut self.prev_activations, &mut self.activations);
+        if capped {
+            self.paused_at_bound = true;
+            Ok(SessionStatus::Reached)
+        } else {
+            Ok(SessionStatus::Advanced)
+        }
+    }
+
+    /// Step 1 of the engine loop: pop and apply every queued event at
+    /// (approximately) the current instant, bumping the decision epoch
+    /// for decision-relevant ranks.
+    fn fire_due_events(&mut self) {
+        while let Some(t) = self.queue.peek_time() {
+            if !t.approx_le(self.now) {
+                break;
+            }
+            let (t_ev, rank, ev) = self.queue.pop_ranked().expect("peeked");
+            // Classify by rank class; the LinkChange arm below demotes
+            // itself when the re-read factor turns out unchanged.
+            let mut bump = events::rank_is_decision_relevant(rank);
+            match ev {
+                EngineEvent::Release(id) => {
+                    self.jobs[id.0].released = true;
+                    self.pending.insert(self.instance.job(id).release, id);
+                    emit!(
+                        self,
+                        ObsEvent::JobReleased {
+                            t: self.now,
+                            job: id.0,
+                        }
+                    );
+                }
+                EngineEvent::Boundary => {}
+                EngineEvent::EdgeDown(j) => {
+                    let av = self.avail.as_mut().expect("fault events imply a plan");
+                    av.edge_up[j.0] = false;
+                    emit!(
+                        self,
+                        ObsEvent::UnitDown {
+                            t: self.now,
+                            unit: Unit::Edge(j.0),
+                        }
+                    );
+                    // Work in flight on the crashed unit is lost: every
+                    // job of this origin committed to its edge CPU is
+                    // wiped and re-released (paper restart semantics).
+                    // Cloud-committed jobs of this origin merely pause —
+                    // their ports are blocked while the edge is down.
+                    for (i, st) in self.jobs.iter_mut().enumerate() {
+                        if st.finished
+                            || self.instance.job(JobId(i)).origin != j
+                            || st.committed != Some(Target::Edge)
+                        {
+                            continue;
+                        }
+                        let had_progress = st.up_done + st.work_done + st.dn_done > 0.0;
+                        st.committed = None;
+                        st.running = None;
+                        if had_progress {
+                            st.reset_progress();
+                            self.stats.restarts += 1;
+                            self.trace.abandon(JobId(i));
+                            if let Some(o) = self.observer.as_deref_mut() {
+                                o.on_event(&ObsEvent::JobKilled {
+                                    t: self.now,
+                                    job: i,
+                                    unit: Unit::Edge(j.0),
+                                });
+                            }
+                        }
+                    }
+                }
+                EngineEvent::EdgeUp(j) => {
+                    let av = self.avail.as_mut().expect("fault events imply a plan");
+                    av.edge_up[j.0] = true;
+                    emit!(
+                        self,
+                        ObsEvent::UnitUp {
+                            t: self.now,
+                            unit: Unit::Edge(j.0),
+                        }
+                    );
+                }
+                EngineEvent::CloudDown(k) => {
+                    let av = self.avail.as_mut().expect("fault events imply a plan");
+                    av.cloud_up[k.0] = false;
+                    emit!(
+                        self,
+                        ObsEvent::UnitDown {
+                            t: self.now,
+                            unit: Unit::Cloud(k.0),
+                        }
+                    );
+                    for (i, st) in self.jobs.iter_mut().enumerate() {
+                        if st.finished || st.committed != Some(Target::Cloud(k)) {
+                            continue;
+                        }
+                        let had_progress = st.up_done + st.work_done + st.dn_done > 0.0;
+                        st.committed = None;
+                        st.running = None;
+                        if had_progress {
+                            st.reset_progress();
+                            self.stats.restarts += 1;
+                            self.trace.abandon(JobId(i));
+                            if let Some(o) = self.observer.as_deref_mut() {
+                                o.on_event(&ObsEvent::JobKilled {
+                                    t: self.now,
+                                    job: i,
+                                    unit: Unit::Cloud(k.0),
+                                });
+                            }
+                        }
+                    }
+                }
+                EngineEvent::CloudUp(k) => {
+                    let av = self.avail.as_mut().expect("fault events imply a plan");
+                    av.cloud_up[k.0] = true;
+                    emit!(
+                        self,
+                        ObsEvent::UnitUp {
+                            t: self.now,
+                            unit: Unit::Cloud(k.0),
+                        }
+                    );
+                }
+                EngineEvent::LinkChange(j) => {
+                    // Re-read the factor at the event's own (exact) time:
+                    // windows are half-open, so the change at a window's
+                    // end restores 1.0 and the one at its start applies
+                    // the window's factor.
+                    let plan = self.faults.expect("fault events imply a plan");
+                    let av = self.avail.as_mut().expect("fault events imply a plan");
+                    let f = plan.link_factor_at(j.0, t_ev);
+                    if av.link_factor[j.0] != f {
+                        av.link_factor[j.0] = f;
+                        emit!(
+                            self,
+                            ObsEvent::LinkDegraded {
+                                t: self.now,
+                                edge: j.0,
+                                factor: f,
+                            }
+                        );
+                    } else {
+                        bump = false;
+                    }
+                }
+            }
+            if bump {
+                self.epoch += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The one batch entry point: a builder collapsing the historical
+//! `simulate` / `simulate_with` / `simulate_observed` /
+//! `simulate_with_faults` / `simulate_with_faults_observed` quintet.
+//!
+//! ```
+//! use mmsec_platform::{figure1_instance, Simulation};
+//! # struct Noop;
+//! # impl mmsec_platform::OnlineScheduler for Noop {
+//! #     fn name(&self) -> String { "noop".into() }
+//! #     fn decide(&mut self, view: &mmsec_platform::SimView<'_>,
+//! #               out: &mut mmsec_platform::DirectiveBuffer) {
+//! #         for id in view.pending_jobs() {
+//! #             out.push(id, mmsec_platform::Target::Edge);
+//! #         }
+//! #     }
+//! # }
+//! let instance = figure1_instance();
+//! let mut policy = Noop;
+//! let outcome = Simulation::of(&instance).policy(&mut policy).run().unwrap();
+//! assert!(outcome.schedule.all_finished());
+//! ```
+//!
+//! Every optional ingredient — engine options, a fault plan, an observer
+//! — is attached with a builder method; [`Simulation::run`] executes to
+//! completion, while [`Simulation::session`] hands back the underlying
+//! resumable [`Session`] for streaming use ([`Session::submit`] /
+//! [`Session::run_until`]).
+
+use super::outcome::{EngineError, RunOutcome};
+use super::session::Session;
+use super::{EngineOptions, OnlineScheduler};
+use crate::instance::Instance;
+use mmsec_faults::FaultPlan;
+use mmsec_obs::Observer;
+use std::borrow::Cow;
+
+/// Builder for a simulation run (see the module docs).
+pub struct Simulation<'a> {
+    instance: &'a Instance,
+    policy: Option<&'a mut dyn OnlineScheduler>,
+    opts: EngineOptions,
+    faults: Option<&'a FaultPlan>,
+    observer: Option<&'a mut dyn Observer>,
+}
+
+impl<'a> Simulation<'a> {
+    /// Starts a builder over `instance` with default [`EngineOptions`].
+    pub fn of(instance: &'a Instance) -> Self {
+        Simulation {
+            instance,
+            policy: None,
+            opts: EngineOptions::default(),
+            faults: None,
+            observer: None,
+        }
+    }
+
+    /// Sets the scheduling policy (required before [`Simulation::run`] or
+    /// [`Simulation::session`]).
+    pub fn policy(mut self, policy: &'a mut dyn OnlineScheduler) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Overrides the engine options (default: the paper's model).
+    pub fn options(mut self, opts: EngineOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Injects the faults of a compiled [`FaultPlan`]: units crash and
+    /// recover at the plan's window boundaries, work in flight on a
+    /// crashed unit is lost (the job re-executes from scratch and
+    /// [`super::RunStats::restarts`] is incremented), and link windows
+    /// pause or slow the affected edge's communications without wiping
+    /// progress. An empty plan takes the exact fault-free code path.
+    /// Fault injection requires preemption; link windows additionally
+    /// require the one-port model.
+    pub fn faults(mut self, plan: &'a FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Streams typed [`mmsec_obs::Event`]s to `observer` during the run.
+    /// Policy-internal events additionally require handing the policy a
+    /// clone of the same observer via
+    /// [`OnlineScheduler::attach_observer`] before running — typically
+    /// through [`mmsec_obs::Shared`].
+    pub fn observer(mut self, observer: &'a mut dyn Observer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Builds the resumable [`Session`] (streaming use). The instance's
+    /// jobs are pre-submitted; more can be [`Session::submit`]ted while
+    /// it runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no policy was set, if availability windows are combined
+    /// with `allow_preemption = false`, or if the fault plan does not
+    /// match the platform shape.
+    pub fn session(self) -> Session<'a> {
+        let policy = self
+            .policy
+            .expect("Simulation::policy must be set before running");
+        Session::new(
+            Cow::Borrowed(self.instance),
+            policy,
+            self.opts,
+            self.faults,
+            self.observer,
+        )
+    }
+
+    /// Runs the simulation to completion: submit everything, drain,
+    /// finalize. Bit-identical to the historical `simulate*` entry
+    /// points.
+    ///
+    /// # Panics
+    ///
+    /// See [`Simulation::session`].
+    pub fn run(self) -> Result<RunOutcome, EngineError> {
+        let mut session = self.session();
+        session.drain()?;
+        Ok(session.into_outcome())
+    }
+}

@@ -1,8 +1,10 @@
 use super::*;
-use crate::activity::Target;
+use crate::activity::{Phase, Target};
 use crate::instance::figure1_instance;
-use crate::job::Job;
+use crate::job::{Job, JobId};
 use crate::spec::{CloudId, EdgeId, PlatformSpec};
+use mmsec_obs::Event as ObsEvent;
+use mmsec_sim::Time;
 
 /// Sends every job to the cloud processor 0, FIFO priority.
 struct AllCloudFifo;
@@ -47,7 +49,10 @@ fn single_job_instance(work: f64, up: f64, dn: f64) -> Instance {
 #[test]
 fn single_cloud_job_timing() {
     let inst = single_job_instance(3.0, 1.0, 2.0);
-    let out = simulate(&inst, &mut AllCloudFifo).unwrap();
+    let out = Simulation::of(&inst)
+        .policy(&mut AllCloudFifo)
+        .run()
+        .unwrap();
     // up 1 + work 3 + dn 2 = 6.
     assert_eq!(out.schedule.completion[0], Some(Time::new(6.0)));
     assert_eq!(out.schedule.alloc[0], Some(Target::Cloud(CloudId(0))));
@@ -60,7 +65,10 @@ fn single_cloud_job_timing() {
 #[test]
 fn single_edge_job_timing() {
     let inst = single_job_instance(3.0, 1.0, 2.0);
-    let out = simulate(&inst, &mut AllEdgeFifo).unwrap();
+    let out = Simulation::of(&inst)
+        .policy(&mut AllEdgeFifo)
+        .run()
+        .unwrap();
     // 3 work at speed 0.5 → 6 seconds.
     assert_eq!(out.schedule.completion[0], Some(Time::new(6.0)));
     assert_eq!(out.schedule.alloc[0], Some(Target::Edge));
@@ -70,7 +78,10 @@ fn single_edge_job_timing() {
 #[test]
 fn zero_comm_job_skips_phases() {
     let inst = single_job_instance(4.0, 0.0, 0.0);
-    let out = simulate(&inst, &mut AllCloudFifo).unwrap();
+    let out = Simulation::of(&inst)
+        .policy(&mut AllCloudFifo)
+        .run()
+        .unwrap();
     assert_eq!(out.schedule.completion[0], Some(Time::new(4.0)));
     assert!(out.schedule.up[0].is_empty());
     assert!(out.schedule.dn[0].is_empty());
@@ -81,7 +92,10 @@ fn release_dates_are_respected() {
     let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
     let jobs = vec![Job::new(EdgeId(0), 5.0, 2.0, 0.0, 0.0)];
     let inst = Instance::new(spec, jobs).unwrap();
-    let out = simulate(&inst, &mut AllEdgeFifo).unwrap();
+    let out = Simulation::of(&inst)
+        .policy(&mut AllEdgeFifo)
+        .run()
+        .unwrap();
     assert_eq!(out.schedule.exec[0].min_start(), Some(Time::new(5.0)));
     assert_eq!(out.schedule.completion[0], Some(Time::new(7.0)));
 }
@@ -94,7 +108,10 @@ fn cloud_serializes_two_jobs() {
         Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0),
     ];
     let inst = Instance::new(spec, jobs).unwrap();
-    let out = simulate(&inst, &mut AllCloudFifo).unwrap();
+    let out = Simulation::of(&inst)
+        .policy(&mut AllCloudFifo)
+        .run()
+        .unwrap();
     // J1: up [0,1), exec [1,3), dn [3,4). J2's uplink must wait for the
     // edge send port: up [1,2), exec [3,5), dn [5,6).
     assert_eq!(out.schedule.completion[0], Some(Time::new(4.0)));
@@ -105,7 +122,10 @@ fn cloud_serializes_two_jobs() {
 #[test]
 fn stalled_scheduler_reports_error() {
     let inst = single_job_instance(1.0, 0.0, 0.0);
-    let err = simulate(&inst, &mut DoNothing).unwrap_err();
+    let err = Simulation::of(&inst)
+        .policy(&mut DoNothing)
+        .run()
+        .unwrap_err();
     assert!(matches!(err, EngineError::Stalled { pending, .. } if pending.len() == 1));
 }
 
@@ -132,20 +152,22 @@ fn infinite_ports_allow_parallel_uplinks() {
     }
 
     // One-port: second uplink waits → completions 3 and 5.
-    let strict = simulate(&inst, &mut SpreadCloud).unwrap();
+    let strict = Simulation::of(&inst)
+        .policy(&mut SpreadCloud)
+        .run()
+        .unwrap();
     assert_eq!(strict.schedule.completion[0], Some(Time::new(3.0)));
     assert_eq!(strict.schedule.completion[1], Some(Time::new(5.0)));
 
     // Macro-dataflow ablation: both uplinks in parallel → both at 3.
-    let loose = simulate_with(
-        &inst,
-        &mut SpreadCloud,
-        EngineOptions {
+    let loose = Simulation::of(&inst)
+        .policy(&mut SpreadCloud)
+        .options(EngineOptions {
             infinite_ports: true,
             ..EngineOptions::default()
-        },
-    )
-    .unwrap();
+        })
+        .run()
+        .unwrap();
     assert_eq!(loose.schedule.completion[0], Some(Time::new(3.0)));
     assert_eq!(loose.schedule.completion[1], Some(Time::new(3.0)));
 }
@@ -184,7 +206,10 @@ fn reexecution_wipes_progress() {
     let mut jobs2 = inst.jobs.clone();
     jobs2.push(Job::new(EdgeId(0), 2.0, 0.5, 10.0, 10.0));
     let inst2 = Instance::new(inst.spec.clone(), jobs2).unwrap();
-    let out = simulate(&inst2, &mut Flip { calls: 0 }).unwrap();
+    let out = Simulation::of(&inst2)
+        .policy(&mut Flip { calls: 0 })
+        .run()
+        .unwrap();
     // J1 runs on edge [0,2) (2 of 4 work done), then restarts on the
     // cloud at t=2: up [2,3), exec [3,7), dn [7,8).
     assert_eq!(out.schedule.completion[0], Some(Time::new(8.0)));
@@ -203,15 +228,14 @@ fn reexecution_can_be_disabled() {
     ];
     let inst = Instance::new(spec, jobs).unwrap();
 
-    let out = simulate_with(
-        &inst,
-        &mut Flip { calls: 0 },
-        EngineOptions {
+    let out = Simulation::of(&inst)
+        .policy(&mut Flip { calls: 0 })
+        .options(EngineOptions {
             allow_reexecution: false,
             ..EngineOptions::default()
-        },
-    )
-    .unwrap();
+        })
+        .run()
+        .unwrap();
     // The retarget is refused: J1 stays on the edge, finishing at 4.
     assert_eq!(out.schedule.completion[0], Some(Time::new(4.0)));
     assert_eq!(out.schedule.restarts[0], 0);
@@ -243,19 +267,18 @@ fn non_preemptive_mode_pins_activities() {
         }
     }
 
-    let preemptive = simulate(&inst, &mut Lifo).unwrap();
+    let preemptive = Simulation::of(&inst).policy(&mut Lifo).run().unwrap();
     assert_eq!(preemptive.schedule.completion[1], Some(Time::new(2.0)));
     assert_eq!(preemptive.schedule.completion[0], Some(Time::new(11.0)));
 
-    let nonpre = simulate_with(
-        &inst,
-        &mut Lifo,
-        EngineOptions {
+    let nonpre = Simulation::of(&inst)
+        .policy(&mut Lifo)
+        .options(EngineOptions {
             allow_preemption: false,
             ..EngineOptions::default()
-        },
-    )
-    .unwrap();
+        })
+        .run()
+        .unwrap();
     assert_eq!(nonpre.schedule.completion[0], Some(Time::new(10.0)));
     assert_eq!(nonpre.schedule.completion[1], Some(Time::new(11.0)));
 }
@@ -267,7 +290,10 @@ fn unavailability_window_pauses_cloud_compute() {
         .with_cloud_unavailability(CloudId(0), &[Interval::from_secs(2.0, 5.0)]);
     let jobs = vec![Job::new(EdgeId(0), 0.0, 4.0, 1.0, 0.0)];
     let inst = Instance::new(spec, jobs).unwrap();
-    let out = simulate(&inst, &mut AllCloudFifo).unwrap();
+    let out = Simulation::of(&inst)
+        .policy(&mut AllCloudFifo)
+        .run()
+        .unwrap();
     // up [0,1), exec [1,2) then paused during [2,5), exec [5,8).
     assert_eq!(out.schedule.completion[0], Some(Time::new(8.0)));
     assert_eq!(out.schedule.exec[0].total_length(), Time::new(4.0));
@@ -277,24 +303,29 @@ fn unavailability_window_pauses_cloud_compute() {
 #[test]
 fn figure1_runs_under_fifo_policies() {
     let inst = figure1_instance();
-    let out = simulate(&inst, &mut AllEdgeFifo).unwrap();
+    let out = Simulation::of(&inst)
+        .policy(&mut AllEdgeFifo)
+        .run()
+        .unwrap();
     assert!(out.schedule.all_finished());
-    let out = simulate(&inst, &mut AllCloudFifo).unwrap();
+    let out = Simulation::of(&inst)
+        .policy(&mut AllCloudFifo)
+        .run()
+        .unwrap();
     assert!(out.schedule.all_finished());
 }
 
 #[test]
 fn event_log_records_decisions() {
     let inst = single_job_instance(3.0, 1.0, 2.0);
-    let out = simulate_with(
-        &inst,
-        &mut AllCloudFifo,
-        EngineOptions {
+    let out = Simulation::of(&inst)
+        .policy(&mut AllCloudFifo)
+        .options(EngineOptions {
             record_events: true,
             ..EngineOptions::default()
-        },
-    )
-    .unwrap();
+        })
+        .run()
+        .unwrap();
     let log = out.event_log.expect("log recorded");
     assert!(!log.is_empty());
     // First decision at t = 0 activates the uplink.
@@ -309,7 +340,10 @@ fn event_log_records_decisions() {
         assert!(w[0].time <= w[1].time);
     }
     // Without the option, no log is produced.
-    let out = simulate(&inst, &mut AllCloudFifo).unwrap();
+    let out = Simulation::of(&inst)
+        .policy(&mut AllCloudFifo)
+        .run()
+        .unwrap();
     assert!(out.event_log.is_none());
 }
 
@@ -334,8 +368,11 @@ fn observed_run_emits_a_well_formed_event_stream() {
     }
     let inst = figure1_instance();
     let mut cap = Capture(Vec::new(), 0, 0);
-    let out =
-        simulate_observed(&inst, &mut AllCloudFifo, EngineOptions::default(), &mut cap).unwrap();
+    let out = Simulation::of(&inst)
+        .policy(&mut AllCloudFifo)
+        .observer(&mut cap)
+        .run()
+        .unwrap();
     let Capture(tags, placed, completed) = cap;
     assert_eq!(tags.first().map(String::as_str), Some("run-start"));
     assert_eq!(tags.last().map(String::as_str), Some("run-end"));
@@ -349,22 +386,24 @@ fn observed_run_emits_a_well_formed_event_stream() {
         tags.iter().filter(|t| *t == "decide-end").count()
     );
     // The observed run produces the same schedule as the plain one.
-    let plain = simulate(&inst, &mut AllCloudFifo).unwrap();
+    let plain = Simulation::of(&inst)
+        .policy(&mut AllCloudFifo)
+        .run()
+        .unwrap();
     assert_eq!(out.schedule, plain.schedule);
 }
 
 #[test]
 fn event_limit_guards_against_livelock() {
     let inst = single_job_instance(1e9, 0.0, 0.0);
-    let err = simulate_with(
-        &inst,
-        &mut AllEdgeFifo,
-        EngineOptions {
+    let err = Simulation::of(&inst)
+        .policy(&mut AllEdgeFifo)
+        .options(EngineOptions {
             max_events: Some(0),
             ..EngineOptions::default()
-        },
-    )
-    .unwrap_err();
+        })
+        .run()
+        .unwrap_err();
     assert_eq!(err, EngineError::EventLimit { limit: 0 });
 }
 
@@ -397,7 +436,10 @@ fn auto_event_limit_catches_livelocked_policy() {
     let inst = Instance::new(spec, jobs).unwrap();
     let expected = events::auto_event_limit(&inst);
     assert_eq!(expected, 1000 + 64);
-    let err = simulate(&inst, &mut Thrash { calls: 0 }).unwrap_err();
+    let err = Simulation::of(&inst)
+        .policy(&mut Thrash { calls: 0 })
+        .run()
+        .unwrap_err();
     assert_eq!(err, EngineError::EventLimit { limit: expected });
 }
 
@@ -411,15 +453,14 @@ fn pending_set_is_maintained_incrementally() {
         Job::new(EdgeId(0), 1.0, 2.0, 0.0, 0.0),
     ];
     let inst = Instance::new(spec, jobs).unwrap();
-    let out = simulate_with(
-        &inst,
-        &mut AllEdgeFifo,
-        EngineOptions {
+    let out = Simulation::of(&inst)
+        .policy(&mut AllEdgeFifo)
+        .options(EngineOptions {
             record_events: true,
             ..EngineOptions::default()
-        },
-    )
-    .unwrap();
+        })
+        .run()
+        .unwrap();
     let log = out.event_log.expect("log recorded");
     let counts: Vec<_> = log.iter().map(|r| r.pending).collect();
     // t=0: job 0 pending; t=1: both pending; t=2: job 0 done, job 1 left.
@@ -438,11 +479,16 @@ mod faults {
     #[test]
     fn empty_plan_is_bit_identical_to_fault_free_run() {
         let inst = figure1_instance();
-        let plain = simulate(&inst, &mut AllCloudFifo).unwrap();
+        let plain = Simulation::of(&inst)
+            .policy(&mut AllCloudFifo)
+            .run()
+            .unwrap();
         let plan = FaultPlan::empty(inst.spec.num_edge(), inst.spec.num_cloud());
-        let faulted =
-            simulate_with_faults(&inst, &mut AllCloudFifo, EngineOptions::default(), &plan)
-                .unwrap();
+        let faulted = Simulation::of(&inst)
+            .policy(&mut AllCloudFifo)
+            .faults(&plan)
+            .run()
+            .unwrap();
         assert_eq!(plain.schedule, faulted.schedule);
         assert_eq!(plain.stats.events, faulted.stats.events);
     }
@@ -455,8 +501,11 @@ mod faults {
         let inst = single_job_instance(4.0, 0.0, 0.0);
         let mut plan = FaultPlan::empty(1, 1);
         plan.add_edge_down(0, Interval::from_secs(2.0, 3.0));
-        let out =
-            simulate_with_faults(&inst, &mut AllEdgeFifo, EngineOptions::default(), &plan).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(&mut AllEdgeFifo)
+            .faults(&plan)
+            .run()
+            .unwrap();
         assert_eq!(out.schedule.completion[0], Some(Time::new(11.0)));
         assert_eq!(out.stats.restarts, 1);
     }
@@ -472,7 +521,10 @@ mod faults {
         let inst = single_job_instance(1.0, 1.0, 2.0);
         let mut plan = FaultPlan::empty(1, 1);
         plan.add_cloud_down(0, Interval::from_secs(2.5, 3.0));
-        let out = simulate_with_faults(&inst, &mut AllCloudFifo, EngineOptions::default(), &plan)
+        let out = Simulation::of(&inst)
+            .policy(&mut AllCloudFifo)
+            .faults(&plan)
+            .run()
             .unwrap();
         assert_eq!(out.schedule.completion[0], Some(Time::new(7.0)));
         assert_eq!(out.stats.restarts, 1);
@@ -488,7 +540,10 @@ mod faults {
         let inst = single_job_instance(1.0, 2.0, 0.0);
         let mut plan = FaultPlan::empty(1, 1);
         plan.add_edge_down(0, Interval::from_secs(1.0, 2.0));
-        let out = simulate_with_faults(&inst, &mut AllCloudFifo, EngineOptions::default(), &plan)
+        let out = Simulation::of(&inst)
+            .policy(&mut AllCloudFifo)
+            .faults(&plan)
+            .run()
             .unwrap();
         assert_eq!(out.schedule.completion[0], Some(Time::new(4.0)));
         assert_eq!(out.stats.restarts, 0);
@@ -502,7 +557,10 @@ mod faults {
         let inst = single_job_instance(1.0, 2.0, 0.0);
         let mut plan = FaultPlan::empty(1, 1);
         plan.add_link_window(0, LinkWindow::new(Interval::from_secs(1.0, 2.0), 0.0));
-        let out = simulate_with_faults(&inst, &mut AllCloudFifo, EngineOptions::default(), &plan)
+        let out = Simulation::of(&inst)
+            .policy(&mut AllCloudFifo)
+            .faults(&plan)
+            .run()
             .unwrap();
         assert_eq!(out.schedule.completion[0], Some(Time::new(4.0)));
         assert_eq!(out.stats.restarts, 0);
@@ -515,7 +573,10 @@ mod faults {
         let inst = single_job_instance(1.0, 1.0, 0.0);
         let mut plan = FaultPlan::empty(1, 1);
         plan.add_link_window(0, LinkWindow::new(Interval::from_secs(0.0, 10.0), 0.5));
-        let out = simulate_with_faults(&inst, &mut AllCloudFifo, EngineOptions::default(), &plan)
+        let out = Simulation::of(&inst)
+            .policy(&mut AllCloudFifo)
+            .faults(&plan)
+            .run()
             .unwrap();
         assert_eq!(out.schedule.completion[0], Some(Time::new(3.0)));
         assert_eq!(out.schedule.up[0].total_length(), Time::new(2.0));
@@ -531,7 +592,10 @@ mod faults {
         let inst = single_job_instance(4.0, 0.0, 0.0);
         let mut plan = FaultPlan::empty(1, 1);
         plan.set_edge_dead_from(0, Time::new(2.0));
-        let err = simulate_with_faults(&inst, &mut AllEdgeFifo, EngineOptions::default(), &plan)
+        let err = Simulation::of(&inst)
+            .policy(&mut AllEdgeFifo)
+            .faults(&plan)
+            .run()
             .unwrap_err();
         assert!(
             matches!(err, EngineError::Stalled { ref pending, .. } if pending.len() == 1),
@@ -551,16 +615,227 @@ mod faults {
         let mut plan = FaultPlan::empty(1, 1);
         plan.add_edge_down(0, Interval::from_secs(2.0, 3.0));
         let mut cap = Capture(Vec::new());
-        simulate_with_faults_observed(
-            &inst,
-            &mut AllEdgeFifo,
-            EngineOptions::default(),
-            &plan,
-            &mut cap,
-        )
-        .unwrap();
+        Simulation::of(&inst)
+            .policy(&mut AllEdgeFifo)
+            .faults(&plan)
+            .observer(&mut cap)
+            .run()
+            .unwrap();
         assert!(cap.0.iter().any(|t| t == "unit-down"));
         assert!(cap.0.iter().any(|t| t == "unit-up"));
         assert!(cap.0.iter().any(|t| t == "job-killed"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming sessions (see `engine::session`).
+// ---------------------------------------------------------------------------
+
+mod session {
+    use super::*;
+
+    #[test]
+    fn mid_run_submit_is_bit_identical_to_batch() {
+        // Batch: both jobs known up front.
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 1);
+        let j0 = Job::new(EdgeId(0), 0.0, 3.0, 1.0, 1.0);
+        let j1 = Job::new(EdgeId(0), 3.0, 2.0, 1.0, 1.0);
+        let batch_inst = Instance::new(spec.clone(), vec![j0, j1]).unwrap();
+        let batch = Simulation::of(&batch_inst)
+            .policy(&mut AllCloudFifo)
+            .run()
+            .unwrap();
+
+        // Session: the second job arrives only once time has reached its
+        // release date.
+        let inst = Instance::new(spec, vec![j0]).unwrap();
+        let mut policy = AllCloudFifo;
+        let mut session = Simulation::of(&inst).policy(&mut policy).session();
+        assert_eq!(
+            session.run_until(Time::new(3.0)).unwrap(),
+            SessionStatus::Reached
+        );
+        let id = session.submit(j1).unwrap();
+        assert_eq!(id, JobId(1));
+        session.drain().unwrap();
+        let out = session.into_outcome();
+
+        assert_eq!(out.schedule, batch.schedule);
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes() {
+        let inst = single_job_instance(3.0, 1.0, 2.0); // completes at 6.
+        let mut policy = AllCloudFifo;
+        let mut session = Simulation::of(&inst).policy(&mut policy).session();
+        assert_eq!(
+            session.run_until(Time::new(2.5)).unwrap(),
+            SessionStatus::Reached
+        );
+        assert_eq!(session.now(), Time::new(2.5));
+        // Re-requesting the same bound is a cheap no-op, not an event.
+        let events = session.snapshot().run.events;
+        assert_eq!(
+            session.run_until(Time::new(2.5)).unwrap(),
+            SessionStatus::Reached
+        );
+        assert_eq!(session.snapshot().run.events, events);
+        // A generous bound runs to completion.
+        assert_eq!(
+            session.run_until(Time::new(100.0)).unwrap(),
+            SessionStatus::Done
+        );
+        assert!(session.is_idle());
+        let out = session.into_outcome();
+        assert_eq!(out.schedule.completion[0], Some(Time::new(6.0)));
+    }
+
+    #[test]
+    fn pause_does_not_change_the_schedule() {
+        let inst = figure1_instance();
+        let mut policy = AllCloudFifo;
+        let batch = Simulation::of(&inst).policy(&mut policy).run().unwrap();
+
+        let mut policy = AllCloudFifo;
+        let mut session = Simulation::of(&inst).policy(&mut policy).session();
+        // Pause at many awkward instants, including repeats.
+        for k in 1..40 {
+            session.run_until(Time::new(k as f64 * 0.7)).unwrap();
+        }
+        session.drain().unwrap();
+        assert_eq!(session.into_outcome().schedule, batch.schedule);
+    }
+
+    #[test]
+    fn blocked_session_wakes_on_submit() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
+        let mut policy = DoNothing;
+        let mut session = Simulation::of(&inst).policy(&mut policy).session();
+        // The scheduler grants nothing and no future event exists.
+        assert_eq!(session.step().unwrap(), SessionStatus::Blocked);
+        // A blocked session is resumable: new work re-arms the queue.
+        session
+            .submit(Job::new(EdgeId(0), 5.0, 1.0, 0.0, 0.0))
+            .unwrap();
+        assert_eq!(session.step().unwrap(), SessionStatus::Advanced);
+        assert_eq!(session.now(), Time::new(5.0));
+        // Draining while jobs can never finish is the batch stall.
+        assert!(matches!(session.drain(), Err(EngineError::Stalled { .. })));
+    }
+
+    #[test]
+    fn late_submission_runs_now_but_keeps_declared_release() {
+        let inst = single_job_instance(1.0, 0.0, 0.0); // edge speed 0.5: done at 2.
+        let mut policy = AllEdgeFifo;
+        let mut session = Simulation::of(&inst).policy(&mut policy).session();
+        assert_eq!(
+            session.run_until(Time::new(4.0)).unwrap(),
+            SessionStatus::Done
+        );
+        // `Done` leaves the clock at the last completion (t = 2), and the
+        // declared release 1.0 lies in the past: the job starts now.
+        assert_eq!(session.now(), Time::new(2.0));
+        session
+            .submit(Job::new(EdgeId(0), 1.0, 1.0, 0.0, 0.0))
+            .unwrap();
+        session.drain().unwrap();
+        let recs = session.take_completions();
+        assert_eq!(recs.len(), 2);
+        let late = recs[1];
+        assert_eq!(late.release, Time::new(1.0));
+        assert_eq!(late.completion, Time::new(4.0)); // starts at 2, runs 2.
+                                                     // Stretch is measured from the declared release, over the fastest
+                                                     // processing time min(t^e, t^c) = min(2, 1): (4 − 1) / 1.
+        assert!((late.stretch - 3.0).abs() < 1e-12);
+        // Records are handed over exactly once.
+        assert!(session.take_completions().is_empty());
+    }
+
+    #[test]
+    fn snapshot_tracks_progress() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let jobs = vec![
+            Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
+            Job::new(EdgeId(0), 10.0, 1.0, 0.0, 0.0),
+        ];
+        let inst = Instance::new(spec, jobs).unwrap();
+        let mut policy = AllEdgeFifo;
+        let mut session = Simulation::of(&inst).policy(&mut policy).session();
+
+        let s = session.snapshot();
+        assert_eq!((s.submitted, s.completed, s.unfinished), (2, 0, 2));
+
+        session.run_until(Time::new(5.0)).unwrap();
+        let s = session.snapshot();
+        assert_eq!((s.submitted, s.completed, s.unfinished), (2, 1, 1));
+        assert_eq!(s.pending, 0); // second job not released yet.
+        assert_eq!(s.max_stretch, 1.0);
+
+        session.drain().unwrap();
+        let s = session.snapshot();
+        assert_eq!((s.completed, s.unfinished, s.pending), (2, 0, 0));
+        assert_eq!(s.now, Time::new(11.0));
+    }
+
+    #[test]
+    fn submit_rejects_bad_origin() {
+        let inst = single_job_instance(1.0, 0.0, 0.0);
+        let mut policy = AllEdgeFifo;
+        let mut session = Simulation::of(&inst).policy(&mut policy).session();
+        let bad = Job::new(EdgeId(7), 0.0, 1.0, 0.0, 0.0);
+        assert!(matches!(
+            session.submit(bad),
+            Err(crate::instance::InstanceError::OriginOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn presubmission_can_move_the_start_of_time_backwards() {
+        // The instance's only job releases at 10; a pre-start submission
+        // at 2 must run first — the clock snaps to the earliest event.
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 10.0, 1.0, 0.0, 0.0)]).unwrap();
+        let mut policy = AllEdgeFifo;
+        let mut session = Simulation::of(&inst).policy(&mut policy).session();
+        session
+            .submit(Job::new(EdgeId(0), 2.0, 1.0, 0.0, 0.0))
+            .unwrap();
+        session.drain().unwrap();
+        let out = session.into_outcome();
+        assert_eq!(out.schedule.completion[1], Some(Time::new(3.0)));
+        assert_eq!(out.schedule.completion[0], Some(Time::new(11.0)));
+    }
+}
+
+/// The deprecated `simulate*` quintet must stay working, thin, and
+/// bit-identical to the [`Simulation`] builder until removal.
+#[allow(deprecated)]
+mod deprecated_wrappers {
+    use super::*;
+    use mmsec_faults::FaultConfig;
+    use mmsec_obs::NullObserver;
+
+    #[test]
+    fn wrappers_match_the_builder() {
+        let inst = figure1_instance();
+        let reference = Simulation::of(&inst)
+            .policy(&mut AllCloudFifo)
+            .run()
+            .unwrap();
+        let opts = EngineOptions::default();
+        let plan = FaultConfig::none(inst.spec.num_edge(), inst.spec.num_cloud())
+            .compile(1, Time::new(1e6));
+        let mut obs = NullObserver;
+
+        let a = simulate(&inst, &mut AllCloudFifo).unwrap();
+        let b = simulate_with(&inst, &mut AllCloudFifo, opts).unwrap();
+        let c = simulate_observed(&inst, &mut AllCloudFifo, opts, &mut obs).unwrap();
+        let d = simulate_with_faults(&inst, &mut AllCloudFifo, opts, &plan).unwrap();
+        let e =
+            simulate_with_faults_observed(&inst, &mut AllCloudFifo, opts, &plan, &mut obs).unwrap();
+        for out in [a, b, c, d, e] {
+            assert_eq!(out.schedule, reference.schedule);
+        }
     }
 }

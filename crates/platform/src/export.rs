@@ -236,7 +236,7 @@ pub fn schedule_from_csv(instance: &Instance, csv: &str) -> Result<Schedule, Imp
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{simulate, OnlineScheduler};
+    use crate::engine::{OnlineScheduler, Simulation};
     use crate::instance::figure1_instance;
     use crate::view::SimView;
     use crate::{CloudId, DirectiveBuffer};
@@ -256,7 +256,7 @@ mod tests {
     #[test]
     fn export_contains_all_phases_sorted() {
         let inst = figure1_instance();
-        let out = simulate(&inst, &mut AllCloud).unwrap();
+        let out = Simulation::of(&inst).policy(&mut AllCloud).run().unwrap();
         let csv = schedule_to_csv(&inst, &out.schedule);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], CSV_HEADER);
@@ -277,7 +277,7 @@ mod tests {
     #[test]
     fn csv_roundtrip_reconstructs_schedule() {
         let inst = figure1_instance();
-        let out = simulate(&inst, &mut AllCloud).unwrap();
+        let out = Simulation::of(&inst).policy(&mut AllCloud).run().unwrap();
         let csv = schedule_to_csv(&inst, &out.schedule);
         let back = schedule_from_csv(&inst, &csv).expect("import");
         assert_eq!(back.alloc, out.schedule.alloc);

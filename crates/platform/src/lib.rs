@@ -15,7 +15,8 @@
 //! # Quick tour
 //!
 //! * [`instance::Instance`] — platform + jobs;
-//! * [`engine::simulate`] — run an [`engine::OnlineScheduler`] policy;
+//! * [`engine::Simulation`] — run an [`engine::OnlineScheduler`] policy
+//!   (batch), or open a resumable [`engine::Session`] for streaming;
 //! * [`validate::validate`] — check every §III-B constraint;
 //! * [`metrics::StretchReport`] — the objective function;
 //! * [`projection::Projection`] — completion-time forecasts for policies.
@@ -40,10 +41,13 @@ pub mod validate;
 pub mod view;
 
 pub use activity::{Directive, DirectiveBuffer, Phase, Target};
+#[allow(deprecated)]
 pub use engine::{
-    simulate, simulate_observed, simulate_with, simulate_with_faults,
-    simulate_with_faults_observed, DecisionCadence, EngineError, EngineOptions, EventRecord,
-    OnlineScheduler, RunOutcome, RunStats,
+    simulate, simulate_observed, simulate_with, simulate_with_faults, simulate_with_faults_observed,
+};
+pub use engine::{
+    CompletionRecord, DecisionCadence, EngineError, EngineOptions, EventRecord, OnlineScheduler,
+    RunOutcome, RunStats, Session, SessionStats, SessionStatus, Simulation,
 };
 // Observability surface (see `mmsec-obs` and `docs/observability.md`).
 pub use instance::{figure1_instance, Instance, InstanceError};

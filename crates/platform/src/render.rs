@@ -135,7 +135,7 @@ fn schedule_horizon(schedule: &Schedule) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{simulate, OnlineScheduler};
+    use crate::engine::{OnlineScheduler, Simulation};
     use crate::instance::figure1_instance;
     use crate::view::SimView;
     use crate::DirectiveBuffer;
@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn renders_figure1_style_chart() {
         let inst = figure1_instance();
-        let out = simulate(&inst, &mut AllEdge).unwrap();
+        let out = Simulation::of(&inst).policy(&mut AllEdge).run().unwrap();
         let chart = gantt(&inst, &out.schedule, GanttOptions::default());
         // One visible row: the edge CPU; header line present.
         assert!(chart.contains("cpu(e0)"));
@@ -183,7 +183,7 @@ mod tests {
     #[test]
     fn cloud_rows_and_ports_appear() {
         let inst = figure1_instance();
-        let out = simulate(&inst, &mut AllCloud).unwrap();
+        let out = Simulation::of(&inst).policy(&mut AllCloud).run().unwrap();
         let chart = gantt(&inst, &out.schedule, GanttOptions::default());
         assert!(chart.contains("cpu(c0)"));
         assert!(chart.contains("out(e0)"));
@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn idle_resources_can_be_shown() {
         let inst = figure1_instance();
-        let out = simulate(&inst, &mut AllEdge).unwrap();
+        let out = Simulation::of(&inst).policy(&mut AllEdge).run().unwrap();
         let chart = gantt(
             &inst,
             &out.schedule,

@@ -90,6 +90,16 @@ impl TraceBuilder {
         }
     }
 
+    /// Extends the builder by `extra` fresh jobs (streaming sessions
+    /// admit jobs after construction).
+    pub fn grow(&mut self, extra: usize) {
+        let n = self.current.len() + extra;
+        self.current.resize_with(n, Vec::new);
+        self.alloc.resize(n, None);
+        self.completion.resize(n, None);
+        self.restarts.resize(n, 0);
+    }
+
     /// Records activity of `job` in `interval`; merges with the previous
     /// segment when contiguous and of the same phase/target.
     pub fn record(&mut self, job: JobId, phase: Phase, target: Target, interval: Interval) {

@@ -173,7 +173,7 @@ mod tests {
 
     #[test]
     fn engine_output_feeds_stats() {
-        use crate::engine::{simulate, OnlineScheduler};
+        use crate::engine::{OnlineScheduler, Simulation};
         use crate::view::SimView;
         use crate::DirectiveBuffer;
         struct EdgeFifo;
@@ -188,7 +188,7 @@ mod tests {
             }
         }
         let inst = crate::instance::figure1_instance();
-        let out = simulate(&inst, &mut EdgeFifo).unwrap();
+        let out = Simulation::of(&inst).policy(&mut EdgeFifo).run().unwrap();
         let stats = schedule_stats(&inst, &out.schedule);
         assert!(stats.horizon > 0.0);
         assert_eq!(stats.offload_ratio, 0.0);

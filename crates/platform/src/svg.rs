@@ -172,7 +172,7 @@ fn resource_label(r: ResourceId) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{simulate, OnlineScheduler};
+    use crate::engine::{OnlineScheduler, Simulation};
     use crate::instance::figure1_instance;
     use crate::view::SimView;
     use crate::{CloudId, DirectiveBuffer};
@@ -192,7 +192,7 @@ mod tests {
     #[test]
     fn svg_is_well_formed_and_complete() {
         let inst = figure1_instance();
-        let out = simulate(&inst, &mut AllCloud).unwrap();
+        let out = Simulation::of(&inst).policy(&mut AllCloud).run().unwrap();
         let svg = schedule_to_svg(&inst, &out.schedule, SvgOptions::default());
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));

@@ -3,8 +3,8 @@
 //! constraint.
 
 use mmsec_platform::{
-    simulate_with, validate_with, CloudId, DirectiveBuffer, EdgeId, EngineOptions, Instance, Job,
-    JobId, OnlineScheduler, PendingSet, PlatformSpec, SimView, Target, ValidateOptions,
+    validate_with, CloudId, DirectiveBuffer, EdgeId, EngineOptions, Instance, Job, JobId,
+    OnlineScheduler, PendingSet, PlatformSpec, SimView, Simulation, Target, ValidateOptions,
 };
 use mmsec_sim::seed::SplitMix64;
 use proptest::prelude::*;
@@ -110,7 +110,7 @@ proptest! {
             retarget_prob: 0.05,
             omit_prob: 0.2,
         };
-        match simulate_with(&inst, &mut policy, EngineOptions::default()) {
+        match Simulation::of(&inst).policy(&mut policy).run() {
             Ok(out) => {
                 prop_assert!(out.schedule.all_finished());
                 if let Err(violations) = mmsec_platform::validate(&inst, &out.schedule) {
@@ -134,7 +134,7 @@ proptest! {
     /// schedule, no re-executions, and no communications.
     #[test]
     fn edge_fifo_always_completes(inst in arb_instance()) {
-        let out = simulate_with(&inst, &mut EdgeFifo, EngineOptions::default()).unwrap();
+        let out = Simulation::of(&inst).policy(&mut EdgeFifo).run().unwrap();
         prop_assert!(out.schedule.all_finished());
         prop_assert_eq!(out.stats.restarts, 0);
         prop_assert!(mmsec_platform::validate(&inst, &out.schedule).is_ok());
@@ -163,12 +163,8 @@ proptest! {
         }
         let k = inst.spec.num_cloud();
         let _ = seed;
-        let strict = simulate_with(&inst, &mut CloudFifo { k }, EngineOptions::default()).unwrap();
-        let loose = simulate_with(
-            &inst,
-            &mut CloudFifo { k },
-            EngineOptions { infinite_ports: true, ..EngineOptions::default() },
-        )
+        let strict = Simulation::of(&inst).policy(&mut CloudFifo { k }).run().unwrap();
+        let loose = Simulation::of(&inst).policy(&mut CloudFifo { k }).options(EngineOptions { infinite_ports: true, ..EngineOptions::default() }).run()
         .unwrap();
         let opts = ValidateOptions { check_ports: false, ..ValidateOptions::default() };
         prop_assert!(validate_with(&inst, &loose.schedule, opts).is_ok());

@@ -72,13 +72,13 @@ mod tests {
     #[test]
     fn srpt_starves_long_job_ssf_edf_does_not() {
         use mmsec_core::PolicyKind;
-        use mmsec_platform::{simulate, StretchReport};
+        use mmsec_platform::{Simulation, StretchReport};
         let short_stream = long_vs_shorts(10.0, 10);
         let long_stream = long_vs_shorts(10.0, 40);
 
         let run = |inst: &Instance, kind: PolicyKind| {
             let mut p = kind.build(0);
-            let out = simulate(inst, p.as_mut()).unwrap();
+            let out = Simulation::of(inst).policy(p.as_mut()).run().unwrap();
             StretchReport::new(inst, &out.schedule).max_stretch
         };
 

@@ -7,7 +7,7 @@
 
 use mmsec_core::SsfEdf;
 use mmsec_platform::{
-    gantt, simulate, validate, CloudId, EdgeId, GanttOptions, Instance, Job, PlatformSpec,
+    gantt, validate, CloudId, EdgeId, GanttOptions, Instance, Job, PlatformSpec, Simulation,
     StretchReport,
 };
 use mmsec_sim::Interval;
@@ -28,7 +28,10 @@ fn main() {
     // Baseline: two always-available cloud processors.
     let spec = PlatformSpec::homogeneous_cloud(edge_speeds.clone(), 2);
     let inst = Instance::new(spec, jobs()).unwrap();
-    let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
+    let out = Simulation::of(&inst)
+        .policy(&mut SsfEdf::new())
+        .run()
+        .unwrap();
     validate(&inst, &out.schedule).unwrap();
     let base = StretchReport::new(&inst, &out.schedule);
     println!("=== always-available cloud ===");
@@ -44,7 +47,10 @@ fn main() {
         ],
     );
     let inst = Instance::new(spec, jobs()).unwrap();
-    let out = simulate(&inst, &mut SsfEdf::new()).unwrap();
+    let out = Simulation::of(&inst)
+        .policy(&mut SsfEdf::new())
+        .run()
+        .unwrap();
     validate(&inst, &out.schedule).unwrap();
     let constrained = StretchReport::new(&inst, &out.schedule);
     println!("=== cloud 1 requisitioned during [3,8) and [12,16) ===");

@@ -23,6 +23,6 @@ fn main() {
     println!("{}", fig.to_markdown());
     println!(
         "For the paper-scale version (n = 4000, 1000 reps), run:\n  \
-         cargo run --release -p mmsec-bench --bin repro -- fig2a --scale full"
+         cargo run --release -p mmsec-apps --bin repro -- fig2a --scale full"
     );
 }

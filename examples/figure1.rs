@@ -11,7 +11,7 @@
 use mmsec_core::PolicyKind;
 use mmsec_platform::schedule::TraceBuilder;
 use mmsec_platform::{
-    figure1_instance, simulate, validate, CloudId, JobId, Phase, StretchReport, Target,
+    figure1_instance, validate, CloudId, JobId, Phase, Simulation, StretchReport, Target,
 };
 use mmsec_sim::{Interval, Time};
 
@@ -81,7 +81,10 @@ fn main() {
     println!("\nOnline heuristics on the same instance:");
     for kind in PolicyKind::PAPER {
         let mut policy = kind.build(0);
-        let out = simulate(&instance, policy.as_mut()).expect("completes");
+        let out = Simulation::of(&instance)
+            .policy(policy.as_mut())
+            .run()
+            .expect("completes");
         validate(&instance, &out.schedule).expect("valid");
         let r = StretchReport::new(&instance, &out.schedule);
         println!("  {:<10} max-stretch = {:.4}", kind.name(), r.max_stretch);

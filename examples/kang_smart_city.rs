@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example kang_smart_city`
 
 use mmsec_core::PolicyKind;
-use mmsec_platform::{simulate, validate, StretchReport, Target};
+use mmsec_platform::{validate, Simulation, StretchReport, Target};
 use mmsec_workload::KangConfig;
 
 fn main() {
@@ -26,7 +26,10 @@ fn main() {
     println!("policy      max-stretch  mean-stretch  offloaded  restarts  sched-time");
     for kind in PolicyKind::ALL {
         let mut policy = kind.build(7);
-        let out = simulate(&instance, policy.as_mut()).expect("completes");
+        let out = Simulation::of(&instance)
+            .policy(policy.as_mut())
+            .run()
+            .expect("completes");
         validate(&instance, &out.schedule).expect("valid schedule");
         let report = StretchReport::new(&instance, &out.schedule);
         let offloaded = out

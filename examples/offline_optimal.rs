@@ -8,7 +8,7 @@ use mmsec_offline::brute::optimal_mmsh;
 use mmsec_offline::reductions::{has_two_partition_eq, mmsh_to_mmseco, two_partition_eq_to_mmsh};
 use mmsec_offline::single_machine::{optimal_max_stretch, OfflineJob};
 use mmsec_offline::{optimal_order_based, spt_max_stretch, MmshInstance};
-use mmsec_platform::{simulate, StretchReport};
+use mmsec_platform::{Simulation, StretchReport};
 
 fn main() {
     // 1. Lemma 2: SPT order on one machine.
@@ -52,7 +52,10 @@ fn main() {
     );
     for kind in PolicyKind::PAPER {
         let mut policy = kind.build(0);
-        let out = simulate(&eco, policy.as_mut()).expect("completes");
+        let out = Simulation::of(&eco)
+            .policy(policy.as_mut())
+            .run()
+            .expect("completes");
         let r = StretchReport::new(&eco, &out.schedule);
         println!(
             "  {:<10} {:.4}  (x{:.3} of optimal)",

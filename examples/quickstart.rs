@@ -6,7 +6,7 @@
 
 use mmsec_core::SsfEdf;
 use mmsec_platform::{
-    simulate, validate, EdgeId, Instance, Job, JobId, PlatformSpec, StretchReport,
+    validate, EdgeId, Instance, Job, JobId, PlatformSpec, Simulation, StretchReport,
 };
 
 fn main() {
@@ -27,7 +27,10 @@ fn main() {
 
     // Schedule online with SSF-EDF (§V-D).
     let mut policy = SsfEdf::new();
-    let out = simulate(&instance, &mut policy).expect("simulation completes");
+    let out = Simulation::of(&instance)
+        .policy(&mut policy)
+        .run()
+        .expect("simulation completes");
 
     // Check every constraint of §III-B before trusting the numbers.
     validate(&instance, &out.schedule).expect("schedule is valid");

@@ -7,7 +7,7 @@
 use mmsec_core::SsfEdf;
 use mmsec_platform::export::{schedule_from_csv, schedule_to_csv};
 use mmsec_platform::svg::{schedule_to_svg, SvgOptions};
-use mmsec_platform::{simulate, validate, StretchReport};
+use mmsec_platform::{validate, Simulation, StretchReport};
 use mmsec_workload::RandomCcrConfig;
 
 fn main() {
@@ -22,7 +22,10 @@ fn main() {
     let instance = cfg.generate(7);
 
     // 1. Simulate.
-    let out = simulate(&instance, &mut SsfEdf::new()).expect("completes");
+    let out = Simulation::of(&instance)
+        .policy(&mut SsfEdf::new())
+        .run()
+        .expect("completes");
     validate(&instance, &out.schedule).expect("valid");
     let report = StretchReport::new(&instance, &out.schedule);
     println!(

@@ -4,9 +4,7 @@
 use mmsec_bench::{evaluate_point, Scale};
 use mmsec_core::PolicyKind;
 use mmsec_platform::obs::NullObserver;
-use mmsec_platform::{
-    simulate, simulate_observed, simulate_with_faults, EngineOptions, FaultConfig,
-};
+use mmsec_platform::{EngineOptions, FaultConfig, Simulation};
 use mmsec_sim::Time;
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 
@@ -23,14 +21,14 @@ fn policies_are_deterministic() {
     for kind in PolicyKind::ALL {
         let mut a = kind.build(5);
         let mut b = kind.build(5);
-        let ra = simulate(&inst, a.as_mut()).unwrap();
-        let rb = simulate(&inst, b.as_mut()).unwrap();
+        let ra = Simulation::of(&inst).policy(a.as_mut()).run().unwrap();
+        let rb = Simulation::of(&inst).policy(b.as_mut()).run().unwrap();
         assert_eq!(ra.schedule, rb.schedule, "{kind} is nondeterministic");
     }
 }
 
 /// Fault injection with a zero-failure model must be a no-op: the compiled
-/// plan is empty and `simulate_with_faults` takes the exact fault-free code
+/// plan is empty and the engine takes the exact fault-free code
 /// path, so every registry policy produces a bit-identical schedule.
 #[test]
 fn zero_failure_fault_model_is_bit_identical() {
@@ -48,8 +46,12 @@ fn zero_failure_fault_model_is_bit_identical() {
     for kind in PolicyKind::ALL {
         let mut a = kind.build(5);
         let mut b = kind.build(5);
-        let ra = simulate(&inst, a.as_mut()).unwrap();
-        let rb = simulate_with_faults(&inst, b.as_mut(), EngineOptions::default(), &plan).unwrap();
+        let ra = Simulation::of(&inst).policy(a.as_mut()).run().unwrap();
+        let rb = Simulation::of(&inst)
+            .policy(b.as_mut())
+            .faults(&plan)
+            .run()
+            .unwrap();
         assert_eq!(
             ra.schedule, rb.schedule,
             "{kind} differs under the zero-failure fault model"
@@ -60,8 +62,8 @@ fn zero_failure_fault_model_is_bit_identical() {
 }
 
 /// The observability layer must not perturb the simulation: for every
-/// registry policy, `simulate_observed` with a [`NullObserver`] produces
-/// exactly the schedule of the plain `simulate` path.
+/// registry policy, attaching a [`NullObserver`] produces
+/// exactly the schedule of the unobserved run.
 #[test]
 fn null_observer_does_not_change_schedules() {
     let cfg = RandomCcrConfig {
@@ -75,9 +77,12 @@ fn null_observer_does_not_change_schedules() {
     for kind in PolicyKind::ALL {
         let mut plain = kind.build(5);
         let mut observed = kind.build(5);
-        let a = simulate(&inst, plain.as_mut()).unwrap();
+        let a = Simulation::of(&inst).policy(plain.as_mut()).run().unwrap();
         let mut obs = NullObserver;
-        let b = simulate_observed(&inst, observed.as_mut(), EngineOptions::default(), &mut obs)
+        let b = Simulation::of(&inst)
+            .policy(observed.as_mut())
+            .observer(&mut obs)
+            .run()
             .unwrap();
         assert_eq!(a.schedule, b.schedule, "{kind} perturbed by observer");
         assert_eq!(a.stats.restarts, b.stats.restarts);

@@ -4,7 +4,7 @@
 //! invariants.
 
 use mmsec_core::PolicyKind;
-use mmsec_platform::{simulate_with, validate_with, EngineOptions, StretchReport, ValidateOptions};
+use mmsec_platform::{validate_with, EngineOptions, Simulation, StretchReport, ValidateOptions};
 use mmsec_workload::RandomCcrConfig;
 
 fn cfg() -> RandomCcrConfig {
@@ -47,7 +47,10 @@ fn every_option_combination_validates() {
             PolicyKind::Fcfs,
         ] {
             let mut policy = kind.build(1);
-            let out = simulate_with(&inst, policy.as_mut(), opts)
+            let out = Simulation::of(&inst)
+                .policy(policy.as_mut())
+                .options(opts)
+                .run()
                 .unwrap_or_else(|e| panic!("{kind} with {opts:?}: {e}"));
             assert!(out.schedule.all_finished(), "{kind} with {opts:?}");
             let vopts = ValidateOptions {
@@ -76,7 +79,11 @@ fn no_reexecution_means_no_restarts() {
     };
     for kind in [PolicyKind::Greedy, PolicyKind::Srpt, PolicyKind::SsfEdf] {
         let mut policy = kind.build(2);
-        let out = simulate_with(&inst, policy.as_mut(), opts).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(policy.as_mut())
+            .options(opts)
+            .run()
+            .unwrap();
         assert_eq!(out.stats.restarts, 0, "{kind} restarted without permission");
         assert!(out.schedule.restarts.iter().all(|&r| r == 0));
         assert!(out.schedule.abandoned.is_empty());
@@ -93,7 +100,11 @@ fn non_preemptive_phases_are_contiguous() {
     };
     for kind in [PolicyKind::Srpt, PolicyKind::Fcfs] {
         let mut policy = kind.build(3);
-        let out = simulate_with(&inst, policy.as_mut(), opts).unwrap();
+        let out = Simulation::of(&inst)
+            .policy(policy.as_mut())
+            .options(opts)
+            .run()
+            .unwrap();
         for i in 0..inst.num_jobs() {
             // Each phase of each job runs in at most one contiguous block.
             assert!(
@@ -119,7 +130,9 @@ fn preemption_never_hurts_ssf_edf_on_average() {
         let mut a = PolicyKind::SsfEdf.build(1);
         with_sum += StretchReport::new(
             &inst,
-            &simulate_with(&inst, a.as_mut(), EngineOptions::default())
+            &Simulation::of(&inst)
+                .policy(a.as_mut())
+                .run()
                 .unwrap()
                 .schedule,
         )
@@ -127,17 +140,16 @@ fn preemption_never_hurts_ssf_edf_on_average() {
         let mut b = PolicyKind::SsfEdf.build(1);
         without_sum += StretchReport::new(
             &inst,
-            &simulate_with(
-                &inst,
-                b.as_mut(),
-                EngineOptions {
+            &Simulation::of(&inst)
+                .policy(b.as_mut())
+                .options(EngineOptions {
                     allow_preemption: false,
                     allow_reexecution: false,
                     ..EngineOptions::default()
-                },
-            )
-            .unwrap()
-            .schedule,
+                })
+                .run()
+                .unwrap()
+                .schedule,
         )
         .max_stretch;
     }

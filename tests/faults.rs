@@ -5,8 +5,7 @@
 
 use mmsec_core::PolicyKind;
 use mmsec_platform::{
-    simulate, simulate_with_faults, validate, EngineOptions, FaultConfig, Instance, Job,
-    PlatformSpec, UnitFaultModel,
+    validate, FaultConfig, Instance, Job, PlatformSpec, Simulation, UnitFaultModel,
 };
 use mmsec_platform::{EdgeId, Target};
 use mmsec_sim::{Interval, Time};
@@ -35,7 +34,10 @@ fn all_policies_survive_uniform_exponential_faults() {
     let mut total_restarts = 0;
     for kind in PolicyKind::ALL {
         let mut pol = kind.build(5);
-        let out = simulate_with_faults(&inst, pol.as_mut(), EngineOptions::default(), &plan)
+        let out = Simulation::of(&inst)
+            .policy(pol.as_mut())
+            .faults(&plan)
+            .run()
             .unwrap_or_else(|e| panic!("{kind} failed under faults: {e:?}"));
         assert!(out.schedule.all_finished(), "{kind} left jobs unfinished");
         assert!(
@@ -59,8 +61,16 @@ fn faulted_runs_are_deterministic() {
             .compile(42, Time::new(5_000.0));
     let mut a = PolicyKind::SsfEdf.build(5);
     let mut b = PolicyKind::SsfEdf.build(5);
-    let ra = simulate_with_faults(&inst, a.as_mut(), EngineOptions::default(), &plan).unwrap();
-    let rb = simulate_with_faults(&inst, b.as_mut(), EngineOptions::default(), &plan).unwrap();
+    let ra = Simulation::of(&inst)
+        .policy(a.as_mut())
+        .faults(&plan)
+        .run()
+        .unwrap();
+    let rb = Simulation::of(&inst)
+        .policy(b.as_mut())
+        .faults(&plan)
+        .run()
+        .unwrap();
     assert_eq!(ra.schedule, rb.schedule);
     assert_eq!(ra.stats.restarts, rb.stats.restarts);
 }
@@ -78,11 +88,15 @@ fn trace_fault_forces_restart_with_predictable_timing() {
     let plan = cfg.compile(0, Time::new(100.0));
 
     let mut pol = PolicyKind::EdgeOnly.build(0);
-    let plain = simulate(&inst, pol.as_mut()).unwrap();
+    let plain = Simulation::of(&inst).policy(pol.as_mut()).run().unwrap();
     assert_eq!(plain.schedule.completion[0], Some(Time::new(2.0)));
 
     let mut pol = PolicyKind::EdgeOnly.build(0);
-    let out = simulate_with_faults(&inst, pol.as_mut(), EngineOptions::default(), &plan).unwrap();
+    let out = Simulation::of(&inst)
+        .policy(pol.as_mut())
+        .faults(&plan)
+        .run()
+        .unwrap();
     // Crash at t = 1 wipes one unit of work; restart at recovery t = 3,
     // full re-run of 2 seconds.
     assert_eq!(out.schedule.completion[0], Some(Time::new(5.0)));

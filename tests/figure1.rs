@@ -7,7 +7,7 @@ use mmsec_core::PolicyKind;
 use mmsec_platform::metrics::try_report;
 use mmsec_platform::schedule::TraceBuilder;
 use mmsec_platform::{
-    figure1_instance, simulate, validate, CloudId, JobId, Phase, StretchReport, Target,
+    figure1_instance, validate, CloudId, JobId, Phase, Simulation, StretchReport, Target,
 };
 use mmsec_sim::{Interval, Time};
 
@@ -96,7 +96,7 @@ fn online_heuristics_cannot_beat_the_offline_optimum() {
     let inst = figure1_instance();
     for kind in PolicyKind::ALL {
         let mut policy = kind.build(3);
-        let out = simulate(&inst, policy.as_mut()).unwrap();
+        let out = Simulation::of(&inst).policy(policy.as_mut()).run().unwrap();
         assert!(validate(&inst, &out.schedule).is_ok(), "{kind}");
         let r = StretchReport::new(&inst, &out.schedule);
         assert!(

@@ -15,7 +15,7 @@
 //! `compat/README.md`.
 
 use mmsec_core::PolicyKind;
-use mmsec_platform::{simulate, validate, StretchReport};
+use mmsec_platform::{validate, Simulation, StretchReport};
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 
 const GOLDEN: [(&str, f64, f64); 7] = [
@@ -55,7 +55,10 @@ fn golden_max_stretches() {
     for (name, expect_random, expect_kang) in GOLDEN {
         let kind = PolicyKind::parse(name).expect("known policy");
         let mut policy = kind.build(11);
-        let out = simulate(&random, policy.as_mut()).unwrap();
+        let out = Simulation::of(&random)
+            .policy(policy.as_mut())
+            .run()
+            .unwrap();
         assert!(validate(&random, &out.schedule).is_ok());
         let got = StretchReport::new(&random, &out.schedule).max_stretch;
         assert!(
@@ -64,7 +67,7 @@ fn golden_max_stretches() {
         );
 
         let mut policy = kind.build(11);
-        let out = simulate(&kang, policy.as_mut()).unwrap();
+        let out = Simulation::of(&kang).policy(policy.as_mut()).run().unwrap();
         assert!(validate(&kang, &out.schedule).is_ok());
         let got = StretchReport::new(&kang, &out.schedule).max_stretch;
         assert!(

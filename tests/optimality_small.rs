@@ -4,7 +4,7 @@ use mmsec_core::PolicyKind;
 use mmsec_offline::brute::optimal_mmsh;
 use mmsec_offline::reductions::mmsh_to_mmseco;
 use mmsec_offline::{optimal_order_based, MmshInstance};
-use mmsec_platform::{simulate, validate, EdgeId, Instance, Job, PlatformSpec, StretchReport};
+use mmsec_platform::{validate, EdgeId, Instance, Job, PlatformSpec, Simulation, StretchReport};
 use mmsec_sim::seed::SplitMix64;
 
 /// On Theorem-3 embeddings (homogeneous, no comms, no releases) the exact
@@ -24,7 +24,7 @@ fn heuristics_bounded_by_exact_optimum_on_mmsh_embeddings() {
         let eco = mmsh_to_mmseco(&mmsh);
         for kind in PolicyKind::PAPER {
             let mut policy = kind.build(trial);
-            let out = simulate(&eco, policy.as_mut()).unwrap();
+            let out = Simulation::of(&eco).policy(policy.as_mut()).run().unwrap();
             assert!(validate(&eco, &out.schedule).is_ok());
             let got = StretchReport::new(&eco, &out.schedule).max_stretch;
             assert!(
@@ -72,7 +72,7 @@ fn heuristics_near_oracle_on_tiny_edge_cloud_instances() {
         let oracle = optimal_order_based(&inst).max_stretch;
         for kind in [PolicyKind::Greedy, PolicyKind::Srpt, PolicyKind::SsfEdf] {
             let mut policy = kind.build(trial);
-            let out = simulate(&inst, policy.as_mut()).unwrap();
+            let out = Simulation::of(&inst).policy(policy.as_mut()).run().unwrap();
             assert!(validate(&inst, &out.schedule).is_ok(), "{kind}");
             let got = StretchReport::new(&inst, &out.schedule).max_stretch;
             assert!(
@@ -90,7 +90,7 @@ fn ssf_edf_is_optimal_when_capacity_abounds() {
     let mmsh = MmshInstance::new(4, vec![3.0, 1.0, 2.0, 4.0]);
     let eco = mmsh_to_mmseco(&mmsh);
     let mut policy = PolicyKind::SsfEdf.build(0);
-    let out = simulate(&eco, policy.as_mut()).unwrap();
+    let out = Simulation::of(&eco).policy(policy.as_mut()).run().unwrap();
     let got = StretchReport::new(&eco, &out.schedule).max_stretch;
     assert!((got - 1.0).abs() < 1e-6, "got {got}");
 }

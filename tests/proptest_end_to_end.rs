@@ -2,7 +2,7 @@
 //! policies → engine → validator → metrics.
 
 use mmsec_core::PolicyKind;
-use mmsec_platform::{simulate, validate, Instance, StretchReport};
+use mmsec_platform::{validate, Instance, Simulation, StretchReport};
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 use proptest::prelude::*;
 
@@ -37,7 +37,7 @@ proptest! {
         prop_assert!(inst.validate().is_ok());
         for kind in [PolicyKind::Greedy, PolicyKind::Srpt, PolicyKind::SsfEdf, PolicyKind::EdgeOnly] {
             let mut policy = kind.build(seed);
-            let out = simulate(&inst, policy.as_mut())
+            let out = Simulation::of(&inst).policy(policy.as_mut()).run()
                 .map_err(|e| TestCaseError::fail(format!("{kind}: {e}")))?;
             if let Err(v) = validate(&inst, &out.schedule) {
                 return Err(TestCaseError::fail(format!("{kind}: {}", v[0])));
@@ -61,7 +61,7 @@ proptest! {
         prop_assert!(inst.jobs.iter().all(|j| j.dn == 0.0));
         for kind in [PolicyKind::Srpt, PolicyKind::SsfEdf] {
             let mut policy = kind.build(seed);
-            let out = simulate(&inst, policy.as_mut())
+            let out = Simulation::of(&inst).policy(policy.as_mut()).run()
                 .map_err(|e| TestCaseError::fail(format!("{kind}: {e}")))?;
             if let Err(v) = validate(&inst, &out.schedule) {
                 return Err(TestCaseError::fail(format!("{kind}: {}", v[0])));
@@ -111,7 +111,7 @@ proptest! {
             .collect();
         let offline_opt = optimal_max_stretch(&jobs, 1e-6);
         let mut policy = PolicyKind::EdgeOnly.build(seed);
-        let out = simulate(&inst, policy.as_mut()).unwrap();
+        let out = Simulation::of(&inst).policy(policy.as_mut()).run().unwrap();
         let got = StretchReport::new(&inst, &out.schedule).max_stretch;
         prop_assert!(
             got >= offline_opt - 1e-4,

@@ -1,0 +1,231 @@
+//! Integration tests for the streaming serve loop (`mmsec serve`): the
+//! in-memory core in `mmsec_apps::serve`, and the binary end to end.
+
+use mmsec_apps::ndjson::{parse_object, Value};
+use mmsec_apps::serve::{serve, ServeConfig};
+use mmsec_core::PolicyKind;
+use mmsec_platform::{EdgeId, StretchReport};
+use mmsec_platform::{Instance, Job, PlatformSpec, Simulation};
+use std::io::Cursor;
+use std::process::{Command, Stdio};
+
+fn platform() -> Instance {
+    let spec = PlatformSpec::homogeneous_cloud(vec![0.5, 0.8], 2);
+    Instance::new(spec, vec![]).unwrap()
+}
+
+/// Runs the serve loop over `lines` and returns the parsed output
+/// records as (type, fields) pairs.
+fn serve_lines(inst: &Instance, cfg: &ServeConfig, lines: &str) -> Vec<Vec<(String, Value)>> {
+    let mut out = Vec::new();
+    serve(inst, cfg, Cursor::new(lines.to_string()), &mut out, None).unwrap();
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| parse_object(l).unwrap())
+        .collect()
+}
+
+fn kind_of(rec: &[(String, Value)]) -> &str {
+    rec.iter()
+        .find(|(k, _)| k == "type")
+        .and_then(|(_, v)| v.as_str())
+        .expect("every record has a type")
+}
+
+fn num(rec: &[(String, Value)], key: &str) -> f64 {
+    rec.iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.as_num())
+        .unwrap_or_else(|| panic!("missing numeric field {key}"))
+}
+
+#[test]
+fn round_trip_emits_admits_completions_heartbeats_and_summary() {
+    let inst = platform();
+    let input = r#"
+{"origin": 0, "release": 1.0, "work": 2.0, "up": 0.5, "dn": 0.25}
+{"origin": 1, "release": 2.0, "work": 1.0}
+{"origin": 0, "release": 12.0, "work": 1.0}
+"#;
+    let recs = serve_lines(&inst, &ServeConfig::default(), input);
+
+    assert_eq!(kind_of(&recs[0]), "hello");
+    let admits: Vec<_> = recs.iter().filter(|r| kind_of(r) == "admit").collect();
+    let completions: Vec<_> = recs.iter().filter(|r| kind_of(r) == "completion").collect();
+    let beats: Vec<_> = recs.iter().filter(|r| kind_of(r) == "heartbeat").collect();
+    assert_eq!(admits.len(), 3);
+    assert_eq!(completions.len(), 3);
+    assert!(!beats.is_empty(), "a 12s-horizon run must beat at 10s");
+
+    // Heartbeat timestamps are strictly monotone.
+    let times: Vec<f64> = beats.iter().map(|r| num(r, "now")).collect();
+    assert!(
+        times.windows(2).all(|w| w[0] < w[1]),
+        "heartbeats not monotone: {times:?}"
+    );
+
+    // The summary agrees with the per-record counts.
+    let summary = recs.last().unwrap();
+    assert_eq!(kind_of(summary), "summary");
+    assert_eq!(num(summary, "admitted"), 3.0);
+    assert_eq!(num(summary, "completed"), 3.0);
+    assert_eq!(num(summary, "rejected"), 0.0);
+    let max_stretch = completions
+        .iter()
+        .map(|r| num(r, "stretch"))
+        .fold(0.0, f64::max);
+    assert!((num(summary, "max_stretch") - max_stretch).abs() < 1e-12);
+}
+
+#[test]
+fn streamed_run_matches_batch_simulation() {
+    // The same workload, streamed through serve vs. simulated in batch,
+    // must produce identical completion times and stretches.
+    let spec = PlatformSpec::homogeneous_cloud(vec![0.5, 0.8], 2);
+    let jobs = vec![
+        Job::new(EdgeId(0), 1.0, 2.0, 0.5, 0.25),
+        Job::new(EdgeId(1), 2.0, 1.0, 0.0, 0.0),
+        Job::new(EdgeId(0), 4.5, 3.0, 1.0, 1.0),
+    ];
+    let batch_inst = Instance::new(spec, jobs.clone()).unwrap();
+    let mut policy = PolicyKind::SsfEdf.build(0);
+    let batch = Simulation::of(&batch_inst)
+        .policy(policy.as_mut())
+        .run()
+        .unwrap();
+    let report = StretchReport::new(&batch_inst, &batch.schedule);
+
+    let input: String = jobs
+        .iter()
+        .map(|j| {
+            format!(
+                "{{\"origin\": {}, \"release\": {}, \"work\": {}, \"up\": {}, \"dn\": {}}}\n",
+                j.origin.0, j.release, j.work, j.up, j.dn
+            )
+        })
+        .collect();
+    let recs = serve_lines(&platform(), &ServeConfig::default(), &input);
+    let completions: Vec<_> = recs.iter().filter(|r| kind_of(r) == "completion").collect();
+    assert_eq!(completions.len(), jobs.len());
+    for rec in completions {
+        let job = num(rec, "job") as usize;
+        let batch_completion = batch.schedule.completion[job].unwrap().seconds();
+        assert!((num(rec, "completion") - batch_completion).abs() < 1e-12);
+        assert!((num(rec, "stretch") - report.stretches[job]).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn bounded_admission_sheds_with_an_explicit_record() {
+    let inst = platform();
+    // Three simultaneous heavy jobs against a cap of 2 unfinished.
+    let input = r#"
+{"origin": 0, "release": 0.0, "work": 50.0}
+{"origin": 0, "release": 0.0, "work": 50.0}
+{"origin": 0, "release": 0.0, "work": 50.0}
+"#;
+    let cfg = ServeConfig {
+        max_pending: Some(2),
+        ..ServeConfig::default()
+    };
+    let recs = serve_lines(&inst, &cfg, input);
+    let sheds: Vec<_> = recs.iter().filter(|r| kind_of(r) == "shed").collect();
+    assert_eq!(sheds.len(), 1);
+    assert_eq!(num(sheds[0], "line"), 3.0);
+    let summary = recs.last().unwrap();
+    assert_eq!(num(summary, "admitted"), 2.0);
+    assert_eq!(num(summary, "shed"), 1.0);
+    assert_eq!(num(summary, "completed"), 2.0);
+}
+
+#[test]
+fn bad_lines_are_rejected_not_fatal() {
+    let inst = platform();
+    let input = r#"
+not json at all
+{"origin": 99, "release": 0.0, "work": 1.0}
+{"origin": 0, "work": -3.0}
+{"origin": 0, "frobnicate": 1}
+{"origin": 0, "release": 0.0, "work": 1.0}
+"#;
+    let recs = serve_lines(&inst, &ServeConfig::default(), input);
+    let rejects: Vec<_> = recs.iter().filter(|r| kind_of(r) == "reject").collect();
+    assert_eq!(rejects.len(), 4);
+    let summary = recs.last().unwrap();
+    assert_eq!(num(summary, "rejected"), 4.0);
+    assert_eq!(num(summary, "admitted"), 1.0);
+    assert_eq!(num(summary, "completed"), 1.0);
+}
+
+#[test]
+fn preloaded_instance_jobs_run_as_a_warm_batch() {
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
+    let recs = serve_lines(&inst, &ServeConfig::default(), "");
+    let summary = recs.last().unwrap();
+    assert_eq!(num(summary, "completed"), 1.0);
+    assert_eq!(num(summary, "lines"), 0.0);
+}
+
+#[test]
+fn serve_binary_round_trips_ndjson() {
+    use std::io::Write;
+
+    let dir = std::env::temp_dir().join(format!("mmsec-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst_path = dir.join("platform.txt");
+    std::fs::write(&inst_path, platform().to_text()).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mmsec"))
+        .args(["serve", "--instance", inst_path.to_str().unwrap()])
+        .args(["--policy", "srpt", "--heartbeat", "5"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"{\"origin\": 0, \"release\": 1.0, \"work\": 2.0}\n\
+              {\"origin\": 1, \"release\": 2.0, \"work\": 1.0, \"up\": 0.5, \"dn\": 0.5}\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let recs: Vec<_> = stdout.lines().map(|l| parse_object(l).unwrap()).collect();
+    assert_eq!(kind_of(&recs[0]), "hello");
+    assert_eq!(kind_of(recs.last().unwrap()), "summary");
+    assert_eq!(num(recs.last().unwrap(), "completed"), 2.0);
+    assert_eq!(
+        recs.iter().filter(|r| kind_of(r) == "completion").count(),
+        2
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_rejects_bad_flags_with_usage_exit_code() {
+    let out = Command::new(env!("CARGO_BIN_EXE_mmsec"))
+        .args(["serve", "--instance", "x.txt", "--hartbeat", "5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Missing instance file is an I/O error: exit 3.
+    let out = Command::new(env!("CARGO_BIN_EXE_mmsec"))
+        .args(["serve", "--instance", "/nonexistent/platform.txt"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+}

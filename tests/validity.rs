@@ -3,14 +3,16 @@
 //! stretches.
 
 use mmsec_core::PolicyKind;
-use mmsec_platform::{simulate, validate, StretchReport};
+use mmsec_platform::{validate, Simulation, StretchReport};
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 
 fn check_all_policies(instance: &mmsec_platform::Instance, label: &str) {
     for kind in PolicyKind::ALL {
         let mut policy = kind.build(99);
-        let out =
-            simulate(instance, policy.as_mut()).unwrap_or_else(|e| panic!("{label}/{kind}: {e}"));
+        let out = Simulation::of(instance)
+            .policy(policy.as_mut())
+            .run()
+            .unwrap_or_else(|e| panic!("{label}/{kind}: {e}"));
         assert!(out.schedule.all_finished(), "{label}/{kind}: unfinished");
         if let Err(violations) = validate(instance, &out.schedule) {
             panic!(
@@ -100,7 +102,7 @@ fn degenerate_platforms() {
         PolicyKind::Random,
     ] {
         let mut policy = kind.build(1);
-        let out = simulate(&inst, policy.as_mut()).unwrap();
+        let out = Simulation::of(&inst).policy(policy.as_mut()).run().unwrap();
         assert!(validate(&inst, &out.schedule).is_ok(), "{kind}");
     }
 
