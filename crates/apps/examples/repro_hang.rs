@@ -1,0 +1,10 @@
+fn main() {
+    let spec = mmsec_platform::PlatformSpec::homogeneous_cloud(vec![0.5, 0.8], 2);
+    let inst = mmsec_platform::Instance::new(spec, vec![]).unwrap();
+    // Single job whose release (25s) exceeds the heartbeat interval (10s);
+    // input then ends, so only the drain loop runs.
+    let input = "{\"origin\": 0, \"release\": 25.0, \"work\": 1.0}\n";
+    let mut out = Vec::new();
+    mmsec_apps::serve::serve(&inst, &mmsec_apps::serve::ServeConfig::default(), std::io::Cursor::new(input.to_string()), &mut out, None).unwrap();
+    println!("{}", String::from_utf8(out).unwrap());
+}
