@@ -5,6 +5,13 @@ fn main() {
     // input then ends, so only the drain loop runs.
     let input = "{\"origin\": 0, \"release\": 25.0, \"work\": 1.0}\n";
     let mut out = Vec::new();
-    mmsec_apps::serve::serve(&inst, &mmsec_apps::serve::ServeConfig::default(), std::io::Cursor::new(input.to_string()), &mut out, None).unwrap();
+    mmsec_apps::serve::serve(
+        &inst,
+        &mmsec_apps::serve::ServeConfig::default(),
+        std::io::Cursor::new(input.to_string()),
+        &mut out,
+        None,
+    )
+    .unwrap();
     println!("{}", String::from_utf8(out).unwrap());
 }

@@ -13,7 +13,9 @@
 use mmsec_apps::cli::{fail, CliError};
 use mmsec_apps::serve::{serve, ServeConfig};
 use mmsec_core::PolicyKind;
-use mmsec_platform::obs::{ChromeTraceWriter, Fanout, MetricsRecorder, Shared};
+use mmsec_platform::obs::{
+    ChromeTraceWriter, Fanout, FlightRecorder, MetricsRecorder, PhaseProfiler, Shared,
+};
 use mmsec_platform::{
     gantt, validate, FaultConfig, GanttOptions, Instance, Simulation, StretchReport, Target,
 };
@@ -27,10 +29,10 @@ fn usage() -> ! {
          mmsec gen kang --n N [--edges N] [--load X] [--seed N] [--out FILE]\n  \
          mmsec run --instance FILE [--policy NAME] [--seed N] [--gantt] [--per-job]\n    \
          [--export FILE.csv] [--svg FILE.svg] [--trace FILE.json] [--metrics FILE.json]\n    \
-         [--fault-mtbf SECS [--fault-mttr SECS] [--fault-seed N]] [-v]\n  \
+         [--profile FILE.json] [--fault-mtbf SECS [--fault-mttr SECS] [--fault-seed N]] [-v]\n  \
          mmsec compare --instance FILE\n  \
          mmsec serve --instance FILE [--policy NAME] [--seed N] [--input FILE]\n    \
-         [--speedup X] [--max-pending N] [--heartbeat SECS]\n    \
+         [--speedup X] [--max-pending N] [--heartbeat SECS] [--stats-every N]\n    \
          [--trace FILE.json] [--metrics FILE.json]\n\npolicies: {}",
         PolicyKind::ALL
             .iter()
@@ -157,6 +159,7 @@ fn main() {
                     "svg",
                     "trace",
                     "metrics",
+                    "profile",
                     "verbose",
                     "fault-mtbf",
                     "fault-mttr",
@@ -203,12 +206,15 @@ fn main() {
                 .compile(fault_seed, horizon)
             });
 
-            // Observability: register only the requested sinks, share
-            // them between the engine and the policy (SSF-EDF reports
-            // its binary-search probes), and skip the observed path
-            // entirely when nothing was asked for.
+            // Observability: register the requested sinks plus an
+            // always-on flight recorder (pure telemetry — the run is
+            // bit-identical with or without observers, and the ring is
+            // what makes a stall dump possible at all), shared between
+            // the engine and the policy (SSF-EDF reports its
+            // binary-search probes).
             let metrics = Shared::new(MetricsRecorder::new());
             let chrome = Shared::new(ChromeTraceWriter::new());
+            let flight = Shared::new(FlightRecorder::default());
             let mut fan = Fanout::new();
             if flags.contains_key("metrics") {
                 fan.push(Box::new(metrics.clone()));
@@ -216,39 +222,31 @@ fn main() {
             if flags.contains_key("trace") {
                 fan.push(Box::new(chrome.clone()));
             }
-            let observing = !fan.is_empty();
+            fan.push(Box::new(flight.clone()));
             let shared_fan = Shared::new(fan);
+            policy.attach_observer(shared_fan.handle());
+            let mut engine_side = shared_fan.clone();
 
-            let out = if observing {
-                policy.attach_observer(shared_fan.handle());
-                let mut engine_side = shared_fan.clone();
-                match &fault_plan {
-                    Some(plan) => Simulation::of(&inst)
-                        .policy(policy.as_mut())
-                        .options(engine_opts)
-                        .faults(plan)
-                        .observer(&mut engine_side)
-                        .run(),
-                    None => Simulation::of(&inst)
-                        .policy(policy.as_mut())
-                        .options(engine_opts)
-                        .observer(&mut engine_side)
-                        .run(),
-                }
-            } else {
-                match &fault_plan {
-                    Some(plan) => Simulation::of(&inst)
-                        .policy(policy.as_mut())
-                        .options(engine_opts)
-                        .faults(plan)
-                        .run(),
-                    None => Simulation::of(&inst)
-                        .policy(policy.as_mut())
-                        .options(engine_opts)
-                        .run(),
-                }
+            let mut profiler = PhaseProfiler::new();
+            let profiling = flags.contains_key("profile");
+
+            let mut sim = Simulation::of(&inst)
+                .policy(policy.as_mut())
+                .options(engine_opts)
+                .observer(&mut engine_side);
+            if let Some(plan) = &fault_plan {
+                sim = sim.faults(plan);
             }
-            .unwrap_or_else(|e| fail(CliError::Failure(format!("simulation failed: {e}"))));
+            if profiling {
+                sim = sim.profiler(&mut profiler);
+            }
+            let out = sim.run().unwrap_or_else(|e| {
+                let mut msg = format!("simulation failed: {e}");
+                if let Some(path) = flight.with(|f| f.dump("run")) {
+                    msg.push_str(&format!(" (flight recording: {})", path.display()));
+                }
+                fail(CliError::Failure(msg))
+            });
             if let Err(violations) = validate(&inst, &out.schedule) {
                 let mut msg = format!("INVALID schedule ({} violations):", violations.len());
                 for v in violations.iter().take(10) {
@@ -321,6 +319,11 @@ fn main() {
                 std::fs::write(path, doc).unwrap_or_else(|e| fail(CliError::io(path, e)));
                 eprintln!("wrote Chrome trace to {path} (open at https://ui.perfetto.dev)");
             }
+            if let Some(path) = flags.get("profile") {
+                let doc = profiler.to_json_string();
+                std::fs::write(path, doc).unwrap_or_else(|e| fail(CliError::io(path, e)));
+                eprintln!("wrote phase profile to {path}");
+            }
             if let Some(path) = flags.get("export") {
                 let csv = mmsec_platform::export::schedule_to_csv(&inst, &out.schedule);
                 std::fs::write(path, csv).unwrap_or_else(|e| fail(CliError::io(path, e)));
@@ -374,6 +377,7 @@ fn main() {
                     "speedup",
                     "max-pending",
                     "heartbeat",
+                    "stats-every",
                     "trace",
                     "metrics",
                 ],
@@ -393,6 +397,9 @@ fn main() {
                 speedup: flags
                     .contains_key("speedup")
                     .then(|| get(&flags, "speedup", 1.0)),
+                stats_every: flags
+                    .contains_key("stats-every")
+                    .then(|| get(&flags, "stats-every", 0usize)),
                 ..ServeConfig::default()
             };
 

@@ -10,10 +10,18 @@
 //! `release` is optional (defaults to the current virtual time); `up` and
 //! `dn` default to 0. Output: one JSON record per line — `admit` / `shed`
 //! / `reject` for each input line, `completion` per finished job with its
-//! stretch, periodic `heartbeat` snapshots at a fixed virtual-time
-//! cadence, and one final `summary`. Heartbeat timestamps are strictly
-//! monotone: the loop always advances the session to the next heartbeat
-//! boundary *before* admitting later arrivals.
+//! stretch, periodic `heartbeat` snapshots (schema v2: queue depths,
+//! decide counters, per-interval deltas, and — under `--speedup` — the
+//! wall-vs-virtual lag) at a fixed virtual-time cadence, optional `stats`
+//! records every `--stats-every N` input lines, and one final `summary`.
+//! Heartbeat timestamps are strictly monotone: the loop always advances
+//! the session to the next heartbeat boundary *before* admitting later
+//! arrivals.
+//!
+//! Every session also feeds an internal [`FlightRecorder`]: if the engine
+//! errors or the backlog drain stalls, the last engine events are dumped
+//! as a JSON artifact (see [`mmsec_platform::obs::failure_dir`]) and the
+//! failure message names the file.
 //!
 //! The core ([`serve`]) is generic over reader/writer so tests can run it
 //! in memory; the binary hands it stdin/stdout (or `--input FILE`,
@@ -22,12 +30,19 @@
 use crate::cli::CliError;
 use crate::ndjson::{parse_object, ObjWriter, Value};
 use mmsec_core::PolicyKind;
+use mmsec_platform::obs::{Event as ObsEvent, FlightRecorder, ObserverHandle, Shared};
 use mmsec_platform::{
     CompletionRecord, EdgeId, EngineOptions, Instance, Job, Observer, Session, SessionStatus,
     Simulation,
 };
 use mmsec_sim::Time;
 use std::io::{BufRead, Write};
+
+/// Heartbeat/stats payload schema version (the `"v"` field).
+pub const STATS_SCHEMA_VERSION: u32 = 2;
+
+/// Ring capacity of the serve loop's internal flight recorder.
+const FLIGHT_CAPACITY: usize = 512;
 
 /// Serving-loop knobs (the binary fills these from flags).
 pub struct ServeConfig {
@@ -46,6 +61,9 @@ pub struct ServeConfig {
     /// between arrivals. `None` = as fast as possible (the only mode used
     /// in tests and CI).
     pub speedup: Option<f64>,
+    /// Emit a `stats` record every this many input lines (`None` = no
+    /// dedicated stats stream; heartbeats still carry the full payload).
+    pub stats_every: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +75,7 @@ impl Default for ServeConfig {
             heartbeat: 10.0,
             max_pending: None,
             speedup: None,
+            stats_every: None,
         }
     }
 }
@@ -139,6 +158,105 @@ fn write_line(out: &mut impl Write, line: String) -> Result<(), CliError> {
     writeln!(out, "{line}").map_err(|e| CliError::Io(format!("output stream: {e}")))
 }
 
+/// Forwards every engine event to the serve loop's flight recorder and,
+/// when the caller supplied one, to their observer too.
+struct Tandem<'a> {
+    flight: ObserverHandle,
+    other: Option<&'a mut dyn Observer>,
+}
+
+impl Observer for Tandem<'_> {
+    fn on_event(&mut self, event: &ObsEvent) {
+        self.flight.on_event(event);
+        if let Some(obs) = self.other.as_deref_mut() {
+            obs.on_event(event);
+        }
+    }
+}
+
+/// Totals as of the previous record of a stream, for per-interval deltas.
+/// Heartbeats and `stats` records each keep their own tracker so that the
+/// deltas within either stream always sum to the totals, regardless of
+/// how the two cadences interleave.
+#[derive(Clone, Copy, Default)]
+struct Deltas {
+    admitted: usize,
+    shed: usize,
+    completed: usize,
+}
+
+/// Shared cadence/telemetry state of one serving loop.
+struct Pulse {
+    beat: f64,
+    next_beat: f64,
+    stats_every: Option<usize>,
+    last_beat: Deltas,
+    last_stats: Deltas,
+    wall_start: std::time::Instant,
+    speedup: Option<f64>,
+    flight: Shared<FlightRecorder>,
+}
+
+impl Pulse {
+    /// Wall-vs-virtual lag in virtual seconds (how far the session is
+    /// behind the replay clock). Only meaningful under `--speedup`.
+    fn lag(&self, session: &Session<'_>) -> Option<f64> {
+        self.speedup
+            .map(|sp| self.wall_start.elapsed().as_secs_f64() * sp - session.now().seconds())
+    }
+
+    /// Wraps an engine failure, dumping the flight ring alongside it.
+    fn engine_failure(&self, msg: String) -> CliError {
+        match self.flight.with(|f| f.dump("serve")) {
+            Some(path) => {
+                CliError::Failure(format!("{msg} (flight recording: {})", path.display()))
+            }
+            None => CliError::Failure(msg),
+        }
+    }
+}
+
+/// Writes the shared stats payload (schema v2) into `w`: queue depths,
+/// decide counters, admission totals, per-interval deltas, and the
+/// optional replay lag. Updates `last` to the current totals.
+fn stats_payload(
+    w: &mut ObjWriter,
+    session: &Session<'_>,
+    summary: &ServeSummary,
+    last: &mut Deltas,
+    lag: Option<f64>,
+) {
+    let s = session.snapshot();
+    w.num_field("now", s.now.seconds())
+        .num_field("submitted", s.submitted as f64)
+        .num_field("completed", s.completed as f64)
+        .num_field("unfinished", s.unfinished as f64)
+        .num_field("pending", s.pending as f64)
+        .num_field("running", s.running as f64)
+        .num_field("max_stretch", s.max_stretch)
+        .num_field("mean_stretch", s.mean_stretch)
+        .num_field("events", s.run.events as f64)
+        .num_field("decides", s.run.decides as f64)
+        .num_field("decide_skips", s.run.decide_skips as f64)
+        .num_field("admitted", summary.admitted as f64)
+        .num_field("shed", summary.shed as f64)
+        .num_field("rejected", summary.rejected as f64)
+        .num_field("admitted_delta", (summary.admitted - last.admitted) as f64)
+        .num_field("shed_delta", (summary.shed - last.shed) as f64)
+        .num_field(
+            "completed_delta",
+            s.completed.saturating_sub(last.completed) as f64,
+        );
+    if let Some(lag) = lag {
+        w.num_field("lag", lag);
+    }
+    *last = Deltas {
+        admitted: summary.admitted,
+        shed: summary.shed,
+        completed: s.completed,
+    };
+}
+
 fn emit_completions(
     session: &mut Session<'_>,
     out: &mut impl Write,
@@ -163,18 +281,41 @@ fn completion_record(c: &CompletionRecord) -> String {
     w.finish()
 }
 
-fn heartbeat_record(session: &Session<'_>) -> String {
-    let s = session.snapshot();
+fn heartbeat_record(session: &Session<'_>, summary: &ServeSummary, pulse: &mut Pulse) -> String {
     let mut w = ObjWriter::typed("heartbeat");
-    w.num_field("now", s.now.seconds())
-        .num_field("submitted", s.submitted as f64)
-        .num_field("completed", s.completed as f64)
-        .num_field("unfinished", s.unfinished as f64)
-        .num_field("pending", s.pending as f64)
-        .num_field("max_stretch", s.max_stretch)
-        .num_field("mean_stretch", s.mean_stretch)
-        .num_field("events", s.run.events as f64);
+    w.num_field("v", STATS_SCHEMA_VERSION as f64);
+    let lag = pulse.lag(session);
+    stats_payload(&mut w, session, summary, &mut pulse.last_beat, lag);
     w.finish()
+}
+
+fn stats_record(
+    session: &Session<'_>,
+    summary: &ServeSummary,
+    pulse: &mut Pulse,
+    line: usize,
+) -> String {
+    let mut w = ObjWriter::typed("stats");
+    w.num_field("v", STATS_SCHEMA_VERSION as f64)
+        .num_field("line", line as f64);
+    let lag = pulse.lag(session);
+    stats_payload(&mut w, session, summary, &mut pulse.last_stats, lag);
+    w.finish()
+}
+
+/// Emits a `stats` record if `line` falls on the `--stats-every` cadence.
+fn maybe_stats(
+    session: &Session<'_>,
+    summary: &ServeSummary,
+    pulse: &mut Pulse,
+    line: usize,
+    out: &mut impl Write,
+) -> Result<(), CliError> {
+    if pulse.stats_every.is_some_and(|n| line % n == 0) {
+        let record = stats_record(session, summary, pulse, line);
+        write_line(out, record)?;
+    }
+    Ok(())
 }
 
 /// Advances the session to virtual time `target`, emitting a heartbeat at
@@ -183,20 +324,19 @@ fn heartbeat_record(session: &Session<'_>) -> String {
 fn advance_to(
     session: &mut Session<'_>,
     target: Time,
-    next_beat: &mut f64,
-    beat: f64,
+    pulse: &mut Pulse,
     out: &mut impl Write,
     summary: &mut ServeSummary,
 ) -> Result<(), CliError> {
     loop {
-        let stop = if *next_beat < target.seconds() {
-            Time::new(*next_beat)
+        let stop = if pulse.next_beat < target.seconds() {
+            Time::new(pulse.next_beat)
         } else {
             target
         };
         let status = session
             .run_until(stop)
-            .map_err(|e| CliError::Failure(format!("engine: {e}")))?;
+            .map_err(|e| pulse.engine_failure(format!("engine: {e}")))?;
         emit_completions(session, out, summary)?;
         match status {
             // Blocked: only a later submission can unblock — hand control
@@ -207,9 +347,10 @@ fn advance_to(
         // Paused exactly at `stop`: beat if this was a heartbeat
         // boundary (now == next_beat, keeping timestamps strictly
         // monotone), then continue toward `target`.
-        if *next_beat <= session.now().seconds() {
-            write_line(out, heartbeat_record(session))?;
-            *next_beat += beat;
+        if pulse.next_beat <= session.now().seconds() {
+            let record = heartbeat_record(session, summary, pulse);
+            write_line(out, record)?;
+            pulse.next_beat += pulse.beat;
         }
         if session.now() >= target {
             return Ok(());
@@ -238,14 +379,22 @@ pub fn serve(
     if cfg.speedup.is_some_and(|x| x <= 0.0 || x.is_nan()) {
         return Err(CliError::Usage("--speedup must be positive".into()));
     }
-    let mut policy = cfg.policy.build(cfg.seed);
-    let mut sim = Simulation::of(inst)
-        .policy(policy.as_mut())
-        .options(cfg.engine);
-    if let Some(obs) = observer {
-        sim = sim.observer(obs);
+    if cfg.stats_every == Some(0) {
+        return Err(CliError::Usage(
+            "--stats-every must be a positive line count".into(),
+        ));
     }
-    let mut session = sim.session();
+    let flight = Shared::new(FlightRecorder::with_capacity(FLIGHT_CAPACITY));
+    let mut tandem = Tandem {
+        flight: flight.handle(),
+        other: observer,
+    };
+    let mut policy = cfg.policy.build(cfg.seed);
+    let mut session = Simulation::of(inst)
+        .policy(policy.as_mut())
+        .options(cfg.engine)
+        .observer(&mut tandem)
+        .session();
     let mut summary = ServeSummary {
         admitted: inst.num_jobs(),
         ..ServeSummary::default()
@@ -258,10 +407,21 @@ pub fn serve(
         .num_field("clouds", inst.spec.num_cloud() as f64)
         .num_field("preloaded", inst.num_jobs() as f64)
         .num_field("heartbeat", cfg.heartbeat);
+    if let Some(n) = cfg.stats_every {
+        hello.num_field("stats_every", n as f64);
+    }
     write_line(&mut out, hello.finish())?;
 
-    let wall_start = std::time::Instant::now();
-    let mut next_beat = cfg.heartbeat;
+    let mut pulse = Pulse {
+        beat: cfg.heartbeat,
+        next_beat: cfg.heartbeat,
+        stats_every: cfg.stats_every,
+        last_beat: Deltas::default(),
+        last_stats: Deltas::default(),
+        wall_start: std::time::Instant::now(),
+        speedup: cfg.speedup,
+        flight,
+    };
     for line in input.lines() {
         let line = line.map_err(|e| CliError::Io(format!("input stream: {e}")))?;
         if line.trim().is_empty() {
@@ -276,6 +436,7 @@ pub fn serve(
                 let mut w = ObjWriter::typed("reject");
                 w.num_field("line", seq as f64).str_field("error", &why);
                 write_line(&mut out, w.finish())?;
+                maybe_stats(&session, &summary, &mut pulse, seq, &mut out)?;
                 continue;
             }
         };
@@ -285,7 +446,7 @@ pub fn serve(
         if let Some(release) = req.release {
             if let Some(speedup) = cfg.speedup {
                 let due = std::time::Duration::from_secs_f64(release.max(0.0) / speedup);
-                if let Some(sleep) = due.checked_sub(wall_start.elapsed()) {
+                if let Some(sleep) = due.checked_sub(pulse.wall_start.elapsed()) {
                     std::thread::sleep(sleep);
                 }
             }
@@ -293,8 +454,7 @@ pub fn serve(
                 advance_to(
                     &mut session,
                     Time::new(release),
-                    &mut next_beat,
-                    cfg.heartbeat,
+                    &mut pulse,
                     &mut out,
                     &mut summary,
                 )?;
@@ -311,6 +471,7 @@ pub fn serve(
                 .str_field("reason", "max-pending")
                 .num_field("unfinished", unfinished as f64);
             write_line(&mut out, w.finish())?;
+            maybe_stats(&session, &summary, &mut pulse, seq, &mut out)?;
             continue;
         }
 
@@ -338,18 +499,19 @@ pub fn serve(
                 write_line(&mut out, w.finish())?;
             }
         }
+        maybe_stats(&session, &summary, &mut pulse, seq, &mut out)?;
     }
 
     // Input exhausted: run the backlog dry, still beating periodically.
     loop {
         let status = session
-            .run_until(Time::new(next_beat))
-            .map_err(|e| CliError::Failure(format!("engine: {e}")))?;
+            .run_until(Time::new(pulse.next_beat))
+            .map_err(|e| pulse.engine_failure(format!("engine: {e}")))?;
         emit_completions(&mut session, &mut out, &mut summary)?;
         match status {
             SessionStatus::Done => break,
             SessionStatus::Blocked => {
-                return Err(CliError::Failure(format!(
+                return Err(pulse.engine_failure(format!(
                     "stalled at t={} with {} unfinished job(s): the policy \
                      granted no activity and no event is queued",
                     session.now(),
@@ -357,8 +519,9 @@ pub fn serve(
                 )));
             }
             SessionStatus::Reached => {
-                write_line(&mut out, heartbeat_record(&session))?;
-                next_beat += cfg.heartbeat;
+                let record = heartbeat_record(&session, &summary, &mut pulse);
+                write_line(&mut out, record)?;
+                pulse.next_beat += pulse.beat;
             }
             SessionStatus::Advanced => {}
         }

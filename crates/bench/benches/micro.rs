@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mmsec_core::PolicyKind;
-use mmsec_platform::obs::NullObserver;
+use mmsec_platform::obs::{FlightRecorder, NullObserver, PhaseProfiler};
 use mmsec_platform::projection::Projection;
 use mmsec_platform::{JobState, PendingSet, SimView, Simulation};
 use mmsec_sim::{EventQueue, Interval, IntervalSet, Time};
@@ -108,8 +108,12 @@ fn bench_generators(c: &mut Criterion) {
 
 /// Observer-dispatch overhead: the same simulation with no observer at
 /// all (the default path) versus a [`NullObserver`] (pays the per-event
-/// branch + virtual dispatch and nothing else). The two must be
-/// indistinguishable — the observability layer's zero-overhead claim.
+/// branch + virtual dispatch and nothing else), a [`PhaseProfiler`]
+/// (clock reads + histogram inserts per engine step), and a
+/// [`FlightRecorder`] (one ring write per event). The null case must be
+/// indistinguishable from the bare run — the observability layer's
+/// zero-overhead claim — and the other two are budgeted by the
+/// `cargo xtask obs-overhead` CI gate.
 fn bench_observer_overhead(c: &mut Criterion) {
     let cfg = RandomCcrConfig {
         n: 200,
@@ -129,6 +133,28 @@ fn bench_observer_overhead(c: &mut Criterion) {
             Simulation::of(&inst)
                 .policy(policy.as_mut())
                 .observer(&mut obs)
+                .run()
+                .unwrap()
+        });
+    });
+    c.bench_function("micro/simulate_200_profiler", |b| {
+        b.iter(|| {
+            let mut policy = PolicyKind::Srpt.build(1);
+            let mut prof = PhaseProfiler::new();
+            Simulation::of(&inst)
+                .policy(policy.as_mut())
+                .profiler(&mut prof)
+                .run()
+                .unwrap()
+        });
+    });
+    c.bench_function("micro/simulate_200_flight", |b| {
+        b.iter(|| {
+            let mut policy = PolicyKind::Srpt.build(1);
+            let mut flight = FlightRecorder::default();
+            Simulation::of(&inst)
+                .policy(policy.as_mut())
+                .observer(&mut flight)
                 .run()
                 .unwrap()
         });
@@ -180,6 +206,45 @@ fn bench_decide_path_high_n(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry overhead at scale: the profiler and flight-recorder
+/// variants of the `high_n` SRPT runs, so the per-step clock reads and
+/// per-event ring writes are measured where they are most frequent
+/// (EXPERIMENTS.md quotes these against their bare counterparts).
+fn bench_telemetry_high_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/high_n");
+    group.sample_size(10);
+    for n in [1000usize, 5000] {
+        let cfg = RandomCcrConfig {
+            n,
+            ..RandomCcrConfig::default()
+        };
+        let inst = cfg.generate(5);
+        group.bench_function(format!("simulate_{n}_srpt_profiler"), |b| {
+            b.iter(|| {
+                let mut policy = PolicyKind::Srpt.build(1);
+                let mut prof = PhaseProfiler::new();
+                Simulation::of(&inst)
+                    .policy(policy.as_mut())
+                    .profiler(&mut prof)
+                    .run()
+                    .unwrap()
+            });
+        });
+        group.bench_function(format!("simulate_{n}_srpt_flight"), |b| {
+            b.iter(|| {
+                let mut policy = PolicyKind::Srpt.build(1);
+                let mut flight = FlightRecorder::default();
+                Simulation::of(&inst)
+                    .policy(policy.as_mut())
+                    .observer(&mut flight)
+                    .run()
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -187,6 +252,7 @@ criterion_group!(
     bench_projection,
     bench_generators,
     bench_observer_overhead,
-    bench_decide_path_high_n
+    bench_decide_path_high_n,
+    bench_telemetry_high_n
 );
 criterion_main!(benches);

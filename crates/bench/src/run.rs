@@ -3,7 +3,7 @@
 use mmsec_analysis::{run_indexed, Summary};
 use mmsec_core::PolicyKind;
 use mmsec_platform::obs::json::Json;
-use mmsec_platform::obs::metrics::Histogram;
+use mmsec_platform::obs::{failure_dir, Log2Histogram};
 use mmsec_platform::{
     validate_with, EngineError, EngineOptions, FaultPlan, Instance, Simulation, StretchReport,
     ValidateOptions, Violation,
@@ -61,9 +61,7 @@ impl TrialError {
     /// `mmsec run --instance <dump> --policy <kind>`. Returns the path,
     /// or `None` when even the dump could not be written.
     pub fn dump(&self, instance: &Instance, policy_seed: u64) -> Option<PathBuf> {
-        let dir = std::env::var("MMSEC_FAILURE_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|_| PathBuf::from("target/failures"));
+        let dir = failure_dir();
         std::fs::create_dir_all(&dir).ok()?;
         let path = dir.join(format!("{}-seed{}.txt", self.kind(), policy_seed));
         let mut report = String::new();
@@ -190,7 +188,7 @@ pub struct PointMetrics {
     /// Policy names, parallel to `decide_hist`.
     pub policies: Vec<String>,
     /// Per-policy histogram of per-trial total decide time (seconds).
-    pub decide_hist: Vec<Histogram>,
+    pub decide_hist: Vec<Log2Histogram>,
 }
 
 static POINT_METRICS: Mutex<Option<Vec<PointMetrics>>> = Mutex::new(None);
@@ -246,7 +244,7 @@ pub fn point_metrics_to_json(points: &[PointMetrics]) -> String {
         })
         .collect();
     Json::obj(vec![
-        ("schema", Json::str("mmsec-bench-metrics/1")),
+        ("schema", Json::str("mmsec-bench-metrics/2")),
         ("points", Json::Arr(entries)),
     ])
     .to_string_pretty()
@@ -360,7 +358,7 @@ where
             .collect()
     });
     record_point_metrics(|| {
-        let mut decide_hist: Vec<Histogram> = vec![Histogram::default(); policies.len()];
+        let mut decide_hist: Vec<Log2Histogram> = vec![Log2Histogram::default(); policies.len()];
         for trial in &trials {
             for (p, r) in trial.iter().enumerate() {
                 decide_hist[p].record(r.decide_time.as_secs_f64());

@@ -1,0 +1,178 @@
+//! Telemetry is pure observation: for every registry policy, over random
+//! Kang / CCR workloads and seeded fault plans, a run with the full
+//! telemetry stack attached — metrics recorder + flight recorder fanned
+//! out to both the engine and the policy, plus the phase profiler — must
+//! produce a bit-identical [`Schedule`] (and matching discrete stats) to
+//! the bare, unobserved run.
+
+use mmsec_core::PolicyKind;
+use mmsec_faults::FaultConfig;
+use mmsec_platform::obs::{Fanout, FlightRecorder, MetricsRecorder, PhaseProfiler, Shared};
+use mmsec_platform::{Instance, Simulation};
+use mmsec_sim::Time;
+use mmsec_workload::{KangConfig, RandomCcrConfig};
+use proptest::prelude::*;
+
+/// Workload family × size × generator seed, kept small so the whole
+/// registry × fault matrix stays fast under proptest's case count.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    let kang = (2usize..30, 0u64..1000).prop_map(|(n, seed)| {
+        KangConfig {
+            num_edge: 4,
+            num_cloud: 3,
+            n,
+            ..KangConfig::default()
+        }
+        .generate(seed)
+    });
+    let ccr = (2usize..30, 0u64..1000, 1usize..4).prop_map(|(n, seed, num_cloud)| {
+        RandomCcrConfig {
+            n,
+            num_cloud,
+            slow_edges: 2,
+            fast_edges: 2,
+            ..RandomCcrConfig::default()
+        }
+        .generate(seed)
+    });
+    prop_oneof![kang, ccr]
+}
+
+/// `None` = fault-free; `Some((mtbf, mttr, seed))` = a uniform
+/// exponential crash/recover model compiled against the instance.
+fn arb_faults() -> impl Strategy<Value = Option<(f64, f64, u64)>> {
+    prop_oneof![
+        2 => Just(None),
+        3 => (20.0f64..200.0, 1.0f64..10.0, 0u64..1000).prop_map(Some),
+    ]
+}
+
+/// Runs one (instance, policy, faults) point twice — bare and with every
+/// telemetry sink attached — and asserts bit-identical outcomes.
+fn assert_telemetry_neutral(
+    inst: &Instance,
+    kind: PolicyKind,
+    policy_seed: u64,
+    faults: Option<(f64, f64, u64)>,
+) -> Result<(), TestCaseError> {
+    let plan = faults.map(|(mtbf, mttr, fault_seed)| {
+        FaultConfig::uniform_exponential(inst.spec.num_edge(), inst.spec.num_cloud(), mtbf, mttr)
+            .compile(fault_seed, Time::new(1e5))
+    });
+
+    let mut bare_policy = kind.build(policy_seed);
+    let bare = {
+        let mut sim = Simulation::of(inst).policy(bare_policy.as_mut());
+        if let Some(plan) = &plan {
+            sim = sim.faults(plan);
+        }
+        sim.run()
+    };
+
+    let metrics = Shared::new(MetricsRecorder::new());
+    let flight = Shared::new(FlightRecorder::with_capacity(64));
+    let mut fan = Fanout::new();
+    fan.push(Box::new(metrics.clone()));
+    fan.push(Box::new(flight.clone()));
+    let shared_fan = Shared::new(fan);
+    let mut loaded_policy = kind.build(policy_seed);
+    loaded_policy.attach_observer(shared_fan.handle());
+    let mut engine_side = shared_fan.clone();
+    let mut profiler = PhaseProfiler::new();
+    let loaded = {
+        let mut sim = Simulation::of(inst)
+            .policy(loaded_policy.as_mut())
+            .observer(&mut engine_side)
+            .profiler(&mut profiler);
+        if let Some(plan) = &plan {
+            sim = sim.faults(plan);
+        }
+        sim.run()
+    };
+
+    match (bare, loaded) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(&a.schedule, &b.schedule, "{} schedule differs", kind);
+            prop_assert_eq!(a.stats.events, b.stats.events, "{} event count", kind);
+            prop_assert_eq!(a.stats.decides, b.stats.decides, "{} decides", kind);
+            prop_assert_eq!(
+                a.stats.decide_skips,
+                b.stats.decide_skips,
+                "{} decide skips",
+                kind
+            );
+            prop_assert_eq!(a.stats.restarts, b.stats.restarts, "{} restarts", kind);
+            // The profiler's own counters must agree with the engine's.
+            prop_assert_eq!(profiler.decides(), b.stats.decides);
+            prop_assert_eq!(profiler.decide_skips(), b.stats.decide_skips);
+            prop_assert!(profiler.steps() > 0);
+            // And the sinks must actually have observed the run.
+            prop_assert!(flight.with(|f| f.total_seen()) > 0);
+            prop_assert!(metrics.with(|m| m.stretch().count()) > 0);
+        }
+        // Both runs must fail identically (e.g. stalled on a dead unit).
+        (a, b) => prop_assert_eq!(a.map(|o| o.schedule), b.map(|o| o.schedule)),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property: telemetry attached ≡ bare run, for the
+    /// whole policy registry, with and without faults.
+    #[test]
+    fn telemetry_attached_equals_bare_run(
+        inst in arb_instance(),
+        policy_seed in 0u64..1000,
+        faults in arb_faults(),
+    ) {
+        for kind in PolicyKind::ALL {
+            assert_telemetry_neutral(&inst, kind, policy_seed, faults)?;
+        }
+    }
+}
+
+/// Deterministic spot-check on a mid-size instance: the fencepost span
+/// accounting must cover essentially the whole measured loop wall time
+/// (the `--profile` artifact's headline guarantee), and every non-fault
+/// phase must have fired.
+#[test]
+fn profiler_phase_spans_cover_the_loop_wall_time() {
+    use mmsec_platform::obs::EnginePhase;
+    let inst = RandomCcrConfig {
+        n: 200,
+        ..RandomCcrConfig::default()
+    }
+    .generate(7);
+    let mut policy = PolicyKind::Srpt.build(3);
+    let mut profiler = PhaseProfiler::new();
+    Simulation::of(&inst)
+        .policy(policy.as_mut())
+        .profiler(&mut profiler)
+        .run()
+        .unwrap();
+    assert!(profiler.steps() > 0);
+    assert_eq!(profiler.policy(), "srpt");
+    for phase in [
+        EnginePhase::EventPop,
+        EnginePhase::Decide,
+        EnginePhase::Sanitize,
+        EnginePhase::Grant,
+        EnginePhase::Commit,
+    ] {
+        assert!(
+            profiler.phase(phase).count() > 0,
+            "phase {} never recorded",
+            phase.label()
+        );
+    }
+    // No faults injected, so the fault-replay phase must stay empty.
+    assert_eq!(profiler.phase(EnginePhase::FaultReplay).count(), 0);
+    let coverage = profiler.coverage();
+    assert!(
+        coverage > 0.95 && coverage <= 1.0 + 1e-9,
+        "phase spans cover {:.1}% of the loop wall time",
+        coverage * 100.0
+    );
+}

@@ -257,12 +257,21 @@ impl Observer for ChromeTraceWriter {
                     ],
                 );
             }
-            Event::Completed { t, job, response } => {
+            Event::Completed {
+                t,
+                job,
+                response,
+                stretch,
+            } => {
                 self.instant(
                     "complete",
                     us(*t),
                     POLICY_TID,
-                    vec![("job", Json::int(*job)), ("response", Json::Num(*response))],
+                    vec![
+                        ("job", Json::int(*job)),
+                        ("response", Json::Num(*response)),
+                        ("stretch", Json::Num(*stretch)),
+                    ],
                 );
             }
             Event::BinarySearchProbe {
@@ -370,6 +379,7 @@ mod tests {
             t: Time::new(2.0),
             job: 0,
             response: 2.0,
+            stretch: 1.0,
         });
         writer.on_event(&Event::RunEnd {
             makespan: Time::new(2.0),

@@ -1,0 +1,287 @@
+//! Shared fixed-bucket log₂ histogram.
+//!
+//! Every distribution the telemetry layer tracks — decide latency, engine
+//! phase spans, job stretch — lands in the same [`Log2Histogram`] type.
+//! Buckets are powers of two, derived from the IEEE-754 exponent of the
+//! recorded value, so recording is a handful of integer operations with no
+//! allocation, no `log`, and no branching beyond range clamps. That makes
+//! it cheap enough to sit inside the engine's inner loop.
+
+use crate::json::Json;
+use std::time::Duration;
+
+/// Smallest binary exponent with its own bucket; values below `2^EXP_MIN`
+/// (including zero and subnormals) fall into the underflow bucket.
+const EXP_MIN: i32 = -64;
+/// One-past-largest binary exponent with its own bucket; values at or
+/// above `2^EXP_MAX` fall into the overflow bucket.
+const EXP_MAX: i32 = 64;
+/// Number of finite power-of-two buckets.
+const INNER: usize = (EXP_MAX - EXP_MIN) as usize;
+
+/// Fixed-size log₂-bucket histogram over non-negative `f64` values.
+///
+/// Bucket `i` (inner) covers `[2^(EXP_MIN+i), 2^(EXP_MIN+i+1))`; an
+/// underflow bucket catches values below `2^-64` (≈ 5.4e-20, effectively
+/// "zero" for both seconds and stretch values) and an overflow bucket
+/// catches values at or above `2^64`. The value's bucket is read straight
+/// from its floating-point exponent, so [`Log2Histogram::record`] costs a
+/// few integer ops — suitable for per-engine-step use.
+///
+/// Values are unit-agnostic: the decide-latency and phase-span histograms
+/// record seconds, the stretch histogram records dimensionless ratios.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Log2Histogram {
+    /// `[underflow, inner buckets ..., overflow]`.
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            counts: vec![0; INNER + 2],
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram::default()
+    }
+
+    /// Index of the bucket holding `v` (assumed non-negative).
+    #[inline]
+    fn bucket_index(v: f64) -> usize {
+        // Biased IEEE-754 exponent: floor(log2 v) for normal values,
+        // -1023 for zero/subnormals (which underflow anyway).
+        let e = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+        if e < EXP_MIN {
+            0
+        } else if e >= EXP_MAX {
+            INNER + 1
+        } else {
+            (e - EXP_MIN) as usize + 1
+        }
+    }
+
+    /// Upper bound of bucket `idx`; the overflow bucket is open.
+    fn bucket_upper(idx: usize) -> f64 {
+        if idx > INNER {
+            f64::INFINITY
+        } else {
+            // Bucket idx (1-based inner) covers up to 2^(EXP_MIN + idx).
+            ((EXP_MIN + idx as i32) as f64).exp2()
+        }
+    }
+
+    /// Records one observation. Negative and NaN inputs are clamped to 0
+    /// (they land in the underflow bucket).
+    #[inline]
+    pub fn record(&mut self, value: f64) {
+        let v = if value > 0.0 { value } else { 0.0 };
+        self.total += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.counts[Self::bucket_index(v)] += 1;
+    }
+
+    /// Records a wall-clock duration in seconds.
+    #[inline]
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all recorded values (0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Approximate percentile for `p` in `[0, 100]`.
+    ///
+    /// The estimate is the upper bound of the bucket containing the
+    /// requested rank, clamped to the observed maximum (so `percentile(100)`
+    /// is exact). Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0 * self.total as f64)
+            .ceil()
+            .max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = Self::bucket_upper(idx);
+                return if upper.is_finite() {
+                    upper.min(self.max)
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// JSON form: summary stats plus the non-empty buckets as
+    /// `{"le": upper_bound, "count": n}` entries (`"le": "inf"` for the
+    /// open overflow bucket).
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| {
+                let upper = Self::bucket_upper(idx);
+                Json::obj(vec![
+                    (
+                        "le",
+                        if upper.is_finite() {
+                            Json::Num(upper)
+                        } else {
+                            Json::str("inf")
+                        },
+                    ),
+                    ("count", Json::Num(c as f64)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("count", Json::Num(self.total as f64)),
+            ("sum", Json::Num(self.sum)),
+            ("min", Json::Num(self.min())),
+            ("max", Json::Num(self.max)),
+            ("mean", Json::Num(self.mean())),
+            ("p50", Json::Num(self.percentile(50.0))),
+            ("p99", Json::Num(self.percentile(99.0))),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_follow_binary_exponents() {
+        // 1.5 has exponent 0 → bucket upper bound 2.0.
+        let mut h = Log2Histogram::new();
+        h.record(1.5);
+        let json = h.to_json();
+        let buckets = json.get("buckets").and_then(Json::as_arr).unwrap();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].get("le").and_then(Json::as_f64), Some(2.0));
+        // Exact powers of two start a new bucket: 2.0 → (2, 4].
+        let mut h = Log2Histogram::new();
+        h.record(2.0);
+        let json = h.to_json();
+        let buckets = json.get("buckets").and_then(Json::as_arr).unwrap();
+        assert_eq!(buckets[0].get("le").and_then(Json::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn summary_stats_track_observations() {
+        let mut h = Log2Histogram::new();
+        assert_eq!(h.percentile(50.0), 0.0);
+        for &v in &[1e-6, 2e-6, 4e-6, 1e-3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - (1e-6 + 2e-6 + 4e-6 + 1e-3) / 4.0).abs() < 1e-12);
+        assert_eq!(h.min(), 1e-6);
+        assert_eq!(h.max(), 1e-3);
+        let p50 = h.percentile(50.0);
+        assert!((1e-6..1e-3).contains(&p50), "p50 {p50}");
+        assert_eq!(h.percentile(100.0), 1e-3);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p() {
+        let mut h = Log2Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 100.0);
+        }
+        let mut last = 0.0;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            assert!(v >= last, "percentile({p}) = {v} < {last}");
+            last = v;
+        }
+        // p50 of uniform 0.01..10.0 must land within its power-of-two
+        // bucket: rank 500 is 5.0, bucket (4, 8].
+        assert_eq!(h.percentile(50.0), 8.0);
+        assert_eq!(h.percentile(100.0), 10.0);
+    }
+
+    #[test]
+    fn extremes_land_in_open_buckets() {
+        let mut h = Log2Histogram::new();
+        h.record(0.0); // underflow
+        h.record(1e-30); // below 2^-64 → underflow
+        h.record(1e25); // above 2^64 → overflow
+        h.record(-3.0); // clamped to 0 → underflow
+        h.record(f64::NAN); // clamped to 0 → underflow
+        assert_eq!(h.count(), 5);
+        let json = h.to_json();
+        let buckets = json.get("buckets").and_then(Json::as_arr).unwrap();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].get("count").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(buckets[1].get("le").and_then(Json::as_str), Some("inf"));
+        // The percentile of an all-extreme distribution stays finite.
+        assert_eq!(h.percentile(100.0), 1e25);
+    }
+
+    #[test]
+    fn durations_record_as_seconds() {
+        let mut h = Log2Histogram::new();
+        h.record_duration(Duration::from_millis(3));
+        assert_eq!(h.count(), 1);
+        assert!((h.sum() - 3e-3).abs() < 1e-12);
+        // 3 ms has exponent -9 (2^-9 = 1.95 ms ≤ 3 ms < 2^-8 = 3.9 ms).
+        assert!((h.percentile(50.0) - 3e-3).abs() < 1e-12, "clamped to max");
+    }
+}

@@ -10,15 +10,22 @@
 //!
 //! * [`NullObserver`] — discards everything (useful to measure the cost of
 //!   the dispatch itself);
-//! * [`MetricsRecorder`] — counters, decide-time
-//!   histogram, per-unit utilization, queue-depth samples → JSON;
+//! * [`MetricsRecorder`] — counters, decide-latency and stretch
+//!   histograms, per-unit utilization, queue-depth samples → JSON;
 //! * [`ChromeTraceWriter`] — Chrome
 //!   trace-event JSON viewable in Perfetto (<https://ui.perfetto.dev>) or
 //!   `chrome://tracing`, one track per edge unit / cloud processor plus a
 //!   policy track;
+//! * [`FlightRecorder`] — fixed-size ring of the last K events, dumped as
+//!   a JSON artifact for stall forensics;
 //! * [`Fanout`] — broadcasts to several observers;
 //! * [`Shared`] — `Rc<RefCell<…>>` wrapper so one recorder can be fed from
 //!   two emission sites (engine *and* policy) in a single-threaded run.
+//!
+//! Beyond the event stream, the crate hosts the engine's phase-timing
+//! telemetry: [`PhaseProfiler`] aggregates run-loop span timings into
+//! shared fixed-bucket [`Log2Histogram`]s (the same type every other
+//! distribution here uses).
 //!
 //! With the `tracing` feature enabled, `forward_to_tracing` additionally
 //! mirrors events to `tracing` subscribers.
@@ -33,11 +40,17 @@ use std::time::Duration;
 use mmsec_sim::{Interval, Time};
 
 pub mod chrome;
+pub mod flight;
+pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 
 pub use chrome::ChromeTraceWriter;
+pub use flight::{failure_dir, FlightEntry, FlightRecorder};
+pub use hist::Log2Histogram;
 pub use metrics::MetricsRecorder;
+pub use profile::{EnginePhase, PhaseProfiler};
 
 /// A processing resource, as seen by the observability layer.
 ///
@@ -192,6 +205,9 @@ pub enum Event {
         job: usize,
         /// Response time `completion − release` in virtual seconds.
         response: f64,
+        /// Achieved stretch: response divided by the job's fastest
+        /// possible execution time on the platform.
+        stretch: f64,
     },
     /// A unit crashed (fault injection): in-flight work on it is lost.
     UnitDown {

@@ -1,158 +1,23 @@
 //! Run-level metrics aggregated from the event stream.
 //!
 //! [`MetricsRecorder`] is an [`Observer`] that folds events into compact
-//! aggregates as they arrive — counters, a log-bucketed decide-latency
-//! histogram, per-unit busy time (→ utilization), communication volume,
-//! ready-queue depth samples, and binary-search probe counts — and
-//! serializes the result with [`MetricsRecorder::to_json`]. Memory use is
-//! bounded: the only per-event growth is the decimated queue-depth sample
-//! buffer, capped at [`MAX_QUEUE_SAMPLES`].
+//! aggregates as they arrive — counters, decide-latency and stretch
+//! histograms (both on the shared [`Log2Histogram`] type), per-unit busy
+//! time (→ utilization), communication volume, ready-queue depth samples,
+//! and binary-search probe counts — and serializes the result with
+//! [`MetricsRecorder::to_json`]. Memory use is bounded: the only
+//! per-event growth is the decimated queue-depth sample buffer, capped at
+//! [`MAX_QUEUE_SAMPLES`].
 
 use std::collections::BTreeMap;
-use std::time::Duration;
 
+use crate::hist::Log2Histogram;
 use crate::json::Json;
 use crate::{Event, Observer, PhaseKind};
 
 /// Hard cap on stored queue-depth samples; past it the recorder doubles
 /// its sampling stride and keeps every other retained sample.
 pub const MAX_QUEUE_SAMPLES: usize = 4096;
-
-/// Fixed log-scale histogram for positive durations (seconds).
-///
-/// Buckets are powers of `10^(1/4)` spanning 100 ns … 100 s (two
-/// overflow-catching open buckets at the ends), so any decide latency the
-/// simulator can plausibly produce lands in a finite bucket.
-#[derive(Clone, Debug)]
-pub struct Histogram {
-    counts: Vec<u64>,
-    total: u64,
-    sum_seconds: f64,
-    min_seconds: f64,
-    max_seconds: f64,
-}
-
-const HIST_DECADES: f64 = 9.0; // 1e-7 .. 1e2
-const HIST_BUCKETS_PER_DECADE: f64 = 4.0;
-const HIST_LO: f64 = 1e-7;
-const HIST_INNER: usize = (HIST_DECADES * HIST_BUCKETS_PER_DECADE) as usize;
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            // Underflow + inner buckets + overflow.
-            counts: vec![0; HIST_INNER + 2],
-            total: 0,
-            sum_seconds: 0.0,
-            min_seconds: f64::INFINITY,
-            max_seconds: 0.0,
-        }
-    }
-}
-
-impl Histogram {
-    /// Records one observation.
-    pub fn record(&mut self, seconds: f64) {
-        let seconds = seconds.max(0.0);
-        self.total += 1;
-        self.sum_seconds += seconds;
-        self.min_seconds = self.min_seconds.min(seconds);
-        self.max_seconds = self.max_seconds.max(seconds);
-        let idx = if seconds < HIST_LO {
-            0
-        } else {
-            let log = (seconds / HIST_LO).log10() * HIST_BUCKETS_PER_DECADE;
-            (log.floor() as usize + 1).min(HIST_INNER + 1)
-        };
-        self.counts[idx] += 1;
-    }
-
-    /// Number of recorded observations.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Mean of the recorded observations (0 when empty).
-    pub fn mean_seconds(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum_seconds / self.total as f64
-        }
-    }
-
-    /// Upper bound (seconds) of bucket `idx`; the last bucket is open.
-    fn bucket_upper(idx: usize) -> f64 {
-        if idx > HIST_INNER {
-            f64::INFINITY
-        } else {
-            HIST_LO * 10f64.powf(idx as f64 / HIST_BUCKETS_PER_DECADE)
-        }
-    }
-
-    /// Approximate quantile from the bucket boundaries (0 when empty).
-    pub fn quantile_seconds(&self, q: f64) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let upper = Self::bucket_upper(idx);
-                return if upper.is_finite() {
-                    upper.min(self.max_seconds)
-                } else {
-                    self.max_seconds
-                };
-            }
-        }
-        self.max_seconds
-    }
-
-    /// JSON form: summary stats plus the non-empty buckets as
-    /// `{"le": upper_bound_seconds, "count": n}` entries.
-    pub fn to_json(&self) -> Json {
-        let buckets: Vec<Json> = self
-            .counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(idx, &c)| {
-                let upper = Self::bucket_upper(idx);
-                Json::obj(vec![
-                    (
-                        "le",
-                        if upper.is_finite() {
-                            Json::Num(upper)
-                        } else {
-                            Json::str("inf")
-                        },
-                    ),
-                    ("count", Json::Num(c as f64)),
-                ])
-            })
-            .collect();
-        Json::obj(vec![
-            ("count", Json::Num(self.total as f64)),
-            ("sum_seconds", Json::Num(self.sum_seconds)),
-            (
-                "min_seconds",
-                Json::Num(if self.total == 0 {
-                    0.0
-                } else {
-                    self.min_seconds
-                }),
-            ),
-            ("max_seconds", Json::Num(self.max_seconds)),
-            ("mean_seconds", Json::Num(self.mean_seconds())),
-            ("p50_seconds", Json::Num(self.quantile_seconds(0.5))),
-            ("p99_seconds", Json::Num(self.quantile_seconds(0.99))),
-            ("buckets", Json::Arr(buckets)),
-        ])
-    }
-}
 
 #[derive(Clone, Debug, Default)]
 struct UnitStats {
@@ -174,7 +39,8 @@ pub struct MetricsRecorder {
     decides: u64,
     decide_skips: u64,
     directives: u64,
-    decide_latency: Histogram,
+    decide_latency: Log2Histogram,
+    stretch: Log2Histogram,
     response_sum: f64,
     response_max: f64,
     probes: u64,
@@ -226,9 +92,15 @@ impl MetricsRecorder {
         self.unit_downs
     }
 
-    /// The decide-latency histogram.
-    pub fn decide_latency(&self) -> &Histogram {
+    /// The decide-latency histogram (values are wall-clock seconds).
+    pub fn decide_latency(&self) -> &Log2Histogram {
         &self.decide_latency
+    }
+
+    /// The per-job stretch histogram (dimensionless ratios, one sample
+    /// per completion).
+    pub fn stretch(&self) -> &Log2Histogram {
+        &self.stretch
     }
 
     fn sample_queue(&mut self, t: f64, depth: usize) {
@@ -288,7 +160,7 @@ impl MetricsRecorder {
             .map(|&(t, d)| Json::Arr(vec![Json::Num(t), Json::int(d)]))
             .collect();
         let mut fields = vec![
-            ("schema", Json::str("mmsec-metrics/1")),
+            ("schema", Json::str("mmsec-metrics/2")),
             ("policy", Json::str(self.policy.clone())),
             ("jobs", Json::int(self.jobs)),
             ("makespan_seconds", Json::Num(self.makespan)),
@@ -314,6 +186,7 @@ impl MetricsRecorder {
                 ]),
             ),
             ("decide_latency", self.decide_latency.to_json()),
+            ("stretch", self.stretch.to_json()),
             (
                 "responses",
                 Json::obj(vec![
@@ -403,7 +276,7 @@ impl Observer for MetricsRecorder {
             } => {
                 self.decides += 1;
                 self.directives += *directives as u64;
-                self.decide_latency.record(duration_seconds(*wall));
+                self.decide_latency.record_duration(*wall);
             }
             Event::Placed {
                 target,
@@ -426,10 +299,13 @@ impl Observer for MetricsRecorder {
                 self.restarts += 1;
                 *self.restarts_per_job.entry(*job).or_insert(0) += 1;
             }
-            Event::Completed { response, .. } => {
+            Event::Completed {
+                response, stretch, ..
+            } => {
                 self.completions += 1;
                 self.response_sum += response;
                 self.response_max = self.response_max.max(*response);
+                self.stretch.record(*stretch);
             }
             Event::BinarySearchProbe { feasible, .. } => {
                 self.probes += 1;
@@ -471,41 +347,12 @@ impl Observer for MetricsRecorder {
     }
 }
 
-fn duration_seconds(d: Duration) -> f64 {
-    d.as_secs_f64()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Unit;
     use mmsec_sim::{Interval, Time};
-
-    #[test]
-    fn histogram_tracks_summary_stats() {
-        let mut h = Histogram::default();
-        assert_eq!(h.quantile_seconds(0.5), 0.0);
-        for &v in &[1e-6, 2e-6, 4e-6, 1e-3] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 4);
-        assert!((h.mean_seconds() - (1e-6 + 2e-6 + 4e-6 + 1e-3) / 4.0).abs() < 1e-12);
-        let p50 = h.quantile_seconds(0.5);
-        assert!((1e-6..1e-3).contains(&p50), "p50 {p50}");
-        assert_eq!(h.quantile_seconds(1.0), 1e-3);
-    }
-
-    #[test]
-    fn histogram_handles_extremes() {
-        let mut h = Histogram::default();
-        h.record(0.0); // underflow bucket
-        h.record(1e9); // overflow bucket
-        assert_eq!(h.count(), 2);
-        let json = h.to_json();
-        let buckets = json.get("buckets").and_then(Json::as_arr).unwrap();
-        assert_eq!(buckets.len(), 2);
-        assert_eq!(buckets[1].get("le").and_then(Json::as_str), Some("inf"));
-    }
+    use std::time::Duration;
 
     #[test]
     fn recorder_folds_a_small_run() {
@@ -555,6 +402,7 @@ mod tests {
             t: Time::new(2.0),
             job: 0,
             response: 2.0,
+            stretch: 4.0,
         });
         rec.on_event(&Event::RunEnd {
             makespan: Time::new(4.0),
@@ -562,7 +410,15 @@ mod tests {
 
         assert_eq!(rec.events(), 9);
         assert_eq!(rec.restarts(), 1);
+        assert_eq!(rec.stretch().count(), 1);
+        assert_eq!(rec.stretch().max(), 4.0);
         let json = rec.to_json();
+        assert_eq!(
+            json.get("stretch")
+                .and_then(|s| s.get("max"))
+                .and_then(Json::as_f64),
+            Some(4.0)
+        );
         let counters = json.get("counters").unwrap();
         assert_eq!(counters.get("releases").and_then(Json::as_f64), Some(1.0));
         assert_eq!(counters.get("restarts").and_then(Json::as_f64), Some(1.0));

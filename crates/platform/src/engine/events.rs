@@ -57,6 +57,13 @@ pub(super) fn rank_is_decision_relevant(rank: u8) -> bool {
     matches!(rank, RANK_BOUNDARY | RANK_FAULT_DOWN | RANK_RELEASE)
 }
 
+/// True for events that replay the fault plan (crashes, recoveries, link
+/// changes). The phase profiler attributes their handling to its
+/// fault-replay phase instead of the general event-pop span.
+pub(super) fn is_fault_event(ev: &EngineEvent) -> bool {
+    !matches!(ev, EngineEvent::Release(_) | EngineEvent::Boundary)
+}
+
 /// Pushes every availability boundary of a compiled fault plan into the
 /// queue (called right after [`prime_queue`] when a plan is supplied).
 pub(super) fn prime_faults(queue: &mut EventQueue<EngineEvent>, plan: &FaultPlan) {

@@ -39,7 +39,7 @@ use crate::spec::EdgeId;
 use crate::state::JobState;
 use crate::view::{Availability, PendingSet, SimView};
 use std::borrow::Cow;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use super::events::{
     self, obs_phase, obs_unit, prime_faults, prime_queue, EngineEvent, RANK_RELEASE,
@@ -48,7 +48,7 @@ use super::grant::{self, greedy_allocate, remaining_volume, Activation};
 use super::outcome::{EngineError, EventRecord, RunOutcome, RunStats};
 use super::{DecisionCadence, EngineOptions, OnlineScheduler};
 use mmsec_faults::FaultPlan;
-use mmsec_obs::{Event as ObsEvent, Observer, Unit};
+use mmsec_obs::{EnginePhase, Event as ObsEvent, Observer, PhaseProfiler, Unit};
 use mmsec_sim::{EventQueue, Interval, Time};
 
 /// Evaluates the event expression only when an observer is attached: an
@@ -122,6 +122,8 @@ pub struct SessionStats {
     pub unfinished: usize,
     /// Jobs currently released and unfinished.
     pub pending: usize,
+    /// Jobs holding a resource grant from the most recent engine step.
+    pub running: usize,
     /// Maximum stretch over completed jobs (`0.0` before any completion).
     pub max_stretch: f64,
     /// Mean stretch over completed jobs (`0.0` before any completion).
@@ -141,6 +143,13 @@ pub struct SessionStats {
 pub struct Session<'a> {
     scheduler: &'a mut dyn OnlineScheduler,
     observer: Option<&'a mut dyn Observer>,
+    /// Phase-span telemetry sink. Like the observer, `None` means the
+    /// instrumentation reduces to untaken branches: no clock is read.
+    profiler: Option<&'a mut PhaseProfiler>,
+    /// Wall time spent replaying fault events inside the current
+    /// `fire_due_events` call; carved out of the event-pop span so the
+    /// two phases never double-count.
+    fault_span: Duration,
     /// Borrowed for batch runs; promoted to an owned clone on the first
     /// post-construction [`Session::submit`].
     instance: Cow<'a, Instance>,
@@ -199,6 +208,7 @@ impl<'a> Session<'a> {
         opts: EngineOptions,
         faults: Option<&'a FaultPlan>,
         observer: Option<&'a mut dyn Observer>,
+        profiler: Option<&'a mut PhaseProfiler>,
     ) -> Self {
         let started_wall = Instant::now();
         let spec = &instance.spec;
@@ -248,6 +258,8 @@ impl<'a> Session<'a> {
         let mut session = Session {
             scheduler,
             observer,
+            profiler,
+            fault_span: Duration::ZERO,
             instance,
             faults,
             opts,
@@ -279,6 +291,9 @@ impl<'a> Session<'a> {
             blocked_epoch: None,
             paused_at_bound: false,
         };
+        if let Some(p) = session.profiler.as_deref_mut() {
+            p.set_policy(&session.scheduler.name());
+        }
         emit!(
             session,
             ObsEvent::RunStart {
@@ -432,6 +447,13 @@ impl<'a> Session<'a> {
             completed: self.completed,
             unfinished: self.unfinished,
             pending: self.pending.len(),
+            // The last grant survives in `prev_activations` between
+            // steps; jobs that completed during the step drop out.
+            running: self
+                .prev_activations
+                .iter()
+                .filter(|a| !self.jobs[a.job.0].finished)
+                .count(),
             max_stretch: self.stretch_max,
             mean_stretch: if self.completed > 0 {
                 self.stretch_sum / self.completed as f64
@@ -457,6 +479,33 @@ impl<'a> Session<'a> {
             schedule: self.trace.finish(),
             stats,
             event_log: self.event_log,
+        }
+    }
+
+    /// Closes the span opened at `mark` into `phase` and returns the new
+    /// fencepost: one clock read both ends this span and starts the next,
+    /// so the phases partition the step with no unmeasured gaps. `None`
+    /// (profiler off) stays `None` and reads no clock.
+    #[inline]
+    fn prof_lap(&mut self, mark: Option<Instant>, phase: EnginePhase) -> Option<Instant> {
+        mark.map(|t0| {
+            let t1 = Instant::now();
+            if let Some(p) = self.profiler.as_deref_mut() {
+                p.record(phase, t1 - t0);
+            }
+            t1
+        })
+    }
+
+    /// Accounts one full pass through `step_inner` (entered at `t_enter`)
+    /// to the profiler's loop wall time. Called at every exit path.
+    #[inline]
+    fn prof_step_done(&mut self, t_enter: Option<Instant>) {
+        if let Some(t0) = t_enter {
+            let wall = t0.elapsed();
+            if let Some(p) = self.profiler.as_deref_mut() {
+                p.add_step(wall);
+            }
         }
     }
 
@@ -487,15 +536,34 @@ impl<'a> Session<'a> {
         );
         self.paused_at_bound = false;
 
+        // Telemetry: with a profiler attached, fencepost clock reads
+        // partition the step into phase spans. `t_enter` doubles as the
+        // first fencepost and the loop-wall anchor; each `prof_lap`
+        // closes one span and opens the next with a single read.
+        let t_enter = self.profiler.is_some().then(Instant::now);
+        self.fault_span = Duration::ZERO;
+
         // 1. Fire all events at (approximately) the current instant.
         self.fire_due_events();
+        let mut mark = t_enter.map(|t0| {
+            let t1 = Instant::now();
+            // Fault replay was timed separately inside `fire_due_events`;
+            // subtract it so event-pop and fault-replay stay disjoint.
+            let span = (t1 - t0).saturating_sub(self.fault_span);
+            if let Some(p) = self.profiler.as_deref_mut() {
+                p.record(EnginePhase::EventPop, span);
+            }
+            t1
+        });
 
         if self.unfinished == 0 {
+            self.prof_step_done(t_enter);
             return Ok(SessionStatus::Done);
         }
 
         self.stats.events += 1;
         if self.stats.events > self.limit {
+            self.prof_step_done(t_enter);
             return Err(EngineError::EventLimit { limit: self.limit });
         }
 
@@ -504,6 +572,7 @@ impl<'a> Session<'a> {
         //    decide, in which case the previous sanitized buffer is
         //    reused verbatim (finished/killed jobs always bump the
         //    epoch, so a stale directive cannot survive a skip).
+        let mut invoked_wall: Option<Duration> = None;
         if self.gating && self.epoch == self.decided_epoch {
             self.stats.decide_skips += 1;
             emit!(
@@ -532,6 +601,7 @@ impl<'a> Session<'a> {
                 self.scheduler.decide(&view, &mut self.buf);
                 let wall = t0.elapsed();
                 self.stats.decide_time += wall;
+                invoked_wall = Some(wall);
                 // Sanitize: keep the first directive per job, drop
                 // unreleased/finished jobs.
                 let stamp = self.stats.events;
@@ -559,6 +629,29 @@ impl<'a> Session<'a> {
             // The delta always describes "membership change since the
             // last invoked decide", for gated and ungated runs alike.
             self.pending.clear_delta();
+        }
+        if let Some(t0) = mark {
+            // The segment since the last fencepost holds the decide call
+            // plus its sanitize/replay bookkeeping: the decide span is
+            // the policy wall time already measured for `stats`, the
+            // remainder is sanitize (the whole segment on a gated skip).
+            let t1 = Instant::now();
+            let seg = t1 - t0;
+            if let Some(p) = self.profiler.as_deref_mut() {
+                match invoked_wall {
+                    Some(w) => {
+                        let w = w.min(seg);
+                        p.note_decide();
+                        p.record(EnginePhase::Decide, w);
+                        p.record(EnginePhase::Sanitize, seg - w);
+                    }
+                    None => {
+                        p.note_skip();
+                        p.record(EnginePhase::Sanitize, seg);
+                    }
+                }
+            }
+            mark = Some(t1);
         }
 
         // 3. Apply commitments / re-executions.
@@ -703,6 +796,7 @@ impl<'a> Session<'a> {
                     .collect(),
             });
         }
+        mark = self.prof_lap(mark, EnginePhase::Grant);
 
         // 5. Find the next event horizon.
         let mut t_next = self.queue.peek_time();
@@ -714,6 +808,8 @@ impl<'a> Session<'a> {
             t_next = Some(t_next.map_or(fin, |t| t.min(fin)));
         }
         let Some(t_next) = t_next else {
+            self.prof_lap(mark, EnginePhase::Commit);
+            self.prof_step_done(t_enter);
             self.blocked_epoch = Some(self.epoch);
             return Ok(SessionStatus::Blocked);
         };
@@ -804,11 +900,14 @@ impl<'a> Session<'a> {
                         t: self.now,
                         job: act.job.0,
                         response: (self.now - job.release).seconds(),
+                        stretch,
                     }
                 );
             }
         }
         std::mem::swap(&mut self.prev_activations, &mut self.activations);
+        self.prof_lap(mark, EnginePhase::Commit);
+        self.prof_step_done(t_enter);
         if capped {
             self.paused_at_bound = true;
             Ok(SessionStatus::Reached)
@@ -826,6 +925,11 @@ impl<'a> Session<'a> {
                 break;
             }
             let (t_ev, rank, ev) = self.queue.pop_ranked().expect("peeked");
+            // Fault arms are timed individually (and accumulated into
+            // `fault_span`, which the caller subtracts from its event-pop
+            // span) so fault replay shows up as its own profile phase.
+            let fault_t0 =
+                (self.profiler.is_some() && events::is_fault_event(&ev)).then(Instant::now);
             // Classify by rank class; the LinkChange arm below demotes
             // itself when the re-read factor turns out unchanged.
             let mut bump = events::rank_is_decision_relevant(rank);
@@ -955,6 +1059,13 @@ impl<'a> Session<'a> {
                     } else {
                         bump = false;
                     }
+                }
+            }
+            if let Some(t0) = fault_t0 {
+                let d = t0.elapsed();
+                self.fault_span += d;
+                if let Some(p) = self.profiler.as_deref_mut() {
+                    p.record(EnginePhase::FaultReplay, d);
                 }
             }
             if bump {

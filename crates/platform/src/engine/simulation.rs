@@ -31,7 +31,7 @@ use super::session::Session;
 use super::{EngineOptions, OnlineScheduler};
 use crate::instance::Instance;
 use mmsec_faults::FaultPlan;
-use mmsec_obs::Observer;
+use mmsec_obs::{Observer, PhaseProfiler};
 use std::borrow::Cow;
 
 /// Builder for a simulation run (see the module docs).
@@ -41,6 +41,7 @@ pub struct Simulation<'a> {
     opts: EngineOptions,
     faults: Option<&'a FaultPlan>,
     observer: Option<&'a mut dyn Observer>,
+    profiler: Option<&'a mut PhaseProfiler>,
 }
 
 impl<'a> Simulation<'a> {
@@ -52,6 +53,7 @@ impl<'a> Simulation<'a> {
             opts: EngineOptions::default(),
             faults: None,
             observer: None,
+            profiler: None,
         }
     }
 
@@ -91,6 +93,14 @@ impl<'a> Simulation<'a> {
         self
     }
 
+    /// Aggregates engine phase-span timings into `profiler` during the
+    /// run (see [`mmsec_obs::PhaseProfiler`]). Pure telemetry: the
+    /// simulation result is bit-identical with or without it.
+    pub fn profiler(mut self, profiler: &'a mut PhaseProfiler) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
     /// Builds the resumable [`Session`] (streaming use). The instance's
     /// jobs are pre-submitted; more can be [`Session::submit`]ted while
     /// it runs.
@@ -110,6 +120,7 @@ impl<'a> Simulation<'a> {
             self.opts,
             self.faults,
             self.observer,
+            self.profiler,
         )
     }
 

@@ -129,6 +129,49 @@ fn stalled_scheduler_reports_error() {
     assert!(matches!(err, EngineError::Stalled { pending, .. } if pending.len() == 1));
 }
 
+/// Stall forensics: a flight recorder riding along a stalled run holds
+/// the lead-up events and dumps a parseable artifact naming them.
+#[test]
+fn stalled_run_flight_dump_holds_the_lead_up_events() {
+    use mmsec_obs::{json, FlightRecorder, Shared};
+    let inst = single_job_instance(1.0, 0.0, 0.0);
+    let flight = Shared::new(FlightRecorder::with_capacity(8));
+    let mut engine_side = flight.clone();
+    let err = Simulation::of(&inst)
+        .policy(&mut DoNothing)
+        .observer(&mut engine_side)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Stalled { .. }));
+
+    let dir = std::env::temp_dir().join(format!("mmsec-stall-dump-{}", std::process::id()));
+    std::env::set_var("MMSEC_FAILURE_DIR", &dir);
+    let path = flight
+        .with(|f| f.dump("stall-test"))
+        .expect("ring has events");
+    std::env::remove_var("MMSEC_FAILURE_DIR");
+    assert!(path.starts_with(&dir));
+
+    let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(json::Json::as_str),
+        Some("mmsec-flight/1")
+    );
+    let tags: Vec<&str> = doc
+        .get("events")
+        .and_then(json::Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|e| e.get("tag").and_then(json::Json::as_str))
+        .collect();
+    // The lead-up to the stall: the run started, the job was released,
+    // and the policy decided (granting nothing) before the engine gave up.
+    assert!(tags.contains(&"run-start"), "tags: {tags:?}");
+    assert!(tags.contains(&"job-released"), "tags: {tags:?}");
+    assert!(tags.contains(&"decide-end"), "tags: {tags:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn infinite_ports_allow_parallel_uplinks() {
     let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 2);

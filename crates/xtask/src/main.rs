@@ -15,11 +15,23 @@
 //!   `$GITHUB_STEP_SUMMARY` when set so the delta table shows up on the
 //!   GitHub Actions job summary page.
 //!
-//! Both tasks accept `--window-ms N` (per-bench measurement window,
+//! - `obs-report` — render a `mmsec run --profile` phase-profile JSON
+//!   (`--profile PATH`) as a markdown table: per-phase counts, totals,
+//!   wall-time shares, and latency percentiles.
+//! - `obs-overhead` — gate the telemetry overhead: compare the
+//!   `micro/simulate_200_{null_observer,profiler,flight}` benchmark
+//!   variants against the bare `micro/simulate_200_no_observer` run and
+//!   fail (exit 1) when any exceeds the budget (`--budget FRAC`,
+//!   default 50%). Reuses an existing `--json PATH` JSONL feed when the
+//!   file is already there (e.g. right after `bench-check` in CI)
+//!   instead of re-running the suite.
+//!
+//! The bench tasks accept `--window-ms N` (per-bench measurement window,
 //! default 150 — the "quick" profile used by the CI smoke gate; use a
 //! larger window for a quieter baseline) and `--json PATH` to keep the
 //! raw JSONL feed. `bench-check` additionally accepts
-//! `--tolerance FRAC` (e.g. `0.25`) and `--report PATH`.
+//! `--tolerance FRAC` (e.g. `0.25`) and `--report PATH`; every
+//! report-producing task appends to `$GITHUB_STEP_SUMMARY` when set.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -28,11 +40,14 @@ use std::process::{Command, ExitCode};
 const BASELINE_FILE: &str = "BENCH_BASELINE.json";
 const DEFAULT_WINDOW_MS: u64 = 150;
 const DEFAULT_TOLERANCE: f64 = 0.25;
+const DEFAULT_OBS_BUDGET: f64 = 0.50;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(task) = args.first() else {
-        eprintln!("usage: cargo xtask <bench-baseline|bench-check> [options]");
+        eprintln!(
+            "usage: cargo xtask <bench-baseline|bench-check|obs-report|obs-overhead> [options]"
+        );
         return ExitCode::from(2);
     };
     let opts = match Options::parse(&args[1..]) {
@@ -45,8 +60,13 @@ fn main() -> ExitCode {
     let result = match task.as_str() {
         "bench-baseline" => bench_baseline(&opts),
         "bench-check" => bench_check(&opts),
+        "obs-report" => obs_report(&opts),
+        "obs-overhead" => obs_overhead(&opts),
         other => {
-            eprintln!("unknown task `{other}`; tasks: bench-baseline, bench-check");
+            eprintln!(
+                "unknown task `{other}`; tasks: bench-baseline, bench-check, \
+                 obs-report, obs-overhead"
+            );
             return ExitCode::from(2);
         }
     };
@@ -63,8 +83,10 @@ fn main() -> ExitCode {
 struct Options {
     window_ms: u64,
     tolerance: f64,
+    budget: f64,
     json: Option<PathBuf>,
     report: Option<PathBuf>,
+    profile: Option<PathBuf>,
 }
 
 impl Options {
@@ -72,8 +94,10 @@ impl Options {
         let mut opts = Options {
             window_ms: DEFAULT_WINDOW_MS,
             tolerance: DEFAULT_TOLERANCE,
+            budget: DEFAULT_OBS_BUDGET,
             json: None,
             report: None,
+            profile: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -96,8 +120,17 @@ impl Options {
                         return Err("--tolerance must be positive".into());
                     }
                 }
+                "--budget" => {
+                    opts.budget = value("--budget")?
+                        .parse()
+                        .map_err(|e| format!("--budget: {e}"))?;
+                    if !(opts.budget.is_finite() && opts.budget > 0.0) {
+                        return Err("--budget must be positive".into());
+                    }
+                }
                 "--json" => opts.json = Some(PathBuf::from(value("--json")?)),
                 "--report" => opts.report = Some(PathBuf::from(value("--report")?)),
+                "--profile" => opts.profile = Some(PathBuf::from(value("--profile")?)),
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -384,6 +417,173 @@ fn bench_check(opts: &Options) -> Result<bool, String> {
     Ok(!failed)
 }
 
+/// Formats a duration in seconds human-readably (µs/ms/s).
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Renders a `mmsec run --profile` JSON document as markdown.
+fn render_profile(doc: &mmsec_obs::json::Json) -> Result<String, String> {
+    let str_of = |k: &str| doc.get(k).and_then(|v| v.as_str().map(str::to_string));
+    let num_of = |k: &str| doc.get(k).and_then(|v| v.as_f64());
+    let schema = str_of("schema").ok_or("profile JSON has no schema field")?;
+    if schema != "mmsec-profile/1" {
+        return Err(format!(
+            "unsupported profile schema {schema:?} (expected mmsec-profile/1)"
+        ));
+    }
+    let mut md = String::from("# Engine phase profile\n\n");
+    md.push_str(&format!(
+        "- policy: `{}`\n",
+        str_of("policy").unwrap_or_default()
+    ));
+    for key in ["steps", "decides", "decide_skips"] {
+        md.push_str(&format!(
+            "- {}: {}\n",
+            key.replace('_', " "),
+            num_of(key).unwrap_or(0.0) as u64
+        ));
+    }
+    md.push_str(&format!(
+        "- skip ratio: {:.1}%\n",
+        num_of("skip_ratio").unwrap_or(0.0) * 100.0
+    ));
+    md.push_str(&format!(
+        "- loop wall: {}\n",
+        fmt_secs(num_of("loop_wall_seconds").unwrap_or(0.0))
+    ));
+    md.push_str(&format!(
+        "- phase coverage: {:.1}% of loop wall\n\n",
+        num_of("coverage").unwrap_or(0.0) * 100.0
+    ));
+    md.push_str("| phase | count | total | share | mean | p50 | p99 | max |\n");
+    md.push_str("|---|---:|---:|---:|---:|---:|---:|---:|\n");
+    let phases = doc
+        .get("phases")
+        .and_then(|v| v.as_arr())
+        .ok_or("profile JSON has no phases array")?;
+    for ph in phases {
+        let g = |k: &str| ph.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        md.push_str(&format!(
+            "| {} | {} | {} | {:.1}% | {} | {} | {} | {} |\n",
+            ph.get("phase").and_then(|v| v.as_str()).unwrap_or("?"),
+            g("count") as u64,
+            fmt_secs(g("sum_seconds")),
+            g("share") * 100.0,
+            fmt_secs(g("mean_seconds")),
+            fmt_secs(g("p50_seconds")),
+            fmt_secs(g("p99_seconds")),
+            fmt_secs(g("max_seconds")),
+        ));
+    }
+    Ok(md)
+}
+
+fn obs_report(opts: &Options) -> Result<bool, String> {
+    let Some(path) = &opts.profile else {
+        return Err("obs-report requires --profile PATH (a `mmsec run --profile` artifact)".into());
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let doc =
+        mmsec_obs::json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+    let report = render_profile(&doc)?;
+    print!("{report}");
+    if let Some(report_path) = &opts.report {
+        if let Some(parent) = report_path.parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        std::fs::write(report_path, &report).map_err(|e| format!("writing report: {e}"))?;
+        eprintln!("report written to {}", report_path.display());
+    }
+    append_step_summary(&report);
+    Ok(true)
+}
+
+/// The bare-run reference point of the telemetry overhead gate.
+const OBS_BASE_BENCH: &str = "micro/simulate_200_no_observer";
+/// Telemetry variants gated against [`OBS_BASE_BENCH`].
+const OBS_VARIANTS: &[(&str, &str)] = &[
+    ("null observer", "micro/simulate_200_null_observer"),
+    ("phase profiler", "micro/simulate_200_profiler"),
+    ("flight recorder", "micro/simulate_200_flight"),
+];
+
+/// Renders the overhead table; returns `(markdown, failed)`.
+fn render_overhead(means: &BTreeMap<String, u64>, budget: f64) -> Result<(String, bool), String> {
+    let base = *means
+        .get(OBS_BASE_BENCH)
+        .ok_or(format!("bench feed has no `{OBS_BASE_BENCH}` record"))?;
+    let mut md = String::from("# Telemetry overhead report\n\n");
+    let mut failed = false;
+    let mut rows = String::new();
+    for (label, name) in OBS_VARIANTS {
+        match means.get(*name) {
+            Some(&cur) => {
+                let overhead = cur as f64 / base.max(1) as f64 - 1.0;
+                let over = overhead > budget;
+                failed |= over;
+                rows.push_str(&format!(
+                    "| {label} | `{name}` | {cur} ns | {:+.1}% | {} |\n",
+                    overhead * 100.0,
+                    if over { "OVER BUDGET" } else { "ok" }
+                ));
+            }
+            None => {
+                failed = true;
+                rows.push_str(&format!("| {label} | `{name}` | missing | — | MISSING |\n"));
+            }
+        }
+    }
+    md.push_str(&format!(
+        "Budget: +{:.0}% over `{OBS_BASE_BENCH}` ({base} ns). Result: **{}**.\n\n",
+        budget * 100.0,
+        if failed { "FAIL" } else { "OK" }
+    ));
+    md.push_str("| variant | benchmark | mean | overhead | status |\n");
+    md.push_str("|---|---|---:|---:|---|\n");
+    md.push_str(&rows);
+    Ok((md, failed))
+}
+
+fn obs_overhead(opts: &Options) -> Result<bool, String> {
+    let root = repo_root();
+    // Reuse the feed a preceding bench run left behind (CI runs this
+    // right after bench-check); re-run the suite otherwise.
+    let json_path = opts
+        .json
+        .clone()
+        .unwrap_or_else(|| root.join("target").join("bench-smoke.jsonl"));
+    let means = if json_path.is_file() {
+        eprintln!("reusing bench feed {}", json_path.display());
+        let text = std::fs::read_to_string(&json_path)
+            .map_err(|e| format!("reading {}: {e}", json_path.display()))?;
+        parse_jsonl(&text)
+    } else {
+        run_micro_suite(&root, opts)?
+    };
+    let (report, failed) = render_overhead(&means, opts.budget)?;
+    print!("{report}");
+    if let Some(report_path) = &opts.report {
+        if let Some(parent) = report_path.parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        std::fs::write(report_path, &report).map_err(|e| format!("writing report: {e}"))?;
+        eprintln!("report written to {}", report_path.display());
+    }
+    append_step_summary(&report);
+    if failed {
+        eprintln!("obs-overhead FAILED: telemetry overhead above budget");
+    }
+    Ok(!failed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,6 +655,58 @@ mod tests {
         assert_eq!(text, "# earlier step\n# Bench regression report\n");
         std::env::remove_var("GITHUB_STEP_SUMMARY");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overhead_gate_flags_only_over_budget_variants() {
+        let mut means = BTreeMap::new();
+        means.insert(OBS_BASE_BENCH.to_string(), 1000u64);
+        means.insert("micro/simulate_200_null_observer".to_string(), 1010u64);
+        means.insert("micro/simulate_200_profiler".to_string(), 1200u64);
+        means.insert("micro/simulate_200_flight".to_string(), 1900u64);
+        let (report, failed) = render_overhead(&means, 0.50).unwrap();
+        assert!(failed, "flight at +90% must trip a 50% budget");
+        assert!(report.contains("OVER BUDGET"));
+        assert!(report.contains("**FAIL**"));
+
+        let (report, failed) = render_overhead(&means, 1.0).unwrap();
+        assert!(!failed);
+        assert!(report.contains("**OK**"));
+
+        means.remove("micro/simulate_200_profiler");
+        let (report, failed) = render_overhead(&means, 1.0).unwrap();
+        assert!(failed, "a missing variant must fail the gate");
+        assert!(report.contains("MISSING"));
+
+        means.remove(OBS_BASE_BENCH);
+        assert!(render_overhead(&means, 1.0).is_err());
+    }
+
+    #[test]
+    fn profile_report_renders_phases() {
+        let text = r#"{
+            "schema": "mmsec-profile/1",
+            "policy": "srpt",
+            "steps": 10,
+            "decides": 8,
+            "decide_skips": 2,
+            "skip_ratio": 0.2,
+            "loop_wall_seconds": 0.5,
+            "coverage": 0.99,
+            "phases": [
+                {"phase": "decide", "count": 8, "sum_seconds": 0.4,
+                 "mean_seconds": 0.05, "p50_seconds": 0.04,
+                 "p99_seconds": 0.09, "max_seconds": 0.1, "share": 0.8}
+            ]
+        }"#;
+        let doc = mmsec_obs::json::parse(text).unwrap();
+        let md = render_profile(&doc).unwrap();
+        assert!(md.contains("`srpt`"));
+        assert!(md.contains("| decide | 8 |"));
+        assert!(md.contains("phase coverage: 99.0%"));
+
+        let bad = mmsec_obs::json::parse("{\"schema\": \"other/9\"}").unwrap();
+        assert!(render_profile(&bad).is_err());
     }
 
     #[test]

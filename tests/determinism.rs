@@ -89,6 +89,57 @@ fn null_observer_does_not_change_schedules() {
     }
 }
 
+/// Extends the null-observer pin to the full telemetry stack: metrics +
+/// flight recorder fanned out to both the engine and the policy, plus
+/// the phase profiler — the run must still be bit-identical to the
+/// unobserved one, with matching discrete stats.
+#[test]
+fn full_telemetry_does_not_change_schedules() {
+    use mmsec_platform::obs::{Fanout, FlightRecorder, MetricsRecorder, PhaseProfiler, Shared};
+    let cfg = RandomCcrConfig {
+        n: 50,
+        num_cloud: 4,
+        slow_edges: 2,
+        fast_edges: 2,
+        ..RandomCcrConfig::default()
+    };
+    let inst = cfg.generate(3);
+    for kind in PolicyKind::ALL {
+        let mut plain = kind.build(5);
+        let mut observed = kind.build(5);
+        let a = Simulation::of(&inst).policy(plain.as_mut()).run().unwrap();
+
+        let metrics = Shared::new(MetricsRecorder::new());
+        let flight = Shared::new(FlightRecorder::with_capacity(32));
+        let mut fan = Fanout::new();
+        fan.push(Box::new(metrics.clone()));
+        fan.push(Box::new(flight.clone()));
+        let shared_fan = Shared::new(fan);
+        observed.attach_observer(shared_fan.handle());
+        let mut engine_side = shared_fan.clone();
+        let mut profiler = PhaseProfiler::new();
+        let b = Simulation::of(&inst)
+            .policy(observed.as_mut())
+            .observer(&mut engine_side)
+            .profiler(&mut profiler)
+            .run()
+            .unwrap();
+        assert_eq!(a.schedule, b.schedule, "{kind} perturbed by telemetry");
+        assert_eq!(a.stats.events, b.stats.events);
+        assert_eq!(a.stats.decides, b.stats.decides);
+        assert_eq!(a.stats.restarts, b.stats.restarts);
+        assert!(profiler.steps() > 0, "{kind}: profiler saw no steps");
+        assert!(
+            metrics.with(|m| m.stretch().count()) > 0,
+            "{kind}: no completion reached the metrics recorder"
+        );
+        assert!(
+            flight.with(|f| f.total_seen()) > 0,
+            "{kind}: no event reached the flight ring"
+        );
+    }
+}
+
 #[test]
 fn generators_are_pure_functions_of_seed() {
     let r = RandomCcrConfig {

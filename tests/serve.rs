@@ -116,6 +116,115 @@ fn streamed_run_matches_batch_simulation() {
     }
 }
 
+fn has_field(rec: &[(String, Value)], key: &str) -> bool {
+    rec.iter().any(|(k, _)| k == key)
+}
+
+#[test]
+fn heartbeats_carry_the_v2_stats_payload() {
+    let inst = platform();
+    let input = r#"
+{"origin": 0, "release": 1.0, "work": 2.0, "up": 0.5, "dn": 0.25}
+{"origin": 1, "release": 2.0, "work": 1.0}
+{"origin": 0, "release": 25.0, "work": 1.0}
+"#;
+    let recs = serve_lines(&inst, &ServeConfig::default(), input);
+    let beats: Vec<_> = recs.iter().filter(|r| kind_of(r) == "heartbeat").collect();
+    assert!(
+        beats.len() >= 2,
+        "a 25s-horizon run must beat at 10s and 20s"
+    );
+    for beat in &beats {
+        assert_eq!(num(beat, "v"), 2.0);
+        for key in [
+            "now",
+            "pending",
+            "running",
+            "unfinished",
+            "decides",
+            "decide_skips",
+            "admitted",
+            "shed",
+            "admitted_delta",
+            "shed_delta",
+            "completed_delta",
+            "max_stretch",
+        ] {
+            assert!(has_field(beat, key), "heartbeat missing {key}");
+        }
+        // No --speedup: there is no replay clock to lag behind.
+        assert!(!has_field(beat, "lag"));
+    }
+    // Counters are monotone across the stream, and the per-interval
+    // completion deltas sum to the final completion total.
+    for key in ["now", "decides", "completed", "admitted"] {
+        let vals: Vec<f64> = beats.iter().map(|r| num(r, key)).collect();
+        assert!(
+            vals.windows(2).all(|w| w[0] <= w[1]),
+            "heartbeat {key} not monotone: {vals:?}"
+        );
+    }
+    let summary = recs.last().unwrap();
+    let delta_sum: f64 = beats.iter().map(|r| num(r, "completed_delta")).sum();
+    let last_beat_completed = beats.last().map(|r| num(r, "completed")).unwrap();
+    assert_eq!(delta_sum, last_beat_completed);
+    assert!(last_beat_completed <= num(summary, "completed"));
+}
+
+#[test]
+fn stats_every_emits_records_on_the_line_cadence() {
+    let inst = platform();
+    let input = r#"
+{"origin": 0, "release": 1.0, "work": 2.0}
+{"origin": 1, "release": 2.0, "work": 1.0}
+not json at all
+{"origin": 0, "release": 4.0, "work": 1.0}
+{"origin": 1, "release": 5.0, "work": 2.0}
+"#;
+    let cfg = ServeConfig {
+        stats_every: Some(2),
+        ..ServeConfig::default()
+    };
+    let recs = serve_lines(&inst, &cfg, input);
+    assert!(
+        has_field(&recs[0], "stats_every"),
+        "hello advertises cadence"
+    );
+    let stats: Vec<_> = recs.iter().filter(|r| kind_of(r) == "stats").collect();
+    // 5 input lines (rejects count) at a cadence of 2 -> lines 2 and 4.
+    let lines: Vec<f64> = stats.iter().map(|r| num(r, "line")).collect();
+    assert_eq!(lines, vec![2.0, 4.0]);
+    for rec in &stats {
+        assert_eq!(num(rec, "v"), 2.0);
+        for key in [
+            "now", "pending", "running", "decides", "admitted", "rejected",
+        ] {
+            assert!(has_field(rec, key), "stats missing {key}");
+        }
+    }
+    let times: Vec<f64> = stats.iter().map(|r| num(r, "now")).collect();
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "stats timestamps not monotone: {times:?}"
+    );
+    // The stats stream's own deltas sum to its final totals.
+    let admitted_deltas: f64 = stats.iter().map(|r| num(r, "admitted_delta")).sum();
+    assert_eq!(admitted_deltas, num(stats.last().unwrap(), "admitted"));
+}
+
+#[test]
+fn stats_every_zero_is_a_usage_error() {
+    use mmsec_apps::cli::CliError;
+    let inst = platform();
+    let cfg = ServeConfig {
+        stats_every: Some(0),
+        ..ServeConfig::default()
+    };
+    let mut out = Vec::new();
+    let err = serve(&inst, &cfg, Cursor::new(String::new()), &mut out, None).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)), "got {err:?}");
+}
+
 #[test]
 fn bounded_admission_sheds_with_an_explicit_record() {
     let inst = platform();
@@ -179,7 +288,7 @@ fn serve_binary_round_trips_ndjson() {
 
     let mut child = Command::new(env!("CARGO_BIN_EXE_mmsec"))
         .args(["serve", "--instance", inst_path.to_str().unwrap()])
-        .args(["--policy", "srpt", "--heartbeat", "5"])
+        .args(["--policy", "srpt", "--heartbeat", "5", "--stats-every", "1"])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -210,6 +319,16 @@ fn serve_binary_round_trips_ndjson() {
         recs.iter().filter(|r| kind_of(r) == "completion").count(),
         2
     );
+    // --stats-every 1: one stats record per input line, numbered 1..=2,
+    // each carrying the v2 payload.
+    let stats: Vec<_> = recs.iter().filter(|r| kind_of(r) == "stats").collect();
+    assert_eq!(stats.len(), 2);
+    for (i, rec) in stats.iter().enumerate() {
+        assert_eq!(num(rec, "line"), (i + 1) as f64);
+        assert_eq!(num(rec, "v"), 2.0);
+        assert!(has_field(rec, "pending"));
+        assert!(has_field(rec, "decides"));
+    }
 
     std::fs::remove_dir_all(&dir).ok();
 }
