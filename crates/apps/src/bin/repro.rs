@@ -12,6 +12,7 @@
 //!   ablation-alpha ablation-ports ablation-preempt ablation-arrivals
 //!   ext-hetero ext-windows    extensions
 //!   robustness                E-fault: max-stretch vs unit failure rate
+//!   elastic                   E-elastic: mid-run platform churn
 //!   mean-vs-max bender-competitive   extra studies
 //!   all                       everything above
 //! ```
@@ -27,7 +28,7 @@ fn usage() -> ! {
     fail(CliError::Usage(
         "usage: repro <fig2a|fig2b|fig2c|fig2d|exec-times|hardness|ablation-alpha|\
          ablation-ports|ablation-preempt|ablation-arrivals|ext-hetero|ext-windows|\
-         robustness|mean-vs-max|bender-competitive|all> \
+         robustness|elastic|mean-vs-max|bender-competitive|all> \
          [--scale smoke|quick|standard|full] [--seed N] [--csv DIR] [--metrics-dir DIR]"
             .into(),
     ));
@@ -130,6 +131,7 @@ fn main() {
             "ext-hetero" => experiments::ext_heterogeneous(s, seed),
             "ext-windows" => experiments::ext_windows(s, seed),
             "robustness" => experiments::fault_robustness(s, seed),
+            "elastic" => experiments::elastic(s, seed),
             "mean-vs-max" => mmsec_bench::extra::mean_vs_max_stretch(s, seed),
             "bender-competitive" => mmsec_bench::extra::bender_competitiveness(s, seed),
             "ablation-arrivals" => mmsec_bench::extra::ablation_arrivals(s, seed),
@@ -167,6 +169,7 @@ fn main() {
                 "ext-hetero",
                 "ext-windows",
                 "robustness",
+                "elastic",
                 "mean-vs-max",
                 "bender-competitive",
                 "adversarial",

@@ -1,22 +1,29 @@
 //! `mmsec serve` — drive a [`Session`] from a newline-delimited JSON job
 //! stream (see `docs/serving.md` for the protocol).
 //!
-//! Input: one JSON object per line, each a job submission:
+//! Input: one JSON object per line — a job submission, or (with
+//! `"type": "platform"`) a platform mutation applied at the current
+//! virtual time:
 //!
 //! ```text
 //! {"origin": 0, "release": 1.5, "work": 2.0, "up": 0.5, "dn": 0.25}
+//! {"type": "platform", "op": "add-cloud", "speed": 2.0}
+//! {"type": "platform", "op": "set-link", "unit": 0, "factor": 0.5}
 //! ```
 //!
 //! `release` is optional (defaults to the current virtual time); `up` and
 //! `dn` default to 0. Output: one JSON record per line — `admit` / `shed`
-//! / `reject` for each input line, `completion` per finished job with its
-//! stretch, periodic `heartbeat` snapshots (schema v2: queue depths,
-//! decide counters, per-interval deltas, and — under `--speedup` — the
-//! wall-vs-virtual lag) at a fixed virtual-time cadence, optional `stats`
-//! records every `--stats-every N` input lines, and one final `summary`.
-//! Heartbeat timestamps are strictly monotone: the loop always advances
-//! the session to the next heartbeat boundary *before* admitting later
-//! arrivals.
+//! / `reject` for each input line (`platform-ok` for an applied
+//! mutation), `completion` per finished job with its stretch, periodic
+//! `heartbeat` snapshots (schema v3: queue depths, decide counters,
+//! per-interval deltas, platform version and live unit counts, and —
+//! under `--speedup` — the wall-vs-virtual lag) at a fixed virtual-time
+//! cadence, optional `stats` records every `--stats-every N` input
+//! lines, and one final `summary`. Heartbeat timestamps are strictly
+//! monotone, and their payload always reflects the state *after* the
+//! boundary advance — when the session's next event lies beyond several
+//! boundaries at once, one heartbeat covers the crossing instead of a
+//! stale payload repeating per boundary.
 //!
 //! Every session also feeds an internal [`FlightRecorder`]: if the engine
 //! errors or the backlog drain stalls, the last engine events are dumped
@@ -32,14 +39,15 @@ use crate::ndjson::{parse_object, ObjWriter, Value};
 use mmsec_core::PolicyKind;
 use mmsec_platform::obs::{Event as ObsEvent, FlightRecorder, ObserverHandle, Shared};
 use mmsec_platform::{
-    CompletionRecord, EdgeId, EngineOptions, Instance, Job, Observer, Session, SessionStatus,
-    Simulation,
+    CloudId, CompletionRecord, EdgeId, EngineOptions, Instance, Job, Observer, PlatformMutation,
+    Session, SessionStatus, Simulation,
 };
 use mmsec_sim::Time;
 use std::io::{BufRead, Write};
 
-/// Heartbeat/stats payload schema version (the `"v"` field).
-pub const STATS_SCHEMA_VERSION: u32 = 2;
+/// Heartbeat/stats payload schema version (the `"v"` field). v3 added
+/// `platform_version` and live `edges`/`clouds` counts.
+pub const STATS_SCHEMA_VERSION: u32 = 3;
 
 /// Ring capacity of the serve loop's internal flight recorder.
 const FLIGHT_CAPACITY: usize = 512;
@@ -154,6 +162,78 @@ fn parse_submit(line: &str) -> Result<SubmitRequest, String> {
     Ok(req)
 }
 
+/// True when the line is a `{"type": "platform", ...}` mutation record
+/// rather than a job submission.
+fn is_platform_record(fields: &[(String, Value)]) -> bool {
+    fields
+        .iter()
+        .any(|(k, v)| k == "type" && v.as_str() == Some("platform"))
+}
+
+/// Parses a platform mutation record, reporting protocol violations as
+/// strings (typed `reject` records, never fatal). Speeds and factors are
+/// *not* range-checked here — the platform runtime owns those rules and
+/// reports them as typed errors ([`mmsec_platform::PlatformError`]).
+fn parse_platform(fields: &[(String, Value)]) -> Result<PlatformMutation, String> {
+    let mut op: Option<String> = None;
+    let mut unit: Option<usize> = None;
+    let mut speed: Option<f64> = None;
+    let mut factor: Option<f64> = None;
+    for (key, value) in fields {
+        let num = |v: &Value| v.as_num().ok_or(format!("field {key:?} must be a number"));
+        match key.as_str() {
+            "op" => match value.as_str() {
+                // Producers may use `_` or `-` interchangeably.
+                Some(s) => op = Some(s.replace('_', "-")),
+                None => return Err("field \"op\" must be a string".into()),
+            },
+            "unit" => {
+                let x = num(value)?;
+                if x < 0.0 || x.fract() != 0.0 {
+                    return Err(format!("unit must be a non-negative integer, got {x}"));
+                }
+                unit = Some(x as usize);
+            }
+            "speed" => speed = Some(num(value)?),
+            "factor" => factor = Some(num(value)?),
+            "type" | "id" | "tag" => {}
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    let op = op.ok_or("missing field \"op\"")?;
+    let unit = |what: &str| unit.ok_or(format!("op {what:?} needs a \"unit\" field"));
+    let speed = |what: &str| speed.ok_or(format!("op {what:?} needs a \"speed\" field"));
+    let factor = |what: &str| factor.ok_or(format!("op {what:?} needs a \"factor\" field"));
+    Ok(match op.as_str() {
+        "add-edge" => PlatformMutation::AddEdge { speed: speed(&op)? },
+        "remove-edge" => PlatformMutation::RemoveEdge {
+            edge: EdgeId(unit(&op)?),
+        },
+        "add-cloud" => PlatformMutation::AddCloud { speed: speed(&op)? },
+        "remove-cloud" => PlatformMutation::RemoveCloud {
+            cloud: CloudId(unit(&op)?),
+        },
+        "set-link" => PlatformMutation::SetLink {
+            edge: EdgeId(unit(&op)?),
+            factor: factor(&op)?,
+        },
+        "set-edge-speed" => PlatformMutation::SetEdgeSpeed {
+            edge: EdgeId(unit(&op)?),
+            speed: speed(&op)?,
+        },
+        "set-cloud-speed" => PlatformMutation::SetCloudSpeed {
+            cloud: CloudId(unit(&op)?),
+            speed: speed(&op)?,
+        },
+        other => {
+            return Err(format!(
+                "unknown op {other:?} (expected add-edge, remove-edge, add-cloud, \
+                 remove-cloud, set-link, set-edge-speed, or set-cloud-speed)"
+            ))
+        }
+    })
+}
+
 fn write_line(out: &mut impl Write, line: String) -> Result<(), CliError> {
     writeln!(out, "{line}").map_err(|e| CliError::Io(format!("output stream: {e}")))
 }
@@ -233,6 +313,9 @@ fn stats_payload(
         .num_field("unfinished", s.unfinished as f64)
         .num_field("pending", s.pending as f64)
         .num_field("running", s.running as f64)
+        .num_field("platform_version", session.platform().version() as f64)
+        .num_field("edges", session.platform().num_edges_live() as f64)
+        .num_field("clouds", session.platform().num_clouds_live() as f64)
         .num_field("max_stretch", s.max_stretch)
         .num_field("mean_stretch", s.mean_stretch)
         .num_field("events", s.run.events as f64)
@@ -344,13 +427,19 @@ fn advance_to(
             SessionStatus::Blocked | SessionStatus::Done => return Ok(()),
             SessionStatus::Reached | SessionStatus::Advanced => {}
         }
-        // Paused exactly at `stop`: beat if this was a heartbeat
-        // boundary (now == next_beat, keeping timestamps strictly
-        // monotone), then continue toward `target`.
+        // Paused at (or past) `stop`: beat if a heartbeat boundary was
+        // crossed, then continue toward `target`. A session whose next
+        // event lies beyond several boundaries pauses past them all at
+        // once — snap the cadence past `now` so one post-advance payload
+        // covers the crossing (repeating it per boundary would duplicate
+        // timestamps and re-report state from before the advance).
         if pulse.next_beat <= session.now().seconds() {
             let record = heartbeat_record(session, summary, pulse);
             write_line(out, record)?;
             pulse.next_beat += pulse.beat;
+            while pulse.next_beat <= session.now().seconds() {
+                pulse.next_beat += pulse.beat;
+            }
         }
         if session.now() >= target {
             return Ok(());
@@ -429,6 +518,42 @@ pub fn serve(
         }
         summary.lines += 1;
         let seq = summary.lines;
+
+        // Platform mutation records apply at the current virtual time;
+        // malformed records and refused mutations (unknown unit, removed
+        // twice, bad speed, last edge) produce typed `reject` records —
+        // never a fatal error.
+        if let Ok(fields) = parse_object(&line) {
+            if is_platform_record(&fields) {
+                let outcome = parse_platform(&fields).and_then(|m| {
+                    session
+                        .apply_platform(m)
+                        .map_err(|e| e.to_string())
+                        .map(|v| (m, v))
+                });
+                match outcome {
+                    Ok((m, version)) => {
+                        let p = session.platform();
+                        let mut w = ObjWriter::typed("platform-ok");
+                        w.num_field("line", seq as f64)
+                            .str_field("op", m.op())
+                            .num_field("version", version as f64)
+                            .num_field("edges", p.num_edges_live() as f64)
+                            .num_field("clouds", p.num_clouds_live() as f64);
+                        write_line(&mut out, w.finish())?;
+                    }
+                    Err(why) => {
+                        summary.rejected += 1;
+                        let mut w = ObjWriter::typed("reject");
+                        w.num_field("line", seq as f64).str_field("error", &why);
+                        write_line(&mut out, w.finish())?;
+                    }
+                }
+                maybe_stats(&session, &summary, &mut pulse, seq, &mut out)?;
+                continue;
+            }
+        }
+
         let req = match parse_submit(&line) {
             Ok(req) => req,
             Err(why) => {
@@ -519,9 +644,15 @@ pub fn serve(
                 )));
             }
             SessionStatus::Reached => {
+                // See `advance_to`: a pause past the boundary (the next
+                // event is several beats out) gets one heartbeat with the
+                // post-advance payload, not a stale repeat per boundary.
                 let record = heartbeat_record(&session, &summary, &mut pulse);
                 write_line(&mut out, record)?;
                 pulse.next_beat += pulse.beat;
+                while pulse.next_beat <= session.now().seconds() {
+                    pulse.next_beat += pulse.beat;
+                }
             }
             SessionStatus::Advanced => {}
         }

@@ -183,6 +183,32 @@ fn bench_decide_path_high_n(c: &mut Criterion) {
             Simulation::of(&inst).policy(policy.as_mut()).run().unwrap()
         });
     });
+    // Mid-run unit churn through the session mutation API: a fast edge
+    // and a cloud join at ¼ horizon, get retuned at ½, and leave at ¾.
+    // Each version bump forces every policy to rebuild its
+    // platform-sized caches, so this prices the dynamic-platform path
+    // against the frozen `simulate_1000_srpt` run above.
+    let horizon = inst
+        .iter_jobs()
+        .map(|(_, j)| j.release.seconds())
+        .fold(0.0_f64, f64::max);
+    group.bench_function("simulate_1000_srpt_elastic", |b| {
+        b.iter(|| {
+            let mut policy = PolicyKind::Srpt.build(1);
+            let mut session = Simulation::of(&inst).policy(policy.as_mut()).session();
+            session.run_until(Time::new(0.25 * horizon)).unwrap();
+            let e = session.add_edge(0.9).unwrap();
+            let k = session.add_cloud(2.0).unwrap();
+            session.run_until(Time::new(0.5 * horizon)).unwrap();
+            session.set_edge_speed(e, 0.4).unwrap();
+            session.set_link(e, 0.5).unwrap();
+            session.run_until(Time::new(0.75 * horizon)).unwrap();
+            session.remove_edge(e).unwrap();
+            session.remove_cloud(k).unwrap();
+            session.drain().unwrap();
+            session.snapshot().completed
+        });
+    });
     // n=5000: only viable at all because decision-epoch gating and the
     // incremental policy state cap per-event cost; sized to stay inside
     // the CI smoke budget.

@@ -53,7 +53,7 @@ impl OnlineScheduler for Fcfs {
         // actually needs placing this call.
         let mut proj_ready = false;
         for id in view.pending_jobs() {
-            let job = view.instance.job(id);
+            let job = view.job(id);
             // Fault injection: a sticky choice whose unit went down is
             // dropped and re-made among the units still up.
             if self.chosen[id.0].is_some_and(|t| !view.target_available(job.origin, t)) {
@@ -62,7 +62,7 @@ impl OnlineScheduler for Fcfs {
             if self.chosen[id.0].is_none() {
                 if !proj_ready {
                     match self.proj.as_mut() {
-                        Some(p) => p.reset(view.now),
+                        Some(p) => p.reset_for(view),
                         None => self.proj = Some(Projection::from_view(view)),
                     }
                     proj_ready = true;
@@ -128,15 +128,18 @@ impl OnlineScheduler for CloudOnly {
     }
 
     fn on_start(&mut self, instance: &Instance) {
-        assert!(
-            instance.spec.num_cloud() > 0,
-            "cloud-only policy needs a cloud"
-        );
         self.chosen = vec![None; instance.num_jobs()];
         self.proj = None;
     }
 
     fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+        // Checked here, against the live platform, rather than in
+        // `on_start` against the frozen instance: a mutable session may
+        // start cloudless and grow clouds before the first job arrives.
+        assert!(
+            view.spec().num_cloud() > 0 || view.pending_jobs().next().is_none(),
+            "cloud-only policy needs a cloud"
+        );
         // Streaming sessions admit jobs after `on_start`.
         if self.chosen.len() < view.jobs.len() {
             self.chosen.resize(view.jobs.len(), None);
@@ -154,13 +157,13 @@ impl OnlineScheduler for CloudOnly {
             if self.chosen[id.0].is_none() {
                 if !proj_ready {
                     match self.proj.as_mut() {
-                        Some(p) => p.reset(view.now),
+                        Some(p) => p.reset_for(view),
                         None => self.proj = Some(Projection::from_view(view)),
                     }
                     proj_ready = true;
                 }
                 let proj = self.proj.as_mut().expect("initialized above");
-                let job = view.instance.job(id);
+                let job = view.job(id);
                 let st = &view.jobs[id.0];
                 let mut best: Option<(Target, mmsec_sim::Time)> = None;
                 for k in spec.clouds() {
@@ -226,7 +229,7 @@ impl OnlineScheduler for RandomSticky {
         // order in which new jobs draw from the RNG, keeping the policy
         // deterministic per seed.
         for id in view.pending_jobs() {
-            let origin = view.instance.job(id).origin;
+            let origin = view.job(id).origin;
             // Fault injection: re-draw when the sticky unit went down.
             if self.chosen[id.0].is_some_and(|t| !view.target_available(origin, t)) {
                 self.chosen[id.0] = None;

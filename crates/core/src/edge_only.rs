@@ -32,6 +32,10 @@ pub struct EdgeOnly {
     /// every decide and demotes the policy to
     /// `DecisionCadence::EveryEvent` (equivalence-test reference mode).
     incremental: bool,
+    /// Platform version the cached deadlines assume; a mismatch (an edge
+    /// re-provisioned, units joined or left) voids them all — deadlines
+    /// depend on edge speeds through the processing-time estimates.
+    platform_version: u64,
 }
 
 impl Default for EdgeOnly {
@@ -55,6 +59,7 @@ impl EdgeOnly {
             deadlines: Vec::new(),
             order: Vec::new(),
             incremental: true,
+            platform_version: 0,
         }
     }
 
@@ -72,9 +77,9 @@ impl EdgeOnly {
         let spec = view.spec();
         let released: Vec<ReleasedJob> = view
             .pending_jobs()
-            .filter(|&id| view.instance.job(id).origin.0 == unit)
+            .filter(|&id| view.job(id).origin.0 == unit)
             .map(|id| {
-                let job = view.instance.job(id);
+                let job = view.job(id);
                 let st = &view.jobs[id.0];
                 ReleasedJob {
                     id,
@@ -122,12 +127,19 @@ impl OnlineScheduler for EdgeOnly {
         if self.deadlines.len() < view.jobs.len() {
             self.deadlines.resize(view.jobs.len(), None);
         }
+        // Platform mutation: cached deadlines assume stale speeds — void
+        // them so every unit with pending work recomputes below.
+        if self.platform_version != view.platform_version() {
+            self.platform_version = view.platform_version();
+            self.deadlines.fill(None);
+            self.order.clear();
+        }
         // Units with a newly released job recompute their deadlines
         // (stretch-so-far is re-estimated at release events).
         let mut dirty_units: Vec<usize> = view
             .pending_jobs()
             .filter(|id| self.deadlines[id.0].is_none())
-            .map(|id| view.instance.job(id).origin.0)
+            .map(|id| view.job(id).origin.0)
             .collect();
         dirty_units.sort_unstable();
         dirty_units.dedup();
@@ -160,7 +172,7 @@ impl OnlineScheduler for EdgeOnly {
         for &(_, id) in &self.order {
             // Fault injection: don't (re)commit jobs whose origin edge is
             // currently down — they wait, uncommitted, until it recovers.
-            if view.edge_available(view.instance.job(id).origin) {
+            if view.edge_available(view.job(id).origin) {
                 out.push(id, Target::Edge);
             }
         }

@@ -59,7 +59,7 @@ impl OnlineScheduler for Greedy {
                     continue;
                 };
                 let s = stretch_at(view, id, opt.completion);
-                let mt = view.instance.job(id).min_time(view.spec());
+                let mt = view.job(id).min_time(view.spec());
                 let better = match &pick {
                     None => true,
                     Some((_, bid, _, bs, bmt)) => {

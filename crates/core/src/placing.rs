@@ -24,7 +24,7 @@ use mmsec_sim::Time;
 /// phase when (re)starting fresh.
 pub fn first_phase(view: &SimView<'_>, id: JobId, target: Target) -> Option<Phase> {
     let st = &view.jobs[id.0];
-    let job = view.instance.job(id);
+    let job = view.job(id);
     if st.committed == Some(target) {
         return st.current_phase(job, target);
     }
@@ -88,6 +88,10 @@ pub struct RoundState {
     /// Set entries of `touched`, so `reset` clears them without an O(K)
     /// sweep.
     touched_list: Vec<CloudId>,
+    /// Platform version every per-unit table was sized for; a mismatch in
+    /// `reset` (units joined, left, or re-provisioned) rebuilds the round
+    /// wholesale — mutations are rare, so the realloc cost is noise.
+    version: u64,
 }
 
 impl RoundState {
@@ -112,6 +116,7 @@ impl RoundState {
             speed_classes: speed_classes.into_iter().map(|(_, c)| c).collect(),
             touched: vec![false; spec.num_cloud()],
             touched_list: Vec::new(),
+            version: view.platform_version(),
         };
         round.gather(view);
         round
@@ -123,6 +128,12 @@ impl RoundState {
     /// was built for (policies hold one round per run and rebuild it in
     /// `on_start`).
     pub fn reset(&mut self, view: &SimView<'_>) {
+        if self.version != view.platform_version() {
+            // The platform mutated since the round was built: speed
+            // classes, touched tables, and resource maps are all stale.
+            *self = RoundState::new(view);
+            return;
+        }
         self.proj.reset(view.now);
         self.busy_now.fill(false);
         self.backlog.fill(0.0);
@@ -148,7 +159,7 @@ impl RoundState {
             if !has_progress {
                 continue;
             }
-            let job = view.instance.job(id);
+            let job = view.job(id);
             let (cpu, amount) = match target {
                 Target::Edge => (
                     mmsec_platform::resource::ResourceId::EdgeCpu(job.origin),
@@ -180,7 +191,7 @@ impl RoundState {
     /// Backlog a candidate target's CPU carries, excluding `id`'s own
     /// contribution.
     fn foreign_backlog(&self, view: &SimView<'_>, id: JobId, target: Target) -> f64 {
-        let job = view.instance.job(id);
+        let job = view.job(id);
         let cpu = match target {
             Target::Edge => mmsec_platform::resource::ResourceId::EdgeCpu(job.origin),
             Target::Cloud(k) => mmsec_platform::resource::ResourceId::CloudCpu(k),
@@ -208,7 +219,7 @@ impl RoundState {
     /// away all its progress.
     pub fn best_startable(&self, view: &SimView<'_>, id: JobId) -> Option<StartOption> {
         let st = &view.jobs[id.0];
-        let job = view.instance.job(id);
+        let job = view.job(id);
         let spec = view.spec();
 
         let has_progress = st.up_done + st.work_done + st.dn_done > 0.0;
@@ -331,7 +342,7 @@ impl RoundState {
     #[cfg(test)]
     fn best_startable_exhaustive(&self, view: &SimView<'_>, id: JobId) -> Option<StartOption> {
         let st = &view.jobs[id.0];
-        let job = view.instance.job(id);
+        let job = view.job(id);
         let spec = view.spec();
 
         let has_progress = st.up_done + st.work_done + st.dn_done > 0.0;
@@ -368,7 +379,7 @@ impl RoundState {
     /// now explicit in the projection).
     pub fn claim(&mut self, view: &SimView<'_>, id: JobId, target: Target) {
         let st = &view.jobs[id.0];
-        let job = view.instance.job(id);
+        let job = view.job(id);
         let phase = first_phase(view, id, target).expect("claimed job has a phase to run");
         for r in phase.resources(job, target).iter() {
             debug_assert!(!self.busy_now[r], "double-claim of {r}");

@@ -42,6 +42,10 @@ pub struct SsfEdf {
     /// `DecisionCadence::EveryEvent` — the reference mode the
     /// gating-equivalence proptest compares against.
     incremental: bool,
+    /// Platform version the current plan was computed against; a mismatch
+    /// (units joined, left, or were re-provisioned) voids every deadline
+    /// and target, forcing a full replan.
+    platform_version: u64,
     /// Sink for `BinarySearchProbe` events, when attached.
     observer: Option<ObserverHandle>,
 }
@@ -69,6 +73,7 @@ impl SsfEdf {
             targets: Vec::new(),
             order: Vec::new(),
             incremental: true,
+            platform_version: 0,
             observer: None,
         }
     }
@@ -112,7 +117,7 @@ impl SsfEdf {
         let mut feasible = true;
         let mut plan = Vec::with_capacity(jobs.len());
         for (d, id) in jobs {
-            let job = view.instance.job(id);
+            let job = view.job(id);
             let st = &view.jobs[id.0];
             let target = choose_target(&proj, view, id, spec);
             let completion = proj.place(job, st, target, spec, view.now);
@@ -208,7 +213,7 @@ fn choose_target(
     spec: &mmsec_platform::PlatformSpec,
 ) -> Target {
     let st = &view.jobs[id.0];
-    let job = view.instance.job(id);
+    let job = view.job(id);
     // Time already invested in the committed attempt (what a switch wastes).
     let sunk = match st.committed {
         Some(Target::Edge) => st.work_done / spec.edge_speed(job.origin),
@@ -285,6 +290,14 @@ impl OnlineScheduler for SsfEdf {
         if self.deadlines.len() < view.jobs.len() {
             self.deadlines.resize(view.jobs.len(), None);
             self.targets.resize(view.jobs.len(), None);
+        }
+        // Platform mutation: the plan's targets may point at removed
+        // units and its deadlines assume stale speeds — void it all.
+        if self.platform_version != view.platform_version() {
+            self.platform_version = view.platform_version();
+            self.deadlines.fill(None);
+            self.targets.fill(None);
+            self.order.clear();
         }
         // Release event ⇔ some pending job has no deadline yet.
         let replanned = if view.pending_jobs().any(|id| self.deadlines[id.0].is_none()) {

@@ -324,6 +324,23 @@ impl Observer for ChromeTraceWriter {
                     ],
                 );
             }
+            Event::PlatformChanged {
+                t,
+                version,
+                op,
+                unit,
+            } => {
+                self.instant(
+                    "platform-changed",
+                    us(*t),
+                    POLICY_TID,
+                    vec![
+                        ("op", Json::str(*op)),
+                        ("version", Json::int(*version as usize)),
+                        ("unit", Json::str(unit.to_string())),
+                    ],
+                );
+            }
             Event::RunEnd { makespan } => {
                 self.instant(
                     "run-end",

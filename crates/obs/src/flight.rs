@@ -121,6 +121,13 @@ impl FlightEntry {
                 e.value = *stretch;
                 e.n = *feasible as i64;
             }
+            Event::PlatformChanged {
+                t, version, unit, ..
+            } => {
+                e.t = t.seconds();
+                e.unit = Some(*unit);
+                e.n = *version as i64;
+            }
             Event::RunEnd { makespan } => e.t = makespan.seconds(),
         }
         e

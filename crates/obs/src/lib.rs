@@ -251,6 +251,21 @@ pub enum Event {
         /// Whether a feasible plan exists at that stretch.
         feasible: bool,
     },
+    /// The platform's permanent shape changed: a committed platform
+    /// mutation (elastic join/leave, link or speed re-provisioning).
+    /// Temporary fault windows emit `UnitDown`/`UnitUp`/`LinkDegraded`
+    /// instead.
+    PlatformChanged {
+        /// Virtual time of the mutation.
+        t: Time,
+        /// Platform version after the mutation.
+        version: u64,
+        /// Stable kebab-case operation name (`"add-edge"`,
+        /// `"remove-cloud"`, `"set-link"`, ...).
+        op: &'static str,
+        /// The unit the mutation concerns (for adds: the joining unit).
+        unit: Unit,
+    },
     /// Simulation finished.
     RunEnd {
         /// Final virtual time (makespan).
@@ -277,6 +292,7 @@ impl Event {
             Event::LinkDegraded { .. } => "link-degraded",
             Event::JobKilled { .. } => "job-killed",
             Event::BinarySearchProbe { .. } => "binary-search-probe",
+            Event::PlatformChanged { .. } => "platform-changed",
             Event::RunEnd { .. } => "run-end",
         }
     }

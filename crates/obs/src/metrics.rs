@@ -49,6 +49,8 @@ pub struct MetricsRecorder {
     unit_ups: u64,
     job_kills: u64,
     link_changes: u64,
+    platform_changes: u64,
+    platform_version: u64,
     /// Accumulated down-seconds per unit display name.
     downtime: BTreeMap<String, f64>,
     /// Units currently down, with the time the outage began.
@@ -243,6 +245,17 @@ impl MetricsRecorder {
                 ]),
             ));
         }
+        // Platform section only when the platform actually mutated, so
+        // static-platform runs serialize exactly as before.
+        if self.platform_changes > 0 {
+            fields.push((
+                "platform",
+                Json::obj(vec![
+                    ("changes", Json::Num(self.platform_changes as f64)),
+                    ("version", Json::Num(self.platform_version as f64)),
+                ]),
+            ));
+        }
         Json::obj(fields)
     }
 
@@ -327,6 +340,10 @@ impl Observer for MetricsRecorder {
                 }
             }
             Event::LinkDegraded { .. } => self.link_changes += 1,
+            Event::PlatformChanged { version, .. } => {
+                self.platform_changes += 1;
+                self.platform_version = (*version).max(self.platform_version);
+            }
             Event::JobKilled { job, .. } => {
                 // A kill is a forced restart: fold it into the restart
                 // aggregates so the recorder matches the engine's

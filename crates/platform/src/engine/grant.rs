@@ -56,7 +56,7 @@ pub fn greedy_allocate(
             Some(d.target),
             "allocation must follow commitment"
         );
-        let job = view.instance.job(d.job);
+        let job = view.job(d.job);
         let Some(phase) = st.current_phase(job, d.target) else {
             continue;
         };
@@ -100,7 +100,7 @@ pub(super) fn pin_running(
         if st.finished {
             continue;
         }
-        let job = view.instance.job(JobId(i));
+        let job = view.job(JobId(i));
         // Still the same phase? (A completed phase unpins the job.)
         if st.current_phase(job, target) != Some(phase) {
             continue;

@@ -21,8 +21,8 @@
 //!
 //! # Module layout
 //!
-//! * [`mod@self`] — the [`OnlineScheduler`] contract, [`EngineOptions`],
-//!   and the deprecated `simulate*` wrappers over [`Simulation`];
+//! * [`mod@self`] — the [`OnlineScheduler`] contract and
+//!   [`EngineOptions`];
 //! * [`session`] — the seven-step run loop as a resumable [`Session`]
 //!   driver (pause/resume, mid-run [`Session::submit`]);
 //! * [`simulation`] — the [`Simulation`] builder, the one batch entry
@@ -73,8 +73,7 @@ pub use simulation::Simulation;
 use crate::activity::DirectiveBuffer;
 use crate::instance::Instance;
 use crate::view::SimView;
-use mmsec_faults::FaultPlan;
-use mmsec_obs::{Observer, ObserverHandle};
+use mmsec_obs::ObserverHandle;
 
 /// How often a policy's `decide` must be invoked (see
 /// [`OnlineScheduler::cadence`]).
@@ -173,86 +172,6 @@ impl Default for EngineOptions {
             decision_gating: true,
         }
     }
-}
-
-/// Simulates `instance` under `scheduler` with the paper's default model.
-#[deprecated(note = "use `Simulation`: `Simulation::of(instance).policy(scheduler).run()`")]
-pub fn simulate(
-    instance: &Instance,
-    scheduler: &mut dyn OnlineScheduler,
-) -> Result<RunOutcome, EngineError> {
-    Simulation::of(instance).policy(scheduler).run()
-}
-
-/// Simulates `instance` under `scheduler` with explicit engine options.
-#[deprecated(
-    note = "use `Simulation`: `Simulation::of(instance).policy(scheduler).options(opts).run()`"
-)]
-pub fn simulate_with(
-    instance: &Instance,
-    scheduler: &mut dyn OnlineScheduler,
-    opts: EngineOptions,
-) -> Result<RunOutcome, EngineError> {
-    Simulation::of(instance)
-        .policy(scheduler)
-        .options(opts)
-        .run()
-}
-
-/// Simulates `instance` while injecting the faults of a compiled
-/// [`FaultPlan`] (see [`Simulation::faults`]).
-#[deprecated(
-    note = "use `Simulation`: `Simulation::of(instance).policy(scheduler).options(opts).faults(plan).run()`"
-)]
-pub fn simulate_with_faults(
-    instance: &Instance,
-    scheduler: &mut dyn OnlineScheduler,
-    opts: EngineOptions,
-    faults: &FaultPlan,
-) -> Result<RunOutcome, EngineError> {
-    Simulation::of(instance)
-        .policy(scheduler)
-        .options(opts)
-        .faults(faults)
-        .run()
-}
-
-/// [`simulate_with_faults`] with an observer attached (see
-/// [`Simulation::observer`]).
-#[deprecated(
-    note = "use `Simulation`: `Simulation::of(instance).policy(scheduler).options(opts).faults(plan).observer(o).run()`"
-)]
-pub fn simulate_with_faults_observed(
-    instance: &Instance,
-    scheduler: &mut dyn OnlineScheduler,
-    opts: EngineOptions,
-    faults: &FaultPlan,
-    observer: &mut dyn Observer,
-) -> Result<RunOutcome, EngineError> {
-    Simulation::of(instance)
-        .policy(scheduler)
-        .options(opts)
-        .faults(faults)
-        .observer(observer)
-        .run()
-}
-
-/// Simulates `instance` while streaming typed [`mmsec_obs::Event`]s to
-/// `observer` (see [`Simulation::observer`]).
-#[deprecated(
-    note = "use `Simulation`: `Simulation::of(instance).policy(scheduler).options(opts).observer(o).run()`"
-)]
-pub fn simulate_observed(
-    instance: &Instance,
-    scheduler: &mut dyn OnlineScheduler,
-    opts: EngineOptions,
-    observer: &mut dyn Observer,
-) -> Result<RunOutcome, EngineError> {
-    Simulation::of(instance)
-        .policy(scheduler)
-        .options(opts)
-        .observer(observer)
-        .run()
 }
 
 #[cfg(test)]

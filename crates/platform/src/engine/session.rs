@@ -35,9 +35,9 @@ use crate::instance::{Instance, InstanceError};
 use crate::job::{Job, JobId};
 use crate::resource::{ResourceId, ResourceMap};
 use crate::schedule::TraceBuilder;
-use crate::spec::EdgeId;
-use crate::state::JobState;
-use crate::view::{Availability, PendingSet, SimView};
+use crate::spec::{CloudId, EdgeId};
+use crate::state::{JobState, PlatformError, PlatformMutation, PlatformState};
+use crate::view::{PendingSet, SimView};
 use std::borrow::Cow;
 use std::time::{Duration, Instant};
 
@@ -163,7 +163,11 @@ pub struct Session<'a> {
     unfinished: usize,
     jobs: Vec<JobState>,
     queue: EventQueue<EngineEvent>,
-    avail: Option<Availability>,
+    /// The owned, versioned platform runtime. All platform changes —
+    /// permanent mutations ([`Session::add_edge`] and friends) and fault
+    /// replay — flow through it; while it stays static the engine takes
+    /// the exact frozen-instance fast path.
+    platform: PlatformState,
     trace: TraceBuilder,
     stats: RunStats,
     event_log: Option<Vec<EventRecord>>,
@@ -221,15 +225,16 @@ impl<'a> Session<'a> {
         // model at all.
         let faults = faults.filter(|p| !p.is_empty());
         if let Some(plan) = faults {
-            assert_eq!(
-                plan.num_edges(),
-                spec.num_edge(),
-                "fault plan covers a different number of edges than the platform"
+            // `>=`, not `==`: a plan may be compiled for a platform shape
+            // the session only grows into through mutations. Fault events
+            // for units that have not joined yet are dropped on replay.
+            assert!(
+                plan.num_edges() >= spec.num_edge(),
+                "fault plan covers fewer edges than the platform"
             );
-            assert_eq!(
-                plan.num_clouds(),
-                spec.num_cloud(),
-                "fault plan covers a different number of clouds than the platform"
+            assert!(
+                plan.num_clouds() >= spec.num_cloud(),
+                "fault plan covers fewer clouds than the platform"
             );
             assert!(opts.allow_preemption, "fault injection requires preemption");
             assert!(
@@ -249,7 +254,12 @@ impl<'a> Session<'a> {
         if let Some(plan) = faults {
             prime_faults(&mut queue, plan);
         }
-        let avail = faults.map(|_| Availability::all_up(spec.num_edge(), spec.num_cloud()));
+        let mut platform = PlatformState::new(spec.clone());
+        if faults.is_some() {
+            // Fault replay needs the availability overlay from the start;
+            // the platform stays at version 1 (faults are temporary).
+            platform.mark_dynamic();
+        }
         let now = queue.peek_time().unwrap_or(Time::ZERO);
         let blocked = ResourceMap::new(spec, false);
         let event_log = opts.record_events.then(Vec::new);
@@ -270,7 +280,7 @@ impl<'a> Session<'a> {
             unfinished: n,
             jobs: vec![JobState::default(); n],
             queue,
-            avail,
+            platform,
             trace: TraceBuilder::new(n),
             stats: RunStats::default(),
             event_log,
@@ -328,7 +338,9 @@ impl<'a> Session<'a> {
     /// (late submission — see the module docs). Fails if the origin edge
     /// does not exist on the platform.
     pub fn submit(&mut self, job: Job) -> Result<JobId, InstanceError> {
-        if job.origin.0 >= self.instance.spec.num_edge() {
+        // A tombstoned (removed) edge no longer exists as an origin: jobs
+        // submitted for it are rejected exactly like an out-of-range one.
+        if job.origin.0 >= self.platform.spec().num_edge() || !self.platform.edge_live(job.origin) {
             return Err(InstanceError::OriginOutOfRange {
                 job: self.instance.num_jobs(),
                 origin: job.origin.0,
@@ -363,6 +375,152 @@ impl<'a> Session<'a> {
             }
         );
         Ok(id)
+    }
+
+    /// The versioned platform runtime the session executes on: its
+    /// current spec, composed availability, membership, and
+    /// [version](PlatformState::version).
+    pub fn platform(&self) -> &PlatformState {
+        &self.platform
+    }
+
+    /// Applies one permanent platform mutation by value — the typed
+    /// method forms ([`Session::add_edge`] and friends) are equivalent.
+    /// Returns the new platform version.
+    pub fn apply_platform(&mut self, m: PlatformMutation) -> Result<u64, PlatformError> {
+        match m {
+            PlatformMutation::AddEdge { speed } => {
+                self.add_edge(speed).map(|_| self.platform.version())
+            }
+            PlatformMutation::RemoveEdge { edge } => self.remove_edge(edge),
+            PlatformMutation::AddCloud { speed } => {
+                self.add_cloud(speed).map(|_| self.platform.version())
+            }
+            PlatformMutation::RemoveCloud { cloud } => self.remove_cloud(cloud),
+            PlatformMutation::SetLink { edge, factor } => self.set_link(edge, factor),
+            PlatformMutation::SetEdgeSpeed { edge, speed } => self.set_edge_speed(edge, speed),
+            PlatformMutation::SetCloudSpeed { cloud, speed } => self.set_cloud_speed(cloud, speed),
+        }
+    }
+
+    /// A new edge unit joins the platform (nominal link). Takes effect at
+    /// the next step: the decision epoch is bumped, so gated policies
+    /// re-decide against the grown platform. Returns the new unit's id.
+    pub fn add_edge(&mut self, speed: f64) -> Result<EdgeId, PlatformError> {
+        let id = self.platform.add_edge(speed)?;
+        self.platform_changed("add-edge", Unit::Edge(id.0));
+        Ok(id)
+    }
+
+    /// Edge `j` leaves the platform permanently (tombstoned: its id stays
+    /// valid and it reports unavailable forever). Rejected while
+    /// unfinished jobs originate there — those jobs could never complete
+    /// (their uplink/downlink endpoints die with the unit). Returns the
+    /// new platform version.
+    pub fn remove_edge(&mut self, j: EdgeId) -> Result<u64, PlatformError> {
+        let unfinished = self
+            .instance
+            .jobs
+            .iter()
+            .zip(&self.jobs)
+            .filter(|(job, st)| job.origin == j && !st.finished)
+            .count();
+        if unfinished > 0 {
+            return Err(PlatformError::OriginInUse {
+                edge: j.0,
+                unfinished,
+            });
+        }
+        let v = self.platform.remove_edge(j)?;
+        self.platform_changed("remove-edge", Unit::Edge(j.0));
+        Ok(v)
+    }
+
+    /// A new cloud processor joins the platform. Returns its id.
+    pub fn add_cloud(&mut self, speed: f64) -> Result<CloudId, PlatformError> {
+        let id = self.platform.add_cloud(speed)?;
+        self.platform_changed("add-cloud", Unit::Cloud(id.0));
+        Ok(id)
+    }
+
+    /// Cloud `k` leaves the platform permanently (tombstoned). Work in
+    /// flight on the removed processor is lost, exactly as under a
+    /// crash-down fault: affected jobs drop their commitment, wiped
+    /// progress counts as a restart, and a `JobKilled` event is emitted.
+    /// Returns the new platform version.
+    pub fn remove_cloud(&mut self, k: CloudId) -> Result<u64, PlatformError> {
+        let v = self.platform.remove_cloud(k)?;
+        for (i, st) in self.jobs.iter_mut().enumerate() {
+            if st.finished || st.committed != Some(Target::Cloud(k)) {
+                continue;
+            }
+            let had_progress = st.up_done + st.work_done + st.dn_done > 0.0;
+            st.committed = None;
+            st.running = None;
+            if had_progress {
+                st.reset_progress();
+                self.stats.restarts += 1;
+                self.trace.abandon(JobId(i));
+                if let Some(o) = self.observer.as_deref_mut() {
+                    o.on_event(&ObsEvent::JobKilled {
+                        t: self.now,
+                        job: i,
+                        unit: Unit::Cloud(k.0),
+                    });
+                }
+            }
+        }
+        self.platform_changed("remove-cloud", Unit::Cloud(k.0));
+        Ok(v)
+    }
+
+    /// Re-provisions edge `j`'s link to base capacity `factor` (composed
+    /// multiplicatively with any fault window's factor). Returns the new
+    /// platform version.
+    pub fn set_link(&mut self, j: EdgeId, factor: f64) -> Result<u64, PlatformError> {
+        let v = self.platform.set_link(j, factor)?;
+        self.platform_changed("set-link", Unit::Edge(j.0));
+        Ok(v)
+    }
+
+    /// Re-provisions edge `j` to a new speed. In-flight progress is kept:
+    /// work is tracked in work units, so remaining compute simply
+    /// proceeds at the new rate. Returns the new platform version.
+    pub fn set_edge_speed(&mut self, j: EdgeId, speed: f64) -> Result<u64, PlatformError> {
+        let v = self.platform.set_edge_speed(j, speed)?;
+        self.platform_changed("set-edge-speed", Unit::Edge(j.0));
+        Ok(v)
+    }
+
+    /// Re-provisions cloud `k` to a new speed (progress kept, as for
+    /// [`Session::set_edge_speed`]). Returns the new platform version.
+    pub fn set_cloud_speed(&mut self, k: CloudId, speed: f64) -> Result<u64, PlatformError> {
+        let v = self.platform.set_cloud_speed(k, speed)?;
+        self.platform_changed("set-cloud-speed", Unit::Cloud(k.0));
+        Ok(v)
+    }
+
+    /// Bookkeeping shared by every committed platform mutation: the
+    /// version bump is a decision-epoch bump (gated policies must
+    /// re-decide), resource maps are re-sized to the new spec, a paused
+    /// or blocked session is woken (a mutation can unblock it), and the
+    /// mutation is announced to the observer.
+    fn platform_changed(&mut self, op: &'static str, unit: Unit) {
+        self.epoch += 1;
+        self.blocked = ResourceMap::new(self.platform.spec(), false);
+        self.blocked_epoch = None;
+        self.paused_at_bound = false;
+        // The forced re-decide consumes one event of livelock budget.
+        self.limit += 1;
+        emit!(
+            self,
+            ObsEvent::PlatformChanged {
+                t: self.now,
+                version: self.platform.version(),
+                op,
+                unit,
+            }
+        );
     }
 
     /// Runs one engine step to the next event horizon (unbounded in
@@ -584,11 +742,9 @@ impl<'a> Session<'a> {
             );
         } else {
             {
-                let mut view = SimView::new(&self.instance, self.now, &self.jobs, &self.pending)
-                    .with_epoch(self.epoch);
-                if let Some(av) = self.avail.as_ref() {
-                    view = view.with_availability(av);
-                }
+                let view = SimView::new(&self.instance, self.now, &self.jobs, &self.pending)
+                    .with_epoch(self.epoch)
+                    .with_platform(&self.platform);
                 emit!(
                     self,
                     ObsEvent::DecideStart {
@@ -701,7 +857,7 @@ impl<'a> Session<'a> {
         //    (non-preemptable) running activities, then the greedy grant.
         self.blocked.fill(false);
         {
-            let spec = &self.instance.spec;
+            let spec = self.platform.spec();
             for k in spec.clouds() {
                 if spec
                     .cloud_unavailability(k)
@@ -711,7 +867,7 @@ impl<'a> Session<'a> {
                     self.blocked[ResourceId::CloudCpu(k)] = true;
                 }
             }
-            if let Some(av) = self.avail.as_ref() {
+            if let Some(av) = self.platform.overlay() {
                 // A down edge takes its CPU and both ports with it; a
                 // link outage (factor 0) blocks only the ports, so
                 // edge-local compute continues and cloud-bound jobs pause
@@ -737,11 +893,9 @@ impl<'a> Session<'a> {
         }
         self.activations.clear();
         {
-            let mut view = SimView::new(&self.instance, self.now, &self.jobs, &self.pending)
-                .with_epoch(self.epoch);
-            if let Some(av) = self.avail.as_ref() {
-                view = view.with_availability(av);
-            }
+            let view = SimView::new(&self.instance, self.now, &self.jobs, &self.pending)
+                .with_epoch(self.epoch)
+                .with_platform(&self.platform);
             if !self.opts.allow_preemption {
                 self.skip.fill(false);
                 grant::pin_running(
@@ -760,7 +914,7 @@ impl<'a> Session<'a> {
                 &mut self.activations,
             );
         }
-        if let Some(av) = self.avail.as_ref() {
+        if let Some(av) = self.platform.overlay() {
             // Link degradation: scale granted communication rates by the
             // origin edge's current factor. Factors of exactly 1.0 leave
             // the rate bit-identical; factor 0 never reaches here (the
@@ -882,7 +1036,7 @@ impl<'a> Session<'a> {
                 self.epoch += 1;
                 self.trace.complete(act.job, self.now);
                 let stretch =
-                    (self.now - job.release).seconds() / job.min_time(&self.instance.spec);
+                    (self.now - job.release).seconds() / job.min_time(self.platform.spec());
                 self.completed += 1;
                 self.stretch_sum += stretch;
                 self.stretch_max = self.stretch_max.max(stretch);
@@ -947,8 +1101,7 @@ impl<'a> Session<'a> {
                 }
                 EngineEvent::Boundary => {}
                 EngineEvent::EdgeDown(j) => {
-                    let av = self.avail.as_mut().expect("fault events imply a plan");
-                    av.edge_up[j.0] = false;
+                    self.platform.fault_edge_down(j);
                     emit!(
                         self,
                         ObsEvent::UnitDown {
@@ -986,8 +1139,7 @@ impl<'a> Session<'a> {
                     }
                 }
                 EngineEvent::EdgeUp(j) => {
-                    let av = self.avail.as_mut().expect("fault events imply a plan");
-                    av.edge_up[j.0] = true;
+                    self.platform.fault_edge_up(j);
                     emit!(
                         self,
                         ObsEvent::UnitUp {
@@ -997,8 +1149,7 @@ impl<'a> Session<'a> {
                     );
                 }
                 EngineEvent::CloudDown(k) => {
-                    let av = self.avail.as_mut().expect("fault events imply a plan");
-                    av.cloud_up[k.0] = false;
+                    self.platform.fault_cloud_down(k);
                     emit!(
                         self,
                         ObsEvent::UnitDown {
@@ -1028,8 +1179,7 @@ impl<'a> Session<'a> {
                     }
                 }
                 EngineEvent::CloudUp(k) => {
-                    let av = self.avail.as_mut().expect("fault events imply a plan");
-                    av.cloud_up[k.0] = true;
+                    self.platform.fault_cloud_up(k);
                     emit!(
                         self,
                         ObsEvent::UnitUp {
@@ -1044,16 +1194,15 @@ impl<'a> Session<'a> {
                     // end restores 1.0 and the one at its start applies
                     // the window's factor.
                     let plan = self.faults.expect("fault events imply a plan");
-                    let av = self.avail.as_mut().expect("fault events imply a plan");
                     let f = plan.link_factor_at(j.0, t_ev);
-                    if av.link_factor[j.0] != f {
-                        av.link_factor[j.0] = f;
+                    if self.platform.fault_set_link(j, f) {
+                        let factor = self.platform.availability().link_factor[j.0];
                         emit!(
                             self,
                             ObsEvent::LinkDegraded {
                                 t: self.now,
                                 edge: j.0,
-                                factor: f,
+                                factor,
                             }
                         );
                     } else {

@@ -3,7 +3,7 @@ use crate::activity::{Phase, Target};
 use crate::instance::figure1_instance;
 use crate::job::{Job, JobId};
 use crate::spec::{CloudId, EdgeId, PlatformSpec};
-use mmsec_obs::Event as ObsEvent;
+use mmsec_obs::{Event as ObsEvent, Observer};
 use mmsec_sim::Time;
 
 /// Sends every job to the cloud processor 0, FIFO priority.
@@ -851,34 +851,205 @@ mod session {
     }
 }
 
-/// The deprecated `simulate*` quintet must stay working, thin, and
-/// bit-identical to the [`Simulation`] builder until removal.
-#[allow(deprecated)]
-mod deprecated_wrappers {
+mod elastic {
     use super::*;
-    use mmsec_faults::FaultConfig;
-    use mmsec_obs::NullObserver;
+    use crate::state::{PlatformError, PlatformMutation};
+
+    /// Sends every pending job to the first *available* cloud, falling
+    /// back to the origin edge — the simplest policy that reacts to
+    /// membership changes.
+    struct CloudIfUp;
+    impl OnlineScheduler for CloudIfUp {
+        fn name(&self) -> String {
+            "cloud-if-up".into()
+        }
+        fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+            let target = view
+                .spec()
+                .clouds()
+                .find(|&k| view.cloud_available(k))
+                .map_or(Target::Edge, Target::Cloud);
+            for j in view.pending_jobs() {
+                out.push(j, target);
+            }
+        }
+    }
+
+    fn one_edge_instance(edge_speed: f64, num_cloud: usize) -> Instance {
+        let spec = PlatformSpec::homogeneous_cloud(vec![edge_speed], num_cloud);
+        Instance::new(spec, Vec::new()).unwrap()
+    }
 
     #[test]
-    fn wrappers_match_the_builder() {
-        let inst = figure1_instance();
-        let reference = Simulation::of(&inst)
-            .policy(&mut AllCloudFifo)
-            .run()
-            .unwrap();
-        let opts = EngineOptions::default();
-        let plan = FaultConfig::none(inst.spec.num_edge(), inst.spec.num_cloud())
-            .compile(1, Time::new(1e6));
-        let mut obs = NullObserver;
+    fn mutations_version_and_reject_typed() {
+        let inst = one_edge_instance(1.0, 1);
+        let mut policy = CloudIfUp;
+        let mut session = Simulation::of(&inst).policy(&mut policy).session();
+        assert_eq!(session.platform().version(), 1);
+        assert!(!session.platform().is_dynamic());
 
-        let a = simulate(&inst, &mut AllCloudFifo).unwrap();
-        let b = simulate_with(&inst, &mut AllCloudFifo, opts).unwrap();
-        let c = simulate_observed(&inst, &mut AllCloudFifo, opts, &mut obs).unwrap();
-        let d = simulate_with_faults(&inst, &mut AllCloudFifo, opts, &plan).unwrap();
-        let e =
-            simulate_with_faults_observed(&inst, &mut AllCloudFifo, opts, &plan, &mut obs).unwrap();
-        for out in [a, b, c, d, e] {
-            assert_eq!(out.schedule, reference.schedule);
+        let j = session.add_edge(0.5).unwrap();
+        assert_eq!(j, EdgeId(1));
+        assert_eq!(session.platform().version(), 2);
+        assert!(session.platform().is_dynamic());
+        let k = session.add_cloud(2.0).unwrap();
+        assert_eq!(k, CloudId(1));
+        assert_eq!(session.platform().version(), 3);
+
+        // Typed rejections, none of which burn a version.
+        assert!(matches!(
+            session.remove_edge(EdgeId(9)),
+            Err(PlatformError::UnknownEdge { edge: 9 })
+        ));
+        assert!(matches!(
+            session.set_cloud_speed(CloudId(0), -1.0),
+            Err(PlatformError::BadSpeed { .. })
+        ));
+        session.remove_cloud(CloudId(1)).unwrap();
+        assert!(matches!(
+            session.remove_cloud(CloudId(1)),
+            Err(PlatformError::AlreadyRemoved { .. })
+        ));
+        session.remove_edge(EdgeId(1)).unwrap();
+        assert!(matches!(
+            session.remove_edge(EdgeId(0)),
+            Err(PlatformError::LastEdge)
+        ));
+        assert_eq!(session.platform().version(), 5);
+        assert_eq!(session.platform().num_edges_live(), 1);
+        assert_eq!(session.platform().num_clouds_live(), 1);
+    }
+
+    #[test]
+    fn submit_to_removed_edge_is_rejected() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0, 1.0], 0);
+        let inst = Instance::new(spec, Vec::new()).unwrap();
+        let mut policy = AllEdgeFifo;
+        let mut session = Simulation::of(&inst).policy(&mut policy).session();
+        session.remove_edge(EdgeId(1)).unwrap();
+        let job = Job::new(EdgeId(1), 0.0, 1.0, 0.0, 0.0);
+        assert!(matches!(
+            session.submit(job),
+            Err(crate::instance::InstanceError::OriginOutOfRange { .. })
+        ));
+        // The surviving edge still accepts work.
+        session
+            .submit(Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0))
+            .unwrap();
+        session.drain().unwrap();
+        assert_eq!(
+            session.into_outcome().schedule.completion[0],
+            Some(Time::new(1.0))
+        );
+    }
+
+    #[test]
+    fn remove_edge_with_unfinished_jobs_is_origin_in_use() {
+        let spec = PlatformSpec::homogeneous_cloud(vec![1.0, 1.0], 0);
+        let inst = Instance::new(
+            spec,
+            vec![
+                Job::new(EdgeId(1), 0.0, 5.0, 0.0, 0.0),
+                Job::new(EdgeId(1), 0.0, 1.0, 0.0, 0.0),
+            ],
+        )
+        .unwrap();
+        let mut policy = AllEdgeFifo;
+        let mut session = Simulation::of(&inst).policy(&mut policy).session();
+        assert!(matches!(
+            session.remove_edge(EdgeId(1)),
+            Err(PlatformError::OriginInUse {
+                edge: 1,
+                unfinished: 2
+            })
+        ));
+        session.drain().unwrap();
+        // Once its jobs finished, the unit may leave.
+        session.remove_edge(EdgeId(1)).unwrap();
+        assert_eq!(session.platform().version(), 2);
+    }
+
+    #[test]
+    fn remove_cloud_kills_in_flight_work() {
+        let inst = one_edge_instance(1.0, 1);
+        let mut policy = CloudIfUp;
+        let mut obs = crate::engine::tests::elastic::EventTags::default();
+        let mut session = Simulation::of(&inst)
+            .policy(&mut policy)
+            .observer(&mut obs)
+            .session();
+        // Cloud route: 1s up + 4s work + 1s down = 6; edge route: 4s.
+        session
+            .submit(Job::new(EdgeId(0), 0.0, 4.0, 1.0, 1.0))
+            .unwrap();
+        session.run_until(Time::new(2.0)).unwrap();
+        // Mid-work on the cloud (upload finished at 1): the processor
+        // leaves, in-flight progress is lost, and the job falls back to
+        // the edge for a fresh 4s run.
+        session.remove_cloud(CloudId(0)).unwrap();
+        session.drain().unwrap();
+        let out = session.into_outcome();
+        assert_eq!(out.schedule.completion[0], Some(Time::new(6.0)));
+        assert_eq!(out.schedule.alloc[0], Some(Target::Edge));
+        assert_eq!(out.stats.restarts, 1);
+        assert!(obs.0.iter().any(|t| t == "job-killed"));
+        assert!(obs.0.iter().any(|t| t == "platform-changed"));
+    }
+
+    #[test]
+    fn mid_run_cloud_join_rescues_a_slow_edge() {
+        // A slow edge grinds at 0.1; a fast cloud joining at t=1 takes
+        // over (re-execution from scratch beats staying put).
+        let inst = one_edge_instance(0.1, 0);
+        let mut policy = CloudIfUp;
+        let mut session = Simulation::of(&inst).policy(&mut policy).session();
+        session
+            .submit(Job::new(EdgeId(0), 0.0, 1.0, 0.01, 0.01))
+            .unwrap();
+        session.run_until(Time::new(1.0)).unwrap();
+        let k = session.add_cloud(10.0).unwrap();
+        assert_eq!(k, CloudId(0));
+        session.drain().unwrap();
+        let out = session.into_outcome();
+        assert_eq!(out.schedule.alloc[0], Some(Target::Cloud(CloudId(0))));
+        let c = out.schedule.completion[0].unwrap().seconds();
+        // 1 (join) + 0.01 up + 0.1 work + 0.01 down, far below the 10s
+        // edge-only completion.
+        assert!((c - 1.12).abs() < 1e-9, "completion {c}");
+        assert_eq!(out.stats.restarts, 1);
+    }
+
+    #[test]
+    fn mutations_on_drained_session_are_allowed() {
+        let inst = one_edge_instance(1.0, 1);
+        let mut policy = CloudIfUp;
+        let mut session = Simulation::of(&inst).policy(&mut policy).session();
+        session
+            .submit(Job::new(EdgeId(0), 0.0, 1.0, 1.0, 1.0))
+            .unwrap();
+        session.drain().unwrap();
+        // A drained session is not dead: the platform can keep evolving
+        // and accept more work (serve does exactly this between beats).
+        let v = session
+            .apply_platform(PlatformMutation::AddCloud { speed: 3.0 })
+            .unwrap();
+        assert_eq!(v, 2);
+        session.remove_cloud(CloudId(0)).unwrap();
+        session
+            .submit(Job::new(EdgeId(0), 10.0, 1.0, 0.1, 0.1))
+            .unwrap();
+        session.drain().unwrap();
+        let out = session.into_outcome();
+        assert_eq!(out.schedule.alloc[1], Some(Target::Cloud(CloudId(1))));
+        assert!(out.schedule.all_finished());
+    }
+
+    /// Tag-collecting observer shared by the elastic tests.
+    #[derive(Default)]
+    pub(super) struct EventTags(Vec<String>);
+    impl Observer for EventTags {
+        fn on_event(&mut self, event: &ObsEvent) {
+            self.0.push(event.tag().to_string());
         }
     }
 }

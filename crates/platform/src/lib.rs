@@ -41,10 +41,6 @@ pub mod validate;
 pub mod view;
 
 pub use activity::{Directive, DirectiveBuffer, Phase, Target};
-#[allow(deprecated)]
-pub use engine::{
-    simulate, simulate_observed, simulate_with, simulate_with_faults, simulate_with_faults_observed,
-};
 pub use engine::{
     CompletionRecord, DecisionCadence, EngineError, EngineOptions, EventRecord, OnlineScheduler,
     RunOutcome, RunStats, Session, SessionStats, SessionStatus, Simulation,
@@ -61,7 +57,7 @@ pub use mmsec_obs::{Observer, ObserverHandle};
 pub use render::{gantt, GanttOptions};
 pub use schedule::Schedule;
 pub use spec::{CloudId, EdgeId, PlatformSpec};
-pub use state::JobState;
+pub use state::{JobState, PlatformError, PlatformMutation, PlatformState};
 pub use stats::{schedule_stats, ScheduleStats};
 pub use validate::{validate, validate_with, ValidateOptions, Violation};
 pub use view::{Availability, PendingSet, SimView};

@@ -48,6 +48,9 @@ fn volumes(st: &JobState, job: &Job, target: Target) -> (f64, f64, f64) {
 #[derive(Clone, Debug)]
 pub struct Projection {
     free: ResourceMap<Time>,
+    /// Platform version the profiles were sized for (0 when built from a
+    /// bare spec). [`Projection::reset_for`] rebuilds on mismatch.
+    version: u64,
 }
 
 impl Projection {
@@ -55,19 +58,35 @@ impl Projection {
     pub fn new(spec: &PlatformSpec, now: Time) -> Self {
         Projection {
             free: ResourceMap::new(spec, now),
+            version: 0,
         }
     }
 
     /// Profiles initialized from a simulation view (all resources free at
     /// `view.now`; running activities are re-decided anyway at an event).
     pub fn from_view(view: &SimView<'_>) -> Self {
-        Self::new(view.spec(), view.now)
+        Projection {
+            free: ResourceMap::new(view.spec(), view.now),
+            version: view.platform_version(),
+        }
     }
 
     /// Re-frees every resource from `now` on, reusing the allocation:
     /// equivalent to building a fresh projection for the same platform.
     pub fn reset(&mut self, now: Time) {
         self.free.fill(now);
+    }
+
+    /// Version-aware [`Projection::reset`] for run-long holders: when the
+    /// platform mutated since the profiles were built (units joined or
+    /// left, so the maps are the wrong size), rebuilds them for the
+    /// current spec; otherwise re-frees in place.
+    pub fn reset_for(&mut self, view: &SimView<'_>) {
+        if self.version != view.platform_version() {
+            *self = Projection::from_view(view);
+        } else {
+            self.free.fill(view.now);
+        }
     }
 
     /// Forecast completion time of `job` (state `st`) if placed next on
@@ -208,7 +227,7 @@ pub fn project_sequence(view: &SimView<'_>, order: &[(JobId, Target)]) -> Vec<(J
         .iter()
         .map(|&(id, target)| {
             let c = proj.place(
-                view.instance.job(id),
+                view.job(id),
                 &view.jobs[id.0],
                 target,
                 view.spec(),

@@ -198,6 +198,47 @@ impl PlatformSpec {
     pub fn has_unavailability(&self) -> bool {
         self.cloud_unavailability.iter().any(|w| !w.is_empty())
     }
+
+    // Mutators below are crate-private: the only sanctioned way to change
+    // a platform after construction is through
+    // [`crate::state::PlatformState`], which validates each mutation and
+    // versions the result.
+
+    /// Appends an edge unit and returns its id. The speed must already be
+    /// validated by the caller.
+    pub(crate) fn push_edge(&mut self, speed: f64) -> EdgeId {
+        self.edge_speeds.push(speed);
+        EdgeId(self.edge_speeds.len() - 1)
+    }
+
+    /// Appends a cloud processor (no unavailability windows) and returns
+    /// its id. The speed must already be validated by the caller, and
+    /// `max_cloud_speed` refreshed afterwards (tombstoned processors must
+    /// not count, and only the caller knows liveness).
+    pub(crate) fn push_cloud(&mut self, speed: f64) -> CloudId {
+        self.cloud_speeds.push(speed);
+        self.cloud_unavailability.push(IntervalSet::new());
+        CloudId(self.cloud_speeds.len() - 1)
+    }
+
+    /// Overwrites edge `j`'s speed. The speed must already be validated.
+    pub(crate) fn set_edge_speed(&mut self, j: EdgeId, speed: f64) {
+        self.edge_speeds[j.0] = speed;
+    }
+
+    /// Overwrites cloud `k`'s speed. The speed must already be validated,
+    /// and `max_cloud_speed` refreshed afterwards.
+    pub(crate) fn set_cloud_speed(&mut self, k: CloudId, speed: f64) {
+        self.cloud_speeds[k.0] = speed;
+    }
+
+    /// Overwrites the cached fastest-cloud speed. The stretch denominator
+    /// (`Job::min_time`) reads this; [`crate::state::PlatformState`] keeps
+    /// it equal to the fastest *live* cloud so that departed processors
+    /// stop inflating deadlines of jobs submitted after they left.
+    pub(crate) fn set_max_cloud_speed(&mut self, speed: f64) {
+        self.max_cloud_speed = speed;
+    }
 }
 
 #[cfg(test)]

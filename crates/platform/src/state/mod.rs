@@ -1,7 +1,12 @@
-//! Dynamic per-job simulation state.
+//! Dynamic simulation state: per-job progress ([`JobState`]) and the
+//! versioned mutable platform runtime ([`platform::PlatformState`]).
 //!
 //! The read-only view handed to schedulers ([`crate::view::SimView`]) and
 //! the incrementally maintained pending set live in [`crate::view`].
+
+pub mod platform;
+
+pub use platform::{PlatformError, PlatformMutation, PlatformState};
 
 use crate::activity::{Phase, Target};
 use crate::job::Job;

@@ -1,0 +1,704 @@
+//! The versioned, mutable platform runtime.
+//!
+//! [`PlatformState`] is the engine's owned replacement for a borrowed,
+//! frozen [`PlatformSpec`]: it carries the spec plus per-unit *liveness*
+//! (permanent membership), the fault overlay (temporary Down/Up windows
+//! and link factors replayed from a compiled fault plan), and a **version
+//! counter** bumped by every permanent mutation. All platform changes —
+//! elastic join/leave, speed scaling, link re-provisioning, and fault
+//! replay — flow through this one structure, so the engine, the policies
+//! (via [`crate::view::SimView`]), and the serve front-end all observe
+//! the same composed availability.
+//!
+//! # Permanent vs. temporary mutations
+//!
+//! *Permanent* mutations ([`PlatformState::add_edge`],
+//! [`PlatformState::remove_edge`], [`PlatformState::add_cloud`],
+//! [`PlatformState::remove_cloud`], [`PlatformState::set_link`],
+//! [`PlatformState::set_edge_speed`], [`PlatformState::set_cloud_speed`])
+//! model elastic platform changes: each one validates its inputs, bumps
+//! the platform [version](PlatformState::version), and is verified
+//! against the spec invariants before it commits — an invalid mutation
+//! is rejected with a typed [`PlatformError`] and the version does not
+//! move. *Temporary* mutations (the `fault_*` methods) replay a compiled
+//! fault plan's Down/Up windows and link-change boundaries: they flip the
+//! fault overlay without versioning, because the platform's permanent
+//! shape is unchanged.
+//!
+//! # Identity and tombstones
+//!
+//! Unit ids are stable forever: removal *tombstones* a unit (it reports
+//! unavailable from then on) instead of renumbering. A tombstoned unit
+//! keeps its speed in the spec, so min-time stretch denominators computed
+//! before and after a removal stay comparable; policies simply see the
+//! unit as permanently down and place around it.
+
+use crate::spec::{CloudId, EdgeId, PlatformSpec, SpecError};
+use crate::view::Availability;
+use std::fmt;
+
+/// A typed, rejected platform mutation (see [`PlatformState`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlatformError {
+    /// The referenced edge unit was never part of the platform.
+    UnknownEdge {
+        /// Offending edge index.
+        edge: usize,
+    },
+    /// The referenced cloud processor was never part of the platform.
+    UnknownCloud {
+        /// Offending cloud index.
+        cloud: usize,
+    },
+    /// The referenced unit exists but was already removed (tombstoned).
+    AlreadyRemoved {
+        /// Display name of the unit (`"e3"`, `"c0"`).
+        unit: String,
+    },
+    /// A speed must be positive and finite.
+    BadSpeed {
+        /// Offending value.
+        speed: f64,
+    },
+    /// A link factor must be finite and non-negative.
+    BadFactor {
+        /// Offending value.
+        factor: f64,
+    },
+    /// Removing the last live edge unit would leave jobs nowhere to
+    /// originate.
+    LastEdge,
+    /// The edge still originates unfinished jobs (reported by the
+    /// session layer, which tracks job state).
+    OriginInUse {
+        /// Offending edge index.
+        edge: usize,
+        /// Number of unfinished jobs originating there.
+        unfinished: usize,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownEdge { edge } => write!(f, "unknown edge unit {edge}"),
+            PlatformError::UnknownCloud { cloud } => {
+                write!(f, "unknown cloud processor {cloud}")
+            }
+            PlatformError::AlreadyRemoved { unit } => {
+                write!(f, "unit {unit} was already removed")
+            }
+            PlatformError::BadSpeed { speed } => {
+                write!(f, "speed must be positive and finite, got {speed}")
+            }
+            PlatformError::BadFactor { factor } => {
+                write!(f, "link factor must be finite and >= 0, got {factor}")
+            }
+            PlatformError::LastEdge => write!(f, "cannot remove the last live edge unit"),
+            PlatformError::OriginInUse { edge, unfinished } => {
+                write!(
+                    f,
+                    "edge unit {edge} still originates {unfinished} unfinished job(s)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// One permanent platform mutation, as a value (the typed form behind the
+/// [`PlatformState`] methods; useful for logging, replay, and the serve
+/// protocol's `platform` records).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PlatformMutation {
+    /// A new edge unit joins with the given speed (link factor 1).
+    AddEdge {
+        /// Speed of the joining unit (`s_j`).
+        speed: f64,
+    },
+    /// Edge unit `edge` leaves permanently (tombstoned).
+    RemoveEdge {
+        /// The leaving unit.
+        edge: EdgeId,
+    },
+    /// A new cloud processor joins with the given speed.
+    AddCloud {
+        /// Speed of the joining processor.
+        speed: f64,
+    },
+    /// Cloud processor `cloud` leaves permanently (tombstoned).
+    RemoveCloud {
+        /// The leaving processor.
+        cloud: CloudId,
+    },
+    /// Edge `edge`'s link is re-provisioned to the given base capacity
+    /// factor (`1.0` nominal; composed multiplicatively with any fault
+    /// window's factor).
+    SetLink {
+        /// Affected edge.
+        edge: EdgeId,
+        /// New base capacity factor.
+        factor: f64,
+    },
+    /// Edge `edge` is re-provisioned to a new speed.
+    SetEdgeSpeed {
+        /// Affected edge.
+        edge: EdgeId,
+        /// New speed.
+        speed: f64,
+    },
+    /// Cloud `cloud` is re-provisioned to a new speed.
+    SetCloudSpeed {
+        /// Affected processor.
+        cloud: CloudId,
+        /// New speed.
+        speed: f64,
+    },
+}
+
+impl PlatformMutation {
+    /// Stable kebab-case operation name (used by obs events and the serve
+    /// protocol).
+    pub fn op(&self) -> &'static str {
+        match self {
+            PlatformMutation::AddEdge { .. } => "add-edge",
+            PlatformMutation::RemoveEdge { .. } => "remove-edge",
+            PlatformMutation::AddCloud { .. } => "add-cloud",
+            PlatformMutation::RemoveCloud { .. } => "remove-cloud",
+            PlatformMutation::SetLink { .. } => "set-link",
+            PlatformMutation::SetEdgeSpeed { .. } => "set-edge-speed",
+            PlatformMutation::SetCloudSpeed { .. } => "set-cloud-speed",
+        }
+    }
+}
+
+/// The owned, versioned platform a [`crate::engine::Session`] runs on.
+///
+/// See the [module docs](self) for the mutation model. The composed
+/// availability a unit reports is `live && fault-up`; the composed link
+/// factor of an edge is `base · fault` (so a half-capacity provisioned
+/// link inside a half-capacity fault window runs at a quarter).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlatformState {
+    spec: PlatformSpec,
+    /// Permanent membership, indexed by [`EdgeId`] / [`CloudId`]. False
+    /// means tombstoned: the id stays valid but the unit never comes back.
+    edge_live: Vec<bool>,
+    cloud_live: Vec<bool>,
+    /// Fault overlay (temporary): up flags and link factors replayed from
+    /// a compiled fault plan.
+    edge_fault_up: Vec<bool>,
+    cloud_fault_up: Vec<bool>,
+    fault_link: Vec<f64>,
+    /// Permanent per-edge link capacity factor ([`PlatformState::set_link`]).
+    base_link: Vec<f64>,
+    /// Composed availability the engine and the policies read.
+    avail: Availability,
+    /// Bumped by every committed permanent mutation; starts at 1.
+    version: u64,
+    /// False until the platform needs an availability overlay at all: a
+    /// never-mutated, fault-free platform takes the engine's static fast
+    /// path (no overlay attached, no per-step blocking scan).
+    dynamic: bool,
+}
+
+impl PlatformState {
+    /// Wraps a frozen spec: version 1, everything live and up, nominal
+    /// links, static (fast-path) until the first mutation or fault.
+    pub fn new(spec: PlatformSpec) -> Self {
+        let ne = spec.num_edge();
+        let nc = spec.num_cloud();
+        PlatformState {
+            spec,
+            edge_live: vec![true; ne],
+            cloud_live: vec![true; nc],
+            edge_fault_up: vec![true; ne],
+            cloud_fault_up: vec![true; nc],
+            fault_link: vec![1.0; ne],
+            base_link: vec![1.0; ne],
+            avail: Availability::all_up(ne, nc),
+            version: 1,
+            dynamic: false,
+        }
+    }
+
+    /// The platform spec as of the current version. Tombstoned units keep
+    /// their last speed (see the module docs on identity).
+    pub fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
+    /// Current platform version: 1 at construction, +1 per committed
+    /// permanent mutation. Fault replay does not version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// True once the platform needs an availability overlay (a fault plan
+    /// is attached or a mutation happened). While false, the engine takes
+    /// the exact static-platform fast path.
+    pub fn is_dynamic(&self) -> bool {
+        self.dynamic
+    }
+
+    /// Marks the platform dynamic without changing anything else (the
+    /// session does this when a fault plan is attached).
+    pub fn mark_dynamic(&mut self) {
+        self.dynamic = true;
+    }
+
+    /// The composed availability overlay, `None` on the static fast path.
+    pub fn overlay(&self) -> Option<&Availability> {
+        self.dynamic.then_some(&self.avail)
+    }
+
+    /// The composed availability, regardless of dynamism.
+    pub fn availability(&self) -> &Availability {
+        &self.avail
+    }
+
+    /// True when edge `j` is a live (non-tombstoned) member.
+    pub fn edge_live(&self, j: EdgeId) -> bool {
+        self.edge_live.get(j.0).copied().unwrap_or(false)
+    }
+
+    /// True when cloud `k` is a live (non-tombstoned) member.
+    pub fn cloud_live(&self, k: CloudId) -> bool {
+        self.cloud_live.get(k.0).copied().unwrap_or(false)
+    }
+
+    /// Number of live edge units.
+    pub fn num_edges_live(&self) -> usize {
+        self.edge_live.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of live cloud processors.
+    pub fn num_clouds_live(&self) -> usize {
+        self.cloud_live.iter().filter(|&&b| b).count()
+    }
+
+    /// Checks the per-version invariants: a valid spec, consistent
+    /// per-unit table sizes, at least one live edge, and finite
+    /// non-negative link factors. Run after every committed mutation
+    /// (every version is born validated).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        self.spec.validate()?;
+        let ne = self.spec.num_edge();
+        let nc = self.spec.num_cloud();
+        let sized = self.edge_live.len() == ne
+            && self.edge_fault_up.len() == ne
+            && self.fault_link.len() == ne
+            && self.base_link.len() == ne
+            && self.avail.edge_up.len() == ne
+            && self.avail.link_factor.len() == ne
+            && self.cloud_live.len() == nc
+            && self.cloud_fault_up.len() == nc
+            && self.avail.cloud_up.len() == nc;
+        if !sized {
+            return Err(SpecError::WindowOutOfRange { cloud: nc });
+        }
+        if !self.edge_live.iter().any(|&b| b) {
+            return Err(SpecError::NoEdgeUnit);
+        }
+        for (j, &f) in self.base_link.iter().enumerate() {
+            if !(f.is_finite() && f >= 0.0) {
+                return Err(SpecError::BadSpeed {
+                    which: format!("edge {j} link"),
+                    speed: f,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one permanent mutation by value (the method forms below
+    /// are equivalent); returns the new version.
+    pub fn apply(&mut self, m: PlatformMutation) -> Result<u64, PlatformError> {
+        match m {
+            PlatformMutation::AddEdge { speed } => self.add_edge(speed).map(|_| self.version),
+            PlatformMutation::RemoveEdge { edge } => self.remove_edge(edge),
+            PlatformMutation::AddCloud { speed } => self.add_cloud(speed).map(|_| self.version),
+            PlatformMutation::RemoveCloud { cloud } => self.remove_cloud(cloud),
+            PlatformMutation::SetLink { edge, factor } => self.set_link(edge, factor),
+            PlatformMutation::SetEdgeSpeed { edge, speed } => self.set_edge_speed(edge, speed),
+            PlatformMutation::SetCloudSpeed { cloud, speed } => self.set_cloud_speed(cloud, speed),
+        }
+    }
+
+    /// A new edge unit joins (speed `s_j`, nominal link). Returns its id.
+    pub fn add_edge(&mut self, speed: f64) -> Result<EdgeId, PlatformError> {
+        check_speed(speed)?;
+        let id = self.spec.push_edge(speed);
+        self.edge_live.push(true);
+        self.edge_fault_up.push(true);
+        self.fault_link.push(1.0);
+        self.base_link.push(1.0);
+        self.avail.edge_up.push(true);
+        self.avail.link_factor.push(1.0);
+        self.commit();
+        Ok(id)
+    }
+
+    /// Edge `j` leaves permanently. Its id stays valid (tombstone); the
+    /// unit reports unavailable forever after. Returns the new version.
+    pub fn remove_edge(&mut self, j: EdgeId) -> Result<u64, PlatformError> {
+        self.check_edge(j)?;
+        if self.num_edges_live() == 1 {
+            return Err(PlatformError::LastEdge);
+        }
+        self.edge_live[j.0] = false;
+        self.recompute_edge(j);
+        self.commit();
+        Ok(self.version)
+    }
+
+    /// A new cloud processor joins. Returns its id.
+    pub fn add_cloud(&mut self, speed: f64) -> Result<CloudId, PlatformError> {
+        check_speed(speed)?;
+        let id = self.spec.push_cloud(speed);
+        self.cloud_live.push(true);
+        self.cloud_fault_up.push(true);
+        self.avail.cloud_up.push(true);
+        self.refresh_max_cloud_speed();
+        self.commit();
+        Ok(id)
+    }
+
+    /// Cloud `k` leaves permanently (tombstone). Returns the new version.
+    pub fn remove_cloud(&mut self, k: CloudId) -> Result<u64, PlatformError> {
+        self.check_cloud(k)?;
+        self.cloud_live[k.0] = false;
+        self.recompute_cloud(k);
+        self.refresh_max_cloud_speed();
+        self.commit();
+        Ok(self.version)
+    }
+
+    /// Re-provisions edge `j`'s link to base capacity `factor` (composed
+    /// multiplicatively with fault windows). Returns the new version.
+    pub fn set_link(&mut self, j: EdgeId, factor: f64) -> Result<u64, PlatformError> {
+        self.check_edge(j)?;
+        if !(factor.is_finite() && factor >= 0.0) {
+            return Err(PlatformError::BadFactor { factor });
+        }
+        self.base_link[j.0] = factor;
+        self.recompute_edge(j);
+        self.commit();
+        Ok(self.version)
+    }
+
+    /// Re-provisions edge `j` to a new speed. Returns the new version.
+    pub fn set_edge_speed(&mut self, j: EdgeId, speed: f64) -> Result<u64, PlatformError> {
+        self.check_edge(j)?;
+        check_speed(speed)?;
+        self.spec.set_edge_speed(j, speed);
+        self.commit();
+        Ok(self.version)
+    }
+
+    /// Re-provisions cloud `k` to a new speed. Returns the new version.
+    pub fn set_cloud_speed(&mut self, k: CloudId, speed: f64) -> Result<u64, PlatformError> {
+        self.check_cloud(k)?;
+        check_speed(speed)?;
+        self.spec.set_cloud_speed(k, speed);
+        self.refresh_max_cloud_speed();
+        self.commit();
+        Ok(self.version)
+    }
+
+    // ---- temporary (fault-replay) mutations: overlay only, no version ----
+
+    /// Fault replay: edge `j` crashes. A no-op for units the plan covers
+    /// but that have not joined (yet): plans may be compiled for a shape
+    /// the platform only grows into.
+    pub fn fault_edge_down(&mut self, j: EdgeId) {
+        if j.0 >= self.spec.num_edge() {
+            return;
+        }
+        self.edge_fault_up[j.0] = false;
+        self.recompute_edge(j);
+    }
+
+    /// Fault replay: edge `j` recovers (no-op for units not joined yet).
+    pub fn fault_edge_up(&mut self, j: EdgeId) {
+        if j.0 >= self.spec.num_edge() {
+            return;
+        }
+        self.edge_fault_up[j.0] = true;
+        self.recompute_edge(j);
+    }
+
+    /// Fault replay: cloud `k` crashes (no-op for units not joined yet).
+    pub fn fault_cloud_down(&mut self, k: CloudId) {
+        if k.0 >= self.spec.num_cloud() {
+            return;
+        }
+        self.cloud_fault_up[k.0] = false;
+        self.recompute_cloud(k);
+    }
+
+    /// Fault replay: cloud `k` recovers (no-op for units not joined yet).
+    pub fn fault_cloud_up(&mut self, k: CloudId) {
+        if k.0 >= self.spec.num_cloud() {
+            return;
+        }
+        self.cloud_fault_up[k.0] = true;
+        self.recompute_cloud(k);
+    }
+
+    /// Fault replay: edge `j`'s link window factor becomes `f`. Returns
+    /// true when the factor actually changed (the engine demotes the
+    /// event's epoch bump otherwise); false for units not joined yet.
+    pub fn fault_set_link(&mut self, j: EdgeId, f: f64) -> bool {
+        if j.0 >= self.spec.num_edge() || self.fault_link[j.0] == f {
+            return false;
+        }
+        self.fault_link[j.0] = f;
+        self.recompute_edge(j);
+        true
+    }
+
+    fn check_edge(&self, j: EdgeId) -> Result<(), PlatformError> {
+        if j.0 >= self.spec.num_edge() {
+            return Err(PlatformError::UnknownEdge { edge: j.0 });
+        }
+        if !self.edge_live[j.0] {
+            return Err(PlatformError::AlreadyRemoved {
+                unit: j.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_cloud(&self, k: CloudId) -> Result<(), PlatformError> {
+        if k.0 >= self.spec.num_cloud() {
+            return Err(PlatformError::UnknownCloud { cloud: k.0 });
+        }
+        if !self.cloud_live[k.0] {
+            return Err(PlatformError::AlreadyRemoved {
+                unit: k.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn recompute_edge(&mut self, j: EdgeId) {
+        self.avail.edge_up[j.0] = self.edge_live[j.0] && self.edge_fault_up[j.0];
+        self.avail.link_factor[j.0] = self.base_link[j.0] * self.fault_link[j.0];
+    }
+
+    fn recompute_cloud(&mut self, k: CloudId) {
+        self.avail.cloud_up[k.0] = self.cloud_live[k.0] && self.cloud_fault_up[k.0];
+    }
+
+    /// Keeps the spec's cached fastest-cloud speed equal to the fastest
+    /// *live* cloud: `Job::min_time` (the stretch denominator) must not
+    /// count processors that have permanently left.
+    fn refresh_max_cloud_speed(&mut self) {
+        let m = self
+            .spec
+            .clouds()
+            .filter(|k| self.cloud_live[k.0])
+            .map(|k| self.spec.cloud_speed(k))
+            .fold(0.0_f64, f64::max);
+        self.spec.set_max_cloud_speed(m);
+    }
+
+    /// Seals a permanent mutation: versions it, leaves the static fast
+    /// path, and (cheaply — mutations are rare) verifies the new
+    /// version's invariants.
+    fn commit(&mut self) {
+        self.version += 1;
+        self.dynamic = true;
+        debug_assert!(
+            self.validate().is_ok(),
+            "mutation committed an invalid platform"
+        );
+    }
+}
+
+fn check_speed(speed: f64) -> Result<(), PlatformError> {
+    if speed > 0.0 && speed.is_finite() {
+        Ok(())
+    } else {
+        Err(PlatformError::BadSpeed { speed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PlatformState {
+        PlatformState::new(PlatformSpec::homogeneous_cloud(vec![0.5, 0.25], 2))
+    }
+
+    #[test]
+    fn static_until_first_mutation() {
+        let mut p = base();
+        assert_eq!(p.version(), 1);
+        assert!(!p.is_dynamic());
+        assert!(p.overlay().is_none());
+        p.add_cloud(1.0).unwrap();
+        assert_eq!(p.version(), 2);
+        assert!(p.is_dynamic());
+        assert!(p.overlay().is_some());
+    }
+
+    #[test]
+    fn add_units_grow_every_table() {
+        let mut p = base();
+        let j = p.add_edge(0.75).unwrap();
+        let k = p.add_cloud(2.0).unwrap();
+        assert_eq!(j, EdgeId(2));
+        assert_eq!(k, CloudId(2));
+        assert_eq!(p.spec().num_edge(), 3);
+        assert_eq!(p.spec().num_cloud(), 3);
+        assert_eq!(p.spec().edge_speed(j), 0.75);
+        assert_eq!(p.spec().cloud_speed(k), 2.0);
+        assert_eq!(p.spec().max_cloud_speed(), 2.0);
+        assert!(p.availability().edge_up[2]);
+        assert!(p.availability().cloud_up[2]);
+        assert_eq!(p.version(), 3);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn tombstones_are_permanent_and_typed() {
+        let mut p = base();
+        p.remove_edge(EdgeId(1)).unwrap();
+        assert!(!p.edge_live(EdgeId(1)));
+        assert!(!p.availability().edge_up[1]);
+        // Ids never shift: edge 0 is untouched.
+        assert!(p.availability().edge_up[0]);
+        assert_eq!(
+            p.remove_edge(EdgeId(1)),
+            Err(PlatformError::AlreadyRemoved { unit: "e1".into() })
+        );
+        assert_eq!(
+            p.set_edge_speed(EdgeId(1), 1.0),
+            Err(PlatformError::AlreadyRemoved { unit: "e1".into() })
+        );
+        assert_eq!(
+            p.remove_edge(EdgeId(7)),
+            Err(PlatformError::UnknownEdge { edge: 7 })
+        );
+        // The last live edge cannot leave.
+        assert_eq!(p.remove_edge(EdgeId(0)), Err(PlatformError::LastEdge));
+        // A fault recovery cannot resurrect a tombstone.
+        p.fault_edge_up(EdgeId(1));
+        assert!(!p.availability().edge_up[1]);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn rejected_mutations_do_not_version() {
+        let mut p = base();
+        assert_eq!(
+            p.add_edge(-1.0),
+            Err(PlatformError::BadSpeed { speed: -1.0 })
+        );
+        assert!(matches!(
+            p.add_cloud(f64::NAN).unwrap_err(),
+            PlatformError::BadSpeed { .. }
+        ));
+        assert_eq!(
+            p.set_link(EdgeId(0), -0.5),
+            Err(PlatformError::BadFactor { factor: -0.5 })
+        );
+        assert_eq!(
+            p.remove_cloud(CloudId(9)),
+            Err(PlatformError::UnknownCloud { cloud: 9 })
+        );
+        assert_eq!(p.version(), 1);
+        assert!(!p.is_dynamic());
+    }
+
+    #[test]
+    fn link_composes_base_and_fault() {
+        let mut p = base();
+        p.set_link(EdgeId(0), 0.5).unwrap();
+        assert_eq!(p.availability().link_factor[0], 0.5);
+        assert!(p.fault_set_link(EdgeId(0), 0.5));
+        assert_eq!(p.availability().link_factor[0], 0.25);
+        // Unchanged fault factor reports no change.
+        assert!(!p.fault_set_link(EdgeId(0), 0.5));
+        assert!(p.fault_set_link(EdgeId(0), 1.0));
+        assert_eq!(p.availability().link_factor[0], 0.5);
+    }
+
+    #[test]
+    fn fault_overlay_composes_with_liveness() {
+        let mut p = base();
+        p.fault_edge_down(EdgeId(0));
+        // Fault replay marks nothing dynamic by itself (the session does,
+        // once, when attaching a plan) and never versions.
+        assert_eq!(p.version(), 1);
+        p.mark_dynamic();
+        assert!(!p.availability().edge_up[0]);
+        p.fault_edge_up(EdgeId(0));
+        assert!(p.availability().edge_up[0]);
+        p.fault_cloud_down(CloudId(1));
+        assert!(!p.availability().cloud_up[1]);
+        p.fault_cloud_up(CloudId(1));
+        assert!(p.availability().cloud_up[1]);
+        // Remove while fault-up: composed availability goes down.
+        p.remove_cloud(CloudId(1)).unwrap();
+        assert!(!p.availability().cloud_up[1]);
+        assert_eq!(p.num_clouds_live(), 1);
+    }
+
+    #[test]
+    fn apply_matches_method_forms() {
+        let mut a = base();
+        let mut b = base();
+        let muts = [
+            PlatformMutation::AddEdge { speed: 0.75 },
+            PlatformMutation::AddCloud { speed: 2.0 },
+            PlatformMutation::SetLink {
+                edge: EdgeId(0),
+                factor: 0.5,
+            },
+            PlatformMutation::SetEdgeSpeed {
+                edge: EdgeId(1),
+                speed: 0.9,
+            },
+            PlatformMutation::SetCloudSpeed {
+                cloud: CloudId(0),
+                speed: 1.5,
+            },
+            PlatformMutation::RemoveEdge { edge: EdgeId(1) },
+            PlatformMutation::RemoveCloud { cloud: CloudId(1) },
+        ];
+        for m in muts {
+            a.apply(m).unwrap();
+        }
+        b.add_edge(0.75).unwrap();
+        b.add_cloud(2.0).unwrap();
+        b.set_link(EdgeId(0), 0.5).unwrap();
+        b.set_edge_speed(EdgeId(1), 0.9).unwrap();
+        b.set_cloud_speed(CloudId(0), 1.5).unwrap();
+        b.remove_edge(EdgeId(1)).unwrap();
+        b.remove_cloud(CloudId(1)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.version(), 8);
+    }
+
+    #[test]
+    fn mutation_op_names_are_stable() {
+        assert_eq!(PlatformMutation::AddEdge { speed: 1.0 }.op(), "add-edge");
+        assert_eq!(
+            PlatformMutation::RemoveCloud { cloud: CloudId(0) }.op(),
+            "remove-cloud"
+        );
+        assert_eq!(
+            PlatformMutation::SetLink {
+                edge: EdgeId(0),
+                factor: 1.0
+            }
+            .op(),
+            "set-link"
+        );
+    }
+}

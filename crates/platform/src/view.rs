@@ -17,7 +17,7 @@ use crate::activity::Target;
 use crate::instance::Instance;
 use crate::job::{Job, JobId};
 use crate::spec::{CloudId, EdgeId, PlatformSpec};
-use crate::state::JobState;
+use crate::state::{JobState, PlatformState};
 use mmsec_sim::Time;
 
 /// Instantaneous unit/link availability under fault injection.
@@ -171,17 +171,22 @@ impl PendingSet {
 
 /// Read-only view handed to [`crate::engine::OnlineScheduler::decide`].
 pub struct SimView<'a> {
-    /// The instance being simulated.
-    pub instance: &'a Instance,
+    /// The instance being simulated (jobs; its frozen spec is shadowed by
+    /// the attached [`PlatformState`]'s spec when the platform mutated).
+    instance: &'a Instance,
     /// Current virtual time.
     pub now: Time,
     /// Per-job dynamic state, indexed by [`JobId`].
     pub jobs: &'a [JobState],
     /// Released, unfinished jobs (incrementally maintained by the engine).
     pub pending: &'a PendingSet,
-    /// Current unit/link availability under fault injection; `None` (the
-    /// fault-free path) means everything is up.
+    /// Current unit/link availability (membership tombstones composed
+    /// with fault windows); `None` (the static fast path) means
+    /// everything is up.
     availability: Option<&'a Availability>,
+    /// The versioned platform runtime, when the engine attached one;
+    /// `None` for ad-hoc views built outside the engine loop.
+    platform: Option<&'a PlatformState>,
     /// Engine decision epoch (see [`SimView::decision_epoch`]); 0 for
     /// ad-hoc views built outside the engine loop.
     epoch: u64,
@@ -201,14 +206,26 @@ impl<'a> SimView<'a> {
             jobs,
             pending,
             availability: None,
+            platform: None,
             epoch: 0,
         }
     }
 
-    /// Attaches the current availability state (builder style; used by the
-    /// fault-injecting engine path).
+    /// Attaches the current availability state (builder style; used by
+    /// ad-hoc views and tests — the engine attaches a whole
+    /// [`PlatformState`] via [`SimView::with_platform`] instead).
     pub fn with_availability(mut self, availability: &'a Availability) -> Self {
         self.availability = Some(availability);
+        self
+    }
+
+    /// Attaches the engine's versioned platform runtime (builder style).
+    /// The view then reports the platform's current spec (shadowing the
+    /// instance's frozen one), its composed availability overlay, and its
+    /// [version](SimView::platform_version).
+    pub fn with_platform(mut self, platform: &'a PlatformState) -> Self {
+        self.availability = platform.overlay();
+        self.platform = Some(platform);
         self
     }
 
@@ -268,9 +285,22 @@ impl<'a> SimView<'a> {
         }
     }
 
-    /// The platform.
+    /// The platform version this view describes: bumped by every
+    /// committed permanent platform mutation, `0` for ad-hoc views with
+    /// no attached [`PlatformState`]. Policies caching platform-shaped
+    /// state (speed classes, projections, deadline tables) compare this
+    /// against the version they built for and rebuild on mismatch.
+    pub fn platform_version(&self) -> u64 {
+        self.platform.map_or(0, |p| p.version())
+    }
+
+    /// The platform, as of this view's [version](SimView::platform_version)
+    /// (the instance's frozen spec when no platform is attached).
     pub fn spec(&self) -> &'a PlatformSpec {
-        &self.instance.spec
+        match self.platform {
+            Some(p) => p.spec(),
+            None => &self.instance.spec,
+        }
     }
 
     /// The static description of job `id`.

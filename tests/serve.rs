@@ -121,7 +121,7 @@ fn has_field(rec: &[(String, Value)], key: &str) -> bool {
 }
 
 #[test]
-fn heartbeats_carry_the_v2_stats_payload() {
+fn heartbeats_carry_the_v3_stats_payload() {
     let inst = platform();
     let input = r#"
 {"origin": 0, "release": 1.0, "work": 2.0, "up": 0.5, "dn": 0.25}
@@ -135,7 +135,7 @@ fn heartbeats_carry_the_v2_stats_payload() {
         "a 25s-horizon run must beat at 10s and 20s"
     );
     for beat in &beats {
-        assert_eq!(num(beat, "v"), 2.0);
+        assert_eq!(num(beat, "v"), 3.0);
         for key in [
             "now",
             "pending",
@@ -148,6 +148,9 @@ fn heartbeats_carry_the_v2_stats_payload() {
             "admitted_delta",
             "shed_delta",
             "completed_delta",
+            "platform_version",
+            "edges",
+            "clouds",
             "max_stretch",
         ] {
             assert!(has_field(beat, key), "heartbeat missing {key}");
@@ -195,7 +198,7 @@ not json at all
     let lines: Vec<f64> = stats.iter().map(|r| num(r, "line")).collect();
     assert_eq!(lines, vec![2.0, 4.0]);
     for rec in &stats {
-        assert_eq!(num(rec, "v"), 2.0);
+        assert_eq!(num(rec, "v"), 3.0);
         for key in [
             "now", "pending", "running", "decides", "admitted", "rejected",
         ] {
@@ -267,6 +270,125 @@ not json at all
     assert_eq!(num(summary, "completed"), 1.0);
 }
 
+fn txt<'a>(rec: &'a [(String, Value)], key: &str) -> &'a str {
+    rec.iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.as_str())
+        .unwrap_or_else(|| panic!("missing string field {key}"))
+}
+
+#[test]
+fn platform_records_mutate_the_session_mid_stream() {
+    let inst = platform();
+    // Mutations interleave with submissions; `set_link` uses the
+    // underscore spelling, which the parser normalises to `set-link`.
+    let input = r#"
+{"type": "platform", "op": "add-cloud", "speed": 2.0}
+{"origin": 0, "release": 1.0, "work": 2.0}
+{"type": "platform", "op": "set_link", "unit": 0, "factor": 0.5}
+"#;
+    let cfg = ServeConfig {
+        stats_every: Some(1),
+        ..ServeConfig::default()
+    };
+    let recs = serve_lines(&inst, &cfg, input);
+
+    let oks: Vec<_> = recs
+        .iter()
+        .filter(|r| kind_of(r) == "platform-ok")
+        .collect();
+    assert_eq!(oks.len(), 2);
+    assert_eq!(txt(oks[0], "op"), "add-cloud");
+    assert_eq!(num(oks[0], "version"), 2.0);
+    assert_eq!(num(oks[0], "edges"), 2.0);
+    assert_eq!(num(oks[0], "clouds"), 3.0);
+    assert_eq!(txt(oks[1], "op"), "set-link");
+    assert_eq!(num(oks[1], "version"), 3.0);
+
+    // Every input line (mutations included) falls on the stats cadence,
+    // and the payload tracks the platform version as it bumps.
+    let stats: Vec<_> = recs.iter().filter(|r| kind_of(r) == "stats").collect();
+    assert_eq!(stats.len(), 3);
+    assert_eq!(num(stats[0], "platform_version"), 2.0);
+    assert_eq!(num(stats[0], "clouds"), 3.0);
+    assert_eq!(num(stats[2], "platform_version"), 3.0);
+
+    let summary = recs.last().unwrap();
+    assert_eq!(num(summary, "admitted"), 1.0);
+    assert_eq!(num(summary, "completed"), 1.0);
+    assert_eq!(num(summary, "rejected"), 0.0);
+}
+
+#[test]
+fn malformed_platform_records_are_rejected_not_fatal() {
+    let inst = platform();
+    // Unknown op, unknown unit, remove-twice, negative speed, missing
+    // field, missing op — each a typed reject, none fatal; the one valid
+    // removal and the final job still go through.
+    let input = r#"
+{"type": "platform", "op": "frobnicate"}
+{"type": "platform", "op": "set-link", "unit": 99, "factor": 0.5}
+{"type": "platform", "op": "remove-cloud", "unit": 1}
+{"type": "platform", "op": "remove-cloud", "unit": 1}
+{"type": "platform", "op": "add-edge", "speed": -1.0}
+{"type": "platform", "op": "set-edge-speed", "unit": 0}
+{"type": "platform"}
+{"origin": 0, "release": 0.0, "work": 1.0}
+"#;
+    let recs = serve_lines(&inst, &ServeConfig::default(), input);
+
+    let rejects: Vec<_> = recs.iter().filter(|r| kind_of(r) == "reject").collect();
+    assert_eq!(rejects.len(), 6);
+    assert!(txt(rejects[0], "error").contains("unknown op"));
+    assert!(txt(rejects[1], "error").contains("unknown edge"));
+    assert!(txt(rejects[2], "error").contains("already removed"));
+    assert!(txt(rejects[3], "error").contains("speed must be positive"));
+    assert!(txt(rejects[4], "error").contains("needs a \"speed\" field"));
+    assert!(txt(rejects[5], "error").contains("missing field \"op\""));
+
+    let oks: Vec<_> = recs
+        .iter()
+        .filter(|r| kind_of(r) == "platform-ok")
+        .collect();
+    assert_eq!(oks.len(), 1);
+    assert_eq!(num(oks[0], "clouds"), 1.0);
+
+    let summary = recs.last().unwrap();
+    assert_eq!(num(summary, "rejected"), 6.0);
+    assert_eq!(num(summary, "admitted"), 1.0);
+    assert_eq!(num(summary, "completed"), 1.0);
+}
+
+#[test]
+fn heartbeats_stay_monotone_when_one_advance_skips_many_boundaries() {
+    // Regression: a session whose next event lies far beyond several
+    // heartbeat boundaries used to emit one heartbeat per boundary, all
+    // stamped with the same post-advance `now` and a payload from before
+    // the advance (a job could show as pending in a beat emitted after
+    // its completion record). One crossing must yield one beat.
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 50.0, 1.0, 0.0, 0.0)]).unwrap();
+    let input = r#"{"origin": 0, "release": 55.0, "work": 1.0}"#;
+    let recs = serve_lines(&inst, &ServeConfig::default(), input);
+
+    let beats: Vec<_> = recs.iter().filter(|r| kind_of(r) == "heartbeat").collect();
+    let times: Vec<f64> = beats.iter().map(|r| num(r, "now")).collect();
+    assert!(
+        times.windows(2).all(|w| w[0] < w[1]),
+        "heartbeat timestamps not strictly monotone: {times:?}"
+    );
+    // Crossing boundaries 10..50 in one advance yields exactly one beat,
+    // stamped where the session actually paused.
+    assert_eq!(times, vec![50.0]);
+    // The payload reflects the state *after* the advance: the preloaded
+    // job cannot have completed at t = 50 and is still accounted for.
+    assert_eq!(num(beats[0], "completed"), 0.0);
+    assert!(num(beats[0], "unfinished") >= 1.0);
+
+    let summary = recs.last().unwrap();
+    assert_eq!(num(summary, "completed"), 2.0);
+}
+
 #[test]
 fn preloaded_instance_jobs_run_as_a_warm_batch() {
     let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
@@ -320,12 +442,12 @@ fn serve_binary_round_trips_ndjson() {
         2
     );
     // --stats-every 1: one stats record per input line, numbered 1..=2,
-    // each carrying the v2 payload.
+    // each carrying the v3 payload.
     let stats: Vec<_> = recs.iter().filter(|r| kind_of(r) == "stats").collect();
     assert_eq!(stats.len(), 2);
     for (i, rec) in stats.iter().enumerate() {
         assert_eq!(num(rec, "line"), (i + 1) as f64);
-        assert_eq!(num(rec, "v"), 2.0);
+        assert_eq!(num(rec, "v"), 3.0);
         assert!(has_field(rec, "pending"));
         assert!(has_field(rec, "decides"));
     }
