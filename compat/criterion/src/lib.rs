@@ -54,6 +54,10 @@ pub struct Bencher {
     measurement_window: Duration,
 }
 
+/// Floor on measured samples per bench, applied even when a single
+/// iteration exceeds the measurement window (see [`Bencher::iter`]).
+const MIN_SAMPLES: usize = 3;
+
 impl Bencher {
     fn new(measurement_window: Duration) -> Self {
         Bencher {
@@ -74,8 +78,11 @@ impl Bencher {
                 break;
             }
         }
+        // At least MIN_SAMPLES even when one iteration overruns the
+        // window: a single-sample "mean" of a multi-hundred-ms bench is
+        // pure noise, and the baseline checker compares means.
         let deadline = Instant::now() + self.measurement_window;
-        while Instant::now() < deadline {
+        while Instant::now() < deadline || self.samples.len() < MIN_SAMPLES {
             let t0 = Instant::now();
             black_box(routine());
             self.samples.push(t0.elapsed());
@@ -97,7 +104,7 @@ impl Bencher {
             black_box(routine(setup()));
         }
         let deadline = Instant::now() + self.measurement_window;
-        while Instant::now() < deadline {
+        while Instant::now() < deadline || self.samples.len() < MIN_SAMPLES {
             let input = setup();
             let t0 = Instant::now();
             black_box(routine(input));

@@ -79,22 +79,38 @@ impl std::fmt::Display for TestCaseError {
 }
 
 /// Runner configuration (only `cases` is honored).
+///
+/// The `PROPTEST_CASES` environment variable, when set to a positive
+/// integer, overrides the case count — including explicit
+/// [`ProptestConfig::with_cases`] values — so CI can raise coverage of
+/// selected property tests (e.g. the engine equivalence suites) without
+/// code changes.
 #[derive(Clone, Debug)]
 pub struct ProptestConfig {
     /// Number of successful cases required.
     pub cases: u32,
 }
 
+/// `PROPTEST_CASES` parsed as a positive case count, if set and valid.
+fn env_cases() -> Option<u32> {
+    let cases: u32 = std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()?;
+    (cases > 0).then_some(cases)
+}
+
 impl ProptestConfig {
-    /// Config running `cases` cases.
+    /// Config running `cases` cases (unless `PROPTEST_CASES` overrides it).
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 128 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(128),
+        }
     }
 }
 

@@ -40,6 +40,40 @@ impl Value {
     }
 }
 
+/// Reusable storage for [`parse_object_into`]: the pair vector *and* the
+/// key/value strings of previous lines are recycled, so parsing a stream
+/// of records with the same shape (e.g. the all-numeric `mmsec serve`
+/// submission lines) allocates nothing after the first line.
+#[derive(Debug, Default)]
+pub struct ObjBuf {
+    pairs: Vec<(String, Value)>,
+    len: usize,
+}
+
+impl ObjBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        ObjBuf::default()
+    }
+
+    /// The fields of the most recently parsed object.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.pairs[..self.len]
+    }
+
+    /// Hands out the next recycled slot (or grows by one) and marks it
+    /// live. The key string arrives cleared.
+    fn next_slot(&mut self) -> &mut (String, Value) {
+        if self.len == self.pairs.len() {
+            self.pairs.push((String::new(), Value::Null));
+        }
+        let slot = &mut self.pairs[self.len];
+        slot.0.clear();
+        self.len += 1;
+        slot
+    }
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -71,16 +105,18 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    /// Parses a JSON string into `out` (cleared first), reusing its
+    /// capacity.
+    fn string_into(&mut self, out: &mut String) -> Result<(), String> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        out.clear();
         loop {
             let Some(&b) = self.bytes.get(self.pos) else {
                 return Err("unterminated string".into());
             };
             self.pos += 1;
             match b {
-                b'"' => return Ok(out),
+                b'"' => return Ok(()),
                 b'\\' => {
                     let Some(&e) = self.bytes.get(self.pos) else {
                         return Err("unterminated escape".into());
@@ -130,12 +166,21 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Value, String> {
+    /// Parses a JSON scalar into `slot`. A string value re-fills the
+    /// slot's existing `Value::Str` in place when there is one, so a
+    /// recycled slot of the same shape costs no allocation.
+    fn value_into(&mut self, slot: &mut Value) -> Result<(), String> {
         match self.peek() {
-            Some(b'"') => Ok(Value::Str(self.string()?)),
-            Some(b't') => self.literal("true", Value::Bool(true)),
-            Some(b'f') => self.literal("false", Value::Bool(false)),
-            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'"') => {
+                if !matches!(slot, Value::Str(_)) {
+                    *slot = Value::Str(String::new());
+                }
+                let Value::Str(s) = slot else { unreachable!() };
+                self.string_into(s)
+            }
+            Some(b't') => self.literal("true", slot, Value::Bool(true)),
+            Some(b'f') => self.literal("false", slot, Value::Bool(false)),
+            Some(b'n') => self.literal("null", slot, Value::Null),
             Some(b'-' | b'0'..=b'9') => {
                 let start = self.pos;
                 while self
@@ -151,44 +196,64 @@ impl<'a> Parser<'a> {
                 if !x.is_finite() {
                     return Err(format!("non-finite number {text:?}"));
                 }
-                Ok(Value::Num(x))
+                *slot = Value::Num(x);
+                Ok(())
             }
             Some(b'{' | b'[') => Err("nested values are not supported".into()),
             _ => Err(format!("expected a value at byte {}", self.pos)),
         }
     }
 
-    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+    fn literal(&mut self, lit: &str, slot: &mut Value, v: Value) -> Result<(), String> {
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
-            Ok(v)
+            *slot = v;
+            Ok(())
         } else {
             Err(format!("expected {lit} at byte {}", self.pos))
         }
     }
 }
 
-/// Parses one flat JSON object (`{"key": scalar, ...}`). Duplicate keys
-/// keep their last value, matching common JSON parser behavior.
-pub fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+/// Parses one flat JSON object (`{"key": scalar, ...}`) into `buf`,
+/// recycling its storage. Duplicate keys keep their last value, matching
+/// common JSON parser behavior. On error the buffer reads as empty.
+pub fn parse_object_into(line: &str, buf: &mut ObjBuf) -> Result<(), String> {
+    let r = parse_into_inner(line, buf);
+    if r.is_err() {
+        buf.len = 0;
+    }
+    r
+}
+
+fn parse_into_inner(line: &str, buf: &mut ObjBuf) -> Result<(), String> {
+    buf.len = 0;
     let mut p = Parser {
         bytes: line.as_bytes(),
         pos: 0,
     };
     p.expect(b'{')?;
-    let mut fields: Vec<(String, Value)> = Vec::new();
     if p.peek() == Some(b'}') {
         p.pos += 1;
     } else {
         loop {
-            let key = p.string()?;
+            // Read the key into the next recycled slot, then fold
+            // duplicates back onto their first occurrence.
+            let slot = buf.next_slot();
+            p.string_into(&mut slot.0)?;
             p.expect(b':')?;
-            let val = p.value()?;
-            if let Some(slot) = fields.iter_mut().find(|(k, _)| *k == key) {
-                slot.1 = val;
-            } else {
-                fields.push((key, val));
-            }
+            let live = buf.len - 1;
+            let dup = buf.pairs[..live]
+                .iter()
+                .position(|(k, _)| *k == buf.pairs[live].0);
+            let target = match dup {
+                Some(i) => {
+                    buf.len = live;
+                    i
+                }
+                None => live,
+            };
+            p.value_into(&mut buf.pairs[target].1)?;
             match p.peek() {
                 Some(b',') => p.pos += 1,
                 Some(b'}') => {
@@ -203,12 +268,21 @@ pub fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
     if p.pos != p.bytes.len() {
         return Err(format!("trailing input at byte {}", p.pos));
     }
-    Ok(fields)
+    Ok(())
 }
 
-/// Escapes `s` as JSON string *contents* (no surrounding quotes).
-pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+/// Parses one flat JSON object into a fresh vector. Convenience wrapper
+/// over [`parse_object_into`] for one-shot callers and tests.
+pub fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut buf = ObjBuf::new();
+    parse_object_into(line, &mut buf)?;
+    buf.pairs.truncate(buf.len);
+    Ok(buf.pairs)
+}
+
+/// Escapes `s` as JSON string *contents* (no surrounding quotes),
+/// appending to `out`.
+pub fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -222,6 +296,12 @@ pub fn escape(s: &str) -> String {
             c => out.push(c),
         }
     }
+}
+
+/// Escapes `s` as JSON string *contents* (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
     out
 }
 
@@ -237,11 +317,20 @@ impl ObjWriter {
     /// record in the serving protocol leads with one.
     pub fn typed(kind: &str) -> Self {
         let mut w = ObjWriter {
-            buf: String::from("{"),
+            buf: String::new(),
             first: true,
         };
-        w.str_field("type", kind);
+        w.reset(kind);
         w
+    }
+
+    /// Restarts the writer on a fresh `"type"`-led object, reusing the
+    /// buffer — a record-emitting loop pays no per-record allocation.
+    pub fn reset(&mut self, kind: &str) -> &mut Self {
+        self.buf.clear();
+        self.buf.push('{');
+        self.first = true;
+        self.str_field("type", kind)
     }
 
     fn sep(&mut self, key: &str) {
@@ -249,7 +338,9 @@ impl ObjWriter {
             self.buf.push(',');
         }
         self.first = false;
-        let _ = write!(self.buf, "\"{}\":", escape(key));
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
     }
 
     /// Appends a numeric field. Non-finite values serialize as `null`
@@ -272,8 +363,21 @@ impl ObjWriter {
     /// Appends a string field.
     pub fn str_field(&mut self, key: &str, s: &str) -> &mut Self {
         self.sep(key);
-        let _ = write!(self.buf, "\"{}\"", escape(s));
+        self.buf.push('"');
+        escape_into(&mut self.buf, s);
+        self.buf.push('"');
         self
+    }
+
+    /// Closes the object in place and returns the line (no trailing
+    /// newline). The buffer stays owned by the writer: call
+    /// [`ObjWriter::reset`] to start the next record with zero
+    /// allocations. Calling `close` twice without a reset would emit a
+    /// malformed record — the borrow it returns makes that hard to do by
+    /// accident.
+    pub fn close(&mut self) -> &str {
+        self.buf.push('}');
+        &self.buf
     }
 
     /// Closes the object and returns the line (no trailing newline).

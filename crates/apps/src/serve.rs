@@ -35,12 +35,12 @@
 //! replayed in wall time with `--speedup`).
 
 use crate::cli::CliError;
-use crate::ndjson::{parse_object, ObjWriter, Value};
+use crate::ndjson::{parse_object_into, ObjBuf, ObjWriter, Value};
 use mmsec_core::PolicyKind;
 use mmsec_platform::obs::{Event as ObsEvent, FlightRecorder, ObserverHandle, Shared};
 use mmsec_platform::{
-    CloudId, CompletionRecord, EdgeId, EngineOptions, Instance, Job, Observer, PlatformMutation,
-    Session, SessionStatus, Simulation,
+    CloudId, EdgeId, EngineOptions, Instance, Job, Observer, PlatformMutation, Session,
+    SessionStatus, Simulation,
 };
 use mmsec_sim::Time;
 use std::io::{BufRead, Write};
@@ -115,10 +115,9 @@ struct SubmitRequest {
     dn: f64,
 }
 
-/// Parses a submission line, reporting protocol violations as strings
-/// (the loop turns them into `reject` records, not fatal errors).
-fn parse_submit(line: &str) -> Result<SubmitRequest, String> {
-    let fields = parse_object(line)?;
+/// Parses a submission line's fields, reporting protocol violations as
+/// strings (the loop turns them into `reject` records, not fatal errors).
+fn parse_submit(fields: &[(String, Value)]) -> Result<SubmitRequest, String> {
     let mut req = SubmitRequest {
         origin: 0,
         release: None,
@@ -127,7 +126,7 @@ fn parse_submit(line: &str) -> Result<SubmitRequest, String> {
         dn: 0.0,
     };
     let mut saw_origin = false;
-    for (key, value) in &fields {
+    for (key, value) in fields {
         let num = |v: &Value| v.as_num().ok_or(format!("field {key:?} must be a number"));
         match key.as_str() {
             "origin" => {
@@ -234,7 +233,7 @@ fn parse_platform(fields: &[(String, Value)]) -> Result<PlatformMutation, String
     })
 }
 
-fn write_line(out: &mut impl Write, line: String) -> Result<(), CliError> {
+fn write_line(out: &mut impl Write, line: &str) -> Result<(), CliError> {
     writeln!(out, "{line}").map_err(|e| CliError::Io(format!("output stream: {e}")))
 }
 
@@ -340,50 +339,62 @@ fn stats_payload(
     };
 }
 
+/// Drains finished jobs into `completion` records. Uses
+/// [`Session::drain_completions`] and a reused [`ObjWriter`], so the
+/// steady-state emit path allocates nothing. The per-record `target`
+/// string goes through a small reused scratch buffer for the same
+/// reason.
 fn emit_completions(
     session: &mut Session<'_>,
     out: &mut impl Write,
     summary: &mut ServeSummary,
+    w: &mut ObjWriter,
+    scratch: &mut String,
 ) -> Result<(), CliError> {
-    for c in session.take_completions() {
+    use std::fmt::Write as _;
+    for c in session.drain_completions() {
         summary.completed += 1;
         summary.max_stretch = summary.max_stretch.max(c.stretch);
-        write_line(out, completion_record(&c))?;
+        scratch.clear();
+        let _ = write!(scratch, "{}", c.target);
+        w.reset("completion");
+        w.num_field("job", c.job.0 as f64)
+            .str_field("target", scratch)
+            .num_field("release", c.release.seconds())
+            .num_field("completion", c.completion.seconds())
+            .num_field("response", c.response())
+            .num_field("stretch", c.stretch);
+        write_line(out, w.close())?;
     }
     Ok(())
 }
 
-fn completion_record(c: &CompletionRecord) -> String {
-    let mut w = ObjWriter::typed("completion");
-    w.num_field("job", c.job.0 as f64)
-        .str_field("target", &c.target.to_string())
-        .num_field("release", c.release.seconds())
-        .num_field("completion", c.completion.seconds())
-        .num_field("response", c.response())
-        .num_field("stretch", c.stretch);
-    w.finish()
-}
-
-fn heartbeat_record(session: &Session<'_>, summary: &ServeSummary, pulse: &mut Pulse) -> String {
-    let mut w = ObjWriter::typed("heartbeat");
+fn heartbeat_record<'w>(
+    session: &Session<'_>,
+    summary: &ServeSummary,
+    pulse: &mut Pulse,
+    w: &'w mut ObjWriter,
+) -> &'w str {
+    w.reset("heartbeat");
     w.num_field("v", STATS_SCHEMA_VERSION as f64);
     let lag = pulse.lag(session);
-    stats_payload(&mut w, session, summary, &mut pulse.last_beat, lag);
-    w.finish()
+    stats_payload(w, session, summary, &mut pulse.last_beat, lag);
+    w.close()
 }
 
-fn stats_record(
+fn stats_record<'w>(
     session: &Session<'_>,
     summary: &ServeSummary,
     pulse: &mut Pulse,
     line: usize,
-) -> String {
-    let mut w = ObjWriter::typed("stats");
+    w: &'w mut ObjWriter,
+) -> &'w str {
+    w.reset("stats");
     w.num_field("v", STATS_SCHEMA_VERSION as f64)
         .num_field("line", line as f64);
     let lag = pulse.lag(session);
-    stats_payload(&mut w, session, summary, &mut pulse.last_stats, lag);
-    w.finish()
+    stats_payload(w, session, summary, &mut pulse.last_stats, lag);
+    w.close()
 }
 
 /// Emits a `stats` record if `line` falls on the `--stats-every` cadence.
@@ -393,9 +404,10 @@ fn maybe_stats(
     pulse: &mut Pulse,
     line: usize,
     out: &mut impl Write,
+    w: &mut ObjWriter,
 ) -> Result<(), CliError> {
     if pulse.stats_every.is_some_and(|n| line % n == 0) {
-        let record = stats_record(session, summary, pulse, line);
+        let record = stats_record(session, summary, pulse, line, w);
         write_line(out, record)?;
     }
     Ok(())
@@ -410,6 +422,8 @@ fn advance_to(
     pulse: &mut Pulse,
     out: &mut impl Write,
     summary: &mut ServeSummary,
+    w: &mut ObjWriter,
+    scratch: &mut String,
 ) -> Result<(), CliError> {
     loop {
         let stop = if pulse.next_beat < target.seconds() {
@@ -420,7 +434,7 @@ fn advance_to(
         let status = session
             .run_until(stop)
             .map_err(|e| pulse.engine_failure(format!("engine: {e}")))?;
-        emit_completions(session, out, summary)?;
+        emit_completions(session, out, summary, w, scratch)?;
         match status {
             // Blocked: only a later submission can unblock — hand control
             // back. Done: an idle session needs no heartbeats.
@@ -434,7 +448,7 @@ fn advance_to(
         // covers the crossing (repeating it per boundary would duplicate
         // timestamps and re-report state from before the advance).
         if pulse.next_beat <= session.now().seconds() {
-            let record = heartbeat_record(session, summary, pulse);
+            let record = heartbeat_record(session, summary, pulse, w);
             write_line(out, record)?;
             pulse.next_beat += pulse.beat;
             while pulse.next_beat <= session.now().seconds() {
@@ -499,7 +513,7 @@ pub fn serve(
     if let Some(n) = cfg.stats_every {
         hello.num_field("stats_every", n as f64);
     }
-    write_line(&mut out, hello.finish())?;
+    write_line(&mut out, &hello.finish())?;
 
     let mut pulse = Pulse {
         beat: cfg.heartbeat,
@@ -511,57 +525,71 @@ pub fn serve(
         speedup: cfg.speedup,
         flight,
     };
-    for line in input.lines() {
-        let line = line.map_err(|e| CliError::Io(format!("input stream: {e}")))?;
+    // Reused per-line storage: the input line, the parsed fields, the
+    // output record, and a small formatting scratch. A steady stream of
+    // well-formed submissions allocates nothing per line in this layer.
+    let mut line = String::new();
+    let mut fields = ObjBuf::new();
+    let mut w = ObjWriter::typed("hello");
+    let mut scratch = String::new();
+    let mut input = input;
+    loop {
+        line.clear();
+        let n = input
+            .read_line(&mut line)
+            .map_err(|e| CliError::Io(format!("input stream: {e}")))?;
+        if n == 0 {
+            break;
+        }
         if line.trim().is_empty() {
             continue;
         }
         summary.lines += 1;
         let seq = summary.lines;
 
-        // Platform mutation records apply at the current virtual time;
-        // malformed records and refused mutations (unknown unit, removed
-        // twice, bad speed, last edge) produce typed `reject` records —
-        // never a fatal error.
-        if let Ok(fields) = parse_object(&line) {
-            if is_platform_record(&fields) {
-                let outcome = parse_platform(&fields).and_then(|m| {
-                    session
-                        .apply_platform(m)
-                        .map_err(|e| e.to_string())
-                        .map(|v| (m, v))
-                });
-                match outcome {
-                    Ok((m, version)) => {
-                        let p = session.platform();
-                        let mut w = ObjWriter::typed("platform-ok");
-                        w.num_field("line", seq as f64)
-                            .str_field("op", m.op())
-                            .num_field("version", version as f64)
-                            .num_field("edges", p.num_edges_live() as f64)
-                            .num_field("clouds", p.num_clouds_live() as f64);
-                        write_line(&mut out, w.finish())?;
-                    }
-                    Err(why) => {
-                        summary.rejected += 1;
-                        let mut w = ObjWriter::typed("reject");
-                        w.num_field("line", seq as f64).str_field("error", &why);
-                        write_line(&mut out, w.finish())?;
-                    }
+        // Parse the line once; both record kinds (platform mutation and
+        // job submission) read the same field buffer. Malformed records
+        // and refused mutations (unknown unit, removed twice, bad speed,
+        // last edge) produce typed `reject` records — never a fatal
+        // error.
+        let parsed = parse_object_into(line.trim_end(), &mut fields);
+        if parsed.is_ok() && is_platform_record(fields.fields()) {
+            let outcome = parse_platform(fields.fields()).and_then(|m| {
+                session
+                    .apply_platform(m)
+                    .map_err(|e| e.to_string())
+                    .map(|v| (m, v))
+            });
+            match outcome {
+                Ok((m, version)) => {
+                    let p = session.platform();
+                    w.reset("platform-ok");
+                    w.num_field("line", seq as f64)
+                        .str_field("op", m.op())
+                        .num_field("version", version as f64)
+                        .num_field("edges", p.num_edges_live() as f64)
+                        .num_field("clouds", p.num_clouds_live() as f64);
+                    write_line(&mut out, w.close())?;
                 }
-                maybe_stats(&session, &summary, &mut pulse, seq, &mut out)?;
-                continue;
+                Err(why) => {
+                    summary.rejected += 1;
+                    w.reset("reject");
+                    w.num_field("line", seq as f64).str_field("error", &why);
+                    write_line(&mut out, w.close())?;
+                }
             }
+            maybe_stats(&session, &summary, &mut pulse, seq, &mut out, &mut w)?;
+            continue;
         }
 
-        let req = match parse_submit(&line) {
+        let req = match parsed.and_then(|()| parse_submit(fields.fields())) {
             Ok(req) => req,
             Err(why) => {
                 summary.rejected += 1;
-                let mut w = ObjWriter::typed("reject");
+                w.reset("reject");
                 w.num_field("line", seq as f64).str_field("error", &why);
-                write_line(&mut out, w.finish())?;
-                maybe_stats(&session, &summary, &mut pulse, seq, &mut out)?;
+                write_line(&mut out, w.close())?;
+                maybe_stats(&session, &summary, &mut pulse, seq, &mut out, &mut w)?;
                 continue;
             }
         };
@@ -582,6 +610,8 @@ pub fn serve(
                     &mut pulse,
                     &mut out,
                     &mut summary,
+                    &mut w,
+                    &mut scratch,
                 )?;
             }
         }
@@ -591,12 +621,12 @@ pub fn serve(
         let unfinished = session.snapshot().unfinished;
         if cfg.max_pending.is_some_and(|cap| unfinished >= cap) {
             summary.shed += 1;
-            let mut w = ObjWriter::typed("shed");
+            w.reset("shed");
             w.num_field("line", seq as f64)
                 .str_field("reason", "max-pending")
                 .num_field("unfinished", unfinished as f64);
-            write_line(&mut out, w.finish())?;
-            maybe_stats(&session, &summary, &mut pulse, seq, &mut out)?;
+            write_line(&mut out, w.close())?;
+            maybe_stats(&session, &summary, &mut pulse, seq, &mut out, &mut w)?;
             continue;
         }
 
@@ -610,21 +640,25 @@ pub fn serve(
         )) {
             Ok(id) => {
                 summary.admitted += 1;
-                let mut w = ObjWriter::typed("admit");
+                w.reset("admit");
                 w.num_field("line", seq as f64)
                     .num_field("job", id.0 as f64)
                     .num_field("release", release);
-                write_line(&mut out, w.finish())?;
+                write_line(&mut out, w.close())?;
             }
             Err(e) => {
                 summary.rejected += 1;
-                let mut w = ObjWriter::typed("reject");
-                w.num_field("line", seq as f64)
-                    .str_field("error", &e.to_string());
-                write_line(&mut out, w.finish())?;
+                scratch.clear();
+                {
+                    use std::fmt::Write as _;
+                    let _ = write!(scratch, "{e}");
+                }
+                w.reset("reject");
+                w.num_field("line", seq as f64).str_field("error", &scratch);
+                write_line(&mut out, w.close())?;
             }
         }
-        maybe_stats(&session, &summary, &mut pulse, seq, &mut out)?;
+        maybe_stats(&session, &summary, &mut pulse, seq, &mut out, &mut w)?;
     }
 
     // Input exhausted: run the backlog dry, still beating periodically.
@@ -632,7 +666,7 @@ pub fn serve(
         let status = session
             .run_until(Time::new(pulse.next_beat))
             .map_err(|e| pulse.engine_failure(format!("engine: {e}")))?;
-        emit_completions(&mut session, &mut out, &mut summary)?;
+        emit_completions(&mut session, &mut out, &mut summary, &mut w, &mut scratch)?;
         match status {
             SessionStatus::Done => break,
             SessionStatus::Blocked => {
@@ -647,7 +681,7 @@ pub fn serve(
                 // See `advance_to`: a pause past the boundary (the next
                 // event is several beats out) gets one heartbeat with the
                 // post-advance payload, not a stale repeat per boundary.
-                let record = heartbeat_record(&session, &summary, &mut pulse);
+                let record = heartbeat_record(&session, &summary, &mut pulse, &mut w);
                 write_line(&mut out, record)?;
                 pulse.next_beat += pulse.beat;
                 while pulse.next_beat <= session.now().seconds() {
@@ -660,7 +694,7 @@ pub fn serve(
 
     let snap = session.snapshot();
     summary.max_stretch = summary.max_stretch.max(snap.max_stretch);
-    let mut w = ObjWriter::typed("summary");
+    w.reset("summary");
     w.num_field("now", snap.now.seconds())
         .num_field("lines", summary.lines as f64)
         .num_field("admitted", summary.admitted as f64)
@@ -670,7 +704,7 @@ pub fn serve(
         .num_field("max_stretch", snap.max_stretch)
         .num_field("mean_stretch", snap.mean_stretch)
         .num_field("events", snap.run.events as f64);
-    write_line(&mut out, w.finish())?;
+    write_line(&mut out, w.close())?;
     summary.completed = snap.completed;
     Ok(summary)
 }

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mmsec_core::PolicyKind;
 use mmsec_platform::obs::{FlightRecorder, NullObserver, PhaseProfiler};
 use mmsec_platform::projection::Projection;
-use mmsec_platform::{JobState, PendingSet, SimView, Simulation};
+use mmsec_platform::{JobArena, JobState, PendingSet, SimView, Simulation};
 use mmsec_sim::{EventQueue, Interval, IntervalSet, Time};
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 
@@ -63,14 +63,15 @@ fn bench_projection(c: &mut Criterion) {
             ..JobState::default()
         })
         .collect();
+    let arena = JobArena::from_states(&inst, &states);
     let pending = PendingSet::from_states(&inst, &states);
     c.bench_function("micro/projection_place_200_jobs", |b| {
         b.iter_batched(
             || Projection::new(&inst.spec, Time::ZERO),
             |mut proj| {
-                let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+                let view = SimView::new(&inst, Time::ZERO, &arena, &pending);
                 for (id, job) in inst.iter_jobs() {
-                    let st = &view.jobs[id.0];
+                    let st = &view.state(id);
                     let (t, _) = proj.best_target(job, st, view.spec(), view.now);
                     proj.place(job, st, t, view.spec(), view.now);
                 }
@@ -224,6 +225,28 @@ fn bench_decide_path_high_n(c: &mut Criterion) {
         });
     });
     group.bench_function("simulate_5000_fcfs", |b| {
+        b.iter(|| {
+            let mut policy = PolicyKind::Fcfs.build(1);
+            Simulation::of(&inst).policy(policy.as_mut()).run().unwrap()
+        });
+    });
+    // n=50_000: an order of magnitude past the CI smoke sizes, where the
+    // calendar queue's O(1) pops and the arena's flat columns are the
+    // difference between seconds and minutes. Sample count is minimal —
+    // the point is a wall guarding against superlinear regressions, not
+    // a tight mean.
+    let cfg = RandomCcrConfig {
+        n: 50_000,
+        ..RandomCcrConfig::default()
+    };
+    let inst = cfg.generate(5);
+    group.bench_function("simulate_50000_srpt", |b| {
+        b.iter(|| {
+            let mut policy = PolicyKind::Srpt.build(1);
+            Simulation::of(&inst).policy(policy.as_mut()).run().unwrap()
+        });
+    });
+    group.bench_function("simulate_50000_fcfs", |b| {
         b.iter(|| {
             let mut policy = PolicyKind::Fcfs.build(1);
             Simulation::of(&inst).policy(policy.as_mut()).run().unwrap()

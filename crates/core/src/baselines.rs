@@ -68,7 +68,7 @@ impl OnlineScheduler for Fcfs {
                     proj_ready = true;
                 }
                 let proj = self.proj.as_mut().expect("initialized above");
-                let st = &view.jobs[id.0];
+                let st = &view.state(id);
                 let (target, _) = proj.best_target(job, st, spec, view.now);
                 let target = if view.target_available(job.origin, target) {
                     Some(target)
@@ -164,7 +164,7 @@ impl OnlineScheduler for CloudOnly {
                 }
                 let proj = self.proj.as_mut().expect("initialized above");
                 let job = view.job(id);
-                let st = &view.jobs[id.0];
+                let st = &view.state(id);
                 let mut best: Option<(Target, mmsec_sim::Time)> = None;
                 for k in spec.clouds() {
                     if !view.cloud_available(k) {

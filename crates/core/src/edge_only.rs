@@ -80,12 +80,11 @@ impl EdgeOnly {
             .filter(|&id| view.job(id).origin.0 == unit)
             .map(|id| {
                 let job = view.job(id);
-                let st = &view.jobs[id.0];
                 ReleasedJob {
                     id,
                     release: job.release,
-                    proc_time: st.remaining_work(job) / spec.edge_speed(job.origin),
-                    min_time: job.min_time(spec),
+                    proc_time: view.jobs.remaining_work(id.0, job) / spec.edge_speed(job.origin),
+                    min_time: view.min_time(id),
                 }
             })
             .collect();
@@ -161,9 +160,14 @@ impl OnlineScheduler for EdgeOnly {
         } else {
             // Deadlines unchanged since the last call: the order only
             // shrinks by the jobs that completed in between (new
-            // releases force the rebuild branch above).
+            // releases force the rebuild branch above). A `None` deadline
+            // here means a platform bump voided the cache after the job
+            // was planned — `order` was cleared with it, nothing to drop.
             for &id in view.delta_removed() {
-                let key = (self.deadlines[id.0].expect("was planned"), id);
+                let Some(d) = self.deadlines[id.0] else {
+                    continue;
+                };
+                let key = (d, id);
                 if let Ok(pos) = self.order.binary_search(&key) {
                     self.order.remove(pos);
                 }

@@ -73,7 +73,10 @@ impl OnlineScheduler for Greedy {
             let Some((pos, id, opt, _, _)) = pick else {
                 break; // nothing can start anymore
             };
-            round.claim(view, id, opt.target);
+            // `opt` was computed against the current round (the selection
+            // sweep above never mutates it), so the cached phase/forecast
+            // can be applied directly instead of recomputed.
+            round.claim_option(view, id, &opt);
             out.push(id, opt.target);
             unassigned.swap_remove(pos);
         }

@@ -13,9 +13,9 @@
 //!   `k` this round. Without this, all of a homogeneous cloud's
 //!   processors look identical and every job piles onto the first one.
 
-use mmsec_platform::projection::Projection;
-use mmsec_platform::resource::ResourceMap;
-use mmsec_platform::{CloudId, Job, JobId, JobState, Phase, SimView, Target};
+use mmsec_platform::projection::{Forecast, Projection};
+use mmsec_platform::resource::{ResourceId, ResourceMap};
+use mmsec_platform::{CloudId, EdgeId, Job, JobId, JobState, Phase, SimView, Target};
 use mmsec_sim::time::approx;
 use mmsec_sim::Time;
 
@@ -23,10 +23,10 @@ use mmsec_sim::Time;
 /// phase when continuing on its committed target, the first non-empty
 /// phase when (re)starting fresh.
 pub fn first_phase(view: &SimView<'_>, id: JobId, target: Target) -> Option<Phase> {
-    let st = &view.jobs[id.0];
+    let jobs = view.jobs;
     let job = view.job(id);
-    if st.committed == Some(target) {
-        return st.current_phase(job, target);
+    if jobs.committed[id.0] == Some(target) {
+        return jobs.current_phase(id.0, job, target);
     }
     match target {
         Target::Edge => approx::positive(job.work).then_some(Phase::Compute),
@@ -44,6 +44,21 @@ pub fn first_phase(view: &SimView<'_>, id: JobId, target: Target) -> Option<Phas
     }
 }
 
+/// Cross-job interference scope of one claim, recorded so later pops can
+/// prove a cached [`StartOption`] survived it (see
+/// [`RoundState::exact_since`]).
+#[derive(Clone, Copy, Debug)]
+struct ClaimScope {
+    /// Origin edge of the claimed job.
+    origin: usize,
+    /// The claim's entire write set lives on its origin edge: an
+    /// Edge-target claim (busy mark, profile move, and dirt all on
+    /// `EdgeCpu(origin)`) whose backlog retirement — if any — also sat on
+    /// that same CPU. Cloud claims never qualify: they touch the cloud,
+    /// and every job's cloud scan reads the touched set.
+    edge_confined: bool,
+}
+
 /// A placement option that can start immediately.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct StartOption {
@@ -53,6 +68,12 @@ pub struct StartOption {
     /// everything claimed earlier in the round; from-scratch volumes when
     /// `target` differs from the committed resource).
     pub completion: Time,
+    /// First phase the job would run on `target` — cached so
+    /// [`RoundState::claim_option`] skips the `first_phase` recompute.
+    pub(crate) phase: Phase,
+    /// The winning candidate's full forecast — cached so claiming applies
+    /// the already-computed reservations instead of forecasting again.
+    pub(crate) forecast: Forecast,
 }
 
 /// State of one decision round (one event).
@@ -92,6 +113,32 @@ pub struct RoundState {
     /// `reset` (units joined, left, or re-provisioned) rebuilds the round
     /// wholesale — mutations are rare, so the realloc cost is noise.
     version: u64,
+    /// Resources marked busy this round, so `reset` clears only those.
+    busy_list: Vec<ResourceId>,
+    /// CPUs `gather` credited backlog to this round (duplicates allowed),
+    /// so `reset` zeroes only those.
+    backlog_cpus: Vec<ResourceId>,
+    /// One entry per claim this round, in claim order (`claim_log.len()
+    /// == claims`): the interference scope consulted by `exact_since`.
+    claim_log: Vec<ClaimScope>,
+    /// Number of claims applied this round. Doubles as a staleness tag:
+    /// a [`StartOption`] computed at claim count `c` is exactly current
+    /// as long as the count is still `c` (nothing mutated the round in
+    /// between), so callers can reuse it without recomputing.
+    claims: u32,
+    /// Per-unit dirt since the round was (re)built: set when a claim
+    /// moved the corresponding projection profile. Every busy mark lands
+    /// on a resource `place_forecast` also moved, so a candidate whose
+    /// resources are all clean still sees pristine (`== now`) profiles
+    /// and a free first phase — its forecast collapses to the closed form
+    /// [`Forecast::pristine`] with no profile loads or busy checks.
+    dirty_edge_cpu: Vec<bool>,
+    /// `EdgeOut(e)` moved (an uplink was claimed from edge `e`).
+    dirty_edge_out: Vec<bool>,
+    /// `EdgeIn(e)` moved (a downlink was claimed towards edge `e`).
+    dirty_edge_in: Vec<bool>,
+    /// Any of cloud `k`'s three resources moved (a claim landed on `k`).
+    dirty_cloud: Vec<bool>,
 }
 
 impl RoundState {
@@ -117,6 +164,14 @@ impl RoundState {
             touched: vec![false; spec.num_cloud()],
             touched_list: Vec::new(),
             version: view.platform_version(),
+            busy_list: Vec::new(),
+            backlog_cpus: Vec::new(),
+            claim_log: Vec::new(),
+            claims: 0,
+            dirty_edge_cpu: vec![false; spec.num_edge()],
+            dirty_edge_out: vec![false; spec.num_edge()],
+            dirty_edge_in: vec![false; spec.num_edge()],
+            dirty_cloud: vec![false; spec.num_cloud()],
         };
         round.gather(view);
         round
@@ -135,8 +190,21 @@ impl RoundState {
             return;
         }
         self.proj.reset(view.now);
-        self.busy_now.fill(false);
-        self.backlog.fill(0.0);
+        for r in self.busy_list.drain(..) {
+            self.busy_now[r] = false;
+        }
+        self.claims = 0;
+        self.claim_log.clear();
+        self.dirty_edge_cpu.fill(false);
+        self.dirty_edge_out.fill(false);
+        self.dirty_edge_in.fill(false);
+        self.dirty_cloud.fill(false);
+        // Non-zero backlog lives only on CPUs `gather` credited (claims
+        // merely subtract from those, possibly leaving float residue), so
+        // zeroing them here replaces the full map fill.
+        for cpu in self.backlog_cpus.drain(..) {
+            self.backlog[cpu] = 0.0;
+        }
         for i in self.contributors.drain(..) {
             self.contribution[i] = None;
         }
@@ -152,10 +220,13 @@ impl RoundState {
 
     fn gather(&mut self, view: &SimView<'_>) {
         let spec = view.spec();
+        let jobs = view.jobs;
         for id in view.pending_jobs() {
-            let st = &view.jobs[id.0];
-            let has_progress = st.up_done + st.work_done + st.dn_done > 0.0;
-            let Some(target) = st.committed else { continue };
+            let i = id.0;
+            let has_progress = jobs.up_done[i] + jobs.work_done[i] + jobs.dn_done[i] > 0.0;
+            let Some(target) = jobs.committed[i] else {
+                continue;
+            };
             if !has_progress {
                 continue;
             }
@@ -163,14 +234,15 @@ impl RoundState {
             let (cpu, amount) = match target {
                 Target::Edge => (
                     mmsec_platform::resource::ResourceId::EdgeCpu(job.origin),
-                    st.remaining_work(job) / spec.edge_speed(job.origin),
+                    jobs.remaining_work(i, job) / spec.edge_speed(job.origin),
                 ),
                 Target::Cloud(k) => (
                     mmsec_platform::resource::ResourceId::CloudCpu(k),
-                    st.remaining_work(job) / spec.cloud_speed(k),
+                    jobs.remaining_work(i, job) / spec.cloud_speed(k),
                 ),
             };
             self.backlog[cpu] += amount;
+            self.backlog_cpus.push(cpu);
             self.contribution[id.0] = Some((cpu, amount));
             self.contributors.push(id.0);
             if let Target::Cloud(k) = target {
@@ -218,34 +290,147 @@ impl RoundState {
     /// single event restarts elsewhere, gets displaced again, and thrashes
     /// away all its progress.
     pub fn best_startable(&self, view: &SimView<'_>, id: JobId) -> Option<StartOption> {
-        let st = &view.jobs[id.0];
+        let jobs = view.jobs;
+        let i = id.0;
         let job = view.job(id);
         let spec = view.spec();
+        let now = view.now;
+        let e = job.origin.0;
+        let committed = jobs.committed[i];
 
-        let has_progress = st.up_done + st.work_done + st.dn_done > 0.0;
-        let continuation_bar: Option<Time> = match st.committed {
+        let has_progress = jobs.up_done[i] + jobs.work_done[i] + jobs.dn_done[i] > 0.0;
+        let continuation_bar: Option<Time> = match committed {
             Some(t) if has_progress => {
-                Some(view.now + Time::new(st.remaining_time_on(job, t, spec)))
+                Some(now + Time::new(jobs.remaining_time_on(i, job, t, spec)))
             }
             _ => None,
         };
 
-        // Evaluation order implements the tie preference (strict `<`):
-        // committed target first, then the edge.
+        // Snapshot for dirty candidates (full projection walk); built at
+        // most once, and not at all on the common all-clean call.
+        let mut st_slot: Option<JobState> = None;
+
         let mut best: Option<StartOption> = None;
         let mut best_penalized = Time::new(f64::MAX);
-        if let Some(t) = st.committed {
-            if let Some((p, opt)) = self.evaluate(view, id, st, job, t, continuation_bar) {
+
+        // Committed target first (wins ties through strict `<` below),
+        // with remaining volumes.
+        if let Some(t) = committed {
+            let cand = match t {
+                Target::Edge if !self.dirty_edge_cpu[e] => {
+                    if view.target_available(job.origin, t) {
+                        jobs.current_phase(i, job, t).map(|phase| {
+                            let f = Forecast::pristine(
+                                t,
+                                0.0,
+                                jobs.remaining_work(i, job),
+                                0.0,
+                                spec.edge_speed(job.origin),
+                                now,
+                            );
+                            let p = f.completion + Time::new(self.foreign_backlog(view, id, t));
+                            (
+                                p,
+                                StartOption {
+                                    target: t,
+                                    completion: f.completion,
+                                    phase,
+                                    forecast: f,
+                                },
+                            )
+                        })
+                    } else {
+                        None
+                    }
+                }
+                // Clean iff no profile the forecast would read moved this
+                // round: the cloud's own resources, plus the origin ports
+                // when the matching communication phase exists (the
+                // forecast reads `EdgeOut`/`EdgeIn` only when the volume
+                // is > 0 — mirror that predicate exactly).
+                Target::Cloud(k)
+                    if !self.dirty_cloud[k.0]
+                        && (!self.dirty_edge_out[e] || jobs.remaining_up(i, job) <= 0.0)
+                        && (!self.dirty_edge_in[e] || jobs.remaining_dn(i, job) <= 0.0) =>
+                {
+                    if view.target_available(job.origin, t) {
+                        jobs.current_phase(i, job, t).map(|phase| {
+                            let f = Forecast::pristine(
+                                t,
+                                jobs.remaining_up(i, job),
+                                jobs.remaining_work(i, job),
+                                jobs.remaining_dn(i, job),
+                                spec.cloud_speed(k),
+                                now,
+                            );
+                            let p = f.completion + Time::new(self.foreign_backlog(view, id, t));
+                            (
+                                p,
+                                StartOption {
+                                    target: t,
+                                    completion: f.completion,
+                                    phase,
+                                    forecast: f,
+                                },
+                            )
+                        })
+                    } else {
+                        None
+                    }
+                }
+                _ => {
+                    let st = st_slot.get_or_insert_with(|| view.state(id));
+                    self.evaluate(view, id, st, job, t, continuation_bar)
+                }
+            };
+            if let Some((p, opt)) = cand {
                 if p < best_penalized {
                     best_penalized = p;
                     best = Some(opt);
                 }
             }
         }
-        if let Some((p, opt)) = self.evaluate(view, id, st, job, Target::Edge, continuation_bar) {
-            if p < best_penalized {
-                best_penalized = p;
-                best = Some(opt);
+
+        // The edge, from-scratch volumes. When committed there the
+        // candidate above already scored it; a re-evaluation ties and
+        // loses on strict `<`, so it is skipped.
+        if committed != Some(Target::Edge) {
+            let cand = if !self.dirty_edge_cpu[e] {
+                if view.target_available(job.origin, Target::Edge) && approx::positive(job.work) {
+                    let f = Forecast::pristine(
+                        Target::Edge,
+                        0.0,
+                        job.work,
+                        0.0,
+                        spec.edge_speed(job.origin),
+                        now,
+                    );
+                    let p = f.completion + Time::new(self.foreign_backlog(view, id, Target::Edge));
+                    if matches!(continuation_bar, Some(bar) if p >= bar) {
+                        None
+                    } else {
+                        Some((
+                            p,
+                            StartOption {
+                                target: Target::Edge,
+                                completion: f.completion,
+                                phase: Phase::Compute,
+                                forecast: f,
+                            },
+                        ))
+                    }
+                } else {
+                    None
+                }
+            } else {
+                let st = st_slot.get_or_insert_with(|| view.state(id));
+                self.evaluate(view, id, st, job, Target::Edge, continuation_bar)
+            };
+            if let Some((p, opt)) = cand {
+                if p < best_penalized {
+                    best_penalized = p;
+                    best = Some(opt);
+                }
             }
         }
 
@@ -253,39 +438,83 @@ impl RoundState {
         // lowest-indexed cloud achieving the minimum penalized score —
         // the lexicographic minimum of (penalized, k) — so clouds may be
         // visited grouped by speed instead of by index. Within a group,
-        // untouched clouds are indistinguishable: the projection holds
-        // identical (reset) free times for their resources, their backlog
-        // is zero, and every origin-side input is shared, so the forecast
-        // — the expensive part of a decision round — is computed once, on
-        // the group's first available untouched member. Later untouched
-        // members tie it and lose on index; touched members can only
-        // score worse (claims advance free times, backlog only adds); so
-        // each group's scan stops at its first untouched cloud.
+        // untouched clouds are indistinguishable (identical profiles,
+        // zero backlog, shared origin inputs), so each group's scan stops
+        // at its first untouched cloud: later untouched members tie and
+        // lose on index, touched members can only score worse. Clean
+        // members (touched or not) share one closed-form forecast per
+        // group and differ only in the backlog penalty; members whose
+        // profiles moved this round take the full projection walk.
+        let fresh_cloud_phase = if approx::positive(job.up) {
+            Some(Phase::Uplink)
+        } else if approx::positive(job.work) {
+            Some(Phase::Compute)
+        } else if approx::positive(job.dn) {
+            Some(Phase::Downlink)
+        } else {
+            None
+        };
+        let ports_clean_up = !self.dirty_edge_out[e] || job.up <= 0.0;
+        let ports_clean_dn = !self.dirty_edge_in[e] || job.dn <= 0.0;
         let mut cloud_best: Option<(Time, CloudId, StartOption)> = None;
-        for class in &self.speed_classes {
-            for &k in class {
-                if st.committed == Some(Target::Cloud(k)) {
-                    // Already evaluated above; the score is identical and
-                    // strict `<` would discard the re-evaluation.
-                    continue;
-                }
-                let touched = self.touched[k.0];
-                if !touched && !view.target_available(job.origin, Target::Cloud(k)) {
-                    continue; // a down cloud does not end the group scan
-                }
-                if let Some((p, opt)) =
-                    self.evaluate(view, id, st, job, Target::Cloud(k), continuation_bar)
-                {
-                    let better = match &cloud_best {
-                        None => true,
-                        Some((bp, bk, _)) => p < *bp || (p == *bp && k.0 < bk.0),
-                    };
-                    if better {
-                        cloud_best = Some((p, k, opt));
+        if let Some(cphase) = fresh_cloud_phase {
+            for class in &self.speed_classes {
+                let mut class_fc: Option<Forecast> = None;
+                for &k in class {
+                    if committed == Some(Target::Cloud(k)) {
+                        // Already evaluated above; the score is identical
+                        // and strict `<` would discard the re-evaluation.
+                        continue;
                     }
-                }
-                if !touched {
-                    break;
+                    let touched = self.touched[k.0];
+                    if !view.target_available(job.origin, Target::Cloud(k)) {
+                        continue; // a down cloud does not end the group scan
+                    }
+                    let clean = !self.dirty_cloud[k.0] && ports_clean_up && ports_clean_dn;
+                    let cand = if clean {
+                        let f = *class_fc.get_or_insert_with(|| {
+                            Forecast::pristine(
+                                Target::Cloud(k),
+                                job.up,
+                                job.work,
+                                job.dn,
+                                spec.cloud_speed(k),
+                                now,
+                            )
+                        });
+                        // `id`'s own contribution sits on its committed
+                        // CPU, which this scan skips — no subtraction.
+                        let p = f.completion
+                            + Time::new(self.backlog[ResourceId::CloudCpu(k)].max(0.0));
+                        if matches!(continuation_bar, Some(bar) if p >= bar) {
+                            None
+                        } else {
+                            Some((
+                                p,
+                                StartOption {
+                                    target: Target::Cloud(k),
+                                    completion: f.completion,
+                                    phase: cphase,
+                                    forecast: f,
+                                },
+                            ))
+                        }
+                    } else {
+                        let st = st_slot.get_or_insert_with(|| view.state(id));
+                        self.evaluate(view, id, st, job, Target::Cloud(k), continuation_bar)
+                    };
+                    if let Some((p, opt)) = cand {
+                        let better = match &cloud_best {
+                            None => true,
+                            Some((bp, bk, _)) => p < *bp || (p == *bp && k.0 < bk.0),
+                        };
+                        if better {
+                            cloud_best = Some((p, k, opt));
+                        }
+                    }
+                    if !touched {
+                        break;
+                    }
                 }
             }
         }
@@ -295,6 +524,32 @@ impl RoundState {
             }
         }
         best
+    }
+
+    /// Number of [`Self::claim`]/[`Self::claim_option`] calls since the
+    /// round was (re)built. A [`StartOption`] computed when the count was
+    /// `c` is exact for as long as the count remains `c`.
+    pub fn claim_count(&self) -> u32 {
+        self.claims
+    }
+
+    /// True iff a [`StartOption`] computed for a job originating at
+    /// `origin` when the claim count was `tag` is still *exactly* what
+    /// [`Self::best_startable`] would return now.
+    ///
+    /// Trivially true when nothing was claimed since. Otherwise it holds
+    /// when every intervening claim was [edge-confined](ClaimScope) on a
+    /// *different* edge: such a claim's entire write set — busy mark,
+    /// profile move, dirt bit, and backlog retirement, all on
+    /// `EdgeCpu(other)` — is disjoint from everything a best-startable
+    /// call for an `origin` job reads (its own edge's CPU and ports, its
+    /// committed target, and the touched-cloud scan, whose membership an
+    /// edge claim never changes). Cloud claims never qualify: they touch
+    /// their cloud, and the scan of *every* job visits touched clouds.
+    pub fn exact_since(&self, tag: u32, origin: EdgeId) -> bool {
+        self.claim_log[tag as usize..]
+            .iter()
+            .all(|c| c.edge_confined && c.origin != origin.0)
     }
 
     /// Evaluates one placement candidate: `Some((penalized_score, opt))`
@@ -323,8 +578,8 @@ impl RoundState {
             return None;
         }
         let spec = view.spec();
-        let completion = self.proj.completion(job, st, target, spec, view.now);
-        let penalized = completion + Time::new(self.foreign_backlog(view, id, target));
+        let f = self.proj.forecast(job, st, target, spec, view.now);
+        let penalized = f.completion + Time::new(self.foreign_backlog(view, id, target));
         if st.committed != Some(target) {
             if let Some(bar) = continuation_bar {
                 if penalized >= bar {
@@ -332,7 +587,15 @@ impl RoundState {
                 }
             }
         }
-        Some((penalized, StartOption { target, completion }))
+        Some((
+            penalized,
+            StartOption {
+                target,
+                completion: f.completion,
+                phase,
+                forecast: f,
+            },
+        ))
     }
 
     /// Reference implementation of [`Self::best_startable`]: the plain
@@ -341,7 +604,7 @@ impl RoundState {
     /// `fast_path_matches_exhaustive_scan` proptest below).
     #[cfg(test)]
     fn best_startable_exhaustive(&self, view: &SimView<'_>, id: JobId) -> Option<StartOption> {
-        let st = &view.jobs[id.0];
+        let st = &view.state(id);
         let job = view.job(id);
         let spec = view.spec();
 
@@ -378,20 +641,67 @@ impl RoundState {
     /// projection, and retires its backlog contribution (its future is
     /// now explicit in the projection).
     pub fn claim(&mut self, view: &SimView<'_>, id: JobId, target: Target) {
-        let st = &view.jobs[id.0];
+        let st = view.state(id);
         let job = view.job(id);
         let phase = first_phase(view, id, target).expect("claimed job has a phase to run");
+        let f = self.proj.forecast(job, &st, target, view.spec(), view.now);
+        self.apply_claim(view, id, phase, &f, target);
+    }
+
+    /// [`Self::claim`] from an already-computed [`StartOption`]. Valid
+    /// only when `opt` is *current* — computed by [`Self::best_startable`]
+    /// against this round with no claims applied since (compare
+    /// [`Self::claim_count`]); the cached phase and forecast are then
+    /// exactly what `claim` would recompute.
+    pub fn claim_option(&mut self, view: &SimView<'_>, id: JobId, opt: &StartOption) {
+        self.apply_claim(view, id, opt.phase, &opt.forecast, opt.target);
+    }
+
+    fn apply_claim(
+        &mut self,
+        view: &SimView<'_>,
+        id: JobId,
+        phase: Phase,
+        f: &Forecast,
+        target: Target,
+    ) {
+        let job = view.job(id);
         for r in phase.resources(job, target).iter() {
             debug_assert!(!self.busy_now[r], "double-claim of {r}");
             self.busy_now[r] = true;
+            self.busy_list.push(r);
         }
-        self.proj.place(job, st, target, view.spec(), view.now);
-        if let Some((cpu, amount)) = self.contribution[id.0].take() {
+        self.proj.place_forecast(job, f, target);
+        // Mirror `place_forecast`'s writes exactly: every moved profile
+        // (and hence every busy-marked resource — the first phase's
+        // resources are a subset of what the forecast places) turns its
+        // unit dirty.
+        match target {
+            Target::Edge => self.dirty_edge_cpu[job.origin.0] = true,
+            Target::Cloud(k) => {
+                self.dirty_cloud[k.0] = true;
+                if f.has_up {
+                    self.dirty_edge_out[job.origin.0] = true;
+                }
+                if f.has_dn {
+                    self.dirty_edge_in[job.origin.0] = true;
+                }
+            }
+        }
+        let retired = self.contribution[id.0].take();
+        if let Some((cpu, amount)) = retired {
             self.backlog[cpu] = (self.backlog[cpu] - amount).max(0.0);
         }
         if let Target::Cloud(k) = target {
             self.touch(k);
         }
+        self.claim_log.push(ClaimScope {
+            origin: job.origin.0,
+            edge_confined: matches!(target, Target::Edge)
+                && retired.map_or(true, |(cpu, _)| matches!(cpu, ResourceId::EdgeCpu(_))),
+        });
+        self.claims += 1;
+        debug_assert_eq!(self.claims as usize, self.claim_log.len());
     }
 }
 
@@ -403,7 +713,9 @@ pub fn stretch_at(view: &SimView<'_>, id: JobId, completion: Time) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmsec_platform::{CloudId, EdgeId, Instance, Job, JobState, PendingSet, PlatformSpec};
+    use mmsec_platform::{
+        CloudId, EdgeId, Instance, Job, JobArena, JobState, PendingSet, PlatformSpec,
+    };
 
     fn fixture() -> (Instance, Vec<JobState>) {
         let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
@@ -424,8 +736,9 @@ mod tests {
         let (inst, mut states) = fixture();
         states[0].committed = Some(Target::Cloud(CloudId(0)));
         states[0].up_done = 1.0; // uplink complete on cloud 0
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::new(1.0), &states, &pending);
+        let view = SimView::new(&inst, Time::new(1.0), &arena, &pending);
         assert_eq!(
             first_phase(&view, JobId(0), Target::Cloud(CloudId(0))),
             Some(Phase::Compute)
@@ -444,8 +757,9 @@ mod tests {
     #[test]
     fn best_startable_picks_earliest_completion() {
         let (inst, states) = fixture();
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending);
         let round = RoundState::new(&view);
         // Job 1 (6 work): edge 12, cloud 8 → cloud.
         let opt = round.best_startable(&view, JobId(1)).unwrap();
@@ -471,8 +785,9 @@ mod tests {
         for s in &mut states {
             s.released = true;
         }
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending);
         let mut round = RoundState::new(&view);
         let first = round.best_startable(&view, JobId(0)).unwrap();
         assert_eq!(first.target, Target::Cloud(CloudId(0)));
@@ -489,8 +804,9 @@ mod tests {
     #[test]
     fn busy_first_phase_resources_exclude_targets() {
         let (inst, states) = fixture();
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending);
         let mut round = RoundState::new(&view);
         // Claim job 0's uplink on cloud 0: EdgeOut(0) + CloudIn(0) are
         // busy now, so job 1 (which also needs EdgeOut(0) to reach any
@@ -508,8 +824,9 @@ mod tests {
         let mut jobs2 = inst.jobs.clone();
         jobs2.push(Job::new(EdgeId(0), 0.0, 1.0, 1.0, 1.0));
         let inst2 = Instance::new(inst.spec.clone(), jobs2).unwrap();
+        let arena2 = JobArena::from_states(&inst2, &st2);
         let pending2 = PendingSet::from_states(&inst2, &st2);
-        let view2 = SimView::new(&inst2, Time::ZERO, &st2, &pending2);
+        let view2 = SimView::new(&inst2, Time::ZERO, &arena2, &pending2);
         assert_eq!(round.best_startable(&view2, JobId(2)), None);
     }
 
@@ -518,15 +835,17 @@ mod tests {
         let (inst, mut states) = fixture();
         states[0].committed = Some(Target::Cloud(CloudId(0)));
         states[0].up_done = 1.0;
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::new(1.0), &states, &pending);
+        let view = SimView::new(&inst, Time::new(1.0), &arena, &pending);
         let mut round = RoundState::new(&view);
         round.claim(&view, JobId(0), Target::Cloud(CloudId(0)));
         // Later instant, more progress: the reused round must behave
         // exactly like a freshly built one.
         states[0].work_done = 1.0;
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::new(2.0), &states, &pending);
+        let view = SimView::new(&inst, Time::new(2.0), &arena, &pending);
         round.reset(&view);
         let fresh = RoundState::new(&view);
         for id in [JobId(0), JobId(1)] {
@@ -541,8 +860,9 @@ mod tests {
     fn committed_target_preferred_on_tie() {
         let (inst, mut states) = fixture();
         states[0].committed = Some(Target::Cloud(CloudId(1)));
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending);
         let round = RoundState::new(&view);
         let opt = round.best_startable(&view, JobId(0)).unwrap();
         assert_eq!(opt.target, Target::Cloud(CloudId(1)));
@@ -554,8 +874,9 @@ mod tests {
         states[0].committed = Some(Target::Cloud(CloudId(0)));
         states[0].up_done = 1.0;
         states[0].work_done = 1.0;
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::new(2.0), &states, &pending);
+        let view = SimView::new(&inst, Time::new(2.0), &arena, &pending);
         let round = RoundState::new(&view);
         let opt = round.best_startable(&view, JobId(0)).unwrap();
         // Continue on cloud 0: 1 work + 1 dn = 2 → completes at 4;
@@ -568,26 +889,27 @@ mod tests {
     fn down_units_are_never_placement_targets() {
         use mmsec_platform::Availability;
         let (inst, states) = fixture();
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
         let mut avail = Availability::all_up(1, 2);
         // Job 1 prefers cloud 0 (see `best_startable_picks_earliest_
         // completion`); with cloud 0 down it must fall over to cloud 1,
         // and with the whole cloud down it must run locally.
         avail.cloud_up[0] = false;
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending).with_availability(&avail);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending).with_availability(&avail);
         let round = RoundState::new(&view);
         let opt = round.best_startable(&view, JobId(1)).unwrap();
         assert_eq!(opt.target, Target::Cloud(CloudId(1)));
 
         avail.cloud_up[1] = false;
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending).with_availability(&avail);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending).with_availability(&avail);
         let round = RoundState::new(&view);
         let opt = round.best_startable(&view, JobId(1)).unwrap();
         assert_eq!(opt.target, Target::Edge);
 
         // Everything down: nothing startable at all.
         avail.edge_up[0] = false;
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending).with_availability(&avail);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending).with_availability(&avail);
         let round = RoundState::new(&view);
         assert_eq!(round.best_startable(&view, JobId(1)), None);
     }
@@ -595,7 +917,8 @@ mod tests {
     mod fast_path {
         use super::super::*;
         use mmsec_platform::{
-            Availability, CloudId, EdgeId, Instance, Job, JobState, PendingSet, PlatformSpec,
+            Availability, CloudId, EdgeId, Instance, Job, JobArena, JobState, PendingSet,
+            PlatformSpec,
         };
         use proptest::prelude::*;
 
@@ -657,10 +980,15 @@ mod tests {
                 }
                 avail.edge_up[0] = !down[8];
                 avail.edge_up[1] = !down[9];
+                let arena = JobArena::from_states(&inst, &states);
                 let pending = PendingSet::from_states(&inst, &states);
-                let view = SimView::new(&inst, Time::new(now), &states, &pending)
+                let view = SimView::new(&inst, Time::new(now), &arena, &pending)
                     .with_availability(&avail);
                 let mut round = RoundState::new(&view);
+                // Kept in lockstep with `round`, but claimed through the
+                // cached-option path — `claim_option` must leave the
+                // round in the exact state `claim`'s recompute does.
+                let mut mirror = RoundState::new(&view);
                 let check = |round: &RoundState| -> Result<(), TestCaseError> {
                     for id in view.pending_jobs() {
                         prop_assert_eq!(
@@ -682,8 +1010,17 @@ mod tests {
                     }
                     if let Some(opt) = round.best_startable(&view, id) {
                         round.claim(&view, id, opt.target);
+                        mirror.claim_option(&view, id, &opt);
                         claimed += 1;
                         check(&round)?;
+                        for jid in view.pending_jobs() {
+                            prop_assert_eq!(
+                                round.best_startable(&view, jid),
+                                mirror.best_startable(&view, jid),
+                                "claim_option diverged from claim on job {:?}",
+                                jid
+                            );
+                        }
                     }
                 }
             }
@@ -693,8 +1030,9 @@ mod tests {
     #[test]
     fn stretch_estimate() {
         let (inst, states) = fixture();
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending);
         assert!((stretch_at(&view, JobId(0), Time::new(6.0)) - 1.5).abs() < 1e-12);
     }
 }

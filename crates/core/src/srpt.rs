@@ -7,18 +7,49 @@
 //! another processor when that is how it finishes first — the from-scratch
 //! penalty is part of the completion estimate.
 
-use crate::placing::RoundState;
+use crate::placing::{RoundState, StartOption};
 use mmsec_platform::{DirectiveBuffer, Instance, JobId, OnlineScheduler, SimView};
 use mmsec_sim::Time;
-use std::cmp::Reverse;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
+
+/// One lazy-heap entry: the (completion, id) key the job was filed under,
+/// plus the full [`StartOption`] it came from and the round's claim count
+/// when it was computed. If the count is unchanged at pop time, the cached
+/// option is exact (nothing mutated the round since) and the recompute is
+/// skipped entirely; otherwise it is refreshed as before. Ordering is by
+/// key alone — keys are unique (they embed the id), so `Eq`/`Ord` on the
+/// key is a total order over entries.
+#[derive(Clone, Debug)]
+struct HeapEntry {
+    key: Reverse<(Time, JobId)>,
+    tag: u32,
+    opt: StartOption,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key)
+    }
+}
 
 /// Earliest-estimated-completion-first policy.
 #[derive(Clone, Debug, Default)]
 pub struct Srpt {
     /// Reusable min-heap keyed by (completion, id), kept across events so
     /// the decide hot path reuses its backing allocation.
-    heap: BinaryHeap<Reverse<(Time, JobId)>>,
+    heap: BinaryHeap<HeapEntry>,
     /// Run-long round state, rebuilt in place at each decide; dropped in
     /// `on_start` so a new run (possibly a new platform) starts fresh.
     round: Option<RoundState>,
@@ -60,22 +91,40 @@ impl OnlineScheduler for Srpt {
         self.heap.clear();
         for id in view.pending_jobs() {
             if let Some(opt) = round.best_startable(view, id) {
-                self.heap.push(Reverse((opt.completion, id)));
+                self.heap.push(HeapEntry {
+                    key: Reverse((opt.completion, id)),
+                    tag: round.claim_count(),
+                    opt,
+                });
             }
         }
-        while let Some(Reverse((_, id))) = self.heap.pop() {
-            // Refresh: the cached key may be stale (a lower bound).
-            let Some(opt) = round.best_startable(view, id) else {
-                continue; // can no longer start in this round
+        while let Some(entry) = self.heap.pop() {
+            let Reverse((_, id)) = entry.key;
+            // Refresh unless the claims since the entry was computed
+            // provably left this job's evaluation alone (none at all, or
+            // only edge-confined claims on other edges) — then the cached
+            // option is exactly what the recompute would return.
+            let (opt, tag) = if round.exact_since(entry.tag, view.job(id).origin) {
+                (entry.opt, round.claim_count())
+            } else {
+                let Some(opt) = round.best_startable(view, id) else {
+                    continue; // can no longer start in this round
+                };
+                (opt, round.claim_count())
             };
-            let is_min = self.heap.peek().map_or(true, |Reverse((next, next_id))| {
-                opt.completion < *next || (opt.completion == *next && id < *next_id)
+            let is_min = self.heap.peek().map_or(true, |next| {
+                let Reverse((nc, nid)) = next.key;
+                opt.completion < nc || (opt.completion == nc && id < nid)
             });
             if is_min {
-                round.claim(view, id, opt.target);
+                round.claim_option(view, id, &opt);
                 out.push(id, opt.target);
             } else {
-                self.heap.push(Reverse((opt.completion, id)));
+                self.heap.push(HeapEntry {
+                    key: Reverse((opt.completion, id)),
+                    tag,
+                    opt,
+                });
             }
         }
     }
@@ -164,6 +213,112 @@ mod tests {
             .unwrap();
         assert!(validate(&inst, &out.schedule).is_ok());
         assert!(out.schedule.all_finished());
+    }
+
+    /// Reference SRPT: the identical selection loop, but every popped
+    /// entry is recomputed unconditionally — no claim-count tag, no
+    /// claim-log exemption. The production policy's caching must be
+    /// invisible against it.
+    struct SrptNaive {
+        round: Option<RoundState>,
+    }
+
+    impl OnlineScheduler for SrptNaive {
+        fn name(&self) -> String {
+            "srpt-naive".into()
+        }
+
+        fn on_start(&mut self, _instance: &Instance) {
+            self.round = None;
+        }
+
+        fn decide(&mut self, view: &SimView<'_>, out: &mut DirectiveBuffer) {
+            let round = match self.round.as_mut() {
+                Some(r) => {
+                    r.reset(view);
+                    r
+                }
+                None => self.round.insert(RoundState::new(view)),
+            };
+            let mut heap: BinaryHeap<Reverse<(Time, JobId)>> = BinaryHeap::new();
+            for id in view.pending_jobs() {
+                if let Some(opt) = round.best_startable(view, id) {
+                    heap.push(Reverse((opt.completion, id)));
+                }
+            }
+            while let Some(Reverse((_, id))) = heap.pop() {
+                let Some(opt) = round.best_startable(view, id) else {
+                    continue;
+                };
+                let is_min = heap.peek().map_or(true, |&Reverse((nc, nid))| {
+                    opt.completion < nc || (opt.completion == nc && id < nid)
+                });
+                if is_min {
+                    round.claim(view, id, opt.target);
+                    out.push(id, opt.target);
+                } else {
+                    heap.push(Reverse((opt.completion, id)));
+                }
+            }
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_instance() -> impl Strategy<Value = Instance> {
+            (
+                1usize..4,                                 // edges
+                0usize..4,                                 // clouds
+                proptest::collection::vec(0.2f64..2.5, 3), // cloud speed pool
+                proptest::collection::vec(
+                    (
+                        0.0f64..16.0, // release
+                        0.1f64..6.0,  // work
+                        0.0f64..4.0,  // up
+                        0.0f64..4.0,  // dn
+                        0usize..4,    // origin
+                    ),
+                    1..12,
+                ),
+                proptest::collection::vec(0.1f64..1.2, 1..4), // edge speeds
+            )
+                .prop_map(|(ne, nc, cloud_pool, raw_jobs, speeds)| {
+                    let mut edge_speeds = speeds;
+                    edge_speeds.resize(ne, 0.5);
+                    // Repeating pool entries produce speed classes with
+                    // several members — the scan's sharing path.
+                    let cloud_speeds: Vec<f64> =
+                        (0..nc).map(|k| cloud_pool[k % cloud_pool.len()]).collect();
+                    let spec = PlatformSpec::heterogeneous(edge_speeds, cloud_speeds);
+                    let jobs = raw_jobs
+                        .into_iter()
+                        .map(|(r, w, up, dn, o)| Job::new(EdgeId(o % ne), r, w, up, dn))
+                        .collect();
+                    Instance::new(spec, jobs).expect("generated instance valid")
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// End-to-end schedule equality: the lazy heap with the
+            /// claim-count tag and the claim-log staleness exemption
+            /// versus the recompute-every-pop reference.
+            #[test]
+            fn caching_matches_naive_recompute(inst in arb_instance()) {
+                let fast = Simulation::of(&inst)
+                    .policy(&mut Srpt::new())
+                    .run()
+                    .unwrap();
+                let naive = Simulation::of(&inst)
+                    .policy(&mut SrptNaive { round: None })
+                    .run()
+                    .unwrap();
+                prop_assert_eq!(fast.schedule, naive.schedule);
+            }
+        }
     }
 
     #[test]

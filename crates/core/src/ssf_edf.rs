@@ -118,7 +118,7 @@ impl SsfEdf {
         let mut plan = Vec::with_capacity(jobs.len());
         for (d, id) in jobs {
             let job = view.job(id);
-            let st = &view.jobs[id.0];
+            let st = &view.state(id);
             let target = choose_target(&proj, view, id, spec);
             let completion = proj.place(job, st, target, spec, view.now);
             if !completion.approx_le(d) {
@@ -212,7 +212,7 @@ fn choose_target(
     id: JobId,
     spec: &mmsec_platform::PlatformSpec,
 ) -> Target {
-    let st = &view.jobs[id.0];
+    let st = &view.state(id);
     let job = view.job(id);
     // Time already invested in the committed attempt (what a switch wastes).
     let sunk = match st.committed {
@@ -319,9 +319,15 @@ impl OnlineScheduler for SsfEdf {
             // shrinks by the jobs that completed in between. Newly
             // released jobs cannot appear here — they have no deadline
             // yet, which forces the replan branch above (stale inserts
-            // from a prior rebuild are already in the order).
+            // from a prior rebuild are already in the order). A `None`
+            // deadline means a platform bump voided the plan after the
+            // job was planned — `order` was cleared with it, nothing to
+            // drop.
             for &id in view.delta_removed() {
-                let key = (self.deadlines[id.0].expect("was planned"), id);
+                let Some(d) = self.deadlines[id.0] else {
+                    continue;
+                };
+                let key = (d, id);
                 if let Ok(pos) = self.order.binary_search(&key) {
                     self.order.remove(pos);
                 }
@@ -497,7 +503,7 @@ mod tests {
     #[test]
     fn hysteresis_switches_only_when_gain_exceeds_sunk_progress() {
         use mmsec_platform::projection::Projection;
-        use mmsec_platform::{Instance, Job, JobState, PendingSet, SimView};
+        use mmsec_platform::{Instance, Job, JobArena, JobState, PendingSet, SimView};
         use mmsec_sim::Time;
 
         let spec = PlatformSpec::homogeneous_cloud(vec![0.01], 2);
@@ -518,8 +524,9 @@ mod tests {
         // (projected − sunk) = 7 − 1 = 6 strictly: 6 ≥ 6 → stay.
         {
             let states = vec![state_with_up_done(1.0)];
+            let arena = JobArena::from_states(&inst, &states);
             let pending = PendingSet::from_states(&inst, &states);
-            let view = SimView::new(&inst, Time::new(10.0), &states, &pending);
+            let view = SimView::new(&inst, Time::new(10.0), &arena, &pending);
             let mut proj = Projection::from_view(&view);
             // Occupy cloud 0's CPU for 2 seconds with a phantom booking.
             let phantom = Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0);
@@ -542,8 +549,9 @@ mod tests {
         // projects 15, bar = 14; fresh cloud 1 projects 6 < 14 → switch.
         {
             let states = vec![state_with_up_done(1.0)];
+            let arena = JobArena::from_states(&inst, &states);
             let pending = PendingSet::from_states(&inst, &states);
-            let view = SimView::new(&inst, Time::new(10.0), &states, &pending);
+            let view = SimView::new(&inst, Time::new(10.0), &arena, &pending);
             let mut proj = Projection::from_view(&view);
             let phantom = Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0);
             let fresh = JobState {
@@ -564,8 +572,9 @@ mod tests {
         // Case 3: no progress — free to pick the projected best.
         {
             let states = vec![state_with_up_done(0.0)];
+            let arena = JobArena::from_states(&inst, &states);
             let pending = PendingSet::from_states(&inst, &states);
-            let view = SimView::new(&inst, Time::new(10.0), &states, &pending);
+            let view = SimView::new(&inst, Time::new(10.0), &arena, &pending);
             let mut proj = Projection::from_view(&view);
             let phantom = Job::new(EdgeId(0), 0.0, 3.0, 0.0, 0.0);
             let fresh = JobState {

@@ -4,6 +4,11 @@
 //! must produce a bit-identical [`Schedule`] (and matching discrete
 //! stats) to a reference run with gating disabled and the policies in
 //! fresh-recompute mode ([`PolicyKind::build_reference`]).
+//!
+//! The reference run also uses the reference binary-heap event queue
+//! (`reference_queue: true`) while the optimized run uses the calendar
+//! queue, so every case doubles as a whole-engine differential test of
+//! the two queue implementations.
 
 use mmsec_core::PolicyKind;
 use mmsec_faults::FaultConfig;
@@ -58,8 +63,10 @@ fn assert_equivalent(
     let mut reference = kind.build_reference(policy_seed);
     let gated = EngineOptions::default();
     prop_assert!(gated.decision_gating);
+    prop_assert!(!gated.reference_queue); // optimized side: calendar queue
     let ungated = EngineOptions {
         decision_gating: false,
+        reference_queue: true,
         ..EngineOptions::default()
     };
     let (a, b) = match faults {
@@ -148,6 +155,7 @@ fn gating_skips_events_on_larger_instances_without_changing_schedules() {
             .policy(reference.as_mut())
             .options(EngineOptions {
                 decision_gating: false,
+                reference_queue: true,
                 ..EngineOptions::default()
             })
             .run()

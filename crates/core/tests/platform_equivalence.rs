@@ -21,7 +21,7 @@
 
 use mmsec_core::PolicyKind;
 use mmsec_faults::FaultConfig;
-use mmsec_platform::{EdgeId, Instance, PlatformSpec, Simulation};
+use mmsec_platform::{EdgeId, EngineOptions, Instance, PlatformSpec, Simulation};
 use mmsec_sim::Time;
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 use proptest::prelude::*;
@@ -81,9 +81,16 @@ fn assert_grown_equals_frozen(
             .compile(fault_seed, Time::new(1e5))
     });
 
-    // Batch: the frozen instance, everything known up front.
+    // Batch: the frozen instance, everything known up front — on the
+    // reference binary-heap event queue, so the grown-platform comparison
+    // (calendar queue) also differentially pins the two queue variants.
     let mut batch_policy = kind.build(policy_seed);
-    let mut sim = Simulation::of(&inst).policy(batch_policy.as_mut());
+    let mut sim = Simulation::of(&inst)
+        .policy(batch_policy.as_mut())
+        .options(EngineOptions {
+            reference_queue: true,
+            ..EngineOptions::default()
+        });
     if let Some(plan) = &plan {
         sim = sim.faults(plan);
     }
@@ -152,6 +159,78 @@ proptest! {
     ) {
         for kind in PolicyKind::ALL {
             assert_grown_equals_frozen(&inst, kind, policy_seed, faults)?;
+        }
+    }
+
+    /// A mid-run platform mutation lands at an arbitrary paused instant —
+    /// almost always strictly *inside* a calendar bucket, between two
+    /// rotations — and bumps the decision epoch there. The calendar queue
+    /// must absorb the bump (and the resulting version-mismatch rebuilds
+    /// of every policy's round state) exactly like the reference binary
+    /// heap: schedules stay bit-identical.
+    #[test]
+    fn midrun_mutation_between_rotations_matches_reference_queue(
+        inst in arb_instance(),
+        policy_seed in 0u64..1000,
+        cut in 0.05f64..0.95,
+    ) {
+        let inst = release_sorted(&inst);
+        let horizon = inst
+            .jobs
+            .iter()
+            .map(|j| j.release.seconds())
+            .fold(0.0_f64, f64::max);
+        let empty = Instance::new(inst.spec.clone(), Vec::new()).expect("empty instance");
+        for kind in PolicyKind::ALL {
+            let run = |reference_queue: bool| {
+                let mut policy = kind.build(policy_seed);
+                let mut session = Simulation::of(&empty)
+                    .policy(policy.as_mut())
+                    .options(EngineOptions {
+                        reference_queue,
+                        ..EngineOptions::default()
+                    })
+                    .session();
+                let mut mutated = false;
+                for job in &inst.jobs {
+                    if !mutated && job.release.seconds() > cut * horizon {
+                        // Pause mid-stream (mid-bucket), churn the
+                        // platform, and resume: join units, retune a live
+                        // link, drop the cloud again before any decide
+                        // can commit to it.
+                        let t = Time::new(cut * horizon);
+                        if t > session.now() {
+                            let _ = session.run_until(t).expect("advance to cut");
+                        }
+                        let e = session.add_edge(0.8).expect("join edge");
+                        let k = session.add_cloud(1.7).expect("join cloud");
+                        session.set_link(e, 0.6).expect("retune new link");
+                        session.set_link(EdgeId(0), 0.9).expect("retune live link");
+                        session.remove_cloud(k).expect("leave cloud");
+                        mutated = true;
+                    }
+                    if job.release > session.now() {
+                        let _ = session.run_until(job.release).expect("session advance");
+                    }
+                    session.submit(*job).expect("valid job");
+                }
+                session.drain().expect("drains");
+                session.into_outcome()
+            };
+            let calendar = run(false);
+            let heap = run(true);
+            prop_assert_eq!(
+                &calendar.schedule,
+                &heap.schedule,
+                "{} schedule differs across queues under mid-run mutation",
+                kind
+            );
+            prop_assert_eq!(
+                calendar.stats.restarts,
+                heap.stats.restarts,
+                "{} restarts differ across queues under mid-run mutation",
+                kind
+            );
         }
     }
 

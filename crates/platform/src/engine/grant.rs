@@ -4,7 +4,7 @@
 use crate::activity::{Directive, Phase, Target};
 use crate::job::{Job, JobId};
 use crate::resource::{ResourceId, ResourceMap, ResourcePair};
-use crate::state::JobState;
+use crate::state::JobArena;
 use crate::view::SimView;
 
 /// An activity granted resources until the next event.
@@ -18,17 +18,23 @@ pub struct Activation {
     pub phase: Phase,
     /// Progress rate (volume units per second).
     pub rate: f64,
+    /// Remaining volume of `phase` at grant time. Nothing accrues
+    /// between the grant and the horizon scan, so the scan divides this
+    /// by `rate` instead of re-reading the arena. (`rate` may still be
+    /// scaled by a link factor after the grant, which is why the volume
+    /// is stored rather than a finish time.)
+    pub remaining: f64,
     /// Resources held.
     pub resources: ResourcePair,
 }
 
 /// Remaining volume (time units for communications, work units for
-/// computations) of `phase` for a job in state `st`.
-pub fn remaining_volume(st: &JobState, job: &Job, phase: Phase) -> f64 {
+/// computations) of `phase` for job `i` of the arena.
+pub fn remaining_volume(jobs: &JobArena, i: usize, job: &Job, phase: Phase) -> f64 {
     match phase {
-        Phase::Uplink => st.remaining_up(job),
-        Phase::Compute => st.remaining_work(job),
-        Phase::Downlink => st.remaining_dn(job),
+        Phase::Uplink => jobs.remaining_up(i, job),
+        Phase::Compute => jobs.remaining_work(i, job),
+        Phase::Downlink => jobs.remaining_dn(i, job),
     }
 }
 
@@ -46,18 +52,19 @@ pub fn greedy_allocate(
     out: &mut Vec<Activation>,
 ) {
     let spec = view.spec();
+    let jobs = view.jobs;
     for d in directives {
-        let st = &view.jobs[d.job.0];
-        if skip.get(d.job.0).copied().unwrap_or(false) || !st.active() {
+        let i = d.job.0;
+        if skip.get(i).copied().unwrap_or(false) || !jobs.active(i) {
             continue;
         }
         debug_assert_eq!(
-            st.committed,
+            jobs.committed[i],
             Some(d.target),
             "allocation must follow commitment"
         );
         let job = view.job(d.job);
-        let Some(phase) = st.current_phase(job, d.target) else {
+        let Some(phase) = jobs.current_phase(i, job, d.target) else {
             continue;
         };
         let resources = phase.resources(job, d.target);
@@ -77,6 +84,7 @@ pub fn greedy_allocate(
             target: d.target,
             phase,
             rate: phase.rate(job, d.target, spec),
+            remaining: remaining_volume(jobs, i, job, phase),
             resources,
         });
     }
@@ -93,16 +101,20 @@ pub(super) fn pin_running(
     out: &mut Vec<Activation>,
 ) {
     let spec = view.spec();
-    for (i, st) in view.jobs.iter().enumerate() {
-        let (Some(phase), Some(target)) = (st.running, st.committed) else {
+    let jobs = view.jobs;
+    // Indexed sweep over parallel arena columns; `i` addresses four of
+    // them plus `skip`, so an enumerate over any one column buys nothing.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..jobs.len() {
+        let (Some(phase), Some(target)) = (jobs.running[i], jobs.committed[i]) else {
             continue;
         };
-        if st.finished {
+        if jobs.finished[i] {
             continue;
         }
         let job = view.job(JobId(i));
         // Still the same phase? (A completed phase unpins the job.)
-        if st.current_phase(job, target) != Some(phase) {
+        if jobs.current_phase(i, job, target) != Some(phase) {
             continue;
         }
         let resources = phase.resources(job, target);
@@ -115,6 +127,7 @@ pub(super) fn pin_running(
             target,
             phase,
             rate: phase.rate(job, target, spec),
+            remaining: remaining_volume(jobs, i, job, phase),
             resources,
         });
     }

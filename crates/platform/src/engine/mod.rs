@@ -159,6 +159,12 @@ pub struct EngineOptions {
     /// bit-identical with the gate on or off; disable to measure its
     /// effect or to force every-event decides while debugging a policy.
     pub decision_gating: bool,
+    /// Use the reference binary-heap event queue instead of the calendar
+    /// queue (default false). The two pop in a bit-identical order for any
+    /// push sequence — this switch exists so differential tests (and the
+    /// CI `equivalence` job) can run whole engines against each other, and
+    /// as an escape hatch while profiling the queue itself.
+    pub reference_queue: bool,
 }
 
 impl Default for EngineOptions {
@@ -170,6 +176,7 @@ impl Default for EngineOptions {
             max_events: None,
             record_events: false,
             decision_gating: true,
+            reference_queue: false,
         }
     }
 }

@@ -36,20 +36,20 @@ use crate::job::{Job, JobId};
 use crate::resource::{ResourceId, ResourceMap};
 use crate::schedule::TraceBuilder;
 use crate::spec::{CloudId, EdgeId};
-use crate::state::{JobState, PlatformError, PlatformMutation, PlatformState};
+use crate::state::{JobArena, JobState, PlatformError, PlatformMutation, PlatformState};
 use crate::view::{PendingSet, SimView};
 use std::borrow::Cow;
 use std::time::{Duration, Instant};
 
 use super::events::{
-    self, obs_phase, obs_unit, prime_faults, prime_queue, EngineEvent, RANK_RELEASE,
+    self, obs_phase, obs_unit, prime_faults, prime_queue, EngineEvent, EngineQueue, RANK_RELEASE,
 };
-use super::grant::{self, greedy_allocate, remaining_volume, Activation};
+use super::grant::{self, greedy_allocate, Activation};
 use super::outcome::{EngineError, EventRecord, RunOutcome, RunStats};
 use super::{DecisionCadence, EngineOptions, OnlineScheduler};
 use mmsec_faults::FaultPlan;
 use mmsec_obs::{EnginePhase, Event as ObsEvent, Observer, PhaseProfiler, Unit};
-use mmsec_sim::{EventQueue, Interval, Time};
+use mmsec_sim::{Interval, Time};
 
 /// Evaluates the event expression only when an observer is attached: an
 /// unobserved session pays one branch per emission point and nothing else.
@@ -161,8 +161,11 @@ pub struct Session<'a> {
     epoch: u64,
     decided_epoch: u64,
     unfinished: usize,
-    jobs: Vec<JobState>,
-    queue: EventQueue<EngineEvent>,
+    /// Per-job dynamic state, struct-of-arrays (see [`JobArena`]): the
+    /// hot loops below index individual columns so each sweep touches
+    /// contiguous memory.
+    jobs: JobArena,
+    queue: EngineQueue,
     /// The owned, versioned platform runtime. All platform changes —
     /// permanent mutations ([`Session::add_edge`] and friends) and fault
     /// replay — flow through it; while it stays static the engine takes
@@ -190,6 +193,10 @@ pub struct Session<'a> {
     blocked: ResourceMap<bool>,
     skip: Vec<bool>,
     seen: Vec<u64>,
+    /// Cached `spec.has_unavailability()`, refreshed on platform
+    /// mutations, so the per-event blocking pass skips the window scan
+    /// on the (overwhelmingly common) window-free platforms.
+    has_unavailability: bool,
 
     completions: Vec<CompletionRecord>,
     completed: usize,
@@ -250,7 +257,7 @@ impl<'a> Session<'a> {
         let gating = opts.decision_gating
             && opts.allow_preemption
             && scheduler.cadence() == DecisionCadence::OnEpochChange;
-        let mut queue = prime_queue(&instance);
+        let mut queue = prime_queue(&instance, opts.reference_queue);
         if let Some(plan) = faults {
             prime_faults(&mut queue, plan);
         }
@@ -262,7 +269,9 @@ impl<'a> Session<'a> {
         }
         let now = queue.peek_time().unwrap_or(Time::ZERO);
         let blocked = ResourceMap::new(spec, false);
+        let has_unavailability = spec.has_unavailability();
         let event_log = opts.record_events.then(Vec::new);
+        let jobs = JobArena::fresh(&instance, spec);
 
         scheduler.on_start(&instance);
         let mut session = Session {
@@ -278,7 +287,7 @@ impl<'a> Session<'a> {
             epoch: 1,
             decided_epoch: 0,
             unfinished: n,
-            jobs: vec![JobState::default(); n],
+            jobs,
             queue,
             platform,
             trace: TraceBuilder::new(n),
@@ -294,6 +303,7 @@ impl<'a> Session<'a> {
             blocked,
             skip: vec![false; n],
             seen: vec![0u64; n],
+            has_unavailability,
             completions: Vec::new(),
             completed: 0,
             stretch_sum: 0.0,
@@ -348,7 +358,8 @@ impl<'a> Session<'a> {
         }
         let id = JobId(self.instance.num_jobs());
         self.instance.to_mut().jobs.push(job);
-        self.jobs.push(JobState::default());
+        self.jobs
+            .push(JobState::default(), job.min_time(self.platform.spec()));
         self.skip.push(false);
         self.seen.push(0);
         self.trace.grow(1);
@@ -422,8 +433,8 @@ impl<'a> Session<'a> {
             .instance
             .jobs
             .iter()
-            .zip(&self.jobs)
-            .filter(|(job, st)| job.origin == j && !st.finished)
+            .zip(&self.jobs.finished)
+            .filter(|(job, &finished)| job.origin == j && !finished)
             .count();
         if unfinished > 0 {
             return Err(PlatformError::OriginInUse {
@@ -450,15 +461,16 @@ impl<'a> Session<'a> {
     /// Returns the new platform version.
     pub fn remove_cloud(&mut self, k: CloudId) -> Result<u64, PlatformError> {
         let v = self.platform.remove_cloud(k)?;
-        for (i, st) in self.jobs.iter_mut().enumerate() {
-            if st.finished || st.committed != Some(Target::Cloud(k)) {
+        for i in 0..self.jobs.len() {
+            if self.jobs.finished[i] || self.jobs.committed[i] != Some(Target::Cloud(k)) {
                 continue;
             }
-            let had_progress = st.up_done + st.work_done + st.dn_done > 0.0;
-            st.committed = None;
-            st.running = None;
+            let had_progress =
+                self.jobs.up_done[i] + self.jobs.work_done[i] + self.jobs.dn_done[i] > 0.0;
+            self.jobs.committed[i] = None;
+            self.jobs.running[i] = None;
             if had_progress {
-                st.reset_progress();
+                self.jobs.reset_progress(i);
                 self.stats.restarts += 1;
                 self.trace.abandon(JobId(i));
                 if let Some(o) = self.observer.as_deref_mut() {
@@ -507,7 +519,12 @@ impl<'a> Session<'a> {
     /// mutation is announced to the observer.
     fn platform_changed(&mut self, op: &'static str, unit: Unit) {
         self.epoch += 1;
-        self.blocked = ResourceMap::new(self.platform.spec(), false);
+        self.blocked.reset_for(self.platform.spec(), false);
+        self.has_unavailability = self.platform.spec().has_unavailability();
+        // Speed/membership changes move the stretch denominators; refresh
+        // the arena cache so stretch reads stay coherent with the spec.
+        self.jobs
+            .recompute_min_times(&self.instance, self.platform.spec());
         self.blocked_epoch = None;
         self.paused_at_bound = false;
         // The forced re-decide consumes one event of livelock budget.
@@ -578,12 +595,9 @@ impl<'a> Session<'a> {
                 SessionStatus::Advanced => {}
                 SessionStatus::Done => return Ok(()),
                 SessionStatus::Blocked => {
-                    let pending = self
-                        .jobs
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, s)| !s.finished)
-                        .map(|(i, _)| JobId(i))
+                    let pending = (0..self.jobs.len())
+                        .filter(|&i| !self.jobs.finished[i])
+                        .map(JobId)
                         .collect();
                     return Err(EngineError::Stalled {
                         time: self.now,
@@ -610,7 +624,7 @@ impl<'a> Session<'a> {
             running: self
                 .prev_activations
                 .iter()
-                .filter(|a| !self.jobs[a.job.0].finished)
+                .filter(|a| !self.jobs.finished[a.job.0])
                 .count(),
             max_stretch: self.stretch_max,
             mean_stretch: if self.completed > 0 {
@@ -626,6 +640,14 @@ impl<'a> Session<'a> {
     /// completion order).
     pub fn take_completions(&mut self) -> Vec<CompletionRecord> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Drains the completion records accumulated since the last call,
+    /// keeping the buffer's capacity — unlike
+    /// [`Session::take_completions`], a steady-state consumer loop
+    /// (e.g. `mmsec serve`) never re-allocates the backlog storage.
+    pub fn drain_completions(&mut self) -> impl Iterator<Item = CompletionRecord> + '_ {
+        self.completions.drain(..)
     }
 
     /// Finalizes the session into a batch-style [`RunOutcome`].
@@ -765,7 +787,7 @@ impl<'a> Session<'a> {
                 let seen = &mut self.seen;
                 let n = jobs.len();
                 self.buf.retain(|d| {
-                    let ok = d.job.0 < n && jobs[d.job.0].active() && seen[d.job.0] != stamp;
+                    let ok = d.job.0 < n && jobs.active(d.job.0) && seen[d.job.0] != stamp;
                     if ok {
                         seen[d.job.0] = stamp;
                     }
@@ -812,18 +834,19 @@ impl<'a> Session<'a> {
 
         // 3. Apply commitments / re-executions.
         for d in self.buf.as_mut_slice() {
-            let st = &mut self.jobs[d.job.0];
-            match st.committed {
-                None => st.committed = Some(d.target),
+            let i = d.job.0;
+            match self.jobs.committed[i] {
+                None => self.jobs.committed[i] = Some(d.target),
                 Some(t) if t == d.target => {}
                 Some(t) => {
-                    let has_progress = st.up_done + st.work_done + st.dn_done > 0.0;
-                    let pinned = !self.opts.allow_preemption && st.running.is_some();
+                    let has_progress =
+                        self.jobs.up_done[i] + self.jobs.work_done[i] + self.jobs.dn_done[i] > 0.0;
+                    let pinned = !self.opts.allow_preemption && self.jobs.running[i].is_some();
                     if !has_progress && !pinned {
                         // Nothing executed yet: re-commitment is free.
-                        st.committed = Some(d.target);
+                        self.jobs.committed[i] = Some(d.target);
                     } else if self.opts.allow_reexecution && !pinned {
-                        st.reset_progress();
+                        self.jobs.reset_progress(i);
                         self.stats.restarts += 1;
                         self.trace.abandon(d.job);
                         emit!(
@@ -839,8 +862,7 @@ impl<'a> Session<'a> {
                                 ),
                             }
                         );
-                        let st = &mut self.jobs[d.job.0];
-                        st.committed = Some(d.target);
+                        self.jobs.committed[i] = Some(d.target);
                     } else {
                         // Retarget refused: keep the old commitment. The
                         // engine's buffer now differs from what the
@@ -858,13 +880,15 @@ impl<'a> Session<'a> {
         self.blocked.fill(false);
         {
             let spec = self.platform.spec();
-            for k in spec.clouds() {
-                if spec
-                    .cloud_unavailability(k)
-                    .iter()
-                    .any(|w| w.contains(self.now))
-                {
-                    self.blocked[ResourceId::CloudCpu(k)] = true;
+            if self.has_unavailability {
+                for k in spec.clouds() {
+                    if spec
+                        .cloud_unavailability(k)
+                        .iter()
+                        .any(|w| w.contains(self.now))
+                    {
+                        self.blocked[ResourceId::CloudCpu(k)] = true;
+                    }
                 }
             }
             if let Some(av) = self.platform.overlay() {
@@ -933,10 +957,10 @@ impl<'a> Session<'a> {
         // (fault kills and completions clear theirs inline), so sweep
         // just those instead of every job.
         for act in &self.prev_activations {
-            self.jobs[act.job.0].running = None;
+            self.jobs.running[act.job.0] = None;
         }
         for act in &self.activations {
-            self.jobs[act.job.0].running = Some(act.phase);
+            self.jobs.running[act.job.0] = Some(act.phase);
         }
 
         if let Some(log) = self.event_log.as_mut() {
@@ -952,12 +976,11 @@ impl<'a> Session<'a> {
         }
         mark = self.prof_lap(mark, EnginePhase::Grant);
 
-        // 5. Find the next event horizon.
+        // 5. Find the next event horizon. `act.remaining` was read from
+        //    the arena at grant time and nothing has accrued since.
         let mut t_next = self.queue.peek_time();
         for act in &self.activations {
-            let st = &self.jobs[act.job.0];
-            let job = self.instance.job(act.job);
-            let rem = remaining_volume(st, job, act.phase) / act.rate;
+            let rem = act.remaining / act.rate;
             let fin = self.now + Time::new(rem);
             t_next = Some(t_next.map_or(fin, |t| t.min(fin)));
         }
@@ -983,12 +1006,11 @@ impl<'a> Session<'a> {
         let dt = (t_adv - self.now).seconds();
         if dt > 0.0 {
             for act in &self.activations {
-                let st = &mut self.jobs[act.job.0];
                 let amount = act.rate * dt;
                 match act.phase {
-                    Phase::Uplink => st.up_done += amount,
-                    Phase::Compute => st.work_done += amount,
-                    Phase::Downlink => st.dn_done += amount,
+                    Phase::Uplink => self.jobs.up_done[act.job.0] += amount,
+                    Phase::Compute => self.jobs.work_done[act.job.0] += amount,
+                    Phase::Downlink => self.jobs.dn_done[act.job.0] += amount,
                 }
                 self.trace.record(
                     act.job,
@@ -1020,23 +1042,25 @@ impl<'a> Session<'a> {
         //    strictly before the next completion, so the scan is a no-op
         //    there (kept unconditional to absorb float-boundary cases).
         for act in &self.activations {
-            let st = &mut self.jobs[act.job.0];
-            if st.finished {
+            let i = act.job.0;
+            if self.jobs.finished[i] {
                 continue;
             }
             let job = self.instance.job(act.job);
-            if st.current_phase(job, act.target).is_none() {
-                st.finished = true;
-                st.completion = Some(self.now);
-                st.running = None;
+            if self.jobs.current_phase(i, job, act.target).is_none() {
+                self.jobs.finished[i] = true;
+                self.jobs.completion[i] = Some(self.now);
+                self.jobs.running[i] = None;
                 self.pending.remove(job.release, act.job);
                 self.unfinished -= 1;
                 // A completion shrinks the pending membership: always a
                 // decision-relevant transition.
                 self.epoch += 1;
                 self.trace.complete(act.job, self.now);
-                let stretch =
-                    (self.now - job.release).seconds() / job.min_time(self.platform.spec());
+                // The cached denominator is the same fold the frozen spec
+                // would produce (recomputed on every mutation), so the
+                // stretch is bit-identical to an uncached read.
+                let stretch = (self.now - job.release).seconds() / self.jobs.min_time[i];
                 self.completed += 1;
                 self.stretch_sum += stretch;
                 self.stretch_max = self.stretch_max.max(stretch);
@@ -1089,7 +1113,7 @@ impl<'a> Session<'a> {
             let mut bump = events::rank_is_decision_relevant(rank);
             match ev {
                 EngineEvent::Release(id) => {
-                    self.jobs[id.0].released = true;
+                    self.jobs.released[id.0] = true;
                     self.pending.insert(self.instance.job(id).release, id);
                     emit!(
                         self,
@@ -1114,18 +1138,20 @@ impl<'a> Session<'a> {
                     // wiped and re-released (paper restart semantics).
                     // Cloud-committed jobs of this origin merely pause —
                     // their ports are blocked while the edge is down.
-                    for (i, st) in self.jobs.iter_mut().enumerate() {
-                        if st.finished
+                    for i in 0..self.jobs.len() {
+                        if self.jobs.finished[i]
                             || self.instance.job(JobId(i)).origin != j
-                            || st.committed != Some(Target::Edge)
+                            || self.jobs.committed[i] != Some(Target::Edge)
                         {
                             continue;
                         }
-                        let had_progress = st.up_done + st.work_done + st.dn_done > 0.0;
-                        st.committed = None;
-                        st.running = None;
+                        let had_progress =
+                            self.jobs.up_done[i] + self.jobs.work_done[i] + self.jobs.dn_done[i]
+                                > 0.0;
+                        self.jobs.committed[i] = None;
+                        self.jobs.running[i] = None;
                         if had_progress {
-                            st.reset_progress();
+                            self.jobs.reset_progress(i);
                             self.stats.restarts += 1;
                             self.trace.abandon(JobId(i));
                             if let Some(o) = self.observer.as_deref_mut() {
@@ -1157,15 +1183,18 @@ impl<'a> Session<'a> {
                             unit: Unit::Cloud(k.0),
                         }
                     );
-                    for (i, st) in self.jobs.iter_mut().enumerate() {
-                        if st.finished || st.committed != Some(Target::Cloud(k)) {
+                    for i in 0..self.jobs.len() {
+                        if self.jobs.finished[i] || self.jobs.committed[i] != Some(Target::Cloud(k))
+                        {
                             continue;
                         }
-                        let had_progress = st.up_done + st.work_done + st.dn_done > 0.0;
-                        st.committed = None;
-                        st.running = None;
+                        let had_progress =
+                            self.jobs.up_done[i] + self.jobs.work_done[i] + self.jobs.dn_done[i]
+                                > 0.0;
+                        self.jobs.committed[i] = None;
+                        self.jobs.running[i] = None;
                         if had_progress {
-                            st.reset_progress();
+                            self.jobs.reset_progress(i);
                             self.stats.restarts += 1;
                             self.trace.abandon(JobId(i));
                             if let Some(o) = self.observer.as_deref_mut() {

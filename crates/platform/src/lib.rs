@@ -57,7 +57,7 @@ pub use mmsec_obs::{Observer, ObserverHandle};
 pub use render::{gantt, GanttOptions};
 pub use schedule::Schedule;
 pub use spec::{CloudId, EdgeId, PlatformSpec};
-pub use state::{JobState, PlatformError, PlatformMutation, PlatformState};
+pub use state::{JobArena, JobState, PlatformError, PlatformMutation, PlatformState};
 pub use stats::{schedule_stats, ScheduleStats};
 pub use validate::{validate, validate_with, ValidateOptions, Violation};
 pub use view::{Availability, PendingSet, SimView};

@@ -51,6 +51,17 @@ pub struct Projection {
     /// Platform version the profiles were sized for (0 when built from a
     /// bare spec). [`Projection::reset_for`] rebuilds on mismatch.
     version: u64,
+    /// Resources whose profile moved since the last reset (duplicates
+    /// allowed). A reset only rewrites these entries: every profile read
+    /// goes through [`Projection::forecast`], which clamps with
+    /// `.max(now)`, so an untouched entry left at an *earlier* reset
+    /// instant is indistinguishable from one rewritten to `now`.
+    moved: Vec<ResourceId>,
+    /// Latest reset instant. A reset that moves *backwards* in time
+    /// (never the case inside a run, where `now` is monotone) falls back
+    /// to the full fill, because stale untouched entries would then
+    /// exceed `now` and survive the `.max(now)` clamp.
+    floor: Time,
 }
 
 impl Projection {
@@ -59,6 +70,8 @@ impl Projection {
         Projection {
             free: ResourceMap::new(spec, now),
             version: 0,
+            moved: Vec::new(),
+            floor: now,
         }
     }
 
@@ -68,13 +81,24 @@ impl Projection {
         Projection {
             free: ResourceMap::new(view.spec(), view.now),
             version: view.platform_version(),
+            moved: Vec::new(),
+            floor: view.now,
         }
     }
 
     /// Re-frees every resource from `now` on, reusing the allocation:
     /// equivalent to building a fresh projection for the same platform.
+    /// O(placements since the last reset), not O(resources).
     pub fn reset(&mut self, now: Time) {
-        self.free.fill(now);
+        if now >= self.floor {
+            for r in self.moved.drain(..) {
+                self.free[r] = now;
+            }
+        } else {
+            self.moved.clear();
+            self.free.fill(now);
+        }
+        self.floor = now;
     }
 
     /// Version-aware [`Projection::reset`] for run-long holders: when the
@@ -85,7 +109,7 @@ impl Projection {
         if self.version != view.platform_version() {
             *self = Projection::from_view(view);
         } else {
-            self.free.fill(view.now);
+            self.reset(view.now);
         }
     }
 
@@ -113,23 +137,37 @@ impl Projection {
         now: Time,
     ) -> Time {
         let f = self.forecast(job, st, target, spec, now);
+        self.place_forecast(job, &f, target);
+        f.completion
+    }
+
+    /// Applies an already-computed forecast's reservations. Callers that
+    /// just obtained `f` from [`Projection::forecast`] on this projection
+    /// (with no intervening mutation) get exactly the writes
+    /// [`Projection::place`] would perform, without forecasting twice.
+    pub fn place_forecast(&mut self, job: &Job, f: &Forecast, target: Target) {
         match target {
             Target::Edge => {
                 self.free[ResourceId::EdgeCpu(job.origin)] = f.exec_end;
+                self.moved.push(ResourceId::EdgeCpu(job.origin));
             }
             Target::Cloud(k) => {
                 if f.has_up {
                     self.free[ResourceId::EdgeOut(job.origin)] = f.up_end;
                     self.free[ResourceId::CloudIn(k)] = f.up_end;
+                    self.moved.push(ResourceId::EdgeOut(job.origin));
+                    self.moved.push(ResourceId::CloudIn(k));
                 }
                 self.free[ResourceId::CloudCpu(k)] = f.exec_end;
+                self.moved.push(ResourceId::CloudCpu(k));
                 if f.has_dn {
                     self.free[ResourceId::CloudOut(k)] = f.completion;
                     self.free[ResourceId::EdgeIn(job.origin)] = f.completion;
+                    self.moved.push(ResourceId::CloudOut(k));
+                    self.moved.push(ResourceId::EdgeIn(job.origin));
                 }
             }
         }
-        f.completion
     }
 
     /// Picks the target (edge or any cloud processor) with the earliest
@@ -156,7 +194,11 @@ impl Projection {
         best
     }
 
-    fn forecast(
+    /// Raw forecast of one placement: the phase-end instants and which
+    /// communication phases exist. Exposed so decision rounds can reuse
+    /// the winning candidate's forecast at claim time instead of
+    /// recomputing it.
+    pub fn forecast(
         &self,
         job: &Job,
         st: &JobState,
@@ -210,12 +252,63 @@ impl Projection {
     }
 }
 
-struct Forecast {
-    up_end: Time,
-    exec_end: Time,
-    completion: Time,
-    has_up: bool,
-    has_dn: bool,
+/// Phase-end instants of one forecast placement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Forecast {
+    /// End of the uplink phase (equals its start when there is no uplink).
+    pub up_end: Time,
+    /// End of the compute phase.
+    pub exec_end: Time,
+    /// End of the last phase: the forecast completion time.
+    pub completion: Time,
+    /// Whether an uplink phase exists (reserves the uplink ports).
+    pub has_up: bool,
+    /// Whether a downlink phase exists (reserves the downlink ports).
+    pub has_dn: bool,
+}
+
+impl Forecast {
+    /// Closed-form forecast against a *pristine* projection — one whose
+    /// every profile still equals `now` (freshly reset, nothing placed).
+    /// Performs the exact floating-point operation sequence of
+    /// [`Projection::forecast`] specialized to `free[r] == now`, so the
+    /// result is bit-identical (pinned by the `pristine_matches_forecast`
+    /// proptest below); it just skips the profile loads. `speed` is the
+    /// target CPU's speed; `(up, work, dn)` are the remaining volumes.
+    pub fn pristine(target: Target, up: f64, work: f64, dn: f64, speed: f64, now: Time) -> Self {
+        match target {
+            Target::Edge => {
+                // start = free.max(now) == now; end = start + work/speed.
+                let end = now + Time::new(work / speed);
+                Forecast {
+                    up_end: now,
+                    exec_end: end,
+                    completion: end,
+                    has_up: false,
+                    has_dn: false,
+                }
+            }
+            Target::Cloud(_) => {
+                let has_up = up > 0.0;
+                // up_start = max(now, now, now) == now either way.
+                let up_end = now + Time::new(up);
+                // exec_start = up_end.max(now).max(now): adding the
+                // non-negative `up` to `now` can only round upward, so
+                // up_end >= now and the maxes return up_end bitwise.
+                let exec_end = up_end + Time::new(work / speed);
+                let has_dn = dn > 0.0;
+                // dn_start = exec_end.max(now).max(now) == exec_end.
+                let completion = exec_end + Time::new(dn);
+                Forecast {
+                    up_end,
+                    exec_end,
+                    completion,
+                    has_up,
+                    has_dn,
+                }
+            }
+        }
+    }
 }
 
 /// Forecast completion times for `order` (a priority-ordered list of
@@ -226,13 +319,8 @@ pub fn project_sequence(view: &SimView<'_>, order: &[(JobId, Target)]) -> Vec<(J
     order
         .iter()
         .map(|&(id, target)| {
-            let c = proj.place(
-                view.job(id),
-                &view.jobs[id.0],
-                target,
-                view.spec(),
-                view.now,
-            );
+            let st = view.state(id);
+            let c = proj.place(view.job(id), &st, target, view.spec(), view.now);
             (id, c)
         })
         .collect()
@@ -243,6 +331,7 @@ mod tests {
     use super::*;
     use crate::instance::Instance;
     use crate::spec::{CloudId, EdgeId};
+    use crate::state::JobArena;
     use crate::view::PendingSet;
 
     fn view_fixture(jobs: Vec<Job>) -> (Instance, Vec<JobState>) {
@@ -258,8 +347,9 @@ mod tests {
     #[test]
     fn single_job_forecasts() {
         let (inst, states) = view_fixture(vec![Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0)]);
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending);
         let proj = Projection::from_view(&view);
         let job = inst.job(JobId(0));
         // Edge: 2 / 0.5 = 4. Cloud: 1 + 2 + 1 = 4.
@@ -289,8 +379,9 @@ mod tests {
             Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0),
             Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0),
         ]);
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending);
         let mut proj = Projection::from_view(&view);
         let spec = view.spec();
         let c0 = proj.place(
@@ -332,8 +423,9 @@ mod tests {
         let (inst, mut states) = view_fixture(vec![Job::new(EdgeId(0), 0.0, 4.0, 2.0, 2.0)]);
         states[0].committed = Some(Target::Cloud(CloudId(0)));
         states[0].up_done = 1.5;
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::new(10.0), &states, &pending);
+        let view = SimView::new(&inst, Time::new(10.0), &arena, &pending);
         let proj = Projection::from_view(&view);
         let job = inst.job(JobId(0));
         // Same cloud: 0.5 up + 4 work + 2 dn = 6.5 after now.
@@ -366,8 +458,9 @@ mod tests {
             Job::new(EdgeId(0), 0.0, 2.0, 5.0, 0.0), // holds EdgeOut for 5
             Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0), // no uplink at all
         ]);
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending);
         let mut proj = Projection::from_view(&view);
         proj.place(
             inst.job(JobId(0)),
@@ -396,14 +489,68 @@ mod tests {
         assert_eq!(c2, Time::new(2.0));
     }
 
+    mod pristine {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// [`Forecast::pristine`] must be bit-identical to
+            /// [`Projection::forecast`] on a freshly reset projection,
+            /// across zero and positive communication volumes, committed
+            /// and fresh placements, and both target kinds.
+            #[test]
+            fn pristine_matches_forecast(
+                work in 0.0f64..50.0,
+                up in prop_oneof![Just(0.0f64), 1e-12f64..20.0],
+                dn in prop_oneof![Just(0.0f64), 1e-12f64..20.0],
+                done in proptest::collection::vec(0.0f64..1.0, 3),
+                committed in 0usize..4,
+                target_pick in 0usize..3,
+                now in 0.0f64..1e6,
+            ) {
+                let spec = PlatformSpec::homogeneous_cloud(vec![0.7], 2);
+                let job = Job::new(EdgeId(0), 0.0, work, up, dn);
+                let mut st = JobState {
+                    released: true,
+                    up_done: done[0] * up,
+                    work_done: done[1] * work,
+                    dn_done: done[2] * dn,
+                    ..JobState::default()
+                };
+                st.committed = match committed {
+                    0 => None,
+                    1 => Some(Target::Edge),
+                    c => Some(Target::Cloud(CloudId(c - 2))),
+                };
+                let target = match target_pick {
+                    0 => Target::Edge,
+                    t => Target::Cloud(CloudId(t - 1)),
+                };
+                let now = Time::new(now);
+                let proj = Projection::new(&spec, now);
+                let reference = proj.forecast(&job, &st, target, &spec, now);
+                let (u, w, d) = volumes(&st, &job, target);
+                let speed = match target {
+                    Target::Edge => spec.edge_speed(job.origin),
+                    Target::Cloud(k) => spec.cloud_speed(k),
+                };
+                let fast = Forecast::pristine(target, u, w, d, speed, now);
+                prop_assert_eq!(fast, reference);
+            }
+        }
+    }
+
     #[test]
     fn project_sequence_orders_matter() {
         let (inst, states) = view_fixture(vec![
             Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
             Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
         ]);
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending);
         // Both on the edge CPU, short first.
         let completions =
             project_sequence(&view, &[(JobId(0), Target::Edge), (JobId(1), Target::Edge)]);

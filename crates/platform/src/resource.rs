@@ -140,6 +140,16 @@ impl<T: Clone> ResourceMap<T> {
     pub fn fill(&mut self, value: T) {
         self.data.fill(value);
     }
+
+    /// Re-keys the map to `spec` and resets every entry to `value`,
+    /// reusing the existing storage (a platform mutation resizes the
+    /// resource space; the backing vector only grows when the new spec
+    /// needs more slots than any seen before).
+    pub fn reset_for(&mut self, spec: &PlatformSpec, value: T) {
+        self.index = ResourceIndex::new(spec);
+        self.data.clear();
+        self.data.resize(self.index.count(), value);
+    }
 }
 
 impl<T> ResourceMap<T> {

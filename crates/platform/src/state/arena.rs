@@ -1,0 +1,306 @@
+//! Struct-of-arrays storage for per-job dynamic state.
+//!
+//! The engine's hot loops — the decide-time pending scan, the grant walk,
+//! and the progress-accrual sweep — each touch one or two fields of *many*
+//! jobs, not many fields of one job. [`JobArena`] therefore stores each
+//! [`JobState`] field in its own dense [`Vec`] indexed by raw
+//! [`JobId`](crate::JobId) value, so a sweep over `running` or `finished`
+//! walks contiguous memory instead of striding over 80-byte structs.
+//!
+//! The arena also caches the *stretch denominator* `min(tᵉᵢ, tᶜᵢ)` of
+//! every job ([`JobArena::min_time`]), an `O(num_clouds)` fold over cloud
+//! speeds that the stretch/deadline helpers would otherwise recompute on
+//! every query. The cache is keyed to the platform spec the owning engine
+//! currently reports: the engine recomputes it whenever a committed
+//! platform mutation changes speeds or membership
+//! ([`JobArena::recompute_min_times`]), so reads are always coherent with
+//! [`SimView::spec`](crate::SimView::spec) — and bit-identical to an
+//! uncached recomputation, since the cached value is produced by the very
+//! same fold.
+//!
+//! [`JobState`] remains the one-job AoS snapshot type (tests, traces, and
+//! tools keep building and matching on plain structs); [`JobArena`]
+//! converts losslessly in both directions.
+
+use super::JobState;
+use crate::activity::{Phase, Target};
+use crate::instance::Instance;
+use crate::job::Job;
+use crate::spec::PlatformSpec;
+use mmsec_sim::time::approx;
+use mmsec_sim::Time;
+
+/// Dense struct-of-arrays job state, indexed by raw job id.
+///
+/// Every column has the same length; [`JobArena::push`] grows them in
+/// lock-step. Columns are public for direct indexed access on hot paths
+/// (mirroring the public fields of [`JobState`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobArena {
+    /// The job has been released (`now ≥ r_i`).
+    pub released: Vec<bool>,
+    /// The job has fully completed (result delivered at the origin).
+    pub finished: Vec<bool>,
+    /// Completion time `C_i`, once finished.
+    pub completion: Vec<Option<Time>>,
+    /// Resource the job is committed to (None before any placement).
+    pub committed: Vec<Option<Target>>,
+    /// Uplink time already transferred (time units).
+    pub up_done: Vec<f64>,
+    /// Work already computed (work units).
+    pub work_done: Vec<f64>,
+    /// Downlink time already transferred (time units).
+    pub dn_done: Vec<f64>,
+    /// Phase currently running, if the job holds resources right now.
+    pub running: Vec<Option<Phase>>,
+    /// Number of re-executions from scratch this job has suffered.
+    pub restarts: Vec<u32>,
+    /// Cached stretch denominator `min(tᵉᵢ, tᶜᵢ)` under the spec the
+    /// owning engine currently reports (see the module docs).
+    pub min_time: Vec<f64>,
+}
+
+impl JobArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        JobArena::default()
+    }
+
+    /// Fresh (default) state for every job of `instance`, with the
+    /// min-time cache computed under `spec`.
+    pub fn fresh(instance: &Instance, spec: &PlatformSpec) -> Self {
+        let mut arena = JobArena::new();
+        for (_, job) in instance.iter_jobs() {
+            arena.push(JobState::default(), job.min_time(spec));
+        }
+        arena
+    }
+
+    /// Builds an arena from per-job snapshot structs, computing the
+    /// min-time cache from the instance's frozen spec — the convenience
+    /// constructor for ad-hoc views in tests and tools.
+    pub fn from_states(instance: &Instance, states: &[JobState]) -> Self {
+        assert_eq!(states.len(), instance.num_jobs(), "one state per job");
+        let mut arena = JobArena::new();
+        for (st, (_, job)) in states.iter().zip(instance.iter_jobs()) {
+            arena.push(st.clone(), job.min_time(&instance.spec));
+        }
+        arena
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.released.len()
+    }
+
+    /// True when the arena holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.released.is_empty()
+    }
+
+    /// Appends one job's state (all columns in lock-step); `min_time` is
+    /// its stretch denominator under the current spec.
+    pub fn push(&mut self, st: JobState, min_time: f64) {
+        self.released.push(st.released);
+        self.finished.push(st.finished);
+        self.completion.push(st.completion);
+        self.committed.push(st.committed);
+        self.up_done.push(st.up_done);
+        self.work_done.push(st.work_done);
+        self.dn_done.push(st.dn_done);
+        self.running.push(st.running);
+        self.restarts.push(st.restarts);
+        self.min_time.push(min_time);
+    }
+
+    /// One job's state gathered back into the AoS snapshot struct.
+    pub fn snapshot(&self, i: usize) -> JobState {
+        JobState {
+            released: self.released[i],
+            finished: self.finished[i],
+            completion: self.completion[i],
+            committed: self.committed[i],
+            up_done: self.up_done[i],
+            work_done: self.work_done[i],
+            dn_done: self.dn_done[i],
+            running: self.running[i],
+            restarts: self.restarts[i],
+        }
+    }
+
+    /// Recomputes the min-time cache for every job under `spec`. Called by
+    /// the engine after each committed platform mutation (speed changes
+    /// and unit membership both move the denominators).
+    pub fn recompute_min_times(&mut self, instance: &Instance, spec: &PlatformSpec) {
+        for (id, job) in instance.iter_jobs() {
+            self.min_time[id.0] = job.min_time(spec);
+        }
+    }
+
+    /// True when job `i` has been released but not finished.
+    #[inline]
+    pub fn active(&self, i: usize) -> bool {
+        self.released[i] && !self.finished[i]
+    }
+
+    /// Wipes job `i`'s progress (re-execution from scratch).
+    pub fn reset_progress(&mut self, i: usize) {
+        self.up_done[i] = 0.0;
+        self.work_done[i] = 0.0;
+        self.dn_done[i] = 0.0;
+        self.restarts[i] += 1;
+    }
+
+    /// Remaining uplink time for job `i` if continuing on a cloud target.
+    #[inline]
+    pub fn remaining_up(&self, i: usize, job: &Job) -> f64 {
+        (job.up - self.up_done[i]).max(0.0)
+    }
+
+    /// Remaining work (in work units) for job `i`.
+    #[inline]
+    pub fn remaining_work(&self, i: usize, job: &Job) -> f64 {
+        (job.work - self.work_done[i]).max(0.0)
+    }
+
+    /// Remaining downlink time for job `i`.
+    #[inline]
+    pub fn remaining_dn(&self, i: usize, job: &Job) -> f64 {
+        (job.dn - self.dn_done[i]).max(0.0)
+    }
+
+    /// The phase job `i` would run next if (re)activated on `target` (see
+    /// [`JobState::current_phase`] for the progress-validity caveat).
+    #[inline]
+    pub fn current_phase(&self, i: usize, job: &Job, target: Target) -> Option<Phase> {
+        match target {
+            Target::Edge => {
+                if approx::positive(self.remaining_work(i, job)) {
+                    Some(Phase::Compute)
+                } else {
+                    None
+                }
+            }
+            Target::Cloud(_) => {
+                if approx::positive(self.remaining_up(i, job)) {
+                    Some(Phase::Uplink)
+                } else if approx::positive(self.remaining_work(i, job)) {
+                    Some(Phase::Compute)
+                } else if approx::positive(self.remaining_dn(i, job)) {
+                    Some(Phase::Downlink)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Contention-free remaining duration if job `i` continues on `target`
+    /// (same-commitment progress).
+    #[inline]
+    pub fn remaining_time_on(
+        &self,
+        i: usize,
+        job: &Job,
+        target: Target,
+        spec: &PlatformSpec,
+    ) -> f64 {
+        match target {
+            Target::Edge => self.remaining_work(i, job) / spec.edge_speed(job.origin),
+            Target::Cloud(k) => {
+                self.remaining_up(i, job)
+                    + self.remaining_work(i, job) / spec.cloud_speed(k)
+                    + self.remaining_dn(i, job)
+            }
+        }
+    }
+
+    /// Contention-free remaining duration of job `i` on `target`,
+    /// accounting for a from-scratch reset when `target` differs from the
+    /// committed one.
+    #[inline]
+    pub fn duration_if_placed(
+        &self,
+        i: usize,
+        job: &Job,
+        target: Target,
+        spec: &PlatformSpec,
+    ) -> f64 {
+        match self.committed[i] {
+            Some(t) if t == target => self.remaining_time_on(i, job, target, spec),
+            _ => JobState::fresh_time_on(job, target, spec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use crate::spec::{CloudId, EdgeId};
+
+    fn fixture() -> Instance {
+        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
+        let job = Job::new(EdgeId(0), 1.0, 4.0, 2.0, 1.0);
+        Instance::new(spec, vec![job]).unwrap()
+    }
+
+    #[test]
+    fn round_trips_job_state() {
+        let inst = fixture();
+        let st = JobState {
+            released: true,
+            up_done: 1.5,
+            committed: Some(Target::Cloud(CloudId(0))),
+            restarts: 2,
+            ..JobState::default()
+        };
+        let arena = JobArena::from_states(&inst, std::slice::from_ref(&st));
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.snapshot(0), st);
+        // min_time = min(4/0.5, 2+4+1) = 7 under the frozen spec.
+        assert!((arena.min_time[0] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn columns_grow_in_lock_step_and_agree_with_job_state() {
+        let inst = fixture();
+        let job = inst.job(JobId(0));
+        let mut arena = JobArena::fresh(&inst, &inst.spec);
+        assert!(!arena.active(0));
+        arena.released[0] = true;
+        assert!(arena.active(0));
+        arena.up_done[0] = 2.0;
+        let tgt = Target::Cloud(CloudId(0));
+        assert_eq!(arena.current_phase(0, job, tgt), Some(Phase::Compute));
+        assert_eq!(
+            arena.current_phase(0, job, tgt),
+            arena.snapshot(0).current_phase(job, tgt)
+        );
+        assert_eq!(
+            arena.remaining_time_on(0, job, tgt, &inst.spec),
+            arena.snapshot(0).remaining_time_on(job, tgt, &inst.spec)
+        );
+        arena.committed[0] = Some(tgt);
+        assert_eq!(
+            arena.duration_if_placed(0, job, Target::Edge, &inst.spec),
+            arena
+                .snapshot(0)
+                .duration_if_placed(job, Target::Edge, &inst.spec)
+        );
+        arena.reset_progress(0);
+        assert_eq!(arena.up_done[0], 0.0);
+        assert_eq!(arena.restarts[0], 1);
+    }
+
+    #[test]
+    fn recompute_min_times_tracks_the_spec() {
+        let inst = fixture();
+        let mut arena = JobArena::fresh(&inst, &inst.spec);
+        assert!((arena.min_time[0] - 7.0).abs() < 1e-12);
+        // A faster platform shrinks the denominator.
+        let faster = PlatformSpec::homogeneous_cloud(vec![1.0], 2);
+        arena.recompute_min_times(&inst, &faster);
+        assert!((arena.min_time[0] - 4.0).abs() < 1e-12);
+    }
+}

@@ -4,8 +4,10 @@
 //! The read-only view handed to schedulers ([`crate::view::SimView`]) and
 //! the incrementally maintained pending set live in [`crate::view`].
 
+pub mod arena;
 pub mod platform;
 
+pub use arena::JobArena;
 pub use platform::{PlatformError, PlatformMutation, PlatformState};
 
 use crate::activity::{Phase, Target};

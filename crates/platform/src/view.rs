@@ -17,7 +17,7 @@ use crate::activity::Target;
 use crate::instance::Instance;
 use crate::job::{Job, JobId};
 use crate::spec::{CloudId, EdgeId, PlatformSpec};
-use crate::state::{JobState, PlatformState};
+use crate::state::{JobArena, JobState, PlatformState};
 use mmsec_sim::Time;
 
 /// Instantaneous unit/link availability under fault injection.
@@ -105,6 +105,17 @@ impl PendingSet {
         set
     }
 
+    /// Like [`PendingSet::from_states`], scanning a [`JobArena`].
+    pub fn from_arena(instance: &Instance, jobs: &JobArena) -> Self {
+        let mut set = PendingSet::new();
+        for i in 0..jobs.len() {
+            if jobs.active(i) {
+                set.insert(instance.job(JobId(i)).release, JobId(i));
+            }
+        }
+        set
+    }
+
     /// Inserts a job (keyed by its release date). No-op if already present.
     pub fn insert(&mut self, release: Time, id: JobId) {
         let key = (release, id);
@@ -176,8 +187,8 @@ pub struct SimView<'a> {
     instance: &'a Instance,
     /// Current virtual time.
     pub now: Time,
-    /// Per-job dynamic state, indexed by [`JobId`].
-    pub jobs: &'a [JobState],
+    /// Per-job dynamic state (struct-of-arrays), indexed by [`JobId`].
+    pub jobs: &'a JobArena,
     /// Released, unfinished jobs (incrementally maintained by the engine).
     pub pending: &'a PendingSet,
     /// Current unit/link availability (membership tombstones composed
@@ -197,7 +208,7 @@ impl<'a> SimView<'a> {
     pub fn new(
         instance: &'a Instance,
         now: Time,
-        jobs: &'a [JobState],
+        jobs: &'a JobArena,
         pending: &'a PendingSet,
     ) -> Self {
         SimView {
@@ -308,9 +319,11 @@ impl<'a> SimView<'a> {
         self.instance.job(id)
     }
 
-    /// The dynamic state of job `id`.
-    pub fn state(&self, id: JobId) -> &'a JobState {
-        &self.jobs[id.0]
+    /// The dynamic state of job `id`, gathered into an AoS snapshot.
+    /// Convenient off the hot path; hot loops should index the
+    /// [`JobArena`] columns directly instead.
+    pub fn state(&self, id: JobId) -> JobState {
+        self.jobs.snapshot(id.0)
     }
 
     /// Jobs that are released and unfinished, in `(release, id)` order
@@ -327,29 +340,29 @@ impl<'a> SimView<'a> {
 
     /// Stretch job `id` would incur if it completed at time `c`.
     pub fn stretch_if_completed_at(&self, id: JobId, c: Time) -> f64 {
-        let job = self.job(id);
-        (c - job.release).seconds() / job.min_time(self.spec())
+        (c - self.job(id).release).seconds() / self.jobs.min_time[id.0]
     }
 
     /// Best dedicated-platform time `min(t^e_i, t^c_i)` of job `id` — the
-    /// stretch denominator.
+    /// stretch denominator (read from the arena cache, which the engine
+    /// keeps coherent with [`SimView::spec`]).
     pub fn min_time(&self, id: JobId) -> f64 {
-        self.job(id).min_time(self.spec())
+        self.jobs.min_time[id.0]
     }
 
     /// Deadline of job `id` under target stretch `s`:
     /// `d_i = r_i + s · min(t^e_i, t^c_i)` (paper §V-D).
     pub fn deadline_under_stretch(&self, id: JobId, s: f64) -> Time {
         let job = self.job(id);
-        job.release + Time::new(s * job.min_time(self.spec()))
+        job.release + Time::new(s * self.jobs.min_time[id.0])
     }
 
     /// Contention-free remaining duration of job `id` on `target`,
     /// accounting for the from-scratch reset when `target` differs from
     /// the committed one.
     pub fn duration_if_placed(&self, id: JobId, target: Target) -> f64 {
-        self.state(id)
-            .duration_if_placed(self.job(id), target, self.spec())
+        self.jobs
+            .duration_if_placed(id.0, self.job(id), target, self.spec())
     }
 
     /// Smallest contention-free remaining duration of job `id` over every
@@ -368,14 +381,14 @@ impl<'a> SimView<'a> {
     pub fn forced_stretch(&self, id: JobId) -> f64 {
         let job = self.job(id);
         (self.now + Time::new(self.best_duration(id)) - job.release).seconds()
-            / job.min_time(self.spec())
+            / self.jobs.min_time[id.0]
     }
 
     /// Remaining local processing time of job `id` on its origin edge unit
     /// (seconds), assuming same-commitment progress.
     pub fn remaining_on_edge(&self, id: JobId) -> f64 {
         let job = self.job(id);
-        self.state(id).remaining_work(job) / self.spec().edge_speed(job.origin)
+        self.jobs.remaining_work(id.0, job) / self.spec().edge_speed(job.origin)
     }
 }
 
@@ -451,17 +464,18 @@ mod tests {
     #[test]
     fn view_exposes_epoch_and_delta() {
         let (inst, states) = fixture();
+        let arena = JobArena::from_states(&inst, &states);
         let mut pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending);
         assert_eq!(view.decision_epoch(), 0);
         {
-            let view = SimView::new(&inst, Time::ZERO, &states, &pending).with_epoch(17);
+            let view = SimView::new(&inst, Time::ZERO, &arena, &pending).with_epoch(17);
             assert_eq!(view.decision_epoch(), 17);
             assert_eq!(view.delta_inserted(), &[JobId(0)]);
             assert!(view.delta_removed().is_empty());
         }
         pending.clear_delta();
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending);
         assert!(view.delta_inserted().is_empty());
     }
 
@@ -482,13 +496,17 @@ mod tests {
         let set = PendingSet::from_states(&inst, &states);
         // Release order: job 1 (r=1) before job 0 (r=3).
         assert_eq!(set.iter().collect::<Vec<_>>(), vec![JobId(1), JobId(0)]);
+        // The arena scan agrees with the snapshot scan.
+        let arena = JobArena::from_states(&inst, &states);
+        assert_eq!(PendingSet::from_arena(&inst, &arena), set);
     }
 
     #[test]
     fn view_helpers() {
         let (inst, states) = fixture();
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::new(2.0), &states, &pending);
+        let view = SimView::new(&inst, Time::new(2.0), &arena, &pending);
         assert_eq!(view.num_pending(), 1);
         assert_eq!(view.pending_jobs().collect::<Vec<_>>(), vec![JobId(0)]);
         // min_time = min(8, 7) = 7; completed at 8 → stretch (8-1)/7 = 1.
@@ -501,8 +519,9 @@ mod tests {
     #[test]
     fn availability_accessors_default_to_up() {
         let (inst, states) = fixture();
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending);
         assert!(view.edge_available(EdgeId(0)));
         assert!(view.cloud_available(CloudId(1)));
         assert_eq!(view.link_factor(EdgeId(0)), 1.0);
@@ -511,7 +530,7 @@ mod tests {
         avail.cloud_up[0] = false;
         avail.edge_up[0] = false;
         avail.link_factor[0] = 0.25;
-        let view = SimView::new(&inst, Time::ZERO, &states, &pending).with_availability(&avail);
+        let view = SimView::new(&inst, Time::ZERO, &arena, &pending).with_availability(&avail);
         assert!(!view.edge_available(EdgeId(0)));
         assert!(!view.cloud_available(CloudId(0)));
         assert!(view.cloud_available(CloudId(1)));
@@ -526,8 +545,9 @@ mod tests {
         let (inst, mut states) = fixture();
         states[0].committed = Some(Target::Cloud(CloudId(0)));
         states[0].up_done = 1.5;
+        let arena = JobArena::from_states(&inst, &states);
         let pending = PendingSet::from_states(&inst, &states);
-        let view = SimView::new(&inst, Time::new(4.0), &states, &pending);
+        let view = SimView::new(&inst, Time::new(4.0), &arena, &pending);
         // Continue on cloud 0: 0.5 up + 4 work + 1 dn = 5.5.
         assert_eq!(
             view.duration_if_placed(JobId(0), Target::Cloud(CloudId(0))),

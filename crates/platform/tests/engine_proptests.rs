@@ -35,8 +35,7 @@ impl OnlineScheduler for ChaosPolicy {
             if self.rng.next_f64() < self.omit_prob {
                 continue;
             }
-            let st = &view.jobs[id.0];
-            let target = match st.committed {
+            let target = match view.jobs.committed[id.0] {
                 Some(t) if self.rng.next_f64() >= self.retarget_prob => t,
                 _ => self.random_target(),
             };

@@ -7,16 +7,20 @@
 //! * [`interval::Interval`] / [`interval::IntervalSet`] — the disjoint
 //!   interval families a schedule is made of (paper §III-B);
 //! * [`event_queue::EventQueue`] — deterministic future-event list for the
-//!   event-based algorithms of paper §V;
+//!   event-based algorithms of paper §V (binary-heap reference);
+//! * [`calendar::CalendarQueue`] — the calendar/bucket variant with a
+//!   bit-identical pop order, used by the engine hot path;
 //! * [`seed`] — deterministic seed derivation for reproducible experiments.
 
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod event_queue;
 pub mod interval;
 pub mod seed;
 pub mod time;
 
+pub use calendar::CalendarQueue;
 pub use event_queue::EventQueue;
 pub use interval::{Interval, IntervalSet};
 pub use time::{Time, TIME_EPS};

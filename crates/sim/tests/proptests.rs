@@ -2,7 +2,7 @@
 
 use mmsec_sim::interval::{Interval, IntervalSet};
 use mmsec_sim::time::Time;
-use mmsec_sim::EventQueue;
+use mmsec_sim::{CalendarQueue, EventQueue};
 use proptest::prelude::*;
 
 /// Strategy: a well-formed interval with endpoints in [0, 1000].
@@ -69,6 +69,55 @@ proptest! {
             seen[i] = true;
         }
         prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// The calendar queue's pop stream is bit-identical to the reference
+    /// heap's under an arbitrary interleaving of pushes (including
+    /// simultaneous instants, rank ties, and far-future outliers) and
+    /// pops. This is the substrate half of the engine's queue-equivalence
+    /// guarantee.
+    #[test]
+    fn calendar_queue_matches_heap(
+        ops in prop::collection::vec(
+            // (is_push, time offset kind, rank) — offsets picked so pushes
+            // never precede the popped frontier.
+            (any::<bool>(), 0u8..6, 0u8..4, 0.0f64..32.0),
+            1..300,
+        ),
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        let mut frontier = 0.0f64;
+        let mut id = 0u64;
+        for (is_push, kind, rank, jitter) in ops {
+            if is_push {
+                let offset = match kind {
+                    0 => 0.0,            // exactly simultaneous
+                    1 => 1.0e8,          // far-future outlier
+                    2 => jitter * 1e-4,  // sub-bucket spacing
+                    _ => jitter,
+                };
+                let t = Time::new(frontier + offset);
+                cal.push(t, rank, id);
+                heap.push(t, rank, id);
+                id += 1;
+            } else {
+                prop_assert_eq!(cal.peek_time(), heap.peek_time());
+                let a = cal.pop_ranked();
+                let b = heap.pop_ranked();
+                prop_assert_eq!(a, b);
+                if let Some((t, _, _)) = a {
+                    frontier = t.seconds();
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+        }
+        loop {
+            let a = cal.pop_ranked();
+            let b = heap.pop_ranked();
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
     }
 
     /// Derived seeds are collision-free over a sizeable index range.

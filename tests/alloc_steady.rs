@@ -1,0 +1,144 @@
+//! Allocation discipline of the steady-state hot paths, pinned by a
+//! counting global allocator.
+//!
+//! Two regimes must be allocation-free once their reusable storage is
+//! warm:
+//!
+//! 1. **Engine stepping**: a session advancing through capped
+//!    [`Session::run_until`] steps — decide, grant, accrue, trace — with
+//!    no admissions or completions in flight reuses every buffer
+//!    (directive buffer, activation lists, projection/round state,
+//!    contiguous trace-segment merging) and performs zero allocations
+//!    per step.
+//! 2. **NDJSON record layer**: parsing a submission line into a recycled
+//!    [`ObjBuf`] and serializing a response through a reused
+//!    [`ObjWriter`] allocates nothing per record — the `mmsec serve`
+//!    admit path's parse/emit cost is bounded by the engine, not the
+//!    protocol layer.
+//!
+//! Everything runs inside ONE `#[test]` so the counter can't be
+//! contaminated by a concurrently running sibling test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use mmsec_apps::ndjson::{parse_object_into, ObjBuf, ObjWriter};
+use mmsec_core::PolicyKind;
+use mmsec_platform::{EdgeId, Instance, Job, PlatformSpec, SessionStatus, Simulation};
+use mmsec_sim::Time;
+
+/// [`System`] with a per-thread allocation-event counter (allocs,
+/// reallocs, and zeroed allocs all count; frees don't — the tests bound
+/// acquisition, not peak usage). Per-thread so a libtest harness thread
+/// allocating concurrently cannot contaminate the measurement; the
+/// `const` TLS initializer keeps the counter access itself
+/// allocation-free.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    ALLOC_EVENTS.with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many allocation events this thread performed
+/// in it.
+fn alloc_events(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_EVENTS.with(Cell::get);
+    f();
+    ALLOC_EVENTS.with(Cell::get) - before
+}
+
+#[test]
+fn steady_state_hot_paths_do_not_allocate() {
+    engine_capped_steps();
+    ndjson_record_layer();
+}
+
+/// Regime 1: capped engine steps in a warm session.
+fn engine_capped_steps() {
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    // One enormous compute-only job: every capped step extends the same
+    // contiguous edge-compute segment, decides over the same single
+    // pending job, and completes nothing.
+    let jobs = vec![Job::new(EdgeId(0), 0.0, 1e9, 0.0, 0.0)];
+    let inst = Instance::new(spec, jobs).expect("valid instance");
+    let mut policy = PolicyKind::Srpt.build(1);
+    let mut session = Simulation::of(&inst).policy(policy.as_mut()).session();
+
+    // Warm-up: first steps grow the reusable buffers to their steady
+    // size (directive buffer, activation lists, policy round state).
+    let mut t = 0.0;
+    for _ in 0..8 {
+        t += 0.25;
+        session.run_until(Time::new(t)).expect("warm-up advance");
+    }
+
+    let events = alloc_events(|| {
+        for _ in 0..256 {
+            t += 0.25;
+            let status = session.run_until(Time::new(t)).expect("steady advance");
+            assert_eq!(status, SessionStatus::Reached);
+        }
+    });
+    assert_eq!(
+        events, 0,
+        "steady-state engine stepping must be allocation-free, \
+         saw {events} allocation event(s) over 256 capped steps"
+    );
+}
+
+/// Regime 2: the serve protocol's parse/serialize layer.
+fn ndjson_record_layer() {
+    let line = r#"{"origin": 3, "release": 17.25, "work": 2.5, "up": 0.5, "dn": 0.125}"#;
+    let mut fields = ObjBuf::new();
+    let mut w = ObjWriter::typed("admit");
+
+    // Warm-up sizes the field slots and the writer buffer.
+    parse_object_into(line, &mut fields).expect("valid line");
+    w.reset("admit")
+        .num_field("line", 1.0)
+        .num_field("job", 0.0)
+        .num_field("release", 17.25);
+    let _ = w.close();
+
+    let events = alloc_events(|| {
+        for i in 0..256u32 {
+            parse_object_into(line, &mut fields).expect("valid line");
+            assert_eq!(fields.fields().len(), 5);
+            w.reset("admit")
+                .num_field("line", f64::from(i))
+                .num_field("job", f64::from(i))
+                .num_field("release", 17.25);
+            assert!(w.close().starts_with(r#"{"type":"admit""#));
+        }
+    });
+    assert_eq!(
+        events, 0,
+        "NDJSON parse/serialize layer must be allocation-free per \
+         record, saw {events} allocation event(s) over 256 round trips"
+    );
+}
