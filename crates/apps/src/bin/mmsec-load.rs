@@ -1,0 +1,298 @@
+//! `mmsec-load` — saturation load generator for the sharded socket
+//! server. Connects to a running `mmsec serve --listen ...`, streams a
+//! deterministic multi-tenant job script at full speed, reads the record
+//! stream back, and prints one JSON result line with throughput,
+//! accounting, and admission-to-completion wall-latency quantiles.
+//!
+//! ```text
+//! mmsec-load --connect unix:/tmp/mmsec.sock --jobs 1000000 --tenants 16
+//! ```
+//!
+//! Latency is measured per job as the wall time from the client writing
+//! the submission line to the client reading its `completion` record —
+//! i.e. the full pipeline: router, shard queue, lane replay, merger.
+//! Joins use the tenant-local line numbers on `admit` records (each lane
+//! numbers its own input lines), which the round-robin script maps back
+//! to send timestamps without any per-line handshake.
+
+use mmsec_apps::cli::{fail, CliError};
+use mmsec_apps::ndjson::{parse_object_into, ObjBuf, Value};
+use mmsec_apps::server::Listen;
+use mmsec_bench::load::{script, LatencyStats, LoadPlan};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn usage() -> ! {
+    fail(CliError::Usage(
+        "usage: mmsec-load --connect unix:PATH|tcp:ADDR [--jobs N] [--tenants N]\n  \
+         [--mean-gap X] [--mean-work X] [--edges N] [--seed N]"
+            .into(),
+    ));
+}
+
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.0.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| fail(CliError::Usage(format!("bad value for --{key}: {v}")))),
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    const ALLOWED: &[&str] = &[
+        "connect",
+        "jobs",
+        "tenants",
+        "mean-gap",
+        "mean-work",
+        "edges",
+        "seed",
+    ];
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(key) = args[i].strip_prefix("--") else {
+            usage();
+        };
+        if !ALLOWED.contains(&key) {
+            fail(CliError::Usage(format!("unknown flag --{key}")));
+        }
+        match args.get(i + 1) {
+            Some(v) => {
+                flags.insert(key.to_string(), v.clone());
+                i += 2;
+            }
+            None => fail(CliError::Usage(format!("flag --{key} requires a value"))),
+        }
+    }
+    Flags(flags)
+}
+
+/// The two halves of a connected stream.
+trait Halves {
+    type R: Read + Send + 'static;
+    fn reader(&self) -> std::io::Result<Self::R>;
+    fn done_writing(&self) -> std::io::Result<()>;
+}
+
+impl Halves for UnixStream {
+    type R = UnixStream;
+    fn reader(&self) -> std::io::Result<UnixStream> {
+        self.try_clone()
+    }
+    fn done_writing(&self) -> std::io::Result<()> {
+        self.shutdown(std::net::Shutdown::Write)
+    }
+}
+
+impl Halves for TcpStream {
+    type R = TcpStream;
+    fn reader(&self) -> std::io::Result<TcpStream> {
+        self.try_clone()
+    }
+    fn done_writing(&self) -> std::io::Result<()> {
+        self.shutdown(std::net::Shutdown::Write)
+    }
+}
+
+/// Read-side totals, joined latencies, and the server's own summary.
+#[derive(Default)]
+struct ReadOutcome {
+    admitted: usize,
+    shed: usize,
+    rejected: usize,
+    completed: usize,
+    server_lines: usize,
+    server_tenants: usize,
+    latency: LatencyStats,
+}
+
+/// Drains the server's record stream to EOF, joining `admit` line
+/// numbers and `completion` job ids back to client send times.
+fn read_stream(
+    input: impl Read,
+    tenants: usize,
+    send_nanos: &[AtomicU64],
+    start: Instant,
+) -> Result<ReadOutcome, CliError> {
+    let mut input = BufReader::new(input);
+    let mut line = String::new();
+    let mut fields = ObjBuf::new();
+    let mut outcome = ReadOutcome::default();
+    // (tenant, job) -> send instant, inserted on admit, resolved on
+    // completion. Size tracks in-flight jobs only.
+    let mut in_flight: HashMap<(usize, u64), u64> = HashMap::new();
+    loop {
+        line.clear();
+        let n = input
+            .read_line(&mut line)
+            .map_err(|e| CliError::Io(format!("server stream: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        if parse_object_into(line.trim_end(), &mut fields).is_err() {
+            continue;
+        }
+        let mut kind = "";
+        let mut tenant: Option<usize> = None;
+        let mut lane_line: Option<u64> = None;
+        let mut job: Option<u64> = None;
+        for (key, value) in fields.fields() {
+            match (key.as_str(), value) {
+                ("type", Value::Str(s)) => kind = s,
+                ("tenant", Value::Str(s)) => {
+                    tenant = s.strip_prefix('t').and_then(|x| x.parse().ok());
+                }
+                ("line", Value::Num(x)) => lane_line = Some(*x as u64),
+                ("job", Value::Num(x)) => job = Some(*x as u64),
+                _ => {}
+            }
+        }
+        match kind {
+            "admit" => {
+                outcome.admitted += 1;
+                if let (Some(t), Some(l), Some(j)) = (tenant, lane_line, job) {
+                    // Round-robin script: tenant t's l-th line was the
+                    // global ((l-1)*tenants + t)-th submission.
+                    let idx = (l as usize - 1) * tenants + t;
+                    if let Some(slot) = send_nanos.get(idx) {
+                        let sent = slot.load(Ordering::Relaxed);
+                        if sent > 0 {
+                            in_flight.insert((t, j), sent);
+                        }
+                    }
+                }
+            }
+            "shed" => outcome.shed += 1,
+            "reject" => outcome.rejected += 1,
+            "completion" => {
+                outcome.completed += 1;
+                if let (Some(t), Some(j)) = (tenant, job) {
+                    if let Some(sent) = in_flight.remove(&(t, j)) {
+                        let now = start.elapsed().as_nanos() as u64;
+                        outcome
+                            .latency
+                            .record((now.saturating_sub(sent - 1)) as f64 / 1e9);
+                    }
+                }
+            }
+            "server-summary" => {
+                for (key, value) in fields.fields() {
+                    if let Value::Num(x) = value {
+                        match key.as_str() {
+                            "lines" => outcome.server_lines = *x as usize,
+                            "tenants" => outcome.server_tenants = *x as usize,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(outcome)
+}
+
+fn drive<S: Write + Halves>(stream: S, plan: &LoadPlan) -> Result<(), CliError> {
+    let jobs = script(plan);
+    let send_nanos: Arc<Vec<AtomicU64>> =
+        Arc::new((0..jobs.len()).map(|_| AtomicU64::new(0)).collect());
+    let start = Instant::now();
+
+    let reader = stream
+        .reader()
+        .map_err(|e| CliError::Io(format!("clone stream: {e}")))?;
+    let read_half = {
+        let send_nanos = Arc::clone(&send_nanos);
+        let tenants = plan.tenants;
+        std::thread::spawn(move || read_stream(reader, tenants, &send_nanos, start))
+    };
+
+    let mut out = BufWriter::new(stream);
+    for (i, job) in jobs.iter().enumerate() {
+        // Stamp strictly positive nanos (0 = "not sent yet").
+        send_nanos[i].store(start.elapsed().as_nanos() as u64 + 1, Ordering::Relaxed);
+        out.write_all(job.line.as_bytes())
+            .map_err(|e| CliError::Io(format!("send: {e}")))?;
+        if i % 256 == 255 {
+            out.flush()
+                .map_err(|e| CliError::Io(format!("send: {e}")))?;
+        }
+    }
+    out.flush()
+        .map_err(|e| CliError::Io(format!("send: {e}")))?;
+    let stream = out
+        .into_inner()
+        .map_err(|e| CliError::Io(format!("send: {e}")))?;
+    stream
+        .done_writing()
+        .map_err(|e| CliError::Io(format!("shutdown: {e}")))?;
+
+    let mut outcome = read_half
+        .join()
+        .map_err(|_| CliError::Failure("reader thread panicked".into()))??;
+    let wall = start.elapsed().as_secs_f64();
+
+    let p50 = outcome.latency.quantile(0.50);
+    let p99 = outcome.latency.quantile(0.99);
+    println!(
+        "{{\"type\":\"load-result\",\"submitted\":{},\"admitted\":{},\"shed\":{},\
+         \"rejected\":{},\"completed\":{},\"server_lines\":{},\"server_tenants\":{},\
+         \"wall_secs\":{:.3},\"jobs_per_sec\":{:.1},\"shed_rate\":{:.6},\
+         \"p50_latency_ms\":{},\"p99_latency_ms\":{}}}",
+        jobs.len(),
+        outcome.admitted,
+        outcome.shed,
+        outcome.rejected,
+        outcome.completed,
+        outcome.server_lines,
+        outcome.server_tenants,
+        wall,
+        jobs.len() as f64 / wall,
+        outcome.shed as f64 / jobs.len().max(1) as f64,
+        p50.map_or("null".into(), |x| format!("{:.3}", x * 1e3)),
+        p99.map_or("null".into(), |x| format!("{:.3}", x * 1e3)),
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = parse_flags(&args);
+    let Some(connect) = flags.0.get("connect") else {
+        usage();
+    };
+    let target = Listen::parse(connect).unwrap_or_else(|e| fail(e));
+    let plan = LoadPlan {
+        jobs: flags.get("jobs", 10_000usize),
+        tenants: flags.get("tenants", 8usize),
+        mean_gap: flags.get("mean-gap", 1.0f64),
+        mean_work: flags.get("mean-work", 0.8f64),
+        edges: flags.get("edges", 2usize),
+        seed: flags.get("seed", 1u64),
+    };
+    if plan.jobs == 0 || plan.tenants == 0 || plan.edges == 0 {
+        fail(CliError::Usage(
+            "--jobs, --tenants, and --edges must be at least 1".into(),
+        ));
+    }
+    let result = match &target {
+        Listen::Unix(path) => UnixStream::connect(path)
+            .map_err(|e| CliError::Io(format!("connect {}: {e}", path.display())))
+            .and_then(|s| drive(s, &plan)),
+        Listen::Tcp(addr) => TcpStream::connect(addr.as_str())
+            .map_err(|e| CliError::Io(format!("connect {addr}: {e}")))
+            .and_then(|s| drive(s, &plan)),
+    };
+    result.unwrap_or_else(|e| fail(e));
+}

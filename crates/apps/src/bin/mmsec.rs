@@ -12,6 +12,7 @@
 
 use mmsec_apps::cli::{fail, CliError};
 use mmsec_apps::serve::{serve, ServeConfig};
+use mmsec_apps::server::{run_listener, run_sharded, Listen, ServerConfig};
 use mmsec_core::PolicyKind;
 use mmsec_platform::obs::{
     ChromeTraceWriter, Fanout, FlightRecorder, MetricsRecorder, PhaseProfiler, Shared,
@@ -33,7 +34,11 @@ fn usage() -> ! {
          mmsec compare --instance FILE\n  \
          mmsec serve --instance FILE [--policy NAME] [--seed N] [--input FILE]\n    \
          [--speedup X] [--max-pending N] [--heartbeat SECS] [--stats-every N]\n    \
-         [--trace FILE.json] [--metrics FILE.json]\n\npolicies: {}",
+         [--trace FILE.json] [--metrics FILE.json]\n  \
+         mmsec serve --instance FILE [--listen unix:PATH|tcp:ADDR] [--shards N]\n    \
+         [--max-queue N] [--global-pending N] [--server-heartbeat-ms N] [--once]\n    \
+         [--policy NAME] [--seed N] [--max-pending N] [--heartbeat SECS] [--stats-every N]\n\n\
+         policies: {}",
         PolicyKind::ALL
             .iter()
             .map(|k| k.name())
@@ -44,7 +49,7 @@ fn usage() -> ! {
 
 /// Parses `--flag [value]` pairs, rejecting anything not in `allowed`
 /// Boolean switches: every other accepted flag requires a value.
-const SWITCHES: &[&str] = &["gantt", "per-job", "verbose"];
+const SWITCHES: &[&str] = &["gantt", "per-job", "verbose", "once"];
 
 /// Parses `--flag [value]` pairs, rejecting anything not in `allowed`
 /// (so a typo like `--polcy` fails loudly instead of being ignored) and
@@ -380,6 +385,12 @@ fn main() {
                     "stats-every",
                     "trace",
                     "metrics",
+                    "listen",
+                    "shards",
+                    "max-queue",
+                    "global-pending",
+                    "server-heartbeat-ms",
+                    "once",
                 ],
             );
             let inst = load_instance(&flags);
@@ -402,6 +413,65 @@ fn main() {
                     .then(|| get(&flags, "stats-every", 0usize)),
                 ..ServeConfig::default()
             };
+
+            // Any sharded-server flag selects the sharded runtime; with
+            // none of them, this is the exact legacy single-session path.
+            let sharded = ["listen", "shards", "max-queue", "global-pending", "once"]
+                .iter()
+                .any(|k| flags.contains_key(*k))
+                || flags.contains_key("server-heartbeat-ms");
+            if sharded {
+                for bad in ["input", "speedup", "trace", "metrics"] {
+                    if flags.contains_key(bad) {
+                        fail(CliError::Usage(format!(
+                            "--{bad} applies to single-session serving, \
+                             not the sharded server"
+                        )));
+                    }
+                }
+                let server_cfg = ServerConfig {
+                    serve: cfg,
+                    shards: get(&flags, "shards", 1usize),
+                    max_queue: flags
+                        .contains_key("max-queue")
+                        .then(|| get(&flags, "max-queue", 0usize)),
+                    global_pending: flags
+                        .contains_key("global-pending")
+                        .then(|| get(&flags, "global-pending", 0usize)),
+                    heartbeat_ms: get(&flags, "server-heartbeat-ms", 1000u64),
+                };
+                match flags.get("listen") {
+                    Some(spec) => {
+                        let listen = Listen::parse(spec).unwrap_or_else(|e| fail(e));
+                        let once = flags.contains_key("once");
+                        run_listener(&inst, &server_cfg, &listen, once).unwrap_or_else(|e| fail(e));
+                    }
+                    None => {
+                        if flags.contains_key("once") {
+                            fail(CliError::Usage("--once requires --listen".into()));
+                        }
+                        let stdin = std::io::stdin();
+                        let summary = run_sharded(
+                            &inst,
+                            &server_cfg,
+                            stdin.lock(),
+                            std::io::BufWriter::new(std::io::stdout()),
+                        )
+                        .unwrap_or_else(|e| fail(e));
+                        eprintln!(
+                            "served {} line(s): {} admitted, {} shed, {} rejected, \
+                             {} completed, {} tenant(s)",
+                            summary.lines,
+                            summary.admitted,
+                            summary.shed,
+                            summary.rejected,
+                            summary.completed,
+                            summary.tenants
+                        );
+                    }
+                }
+                return;
+            }
 
             // Observability sinks, exactly as in `run`.
             let metrics = Shared::new(MetricsRecorder::new());

@@ -13,3 +13,4 @@
 pub mod cli;
 pub mod ndjson;
 pub mod serve;
+pub mod server;

@@ -23,7 +23,11 @@
 //! monotone, and their payload always reflects the state *after* the
 //! boundary advance — when the session's next event lies beyond several
 //! boundaries at once, one heartbeat covers the crossing instead of a
-//! stale payload repeating per boundary.
+//! stale payload repeating per boundary. Heartbeats only start once the
+//! session's virtual clock has (the first release fires): an idle stream
+//! whose first job lies far in the future emits no pre-start beats, so no
+//! `stats` record can ever carry a timestamp earlier than the last
+//! heartbeat.
 //!
 //! Every session also feeds an internal [`FlightRecorder`]: if the engine
 //! errors or the backlog drain stalls, the last engine events are dumped
@@ -33,6 +37,15 @@
 //! The core ([`serve`]) is generic over reader/writer so tests can run it
 //! in memory; the binary hands it stdin/stdout (or `--input FILE`,
 //! replayed in wall time with `--speedup`).
+//!
+//! # Lanes
+//!
+//! Internally the loop is factored as a `Lane`: one session plus its
+//! heartbeat cadence, admission counters, and reused buffers, fed one
+//! input line at a time. [`serve`] drives a single untagged lane; the
+//! sharded server (`crate::server`) keeps one *tagged* lane per tenant —
+//! a tagged lane injects a `"tenant"` field right after `"type"` in every
+//! record and is otherwise byte-identical to a single-session run.
 
 use crate::cli::CliError;
 use crate::ndjson::{parse_object_into, ObjBuf, ObjWriter, Value};
@@ -50,7 +63,7 @@ use std::io::{BufRead, Write};
 pub const STATS_SCHEMA_VERSION: u32 = 3;
 
 /// Ring capacity of the serve loop's internal flight recorder.
-const FLIGHT_CAPACITY: usize = 512;
+pub(crate) const FLIGHT_CAPACITY: usize = 512;
 
 /// Serving-loop knobs (the binary fills these from flags).
 pub struct ServeConfig {
@@ -86,6 +99,25 @@ impl Default for ServeConfig {
             stats_every: None,
         }
     }
+}
+
+/// Validates the cadence/pacing knobs shared by [`serve`] and the
+/// sharded server (which applies them per lane).
+pub(crate) fn validate_config(cfg: &ServeConfig) -> Result<(), CliError> {
+    if !(cfg.heartbeat > 0.0 && cfg.heartbeat.is_finite()) {
+        return Err(CliError::Usage(
+            "--heartbeat must be positive seconds".into(),
+        ));
+    }
+    if cfg.speedup.is_some_and(|x| x <= 0.0 || x.is_nan()) {
+        return Err(CliError::Usage("--speedup must be positive".into()));
+    }
+    if cfg.stats_every == Some(0) {
+        return Err(CliError::Usage(
+            "--stats-every must be a positive line count".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Totals returned by [`serve`] (also emitted as the final `summary`
@@ -141,8 +173,10 @@ fn parse_submit(fields: &[(String, Value)]) -> Result<SubmitRequest, String> {
             "work" => req.work = num(value)?,
             "up" => req.up = num(value)?,
             "dn" => req.dn = num(value)?,
-            // Tolerated so producers can tag lines for their own use.
-            "type" | "id" | "tag" => {}
+            // Tolerated so producers can tag lines for their own use;
+            // `tenant` is the sharded server's routing key and is
+            // meaningless (but harmless) on a single session.
+            "type" | "id" | "tag" | "tenant" => {}
             other => return Err(format!("unknown field {other:?}")),
         }
     }
@@ -195,7 +229,7 @@ fn parse_platform(fields: &[(String, Value)]) -> Result<PlatformMutation, String
             }
             "speed" => speed = Some(num(value)?),
             "factor" => factor = Some(num(value)?),
-            "type" | "id" | "tag" => {}
+            "type" | "id" | "tag" | "tenant" => {}
             other => return Err(format!("unknown field {other:?}")),
         }
     }
@@ -237,6 +271,17 @@ fn write_line(out: &mut impl Write, line: &str) -> Result<(), CliError> {
     writeln!(out, "{line}").map_err(|e| CliError::Io(format!("output stream: {e}")))
 }
 
+/// Starts a record of `kind`, injecting the lane's tenant tag (when set)
+/// as the field right after `"type"` — so a tagged record minus its
+/// tenant field is byte-identical to the untagged one.
+fn reset_rec<'w>(w: &'w mut ObjWriter, kind: &str, tenant: Option<&str>) -> &'w mut ObjWriter {
+    w.reset(kind);
+    if let Some(t) = tenant {
+        w.str_field("tenant", t);
+    }
+    w
+}
+
 /// Forwards every engine event to the serve loop's flight recorder and,
 /// when the caller supplied one, to their observer too.
 struct Tandem<'a> {
@@ -274,6 +319,9 @@ struct Pulse {
     wall_start: std::time::Instant,
     speedup: Option<f64>,
     flight: Shared<FlightRecorder>,
+    /// Tenant tag injected into every record of this lane (see
+    /// [`reset_rec`]); `None` for a plain single-session serve.
+    tenant: Option<String>,
 }
 
 impl Pulse {
@@ -350,6 +398,7 @@ fn emit_completions(
     summary: &mut ServeSummary,
     w: &mut ObjWriter,
     scratch: &mut String,
+    tenant: Option<&str>,
 ) -> Result<(), CliError> {
     use std::fmt::Write as _;
     for c in session.drain_completions() {
@@ -357,7 +406,7 @@ fn emit_completions(
         summary.max_stretch = summary.max_stretch.max(c.stretch);
         scratch.clear();
         let _ = write!(scratch, "{}", c.target);
-        w.reset("completion");
+        reset_rec(w, "completion", tenant);
         w.num_field("job", c.job.0 as f64)
             .str_field("target", scratch)
             .num_field("release", c.release.seconds())
@@ -375,7 +424,7 @@ fn heartbeat_record<'w>(
     pulse: &mut Pulse,
     w: &'w mut ObjWriter,
 ) -> &'w str {
-    w.reset("heartbeat");
+    reset_rec(w, "heartbeat", pulse.tenant.as_deref());
     w.num_field("v", STATS_SCHEMA_VERSION as f64);
     let lag = pulse.lag(session);
     stats_payload(w, session, summary, &mut pulse.last_beat, lag);
@@ -389,7 +438,7 @@ fn stats_record<'w>(
     line: usize,
     w: &'w mut ObjWriter,
 ) -> &'w str {
-    w.reset("stats");
+    reset_rec(w, "stats", pulse.tenant.as_deref());
     w.num_field("v", STATS_SCHEMA_VERSION as f64)
         .num_field("line", line as f64);
     let lag = pulse.lag(session);
@@ -416,6 +465,13 @@ fn maybe_stats(
 /// Advances the session to virtual time `target`, emitting a heartbeat at
 /// every multiple of the heartbeat interval crossed on the way. Keeps
 /// heartbeat timestamps strictly monotone regardless of arrival pattern.
+///
+/// An *unstarted* session (no release has fired yet — possible when every
+/// job so far was admitted for a future release) needs special care: its
+/// clock has not begun, so no heartbeat may be emitted, and pausing it at
+/// a boundary before its first event is a no-op that would loop forever.
+/// The first stop is therefore pushed out to the session's first queued
+/// event; if even that lies beyond `target`, nothing can happen yet.
 fn advance_to(
     session: &mut Session<'_>,
     target: Time,
@@ -426,20 +482,33 @@ fn advance_to(
     scratch: &mut String,
 ) -> Result<(), CliError> {
     loop {
-        let stop = if pulse.next_beat < target.seconds() {
+        let mut stop = if pulse.next_beat < target.seconds() {
             Time::new(pulse.next_beat)
         } else {
             target
         };
+        if !session.started() {
+            if let Some(t0) = session.next_event_time() {
+                if t0 > stop {
+                    stop = t0.min(target);
+                }
+            }
+        }
         let status = session
             .run_until(stop)
             .map_err(|e| pulse.engine_failure(format!("engine: {e}")))?;
-        emit_completions(session, out, summary, w, scratch)?;
+        emit_completions(session, out, summary, w, scratch, pulse.tenant.as_deref())?;
         match status {
             // Blocked: only a later submission can unblock — hand control
             // back. Done: an idle session needs no heartbeats.
             SessionStatus::Blocked | SessionStatus::Done => return Ok(()),
             SessionStatus::Reached | SessionStatus::Advanced => {}
+        }
+        if !session.started() {
+            // Reached without starting: the session's first event lies
+            // beyond `target`, so time has not begun — no boundary was
+            // crossed and nothing can fire before the next arrival.
+            return Ok(());
         }
         // Paused at (or past) `stop`: beat if a heartbeat boundary was
         // crossed, then continue toward `target`. A session whose next
@@ -461,6 +530,351 @@ fn advance_to(
     }
 }
 
+/// One serving loop: a session plus its cadence state, admission
+/// counters, and reused line/record buffers, fed one input line at a
+/// time. [`serve`] drives exactly one untagged lane; the sharded server
+/// keeps a map of tagged lanes (one per tenant) and feeds each the lines
+/// routed to it. A tagged lane's output is byte-identical to the same
+/// traffic on a single-session serve, modulo the injected `"tenant"`
+/// field (see [`reset_rec`]).
+pub(crate) struct Lane<'a> {
+    session: Session<'a>,
+    pulse: Pulse,
+    summary: ServeSummary,
+    max_pending: Option<usize>,
+    policy_name: &'static str,
+    // Reused per-line storage: the parsed fields, the output record, and
+    // a small formatting scratch. A steady stream of well-formed
+    // submissions allocates nothing per line in this layer.
+    fields: ObjBuf,
+    w: ObjWriter,
+    scratch: String,
+}
+
+impl<'a> Lane<'a> {
+    /// Wraps a freshly built (unstepped) session. `tenant` tags every
+    /// record when set. The caller is responsible for having validated
+    /// `cfg` (see [`validate_config`]).
+    fn new(
+        session: Session<'a>,
+        cfg: &ServeConfig,
+        tenant: Option<String>,
+        flight: Shared<FlightRecorder>,
+    ) -> Self {
+        let summary = ServeSummary {
+            admitted: session.instance().num_jobs(),
+            ..ServeSummary::default()
+        };
+        Lane {
+            session,
+            pulse: Pulse {
+                beat: cfg.heartbeat,
+                next_beat: cfg.heartbeat,
+                stats_every: cfg.stats_every,
+                last_beat: Deltas::default(),
+                last_stats: Deltas::default(),
+                wall_start: std::time::Instant::now(),
+                speedup: cfg.speedup,
+                flight,
+                tenant,
+            },
+            summary,
+            max_pending: cfg.max_pending,
+            policy_name: cfg.policy.name(),
+            fields: ObjBuf::new(),
+            w: ObjWriter::typed("hello"),
+            scratch: String::new(),
+        }
+    }
+
+    /// Emits the `hello` record (the first line of the lane's stream).
+    pub(crate) fn hello(&mut self, out: &mut impl Write) -> Result<(), CliError> {
+        let spec = &self.session.instance().spec;
+        let (edges, clouds) = (spec.num_edge(), spec.num_cloud());
+        let preloaded = self.session.instance().num_jobs();
+        let w = reset_rec(&mut self.w, "hello", self.pulse.tenant.as_deref());
+        w.str_field("policy", self.policy_name)
+            .num_field("edges", edges as f64)
+            .num_field("clouds", clouds as f64)
+            .num_field("preloaded", preloaded as f64)
+            .num_field("heartbeat", self.pulse.beat);
+        if let Some(n) = self.pulse.stats_every {
+            w.num_field("stats_every", n as f64);
+        }
+        write_line(out, self.w.close())
+    }
+
+    /// The lane's admission totals so far (summary-record fields are only
+    /// final after [`Lane::finish`]).
+    pub(crate) fn summary(&self) -> &ServeSummary {
+        &self.summary
+    }
+
+    /// Unfinished jobs currently in the lane's session.
+    pub(crate) fn unfinished(&self) -> usize {
+        self.session.snapshot().unfinished
+    }
+
+    /// Feeds one input line: parses it, advances the session to the
+    /// arrival, applies admission control, and writes the response
+    /// records. Protocol violations become `reject` records; only engine
+    /// failures and output I/O errors are fatal.
+    pub(crate) fn handle_line(&mut self, line: &str, out: &mut impl Write) -> Result<(), CliError> {
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+        self.summary.lines += 1;
+        let seq = self.summary.lines;
+
+        // Parse the line once; both record kinds (platform mutation and
+        // job submission) read the same field buffer. Malformed records
+        // and refused mutations (unknown unit, removed twice, bad speed,
+        // last edge) produce typed `reject` records — never a fatal
+        // error.
+        let parsed = parse_object_into(line.trim_end(), &mut self.fields);
+        if parsed.is_ok() && is_platform_record(self.fields.fields()) {
+            let outcome = parse_platform(self.fields.fields()).and_then(|m| {
+                self.session
+                    .apply_platform(m)
+                    .map_err(|e| e.to_string())
+                    .map(|v| (m, v))
+            });
+            match outcome {
+                Ok((m, version)) => {
+                    let p = self.session.platform();
+                    let (edges, clouds) = (p.num_edges_live(), p.num_clouds_live());
+                    reset_rec(&mut self.w, "platform-ok", self.pulse.tenant.as_deref())
+                        .num_field("line", seq as f64)
+                        .str_field("op", m.op())
+                        .num_field("version", version as f64)
+                        .num_field("edges", edges as f64)
+                        .num_field("clouds", clouds as f64);
+                    write_line(out, self.w.close())?;
+                }
+                Err(why) => {
+                    self.summary.rejected += 1;
+                    reset_rec(&mut self.w, "reject", self.pulse.tenant.as_deref())
+                        .num_field("line", seq as f64)
+                        .str_field("error", &why);
+                    write_line(out, self.w.close())?;
+                }
+            }
+            maybe_stats(
+                &self.session,
+                &self.summary,
+                &mut self.pulse,
+                seq,
+                out,
+                &mut self.w,
+            )?;
+            return Ok(());
+        }
+
+        let req = match parsed.and_then(|()| parse_submit(self.fields.fields())) {
+            Ok(req) => req,
+            Err(why) => {
+                self.summary.rejected += 1;
+                reset_rec(&mut self.w, "reject", self.pulse.tenant.as_deref())
+                    .num_field("line", seq as f64)
+                    .str_field("error", &why);
+                write_line(out, self.w.close())?;
+                maybe_stats(
+                    &self.session,
+                    &self.summary,
+                    &mut self.pulse,
+                    seq,
+                    out,
+                    &mut self.w,
+                )?;
+                return Ok(());
+            }
+        };
+
+        // Bring virtual time up to the arrival (file replay of a
+        // historical trace), beating on the way.
+        if let Some(release) = req.release {
+            if let Some(speedup) = self.pulse.speedup {
+                let due = std::time::Duration::from_secs_f64(release.max(0.0) / speedup);
+                if let Some(sleep) = due.checked_sub(self.pulse.wall_start.elapsed()) {
+                    std::thread::sleep(sleep);
+                }
+            }
+            if Time::new(release) > self.session.now() {
+                advance_to(
+                    &mut self.session,
+                    Time::new(release),
+                    &mut self.pulse,
+                    out,
+                    &mut self.summary,
+                    &mut self.w,
+                    &mut self.scratch,
+                )?;
+            }
+        }
+
+        // Bounded admission: shed (with an explicit record) rather than
+        // queueing without limit.
+        let unfinished = self.session.snapshot().unfinished;
+        if self.max_pending.is_some_and(|cap| unfinished >= cap) {
+            self.summary.shed += 1;
+            reset_rec(&mut self.w, "shed", self.pulse.tenant.as_deref())
+                .num_field("line", seq as f64)
+                .str_field("reason", "max-pending")
+                .num_field("unfinished", unfinished as f64);
+            write_line(out, self.w.close())?;
+            maybe_stats(
+                &self.session,
+                &self.summary,
+                &mut self.pulse,
+                seq,
+                out,
+                &mut self.w,
+            )?;
+            return Ok(());
+        }
+
+        let release = req.release.unwrap_or_else(|| self.session.now().seconds());
+        match self.session.submit(Job::new(
+            EdgeId(req.origin),
+            release.max(0.0),
+            req.work,
+            req.up,
+            req.dn,
+        )) {
+            Ok(id) => {
+                self.summary.admitted += 1;
+                reset_rec(&mut self.w, "admit", self.pulse.tenant.as_deref())
+                    .num_field("line", seq as f64)
+                    .num_field("job", id.0 as f64)
+                    .num_field("release", release);
+                write_line(out, self.w.close())?;
+            }
+            Err(e) => {
+                self.summary.rejected += 1;
+                self.scratch.clear();
+                {
+                    use std::fmt::Write as _;
+                    let _ = write!(self.scratch, "{e}");
+                }
+                reset_rec(&mut self.w, "reject", self.pulse.tenant.as_deref())
+                    .num_field("line", seq as f64)
+                    .str_field("error", &self.scratch);
+                write_line(out, self.w.close())?;
+            }
+        }
+        maybe_stats(
+            &self.session,
+            &self.summary,
+            &mut self.pulse,
+            seq,
+            out,
+            &mut self.w,
+        )?;
+        Ok(())
+    }
+
+    /// Input exhausted: runs the backlog dry (still beating
+    /// periodically), then emits the final `summary` record and returns
+    /// the totals.
+    ///
+    /// As in [`advance_to`], an unstarted session's first stop is pushed
+    /// out to its first queued event — pausing before it would emit
+    /// heartbeats stamped with a clock that has not begun (duplicated,
+    /// possibly non-monotone timestamps).
+    pub(crate) fn finish(&mut self, out: &mut impl Write) -> Result<ServeSummary, CliError> {
+        loop {
+            let mut bound = Time::new(self.pulse.next_beat);
+            if !self.session.started() {
+                if let Some(t0) = self.session.next_event_time() {
+                    if t0 > bound {
+                        bound = t0;
+                    }
+                }
+            }
+            let status = self
+                .session
+                .run_until(bound)
+                .map_err(|e| self.pulse.engine_failure(format!("engine: {e}")))?;
+            emit_completions(
+                &mut self.session,
+                out,
+                &mut self.summary,
+                &mut self.w,
+                &mut self.scratch,
+                self.pulse.tenant.as_deref(),
+            )?;
+            match status {
+                SessionStatus::Done => break,
+                SessionStatus::Blocked => {
+                    return Err(self.pulse.engine_failure(format!(
+                        "stalled at t={} with {} unfinished job(s): the policy \
+                         granted no activity and no event is queued",
+                        self.session.now(),
+                        self.session.snapshot().unfinished
+                    )));
+                }
+                SessionStatus::Reached => {
+                    // See `advance_to`: a pause past the boundary (the next
+                    // event is several beats out) gets one heartbeat with the
+                    // post-advance payload, not a stale repeat per boundary.
+                    // The bound always sits at or past a boundary once the
+                    // session has started, so the guard only skips the
+                    // (unreachable) unstarted pause.
+                    if self.session.started()
+                        && self.pulse.next_beat <= self.session.now().seconds()
+                    {
+                        let record = heartbeat_record(
+                            &self.session,
+                            &self.summary,
+                            &mut self.pulse,
+                            &mut self.w,
+                        );
+                        write_line(out, record)?;
+                        self.pulse.next_beat += self.pulse.beat;
+                        while self.pulse.next_beat <= self.session.now().seconds() {
+                            self.pulse.next_beat += self.pulse.beat;
+                        }
+                    }
+                }
+                SessionStatus::Advanced => {}
+            }
+        }
+
+        let snap = self.session.snapshot();
+        self.summary.max_stretch = self.summary.max_stretch.max(snap.max_stretch);
+        reset_rec(&mut self.w, "summary", self.pulse.tenant.as_deref())
+            .num_field("now", snap.now.seconds())
+            .num_field("lines", self.summary.lines as f64)
+            .num_field("admitted", self.summary.admitted as f64)
+            .num_field("shed", self.summary.shed as f64)
+            .num_field("rejected", self.summary.rejected as f64)
+            .num_field("completed", snap.completed as f64)
+            .num_field("max_stretch", snap.max_stretch)
+            .num_field("mean_stretch", snap.mean_stretch)
+            .num_field("events", snap.run.events as f64);
+        write_line(out, self.w.close())?;
+        self.summary.completed = snap.completed;
+        Ok(self.summary)
+    }
+}
+
+/// Builds a self-contained tagged lane that owns its instance, policy,
+/// and flight recorder: the sharded server's per-tenant session, safe to
+/// store in a worker's lane map with no borrows back into the caller.
+pub(crate) fn owned_lane(inst: Instance, cfg: &ServeConfig, tenant: String) -> Lane<'static> {
+    let flight = Shared::new(FlightRecorder::with_capacity(FLIGHT_CAPACITY));
+    let tandem = Tandem {
+        flight: flight.handle(),
+        other: None,
+    };
+    let session = Simulation::owning(inst)
+        .policy_boxed(cfg.policy.build(cfg.seed))
+        .options(cfg.engine)
+        .observer_boxed(Box::new(tandem))
+        .session();
+    Lane::new(session, cfg, Some(tenant), flight)
+}
+
 /// Runs the serving loop: reads NDJSON submissions from `input`, steps a
 /// [`Session`] between arrivals, and writes NDJSON records to `out`.
 ///
@@ -474,64 +888,21 @@ pub fn serve(
     mut out: impl Write,
     observer: Option<&mut dyn Observer>,
 ) -> Result<ServeSummary, CliError> {
-    if !(cfg.heartbeat > 0.0 && cfg.heartbeat.is_finite()) {
-        return Err(CliError::Usage(
-            "--heartbeat must be positive seconds".into(),
-        ));
-    }
-    if cfg.speedup.is_some_and(|x| x <= 0.0 || x.is_nan()) {
-        return Err(CliError::Usage("--speedup must be positive".into()));
-    }
-    if cfg.stats_every == Some(0) {
-        return Err(CliError::Usage(
-            "--stats-every must be a positive line count".into(),
-        ));
-    }
+    validate_config(cfg)?;
     let flight = Shared::new(FlightRecorder::with_capacity(FLIGHT_CAPACITY));
-    let mut tandem = Tandem {
+    let tandem = Tandem {
         flight: flight.handle(),
         other: observer,
     };
-    let mut policy = cfg.policy.build(cfg.seed);
-    let mut session = Simulation::of(inst)
-        .policy(policy.as_mut())
+    let session = Simulation::of(inst)
+        .policy_boxed(cfg.policy.build(cfg.seed))
         .options(cfg.engine)
-        .observer(&mut tandem)
+        .observer_boxed(Box::new(tandem))
         .session();
-    let mut summary = ServeSummary {
-        admitted: inst.num_jobs(),
-        ..ServeSummary::default()
-    };
+    let mut lane = Lane::new(session, cfg, None, flight);
+    lane.hello(&mut out)?;
 
-    let mut hello = ObjWriter::typed("hello");
-    hello
-        .str_field("policy", cfg.policy.name())
-        .num_field("edges", inst.spec.num_edge() as f64)
-        .num_field("clouds", inst.spec.num_cloud() as f64)
-        .num_field("preloaded", inst.num_jobs() as f64)
-        .num_field("heartbeat", cfg.heartbeat);
-    if let Some(n) = cfg.stats_every {
-        hello.num_field("stats_every", n as f64);
-    }
-    write_line(&mut out, &hello.finish())?;
-
-    let mut pulse = Pulse {
-        beat: cfg.heartbeat,
-        next_beat: cfg.heartbeat,
-        stats_every: cfg.stats_every,
-        last_beat: Deltas::default(),
-        last_stats: Deltas::default(),
-        wall_start: std::time::Instant::now(),
-        speedup: cfg.speedup,
-        flight,
-    };
-    // Reused per-line storage: the input line, the parsed fields, the
-    // output record, and a small formatting scratch. A steady stream of
-    // well-formed submissions allocates nothing per line in this layer.
     let mut line = String::new();
-    let mut fields = ObjBuf::new();
-    let mut w = ObjWriter::typed("hello");
-    let mut scratch = String::new();
     let mut input = input;
     loop {
         line.clear();
@@ -541,170 +912,7 @@ pub fn serve(
         if n == 0 {
             break;
         }
-        if line.trim().is_empty() {
-            continue;
-        }
-        summary.lines += 1;
-        let seq = summary.lines;
-
-        // Parse the line once; both record kinds (platform mutation and
-        // job submission) read the same field buffer. Malformed records
-        // and refused mutations (unknown unit, removed twice, bad speed,
-        // last edge) produce typed `reject` records — never a fatal
-        // error.
-        let parsed = parse_object_into(line.trim_end(), &mut fields);
-        if parsed.is_ok() && is_platform_record(fields.fields()) {
-            let outcome = parse_platform(fields.fields()).and_then(|m| {
-                session
-                    .apply_platform(m)
-                    .map_err(|e| e.to_string())
-                    .map(|v| (m, v))
-            });
-            match outcome {
-                Ok((m, version)) => {
-                    let p = session.platform();
-                    w.reset("platform-ok");
-                    w.num_field("line", seq as f64)
-                        .str_field("op", m.op())
-                        .num_field("version", version as f64)
-                        .num_field("edges", p.num_edges_live() as f64)
-                        .num_field("clouds", p.num_clouds_live() as f64);
-                    write_line(&mut out, w.close())?;
-                }
-                Err(why) => {
-                    summary.rejected += 1;
-                    w.reset("reject");
-                    w.num_field("line", seq as f64).str_field("error", &why);
-                    write_line(&mut out, w.close())?;
-                }
-            }
-            maybe_stats(&session, &summary, &mut pulse, seq, &mut out, &mut w)?;
-            continue;
-        }
-
-        let req = match parsed.and_then(|()| parse_submit(fields.fields())) {
-            Ok(req) => req,
-            Err(why) => {
-                summary.rejected += 1;
-                w.reset("reject");
-                w.num_field("line", seq as f64).str_field("error", &why);
-                write_line(&mut out, w.close())?;
-                maybe_stats(&session, &summary, &mut pulse, seq, &mut out, &mut w)?;
-                continue;
-            }
-        };
-
-        // Bring virtual time up to the arrival (file replay of a
-        // historical trace), beating on the way.
-        if let Some(release) = req.release {
-            if let Some(speedup) = cfg.speedup {
-                let due = std::time::Duration::from_secs_f64(release.max(0.0) / speedup);
-                if let Some(sleep) = due.checked_sub(pulse.wall_start.elapsed()) {
-                    std::thread::sleep(sleep);
-                }
-            }
-            if Time::new(release) > session.now() {
-                advance_to(
-                    &mut session,
-                    Time::new(release),
-                    &mut pulse,
-                    &mut out,
-                    &mut summary,
-                    &mut w,
-                    &mut scratch,
-                )?;
-            }
-        }
-
-        // Bounded admission: shed (with an explicit record) rather than
-        // queueing without limit.
-        let unfinished = session.snapshot().unfinished;
-        if cfg.max_pending.is_some_and(|cap| unfinished >= cap) {
-            summary.shed += 1;
-            w.reset("shed");
-            w.num_field("line", seq as f64)
-                .str_field("reason", "max-pending")
-                .num_field("unfinished", unfinished as f64);
-            write_line(&mut out, w.close())?;
-            maybe_stats(&session, &summary, &mut pulse, seq, &mut out, &mut w)?;
-            continue;
-        }
-
-        let release = req.release.unwrap_or_else(|| session.now().seconds());
-        match session.submit(Job::new(
-            EdgeId(req.origin),
-            release.max(0.0),
-            req.work,
-            req.up,
-            req.dn,
-        )) {
-            Ok(id) => {
-                summary.admitted += 1;
-                w.reset("admit");
-                w.num_field("line", seq as f64)
-                    .num_field("job", id.0 as f64)
-                    .num_field("release", release);
-                write_line(&mut out, w.close())?;
-            }
-            Err(e) => {
-                summary.rejected += 1;
-                scratch.clear();
-                {
-                    use std::fmt::Write as _;
-                    let _ = write!(scratch, "{e}");
-                }
-                w.reset("reject");
-                w.num_field("line", seq as f64).str_field("error", &scratch);
-                write_line(&mut out, w.close())?;
-            }
-        }
-        maybe_stats(&session, &summary, &mut pulse, seq, &mut out, &mut w)?;
+        lane.handle_line(&line, &mut out)?;
     }
-
-    // Input exhausted: run the backlog dry, still beating periodically.
-    loop {
-        let status = session
-            .run_until(Time::new(pulse.next_beat))
-            .map_err(|e| pulse.engine_failure(format!("engine: {e}")))?;
-        emit_completions(&mut session, &mut out, &mut summary, &mut w, &mut scratch)?;
-        match status {
-            SessionStatus::Done => break,
-            SessionStatus::Blocked => {
-                return Err(pulse.engine_failure(format!(
-                    "stalled at t={} with {} unfinished job(s): the policy \
-                     granted no activity and no event is queued",
-                    session.now(),
-                    session.snapshot().unfinished
-                )));
-            }
-            SessionStatus::Reached => {
-                // See `advance_to`: a pause past the boundary (the next
-                // event is several beats out) gets one heartbeat with the
-                // post-advance payload, not a stale repeat per boundary.
-                let record = heartbeat_record(&session, &summary, &mut pulse, &mut w);
-                write_line(&mut out, record)?;
-                pulse.next_beat += pulse.beat;
-                while pulse.next_beat <= session.now().seconds() {
-                    pulse.next_beat += pulse.beat;
-                }
-            }
-            SessionStatus::Advanced => {}
-        }
-    }
-
-    let snap = session.snapshot();
-    summary.max_stretch = summary.max_stretch.max(snap.max_stretch);
-    w.reset("summary");
-    w.num_field("now", snap.now.seconds())
-        .num_field("lines", summary.lines as f64)
-        .num_field("admitted", summary.admitted as f64)
-        .num_field("shed", summary.shed as f64)
-        .num_field("rejected", summary.rejected as f64)
-        .num_field("completed", snap.completed as f64)
-        .num_field("max_stretch", snap.max_stretch)
-        .num_field("mean_stretch", snap.mean_stretch)
-        .num_field("events", snap.run.events as f64);
-    write_line(&mut out, w.close())?;
-    summary.completed = snap.completed;
-    Ok(summary)
+    lane.finish(&mut out)
 }

@@ -1,0 +1,157 @@
+//! The per-connection merger: owns the connection's output half, drains
+//! the per-shard record channels into it, interleaves wall-clock
+//! `server-heartbeat` records, and closes the stream with one
+//! `server-summary` (see the module docs in [`super`]).
+//!
+//! Records arrive as whole pre-framed NDJSON lines, so interleaving
+//! streams from different shards can reorder lines *between* tenants but
+//! never corrupt or reorder lines *within* one tenant — each tenant's
+//! records travel one SPSC channel in order.
+
+use super::{ConnCounters, MergeMsg, ServerConfig, ServerSummary, Totals};
+use crate::cli::CliError;
+use crate::ndjson::ObjWriter;
+use std::io::Write;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+fn write_all(out: &mut impl Write, bytes: &[u8]) -> Result<(), CliError> {
+    out.write_all(bytes)
+        .map_err(|e| CliError::Io(format!("output stream: {e}")))
+}
+
+fn write_record(out: &mut impl Write, record: &str) -> Result<(), CliError> {
+    writeln!(out, "{record}").map_err(|e| CliError::Io(format!("output stream: {e}")))
+}
+
+/// Emits `server-hello`, then merges until every shard acknowledged EOF
+/// and the router reported its read totals; emits `server-summary` and
+/// returns the connection's totals.
+pub(crate) fn run(
+    mut out: impl Write,
+    rxs: Vec<mpsc::Receiver<MergeMsg>>,
+    counters: Arc<ConnCounters>,
+    cfg: &ServerConfig,
+) -> Result<ServerSummary, CliError> {
+    let mut w = ObjWriter::typed("server-hello");
+    w.num_field("shards", cfg.shards as f64)
+        .str_field("policy", cfg.serve.policy.name());
+    if let Some(cap) = cfg.serve.max_pending {
+        w.num_field("max_pending", cap as f64);
+    }
+    if let Some(cap) = cfg.max_queue {
+        w.num_field("max_queue", cap as f64);
+    }
+    if let Some(cap) = cfg.global_pending {
+        w.num_field("global_pending", cap as f64);
+    }
+    write_record(&mut out, w.close())?;
+    out.flush()
+        .map_err(|e| CliError::Io(format!("output stream: {e}")))?;
+
+    let start = Instant::now();
+    let mut seq = 0u64;
+    let mut last_wall_ms = 0u64;
+    let mut next_beat_ms = cfg.heartbeat_ms;
+    let mut eof = vec![false; rxs.len()];
+    let mut totals = Totals::default();
+    let mut reader_lines = 0usize;
+    let mut reader_shed = 0usize;
+    loop {
+        let mut idle = true;
+        for (i, rx) in rxs.iter().enumerate() {
+            if eof[i] {
+                continue;
+            }
+            // Drain whatever this channel has ready before moving on, so
+            // a chatty shard doesn't wait a full sweep per record.
+            loop {
+                match rx.try_recv() {
+                    Ok(MergeMsg::Records(bytes)) => {
+                        idle = false;
+                        write_all(&mut out, &bytes)?;
+                    }
+                    Ok(MergeMsg::ShardEof { totals: t }) => {
+                        idle = false;
+                        totals.add(&t);
+                        eof[i] = true;
+                        break;
+                    }
+                    Ok(MergeMsg::ReaderEof { lines, shed }) => {
+                        idle = false;
+                        reader_lines = lines;
+                        reader_shed = shed;
+                        eof[i] = true;
+                        break;
+                    }
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        // Worker or router died without an EOF message
+                        // (panic): treat as end of that stream so the
+                        // connection still closes out.
+                        eof[i] = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !idle {
+            out.flush()
+                .map_err(|e| CliError::Io(format!("output stream: {e}")))?;
+        }
+        if eof.iter().all(|&done| done) {
+            break;
+        }
+        if cfg.heartbeat_ms > 0 {
+            let elapsed_ms = start.elapsed().as_millis() as u64;
+            if elapsed_ms >= next_beat_ms {
+                seq += 1;
+                // Strictly monotone even when a slow drain makes several
+                // beats due at once.
+                let wall_ms = elapsed_ms.max(last_wall_ms + 1);
+                last_wall_ms = wall_ms;
+                next_beat_ms = elapsed_ms + cfg.heartbeat_ms;
+                w.reset("server-heartbeat");
+                w.num_field("seq", seq as f64)
+                    .num_field("wall_ms", wall_ms as f64)
+                    .num_field("lines", counters.lines.load(Ordering::Relaxed) as f64)
+                    .num_field("admitted", counters.admitted.load(Ordering::Relaxed) as f64)
+                    .num_field("shed", counters.shed.load(Ordering::Relaxed) as f64)
+                    .num_field("rejected", counters.rejected.load(Ordering::Relaxed) as f64)
+                    .num_field(
+                        "completed",
+                        counters.completed.load(Ordering::Relaxed) as f64,
+                    )
+                    .num_field("tenants", counters.lanes.load(Ordering::Relaxed) as f64);
+                write_record(&mut out, w.close())?;
+                out.flush()
+                    .map_err(|e| CliError::Io(format!("output stream: {e}")))?;
+            }
+        }
+        if idle {
+            // Nothing ready on any channel: yield instead of spinning.
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        }
+    }
+
+    let summary = ServerSummary {
+        lines: reader_lines,
+        admitted: totals.admitted,
+        shed: totals.shed + reader_shed,
+        rejected: totals.rejected,
+        completed: totals.completed,
+        tenants: totals.lanes,
+    };
+    w.reset("server-summary");
+    w.num_field("lines", summary.lines as f64)
+        .num_field("admitted", summary.admitted as f64)
+        .num_field("shed", summary.shed as f64)
+        .num_field("rejected", summary.rejected as f64)
+        .num_field("completed", summary.completed as f64)
+        .num_field("tenants", summary.tenants as f64);
+    write_record(&mut out, w.close())?;
+    out.flush()
+        .map_err(|e| CliError::Io(format!("output stream: {e}")))?;
+    Ok(summary)
+}

@@ -1,0 +1,278 @@
+//! A shard worker: owns the per-tenant [`Lane`]s hashed to it, feeds
+//! them the lines the router forwards, and streams their records to each
+//! connection's merger (see the module docs in [`super`]).
+//!
+//! Sessions are created *inside* the worker thread and never leave it —
+//! the only data crossing threads is raw input lines in and rendered
+//! record bytes out, so the engine needs no synchronization.
+
+use super::{ConnCounters, ConnId, Gate, MergeMsg, ServerConfig, ShardMsg, Totals};
+use crate::ndjson::{parse_object_into, ObjBuf, ObjWriter};
+use crate::serve::{owned_lane, Lane, ServeSummary};
+use mmsec_platform::{Instance, PlatformSpec};
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+
+/// One tenant's serving loop plus the bookkeeping snapshots used to
+/// publish per-line deltas into the connection counters and the global
+/// admission gauge.
+struct LaneSlot {
+    lane: Lane<'static>,
+    /// The lane's summary as of the previous line (for counter deltas).
+    last: ServeSummary,
+    /// Unfinished jobs as of the previous line (for the gate delta).
+    unfinished: usize,
+}
+
+struct ConnState {
+    out: mpsc::Sender<MergeMsg>,
+    counters: Arc<ConnCounters>,
+    /// Totals of lanes closed before EOF (engine failures) plus router
+    /// rejects that never created a lane.
+    closed: Totals,
+}
+
+/// Publishes the lane's progress since the last call: counter deltas for
+/// the merger's heartbeat payload, and the unfinished-jobs delta into the
+/// global admission gate.
+fn publish(slot: &mut LaneSlot, counters: &ConnCounters, gate: &Gate) {
+    let s = *slot.lane.summary();
+    counters
+        .lines
+        .fetch_add(s.lines - slot.last.lines, Ordering::Relaxed);
+    counters
+        .admitted
+        .fetch_add(s.admitted - slot.last.admitted, Ordering::Relaxed);
+    counters
+        .shed
+        .fetch_add(s.shed - slot.last.shed, Ordering::Relaxed);
+    counters
+        .rejected
+        .fetch_add(s.rejected - slot.last.rejected, Ordering::Relaxed);
+    counters
+        .completed
+        .fetch_add(s.completed - slot.last.completed, Ordering::Relaxed);
+    slot.last = s;
+    let unfinished = slot.lane.unfinished();
+    gate.add(unfinished as isize - slot.unfinished as isize);
+    slot.unfinished = unfinished;
+}
+
+/// Folds a closed lane's final summary into the per-connection totals.
+fn absorb(totals: &mut Totals, summary: &ServeSummary) {
+    totals.admitted += summary.admitted;
+    totals.shed += summary.shed;
+    totals.rejected += summary.rejected;
+    totals.completed += summary.completed;
+    totals.lanes += 1;
+}
+
+/// What a tenant's first line turned out to be.
+enum FirstLine {
+    /// Not a `spec` record: create the lane from the server's default
+    /// platform and feed it the line.
+    NotSpec,
+    /// A well-formed `spec` record: create the lane on this platform
+    /// (the line itself is consumed).
+    Spec(Instance),
+    /// A `spec` record with a protocol violation: reject, create no lane.
+    BadSpec(String),
+}
+
+/// Parses a prospective `{"type": "spec", ...}` platform record:
+/// `edges` / `clouds` unit counts (≥1 edge) with uniform `edge-speed` /
+/// `cloud-speed` (default 1.0).
+fn parse_spec_line(line: &str, fields: &mut ObjBuf) -> FirstLine {
+    if parse_object_into(line, fields).is_err() {
+        return FirstLine::NotSpec;
+    }
+    if !fields
+        .fields()
+        .iter()
+        .any(|(k, v)| k == "type" && v.as_str() == Some("spec"))
+    {
+        return FirstLine::NotSpec;
+    }
+    let mut edges = 1.0f64;
+    let mut clouds = 0.0f64;
+    let mut edge_speed = 1.0f64;
+    let mut cloud_speed = 1.0f64;
+    for (key, value) in fields.fields() {
+        let num = match key.as_str() {
+            "type" | "tenant" | "id" | "tag" => continue,
+            "edges" | "clouds" | "edge-speed" | "cloud-speed" => match value.as_num() {
+                Some(x) => x,
+                None => return FirstLine::BadSpec(format!("field {key:?} must be a number")),
+            },
+            other => return FirstLine::BadSpec(format!("unknown field {other:?}")),
+        };
+        match key.as_str() {
+            "edges" => edges = num,
+            "clouds" => clouds = num,
+            "edge-speed" => edge_speed = num,
+            _ => cloud_speed = num,
+        }
+    }
+    for (name, count) in [("edges", edges), ("clouds", clouds)] {
+        if count < 0.0 || count.fract() != 0.0 || count > 4096.0 {
+            return FirstLine::BadSpec(format!(
+                "field {name:?} must be a small non-negative integer, got {count}"
+            ));
+        }
+    }
+    if edges < 1.0 {
+        return FirstLine::BadSpec("a platform needs at least one edge".into());
+    }
+    let spec = PlatformSpec::heterogeneous(
+        vec![edge_speed; edges as usize],
+        vec![cloud_speed; clouds as usize],
+    );
+    match Instance::new(spec, Vec::new()) {
+        Ok(inst) => FirstLine::Spec(inst),
+        Err(e) => FirstLine::BadSpec(e.to_string()),
+    }
+}
+
+fn push_record(buf: &mut Vec<u8>, record: &str) {
+    // Writing to a Vec cannot fail.
+    let _ = writeln!(buf, "{record}");
+}
+
+/// The worker loop: runs until every [`super::ShardTx`] handle is gone.
+pub(crate) fn run(
+    shard: usize,
+    rx: mpsc::Receiver<ShardMsg>,
+    inst: &Instance,
+    cfg: &ServerConfig,
+    gate: &Gate,
+) {
+    let _ = shard;
+    let mut lanes: HashMap<(ConnId, String), LaneSlot> = HashMap::new();
+    let mut conns: HashMap<ConnId, ConnState> = HashMap::new();
+    let mut fields = ObjBuf::new();
+    let mut w = ObjWriter::typed("spec-ok");
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Open {
+                conn,
+                out,
+                counters,
+            } => {
+                conns.insert(
+                    conn,
+                    ConnState {
+                        out,
+                        counters,
+                        closed: Totals::default(),
+                    },
+                );
+            }
+            ShardMsg::Line { conn, tenant, line } => {
+                let Some(cs) = conns.get_mut(&conn) else {
+                    continue;
+                };
+                buf.clear();
+                let key = (conn, tenant);
+                if !lanes.contains_key(&key) {
+                    let tenant = &key.1;
+                    let lane_inst = match parse_spec_line(&line, &mut fields) {
+                        FirstLine::BadSpec(why) => {
+                            cs.counters.lines.fetch_add(1, Ordering::Relaxed);
+                            cs.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                            cs.closed.rejected += 1;
+                            w.reset("reject");
+                            w.str_field("tenant", tenant).str_field("error", &why);
+                            push_record(&mut buf, w.close());
+                            let _ = cs.out.send(MergeMsg::Records(std::mem::take(&mut buf)));
+                            continue;
+                        }
+                        FirstLine::Spec(spec_inst) => Some(spec_inst),
+                        FirstLine::NotSpec => None,
+                    };
+                    let consumed = lane_inst.is_some();
+                    if let Some(i) = &lane_inst {
+                        cs.counters.lines.fetch_add(1, Ordering::Relaxed);
+                        w.reset("spec-ok");
+                        w.str_field("tenant", tenant)
+                            .num_field("edges", i.spec.num_edge() as f64)
+                            .num_field("clouds", i.spec.num_cloud() as f64);
+                        push_record(&mut buf, w.close());
+                    }
+                    let mut lane = owned_lane(
+                        lane_inst.unwrap_or_else(|| inst.clone()),
+                        &cfg.serve,
+                        tenant.clone(),
+                    );
+                    cs.counters.lanes.fetch_add(1, Ordering::Relaxed);
+                    lane.hello(&mut buf).expect("writing to a Vec cannot fail");
+                    let slot = LaneSlot {
+                        unfinished: lane.unfinished(),
+                        last: *lane.summary(),
+                        lane,
+                    };
+                    lanes.insert(key.clone(), slot);
+                    if consumed {
+                        let _ = cs.out.send(MergeMsg::Records(std::mem::take(&mut buf)));
+                        continue;
+                    }
+                }
+                let slot = lanes.get_mut(&key).expect("lane was just ensured");
+                match slot.lane.handle_line(&line, &mut buf) {
+                    Ok(()) => publish(slot, &cs.counters, gate),
+                    Err(e) => {
+                        // An engine failure poisons only this lane: report
+                        // it on the stream, tear the lane down, and keep
+                        // serving the shard's other tenants.
+                        publish(slot, &cs.counters, gate);
+                        w.reset("error");
+                        w.str_field("tenant", &key.1)
+                            .str_field("error", &e.to_string());
+                        push_record(&mut buf, w.close());
+                        let slot = lanes.remove(&key).expect("present");
+                        absorb(&mut cs.closed, &slot.last);
+                        gate.add(-(slot.unfinished as isize));
+                    }
+                }
+                if !buf.is_empty() {
+                    let _ = cs.out.send(MergeMsg::Records(std::mem::take(&mut buf)));
+                }
+            }
+            ShardMsg::Eof { conn } => {
+                let Some(cs) = conns.remove(&conn) else {
+                    continue;
+                };
+                // Drain this connection's lanes in tenant order so the
+                // relative order of end-of-stream records is deterministic.
+                let mut tenants: Vec<String> = lanes
+                    .keys()
+                    .filter(|k| k.0 == conn)
+                    .map(|k| k.1.clone())
+                    .collect();
+                tenants.sort();
+                buf.clear();
+                let mut totals = cs.closed;
+                for tenant in tenants {
+                    let mut slot = lanes.remove(&(conn, tenant.clone())).expect("listed");
+                    if let Err(e) = slot.lane.finish(&mut buf) {
+                        w.reset("error");
+                        w.str_field("tenant", &tenant)
+                            .str_field("error", &e.to_string());
+                        push_record(&mut buf, w.close());
+                    }
+                    publish(&mut slot, &cs.counters, gate);
+                    // The drained lane holds no unfinished work on
+                    // success; on failure, release what it still held.
+                    gate.add(-(slot.unfinished as isize));
+                    absorb(&mut totals, &slot.last);
+                }
+                if !buf.is_empty() {
+                    let _ = cs.out.send(MergeMsg::Records(std::mem::take(&mut buf)));
+                }
+                let _ = cs.out.send(MergeMsg::ShardEof { totals });
+            }
+        }
+    }
+}

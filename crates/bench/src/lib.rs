@@ -8,6 +8,7 @@
 pub mod experiments;
 pub mod extra;
 pub mod hardness;
+pub mod load;
 pub mod run;
 pub mod scale;
 

@@ -1,0 +1,195 @@
+//! Load-generation plumbing for the sharded serve saturation benchmark:
+//! deterministic NDJSON workload scripts (tenant mix, release schedule)
+//! and latency aggregation (p50/p99 over admission-to-completion wall
+//! times). The `mmsec-load` binary (in `mmsec-apps`) drives a live
+//! socket server with these pieces; keeping the logic here keeps it unit
+//! -testable without a socket.
+
+use std::fmt::Write as _;
+
+/// Parameters of one generated load script.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadPlan {
+    /// Total job submissions to emit.
+    pub jobs: usize,
+    /// Distinct tenants, named `t0..t{n-1}`, assigned round-robin.
+    pub tenants: usize,
+    /// Mean virtual-time gap between consecutive releases *per tenant*
+    /// (the arrival rate knob: smaller = denser backlog per session).
+    pub mean_gap: f64,
+    /// Mean job work in virtual seconds.
+    pub mean_work: f64,
+    /// Edge units on the serving platform (origins cycle over them).
+    pub edges: usize,
+    /// Seed for the gap/work jitter.
+    pub seed: u64,
+}
+
+impl Default for LoadPlan {
+    fn default() -> Self {
+        LoadPlan {
+            jobs: 10_000,
+            tenants: 8,
+            mean_gap: 1.0,
+            mean_work: 0.8,
+            edges: 2,
+            seed: 1,
+        }
+    }
+}
+
+/// splitmix64 — the workspace's stock deterministic scrambler.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A unit-interval draw in (0, 1].
+fn unit(state: &mut u64) -> f64 {
+    ((splitmix(state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+/// One scripted submission line, plus the key a client needs to join the
+/// server's `admit`/`completion` records back to it: the tenant and the
+/// tenant-local line number (per-tenant lanes number their own lines
+/// from 1).
+#[derive(Clone, Debug)]
+pub struct ScriptedJob {
+    /// The NDJSON line to send, newline-terminated.
+    pub line: String,
+    /// Tenant index (tenant name is `t{index}`).
+    pub tenant: usize,
+    /// 1-based line number within this tenant's lane.
+    pub lane_line: usize,
+}
+
+/// Generates the full deterministic script for `plan`. Releases are
+/// non-decreasing per tenant (exponential-ish gaps via inverse CDF), so
+/// each lane replays a plausible arrival process; work is exponential
+/// around `mean_work` with a floor to keep jobs non-degenerate.
+pub fn script(plan: &LoadPlan) -> Vec<ScriptedJob> {
+    assert!(plan.tenants >= 1 && plan.edges >= 1);
+    let mut state = plan.seed.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ 0x1405_7b7e_f767_814f;
+    let mut clocks = vec![0.0f64; plan.tenants];
+    let mut lane_lines = vec![0usize; plan.tenants];
+    let mut out = Vec::with_capacity(plan.jobs);
+    for i in 0..plan.jobs {
+        let tenant = i % plan.tenants;
+        let gap = -plan.mean_gap * unit(&mut state).ln();
+        let work = (-plan.mean_work * unit(&mut state).ln()).max(0.01);
+        clocks[tenant] += gap;
+        lane_lines[tenant] += 1;
+        let origin = splitmix(&mut state) as usize % plan.edges;
+        let mut line = String::with_capacity(96);
+        let _ = writeln!(
+            line,
+            "{{\"tenant\": \"t{tenant}\", \"origin\": {origin}, \"release\": {:.4}, \
+             \"work\": {:.4}}}",
+            clocks[tenant], work
+        );
+        out.push(ScriptedJob {
+            line,
+            tenant,
+            lane_line: lane_lines[tenant],
+        });
+    }
+    out
+}
+
+/// Streaming latency aggregator: records admission-to-completion wall
+/// latencies and reports quantiles without keeping the stream sorted.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    samples: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample in seconds.
+    pub fn record(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds >= 0.0 {
+            self.samples.push(seconds);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on the sorted
+    /// samples; `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let rank = ((q.clamp(0.0, 1.0) * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len());
+        Some(self.samples[rank - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_is_deterministic_and_per_tenant_ordered() {
+        let plan = LoadPlan {
+            jobs: 200,
+            tenants: 5,
+            ..LoadPlan::default()
+        };
+        let a = script(&plan);
+        let b = script(&plan);
+        assert_eq!(a.len(), 200);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.line, y.line);
+        }
+        // Per-tenant releases are non-decreasing and lane lines count up.
+        for t in 0..5 {
+            let mine: Vec<_> = a.iter().filter(|j| j.tenant == t).collect();
+            assert_eq!(mine.len(), 40);
+            for (i, j) in mine.iter().enumerate() {
+                assert_eq!(j.lane_line, i + 1);
+            }
+            let releases: Vec<f64> = mine
+                .iter()
+                .map(|j| {
+                    let key = "\"release\": ";
+                    let at = j.line.find(key).unwrap() + key.len();
+                    j.line[at..].split(',').next().unwrap().parse().unwrap()
+                })
+                .collect();
+            assert!(releases.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let mut stats = LatencyStats::new();
+        for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            stats.record(x);
+        }
+        assert_eq!(stats.len(), 5);
+        assert_eq!(stats.quantile(0.0), Some(1.0));
+        assert_eq!(stats.quantile(0.5), Some(3.0));
+        assert_eq!(stats.quantile(0.99), Some(5.0));
+        assert_eq!(stats.quantile(1.0), Some(5.0));
+        assert_eq!(LatencyStats::new().quantile(0.5), None);
+    }
+}

@@ -18,6 +18,7 @@ use mmsec_platform::resource::{ResourceId, ResourceMap};
 use mmsec_platform::{CloudId, EdgeId, Job, JobId, JobState, Phase, SimView, Target};
 use mmsec_sim::time::approx;
 use mmsec_sim::Time;
+use std::cell::Cell;
 
 /// Phase the job would run first if placed on `target` *now*: the current
 /// phase when continuing on its committed target, the first non-empty
@@ -46,17 +47,26 @@ pub fn first_phase(view: &SimView<'_>, id: JobId, target: Target) -> Option<Phas
 
 /// Cross-job interference scope of one claim, recorded so later pops can
 /// prove a cached [`StartOption`] survived it (see
-/// [`RoundState::exact_since`]).
+/// [`RoundState::exact_since`]) or repair it against only what the claim
+/// actually wrote (see [`RoundState::refresh_option`]).
+///
+/// Outside its own origin edge, a claim writes exactly two places: the
+/// profiles/busy marks of its target cloud (`cloud`), and the backlog of
+/// the cloud CPU it retired its committed contribution from
+/// (`retired_cloud`). Both `None` means the claim was edge-confined — its
+/// entire write set (busy mark, profile move, dirt, and retirement) sat
+/// on `EdgeCpu(origin)`.
 #[derive(Clone, Copy, Debug)]
 struct ClaimScope {
     /// Origin edge of the claimed job.
     origin: usize,
-    /// The claim's entire write set lives on its origin edge: an
-    /// Edge-target claim (busy mark, profile move, and dirt all on
-    /// `EdgeCpu(origin)`) whose backlog retirement — if any — also sat on
-    /// that same CPU. Cloud claims never qualify: they touch the cloud,
-    /// and every job's cloud scan reads the touched set.
-    edge_confined: bool,
+    /// Cloud whose profiles (and busy marks) the claim moved; `None` for
+    /// an edge claim.
+    cloud: Option<CloudId>,
+    /// Cloud CPU whose backlog the claim retired — the claimed job had
+    /// committed cloud progress; `None` when the retirement was absent or
+    /// sat on the claimant's own edge CPU.
+    retired_cloud: Option<CloudId>,
 }
 
 /// A placement option that can start immediately.
@@ -103,6 +113,10 @@ pub struct RoundState {
     /// group, so `best_startable` forecasts one representative per group
     /// instead of every cloud.
     speed_classes: Vec<Vec<CloudId>>,
+    /// Speed-class index of each cloud — the inverse of `speed_classes`,
+    /// so per-cloud paths (delta refresh) can reach the class quotient
+    /// cache without searching the groups.
+    cloud_class: Vec<u32>,
     /// Clouds this round has touched — claimed, or carrying committed-job
     /// backlog — and which therefore need individual evaluation.
     touched: Vec<bool>,
@@ -139,6 +153,18 @@ pub struct RoundState {
     dirty_edge_in: Vec<bool>,
     /// Any of cloud `k`'s three resources moved (a claim landed on `k`).
     dirty_cloud: Vec<bool>,
+    /// Cross-epoch quotient cache for fresh *edge* candidates:
+    /// `fresh_edge_div[i]` holds `job.work / edge_speed(origin)` — a
+    /// run-long constant per job, yet recomputed by every round's scan
+    /// before this cache. NaN marks "not computed yet" (volumes and
+    /// speeds are finite and positive, so a real quotient is never NaN).
+    /// Entries survive `reset`; the platform-version rebuild — exactly
+    /// when speeds can change — drops them.
+    fresh_edge_div: Vec<Cell<f64>>,
+    /// Same for fresh *cloud* candidates, one quotient per (job, speed
+    /// class): `fresh_cloud_div[i * speed_classes.len() + class]` holds
+    /// `job.work / class_speed`.
+    fresh_cloud_div: Vec<Cell<f64>>,
 }
 
 impl RoundState {
@@ -154,13 +180,22 @@ impl RoundState {
                 None => speed_classes.push((s, vec![k])),
             }
         }
+        let speed_classes: Vec<Vec<CloudId>> = speed_classes.into_iter().map(|(_, c)| c).collect();
+        let num_classes = speed_classes.len();
+        let mut cloud_class = vec![0u32; spec.num_cloud()];
+        for (ci, class) in speed_classes.iter().enumerate() {
+            for &k in class {
+                cloud_class[k.0] = ci as u32;
+            }
+        }
         let mut round = RoundState {
             proj: Projection::from_view(view),
             busy_now: ResourceMap::new(spec, false),
             backlog: ResourceMap::new(spec, 0.0f64),
             contribution: vec![None; view.jobs.len()],
             contributors: Vec::new(),
-            speed_classes: speed_classes.into_iter().map(|(_, c)| c).collect(),
+            speed_classes,
+            cloud_class,
             touched: vec![false; spec.num_cloud()],
             touched_list: Vec::new(),
             version: view.platform_version(),
@@ -172,6 +207,8 @@ impl RoundState {
             dirty_edge_out: vec![false; spec.num_edge()],
             dirty_edge_in: vec![false; spec.num_edge()],
             dirty_cloud: vec![false; spec.num_cloud()],
+            fresh_edge_div: vec![Cell::new(f64::NAN); view.jobs.len()],
+            fresh_cloud_div: vec![Cell::new(f64::NAN); view.jobs.len() * num_classes],
         };
         round.gather(view);
         round
@@ -215,6 +252,16 @@ impl RoundState {
             self.contribution.clear();
             self.contribution.resize(view.jobs.len(), None);
         }
+        if self.fresh_edge_div.len() != view.jobs.len() {
+            // Jobs arrived since the last round (streaming sessions):
+            // keep the computed quotients, mark only the new tail unset.
+            self.fresh_edge_div
+                .resize(view.jobs.len(), Cell::new(f64::NAN));
+            self.fresh_cloud_div.resize(
+                view.jobs.len() * self.speed_classes.len(),
+                Cell::new(f64::NAN),
+            );
+        }
         self.gather(view);
     }
 
@@ -257,6 +304,35 @@ impl RoundState {
         if !self.touched[k.0] {
             self.touched[k.0] = true;
             self.touched_list.push(k);
+        }
+    }
+
+    /// Cached `work / speed` for job `i`'s fresh edge candidate,
+    /// computed on first use (IEEE division is deterministic, so the
+    /// cached quotient is bit-identical to recomputing it).
+    fn fresh_edge_quot(&self, i: usize, work: f64, speed: f64) -> f64 {
+        let cell = &self.fresh_edge_div[i];
+        let q = cell.get();
+        if q.is_nan() {
+            let q = work / speed;
+            cell.set(q);
+            q
+        } else {
+            q
+        }
+    }
+
+    /// Cached `work / class_speed` for job `i`'s fresh candidate on
+    /// speed class `class`.
+    fn fresh_cloud_quot(&self, i: usize, class: usize, work: f64, speed: f64) -> f64 {
+        let cell = &self.fresh_cloud_div[i * self.speed_classes.len() + class];
+        let q = cell.get();
+        if q.is_nan() {
+            let q = work / speed;
+            cell.set(q);
+            q
+        } else {
+            q
         }
     }
 
@@ -397,14 +473,8 @@ impl RoundState {
         if committed != Some(Target::Edge) {
             let cand = if !self.dirty_edge_cpu[e] {
                 if view.target_available(job.origin, Target::Edge) && approx::positive(job.work) {
-                    let f = Forecast::pristine(
-                        Target::Edge,
-                        0.0,
-                        job.work,
-                        0.0,
-                        spec.edge_speed(job.origin),
-                        now,
-                    );
+                    let exec = self.fresh_edge_quot(i, job.work, spec.edge_speed(job.origin));
+                    let f = Forecast::pristine_quot(Target::Edge, 0.0, exec, 0.0, now);
                     let p = f.completion + Time::new(self.foreign_backlog(view, id, Target::Edge));
                     if matches!(continuation_bar, Some(bar) if p >= bar) {
                         None
@@ -458,7 +528,7 @@ impl RoundState {
         let ports_clean_dn = !self.dirty_edge_in[e] || job.dn <= 0.0;
         let mut cloud_best: Option<(Time, CloudId, StartOption)> = None;
         if let Some(cphase) = fresh_cloud_phase {
-            for class in &self.speed_classes {
+            for (ci, class) in self.speed_classes.iter().enumerate() {
                 let mut class_fc: Option<Forecast> = None;
                 for &k in class {
                     if committed == Some(Target::Cloud(k)) {
@@ -473,14 +543,8 @@ impl RoundState {
                     let clean = !self.dirty_cloud[k.0] && ports_clean_up && ports_clean_dn;
                     let cand = if clean {
                         let f = *class_fc.get_or_insert_with(|| {
-                            Forecast::pristine(
-                                Target::Cloud(k),
-                                job.up,
-                                job.work,
-                                job.dn,
-                                spec.cloud_speed(k),
-                                now,
-                            )
+                            let exec = self.fresh_cloud_quot(i, ci, job.work, spec.cloud_speed(k));
+                            Forecast::pristine_quot(Target::Cloud(k), job.up, exec, job.dn, now)
                         });
                         // `id`'s own contribution sits on its committed
                         // CPU, which this scan skips — no subtraction.
@@ -538,7 +602,7 @@ impl RoundState {
     /// [`Self::best_startable`] would return now.
     ///
     /// Trivially true when nothing was claimed since. Otherwise it holds
-    /// when every intervening claim was [edge-confined](ClaimScope) on a
+    /// when every intervening claim was edge-confined (`ClaimScope`) on a
     /// *different* edge: such a claim's entire write set — busy mark,
     /// profile move, dirt bit, and backlog retirement, all on
     /// `EdgeCpu(other)` — is disjoint from everything a best-startable
@@ -549,7 +613,199 @@ impl RoundState {
     pub fn exact_since(&self, tag: u32, origin: EdgeId) -> bool {
         self.claim_log[tag as usize..]
             .iter()
-            .all(|c| c.edge_confined && c.origin != origin.0)
+            .all(|c| c.origin != origin.0 && c.cloud.is_none() && c.retired_cloud.is_none())
+    }
+
+    /// Refreshes a [`StartOption`] cached at claim count `tag`: returns
+    /// exactly what [`Self::best_startable`] would return for `id` *now*,
+    /// but — whenever the intervening claims' interference can be
+    /// localized — by re-scoring only the clouds whose score for `id` can
+    /// have *improved* instead of rescanning the whole platform. `cached`
+    /// must be the option `best_startable` returned for `id` against this
+    /// round when the claim count was `tag`.
+    ///
+    /// Soundness of the delta path: a claim by a job from a *different*
+    /// edge writes, outside its own origin's CPU and ports (which nothing
+    /// in `id`'s evaluation reads), exactly the `ClaimScope` cloud set —
+    /// its target cloud's profiles and the backlog of the cloud CPU it
+    /// retired from. Reserving resources only advances their free times,
+    /// and a forecast is monotone in each of them, so the target write
+    /// can make that cloud only *worse* for `id`; a candidate that lost
+    /// to `cached` at `tag` still loses, and only the *retired* clouds —
+    /// whose backlog penalty dropped — can overtake it. `cached` itself
+    /// keeps its score and startability (its penalty can only have
+    /// *decreased*, so it still beats every unchanged candidate it beat
+    /// at `tag`). The fresh argmin is therefore `cached` versus the
+    /// re-scored retired clouds, compared under the scan's total order:
+    /// penalized score first, ties broken committed target → edge →
+    /// ascending cloud index. Each re-score is first bound-tested with
+    /// the closed-form pristine forecast (every resource free at `now` —
+    /// a lower bound on any projection walk over the same from-scratch
+    /// volumes) plus the current backlog; candidates whose bound already
+    /// loses skip the walk, and for clean clouds the bound *is* the
+    /// exact score. Falls back to the full scan when a claim shares
+    /// `id`'s origin, moved the cached target's own profiles, or the
+    /// delta outgrows its fixed buffer.
+    pub fn refresh_option(
+        &self,
+        view: &SimView<'_>,
+        id: JobId,
+        tag: u32,
+        cached: &StartOption,
+    ) -> Option<StartOption> {
+        /// Dedup-push; false on overflow (caller falls back to the scan).
+        fn push(delta: &mut [CloudId; 16], len: &mut usize, k: CloudId) -> bool {
+            if delta[..*len].contains(&k) {
+                return true;
+            }
+            if *len == delta.len() {
+                return false;
+            }
+            delta[*len] = k;
+            *len += 1;
+            true
+        }
+
+        let job = view.job(id);
+        let e = job.origin.0;
+        let cached_cloud = match cached.target {
+            Target::Cloud(q) => Some(q),
+            Target::Edge => None,
+        };
+        let mut delta = [CloudId(0); 16];
+        let mut delta_len = 0usize;
+        for c in &self.claim_log[tag as usize..] {
+            if c.origin == e {
+                return self.best_startable(view, id);
+            }
+            if c.cloud == cached_cloud && c.cloud.is_some() {
+                // The cached forecast itself is stale.
+                return self.best_startable(view, id);
+            }
+            // The claim's *target* needs no re-scoring beyond the check
+            // above: reserving resources only advances their profiles,
+            // and a forecast is monotone in every free time it reads, so
+            // a foreign claim can make its target cloud only *worse* for
+            // `id` — a candidate that lost to `cached` at `tag` still
+            // loses. Improvement flows solely through the backlog the
+            // claim retired.
+            if let Some(m) = c.retired_cloud {
+                // A retirement on the cached cloud only lowers its own
+                // penalty — covered by keeping `cached` as incumbent.
+                if Some(m) != cached_cloud && !push(&mut delta, &mut delta_len, m) {
+                    return self.best_startable(view, id);
+                }
+            }
+        }
+        if delta_len == 0 {
+            // Nothing `id` reads improved — the cached target's own
+            // backlog can only have dropped, and every other candidate
+            // only worsened; the cached option is still the argmin, bit
+            // for bit.
+            return Some(*cached);
+        }
+
+        // Total order of the full scan as an explicit key: penalized
+        // score, then a rank placing the committed target before the
+        // edge before ascending cloud indices. Distinct targets get
+        // distinct ranks, so the order is total and the argmin unique.
+        let jobs = view.jobs;
+        let i = id.0;
+        let committed = jobs.committed[i];
+        let rank = |t: Target| -> u64 {
+            if committed == Some(t) {
+                return 0;
+            }
+            match t {
+                Target::Edge => 1,
+                Target::Cloud(k) => 2 + k.0 as u64,
+            }
+        };
+        let has_progress = jobs.up_done[i] + jobs.work_done[i] + jobs.dn_done[i] > 0.0;
+        let continuation_bar: Option<Time> = match committed {
+            Some(t) if has_progress => {
+                Some(view.now + Time::new(jobs.remaining_time_on(i, job, t, view.spec())))
+            }
+            _ => None,
+        };
+        let spec = view.spec();
+        let now = view.now;
+        let mut st_slot: Option<JobState> = None;
+        let mut best = *cached;
+        let mut best_key = (
+            cached.completion + Time::new(self.foreign_backlog(view, id, cached.target)),
+            rank(cached.target),
+        );
+        let fresh_cloud_phase = if approx::positive(job.up) {
+            Some(Phase::Uplink)
+        } else if approx::positive(job.work) {
+            Some(Phase::Compute)
+        } else if approx::positive(job.dn) {
+            Some(Phase::Downlink)
+        } else {
+            None
+        };
+        for &k in &delta[..delta_len] {
+            let t = Target::Cloud(k);
+            if committed == Some(t) {
+                // Continuation: scored on *remaining* volumes, so the
+                // from-scratch pristine bound below does not apply.
+                let st = st_slot.get_or_insert_with(|| view.state(id));
+                if let Some((p, opt)) = self.evaluate(view, id, st, job, t, continuation_bar) {
+                    let key = (p, rank(t));
+                    if key < best_key {
+                        best_key = key;
+                        best = opt;
+                    }
+                }
+                continue;
+            }
+            let Some(cphase) = fresh_cloud_phase else {
+                continue;
+            };
+            // Pristine bound: the closed-form forecast assumes every
+            // resource free at `now`, a lower bound on any projection
+            // walk for the same from-scratch volumes; adding the current
+            // backlog keeps it a lower bound on the penalized score. A
+            // candidate whose bound already loses to the incumbent under
+            // the scan's total order cannot become the argmin — skip it
+            // without touching the projection.
+            let ci = self.cloud_class[k.0] as usize;
+            let exec = self.fresh_cloud_quot(i, ci, job.work, spec.cloud_speed(k));
+            let f = Forecast::pristine_quot(t, job.up, exec, job.dn, now);
+            let p_lb = f.completion + Time::new(self.backlog[ResourceId::CloudCpu(k)].max(0.0));
+            if (p_lb, rank(t)) >= best_key {
+                continue;
+            }
+            let clean = !self.dirty_cloud[k.0]
+                && (!self.dirty_edge_out[e] || job.up <= 0.0)
+                && (!self.dirty_edge_in[e] || job.dn <= 0.0);
+            if clean {
+                // The bound *is* the clean-path score, and it already
+                // beat the incumbent strictly.
+                if view.target_available(job.origin, t)
+                    && !matches!(continuation_bar, Some(bar) if p_lb >= bar)
+                {
+                    best_key = (p_lb, rank(t));
+                    best = StartOption {
+                        target: t,
+                        completion: f.completion,
+                        phase: cphase,
+                        forecast: f,
+                    };
+                }
+            } else {
+                let st = st_slot.get_or_insert_with(|| view.state(id));
+                if let Some((p, opt)) = self.evaluate(view, id, st, job, t, continuation_bar) {
+                    let key = (p, rank(t));
+                    if key < best_key {
+                        best_key = key;
+                        best = opt;
+                    }
+                }
+            }
+        }
+        Some(best)
     }
 
     /// Evaluates one placement candidate: `Some((penalized_score, opt))`
@@ -697,8 +953,14 @@ impl RoundState {
         }
         self.claim_log.push(ClaimScope {
             origin: job.origin.0,
-            edge_confined: matches!(target, Target::Edge)
-                && retired.map_or(true, |(cpu, _)| matches!(cpu, ResourceId::EdgeCpu(_))),
+            cloud: match target {
+                Target::Edge => None,
+                Target::Cloud(k) => Some(k),
+            },
+            retired_cloud: retired.and_then(|(cpu, _)| match cpu {
+                ResourceId::CloudCpu(k) => Some(k),
+                _ => None, // `gather` only credits CPUs
+            }),
         });
         self.claims += 1;
         debug_assert_eq!(self.claims as usize, self.claim_log.len());
@@ -1002,11 +1264,19 @@ mod tests {
                 };
                 check(&round)?;
                 // Claim a few jobs (whatever the scan picks) and re-check:
-                // claims create touched clouds mid-round.
+                // claims create touched clouds mid-round. Options cached
+                // at every earlier claim count are carried along so the
+                // delta repair is pinned against arbitrarily stale tags.
+                let mut snapshots: Vec<(JobId, u32, StartOption)> = Vec::new();
                 let mut claimed = 0;
                 for id in view.pending_jobs() {
                     if claimed == claims {
                         break;
+                    }
+                    for jid in view.pending_jobs() {
+                        if let Some(opt) = round.best_startable(&view, jid) {
+                            snapshots.push((jid, round.claim_count(), opt));
+                        }
                     }
                     if let Some(opt) = round.best_startable(&view, id) {
                         round.claim(&view, id, opt.target);
@@ -1019,6 +1289,17 @@ mod tests {
                                 mirror.best_startable(&view, jid),
                                 "claim_option diverged from claim on job {:?}",
                                 jid
+                            );
+                        }
+                        // The delta repair must reproduce the full rescan
+                        // from any option that was exact when snapshot.
+                        for &(jid, tag, ref opt) in &snapshots {
+                            prop_assert_eq!(
+                                round.refresh_option(&view, jid, tag, opt),
+                                round.best_startable(&view, jid),
+                                "refresh_option diverges for job {:?} from tag {}",
+                                jid,
+                                tag
                             );
                         }
                     }

@@ -100,18 +100,14 @@ impl OnlineScheduler for Srpt {
         }
         while let Some(entry) = self.heap.pop() {
             let Reverse((_, id)) = entry.key;
-            // Refresh unless the claims since the entry was computed
-            // provably left this job's evaluation alone (none at all, or
-            // only edge-confined claims on other edges) — then the cached
-            // option is exactly what the recompute would return.
-            let (opt, tag) = if round.exact_since(entry.tag, view.job(id).origin) {
-                (entry.opt, round.claim_count())
-            } else {
-                let Some(opt) = round.best_startable(view, id) else {
-                    continue; // can no longer start in this round
-                };
-                (opt, round.claim_count())
+            // Repair the cached option against only what the claims since
+            // the entry was computed actually wrote (usually nothing this
+            // job reads, or one or two clouds to re-score); the full
+            // rescan runs only when the interference can't be localized.
+            let Some(opt) = round.refresh_option(view, id, entry.tag, &entry.opt) else {
+                continue; // can no longer start in this round
             };
+            let tag = round.claim_count();
             let is_min = self.heap.peek().map_or(true, |next| {
                 let Reverse((nc, nid)) = next.key;
                 opt.completion < nc || (opt.completion == nc && id < nid)

@@ -61,6 +61,57 @@ macro_rules! emit {
     };
 }
 
+/// Policy storage: borrowed for embedders that drive a policy they keep
+/// (the batch benches, the CLI), owned for self-contained sessions whose
+/// policy must live and die with them (server shard lanes).
+pub(crate) enum SchedSlot<'a> {
+    /// The caller keeps the policy and lends it for the session's life.
+    Borrowed(&'a mut dyn OnlineScheduler),
+    /// The session owns the policy outright.
+    Owned(Box<dyn OnlineScheduler + 'a>),
+}
+
+impl SchedSlot<'_> {
+    #[inline]
+    fn get(&mut self) -> &mut dyn OnlineScheduler {
+        match self {
+            SchedSlot::Borrowed(s) => &mut **s,
+            SchedSlot::Owned(b) => b.as_mut(),
+        }
+    }
+
+    #[inline]
+    fn get_ref(&self) -> &dyn OnlineScheduler {
+        match self {
+            SchedSlot::Borrowed(s) => &**s,
+            SchedSlot::Owned(b) => b.as_ref(),
+        }
+    }
+}
+
+/// Observer storage, mirroring [`SchedSlot`]: `as_deref_mut` keeps the
+/// same shape `Option<&'a mut dyn Observer>` exposed, so every emission
+/// site (and the `emit!` macro) is agnostic to ownership.
+pub(crate) enum ObsSlot<'a> {
+    /// No observer attached: emission points reduce to untaken branches.
+    None,
+    /// The caller keeps the observer and lends it for the session's life.
+    Borrowed(&'a mut dyn Observer),
+    /// The session owns the observer outright.
+    Owned(Box<dyn Observer + 'a>),
+}
+
+impl ObsSlot<'_> {
+    #[inline]
+    fn as_deref_mut(&mut self) -> Option<&mut dyn Observer> {
+        match self {
+            ObsSlot::None => None,
+            ObsSlot::Borrowed(o) => Some(&mut **o),
+            ObsSlot::Owned(b) => Some(b.as_mut()),
+        }
+    }
+}
+
 /// What a bounded stepping call achieved (see [`Session::step`] and
 /// [`Session::run_until`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -141,8 +192,8 @@ pub struct SessionStats {
 /// [`Session::take_completions`]; convert the finished run into a
 /// [`RunOutcome`] with [`Session::into_outcome`].
 pub struct Session<'a> {
-    scheduler: &'a mut dyn OnlineScheduler,
-    observer: Option<&'a mut dyn Observer>,
+    scheduler: SchedSlot<'a>,
+    observer: ObsSlot<'a>,
     /// Phase-span telemetry sink. Like the observer, `None` means the
     /// instrumentation reduces to untaken branches: no clock is read.
     profiler: Option<&'a mut PhaseProfiler>,
@@ -215,10 +266,10 @@ pub struct Session<'a> {
 impl<'a> Session<'a> {
     pub(super) fn new(
         instance: Cow<'a, Instance>,
-        scheduler: &'a mut dyn OnlineScheduler,
+        mut scheduler: SchedSlot<'a>,
         opts: EngineOptions,
         faults: Option<&'a FaultPlan>,
-        observer: Option<&'a mut dyn Observer>,
+        observer: ObsSlot<'a>,
         profiler: Option<&'a mut PhaseProfiler>,
     ) -> Self {
         let started_wall = Instant::now();
@@ -256,7 +307,7 @@ impl<'a> Session<'a> {
         });
         let gating = opts.decision_gating
             && opts.allow_preemption
-            && scheduler.cadence() == DecisionCadence::OnEpochChange;
+            && scheduler.get_ref().cadence() == DecisionCadence::OnEpochChange;
         let mut queue = prime_queue(&instance, opts.reference_queue);
         if let Some(plan) = faults {
             prime_faults(&mut queue, plan);
@@ -273,7 +324,7 @@ impl<'a> Session<'a> {
         let event_log = opts.record_events.then(Vec::new);
         let jobs = JobArena::fresh(&instance, spec);
 
-        scheduler.on_start(&instance);
+        scheduler.get().on_start(&instance);
         let mut session = Session {
             scheduler,
             observer,
@@ -312,12 +363,12 @@ impl<'a> Session<'a> {
             paused_at_bound: false,
         };
         if let Some(p) = session.profiler.as_deref_mut() {
-            p.set_policy(&session.scheduler.name());
+            p.set_policy(&session.scheduler.get_ref().name());
         }
         emit!(
             session,
             ObsEvent::RunStart {
-                policy: session.scheduler.name(),
+                policy: session.scheduler.get_ref().name(),
                 jobs: n,
                 edges: session.instance.spec.num_edge(),
                 clouds: session.instance.spec.num_cloud(),
@@ -339,6 +390,23 @@ impl<'a> Session<'a> {
     /// True when every submitted job has finished.
     pub fn is_idle(&self) -> bool {
         self.unfinished == 0
+    }
+
+    /// True once the virtual clock has started ticking (the first step
+    /// ran). Before that, [`Session::now`] still reports the earliest
+    /// queued event — pre-start submissions can move it backwards — so
+    /// callers that stamp records with session time should not trust it
+    /// until the session has started.
+    pub fn started(&self) -> bool {
+        self.started
+    }
+
+    /// The time of the earliest queued engine event, if any: the instant
+    /// the virtual clock would snap to on the next step of an unstarted
+    /// session, and a lower bound on the next state change of a started
+    /// one that holds no activity in flight.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.queue.peek_time()
     }
 
     /// Submits a job to the running session and returns its id.
@@ -776,7 +844,7 @@ impl<'a> Session<'a> {
                 );
                 self.buf.clear();
                 let t0 = Instant::now();
-                self.scheduler.decide(&view, &mut self.buf);
+                self.scheduler.get().decide(&view, &mut self.buf);
                 let wall = t0.elapsed();
                 self.stats.decide_time += wall;
                 invoked_wall = Some(wall);

@@ -25,9 +25,21 @@
 //! completion, while [`Simulation::session`] hands back the underlying
 //! resumable [`Session`] for streaming use ([`Session::submit`] /
 //! [`Session::run_until`]).
+//!
+//! # Borrowed vs owned ingredients
+//!
+//! The borrowing builders ([`Simulation::of`], [`Simulation::policy`],
+//! [`Simulation::observer`]) suit batch runs where the caller keeps the
+//! pieces to inspect afterwards. Embedders that need a *self-contained*
+//! session — one that can be stored in a map or handed to a worker
+//! thread's state without a surrounding owner — use the owning variants
+//! ([`Simulation::owning`], [`Simulation::policy_boxed`],
+//! [`Simulation::observer_boxed`]), which move the instance, policy, and
+//! observer into the session itself. The server's per-tenant lanes are
+//! built this way.
 
 use super::outcome::{EngineError, RunOutcome};
-use super::session::Session;
+use super::session::{ObsSlot, SchedSlot, Session};
 use super::{EngineOptions, OnlineScheduler};
 use crate::instance::Instance;
 use mmsec_faults::FaultPlan;
@@ -36,23 +48,36 @@ use std::borrow::Cow;
 
 /// Builder for a simulation run (see the module docs).
 pub struct Simulation<'a> {
-    instance: &'a Instance,
-    policy: Option<&'a mut dyn OnlineScheduler>,
+    instance: Cow<'a, Instance>,
+    policy: Option<SchedSlot<'a>>,
     opts: EngineOptions,
     faults: Option<&'a FaultPlan>,
-    observer: Option<&'a mut dyn Observer>,
+    observer: ObsSlot<'a>,
     profiler: Option<&'a mut PhaseProfiler>,
 }
 
 impl<'a> Simulation<'a> {
-    /// Starts a builder over `instance` with default [`EngineOptions`].
+    /// Starts a builder over a borrowed `instance` with default
+    /// [`EngineOptions`].
     pub fn of(instance: &'a Instance) -> Self {
+        Self::from_cow(Cow::Borrowed(instance))
+    }
+
+    /// Starts a builder that moves `instance` into the session. Combined
+    /// with [`Simulation::policy_boxed`] (and, optionally,
+    /// [`Simulation::observer_boxed`]) the resulting session borrows
+    /// nothing from its creator.
+    pub fn owning(instance: Instance) -> Self {
+        Self::from_cow(Cow::Owned(instance))
+    }
+
+    fn from_cow(instance: Cow<'a, Instance>) -> Self {
         Simulation {
             instance,
             policy: None,
             opts: EngineOptions::default(),
             faults: None,
-            observer: None,
+            observer: ObsSlot::None,
             profiler: None,
         }
     }
@@ -60,7 +85,15 @@ impl<'a> Simulation<'a> {
     /// Sets the scheduling policy (required before [`Simulation::run`] or
     /// [`Simulation::session`]).
     pub fn policy(mut self, policy: &'a mut dyn OnlineScheduler) -> Self {
-        self.policy = Some(policy);
+        self.policy = Some(SchedSlot::Borrowed(policy));
+        self
+    }
+
+    /// Sets the scheduling policy by value: the session owns it. The
+    /// by-reference [`Simulation::policy`] remains the right call when
+    /// the caller wants the policy back after the run.
+    pub fn policy_boxed(mut self, policy: Box<dyn OnlineScheduler + 'a>) -> Self {
+        self.policy = Some(SchedSlot::Owned(policy));
         self
     }
 
@@ -89,7 +122,14 @@ impl<'a> Simulation<'a> {
     /// [`OnlineScheduler::attach_observer`] before running — typically
     /// through [`mmsec_obs::Shared`].
     pub fn observer(mut self, observer: &'a mut dyn Observer) -> Self {
-        self.observer = Some(observer);
+        self.observer = ObsSlot::Borrowed(observer);
+        self
+    }
+
+    /// Attaches an observer by value: the session owns it (see
+    /// [`Simulation::observer`] for the semantics).
+    pub fn observer_boxed(mut self, observer: Box<dyn Observer + 'a>) -> Self {
+        self.observer = ObsSlot::Owned(observer);
         self
     }
 
@@ -115,7 +155,7 @@ impl<'a> Simulation<'a> {
             .policy
             .expect("Simulation::policy must be set before running");
         Session::new(
-            Cow::Borrowed(self.instance),
+            self.instance,
             policy,
             self.opts,
             self.faults,

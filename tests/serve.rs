@@ -390,6 +390,75 @@ fn heartbeats_stay_monotone_when_one_advance_skips_many_boundaries() {
 }
 
 #[test]
+fn unstarted_drain_emits_no_stale_or_duplicate_heartbeats() {
+    // Regression: draining a session that never started (its only job's
+    // release lies many heartbeat boundaries in the future) used to emit
+    // one heartbeat per boundary, all stamped with the stale pre-start
+    // clock — duplicated, non-monotone timestamps. The drain must jump
+    // to the first event and beat once, where the session actually is.
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let inst = Instance::new(spec, vec![]).unwrap();
+    let input = r#"{"origin": 0, "release": 55.0, "work": 1.0}"#;
+    let recs = serve_lines(&inst, &ServeConfig::default(), input);
+
+    let beats: Vec<_> = recs.iter().filter(|r| kind_of(r) == "heartbeat").collect();
+    let times: Vec<f64> = beats.iter().map(|r| num(r, "now")).collect();
+    assert!(
+        times.windows(2).all(|w| w[0] < w[1]),
+        "heartbeat timestamps not strictly monotone: {times:?}"
+    );
+    assert_eq!(times, vec![55.0], "one beat, stamped at the first pause");
+    let summary = recs.last().unwrap();
+    assert_eq!(num(summary, "completed"), 1.0);
+}
+
+#[test]
+fn stats_never_precede_the_last_heartbeat() {
+    // Regression: a `stats` record (line cadence) must never carry a
+    // timestamp earlier than the last `heartbeat` (virtual-time cadence)
+    // on the same stream. Before the unstarted-session fix, a heartbeat
+    // could be emitted with a stale pre-start clock while later stats
+    // reported an earlier `now`. Far-future releases exercise exactly
+    // that path.
+    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let inst = Instance::new(spec, vec![]).unwrap();
+    let input = r#"
+{"origin": 0, "release": 15.0, "work": 1.0}
+{"origin": 0, "release": 25.0, "work": 1.0}
+{"origin": 0, "release": 47.0, "work": 2.0}
+"#;
+    let cfg = ServeConfig {
+        stats_every: Some(1),
+        ..ServeConfig::default()
+    };
+    let recs = serve_lines(&inst, &cfg, input);
+
+    let mut last_beat = f64::NEG_INFINITY;
+    for rec in &recs {
+        match kind_of(rec) {
+            "heartbeat" => {
+                let now = num(rec, "now");
+                assert!(
+                    now > last_beat,
+                    "heartbeat at {now} not after previous at {last_beat}"
+                );
+                last_beat = now;
+            }
+            "stats" => {
+                let now = num(rec, "now");
+                assert!(
+                    now >= last_beat,
+                    "stats at {now} precedes last heartbeat at {last_beat}"
+                );
+            }
+            _ => {}
+        }
+    }
+    let summary = recs.last().unwrap();
+    assert_eq!(num(summary, "completed"), 3.0);
+}
+
+#[test]
 fn preloaded_instance_jobs_run_as_a_warm_batch() {
     let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
     let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
