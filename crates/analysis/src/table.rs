@@ -38,6 +38,11 @@ impl Table {
         self.rows.len()
     }
 
+    /// Cells of data row `i` (header order).
+    pub fn row(&self, i: usize) -> &[String] {
+        &self.rows[i]
+    }
+
     /// Renders as a GitHub-flavoured markdown table.
     pub fn to_markdown(&self) -> String {
         let widths = self.column_widths();

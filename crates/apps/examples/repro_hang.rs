@@ -1,5 +1,8 @@
 fn main() {
-    let spec = mmsec_platform::PlatformSpec::homogeneous_cloud(vec![0.5, 0.8], 2);
+    let spec = mmsec_platform::PlatformSpec::builder()
+        .edges(vec![0.5, 0.8])
+        .cloud_pool(2)
+        .build();
     let inst = mmsec_platform::Instance::new(spec, vec![]).unwrap();
     // Single job whose release (25s) exceeds the heartbeat interval (10s);
     // input then ends, so only the drain loop runs.

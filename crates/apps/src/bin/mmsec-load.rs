@@ -19,7 +19,7 @@ use mmsec_apps::cli::{fail, CliError};
 use mmsec_apps::ndjson::{parse_object_into, ObjBuf, Value};
 use mmsec_apps::server::Listen;
 use mmsec_bench::load::{script, LatencyStats, LoadPlan};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
@@ -114,6 +114,8 @@ struct ReadOutcome {
     completed: usize,
     server_lines: usize,
     server_tenants: usize,
+    /// Reject counts keyed by the server's stable `code` field.
+    reject_codes: BTreeMap<String, usize>,
     latency: LatencyStats,
 }
 
@@ -174,7 +176,15 @@ fn read_stream(
                 }
             }
             "shed" => outcome.shed += 1,
-            "reject" => outcome.rejected += 1,
+            "reject" => {
+                outcome.rejected += 1;
+                let code = fields
+                    .fields()
+                    .iter()
+                    .find_map(|(k, v)| (k == "code").then(|| v.as_str()).flatten())
+                    .unwrap_or("unknown");
+                *outcome.reject_codes.entry(code.to_string()).or_insert(0) += 1;
+            }
             "completion" => {
                 outcome.completed += 1;
                 if let (Some(t), Some(j)) = (tenant, job) {
@@ -249,7 +259,7 @@ fn drive<S: Write + Halves>(stream: S, plan: &LoadPlan) -> Result<(), CliError> 
         "{{\"type\":\"load-result\",\"submitted\":{},\"admitted\":{},\"shed\":{},\
          \"rejected\":{},\"completed\":{},\"server_lines\":{},\"server_tenants\":{},\
          \"wall_secs\":{:.3},\"jobs_per_sec\":{:.1},\"shed_rate\":{:.6},\
-         \"p50_latency_ms\":{},\"p99_latency_ms\":{}}}",
+         \"p50_latency_ms\":{},\"p99_latency_ms\":{},\"reject_codes\":\"{}\"}}",
         jobs.len(),
         outcome.admitted,
         outcome.shed,
@@ -262,6 +272,12 @@ fn drive<S: Write + Halves>(stream: S, plan: &LoadPlan) -> Result<(), CliError> 
         outcome.shed as f64 / jobs.len().max(1) as f64,
         p50.map_or("null".into(), |x| format!("{:.3}", x * 1e3)),
         p99.map_or("null".into(), |x| format!("{:.3}", x * 1e3)),
+        outcome
+            .reject_codes
+            .iter()
+            .map(|(code, n)| format!("{code}:{n}"))
+            .collect::<Vec<_>>()
+            .join(","),
     );
     Ok(())
 }

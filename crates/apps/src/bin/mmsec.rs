@@ -8,6 +8,8 @@
 //! mmsec run --instance inst.txt --policy ssf-edf [--gantt] [--per-job]
 //!           [--trace trace.json] [--metrics metrics.json] [-v]
 //! mmsec compare --instance inst.txt
+//! mmsec trace export --instance inst.txt --out trace.ndjson
+//! mmsec trace import --trace trace.ndjson --out inst.txt
 //! ```
 
 use mmsec_apps::cli::{fail, CliError};
@@ -32,6 +34,8 @@ fn usage() -> ! {
          [--export FILE.csv] [--svg FILE.svg] [--trace FILE.json] [--metrics FILE.json]\n    \
          [--profile FILE.json] [--fault-mtbf SECS [--fault-mttr SECS] [--fault-seed N]] [-v]\n  \
          mmsec compare --instance FILE\n  \
+         mmsec trace export --instance FILE [--out FILE.ndjson]\n  \
+         mmsec trace import [--trace FILE.ndjson] [--out FILE]\n  \
          mmsec serve --instance FILE [--policy NAME] [--seed N] [--input FILE]\n    \
          [--speedup X] [--max-pending N] [--heartbeat SECS] [--stats-every N]\n    \
          [--trace FILE.json] [--metrics FILE.json]\n  \
@@ -342,6 +346,60 @@ fn main() {
                 );
                 std::fs::write(path, svg).unwrap_or_else(|e| fail(CliError::io(path, e)));
                 eprintln!("rendered SVG gantt to {path}");
+            }
+        }
+        "trace" => {
+            let mode = args.get(1).map(String::as_str).unwrap_or("");
+            match mode {
+                "export" => {
+                    let flags = parse_flags(&args[2..], &["instance", "out"]);
+                    let inst = load_instance(&flags);
+                    let mut buf = Vec::new();
+                    mmsec_apps::trace::write_trace(&inst, &mut buf).unwrap_or_else(|e| fail(e));
+                    match flags.get("out") {
+                        Some(path) => {
+                            std::fs::write(path, &buf)
+                                .unwrap_or_else(|e| fail(CliError::io(path, e)));
+                            eprintln!(
+                                "exported {} job(s) as an NDJSON trace to {path}",
+                                inst.jobs.len()
+                            );
+                        }
+                        None => {
+                            std::io::stdout()
+                                .write_all(&buf)
+                                .unwrap_or_else(|e| fail(CliError::Io(format!("stdout: {e}"))));
+                        }
+                    }
+                }
+                "import" => {
+                    let flags = parse_flags(&args[2..], &["trace", "out"]);
+                    let inst = match flags.get("trace") {
+                        Some(path) => {
+                            let file = std::fs::File::open(path)
+                                .unwrap_or_else(|e| fail(CliError::io(path, e)));
+                            mmsec_apps::trace::read_trace(BufReader::new(file))
+                        }
+                        None => {
+                            let stdin = std::io::stdin();
+                            mmsec_apps::trace::read_trace(stdin.lock())
+                        }
+                    }
+                    .unwrap_or_else(|e| fail(e));
+                    let text = inst.to_text();
+                    match flags.get("out") {
+                        Some(path) => {
+                            std::fs::write(path, &text)
+                                .unwrap_or_else(|e| fail(CliError::io(path, e)));
+                            eprintln!(
+                                "imported {} job(s) into instance file {path}",
+                                inst.jobs.len()
+                            );
+                        }
+                        None => print!("{text}"),
+                    }
+                }
+                _ => usage(),
             }
         }
         "compare" => {

@@ -28,7 +28,7 @@ fn usage() -> ! {
     fail(CliError::Usage(
         "usage: repro <fig2a|fig2b|fig2c|fig2d|exec-times|hardness|ablation-alpha|\
          ablation-ports|ablation-preempt|ablation-arrivals|ext-hetero|ext-windows|\
-         robustness|elastic|mean-vs-max|bender-competitive|all> \
+         ext-topology|ext-workload|robustness|elastic|mean-vs-max|bender-competitive|all> \
          [--scale smoke|quick|standard|full] [--seed N] [--csv DIR] [--metrics-dir DIR]"
             .into(),
     ));
@@ -130,6 +130,8 @@ fn main() {
             "ablation-preempt" => experiments::ablation_preemption(s, seed),
             "ext-hetero" => experiments::ext_heterogeneous(s, seed),
             "ext-windows" => experiments::ext_windows(s, seed),
+            "ext-topology" => experiments::ext_topology(s, seed),
+            "ext-workload" => experiments::ext_workload(s, seed),
             "robustness" => experiments::fault_robustness(s, seed),
             "elastic" => experiments::elastic(s, seed),
             "mean-vs-max" => mmsec_bench::extra::mean_vs_max_stretch(s, seed),
@@ -168,6 +170,8 @@ fn main() {
                 "ablation-arrivals",
                 "ext-hetero",
                 "ext-windows",
+                "ext-topology",
+                "ext-workload",
                 "robustness",
                 "elastic",
                 "mean-vs-max",

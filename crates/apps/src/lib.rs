@@ -14,3 +14,4 @@ pub mod cli;
 pub mod ndjson;
 pub mod serve;
 pub mod server;
+pub mod trace;

@@ -12,12 +12,20 @@
 //! ```
 //!
 //! `release` is optional (defaults to the current virtual time); `up` and
-//! `dn` default to 0. Output: one JSON record per line — `admit` / `shed`
+//! `dn` default to 0. On continuum platforms, `set-hop` retunes a tier
+//! hop's `(up, dn)` link-time factors:
+//!
+//! ```text
+//! {"type": "platform", "op": "set-hop", "hop": 0, "up": 2.0, "dn": 1.5}
+//! ```
+//!
+//! Output: one JSON record per line — `admit` / `shed`
 //! / `reject` for each input line (`platform-ok` for an applied
 //! mutation), `completion` per finished job with its stretch, periodic
-//! `heartbeat` snapshots (schema v3: queue depths, decide counters,
-//! per-interval deltas, platform version and live unit counts, and —
-//! under `--speedup` — the wall-vs-virtual lag) at a fixed virtual-time
+//! `heartbeat` snapshots (schema v4: queue depths, decide counters,
+//! per-interval deltas, platform version, live unit counts, tier-graph
+//! shape, and — under `--speedup` — the wall-vs-virtual lag) at a fixed
+//! virtual-time
 //! cadence, optional `stats` records every `--stats-every N` input
 //! lines, and one final `summary`. Heartbeat timestamps are strictly
 //! monotone, and their payload always reflects the state *after* the
@@ -28,6 +36,12 @@
 //! whose first job lies far in the future emits no pre-start beats, so no
 //! `stats` record can ever carry a timestamp earlier than the last
 //! heartbeat.
+//!
+//! Every `reject` record carries a human-readable `error`, a stable
+//! kebab-case `code` (`parse-error`, `bad-type`, `bad-value`,
+//! `unknown-field`, `missing-field`, `unknown-op`, or a platform/engine
+//! error class such as `unknown-edge` or `origin-out-of-range`), and —
+//! when the violation is tied to one — the offending `field`.
 //!
 //! Every session also feeds an internal [`FlightRecorder`]: if the engine
 //! errors or the backlog drain stalls, the last engine events are dumped
@@ -59,8 +73,10 @@ use mmsec_sim::Time;
 use std::io::{BufRead, Write};
 
 /// Heartbeat/stats payload schema version (the `"v"` field). v3 added
-/// `platform_version` and live `edges`/`clouds` counts.
-pub const STATS_SCHEMA_VERSION: u32 = 3;
+/// `platform_version` and live `edges`/`clouds` counts; v4 added the
+/// tier-graph fields (`tiers`, and `clouds_by_tier` on tiered
+/// platforms).
+pub const STATS_SCHEMA_VERSION: u32 = 4;
 
 /// Ring capacity of the serve loop's internal flight recorder.
 pub(crate) const FLIGHT_CAPACITY: usize = 512;
@@ -138,18 +154,56 @@ pub struct ServeSummary {
     pub max_stretch: f64,
 }
 
+/// A protocol violation: what went wrong (`code`, a stable kebab-case
+/// identifier scripts can switch on), where (`field`, the offending input
+/// field — empty when the violation is not tied to one), and a
+/// human-readable message. Every `reject` record carries all three.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Reject {
+    pub code: &'static str,
+    pub field: String,
+    pub message: String,
+}
+
+impl Reject {
+    pub(crate) fn new(code: &'static str, field: &str, message: impl Into<String>) -> Reject {
+        Reject {
+            code,
+            field: field.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// A violation not attributable to a single input field (e.g. a line
+    /// that failed to parse at all).
+    pub(crate) fn bare(code: &'static str, message: impl Into<String>) -> Reject {
+        Reject::new(code, "", message)
+    }
+
+    /// Writes the reject payload fields (everything but `type`/routing
+    /// fields) into an open record.
+    pub(crate) fn write_into(&self, w: &mut ObjWriter) {
+        w.str_field("error", &self.message)
+            .str_field("code", self.code);
+        if !self.field.is_empty() {
+            w.str_field("field", &self.field);
+        }
+    }
+}
+
 /// One parsed submission line.
-struct SubmitRequest {
-    origin: usize,
-    release: Option<f64>,
-    work: f64,
-    up: f64,
-    dn: f64,
+pub(crate) struct SubmitRequest {
+    pub(crate) origin: usize,
+    pub(crate) release: Option<f64>,
+    pub(crate) work: f64,
+    pub(crate) up: f64,
+    pub(crate) dn: f64,
 }
 
 /// Parses a submission line's fields, reporting protocol violations as
-/// strings (the loop turns them into `reject` records, not fatal errors).
-fn parse_submit(fields: &[(String, Value)]) -> Result<SubmitRequest, String> {
+/// typed [`Reject`]s (the loop turns them into `reject` records, not
+/// fatal errors). Shared with the trace importer ([`crate::trace`]).
+pub(crate) fn parse_submit(fields: &[(String, Value)]) -> Result<SubmitRequest, Reject> {
     let mut req = SubmitRequest {
         origin: 0,
         release: None,
@@ -159,12 +213,20 @@ fn parse_submit(fields: &[(String, Value)]) -> Result<SubmitRequest, String> {
     };
     let mut saw_origin = false;
     for (key, value) in fields {
-        let num = |v: &Value| v.as_num().ok_or(format!("field {key:?} must be a number"));
+        let num = |v: &Value| {
+            v.as_num().ok_or_else(|| {
+                Reject::new("bad-type", key, format!("field {key:?} must be a number"))
+            })
+        };
         match key.as_str() {
             "origin" => {
                 let x = num(value)?;
                 if x < 0.0 || x.fract() != 0.0 {
-                    return Err(format!("origin must be a non-negative integer, got {x}"));
+                    return Err(Reject::new(
+                        "bad-value",
+                        key,
+                        format!("origin must be a non-negative integer, got {x}"),
+                    ));
                 }
                 req.origin = x as usize;
                 saw_origin = true;
@@ -177,20 +239,43 @@ fn parse_submit(fields: &[(String, Value)]) -> Result<SubmitRequest, String> {
             // `tenant` is the sharded server's routing key and is
             // meaningless (but harmless) on a single session.
             "type" | "id" | "tag" | "tenant" => {}
-            other => return Err(format!("unknown field {other:?}")),
+            other => {
+                return Err(Reject::new(
+                    "unknown-field",
+                    other,
+                    format!("unknown field {other:?}"),
+                ))
+            }
         }
     }
     if !saw_origin {
-        return Err("missing field \"origin\"".into());
+        return Err(Reject::new(
+            "missing-field",
+            "origin",
+            "missing field \"origin\"",
+        ));
     }
     if !(req.work > 0.0 && req.work.is_finite()) {
-        return Err("field \"work\" must be a positive number".into());
+        return Err(Reject::new(
+            "bad-value",
+            "work",
+            "field \"work\" must be a positive number",
+        ));
     }
     if req.up < 0.0 || req.dn < 0.0 {
-        return Err("fields \"up\"/\"dn\" must be ≥ 0".into());
+        let field = if req.up < 0.0 { "up" } else { "dn" };
+        return Err(Reject::new(
+            "bad-value",
+            field,
+            "fields \"up\"/\"dn\" must be ≥ 0",
+        ));
     }
     if req.release.is_some_and(|r| r < 0.0) {
-        return Err("field \"release\" must be ≥ 0".into());
+        return Err(Reject::new(
+            "bad-value",
+            "release",
+            "field \"release\" must be ≥ 0",
+        ));
     }
     Ok(req)
 }
@@ -204,39 +289,83 @@ fn is_platform_record(fields: &[(String, Value)]) -> bool {
 }
 
 /// Parses a platform mutation record, reporting protocol violations as
-/// strings (typed `reject` records, never fatal). Speeds and factors are
-/// *not* range-checked here — the platform runtime owns those rules and
-/// reports them as typed errors ([`mmsec_platform::PlatformError`]).
-fn parse_platform(fields: &[(String, Value)]) -> Result<PlatformMutation, String> {
+/// typed [`Reject`]s (`reject` records, never fatal). Speeds and factors
+/// are *not* range-checked here — the platform runtime owns those rules
+/// and reports them as typed errors ([`mmsec_platform::PlatformError`]).
+fn parse_platform(fields: &[(String, Value)]) -> Result<PlatformMutation, Reject> {
     let mut op: Option<String> = None;
     let mut unit: Option<usize> = None;
+    let mut hop: Option<usize> = None;
     let mut speed: Option<f64> = None;
     let mut factor: Option<f64> = None;
+    let mut up: Option<f64> = None;
+    let mut dn: Option<f64> = None;
     for (key, value) in fields {
-        let num = |v: &Value| v.as_num().ok_or(format!("field {key:?} must be a number"));
+        let num = |v: &Value| {
+            v.as_num().ok_or_else(|| {
+                Reject::new("bad-type", key, format!("field {key:?} must be a number"))
+            })
+        };
+        let index = |v: &Value| {
+            let x = num(v)?;
+            if x < 0.0 || x.fract() != 0.0 {
+                return Err(Reject::new(
+                    "bad-value",
+                    key,
+                    format!("{key} must be a non-negative integer, got {x}"),
+                ));
+            }
+            Ok(x as usize)
+        };
         match key.as_str() {
             "op" => match value.as_str() {
                 // Producers may use `_` or `-` interchangeably.
                 Some(s) => op = Some(s.replace('_', "-")),
-                None => return Err("field \"op\" must be a string".into()),
-            },
-            "unit" => {
-                let x = num(value)?;
-                if x < 0.0 || x.fract() != 0.0 {
-                    return Err(format!("unit must be a non-negative integer, got {x}"));
+                None => {
+                    return Err(Reject::new(
+                        "bad-type",
+                        "op",
+                        "field \"op\" must be a string",
+                    ))
                 }
-                unit = Some(x as usize);
-            }
+            },
+            "unit" => unit = Some(index(value)?),
+            "hop" => hop = Some(index(value)?),
             "speed" => speed = Some(num(value)?),
             "factor" => factor = Some(num(value)?),
+            "up" => up = Some(num(value)?),
+            "dn" => dn = Some(num(value)?),
             "type" | "id" | "tag" | "tenant" => {}
-            other => return Err(format!("unknown field {other:?}")),
+            other => {
+                return Err(Reject::new(
+                    "unknown-field",
+                    other,
+                    format!("unknown field {other:?}"),
+                ))
+            }
         }
     }
-    let op = op.ok_or("missing field \"op\"")?;
-    let unit = |what: &str| unit.ok_or(format!("op {what:?} needs a \"unit\" field"));
-    let speed = |what: &str| speed.ok_or(format!("op {what:?} needs a \"speed\" field"));
-    let factor = |what: &str| factor.ok_or(format!("op {what:?} needs a \"factor\" field"));
+    let op = op.ok_or_else(|| Reject::new("missing-field", "op", "missing field \"op\""))?;
+    let need = |opt: Option<f64>, field: &'static str, what: &str| {
+        opt.ok_or_else(|| {
+            Reject::new(
+                "missing-field",
+                field,
+                format!("op {what:?} needs a {field:?} field"),
+            )
+        })
+    };
+    let unit = |what: &str| {
+        unit.ok_or_else(|| {
+            Reject::new(
+                "missing-field",
+                "unit",
+                format!("op {what:?} needs a \"unit\" field"),
+            )
+        })
+    };
+    let speed = |what: &str| need(speed, "speed", what);
+    let factor = |what: &str| need(factor, "factor", what);
     Ok(match op.as_str() {
         "add-edge" => PlatformMutation::AddEdge { speed: speed(&op)? },
         "remove-edge" => PlatformMutation::RemoveEdge {
@@ -258,10 +387,25 @@ fn parse_platform(fields: &[(String, Value)]) -> Result<PlatformMutation, String
             cloud: CloudId(unit(&op)?),
             speed: speed(&op)?,
         },
+        "set-hop" => PlatformMutation::SetHop {
+            hop: hop.ok_or_else(|| {
+                Reject::new(
+                    "missing-field",
+                    "hop",
+                    format!("op {op:?} needs a \"hop\" field"),
+                )
+            })?,
+            up: need(up, "up", &op)?,
+            dn: need(dn, "dn", &op)?,
+        },
         other => {
-            return Err(format!(
-                "unknown op {other:?} (expected add-edge, remove-edge, add-cloud, \
-                 remove-cloud, set-link, set-edge-speed, or set-cloud-speed)"
+            return Err(Reject::new(
+                "unknown-op",
+                "op",
+                format!(
+                    "unknown op {other:?} (expected add-edge, remove-edge, add-cloud, \
+                     remove-cloud, set-link, set-edge-speed, set-cloud-speed, or set-hop)"
+                ),
             ))
         }
     })
@@ -343,9 +487,10 @@ impl Pulse {
     }
 }
 
-/// Writes the shared stats payload (schema v2) into `w`: queue depths,
-/// decide counters, admission totals, per-interval deltas, and the
-/// optional replay lag. Updates `last` to the current totals.
+/// Writes the shared stats payload (schema v4) into `w`: queue depths,
+/// decide counters, admission totals, per-interval deltas, platform
+/// shape (including tier-graph fields), and the optional replay lag.
+/// Updates `last` to the current totals.
 fn stats_payload(
     w: &mut ObjWriter,
     session: &Session<'_>,
@@ -362,8 +507,29 @@ fn stats_payload(
         .num_field("running", s.running as f64)
         .num_field("platform_version", session.platform().version() as f64)
         .num_field("edges", session.platform().num_edges_live() as f64)
-        .num_field("clouds", session.platform().num_clouds_live() as f64)
-        .num_field("max_stretch", s.max_stretch)
+        .num_field("clouds", session.platform().num_clouds_live() as f64);
+    // v4: tier-graph shape — the hop count, and (tiered only) the live
+    // cloud count at each tier as a comma-joined list (`"2,1"` = two live
+    // clouds at tier 1, one at tier 2). The protocol's records are flat,
+    // so the list is a string, not an array.
+    let platform = session.platform();
+    let depth = platform.spec().tier_depth();
+    w.num_field("tiers", depth as f64);
+    if let Some(topo) = platform.spec().tier_topology() {
+        let mut by_tier = vec![0usize; depth];
+        for k in platform.spec().clouds() {
+            if platform.cloud_live(k) {
+                by_tier[topo.tier_of(k) - 1] += 1;
+            }
+        }
+        let list = by_tier
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        w.str_field("clouds_by_tier", &list);
+    }
+    w.num_field("max_stretch", s.max_stretch)
         .num_field("mean_stretch", s.mean_stretch)
         .num_field("events", s.run.events as f64)
         .num_field("decides", s.run.decides as f64)
@@ -636,7 +802,10 @@ impl<'a> Lane<'a> {
             let outcome = parse_platform(self.fields.fields()).and_then(|m| {
                 self.session
                     .apply_platform(m)
-                    .map_err(|e| e.to_string())
+                    // A mutation the runtime refused: the offending field
+                    // is the op itself; the code is the runtime's stable
+                    // error class.
+                    .map_err(|e| Reject::new(e.code(), "op", e.to_string()))
                     .map(|v| (m, v))
             });
             match outcome {
@@ -653,9 +822,9 @@ impl<'a> Lane<'a> {
                 }
                 Err(why) => {
                     self.summary.rejected += 1;
-                    reset_rec(&mut self.w, "reject", self.pulse.tenant.as_deref())
-                        .num_field("line", seq as f64)
-                        .str_field("error", &why);
+                    let w = reset_rec(&mut self.w, "reject", self.pulse.tenant.as_deref());
+                    w.num_field("line", seq as f64);
+                    why.write_into(w);
                     write_line(out, self.w.close())?;
                 }
             }
@@ -670,13 +839,16 @@ impl<'a> Lane<'a> {
             return Ok(());
         }
 
-        let req = match parsed.and_then(|()| parse_submit(self.fields.fields())) {
+        let req = match parsed
+            .map_err(|why| Reject::bare("parse-error", why))
+            .and_then(|()| parse_submit(self.fields.fields()))
+        {
             Ok(req) => req,
             Err(why) => {
                 self.summary.rejected += 1;
-                reset_rec(&mut self.w, "reject", self.pulse.tenant.as_deref())
-                    .num_field("line", seq as f64)
-                    .str_field("error", &why);
+                let w = reset_rec(&mut self.w, "reject", self.pulse.tenant.as_deref());
+                w.num_field("line", seq as f64);
+                why.write_into(w);
                 write_line(out, self.w.close())?;
                 maybe_stats(
                     &self.session,
@@ -756,9 +928,13 @@ impl<'a> Lane<'a> {
                     use std::fmt::Write as _;
                     let _ = write!(self.scratch, "{e}");
                 }
+                // A submission the session refused (e.g. unknown or
+                // removed origin): the offending field is the origin.
                 reset_rec(&mut self.w, "reject", self.pulse.tenant.as_deref())
                     .num_field("line", seq as f64)
-                    .str_field("error", &self.scratch);
+                    .str_field("error", &self.scratch)
+                    .str_field("code", e.code())
+                    .str_field("field", "origin");
                 write_line(out, self.w.close())?;
             }
         }

@@ -8,8 +8,8 @@
 
 use super::{ConnCounters, ConnId, Gate, MergeMsg, ServerConfig, ShardMsg, Totals};
 use crate::ndjson::{parse_object_into, ObjBuf, ObjWriter};
-use crate::serve::{owned_lane, Lane, ServeSummary};
-use mmsec_platform::{Instance, PlatformSpec};
+use crate::serve::{owned_lane, Lane, Reject, ServeSummary};
+use mmsec_platform::Instance;
 use std::collections::HashMap;
 use std::io::Write;
 use std::sync::atomic::Ordering;
@@ -76,14 +76,14 @@ enum FirstLine {
     NotSpec,
     /// A well-formed `spec` record: create the lane on this platform
     /// (the line itself is consumed).
-    Spec(Instance),
+    Spec(Box<Instance>),
     /// A `spec` record with a protocol violation: reject, create no lane.
-    BadSpec(String),
+    BadSpec(Reject),
 }
 
-/// Parses a prospective `{"type": "spec", ...}` platform record:
-/// `edges` / `clouds` unit counts (≥1 edge) with uniform `edge-speed` /
-/// `cloud-speed` (default 1.0).
+/// Parses a prospective `{"type": "spec", ...}` platform record; the
+/// field schema (counts, per-unit speed lists, tier hops, unavailability
+/// windows) is shared with the trace codec — see [`crate::trace`].
 fn parse_spec_line(line: &str, fields: &mut ObjBuf) -> FirstLine {
     if parse_object_into(line, fields).is_err() {
         return FirstLine::NotSpec;
@@ -95,43 +95,13 @@ fn parse_spec_line(line: &str, fields: &mut ObjBuf) -> FirstLine {
     {
         return FirstLine::NotSpec;
     }
-    let mut edges = 1.0f64;
-    let mut clouds = 0.0f64;
-    let mut edge_speed = 1.0f64;
-    let mut cloud_speed = 1.0f64;
-    for (key, value) in fields.fields() {
-        let num = match key.as_str() {
-            "type" | "tenant" | "id" | "tag" => continue,
-            "edges" | "clouds" | "edge-speed" | "cloud-speed" => match value.as_num() {
-                Some(x) => x,
-                None => return FirstLine::BadSpec(format!("field {key:?} must be a number")),
-            },
-            other => return FirstLine::BadSpec(format!("unknown field {other:?}")),
-        };
-        match key.as_str() {
-            "edges" => edges = num,
-            "clouds" => clouds = num,
-            "edge-speed" => edge_speed = num,
-            _ => cloud_speed = num,
-        }
-    }
-    for (name, count) in [("edges", edges), ("clouds", clouds)] {
-        if count < 0.0 || count.fract() != 0.0 || count > 4096.0 {
-            return FirstLine::BadSpec(format!(
-                "field {name:?} must be a small non-negative integer, got {count}"
-            ));
-        }
-    }
-    if edges < 1.0 {
-        return FirstLine::BadSpec("a platform needs at least one edge".into());
-    }
-    let spec = PlatformSpec::heterogeneous(
-        vec![edge_speed; edges as usize],
-        vec![cloud_speed; clouds as usize],
-    );
+    let spec = match crate::trace::parse_spec_fields(fields.fields()) {
+        Ok(spec) => spec,
+        Err(why) => return FirstLine::BadSpec(why),
+    };
     match Instance::new(spec, Vec::new()) {
-        Ok(inst) => FirstLine::Spec(inst),
-        Err(e) => FirstLine::BadSpec(e.to_string()),
+        Ok(inst) => FirstLine::Spec(Box::new(inst)),
+        Err(e) => FirstLine::BadSpec(Reject::new(e.code(), "", e.to_string())),
     }
 }
 
@@ -184,12 +154,13 @@ pub(crate) fn run(
                             cs.counters.rejected.fetch_add(1, Ordering::Relaxed);
                             cs.closed.rejected += 1;
                             w.reset("reject");
-                            w.str_field("tenant", tenant).str_field("error", &why);
+                            w.str_field("tenant", tenant);
+                            why.write_into(&mut w);
                             push_record(&mut buf, w.close());
                             let _ = cs.out.send(MergeMsg::Records(std::mem::take(&mut buf)));
                             continue;
                         }
-                        FirstLine::Spec(spec_inst) => Some(spec_inst),
+                        FirstLine::Spec(spec_inst) => Some(*spec_inst),
                         FirstLine::NotSpec => None,
                     };
                     let consumed = lane_inst.is_some();

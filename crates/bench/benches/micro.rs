@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mmsec_core::PolicyKind;
 use mmsec_platform::obs::{FlightRecorder, NullObserver, PhaseProfiler};
 use mmsec_platform::projection::Projection;
-use mmsec_platform::{JobArena, JobState, PendingSet, SimView, Simulation};
+use mmsec_platform::{Instance, JobArena, JobState, PendingSet, SimView, Simulation};
 use mmsec_sim::{EventQueue, Interval, IntervalSet, Time};
 use mmsec_workload::{KangConfig, RandomCcrConfig};
 
@@ -182,6 +182,28 @@ fn bench_decide_path_high_n(c: &mut Criterion) {
         b.iter(|| {
             let mut policy = PolicyKind::Fcfs.build(1);
             Simulation::of(&inst).policy(policy.as_mut()).run().unwrap()
+        });
+    });
+    // The same workload on a 3-tier continuum: prices the tier-path
+    // comm scaling (path factors ≠ 1.0 everywhere) against the frozen
+    // flat `simulate_1000_srpt` run above.
+    let spec = &inst.spec;
+    let mut b = mmsec_platform::PlatformSpec::builder()
+        .edges(spec.edges().map(|j| spec.edge_speed(j)))
+        .tier(1.0, 1.0)
+        .tier(1.5, 2.0)
+        .tier(2.0, 3.0);
+    for (i, k) in spec.clouds().enumerate() {
+        b = b.cloud_at(spec.cloud_speed(k), 1 + i % 3);
+    }
+    let tiered = Instance::new(b.build(), inst.jobs.clone()).unwrap();
+    group.bench_function("simulate_1000_srpt_tiered", |b| {
+        b.iter(|| {
+            let mut policy = PolicyKind::Srpt.build(1);
+            Simulation::of(&tiered)
+                .policy(policy.as_mut())
+                .run()
+                .unwrap()
         });
     });
     // Mid-run unit churn through the session mutation API: a fast edge

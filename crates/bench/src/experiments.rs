@@ -398,8 +398,10 @@ pub fn ext_heterogeneous(scale: &Scale, seed: u64) -> Figure {
             for j in inst.spec.edges() {
                 edge_speeds.push(inst.spec.edge_speed(j));
             }
-            let spec =
-                mmsec_platform::PlatformSpec::heterogeneous(edge_speeds, cloud_speeds.clone());
+            let spec = mmsec_platform::PlatformSpec::builder()
+                .edges(edge_speeds)
+                .clouds(cloud_speeds.clone())
+                .build();
             mmsec_platform::Instance::new(spec, inst.jobs).expect("valid")
         };
         let point = evaluate_point(
@@ -697,6 +699,148 @@ pub fn elastic(scale: &Scale, seed: u64) -> Figure {
     }
 }
 
+/// E-topology: the same workload re-housed on continuum topologies of
+/// increasing depth. Hops price communication additively along the
+/// route, so deeper tiers make offloading progressively less attractive
+/// — the depth-1 unit-hop row must match the flat row *exactly* (it is
+/// the bit-identical special case the `tier_equivalence` proptest pins).
+pub fn ext_topology(scale: &Scale, seed: u64) -> Figure {
+    let policies = [PolicyKind::Greedy, PolicyKind::Srpt, PolicyKind::SsfEdf];
+    let mut table = Table::new(policy_headers(&policies, "topology"));
+    // (name, hop list; empty = flat, tier assignment round-robins from
+    // tier 1 upward). Aggregate cloud capacity is identical in all rows.
+    let shapes: [(&str, Vec<(f64, f64)>); 4] = [
+        ("flat", vec![]),
+        ("1 tier, unit hops", vec![(1.0, 1.0)]),
+        ("2 tiers", vec![(1.0, 1.0), (1.5, 2.0)]),
+        ("3 tiers", vec![(1.0, 1.0), (1.5, 2.0), (2.0, 3.0)]),
+    ];
+    for (name, hops) in shapes {
+        let hops = hops.clone();
+        let base = RandomCcrConfig {
+            n: scale.n_random,
+            ccr: 1.0,
+            load: 0.5,
+            ..RandomCcrConfig::default()
+        };
+        let make = |s: u64| {
+            let inst = base.generate(s);
+            let spec = &inst.spec;
+            let mut b = mmsec_platform::PlatformSpec::builder()
+                .edges(spec.edges().map(|j| spec.edge_speed(j)));
+            if hops.is_empty() {
+                b = b.clouds(spec.clouds().map(|k| spec.cloud_speed(k)));
+            } else {
+                let depth = hops.len();
+                for &(u, d) in &hops {
+                    b = b.tier(u, d);
+                }
+                for (i, k) in spec.clouds().enumerate() {
+                    b = b.cloud_at(spec.cloud_speed(k), 1 + i % depth);
+                }
+            }
+            mmsec_platform::Instance::new(b.build(), inst.jobs).expect("valid")
+        };
+        let point = evaluate_point(
+            make,
+            &policies,
+            scale.reps,
+            scale.threads,
+            seed ^ 0xE70,
+            EngineOptions::default(),
+            scale.validate,
+        );
+        let mut row = vec![name.to_string()];
+        row.extend(point.max_stretch.iter().map(|s| fmt_num(s.mean)));
+        table.push_row(row);
+    }
+    Figure {
+        id: "E-topology/tier-depth",
+        title: "max-stretch across continuum depths at equal aggregate capacity".into(),
+        table,
+        notes: vec![
+            "The \"1 tier, unit hops\" row equals \"flat\" exactly: a depth-1 \
+             continuum with hop factors (1, 1) is the flat platform, bit for bit."
+                .into(),
+            "Deeper tiers stretch the comm paths (prefix sums of hop factors), so \
+             cloud-leaning policies lose more than edge-leaning ones."
+                .into(),
+        ],
+    }
+}
+
+/// E-workload: one platform, three release/size models through the
+/// unified [`mmsec_workload::Workload`] API — the paper's uniform draws, a diurnal
+/// (sinusoidal NHPP) arrival process, and Pareto heavy-tailed work at
+/// the same mean.
+pub fn ext_workload(scale: &Scale, seed: u64) -> Figure {
+    use mmsec_workload::{ArrivalProcess, Dist, Workload, WorkloadSpec};
+
+    let policies = [PolicyKind::Greedy, PolicyKind::Srpt, PolicyKind::SsfEdf];
+    let mut table = Table::new(policy_headers(&policies, "workload"));
+    let platform = mmsec_platform::PlatformSpec::builder()
+        .edges(vec![1.0; 10])
+        .cloud_pool(10)
+        .build();
+    // Same mean work (5.5) and load in every row; only the shape moves.
+    let rows: [(&str, Dist, ArrivalProcess); 4] = [
+        (
+            "uniform work, uniform arrivals",
+            Dist::uniform(1.0, 10.0),
+            ArrivalProcess::Uniform,
+        ),
+        (
+            "exponential work, Poisson arrivals",
+            Dist::exponential(5.5),
+            ArrivalProcess::Poisson,
+        ),
+        (
+            "Pareto work (α=1.5), Poisson arrivals",
+            Dist::pareto_with_mean(5.5, 1.5),
+            ArrivalProcess::Poisson,
+        ),
+        (
+            "uniform work, diurnal arrivals",
+            Dist::uniform(1.0, 10.0),
+            ArrivalProcess::diurnal(),
+        ),
+    ];
+    for (name, work, arrivals) in rows {
+        let spec = WorkloadSpec::builder(platform.clone())
+            .jobs(scale.n_random)
+            .work(work)
+            .ccr(0.5)
+            .arrivals(arrivals)
+            .load(0.5)
+            .build();
+        let point = evaluate_point(
+            |s| spec.generate(s),
+            &policies,
+            scale.reps,
+            scale.threads,
+            seed ^ 0xE71,
+            EngineOptions::default(),
+            scale.validate,
+        );
+        let mut row = vec![name.to_string()];
+        row.extend(point.max_stretch.iter().map(|s| fmt_num(s.mean)));
+        table.push_row(row);
+    }
+    Figure {
+        id: "E-workload/generators",
+        title: "max-stretch under heavy-tailed sizes and non-stationary arrivals".into(),
+        table,
+        notes: vec![
+            "All rows share the platform, mean work, CCR, and load; only the \
+             distribution shape and arrival process change."
+                .into(),
+            "Heavy tails and diurnal bursts both concentrate release pressure, \
+             which is exactly where stretch-aware policies earn their keep."
+                .into(),
+        ],
+    }
+}
+
 fn kang_marker(pi: usize, num_edge: usize) -> u64 {
     0x4b00 + (pi as u64) + ((num_edge as u64) << 8)
 }
@@ -769,5 +913,19 @@ mod tests {
         assert_eq!(ablation_preemption(&tiny(), 1).table.num_rows(), 3);
         assert_eq!(ext_heterogeneous(&tiny(), 1).table.num_rows(), 2);
         assert_eq!(ext_windows(&tiny(), 1).table.num_rows(), 2);
+    }
+
+    #[test]
+    fn topology_depth_one_row_matches_flat_exactly() {
+        let fig = ext_topology(&tiny(), 1);
+        assert_eq!(fig.table.num_rows(), 4);
+        let flat: Vec<String> = fig.table.row(0)[1..].to_vec();
+        let unit: Vec<String> = fig.table.row(1)[1..].to_vec();
+        assert_eq!(flat, unit, "depth-1 unit-hop continuum must equal flat");
+    }
+
+    #[test]
+    fn workload_generators_run() {
+        assert_eq!(ext_workload(&tiny(), 1).table.num_rows(), 4);
     }
 }

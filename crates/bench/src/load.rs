@@ -4,7 +4,14 @@
 //! times). The `mmsec-load` binary (in `mmsec-apps`) drives a live
 //! socket server with these pieces; keeping the logic here keeps it unit
 //! -testable without a socket.
+//!
+//! Gap and work draws come from `mmsec-workload`'s [`Dist`] toolkit (the
+//! same exponential every batch generator uses) rather than a private
+//! sampler, so one seeded codepath feeds batch and streaming alike.
 
+use mmsec_workload::Dist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 
 /// Parameters of one generated load script.
@@ -38,20 +45,6 @@ impl Default for LoadPlan {
     }
 }
 
-/// splitmix64 — the workspace's stock deterministic scrambler.
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// A unit-interval draw in (0, 1].
-fn unit(state: &mut u64) -> f64 {
-    ((splitmix(state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64
-}
-
 /// One scripted submission line, plus the key a client needs to join the
 /// server's `admit`/`completion` records back to it: the tenant and the
 /// tenant-local line number (per-tenant lanes number their own lines
@@ -72,17 +65,19 @@ pub struct ScriptedJob {
 /// around `mean_work` with a floor to keep jobs non-degenerate.
 pub fn script(plan: &LoadPlan) -> Vec<ScriptedJob> {
     assert!(plan.tenants >= 1 && plan.edges >= 1);
-    let mut state = plan.seed.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ 0x1405_7b7e_f767_814f;
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+    let gap_dist = Dist::exponential(plan.mean_gap);
+    let work_dist = Dist::exponential(plan.mean_work);
     let mut clocks = vec![0.0f64; plan.tenants];
     let mut lane_lines = vec![0usize; plan.tenants];
     let mut out = Vec::with_capacity(plan.jobs);
     for i in 0..plan.jobs {
         let tenant = i % plan.tenants;
-        let gap = -plan.mean_gap * unit(&mut state).ln();
-        let work = (-plan.mean_work * unit(&mut state).ln()).max(0.01);
+        let gap = gap_dist.sample(&mut rng);
+        let work = work_dist.sample(&mut rng).max(0.01);
         clocks[tenant] += gap;
         lane_lines[tenant] += 1;
-        let origin = splitmix(&mut state) as usize % plan.edges;
+        let origin = rng.gen_range(0..plan.edges);
         let mut line = String::with_capacity(96);
         let _ = writeln!(
             line,

@@ -266,7 +266,10 @@ mod tests {
     use mmsec_platform::{validate, EdgeId, Instance, Job, PlatformSpec, Simulation};
 
     fn instance() -> Instance {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5, 0.1], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5, 0.1])
+            .cloud_pool(2)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 2.0, 0.5, 0.5),
             Job::new(EdgeId(1), 0.0, 4.0, 0.2, 0.2),
@@ -305,7 +308,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "needs a cloud")]
     fn cloud_only_requires_cloud() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
         let _ = Simulation::of(&inst).policy(&mut CloudOnly::new()).run();
     }
@@ -329,7 +335,10 @@ mod tests {
     fn fcfs_spreads_simultaneous_burst() {
         // Four cloud-friendly jobs at t=0, two clouds: shared projection
         // must not pile them all on cloud 0.
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.05; 4], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.05; 4])
+            .cloud_pool(2)
+            .build();
         let jobs: Vec<_> = (0..4)
             .map(|i| Job::new(EdgeId(i), 0.0, 4.0, 0.5, 0.5))
             .collect();

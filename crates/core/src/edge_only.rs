@@ -192,7 +192,10 @@ mod tests {
 
     #[test]
     fn never_uses_cloud() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.1], 4);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.1])
+            .cloud_pool(4)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 1.0, 0.1, 0.1),
             Job::new(EdgeId(0), 0.0, 2.0, 0.1, 0.1),
@@ -210,7 +213,10 @@ mod tests {
 
     #[test]
     fn intro_example_runs_short_job_first() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
             Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
@@ -230,7 +236,10 @@ mod tests {
         // One job, slow edge, cheap cloud alternative (min_time 4 versus
         // 12 locally). Edge-Only still executes locally, so its stretch is
         // 12/4 = 3 even though the schedule is the best possible locally.
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0 / 3.0], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0 / 3.0])
+            .cloud_pool(1)
+            .build();
         let jobs = vec![Job::new(EdgeId(0), 0.0, 4.0, 0.0, 0.0)];
         let inst = Instance::new(spec, jobs).unwrap();
         let out = Simulation::of(&inst)
@@ -244,7 +253,10 @@ mod tests {
     #[test]
     fn units_are_independent() {
         // Jobs on different units do not delay each other.
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0, 1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0, 1.0])
+            .cloud_pool(0)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 5.0, 0.0, 0.0),
             Job::new(EdgeId(1), 0.0, 5.0, 0.0, 0.0),
@@ -262,7 +274,10 @@ mod tests {
     fn deadlines_reorder_on_new_release() {
         // A long job runs; a short job arrives: its deadline is tighter,
         // EDF preempts the long one.
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
             Job::new(EdgeId(0), 1.0, 1.0, 0.0, 0.0),
@@ -285,7 +300,10 @@ mod tests {
 
     #[test]
     fn alpha_parameter_changes_name_and_behavior_is_sane() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0),
             Job::new(EdgeId(0), 0.5, 1.0, 0.0, 0.0),

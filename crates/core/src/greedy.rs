@@ -97,7 +97,10 @@ mod tests {
         // affected). Greedy must run the short one first... actually at
         // t=0 both estimate stretch 1; greedy picks the max = tie → lowest
         // id. After the first completes, the other runs.
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
             Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
@@ -114,7 +117,10 @@ mod tests {
     #[test]
     fn offloads_to_cloud_when_beneficial() {
         // Slow edge, fast cloud, cheap communications: both jobs go cloud.
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.1], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.1])
+            .cloud_pool(2)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 4.0, 0.1, 0.1),
             Job::new(EdgeId(0), 0.0, 4.0, 0.1, 0.1),
@@ -135,7 +141,10 @@ mod tests {
 
     #[test]
     fn keeps_jobs_local_when_comm_dominates() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5])
+            .cloud_pool(2)
+            .build();
         let jobs = vec![Job::new(EdgeId(0), 0.0, 1.0, 50.0, 50.0)];
         let inst = Instance::new(spec, jobs).unwrap();
         let out = Simulation::of(&inst)
@@ -150,7 +159,10 @@ mod tests {
     fn parallel_cloud_usage_across_edges() {
         // Two edges each with one job; two clouds; communications from
         // different edges proceed in parallel (independent pairs).
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.1, 0.1], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.1, 0.1])
+            .cloud_pool(2)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 2.0, 0.5, 0.5),
             Job::new(EdgeId(1), 0.0, 2.0, 0.5, 0.5),
@@ -169,7 +181,10 @@ mod tests {
 
     #[test]
     fn respects_cloud_choice_by_id_determinism() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.1], 3);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.1])
+            .cloud_pool(3)
+            .build();
         let jobs = vec![Job::new(EdgeId(0), 0.0, 1.0, 0.1, 0.1)];
         let inst = Instance::new(spec, jobs).unwrap();
         let a = Simulation::of(&inst)

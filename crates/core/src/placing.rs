@@ -108,10 +108,13 @@ pub struct RoundState {
     /// Jobs whose `contribution` entry was set this round, so `reset` can
     /// clear them without an O(n) sweep.
     contributors: Vec<usize>,
-    /// Cloud ids grouped by exact speed (ascending within each group).
-    /// Clouds the round has not touched are interchangeable within a
-    /// group, so `best_startable` forecasts one representative per group
-    /// instead of every cloud.
+    /// Cloud ids grouped by exact (speed, tier-path) triple — bitwise on
+    /// the floats, ascending within each group. Clouds the round has not
+    /// touched are interchangeable within a group (same compute rate
+    /// *and* same multi-hop transfer pricing), so `best_startable`
+    /// forecasts one representative per group instead of every cloud. On
+    /// a flat platform every path factor is exactly 1.0, so the grouping
+    /// degenerates to the pure speed classes it always was.
     speed_classes: Vec<Vec<CloudId>>,
     /// Speed-class index of each cloud — the inverse of `speed_classes`,
     /// so per-cloud paths (delta refresh) can reach the class quotient
@@ -172,12 +175,16 @@ impl RoundState {
     /// pending job with progress on a committed target.
     pub fn new(view: &SimView<'_>) -> Self {
         let spec = view.spec();
-        let mut speed_classes: Vec<(f64, Vec<CloudId>)> = Vec::new();
+        let mut speed_classes: Vec<((u64, u64, u64), Vec<CloudId>)> = Vec::new();
         for k in spec.clouds() {
-            let s = spec.cloud_speed(k);
-            match speed_classes.iter_mut().find(|(cs, _)| *cs == s) {
+            let key = (
+                spec.cloud_speed(k).to_bits(),
+                spec.path_up(k).to_bits(),
+                spec.path_dn(k).to_bits(),
+            );
+            match speed_classes.iter_mut().find(|(cs, _)| *cs == key) {
                 Some((_, class)) => class.push(k),
-                None => speed_classes.push((s, vec![k])),
+                None => speed_classes.push((key, vec![k])),
             }
         }
         let speed_classes: Vec<Vec<CloudId>> = speed_classes.into_iter().map(|(_, c)| c).collect();
@@ -433,9 +440,9 @@ impl RoundState {
                         jobs.current_phase(i, job, t).map(|phase| {
                             let f = Forecast::pristine(
                                 t,
-                                jobs.remaining_up(i, job),
+                                jobs.remaining_up(i, job) * spec.path_up(k),
                                 jobs.remaining_work(i, job),
-                                jobs.remaining_dn(i, job),
+                                jobs.remaining_dn(i, job) * spec.path_dn(k),
                                 spec.cloud_speed(k),
                                 now,
                             );
@@ -544,7 +551,13 @@ impl RoundState {
                     let cand = if clean {
                         let f = *class_fc.get_or_insert_with(|| {
                             let exec = self.fresh_cloud_quot(i, ci, job.work, spec.cloud_speed(k));
-                            Forecast::pristine_quot(Target::Cloud(k), job.up, exec, job.dn, now)
+                            Forecast::pristine_quot(
+                                Target::Cloud(k),
+                                job.up * spec.path_up(k),
+                                exec,
+                                job.dn * spec.path_dn(k),
+                                now,
+                            )
                         });
                         // `id`'s own contribution sits on its committed
                         // CPU, which this scan skips — no subtraction.
@@ -772,7 +785,13 @@ impl RoundState {
             // without touching the projection.
             let ci = self.cloud_class[k.0] as usize;
             let exec = self.fresh_cloud_quot(i, ci, job.work, spec.cloud_speed(k));
-            let f = Forecast::pristine_quot(t, job.up, exec, job.dn, now);
+            let f = Forecast::pristine_quot(
+                t,
+                job.up * spec.path_up(k),
+                exec,
+                job.dn * spec.path_dn(k),
+                now,
+            );
             let p_lb = f.completion + Time::new(self.backlog[ResourceId::CloudCpu(k)].max(0.0));
             if (p_lb, rank(t)) >= best_key {
                 continue;
@@ -980,7 +999,10 @@ mod tests {
     };
 
     fn fixture() -> (Instance, Vec<JobState>) {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5])
+            .cloud_pool(2)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0), // edge 4, cloud 4
             Job::new(EdgeId(0), 0.0, 6.0, 1.0, 1.0), // edge 12, cloud 8
@@ -1037,7 +1059,10 @@ mod tests {
         // THE regression this module guards against: with one cloud CPU
         // claimed, the next job must see cloud 0 as slower and pick
         // cloud 1 even though cloud 0's *ports* are free.
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.1], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.1])
+            .cloud_pool(2)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0), // no comm: CPU only
             Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
@@ -1206,7 +1231,7 @@ mod tests {
                 let speeds: Vec<f64> =
                     speed_picks.iter().map(|&p| [0.5, 1.0, 2.0][p]).collect();
                 let num_cloud = speeds.len();
-                let spec = PlatformSpec::heterogeneous(vec![1.0, 0.5], speeds);
+                let spec = PlatformSpec::builder().edges(vec![1.0, 0.5]).clouds(speeds).build();
                 let jobs: Vec<Job> = job_descs
                     .iter()
                     .map(|&(rel, work, up, dn, origin, _)| {

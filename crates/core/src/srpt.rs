@@ -138,7 +138,10 @@ mod tests {
     fn short_jobs_jump_the_queue() {
         // One unit-speed edge, no cloud. A long job starts; a short job
         // released later preempts it (its remaining time is smaller).
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
             Job::new(EdgeId(0), 2.0, 1.0, 0.0, 0.0),
@@ -161,7 +164,10 @@ mod tests {
     fn long_job_can_starve_behind_stream_of_short_ones() {
         // The known weakness of SRPT for MAX-stretch (§V-C): a long job is
         // repeatedly preempted by short jobs and its stretch grows.
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let mut jobs = vec![Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0)];
         for i in 0..20 {
             jobs.push(Job::new(EdgeId(0), i as f64, 1.0, 0.0, 0.0));
@@ -180,7 +186,10 @@ mod tests {
 
     #[test]
     fn picks_cloud_for_cloud_friendly_jobs() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.1], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.1])
+            .cloud_pool(1)
+            .build();
         let jobs = vec![Job::new(EdgeId(0), 0.0, 5.0, 0.5, 0.5)];
         let inst = Instance::new(spec, jobs).unwrap();
         let out = Simulation::of(&inst)
@@ -197,7 +206,10 @@ mod tests {
         // preempts the cloud CPU; meanwhile A's best completion may be a
         // fresh start on the edge... construct a case where SRPT restarts
         // a job and the result still validates.
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(1)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 6.0, 3.0, 3.0),   // cloud 12, edge 6
             Job::new(EdgeId(0), 1.0, 1.0, 10.0, 10.0), // must run on edge
@@ -287,7 +299,10 @@ mod tests {
                     // several members — the scan's sharing path.
                     let cloud_speeds: Vec<f64> =
                         (0..nc).map(|k| cloud_pool[k % cloud_pool.len()]).collect();
-                    let spec = PlatformSpec::heterogeneous(edge_speeds, cloud_speeds);
+                    let spec = PlatformSpec::builder()
+                        .edges(edge_speeds)
+                        .clouds(cloud_speeds)
+                        .build();
                     let jobs = raw_jobs
                         .into_iter()
                         .map(|(r, w, up, dn, o)| Job::new(EdgeId(o % ne), r, w, up, dn))
@@ -319,7 +334,10 @@ mod tests {
 
     #[test]
     fn is_deterministic() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5, 0.2], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5, 0.2])
+            .cloud_pool(2)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 3.0, 1.0, 1.0),
             Job::new(EdgeId(1), 0.5, 2.0, 0.2, 0.2),

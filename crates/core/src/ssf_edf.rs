@@ -349,7 +349,10 @@ mod tests {
 
     #[test]
     fn single_job_gets_stretch_one() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5])
+            .cloud_pool(1)
+            .build();
         let jobs = vec![Job::new(EdgeId(0), 0.0, 2.0, 10.0, 10.0)];
         let inst = Instance::new(spec, jobs).unwrap();
         let out = Simulation::of(&inst)
@@ -367,7 +370,10 @@ mod tests {
         // (up=dn=... the example uses uplink 1 implicitly): EDF order can
         // miss a deadline that another order meets. SSF-EDF still produces
         // a valid schedule, possibly with a larger stretch.
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.1], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.1])
+            .cloud_pool(1)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 3.0, 1.0, 0.0),
             Job::new(EdgeId(0), 0.0, 3.0, 1.0, 0.0),
@@ -383,7 +389,10 @@ mod tests {
 
     #[test]
     fn intro_example_short_first() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
             Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
@@ -415,7 +424,10 @@ mod tests {
     fn balances_over_cloud_processors() {
         // Four identical cloud-friendly jobs from different edges, two
         // clouds: the plan must spread them.
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.05; 4], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.05; 4])
+            .cloud_pool(2)
+            .build();
         let jobs: Vec<_> = (0..4)
             .map(|i| Job::new(EdgeId(i), 0.0, 4.0, 0.5, 0.5))
             .collect();
@@ -445,7 +457,10 @@ mod tests {
     #[test]
     fn online_stream_keeps_stretch_bounded() {
         // Staggered stream: SSF-EDF keeps the max-stretch modest.
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5, 0.5], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5, 0.5])
+            .cloud_pool(2)
+            .build();
         let mut jobs = Vec::new();
         for i in 0..12 {
             jobs.push(Job::new(
@@ -472,7 +487,10 @@ mod tests {
 
     #[test]
     fn alpha_ablation_runs() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5])
+            .cloud_pool(1)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 2.0, 0.5, 0.5),
             Job::new(EdgeId(0), 1.0, 1.0, 0.5, 0.5),
@@ -506,7 +524,10 @@ mod tests {
         use mmsec_platform::{Instance, Job, JobArena, JobState, PendingSet, SimView};
         use mmsec_sim::Time;
 
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.01], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.01])
+            .cloud_pool(2)
+            .build();
         // Job: work 4, up 1, dn 1; committed to cloud 0 with its uplink
         // done (sunk = 1), except where a case overrides `up_done`.
         let job = Job::new(EdgeId(0), 0.0, 4.0, 1.0, 1.0);

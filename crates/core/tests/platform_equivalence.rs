@@ -99,7 +99,10 @@ fn assert_grown_equals_frozen(
     // Grown: start from edge 0 alone, then join the remaining units in
     // spec order before the run starts. Ids are assigned in join order,
     // so the session's platform ends bit-identical to `spec`.
-    let seed_spec = PlatformSpec::heterogeneous(vec![spec.edge_speed(EdgeId(0))], Vec::new());
+    let seed_spec = PlatformSpec::builder()
+        .edges(vec![spec.edge_speed(EdgeId(0))])
+        .clouds(Vec::new())
+        .build();
     let empty = Instance::new(seed_spec, Vec::new()).expect("single-edge seed");
     let mut stream_policy = kind.build(policy_seed);
     let mut sim = Simulation::of(&empty).policy(stream_policy.as_mut());

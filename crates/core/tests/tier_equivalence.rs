@@ -1,0 +1,245 @@
+//! Continuum topologies generalize the paper's flat platform *exactly*.
+//!
+//! Headline property: a depth-1 tier graph with unit hop factors is a
+//! **bit-identical zero-cost special case** of the flat platform — not
+//! approximately equal, byte-for-byte the same schedules. This holds
+//! because every path factor on such a platform is exactly `1.0`, and
+//! `x * 1.0` is bitwise `x` (and `1.0 / 1.0` is exactly `1.0`) in IEEE
+//! 754, so the tiered pricing code degenerates to the flat code with no
+//! rounding drift anywhere: stretch denominators, forecasts, engine comm
+//! rates, and the placement pricing classes.
+//!
+//! The property runs across the whole policy registry and with/without
+//! compiled fault plans, so it pins every layer that consumes the tier
+//! topology (`crates/core` placement, the projection forecasts, the
+//! engine's comm-rate hook, and the validity checker's path-scaled
+//! volume requirements).
+
+use mmsec_core::PolicyKind;
+use mmsec_faults::FaultConfig;
+use mmsec_platform::{
+    validate, CloudId, EngineOptions, Instance, PlatformSpec, Simulation, Target,
+};
+use mmsec_sim::Time;
+use mmsec_workload::{KangConfig, RandomCcrConfig};
+use proptest::prelude::*;
+
+/// Workload family × size × generator seed (mirrors the
+/// platform-equivalence sizes: small enough for registry × fault sweeps).
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    let kang = (2usize..25, 0u64..1000).prop_map(|(n, seed)| {
+        KangConfig {
+            num_edge: 4,
+            num_cloud: 3,
+            n,
+            ..KangConfig::default()
+        }
+        .generate(seed)
+    });
+    let ccr = (2usize..25, 0u64..1000, 1usize..4).prop_map(|(n, seed, num_cloud)| {
+        RandomCcrConfig {
+            n,
+            num_cloud,
+            slow_edges: 2,
+            fast_edges: 2,
+            ..RandomCcrConfig::default()
+        }
+        .generate(seed)
+    });
+    prop_oneof![kang, ccr]
+}
+
+/// `None` = fault-free; `Some((mtbf, mttr, seed))` = a uniform
+/// exponential crash/recover model compiled against the instance.
+fn arb_faults() -> impl Strategy<Value = Option<(f64, f64, u64)>> {
+    prop_oneof![
+        2 => Just(None),
+        3 => (20.0f64..200.0, 1.0f64..10.0, 0u64..1000).prop_map(Some),
+    ]
+}
+
+/// The same platform, re-expressed as a depth-1 tier graph with unit hop
+/// factors: every cloud sits one hop away at link-time factor 1.0 both
+/// ways — exactly the flat model's pricing.
+fn tiered_twin(inst: &Instance) -> Instance {
+    let spec = &inst.spec;
+    let mut b = PlatformSpec::builder()
+        .edges(spec.edges().map(|j| spec.edge_speed(j)))
+        .tier(1.0, 1.0)
+        .clouds(spec.clouds().map(|k| spec.cloud_speed(k)));
+    for k in spec.clouds() {
+        for w in spec.cloud_unavailability(k).iter() {
+            b = b.unavailability(k, *w);
+        }
+    }
+    let twin = b.build();
+    assert!(twin.has_tiers(), "twin must carry an explicit tier graph");
+    Instance::new(twin, inst.jobs.clone()).expect("twin stays valid")
+}
+
+fn run_batch(
+    inst: &Instance,
+    kind: PolicyKind,
+    policy_seed: u64,
+    faults: Option<(f64, f64, u64)>,
+) -> Result<mmsec_platform::RunOutcome, mmsec_platform::EngineError> {
+    let spec = &inst.spec;
+    let plan = faults.map(|(mtbf, mttr, fault_seed)| {
+        FaultConfig::uniform_exponential(spec.num_edge(), spec.num_cloud(), mtbf, mttr)
+            .compile(fault_seed, Time::new(1e5))
+    });
+    let mut policy = kind.build(policy_seed);
+    let mut sim = Simulation::of(inst)
+        .policy(policy.as_mut())
+        .options(EngineOptions::default());
+    if let Some(plan) = &plan {
+        sim = sim.faults(plan);
+    }
+    sim.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Headline: flat ≡ tiered(depth = 1, hop = (1, 1)), bit-identical,
+    /// for every registered policy, with and without fault plans.
+    #[test]
+    fn flat_equals_unit_depth_one_tiers(
+        inst in arb_instance(),
+        policy_seed in 0u64..1000,
+        faults in arb_faults(),
+    ) {
+        let twin = tiered_twin(&inst);
+        for kind in PolicyKind::ALL {
+            let flat = run_batch(&inst, kind, policy_seed, faults);
+            let tiered = run_batch(&twin, kind, policy_seed, faults);
+            match (flat, tiered) {
+                (Ok(flat), Ok(tiered)) => {
+                    prop_assert_eq!(
+                        &flat.schedule,
+                        &tiered.schedule,
+                        "{} schedule differs between flat and unit-tiered",
+                        kind
+                    );
+                    prop_assert_eq!(
+                        flat.stats.restarts,
+                        tiered.stats.restarts,
+                        "{} restarts differ",
+                        kind
+                    );
+                }
+                (flat, tiered) => {
+                    prop_assert_eq!(
+                        flat.map(|_| ()).err(),
+                        tiered.map(|_| ()).err(),
+                        "{} failure mode differs",
+                        kind
+                    );
+                }
+            }
+        }
+    }
+
+    /// Tiered schedules satisfy every §III-B constraint, including the
+    /// path-scaled transfer volumes, on a genuinely non-trivial topology
+    /// (two tiers, non-unit hop factors, clouds at both depths).
+    #[test]
+    fn deep_tiered_runs_validate(
+        inst in arb_instance(),
+        policy_seed in 0u64..1000,
+        hop_up in 1.1f64..4.0,
+        hop_dn in 1.1f64..4.0,
+    ) {
+        let spec = &inst.spec;
+        if spec.num_cloud() < 2 {
+            return Ok(());
+        }
+        // Split the clouds across two tiers: first cloud near, rest deep.
+        let speeds: Vec<f64> = spec.clouds().map(|k| spec.cloud_speed(k)).collect();
+        let deep = PlatformSpec::builder()
+            .edges(spec.edges().map(|j| spec.edge_speed(j)))
+            .tier(1.0, 1.0)
+            .cloud(speeds[0])
+            .tier(hop_up, hop_dn)
+            .clouds(speeds[1..].iter().copied())
+            .build();
+        let deep_inst = Instance::new(deep, inst.jobs.clone()).expect("deep twin valid");
+        for kind in PolicyKind::ALL {
+            let out = run_batch(&deep_inst, kind, policy_seed, None)
+                .expect("fault-free runs complete");
+            let violations = validate(&deep_inst, &out.schedule);
+            prop_assert!(
+                violations.is_ok(),
+                "{} produced violations on a 2-tier platform: {:?}",
+                kind,
+                violations.unwrap_err()
+            );
+        }
+    }
+}
+
+/// A pre-start hop retune changes placement the way the model says it
+/// must: pricing the (only) hop sky-high strands comm-heavy jobs on their
+/// edge; unit pricing lets them offload.
+#[test]
+fn set_hop_redirects_offloading() {
+    let build = || {
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.05])
+            .tier(1.0, 1.0)
+            .cloud(1.0)
+            .build();
+        // Comm-heavy job: at hop factor 1 the cloud path (0.5+4+0.5 = 5)
+        // beats the slow edge (4/0.05 = 80); at hop factor 100 the cloud
+        // path costs 0.5·100 + 4 + 0.5·100 = 104 and loses.
+        Instance::new(
+            spec,
+            vec![mmsec_platform::Job {
+                origin: mmsec_platform::EdgeId(0),
+                release: Time::new(0.0),
+                work: 4.0,
+                up: 0.5,
+                dn: 0.5,
+            }],
+        )
+        .expect("valid instance")
+    };
+    let run = |retune: bool| {
+        let inst = build();
+        let mut policy = PolicyKind::Greedy.build(0);
+        let mut session = Simulation::of(&inst).policy(policy.as_mut()).session();
+        if retune {
+            session.set_hop(0, 100.0, 100.0).expect("hop retune");
+        }
+        session.drain().expect("drains");
+        session.into_outcome()
+    };
+    let cheap = run(false);
+    let pricey = run(true);
+    assert_eq!(
+        cheap.schedule.alloc[0],
+        Some(Target::Cloud(CloudId(0))),
+        "unit hop pricing must offload the comm-heavy job"
+    );
+    assert_eq!(
+        pricey.schedule.alloc[0],
+        Some(Target::Edge),
+        "a sky-high hop must strand the job on its edge"
+    );
+}
+
+/// `set_hop` errors surface through the session API unchanged.
+#[test]
+fn session_set_hop_rejects_flat_platforms() {
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(1)
+        .build();
+    let inst = Instance::new(spec, Vec::new()).expect("valid instance");
+    let mut policy = PolicyKind::Srpt.build(0);
+    let mut session = Simulation::of(&inst).policy(policy.as_mut()).session();
+    assert!(matches!(
+        session.set_hop(0, 2.0, 2.0),
+        Err(mmsec_platform::PlatformError::UnknownHop { hop: 0 })
+    ));
+}

@@ -63,6 +63,10 @@ pub enum Unit {
     Edge(usize),
     /// Cloud processor with the given index.
     Cloud(usize),
+    /// Tier hop with the given index (continuum platforms: the link
+    /// connecting tier `i` to tier `i+1`; carries no execution intervals,
+    /// only platform-change events).
+    Hop(usize),
 }
 
 impl Unit {
@@ -87,6 +91,7 @@ impl fmt::Display for Unit {
         match self {
             Unit::Edge(i) => write!(f, "edge-{i}"),
             Unit::Cloud(i) => write!(f, "cloud-{i}"),
+            Unit::Hop(i) => write!(f, "hop-{i}"),
         }
     }
 }

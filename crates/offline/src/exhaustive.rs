@@ -148,7 +148,10 @@ mod tests {
 
     #[test]
     fn single_job_picks_best_resource() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.25], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.25])
+            .cloud_pool(1)
+            .build();
         // Edge 8; cloud 1+2+1 = 4.
         let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0)]).unwrap();
         let opt = optimal_order_based(&inst);
@@ -174,7 +177,10 @@ mod tests {
 
     #[test]
     fn release_dates_respected() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0),
             Job::new(EdgeId(0), 10.0, 2.0, 0.0, 0.0),
@@ -189,7 +195,10 @@ mod tests {
     fn one_port_contention_is_modeled() {
         // Two cloud-only-attractive jobs from one edge, one cloud: uplinks
         // serialize, so stretches cannot both be 1.
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.01], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.01])
+            .cloud_pool(1)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0),
             Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0),
@@ -202,7 +211,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "too large")]
     fn refuses_big_instances() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let jobs = (0..9)
             .map(|_| Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0))
             .collect();

@@ -132,7 +132,10 @@ pub fn has_three_partition(a: &[u64], b: u64) -> bool {
 /// all releases zero.
 pub fn mmsh_to_mmseco(inst: &MmshInstance) -> Instance {
     assert!(inst.num_procs >= 1);
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], inst.num_procs - 1);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(inst.num_procs - 1)
+        .build();
     let jobs = inst
         .works
         .iter()

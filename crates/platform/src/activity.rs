@@ -61,13 +61,18 @@ impl Phase {
         }
     }
 
-    /// Progress rate of the phase on `target` (work units per second for
-    /// computations, 1 for communications).
+    /// Progress rate of the phase on `target`: work units per second for
+    /// computations; for communications, the volume completed per second
+    /// along the route — exactly 1 on the flat platform, `1 / path` on a
+    /// continuum platform (so a transfer's duration is its volume times
+    /// the multi-hop path factor).
     pub fn rate(self, job: &Job, target: Target, spec: &PlatformSpec) -> f64 {
         match (target, self) {
             (Target::Edge, Phase::Compute) => spec.edge_speed(job.origin),
             (Target::Cloud(k), Phase::Compute) => spec.cloud_speed(k),
-            (_, Phase::Uplink) | (_, Phase::Downlink) => 1.0,
+            (Target::Cloud(k), Phase::Uplink) => spec.comm_rate_up(k),
+            (Target::Cloud(k), Phase::Downlink) => spec.comm_rate_dn(k),
+            (Target::Edge, Phase::Uplink) | (Target::Edge, Phase::Downlink) => 1.0,
         }
     }
 }
@@ -175,7 +180,10 @@ mod tests {
     }
 
     fn spec() -> PlatformSpec {
-        PlatformSpec::heterogeneous(vec![0.5, 0.25], vec![1.0, 2.0])
+        PlatformSpec::builder()
+            .edges(vec![0.5, 0.25])
+            .clouds(vec![1.0, 2.0])
+            .build()
     }
 
     #[test]

@@ -241,7 +241,10 @@ mod tests {
 
     #[test]
     fn auto_event_limit_formula() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(1)
+            .build();
         let jobs: Vec<_> = (0..5)
             .map(|i| Job::new(EdgeId(0), i as f64, 1.0, 0.0, 0.0))
             .collect();
@@ -249,7 +252,10 @@ mod tests {
         // No windows: 1000 + 64·5.
         assert_eq!(auto_event_limit(&inst), 1000 + 64 * 5);
 
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 2)
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(2)
+            .build()
             .with_cloud_unavailability(CloudId(0), &[Interval::from_secs(1.0, 2.0)])
             .with_cloud_unavailability(
                 CloudId(1),
@@ -263,7 +269,10 @@ mod tests {
 
     #[test]
     fn fault_recovery_outranks_crash_outranks_release() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(1)
+            .build();
         let jobs = vec![Job::new(EdgeId(0), 2.0, 1.0, 0.0, 0.0)];
         let inst = Instance::new(spec, jobs).unwrap();
         let mut plan = FaultPlan::empty(1, 1);
@@ -289,7 +298,10 @@ mod tests {
 
     #[test]
     fn fault_event_limit_extends_the_base_budget() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(1)
+            .build();
         let jobs = vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)];
         let inst = Instance::new(spec, jobs).unwrap();
         let mut plan = FaultPlan::empty(1, 1);
@@ -303,7 +315,10 @@ mod tests {
 
     #[test]
     fn prime_queue_orders_boundaries_before_releases() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1)
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(1)
+            .build()
             .with_cloud_unavailability(CloudId(0), &[Interval::from_secs(2.0, 5.0)]);
         let jobs = vec![Job::new(EdgeId(0), 2.0, 1.0, 0.0, 0.0)];
         let inst = Instance::new(spec, jobs).unwrap();

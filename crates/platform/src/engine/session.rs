@@ -479,6 +479,7 @@ impl<'a> Session<'a> {
             PlatformMutation::SetLink { edge, factor } => self.set_link(edge, factor),
             PlatformMutation::SetEdgeSpeed { edge, speed } => self.set_edge_speed(edge, speed),
             PlatformMutation::SetCloudSpeed { cloud, speed } => self.set_cloud_speed(cloud, speed),
+            PlatformMutation::SetHop { hop, up, dn } => self.set_hop(hop, up, dn),
         }
     }
 
@@ -577,6 +578,17 @@ impl<'a> Session<'a> {
     pub fn set_cloud_speed(&mut self, k: CloudId, speed: f64) -> Result<u64, PlatformError> {
         let v = self.platform.set_cloud_speed(k, speed)?;
         self.platform_changed("set-cloud-speed", Unit::Cloud(k.0));
+        Ok(v)
+    }
+
+    /// Re-provisions tier hop `hop` (the link between tiers `hop` and
+    /// `hop + 1`) to new per-volume path factors. In-flight transfers
+    /// keep their transferred volume and proceed at the new rate, exactly
+    /// as a speed change does for compute. Rejected on flat (untiered)
+    /// platforms. Returns the new platform version.
+    pub fn set_hop(&mut self, hop: usize, up: f64, dn: f64) -> Result<u64, PlatformError> {
+        let v = self.platform.set_hop(hop, up, dn)?;
+        self.platform_changed("set-hop", Unit::Hop(hop));
         Ok(v)
     }
 

@@ -42,7 +42,10 @@ impl OnlineScheduler for DoNothing {
 }
 
 fn single_job_instance(work: f64, up: f64, dn: f64) -> Instance {
-    let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 1);
+    let spec = PlatformSpec::builder()
+        .edges(vec![0.5])
+        .cloud_pool(1)
+        .build();
     Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, work, up, dn)]).unwrap()
 }
 
@@ -89,7 +92,10 @@ fn zero_comm_job_skips_phases() {
 
 #[test]
 fn release_dates_are_respected() {
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(1)
+        .build();
     let jobs = vec![Job::new(EdgeId(0), 5.0, 2.0, 0.0, 0.0)];
     let inst = Instance::new(spec, jobs).unwrap();
     let out = Simulation::of(&inst)
@@ -102,7 +108,10 @@ fn release_dates_are_respected() {
 
 #[test]
 fn cloud_serializes_two_jobs() {
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(1)
+        .build();
     let jobs = vec![
         Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0),
         Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0),
@@ -174,7 +183,10 @@ fn stalled_run_flight_dump_holds_the_lead_up_events() {
 
 #[test]
 fn infinite_ports_allow_parallel_uplinks() {
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 2);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(2)
+        .build();
     // Two jobs from the same edge, each to a different cloud processor.
     let jobs = vec![
         Job::new(EdgeId(0), 0.0, 1.0, 2.0, 0.0),
@@ -239,7 +251,10 @@ impl OnlineScheduler for Flip {
 
 #[test]
 fn reexecution_wipes_progress() {
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(1)
+        .build();
     let jobs = vec![Job::new(EdgeId(0), 0.0, 4.0, 1.0, 1.0)];
     let inst = Instance::new(spec, jobs).unwrap();
 
@@ -264,7 +279,10 @@ fn reexecution_wipes_progress() {
 
 #[test]
 fn reexecution_can_be_disabled() {
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(1)
+        .build();
     let jobs = vec![
         Job::new(EdgeId(0), 0.0, 4.0, 1.0, 1.0),
         Job::new(EdgeId(0), 2.0, 0.5, 10.0, 10.0),
@@ -287,7 +305,10 @@ fn reexecution_can_be_disabled() {
 
 #[test]
 fn non_preemptive_mode_pins_activities() {
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(0)
+        .build();
     // Long job first, short job released mid-flight. LIFO priority
     // would preempt; non-preemptive mode must refuse.
     let jobs = vec![
@@ -329,7 +350,10 @@ fn non_preemptive_mode_pins_activities() {
 #[test]
 fn unavailability_window_pauses_cloud_compute() {
     use mmsec_sim::Interval;
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1)
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(1)
+        .build()
         .with_cloud_unavailability(CloudId(0), &[Interval::from_secs(2.0, 5.0)]);
     let jobs = vec![Job::new(EdgeId(0), 0.0, 4.0, 1.0, 0.0)];
     let inst = Instance::new(spec, jobs).unwrap();
@@ -474,7 +498,10 @@ fn auto_event_limit_catches_livelocked_policy() {
         }
     }
 
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 2);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(2)
+        .build();
     let jobs = vec![Job::new(EdgeId(0), 0.0, 1.0, 1.0, 1.0)];
     let inst = Instance::new(spec, jobs).unwrap();
     let expected = events::auto_event_limit(&inst);
@@ -490,7 +517,10 @@ fn auto_event_limit_catches_livelocked_policy() {
 fn pending_set_is_maintained_incrementally() {
     // Two staggered jobs: the event log's pending counts must follow the
     // release/completion lifecycle exactly.
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(1)
+        .build();
     let jobs = vec![
         Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0),
         Job::new(EdgeId(0), 1.0, 2.0, 0.0, 0.0),
@@ -680,7 +710,10 @@ mod session {
     #[test]
     fn mid_run_submit_is_bit_identical_to_batch() {
         // Batch: both jobs known up front.
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5])
+            .cloud_pool(1)
+            .build();
         let j0 = Job::new(EdgeId(0), 0.0, 3.0, 1.0, 1.0);
         let j1 = Job::new(EdgeId(0), 3.0, 2.0, 1.0, 1.0);
         let batch_inst = Instance::new(spec.clone(), vec![j0, j1]).unwrap();
@@ -751,7 +784,10 @@ mod session {
 
     #[test]
     fn blocked_session_wakes_on_submit() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(1)
+            .build();
         let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
         let mut policy = DoNothing;
         let mut session = Simulation::of(&inst).policy(&mut policy).session();
@@ -797,7 +833,10 @@ mod session {
 
     #[test]
     fn snapshot_tracks_progress() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(1)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
             Job::new(EdgeId(0), 10.0, 1.0, 0.0, 0.0),
@@ -837,7 +876,10 @@ mod session {
     fn presubmission_can_move_the_start_of_time_backwards() {
         // The instance's only job releases at 10; a pre-start submission
         // at 2 must run first — the clock snaps to the earliest event.
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(1)
+            .build();
         let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 10.0, 1.0, 0.0, 0.0)]).unwrap();
         let mut policy = AllEdgeFifo;
         let mut session = Simulation::of(&inst).policy(&mut policy).session();
@@ -876,7 +918,10 @@ mod elastic {
     }
 
     fn one_edge_instance(edge_speed: f64, num_cloud: usize) -> Instance {
-        let spec = PlatformSpec::homogeneous_cloud(vec![edge_speed], num_cloud);
+        let spec = PlatformSpec::builder()
+            .edges(vec![edge_speed])
+            .cloud_pool(num_cloud)
+            .build();
         Instance::new(spec, Vec::new()).unwrap()
     }
 
@@ -922,7 +967,10 @@ mod elastic {
 
     #[test]
     fn submit_to_removed_edge_is_rejected() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0, 1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0, 1.0])
+            .cloud_pool(0)
+            .build();
         let inst = Instance::new(spec, Vec::new()).unwrap();
         let mut policy = AllEdgeFifo;
         let mut session = Simulation::of(&inst).policy(&mut policy).session();
@@ -945,7 +993,10 @@ mod elastic {
 
     #[test]
     fn remove_edge_with_unfinished_jobs_is_origin_in_use() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0, 1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0, 1.0])
+            .cloud_pool(0)
+            .build();
         let inst = Instance::new(
             spec,
             vec![

@@ -11,9 +11,27 @@
 //! window 0 5 10
 //! job 0 0 4 2 2        # origin release work up dn
 //! ```
+//!
+//! Tiered (continuum) platforms serialize as `v2`, which adds `hop`
+//! records (one per tier boundary, in route order: per-volume uplink and
+//! downlink factors) and annotates each `cloud` with its tier:
+//!
+//! ```text
+//! # mmsec-instance v2
+//! edge 0.5
+//! hop 1 1              # edge→tier-1 link factors (up dn)
+//! hop 2.5 3            # tier-1→tier-2 link factors
+//! cloud 1 1            # speed tier
+//! cloud 4 2
+//! job 0 0 4 2 2
+//! ```
+//!
+//! The parser accepts both versions; flat instances keep emitting `v1`
+//! byte-for-byte, so archived outputs stay diffable.
 
 use crate::job::{Job, JobId};
-use crate::spec::{CloudId, EdgeId, PlatformSpec, SpecError};
+use crate::spec::{CloudId, EdgeId, PlatformSpec, SpecBuilder, SpecError};
+use crate::tier::TierTopology;
 use mmsec_sim::{Interval, Time};
 use std::fmt;
 
@@ -36,6 +54,18 @@ pub enum InstanceError {
         /// Description of the problem.
         message: String,
     },
+}
+
+impl InstanceError {
+    /// A stable kebab-case identifier for this error class (the serve
+    /// protocol's `reject` records carry it as their `code` field).
+    pub fn code(&self) -> &'static str {
+        match self {
+            InstanceError::Spec(_) => "bad-spec",
+            InstanceError::OriginOutOfRange { .. } => "origin-out-of-range",
+            InstanceError::Parse { .. } => "parse-error",
+        }
+    }
 }
 
 impl fmt::Display for InstanceError {
@@ -73,11 +103,34 @@ pub struct Instance {
 }
 
 impl Instance {
-    /// Creates and validates an instance.
+    /// Creates and validates an instance. This is the low-level form for
+    /// callers that already hold a [`PlatformSpec`] and a job vector;
+    /// [`Instance::builder`] is the typed constructor for everything
+    /// else.
     pub fn new(spec: PlatformSpec, jobs: Vec<Job>) -> Result<Self, InstanceError> {
         let inst = Instance { spec, jobs };
         inst.validate()?;
         Ok(inst)
+    }
+
+    /// Starts a typed builder: platform (edges, tiers, clouds, links,
+    /// unavailability windows) and jobs in one chain.
+    ///
+    /// ```
+    /// use mmsec_platform::Instance;
+    /// let inst = Instance::builder()
+    ///     .edge(0.5)
+    ///     .tier(1.0, 1.0)
+    ///     .cloud_pool(2)
+    ///     .job(0, 0.0, 4.0, 2.0, 1.0)
+    ///     .build();
+    /// assert_eq!(inst.num_jobs(), 1);
+    /// ```
+    pub fn builder() -> InstanceBuilder {
+        InstanceBuilder {
+            spec: PlatformSpec::builder(),
+            jobs: Vec::new(),
+        }
     }
 
     /// Checks platform validity and job/platform consistency.
@@ -126,14 +179,34 @@ impl Instance {
         }
     }
 
-    /// Serializes to the `mmsec-instance v1` text format.
+    /// Serializes to the `mmsec-instance` text format: `v1` for flat
+    /// platforms (byte-compatible with every archived output), `v2` with
+    /// `hop` records and tier-annotated `cloud` records when tiered.
     pub fn to_text(&self) -> String {
-        let mut out = String::from("# mmsec-instance v1\n");
+        let tiers = self.spec.tier_topology();
+        let mut out = String::from(if tiers.is_some() {
+            "# mmsec-instance v2\n"
+        } else {
+            "# mmsec-instance v1\n"
+        });
         for j in self.spec.edges() {
             out.push_str(&format!("edge {}\n", fmt_f64(self.spec.edge_speed(j))));
         }
+        if let Some(t) = tiers {
+            for h in 0..t.depth() {
+                let (up, dn) = t.hop(h);
+                out.push_str(&format!("hop {} {}\n", fmt_f64(up), fmt_f64(dn)));
+            }
+        }
         for k in self.spec.clouds() {
-            out.push_str(&format!("cloud {}\n", fmt_f64(self.spec.cloud_speed(k))));
+            match tiers {
+                None => out.push_str(&format!("cloud {}\n", fmt_f64(self.spec.cloud_speed(k)))),
+                Some(t) => out.push_str(&format!(
+                    "cloud {} {}\n",
+                    fmt_f64(self.spec.cloud_speed(k)),
+                    t.tier_of(k)
+                )),
+            }
         }
         for k in self.spec.clouds() {
             for w in self.spec.cloud_unavailability(k).iter() {
@@ -158,10 +231,15 @@ impl Instance {
         out
     }
 
-    /// Parses the `mmsec-instance v1` text format.
+    /// Parses the `mmsec-instance` text format, both `v1` (flat) and
+    /// `v2` (tiered). A `v2` `cloud` record may omit its tier, which
+    /// then defaults to the deepest one.
     pub fn from_text(text: &str) -> Result<Self, InstanceError> {
         let mut edge_speeds = Vec::new();
         let mut cloud_speeds = Vec::new();
+        let mut cloud_tiers: Vec<Option<usize>> = Vec::new();
+        let mut tiered_cloud_line: Option<usize> = None;
+        let mut hops: Vec<(f64, f64)> = Vec::new();
         let mut windows: Vec<(usize, f64, f64)> = Vec::new();
         let mut jobs = Vec::new();
 
@@ -185,7 +263,24 @@ impl Instance {
             };
             match kind {
                 "edge" => edge_speeds.push(parse(toks.next(), "edge speed")?),
-                "cloud" => cloud_speeds.push(parse(toks.next(), "cloud speed")?),
+                "cloud" => {
+                    cloud_speeds.push(parse(toks.next(), "cloud speed")?);
+                    cloud_tiers.push(match toks.next() {
+                        None => None,
+                        Some(t) => {
+                            tiered_cloud_line.get_or_insert(lineno + 1);
+                            Some(t.parse::<usize>().map_err(|e| InstanceError::Parse {
+                                line: lineno + 1,
+                                message: format!("bad cloud tier: {e}"),
+                            })?)
+                        }
+                    });
+                }
+                "hop" => {
+                    let up = parse(toks.next(), "hop uplink factor")?;
+                    let dn = parse(toks.next(), "hop downlink factor")?;
+                    hops.push((up, dn));
+                }
                 "window" => {
                     let k = parse(toks.next(), "cloud index")? as usize;
                     let a = parse(toks.next(), "window start")?;
@@ -209,7 +304,20 @@ impl Instance {
             }
         }
 
-        let mut spec = PlatformSpec::heterogeneous(edge_speeds, cloud_speeds);
+        let tiers = if hops.is_empty() {
+            if let Some(line) = tiered_cloud_line {
+                return Err(InstanceError::Parse {
+                    line,
+                    message: "cloud tier given but no hop records".into(),
+                });
+            }
+            None
+        } else {
+            let depth = hops.len();
+            let tier_of: Vec<usize> = cloud_tiers.iter().map(|t| t.unwrap_or(depth)).collect();
+            Some(TierTopology::new(&hops, tier_of)?)
+        };
+        let mut spec = PlatformSpec::try_from_parts(edge_speeds, cloud_speeds, tiers)?;
         for (k, a, b) in windows {
             if k >= spec.num_cloud() {
                 return Err(InstanceError::Spec(SpecError::WindowOutOfRange {
@@ -222,6 +330,87 @@ impl Instance {
             );
         }
         Instance::new(spec, jobs)
+    }
+}
+
+/// Typed constructor for [`Instance`]: the platform chain of
+/// [`SpecBuilder`] plus job records, finished by
+/// [`build`](InstanceBuilder::build) /
+/// [`try_build`](InstanceBuilder::try_build). Obtained from
+/// [`Instance::builder`].
+#[derive(Clone, Debug, Default)]
+pub struct InstanceBuilder {
+    spec: SpecBuilder,
+    jobs: Vec<Job>,
+}
+
+impl InstanceBuilder {
+    /// Adds one edge unit with the given speed.
+    pub fn edge(mut self, speed: f64) -> Self {
+        self.spec = self.spec.edge(speed);
+        self
+    }
+
+    /// Adds one edge unit per speed.
+    pub fn edges(mut self, speeds: impl IntoIterator<Item = f64>) -> Self {
+        self.spec = self.spec.edges(speeds);
+        self
+    }
+
+    /// Opens the next tier: clouds added after this call sit one hop
+    /// further from the edges, behind a link with the given per-volume
+    /// uplink/downlink factors.
+    pub fn tier(mut self, up: f64, dn: f64) -> Self {
+        self.spec = self.spec.tier(up, dn);
+        self
+    }
+
+    /// Adds one cloud processor at the current tier.
+    pub fn cloud(mut self, speed: f64) -> Self {
+        self.spec = self.spec.cloud(speed);
+        self
+    }
+
+    /// Adds one cloud processor per speed, all at the current tier.
+    pub fn clouds(mut self, speeds: impl IntoIterator<Item = f64>) -> Self {
+        self.spec = self.spec.clouds(speeds);
+        self
+    }
+
+    /// Adds `n` unit-speed cloud processors at the current tier.
+    pub fn cloud_pool(mut self, n: usize) -> Self {
+        self.spec = self.spec.cloud_pool(n);
+        self
+    }
+
+    /// Declares one unavailability window on the given cloud.
+    pub fn unavailability(mut self, cloud: CloudId, window: Interval) -> Self {
+        self.spec = self.spec.unavailability(cloud, window);
+        self
+    }
+
+    /// Adds one job: origin edge index, release date, work, uplink and
+    /// downlink times.
+    pub fn job(mut self, origin: usize, release: f64, work: f64, up: f64, dn: f64) -> Self {
+        self.jobs
+            .push(Job::new(EdgeId(origin), release, work, up, dn));
+        self
+    }
+
+    /// Adds pre-built jobs in order.
+    pub fn jobs(mut self, jobs: impl IntoIterator<Item = Job>) -> Self {
+        self.jobs.extend(jobs);
+        self
+    }
+
+    /// Finishes the builder, validating platform and jobs.
+    pub fn try_build(self) -> Result<Instance, InstanceError> {
+        Instance::new(self.spec.try_build()?, self.jobs)
+    }
+
+    /// Finishes the builder; panics on an invalid platform or job set.
+    pub fn build(self) -> Instance {
+        self.try_build().expect("invalid instance")
     }
 }
 
@@ -239,7 +428,10 @@ fn fmt_f64(x: f64) -> String {
 /// The paper's Figure 1 worked example: one edge unit at speed 1/3, one
 /// cloud processor, six jobs. Used by examples, tests, and docs.
 pub fn figure1_instance() -> Instance {
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0 / 3.0], 1);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0 / 3.0])
+        .cloud_pool(1)
+        .build();
     let jobs = vec![
         Job::new(EdgeId(0), 0.0, 1.0, 5.0, 5.0),       // J1
         Job::new(EdgeId(0), 0.0, 4.0, 2.0, 2.0),       // J2
@@ -269,7 +461,10 @@ mod tests {
 
     #[test]
     fn origin_out_of_range_rejected() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(1)
+            .build();
         let jobs = vec![Job::new(EdgeId(3), 0.0, 1.0, 0.0, 0.0)];
         assert_eq!(
             Instance::new(spec, jobs),
@@ -287,14 +482,74 @@ mod tests {
 
     #[test]
     fn text_roundtrip_with_windows() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2).with_cloud_unavailability(
-            CloudId(1),
-            &[Interval::from_secs(1.0, 2.0), Interval::from_secs(4.0, 6.0)],
-        );
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5])
+            .cloud_pool(2)
+            .build()
+            .with_cloud_unavailability(
+                CloudId(1),
+                &[Interval::from_secs(1.0, 2.0), Interval::from_secs(4.0, 6.0)],
+            );
         let jobs = vec![Job::new(EdgeId(0), 0.25, 1.5, 0.125, 0.0)];
         let inst = Instance::new(spec, jobs).unwrap();
         let back = Instance::from_text(&inst.to_text()).unwrap();
         assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn tiered_text_roundtrip() {
+        let inst = Instance::builder()
+            .edges([0.5, 1.0])
+            .tier(1.0, 1.25)
+            .clouds([1.0, 2.0])
+            .tier(2.5, 3.0)
+            .cloud(4.0)
+            .unavailability(CloudId(2), Interval::from_secs(1.0, 2.0))
+            .job(0, 0.0, 4.0, 2.0, 1.0)
+            .job(1, 0.5, 1.0, 0.25, 0.0)
+            .build();
+        let text = inst.to_text();
+        assert!(text.starts_with("# mmsec-instance v2\n"), "{text}");
+        assert!(text.contains("hop 1 1.25\n"), "{text}");
+        assert!(text.contains("cloud 4 2\n"), "{text}");
+        let back = Instance::from_text(&text).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn flat_instances_keep_emitting_v1() {
+        let inst = figure1_instance();
+        assert!(inst.to_text().starts_with("# mmsec-instance v1\n"));
+    }
+
+    #[test]
+    fn v2_cloud_tier_defaults_to_deepest() {
+        let text = "edge 1\nhop 1 1\nhop 2 2\ncloud 1\ncloud 1 1\njob 0 0 1 0 0\n";
+        let inst = Instance::from_text(text).unwrap();
+        let t = inst.spec.tier_topology().unwrap();
+        assert_eq!(t.tier_of(CloudId(0)), 2);
+        assert_eq!(t.tier_of(CloudId(1)), 1);
+    }
+
+    #[test]
+    fn tier_without_hops_is_rejected() {
+        let err = Instance::from_text("edge 1\ncloud 1 1\n").unwrap_err();
+        assert!(
+            matches!(err, InstanceError::Parse { line: 2, ref message }
+                if message.contains("no hop records")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn builder_validates_like_instance_new() {
+        let err = Instance::builder()
+            .edge(1.0)
+            .cloud(1.0)
+            .job(3, 0.0, 1.0, 0.0, 0.0)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, InstanceError::OriginOutOfRange { job: 0, origin: 3 });
     }
 
     #[test]
@@ -316,7 +571,10 @@ mod tests {
 
     #[test]
     fn delta_on_irregular_jobs() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
             Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),

@@ -37,6 +37,7 @@ pub mod spec;
 pub mod state;
 pub mod stats;
 pub mod svg;
+pub mod tier;
 pub mod validate;
 pub mod view;
 
@@ -46,7 +47,7 @@ pub use engine::{
     RunOutcome, RunStats, Session, SessionStats, SessionStatus, Simulation,
 };
 // Observability surface (see `mmsec-obs` and `docs/observability.md`).
-pub use instance::{figure1_instance, Instance, InstanceError};
+pub use instance::{figure1_instance, Instance, InstanceBuilder, InstanceError};
 pub use job::{Job, JobId};
 pub use metrics::{max_stretch, StretchReport};
 // Fault-injection surface (see `mmsec-faults` and `docs/faults.md`).
@@ -56,8 +57,9 @@ pub use mmsec_obs as obs;
 pub use mmsec_obs::{Observer, ObserverHandle};
 pub use render::{gantt, GanttOptions};
 pub use schedule::Schedule;
-pub use spec::{CloudId, EdgeId, PlatformSpec};
+pub use spec::{CloudId, EdgeId, PlatformSpec, SpecBuilder};
 pub use state::{JobArena, JobState, PlatformError, PlatformMutation, PlatformState};
 pub use stats::{schedule_stats, ScheduleStats};
+pub use tier::{TierClass, TierTopology};
 pub use validate::{validate, validate_with, ValidateOptions, Violation};
 pub use view::{Availability, PendingSet, SimView};

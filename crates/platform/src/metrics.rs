@@ -83,7 +83,10 @@ mod tests {
     /// example (1-hour and 10-hour jobs; shortest-first gives 1.1).
     #[test]
     fn intro_example_stretches() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
             Job::new(EdgeId(0), 0.0, 10.0, 0.0, 0.0),
@@ -136,7 +139,10 @@ mod tests {
 
     #[test]
     fn unfinished_schedule_yields_none() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
         let tb = TraceBuilder::new(1);
         assert!(try_report(&inst, &tb.finish()).is_none());
@@ -146,7 +152,10 @@ mod tests {
     /// report exists, every aggregate is zero, and there is no argmax.
     #[test]
     fn empty_instance_reports_zeros() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let inst = Instance::new(spec, vec![]).unwrap();
         let report =
             try_report(&inst, &TraceBuilder::new(0).finish()).expect("empty instance must report");
@@ -163,7 +172,10 @@ mod tests {
     /// max stretch.
     #[test]
     fn single_unfinished_job_among_finished_yields_none() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0),
             Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0),
@@ -185,7 +197,10 @@ mod tests {
     fn stretch_denominator_uses_best_resource() {
         // Job prefers cloud (min time 4) but is executed on the edge in 6:
         // stretch must be 6/4, not 1.
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0 / 3.0], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0 / 3.0])
+            .cloud_pool(1)
+            .build();
         let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0)]).unwrap();
         let mut tb = TraceBuilder::new(1);
         tb.record(

@@ -220,6 +220,12 @@ impl Projection {
                 }
             }
             Target::Cloud(k) => {
+                // Communication *volumes* become link-time durations by
+                // pricing them along the route: exactly `v * 1.0` (a
+                // bitwise no-op) on the flat platform, `v * path` on a
+                // continuum platform.
+                let up = up * spec.path_up(k);
+                let dn = dn * spec.path_dn(k);
                 let has_up = up > 0.0;
                 let up_start = if has_up {
                     self.free[ResourceId::EdgeOut(job.origin)]
@@ -346,7 +352,10 @@ mod tests {
     use crate::view::PendingSet;
 
     fn view_fixture(jobs: Vec<Job>) -> (Instance, Vec<JobState>) {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5])
+            .cloud_pool(2)
+            .build();
         let inst = Instance::new(spec, jobs).unwrap();
         let mut states = vec![JobState::default(); inst.num_jobs()];
         for s in &mut states {
@@ -510,7 +519,9 @@ mod tests {
             /// [`Forecast::pristine`] must be bit-identical to
             /// [`Projection::forecast`] on a freshly reset projection,
             /// across zero and positive communication volumes, committed
-            /// and fresh placements, and both target kinds.
+            /// and fresh placements, both target kinds, and flat as well
+            /// as continuum (path-priced) platforms — callers hand
+            /// `pristine` the *path-scaled* communication durations.
             #[test]
             fn pristine_matches_forecast(
                 work in 0.0f64..50.0,
@@ -519,9 +530,20 @@ mod tests {
                 done in proptest::collection::vec(0.0f64..1.0, 3),
                 committed in 0usize..4,
                 target_pick in 0usize..3,
+                tiered in any::<bool>(),
                 now in 0.0f64..1e6,
             ) {
-                let spec = PlatformSpec::homogeneous_cloud(vec![0.7], 2);
+                let spec = if tiered {
+                    PlatformSpec::builder()
+                        .edge(0.7)
+                        .tier(0.5, 0.75)
+                        .cloud(1.0)
+                        .tier(1.5, 2.0)
+                        .cloud(1.0)
+                        .build()
+                } else {
+                    PlatformSpec::builder().edge(0.7).cloud_pool(2).build()
+                };
                 let job = Job::new(EdgeId(0), 0.0, work, up, dn);
                 let mut st = JobState {
                     released: true,
@@ -543,9 +565,13 @@ mod tests {
                 let proj = Projection::new(&spec, now);
                 let reference = proj.forecast(&job, &st, target, &spec, now);
                 let (u, w, d) = volumes(&st, &job, target);
-                let speed = match target {
-                    Target::Edge => spec.edge_speed(job.origin),
-                    Target::Cloud(k) => spec.cloud_speed(k),
+                let (u, d, speed) = match target {
+                    Target::Edge => (u, d, spec.edge_speed(job.origin)),
+                    Target::Cloud(k) => (
+                        u * spec.path_up(k),
+                        d * spec.path_dn(k),
+                        spec.cloud_speed(k),
+                    ),
                 };
                 let fast = Forecast::pristine(target, u, w, d, speed, now);
                 prop_assert_eq!(fast, reference);

@@ -217,7 +217,10 @@ mod tests {
     use super::*;
 
     fn spec() -> PlatformSpec {
-        PlatformSpec::homogeneous_cloud(vec![0.5, 0.1, 0.9], 2)
+        PlatformSpec::builder()
+            .edges(vec![0.5, 0.1, 0.9])
+            .cloud_pool(2)
+            .build()
     }
 
     #[test]

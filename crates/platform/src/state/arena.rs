@@ -208,9 +208,9 @@ impl JobArena {
         match target {
             Target::Edge => self.remaining_work(i, job) / spec.edge_speed(job.origin),
             Target::Cloud(k) => {
-                self.remaining_up(i, job)
+                self.remaining_up(i, job) * spec.path_up(k)
                     + self.remaining_work(i, job) / spec.cloud_speed(k)
-                    + self.remaining_dn(i, job)
+                    + self.remaining_dn(i, job) * spec.path_dn(k)
             }
         }
     }
@@ -240,7 +240,10 @@ mod tests {
     use crate::spec::{CloudId, EdgeId};
 
     fn fixture() -> Instance {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5])
+            .cloud_pool(2)
+            .build();
         let job = Job::new(EdgeId(0), 1.0, 4.0, 2.0, 1.0);
         Instance::new(spec, vec![job]).unwrap()
     }
@@ -299,7 +302,10 @@ mod tests {
         let mut arena = JobArena::fresh(&inst, &inst.spec);
         assert!((arena.min_time[0] - 7.0).abs() < 1e-12);
         // A faster platform shrinks the denominator.
-        let faster = PlatformSpec::homogeneous_cloud(vec![1.0], 2);
+        let faster = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(2)
+            .build();
         arena.recompute_min_times(&inst, &faster);
         assert!((arena.min_time[0] - 4.0).abs() < 1e-12);
     }

@@ -117,9 +117,9 @@ impl JobState {
         match target {
             Target::Edge => self.remaining_work(job) / spec.edge_speed(job.origin),
             Target::Cloud(k) => {
-                self.remaining_up(job)
+                self.remaining_up(job) * spec.path_up(k)
                     + self.remaining_work(job) / spec.cloud_speed(k)
-                    + self.remaining_dn(job)
+                    + self.remaining_dn(job) * spec.path_dn(k)
             }
         }
     }
@@ -156,7 +156,10 @@ mod tests {
     use crate::spec::{CloudId, EdgeId};
 
     fn fixture() -> (Instance, Job) {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5])
+            .cloud_pool(2)
+            .build();
         let job = Job::new(EdgeId(0), 1.0, 4.0, 2.0, 1.0);
         let inst = Instance::new(spec, vec![job]).unwrap();
         (inst, job)
@@ -178,7 +181,10 @@ mod tests {
 
     #[test]
     fn phase_skips_zero_volumes() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(1)
+            .build();
         // Kang-style job: no downlink.
         let job = Job::new(EdgeId(0), 0.0, 3.0, 0.0, 0.0);
         let inst = Instance::new(spec, vec![job]).unwrap();

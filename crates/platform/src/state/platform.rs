@@ -65,6 +65,18 @@ pub enum PlatformError {
         /// Offending value.
         factor: f64,
     },
+    /// The referenced tier hop does not exist (flat platform, or index
+    /// beyond the topology's depth).
+    UnknownHop {
+        /// Offending hop index.
+        hop: usize,
+    },
+    /// A hop link-time factor must be positive and finite (a zero hop
+    /// would make transfers instantaneous and the comm rate infinite).
+    BadHopFactor {
+        /// Offending value.
+        value: f64,
+    },
     /// Removing the last live edge unit would leave jobs nowhere to
     /// originate.
     LastEdge,
@@ -76,6 +88,26 @@ pub enum PlatformError {
         /// Number of unfinished jobs originating there.
         unfinished: usize,
     },
+}
+
+impl PlatformError {
+    /// A stable kebab-case identifier for this error class, suitable for
+    /// machine consumption (the serve protocol's `reject` records carry
+    /// it as their `code` field). Codes are part of the wire contract:
+    /// add new ones freely, never repurpose an existing one.
+    pub fn code(&self) -> &'static str {
+        match self {
+            PlatformError::UnknownEdge { .. } => "unknown-edge",
+            PlatformError::UnknownCloud { .. } => "unknown-cloud",
+            PlatformError::AlreadyRemoved { .. } => "already-removed",
+            PlatformError::BadSpeed { .. } => "bad-speed",
+            PlatformError::BadFactor { .. } => "bad-factor",
+            PlatformError::UnknownHop { .. } => "unknown-hop",
+            PlatformError::BadHopFactor { .. } => "bad-hop-factor",
+            PlatformError::LastEdge => "last-edge",
+            PlatformError::OriginInUse { .. } => "origin-in-use",
+        }
+    }
 }
 
 impl fmt::Display for PlatformError {
@@ -93,6 +125,10 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::BadFactor { factor } => {
                 write!(f, "link factor must be finite and >= 0, got {factor}")
+            }
+            PlatformError::UnknownHop { hop } => write!(f, "unknown tier hop {hop}"),
+            PlatformError::BadHopFactor { value } => {
+                write!(f, "hop factor must be positive and finite, got {value}")
             }
             PlatformError::LastEdge => write!(f, "cannot remove the last live edge unit"),
             PlatformError::OriginInUse { edge, unfinished } => {
@@ -155,6 +191,16 @@ pub enum PlatformMutation {
         /// New speed.
         speed: f64,
     },
+    /// Tier hop `hop`'s link-time factors are re-provisioned (continuum
+    /// platforms only; repriced for every unit behind the hop).
+    SetHop {
+        /// Affected hop index (`0` connects the edge tier to tier 1).
+        hop: usize,
+        /// New upload link-time factor.
+        up: f64,
+        /// New download link-time factor.
+        dn: f64,
+    },
 }
 
 impl PlatformMutation {
@@ -169,6 +215,7 @@ impl PlatformMutation {
             PlatformMutation::SetLink { .. } => "set-link",
             PlatformMutation::SetEdgeSpeed { .. } => "set-edge-speed",
             PlatformMutation::SetCloudSpeed { .. } => "set-cloud-speed",
+            PlatformMutation::SetHop { .. } => "set-hop",
         }
     }
 }
@@ -323,6 +370,7 @@ impl PlatformState {
             PlatformMutation::SetLink { edge, factor } => self.set_link(edge, factor),
             PlatformMutation::SetEdgeSpeed { edge, speed } => self.set_edge_speed(edge, speed),
             PlatformMutation::SetCloudSpeed { cloud, speed } => self.set_cloud_speed(cloud, speed),
+            PlatformMutation::SetHop { hop, up, dn } => self.set_hop(hop, up, dn),
         }
     }
 
@@ -361,6 +409,7 @@ impl PlatformState {
         self.cloud_fault_up.push(true);
         self.avail.cloud_up.push(true);
         self.refresh_max_cloud_speed();
+        self.refresh_tier_classes();
         self.commit();
         Ok(id)
     }
@@ -371,6 +420,7 @@ impl PlatformState {
         self.cloud_live[k.0] = false;
         self.recompute_cloud(k);
         self.refresh_max_cloud_speed();
+        self.refresh_tier_classes();
         self.commit();
         Ok(self.version)
     }
@@ -403,6 +453,30 @@ impl PlatformState {
         check_speed(speed)?;
         self.spec.set_cloud_speed(k, speed);
         self.refresh_max_cloud_speed();
+        self.refresh_tier_classes();
+        self.commit();
+        Ok(self.version)
+    }
+
+    /// Re-provisions tier hop `hop`'s link-time factors (continuum
+    /// platforms only): every unit behind the hop is repriced, both in
+    /// the engine's comm rates and in the stretch-denominator pricing
+    /// classes. Returns the new version.
+    pub fn set_hop(&mut self, hop: usize, up: f64, dn: f64) -> Result<u64, PlatformError> {
+        let depth = match self.spec.tier_topology() {
+            Some(t) => t.depth(),
+            None => return Err(PlatformError::UnknownHop { hop }),
+        };
+        if hop >= depth {
+            return Err(PlatformError::UnknownHop { hop });
+        }
+        for v in [up, dn] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(PlatformError::BadHopFactor { value: v });
+            }
+        }
+        self.spec.set_hop(hop, up, dn);
+        self.refresh_tier_classes();
         self.commit();
         Ok(self.version)
     }
@@ -505,6 +579,13 @@ impl PlatformState {
         self.spec.set_max_cloud_speed(m);
     }
 
+    /// Keeps the tier pricing classes in sync with live membership (the
+    /// continuum analogue of [`PlatformState::refresh_max_cloud_speed`];
+    /// a no-op on flat platforms).
+    fn refresh_tier_classes(&mut self) {
+        self.spec.refresh_tier_classes(&self.cloud_live);
+    }
+
     /// Seals a permanent mutation: versions it, leaves the static fast
     /// path, and (cheaply — mutations are rare) verifies the new
     /// version's invariants.
@@ -531,7 +612,12 @@ mod tests {
     use super::*;
 
     fn base() -> PlatformState {
-        PlatformState::new(PlatformSpec::homogeneous_cloud(vec![0.5, 0.25], 2))
+        PlatformState::new(
+            PlatformSpec::builder()
+                .edges(vec![0.5, 0.25])
+                .cloud_pool(2)
+                .build(),
+        )
     }
 
     #[test]
@@ -683,6 +769,98 @@ mod tests {
         b.remove_cloud(CloudId(1)).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.version(), 8);
+    }
+
+    #[test]
+    fn set_hop_reprices_the_subtree_behind_it() {
+        let mut p = PlatformState::new(
+            PlatformSpec::builder()
+                .edges(vec![1.0])
+                .tier(1.0, 1.0)
+                .cloud(1.0)
+                .tier(2.0, 3.0)
+                .cloud(1.0)
+                .build(),
+        );
+        // Paths sum the hop factors along the route: 1 + 2 up, 1 + 3 dn.
+        assert_eq!(p.spec().path_up(CloudId(1)), 3.0);
+        assert_eq!(p.spec().path_dn(CloudId(1)), 4.0);
+        let v = p.set_hop(1, 4.0, 0.5).unwrap();
+        assert_eq!(v, 2);
+        assert!(p.is_dynamic());
+        // The deep cloud is repriced; the tier-1 cloud is untouched.
+        assert_eq!(p.spec().path_up(CloudId(1)), 5.0);
+        assert_eq!(p.spec().path_dn(CloudId(1)), 1.5);
+        assert_eq!(p.spec().path_up(CloudId(0)), 1.0);
+        // The pricing classes follow the retune (two distinct classes).
+        let t = p.spec().tier_topology().unwrap();
+        assert_eq!(t.classes().len(), 2);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn set_hop_rejects_bad_inputs_without_versioning() {
+        let mut p = PlatformState::new(
+            PlatformSpec::builder()
+                .edges(vec![1.0])
+                .tier(1.5, 1.5)
+                .cloud_pool(2)
+                .build(),
+        );
+        assert_eq!(
+            p.set_hop(1, 1.0, 1.0),
+            Err(PlatformError::UnknownHop { hop: 1 })
+        );
+        assert_eq!(
+            p.set_hop(0, 0.0, 1.0),
+            Err(PlatformError::BadHopFactor { value: 0.0 })
+        );
+        assert_eq!(
+            p.set_hop(0, 1.0, f64::INFINITY),
+            Err(PlatformError::BadHopFactor {
+                value: f64::INFINITY
+            })
+        );
+        assert_eq!(p.version(), 1);
+        assert!(!p.is_dynamic());
+        // A flat platform has no hops at all.
+        let mut flat = base();
+        assert_eq!(
+            flat.set_hop(0, 1.0, 1.0),
+            Err(PlatformError::UnknownHop { hop: 0 })
+        );
+    }
+
+    #[test]
+    fn set_hop_apply_matches_method_form() {
+        let tiered = || {
+            PlatformState::new(
+                PlatformSpec::builder()
+                    .edges(vec![1.0])
+                    .tier(1.0, 1.0)
+                    .cloud_pool(1)
+                    .build(),
+            )
+        };
+        let mut a = tiered();
+        let mut b = tiered();
+        a.apply(PlatformMutation::SetHop {
+            hop: 0,
+            up: 2.5,
+            dn: 1.25,
+        })
+        .unwrap();
+        b.set_hop(0, 2.5, 1.25).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            PlatformMutation::SetHop {
+                hop: 0,
+                up: 2.5,
+                dn: 1.25
+            }
+            .op(),
+            "set-hop"
+        );
     }
 
     #[test]

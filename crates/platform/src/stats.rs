@@ -125,7 +125,10 @@ mod tests {
     use mmsec_sim::Interval;
 
     fn build() -> (Instance, Schedule) {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5])
+            .cloud_pool(1)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0), // edge: 4 seconds
             Job::new(EdgeId(0), 0.0, 3.0, 1.0, 1.0), // cloud: 1+3+1

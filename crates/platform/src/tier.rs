@@ -1,0 +1,358 @@
+//! Multi-tier continuum topology: edge → fog → … → cloud.
+//!
+//! The paper's platform is *flat*: every cloud processor sits directly
+//! behind the origin edge unit's link, and a job's `up_i` / `dn_i` volumes
+//! *are* its communication times. [`TierTopology`] generalizes this to a
+//! typed tier chain (ROADMAP item 3, after the continuum-scheduling
+//! literature): tier 0 is the edge; remote units live at tiers
+//! `1..=depth`; hop `t` connects tier `t` to tier `t+1` with a pair of
+//! per-hop link-time factors (upload, download). A transfer to a unit at
+//! tier `T` is composed along the route, so its duration is the job's
+//! communication volume times the **path factor**
+//! `Σ_{t<T} hop(t)` — store-and-forward over the chain.
+//!
+//! Flat is the exact special case `depth = 1` with unit hop factors: the
+//! path factor is then `1.0` and every price below multiplies by it
+//! bitwise-neutrally (`x * 1.0 ≡ x` for every finite IEEE-754 `x`), which
+//! the `flat ≡ tiered(depth=1)` equivalence proptest pins end to end.
+//!
+//! The topology caches, per cloud unit, the up/down path factors and
+//! their reciprocals (the engine's communication *rates*: a comm phase
+//! progresses through its volume at `1/path` volume-units per second),
+//! plus the distinct `(speed, path_up, path_dn)` **pricing classes** over
+//! live units that [`crate::job::Job::best_cloud_time`] folds over — the
+//! tiered analogue of the flat model's cached `max_cloud_speed`.
+
+use crate::spec::{CloudId, SpecError};
+
+/// One distinct remote pricing class: all live cloud units sharing a
+/// speed and an up/down path factor price a job identically, so the
+/// stretch denominator folds over classes instead of units.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TierClass {
+    /// Compute speed of the class's units.
+    pub speed: f64,
+    /// Uplink path factor (edge → unit tier).
+    pub path_up: f64,
+    /// Downlink path factor (unit tier → edge).
+    pub path_dn: f64,
+}
+
+/// A typed tier chain with per-hop link-time factors and a tier
+/// assignment for every cloud unit. See the [module docs](self).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TierTopology {
+    /// Per-hop upload factors; `hop_up[t]` connects tier `t` to `t+1`.
+    hop_up: Vec<f64>,
+    /// Per-hop download factors, same indexing.
+    hop_dn: Vec<f64>,
+    /// Tier of each cloud unit, in `1..=depth`.
+    tier_of: Vec<usize>,
+    /// Cached per-unit uplink path factor `Σ_{t<tier} hop_up[t]`.
+    path_up: Vec<f64>,
+    /// Cached per-unit downlink path factor.
+    path_dn: Vec<f64>,
+    /// Cached reciprocal `1 / path_up` (engine comm rate).
+    rate_up: Vec<f64>,
+    /// Cached reciprocal `1 / path_dn`.
+    rate_dn: Vec<f64>,
+    /// Distinct `(speed, path_up, path_dn)` over *live* units, in
+    /// first-seen unit order. Rebuilt by the platform runtime whenever
+    /// membership, speeds, or hops change.
+    classes: Vec<TierClass>,
+}
+
+impl TierTopology {
+    /// Builds a topology from per-hop `(up, dn)` factor pairs and a tier
+    /// assignment for every cloud unit (tier `t ∈ 1..=depth`, where
+    /// `depth = hops.len()`). Pricing classes are built with every unit
+    /// live. Fails on non-finite/non-positive hop factors, an empty hop
+    /// chain, or an out-of-range tier.
+    pub fn new(hops: &[(f64, f64)], tier_of: Vec<usize>) -> Result<Self, SpecError> {
+        if hops.is_empty() {
+            return Err(SpecError::BadHop {
+                hop: 0,
+                value: f64::NAN,
+            });
+        }
+        for (t, &(u, d)) in hops.iter().enumerate() {
+            for v in [u, d] {
+                if !(v > 0.0 && v.is_finite()) {
+                    return Err(SpecError::BadHop { hop: t, value: v });
+                }
+            }
+        }
+        let depth = hops.len();
+        for (k, &t) in tier_of.iter().enumerate() {
+            if t == 0 || t > depth {
+                return Err(SpecError::TierOutOfRange {
+                    cloud: k,
+                    tier: t,
+                    depth,
+                });
+            }
+        }
+        let n = tier_of.len();
+        let mut topo = TierTopology {
+            hop_up: hops.iter().map(|&(u, _)| u).collect(),
+            hop_dn: hops.iter().map(|&(_, d)| d).collect(),
+            tier_of,
+            path_up: vec![0.0; n],
+            path_dn: vec![0.0; n],
+            rate_up: vec![0.0; n],
+            rate_dn: vec![0.0; n],
+            classes: Vec::new(),
+        };
+        topo.recompute_paths();
+        Ok(topo)
+    }
+
+    /// Number of hops (= number of remote tiers).
+    pub fn depth(&self) -> usize {
+        self.hop_up.len()
+    }
+
+    /// The `(up, dn)` link-time factors of hop `t` (connecting tier `t`
+    /// to tier `t+1`).
+    pub fn hop(&self, t: usize) -> (f64, f64) {
+        (self.hop_up[t], self.hop_dn[t])
+    }
+
+    /// Tier of cloud unit `k`, in `1..=depth`.
+    pub fn tier_of(&self, k: CloudId) -> usize {
+        self.tier_of[k.0]
+    }
+
+    /// Uplink path factor of cloud unit `k` (sum of up-hop factors along
+    /// the route from the edge tier).
+    #[inline]
+    pub fn path_up(&self, k: CloudId) -> f64 {
+        self.path_up[k.0]
+    }
+
+    /// Downlink path factor of cloud unit `k`.
+    #[inline]
+    pub fn path_dn(&self, k: CloudId) -> f64 {
+        self.path_dn[k.0]
+    }
+
+    /// Uplink progress rate (`1 / path_up`) — volume units per second of
+    /// a transfer toward unit `k`.
+    #[inline]
+    pub fn rate_up(&self, k: CloudId) -> f64 {
+        self.rate_up[k.0]
+    }
+
+    /// Downlink progress rate (`1 / path_dn`).
+    #[inline]
+    pub fn rate_dn(&self, k: CloudId) -> f64 {
+        self.rate_dn[k.0]
+    }
+
+    /// The distinct live pricing classes (empty when no unit is live).
+    pub fn classes(&self) -> &[TierClass] {
+        &self.classes
+    }
+
+    /// Number of cloud units covered by the tier assignment.
+    pub fn num_units(&self) -> usize {
+        self.tier_of.len()
+    }
+
+    /// Checks internal consistency against a platform with `num_cloud`
+    /// cloud units.
+    pub fn validate(&self, num_cloud: usize) -> Result<(), SpecError> {
+        if self.tier_of.len() != num_cloud {
+            return Err(SpecError::TierOutOfRange {
+                cloud: self.tier_of.len(),
+                tier: 0,
+                depth: self.depth(),
+            });
+        }
+        for (t, (&u, &d)) in self.hop_up.iter().zip(&self.hop_dn).enumerate() {
+            for v in [u, d] {
+                if !(v > 0.0 && v.is_finite()) {
+                    return Err(SpecError::BadHop { hop: t, value: v });
+                }
+            }
+        }
+        for (k, &t) in self.tier_of.iter().enumerate() {
+            if t == 0 || t > self.depth() {
+                return Err(SpecError::TierOutOfRange {
+                    cloud: k,
+                    tier: t,
+                    depth: self.depth(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrites hop `t`'s factors and refreshes every cached path and
+    /// rate. The caller validates the factors and rebuilds the pricing
+    /// classes afterwards.
+    pub(crate) fn set_hop(&mut self, t: usize, up: f64, dn: f64) {
+        self.hop_up[t] = up;
+        self.hop_dn[t] = dn;
+        self.recompute_paths();
+    }
+
+    /// Attaches a newly joined cloud unit to the deepest tier (the
+    /// conventional "cloud" end of the chain) and caches its paths.
+    pub(crate) fn push_cloud_deepest(&mut self) {
+        self.push_cloud_at(self.depth());
+    }
+
+    /// Attaches a newly joined cloud unit at `tier` and caches its paths.
+    /// The caller validates `tier ∈ 1..=depth`.
+    pub(crate) fn push_cloud_at(&mut self, tier: usize) {
+        self.tier_of.push(tier);
+        let (pu, pd) = self.paths_for(tier);
+        self.path_up.push(pu);
+        self.path_dn.push(pd);
+        self.rate_up.push(1.0 / pu);
+        self.rate_dn.push(1.0 / pd);
+    }
+
+    /// Rebuilds the live pricing classes from the platform's current
+    /// cloud speeds and liveness. Classes are keyed by exact bit
+    /// patterns, in first-seen unit order (deterministic).
+    pub(crate) fn rebuild_classes(&mut self, cloud_speeds: &[f64], live: &[bool]) {
+        self.classes.clear();
+        for (k, &s) in cloud_speeds.iter().enumerate() {
+            if !live.get(k).copied().unwrap_or(true) {
+                continue;
+            }
+            let (pu, pd) = (self.path_up[k], self.path_dn[k]);
+            let dup = self.classes.iter().any(|c| {
+                c.speed.to_bits() == s.to_bits()
+                    && c.path_up.to_bits() == pu.to_bits()
+                    && c.path_dn.to_bits() == pd.to_bits()
+            });
+            if !dup {
+                self.classes.push(TierClass {
+                    speed: s,
+                    path_up: pu,
+                    path_dn: pd,
+                });
+            }
+        }
+    }
+
+    /// Path factors for a unit at `tier`: the running sum of hop factors
+    /// from the edge (tier 0) up to (excluding) `tier`.
+    fn paths_for(&self, tier: usize) -> (f64, f64) {
+        let pu = self.hop_up[..tier].iter().sum::<f64>();
+        let pd = self.hop_dn[..tier].iter().sum::<f64>();
+        (pu, pd)
+    }
+
+    fn recompute_paths(&mut self) {
+        for k in 0..self.tier_of.len() {
+            let (pu, pd) = self.paths_for(self.tier_of[k]);
+            self.path_up[k] = pu;
+            self.path_dn[k] = pd;
+            self.rate_up[k] = 1.0 / pu;
+            self.rate_dn[k] = 1.0 / pd;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth1_unit_hops_are_neutral() {
+        let t = TierTopology::new(&[(1.0, 1.0)], vec![1, 1]).unwrap();
+        assert_eq!(t.depth(), 1);
+        for k in [CloudId(0), CloudId(1)] {
+            assert_eq!(t.path_up(k).to_bits(), 1.0f64.to_bits());
+            assert_eq!(t.path_dn(k).to_bits(), 1.0f64.to_bits());
+            assert_eq!(t.rate_up(k).to_bits(), 1.0f64.to_bits());
+            assert_eq!(t.rate_dn(k).to_bits(), 1.0f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn paths_compose_along_the_route() {
+        // Two hops: edge→fog (0.5 up, 0.25 dn), fog→cloud (2.0 up, 1.0 dn).
+        let t = TierTopology::new(&[(0.5, 0.25), (2.0, 1.0)], vec![1, 2]).unwrap();
+        assert_eq!(t.path_up(CloudId(0)), 0.5);
+        assert_eq!(t.path_dn(CloudId(0)), 0.25);
+        assert_eq!(t.path_up(CloudId(1)), 2.5);
+        assert_eq!(t.path_dn(CloudId(1)), 1.25);
+        assert_eq!(t.rate_up(CloudId(1)), 1.0 / 2.5);
+        assert_eq!(t.tier_of(CloudId(1)), 2);
+    }
+
+    #[test]
+    fn set_hop_refreshes_paths() {
+        let mut t = TierTopology::new(&[(1.0, 1.0), (1.0, 1.0)], vec![1, 2]).unwrap();
+        t.set_hop(1, 3.0, 0.5);
+        assert_eq!(t.hop(1), (3.0, 0.5));
+        assert_eq!(t.path_up(CloudId(0)), 1.0); // tier-1 unit untouched
+        assert_eq!(t.path_up(CloudId(1)), 4.0);
+        assert_eq!(t.path_dn(CloudId(1)), 1.5);
+    }
+
+    #[test]
+    fn classes_group_by_speed_and_paths() {
+        let mut t = TierTopology::new(&[(0.5, 0.5), (1.0, 1.0)], vec![1, 1, 2]).unwrap();
+        t.rebuild_classes(&[1.0, 1.0, 1.0], &[true, true, true]);
+        // Units 0 and 1 share (1.0, 0.5, 0.5); unit 2 is (1.0, 1.5, 1.5).
+        assert_eq!(t.classes().len(), 2);
+        assert_eq!(t.classes()[0].path_up, 0.5);
+        assert_eq!(t.classes()[1].path_up, 1.5);
+        // Tombstoning the deep unit drops its class.
+        t.rebuild_classes(&[1.0, 1.0, 1.0], &[true, true, false]);
+        assert_eq!(t.classes().len(), 1);
+        // All dead → no classes (best_cloud_time folds to infinity).
+        t.rebuild_classes(&[1.0, 1.0, 1.0], &[false, false, false]);
+        assert!(t.classes().is_empty());
+    }
+
+    #[test]
+    fn new_cloud_joins_deepest_tier() {
+        let mut t = TierTopology::new(&[(1.0, 1.0), (2.0, 2.0)], vec![1]).unwrap();
+        t.push_cloud_deepest();
+        assert_eq!(t.num_units(), 2);
+        assert_eq!(t.tier_of(CloudId(1)), 2);
+        assert_eq!(t.path_up(CloudId(1)), 3.0);
+    }
+
+    #[test]
+    fn rejects_bad_hops_and_tiers() {
+        assert!(matches!(
+            TierTopology::new(&[], vec![]),
+            Err(SpecError::BadHop { .. })
+        ));
+        assert!(matches!(
+            TierTopology::new(&[(0.0, 1.0)], vec![1]),
+            Err(SpecError::BadHop { hop: 0, .. })
+        ));
+        assert!(matches!(
+            TierTopology::new(&[(1.0, f64::INFINITY)], vec![1]),
+            Err(SpecError::BadHop { hop: 0, .. })
+        ));
+        assert!(matches!(
+            TierTopology::new(&[(1.0, 1.0)], vec![2]),
+            Err(SpecError::TierOutOfRange {
+                cloud: 0,
+                tier: 2,
+                ..
+            })
+        ));
+        assert!(matches!(
+            TierTopology::new(&[(1.0, 1.0)], vec![0]),
+            Err(SpecError::TierOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_checks_unit_count() {
+        let t = TierTopology::new(&[(1.0, 1.0)], vec![1, 1]).unwrap();
+        assert!(t.validate(2).is_ok());
+        assert!(t.validate(3).is_err());
+    }
+}

@@ -253,19 +253,24 @@ fn check_jobs(
                         got: exec_len,
                     });
                 }
-                if approx::lt(up_len, job.up) {
+                // Transfers are priced along the tier path: volume ×
+                // per-hop link-time factors (exactly the volume on a
+                // flat platform, where every path factor is 1.0).
+                let required_up = job.up * spec.path_up(k);
+                if approx::lt(up_len, required_up) {
                     v.push(Violation::MissingVolume {
                         job: id,
                         phase: Phase::Uplink,
-                        required: job.up,
+                        required: required_up,
                         got: up_len,
                     });
                 }
-                if approx::lt(dn_len, job.dn) {
+                let required_dn = job.dn * spec.path_dn(k);
+                if approx::lt(dn_len, required_dn) {
                     v.push(Violation::MissingVolume {
                         job: id,
                         phase: Phase::Downlink,
-                        required: job.dn,
+                        required: required_dn,
                         got: dn_len,
                     });
                 }
@@ -420,7 +425,10 @@ mod tests {
     use mmsec_sim::Time;
 
     fn instance_one_cloud() -> Instance {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5])
+            .cloud_pool(1)
+            .build();
         Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 2.0, 1.0, 1.0)]).unwrap()
     }
 
@@ -482,7 +490,10 @@ mod tests {
 
     #[test]
     fn detects_work_before_release() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 5.0, 1.0, 0.0, 0.0)]).unwrap();
         let mut tb = TraceBuilder::new(1);
         tb.record(JobId(0), Phase::Compute, Target::Edge, iv(0.0, 1.0));
@@ -495,7 +506,10 @@ mod tests {
 
     #[test]
     fn detects_resource_overlap_between_jobs() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0),
             Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0),
@@ -519,7 +533,10 @@ mod tests {
 
     #[test]
     fn detects_one_port_violation_and_option_disables_it() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(2)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 1.0, 2.0, 0.0),
             Job::new(EdgeId(0), 0.0, 1.0, 2.0, 0.0),
@@ -572,7 +589,10 @@ mod tests {
 
     #[test]
     fn abandoned_segments_occupy_resources() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0),
             Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0),
@@ -608,7 +628,10 @@ mod tests {
 
     #[test]
     fn detects_completion_mismatch() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
         let mut tb = TraceBuilder::new(1);
         tb.record(JobId(0), Phase::Compute, Target::Edge, iv(0.0, 1.0));
@@ -621,7 +644,10 @@ mod tests {
 
     #[test]
     fn detects_computation_in_unavailability_window() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1)
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(1)
+            .build()
             .with_cloud_unavailability(CloudId(0), &[iv(1.0, 2.0)]);
         let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 3.0, 0.0, 0.0)]).unwrap();
         let mut tb = TraceBuilder::new(1);

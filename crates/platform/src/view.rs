@@ -398,7 +398,10 @@ mod tests {
     use crate::spec::{CloudId, EdgeId};
 
     fn fixture() -> (Instance, Vec<JobState>) {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5])
+            .cloud_pool(2)
+            .build();
         // min_time = min(4/0.5, 2+4+1) = min(8, 7) = 7.
         let job = Job::new(EdgeId(0), 1.0, 4.0, 2.0, 1.0);
         let inst = Instance::new(spec, vec![job]).unwrap();
@@ -481,7 +484,10 @@ mod tests {
 
     #[test]
     fn from_states_matches_active_scan() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5])
+            .cloud_pool(1)
+            .build();
         let jobs = vec![
             Job::new(EdgeId(0), 3.0, 1.0, 0.0, 0.0),
             Job::new(EdgeId(0), 1.0, 1.0, 0.0, 0.0),

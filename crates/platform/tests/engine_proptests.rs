@@ -86,7 +86,10 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
         .prop_map(|(ne, nc, raw_jobs, speeds)| {
             let mut edge_speeds = speeds;
             edge_speeds.resize(ne, 0.5);
-            let spec = PlatformSpec::homogeneous_cloud(edge_speeds, nc);
+            let spec = PlatformSpec::builder()
+                .edges(edge_speeds)
+                .cloud_pool(nc)
+                .build();
             let jobs = raw_jobs
                 .into_iter()
                 .map(|(r, w, up, dn, o)| Job::new(EdgeId(o % ne), r, w, up, dn))

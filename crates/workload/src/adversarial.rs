@@ -19,7 +19,10 @@ use mmsec_platform::{EdgeId, Instance, Job, PlatformSpec};
 /// cloud. `Δ = delta`.
 pub fn long_vs_shorts(delta: f64, num_shorts: usize) -> Instance {
     assert!(delta >= 1.0, "the long job defines Δ ≥ 1");
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(0)
+        .build();
     let mut jobs = vec![Job::new(EdgeId(0), 0.0, delta, 0.0, 0.0)];
     for i in 0..num_shorts {
         jobs.push(Job::new(EdgeId(0), i as f64, 1.0, 0.0, 0.0));
@@ -32,7 +35,10 @@ pub fn long_vs_shorts(delta: f64, num_shorts: usize) -> Instance {
 /// of painful preemption decisions. Single unit-speed edge, no cloud.
 pub fn geometric_chain(delta: f64, levels: usize) -> Instance {
     assert!(delta >= 1.0 && levels >= 1);
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(0)
+        .build();
     let mut jobs = Vec::with_capacity(levels);
     let mut release = 0.0;
     let mut len = delta;

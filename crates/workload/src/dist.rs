@@ -30,6 +30,21 @@ pub enum Dist {
     },
     /// Point mass.
     Constant(f64),
+    /// Exponential with the given mean (rate `1/mean`) — memoryless
+    /// inter-arrival gaps and service times.
+    Exponential {
+        /// Mean (`1/λ`).
+        mean: f64,
+    },
+    /// Pareto (type I) with scale `x_m` and shape `α` — the heavy-tailed
+    /// work model: most jobs are small, a few are enormous. Sampled by
+    /// inverse CDF: `x_m · U^(−1/α)`.
+    Pareto {
+        /// Scale `x_m` (strict lower bound of the support).
+        scale: f64,
+        /// Tail index `α`; the mean is finite only for `α > 1`.
+        shape: f64,
+    },
 }
 
 impl Dist {
@@ -53,13 +68,46 @@ impl Dist {
         }
     }
 
+    /// Exponential with mean `mean`; panics on a non-positive mean.
+    pub fn exponential(mean: f64) -> Dist {
+        assert!(mean > 0.0 && mean.is_finite(), "bad exponential mean");
+        Dist::Exponential { mean }
+    }
+
+    /// Pareto with scale `x_m` and tail index `shape`; panics unless both
+    /// are positive and finite.
+    pub fn pareto(scale: f64, shape: f64) -> Dist {
+        assert!(
+            scale > 0.0 && scale.is_finite() && shape > 0.0 && shape.is_finite(),
+            "bad pareto parameters"
+        );
+        Dist::Pareto { scale, shape }
+    }
+
+    /// Pareto normalized to the given mean at tail index `shape` (must be
+    /// `> 1` for the mean to exist): `x_m = mean · (α − 1)/α`.
+    pub fn pareto_with_mean(mean: f64, shape: f64) -> Dist {
+        assert!(shape > 1.0, "pareto mean requires shape > 1");
+        assert!(mean > 0.0 && mean.is_finite(), "bad pareto mean");
+        Dist::pareto(mean * (shape - 1.0) / shape, shape)
+    }
+
     /// Expected value (of the untruncated distribution for normals — the
     /// truncation mass is ≈ 3·10⁻⁵ at relative σ = 1/4, negligible).
+    /// Infinite for a Pareto with `shape ≤ 1`.
     pub fn mean(&self) -> f64 {
         match *self {
             Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
             Dist::TruncNormal { mean, .. } => mean,
             Dist::Constant(c) => c,
+            Dist::Exponential { mean } => mean,
+            Dist::Pareto { scale, shape } => {
+                if shape > 1.0 {
+                    scale * shape / (shape - 1.0)
+                } else {
+                    f64::INFINITY
+                }
+            }
         }
     }
 
@@ -79,6 +127,14 @@ impl Dist {
                 floor
             }
             Dist::Constant(c) => c,
+            Dist::Exponential { mean } => {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                -mean * u.ln()
+            }
+            Dist::Pareto { scale, shape } => {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                scale * u.powf(-1.0 / shape)
+            }
         }
     }
 
@@ -97,6 +153,15 @@ impl Dist {
                 floor: floor * factor,
             },
             Dist::Constant(c) => Dist::Constant(c * factor),
+            Dist::Exponential { mean } => Dist::Exponential {
+                mean: mean * factor,
+            },
+            // Scaling a Pareto by a constant scales `x_m` and keeps the
+            // tail index.
+            Dist::Pareto { scale, shape } => Dist::Pareto {
+                scale: scale * factor,
+                shape,
+            },
         }
     }
 }
@@ -175,5 +240,65 @@ mod tests {
     #[should_panic(expected = "bad uniform range")]
     fn rejects_empty_range() {
         let _ = Dist::uniform(5.0, 5.0);
+    }
+
+    #[test]
+    fn exponential_mean_and_determinism() {
+        let d = Dist::exponential(3.0);
+        assert_eq!(d.mean(), 3.0);
+        let mut r = rng();
+        let samples: Vec<f64> = (0..40_000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let emp = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((emp - 3.0).abs() < 0.1, "empirical mean {emp}");
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(4);
+            (0..30).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(4);
+            (0..30).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pareto_support_tail_and_mean() {
+        let d = Dist::pareto(2.0, 2.5);
+        // mean = x_m·α/(α−1) = 2·2.5/1.5 = 10/3.
+        assert!((d.mean() - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(Dist::pareto(1.0, 1.0).mean(), f64::INFINITY);
+        let mut r = rng();
+        let samples: Vec<f64> = (0..60_000).map(|_| d.sample(&mut r)).collect();
+        // Support is [x_m, ∞).
+        assert!(samples.iter().all(|&x| x >= 2.0));
+        let emp = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((emp - 10.0 / 3.0).abs() < 0.15, "empirical mean {emp}");
+        // Heavy tail: P[X > 4·x_m] = 4^(−α) ≈ 3.1% — far above what any
+        // light-tailed law with this mean would put there.
+        let tail = samples.iter().filter(|&&x| x > 8.0).count() as f64 / samples.len() as f64;
+        assert!((tail - 0.031).abs() < 0.01, "tail mass {tail}");
+    }
+
+    #[test]
+    fn pareto_with_mean_hits_the_target() {
+        let d = Dist::pareto_with_mean(6.0, 3.0);
+        assert!((d.mean() - 6.0).abs() < 1e-12);
+        let scaled = d.scaled(2.0);
+        assert!((scaled.mean() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_determinism_per_seed() {
+        let d = Dist::pareto(1.0, 1.5);
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(77);
+            (0..50).map(|_| d.sample(&mut r).to_bits()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(77);
+            (0..50).map(|_| d.sample(&mut r).to_bits()).collect()
+        };
+        assert_eq!(a, b);
     }
 }

@@ -146,8 +146,11 @@ impl KangConfig {
 
     /// The platform of this configuration.
     pub fn platform(&self) -> PlatformSpec {
-        let speeds = self.profiles().iter().map(|p| p.compute.speed()).collect();
-        PlatformSpec::homogeneous_cloud(speeds, self.num_cloud)
+        let speeds: Vec<f64> = self.profiles().iter().map(|p| p.compute.speed()).collect();
+        PlatformSpec::builder()
+            .edges(speeds)
+            .cloud_pool(self.num_cloud)
+            .build()
     }
 
     /// Generates one instance deterministically from `seed`.

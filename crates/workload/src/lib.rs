@@ -5,12 +5,15 @@
 //!   communication-to-computation ratio (Figures 2(a) and 2(b));
 //! * [`KangConfig`] — realistic instances after Kang et al. \[24\]
 //!   (Figures 2(c) and 2(d));
+//! * [`WorkloadSpec`] — the free-form parametric generator (any
+//!   distribution × any arrival process × any platform);
 //! * [`load`] — the release-date model controlling system load;
-//! * [`dist`] — the underlying distribution toolkit (uniform + Box–Muller
-//!   truncated normal).
+//! * [`dist`] — the underlying distribution toolkit (uniform, Box–Muller
+//!   truncated normal, exponential, heavy-tailed Pareto).
 //!
 //! All generators are pure functions of their configuration and a `u64`
-//! seed, so experiments are exactly reproducible.
+//! seed, so experiments are exactly reproducible — and all implement the
+//! unifying [`Workload`] trait (platform + `seed → Instance`).
 
 #![warn(missing_docs)]
 
@@ -20,8 +23,10 @@ pub mod dist;
 pub mod kang;
 pub mod load;
 pub mod random_ccr;
+pub mod spec;
 
 pub use arrival::ArrivalProcess;
 pub use dist::Dist;
 pub use kang::{Channel, ComputeType, EdgeProfile, KangConfig};
 pub use random_ccr::RandomCcrConfig;
+pub use spec::{Workload, WorkloadBuilder, WorkloadSpec};

@@ -47,7 +47,10 @@ mod tests {
     fn max_release_formula() {
         // total work 100, total speed (0.5 + 0.5 + 1.0) = 2, load 0.05:
         // R = 100 / (0.05 * 2) = 1000.
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.5, 0.5], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.5, 0.5])
+            .cloud_pool(1)
+            .build();
         let works = vec![60.0, 40.0];
         assert!((max_release(&works, &spec, 0.05) - 1000.0).abs() < 1e-9);
         // Doubling the load halves the horizon.
@@ -56,7 +59,10 @@ mod tests {
 
     #[test]
     fn releases_within_horizon() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(1)
+            .build();
         let works = vec![5.0; 100];
         let mut rng = StdRng::seed_from_u64(3);
         let releases = sample_releases(&works, &spec, 0.5, &mut rng);
@@ -68,7 +74,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "load must be positive")]
     fn rejects_zero_load() {
-        let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+        let spec = PlatformSpec::builder()
+            .edges(vec![1.0])
+            .cloud_pool(0)
+            .build();
         let _ = max_release(&[1.0], &spec, 0.0);
     }
 }

@@ -62,7 +62,10 @@ impl RandomCcrConfig {
     pub fn platform(&self) -> PlatformSpec {
         let mut speeds = vec![self.slow_speed; self.slow_edges];
         speeds.extend(vec![self.fast_speed; self.fast_edges]);
-        PlatformSpec::homogeneous_cloud(speeds, self.num_cloud)
+        PlatformSpec::builder()
+            .edges(speeds)
+            .cloud_pool(self.num_cloud)
+            .build()
     }
 
     /// Generates one instance deterministically from `seed`.

@@ -1,0 +1,249 @@
+//! One workload API over every generator in this crate.
+//!
+//! Historically each generator grew its own shape — [`RandomCcrConfig`],
+//! [`KangConfig`], the load driver's private exponential scripts — and
+//! each consumer (bench harness, repro pipeline, socket load generator,
+//! trace replayer) re-plumbed seeds and platforms its own way. The
+//! [`Workload`] trait collapses those paths: a workload is a platform
+//! plus a deterministic `seed → Instance` map, nothing more. Consumers
+//! hold a `&dyn Workload` (or a concrete config) and stop caring which
+//! family it came from.
+//!
+//! [`WorkloadSpec`] is the free-form member of the family: any
+//! [`Dist`] for work/uplink/downlink (including the heavy-tailed
+//! [`Dist::Pareto`]), any [`ArrivalProcess`] (including the diurnal
+//! NHPP), over any platform — assembled with [`WorkloadSpec::builder`].
+
+use crate::arrival::{sample_arrivals, ArrivalProcess};
+use crate::dist::Dist;
+use crate::kang::KangConfig;
+use crate::random_ccr::RandomCcrConfig;
+use mmsec_platform::{EdgeId, Instance, Job, PlatformSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible instance generator: a platform plus a pure
+/// `seed → Instance` map. Every generator family in this crate
+/// implements it, so harnesses can be written once against the trait.
+pub trait Workload {
+    /// The platform instances of this workload run on.
+    fn platform(&self) -> PlatformSpec;
+
+    /// Generates one instance deterministically from `seed`.
+    fn generate(&self, seed: u64) -> Instance;
+}
+
+impl Workload for RandomCcrConfig {
+    fn platform(&self) -> PlatformSpec {
+        RandomCcrConfig::platform(self)
+    }
+
+    fn generate(&self, seed: u64) -> Instance {
+        RandomCcrConfig::generate(self, seed)
+    }
+}
+
+impl Workload for KangConfig {
+    fn platform(&self) -> PlatformSpec {
+        KangConfig::platform(self)
+    }
+
+    fn generate(&self, seed: u64) -> Instance {
+        KangConfig::generate(self, seed)
+    }
+}
+
+/// A fully parametric workload: independent work/uplink/downlink draws,
+/// a pluggable arrival process under the paper's load model, uniform
+/// origins over the platform's edges. Built with [`WorkloadSpec::builder`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// The platform instances run on.
+    pub platform: PlatformSpec,
+    /// Number of jobs per instance.
+    pub n: usize,
+    /// Work distribution.
+    pub work: Dist,
+    /// Uplink-time distribution (`Constant(0)` for no uplink).
+    pub up: Dist,
+    /// Downlink-time distribution (`Constant(0)` for no downlink).
+    pub dn: Dist,
+    /// Release-date process.
+    pub arrivals: ArrivalProcess,
+    /// Load ℓ of the release model (`R = Σw/(ℓ·Σs)`).
+    pub load: f64,
+}
+
+impl WorkloadSpec {
+    /// Starts a builder over `platform` with the paper's defaults:
+    /// 1000 jobs, uniform `[1, 10)` work, no communication, uniform
+    /// arrivals at load 0.05.
+    pub fn builder(platform: PlatformSpec) -> WorkloadBuilder {
+        WorkloadBuilder {
+            spec: WorkloadSpec {
+                platform,
+                n: 1000,
+                work: Dist::uniform(1.0, 10.0),
+                up: Dist::Constant(0.0),
+                dn: Dist::Constant(0.0),
+                arrivals: ArrivalProcess::Uniform,
+                load: 0.05,
+            },
+        }
+    }
+}
+
+impl Workload for WorkloadSpec {
+    fn platform(&self) -> PlatformSpec {
+        self.platform.clone()
+    }
+
+    fn generate(&self, seed: u64) -> Instance {
+        let spec = self.platform.clone();
+        let num_edge = spec.num_edge();
+        assert!(num_edge > 0, "workload platform needs at least one edge");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let works: Vec<f64> = (0..self.n).map(|_| self.work.sample(&mut rng)).collect();
+        let ups: Vec<f64> = (0..self.n).map(|_| self.up.sample(&mut rng)).collect();
+        let dns: Vec<f64> = (0..self.n).map(|_| self.dn.sample(&mut rng)).collect();
+        let origins: Vec<usize> = (0..self.n).map(|_| rng.gen_range(0..num_edge)).collect();
+        let releases = sample_arrivals(self.arrivals, &works, &spec, self.load, &mut rng);
+        let jobs = (0..self.n)
+            .map(|i| Job::new(EdgeId(origins[i]), releases[i], works[i], ups[i], dns[i]))
+            .collect();
+        Instance::new(spec, jobs).expect("generated instance is valid")
+    }
+}
+
+/// Chained constructor for [`WorkloadSpec`].
+#[derive(Clone, Debug)]
+pub struct WorkloadBuilder {
+    spec: WorkloadSpec,
+}
+
+impl WorkloadBuilder {
+    /// Sets the number of jobs.
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.spec.n = n;
+        self
+    }
+
+    /// Sets the work distribution.
+    pub fn work(mut self, d: Dist) -> Self {
+        self.spec.work = d;
+        self
+    }
+
+    /// Sets the uplink-time distribution.
+    pub fn uplink(mut self, d: Dist) -> Self {
+        self.spec.up = d;
+        self
+    }
+
+    /// Sets the downlink-time distribution.
+    pub fn downlink(mut self, d: Dist) -> Self {
+        self.spec.dn = d;
+        self
+    }
+
+    /// Sets both communication distributions to the work distribution
+    /// scaled by `ccr` (the random-CCR coupling).
+    pub fn ccr(mut self, ccr: f64) -> Self {
+        let comm = self.spec.work.scaled(ccr);
+        self.spec.up = comm;
+        self.spec.dn = comm;
+        self
+    }
+
+    /// Sets the arrival process.
+    pub fn arrivals(mut self, p: ArrivalProcess) -> Self {
+        self.spec.arrivals = p;
+        self
+    }
+
+    /// Sets the load ℓ; panics unless positive and finite.
+    pub fn load(mut self, load: f64) -> Self {
+        assert!(load > 0.0 && load.is_finite(), "load must be positive");
+        self.spec.load = load;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> WorkloadSpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> PlatformSpec {
+        PlatformSpec::builder()
+            .edges([0.5, 1.0])
+            .cloud_pool(3)
+            .build()
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let w = WorkloadSpec::builder(platform())
+            .jobs(50)
+            .work(Dist::pareto_with_mean(5.0, 2.0))
+            .ccr(0.5)
+            .arrivals(ArrivalProcess::diurnal())
+            .load(0.2)
+            .build();
+        assert_eq!(w.n, 50);
+        assert_eq!(w.load, 0.2);
+        assert!((w.up.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(w.up, w.dn);
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_valid() {
+        let w = WorkloadSpec::builder(platform())
+            .jobs(200)
+            .work(Dist::pareto_with_mean(4.0, 2.5))
+            .uplink(Dist::exponential(1.0))
+            .build();
+        let a = w.generate(3);
+        let b = w.generate(3);
+        assert_eq!(a, b);
+        assert_ne!(a, w.generate(4));
+        assert_eq!(a.num_jobs(), 200);
+        assert!(a.jobs.iter().all(|j| j.work > 0.0 && j.dn == 0.0));
+    }
+
+    #[test]
+    fn trait_objects_unify_the_families() {
+        let ccr = RandomCcrConfig {
+            n: 20,
+            ..RandomCcrConfig::default()
+        };
+        let kang = KangConfig {
+            n: 20,
+            ..KangConfig::default()
+        };
+        let free = WorkloadSpec::builder(platform()).jobs(20).build();
+        let all: Vec<Box<dyn Workload>> = vec![Box::new(ccr), Box::new(kang), Box::new(free)];
+        for w in &all {
+            let inst = w.generate(1);
+            assert_eq!(inst.num_jobs(), 20);
+            assert_eq!(inst.spec.num_edge(), w.platform().num_edge());
+        }
+    }
+
+    #[test]
+    fn heavy_tail_shows_up_in_generated_work() {
+        let w = WorkloadSpec::builder(platform())
+            .jobs(4000)
+            .work(Dist::pareto_with_mean(1.0, 1.5))
+            .build();
+        let inst = w.generate(9);
+        let max = inst.jobs.iter().map(|j| j.work).fold(0.0f64, f64::max);
+        let mean = inst.jobs.iter().map(|j| j.work).sum::<f64>() / 4000.0;
+        // α = 1.5: the sample maximum dwarfs the mean (infinite variance).
+        assert!(max / mean > 20.0, "max/mean {}", max / mean);
+    }
+}

@@ -26,7 +26,10 @@ fn main() {
     let edge_speeds = vec![0.25, 0.25];
 
     // Baseline: two always-available cloud processors.
-    let spec = PlatformSpec::homogeneous_cloud(edge_speeds.clone(), 2);
+    let spec = PlatformSpec::builder()
+        .edges(edge_speeds.clone())
+        .cloud_pool(2)
+        .build();
     let inst = Instance::new(spec, jobs()).unwrap();
     let out = Simulation::of(&inst)
         .policy(&mut SsfEdf::new())
@@ -39,13 +42,17 @@ fn main() {
     println!("{}", gantt(&inst, &out.schedule, GanttOptions::default()));
 
     // Extension: cloud 1 is requisitioned during [3, 8) and [12, 16).
-    let spec = PlatformSpec::homogeneous_cloud(edge_speeds, 2).with_cloud_unavailability(
-        CloudId(1),
-        &[
-            Interval::from_secs(3.0, 8.0),
-            Interval::from_secs(12.0, 16.0),
-        ],
-    );
+    let spec = PlatformSpec::builder()
+        .edges(edge_speeds)
+        .cloud_pool(2)
+        .build()
+        .with_cloud_unavailability(
+            CloudId(1),
+            &[
+                Interval::from_secs(3.0, 8.0),
+                Interval::from_secs(12.0, 16.0),
+            ],
+        );
     let inst = Instance::new(spec, jobs()).unwrap();
     let out = Simulation::of(&inst)
         .policy(&mut SsfEdf::new())

@@ -12,7 +12,10 @@ use mmsec_platform::{
 fn main() {
     // A toy platform: two edge units (a fast one at speed 0.5 and a slow
     // one at 0.2) coupled to two unit-speed cloud processors.
-    let spec = PlatformSpec::homogeneous_cloud(vec![0.5, 0.2], 2);
+    let spec = PlatformSpec::builder()
+        .edges(vec![0.5, 0.2])
+        .cloud_pool(2)
+        .build();
 
     // Six jobs: (origin, release, work, uplink, downlink).
     let jobs = vec![

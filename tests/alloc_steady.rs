@@ -80,7 +80,10 @@ fn steady_state_hot_paths_do_not_allocate() {
 
 /// Regime 1: capped engine steps in a warm session.
 fn engine_capped_steps() {
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(1)
+        .build();
     // One enormous compute-only job: every capped step extends the same
     // contiguous edge-compute segment, decides over the same single
     // pending job, and completes nothing.

@@ -405,3 +405,61 @@ fn bad_usage_exits_nonzero() {
     let out = mmsec().output().unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn trace_export_import_round_trips_through_the_binary() {
+    let dir = std::env::temp_dir().join(format!("mmsec-trace-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst = dir.join("inst.txt");
+    let trace = dir.join("trace.ndjson");
+    let back = dir.join("back.txt");
+
+    let out = mmsec()
+        .args(["gen", "kang", "--n", "12", "--edges", "4", "--seed", "3"])
+        .args(["--out", inst.to_str().unwrap()])
+        .output()
+        .expect("gen runs");
+    assert!(out.status.success());
+
+    let out = mmsec()
+        .args(["trace", "export", "--instance", inst.to_str().unwrap()])
+        .args(["--out", trace.to_str().unwrap()])
+        .output()
+        .expect("export runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let ndjson = std::fs::read_to_string(&trace).unwrap();
+    let mut lines = ndjson.lines();
+    assert!(lines.next().unwrap().contains("\"type\":\"spec\""));
+    assert_eq!(lines.filter(|l| l.contains("\"type\":\"job\"")).count(), 12);
+
+    let out = mmsec()
+        .args(["trace", "import", "--trace", trace.to_str().unwrap()])
+        .args(["--out", back.to_str().unwrap()])
+        .output()
+        .expect("import runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The instance text format is itself canonical: a lossless codec
+    // must reproduce the original file byte for byte.
+    assert_eq!(
+        std::fs::read_to_string(&inst).unwrap(),
+        std::fs::read_to_string(&back).unwrap()
+    );
+
+    // A malformed trace fails with the validation exit code (4).
+    std::fs::write(&trace, "{\"origin\":0,\"work\":1}\n").unwrap();
+    let out = mmsec()
+        .args(["trace", "import", "--trace", trace.to_str().unwrap()])
+        .output()
+        .expect("import runs");
+    assert_eq!(out.status.code(), Some(4));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

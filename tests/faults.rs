@@ -81,7 +81,10 @@ fn faulted_runs_are_deterministic() {
 #[test]
 fn trace_fault_forces_restart_with_predictable_timing() {
     // One edge at speed 1, no cloud: work 2 completes at t = 2 fault-free.
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 0);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(0)
+        .build();
     let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 2.0, 0.0, 0.0)]).unwrap();
     let mut cfg = FaultConfig::none(1, 0);
     cfg.edges[0] = UnitFaultModel::Trace(vec![Interval::from_secs(1.0, 3.0)]);

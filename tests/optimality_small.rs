@@ -56,7 +56,10 @@ fn heuristics_near_oracle_on_tiny_edge_cloud_instances() {
     let mut rng = SplitMix64::new(99);
     for trial in 0..6 {
         let n = 4 + (rng.next_u64() % 2) as usize; // 4..5 jobs
-        let spec = PlatformSpec::homogeneous_cloud(vec![0.25, 0.5], 2);
+        let spec = PlatformSpec::builder()
+            .edges(vec![0.25, 0.5])
+            .cloud_pool(2)
+            .build();
         let jobs: Vec<Job> = (0..n)
             .map(|_| {
                 Job::new(

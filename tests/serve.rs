@@ -10,7 +10,10 @@ use std::io::Cursor;
 use std::process::{Command, Stdio};
 
 fn platform() -> Instance {
-    let spec = PlatformSpec::homogeneous_cloud(vec![0.5, 0.8], 2);
+    let spec = PlatformSpec::builder()
+        .edges(vec![0.5, 0.8])
+        .cloud_pool(2)
+        .build();
     Instance::new(spec, vec![]).unwrap()
 }
 
@@ -82,7 +85,10 @@ fn round_trip_emits_admits_completions_heartbeats_and_summary() {
 fn streamed_run_matches_batch_simulation() {
     // The same workload, streamed through serve vs. simulated in batch,
     // must produce identical completion times and stretches.
-    let spec = PlatformSpec::homogeneous_cloud(vec![0.5, 0.8], 2);
+    let spec = PlatformSpec::builder()
+        .edges(vec![0.5, 0.8])
+        .cloud_pool(2)
+        .build();
     let jobs = vec![
         Job::new(EdgeId(0), 1.0, 2.0, 0.5, 0.25),
         Job::new(EdgeId(1), 2.0, 1.0, 0.0, 0.0),
@@ -121,7 +127,7 @@ fn has_field(rec: &[(String, Value)], key: &str) -> bool {
 }
 
 #[test]
-fn heartbeats_carry_the_v3_stats_payload() {
+fn heartbeats_carry_the_v4_stats_payload() {
     let inst = platform();
     let input = r#"
 {"origin": 0, "release": 1.0, "work": 2.0, "up": 0.5, "dn": 0.25}
@@ -135,7 +141,7 @@ fn heartbeats_carry_the_v3_stats_payload() {
         "a 25s-horizon run must beat at 10s and 20s"
     );
     for beat in &beats {
-        assert_eq!(num(beat, "v"), 3.0);
+        assert_eq!(num(beat, "v"), 4.0);
         for key in [
             "now",
             "pending",
@@ -151,6 +157,7 @@ fn heartbeats_carry_the_v3_stats_payload() {
             "platform_version",
             "edges",
             "clouds",
+            "tiers",
             "max_stretch",
         ] {
             assert!(has_field(beat, key), "heartbeat missing {key}");
@@ -198,7 +205,7 @@ not json at all
     let lines: Vec<f64> = stats.iter().map(|r| num(r, "line")).collect();
     assert_eq!(lines, vec![2.0, 4.0]);
     for rec in &stats {
-        assert_eq!(num(rec, "v"), 3.0);
+        assert_eq!(num(rec, "v"), 4.0);
         for key in [
             "now", "pending", "running", "decides", "admitted", "rejected",
         ] {
@@ -366,7 +373,10 @@ fn heartbeats_stay_monotone_when_one_advance_skips_many_boundaries() {
     // stamped with the same post-advance `now` and a payload from before
     // the advance (a job could show as pending in a beat emitted after
     // its completion record). One crossing must yield one beat.
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(1)
+        .build();
     let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 50.0, 1.0, 0.0, 0.0)]).unwrap();
     let input = r#"{"origin": 0, "release": 55.0, "work": 1.0}"#;
     let recs = serve_lines(&inst, &ServeConfig::default(), input);
@@ -396,7 +406,10 @@ fn unstarted_drain_emits_no_stale_or_duplicate_heartbeats() {
     // one heartbeat per boundary, all stamped with the stale pre-start
     // clock — duplicated, non-monotone timestamps. The drain must jump
     // to the first event and beat once, where the session actually is.
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(1)
+        .build();
     let inst = Instance::new(spec, vec![]).unwrap();
     let input = r#"{"origin": 0, "release": 55.0, "work": 1.0}"#;
     let recs = serve_lines(&inst, &ServeConfig::default(), input);
@@ -420,7 +433,10 @@ fn stats_never_precede_the_last_heartbeat() {
     // could be emitted with a stale pre-start clock while later stats
     // reported an earlier `now`. Far-future releases exercise exactly
     // that path.
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(1)
+        .build();
     let inst = Instance::new(spec, vec![]).unwrap();
     let input = r#"
 {"origin": 0, "release": 15.0, "work": 1.0}
@@ -460,12 +476,117 @@ fn stats_never_precede_the_last_heartbeat() {
 
 #[test]
 fn preloaded_instance_jobs_run_as_a_warm_batch() {
-    let spec = PlatformSpec::homogeneous_cloud(vec![1.0], 1);
+    let spec = PlatformSpec::builder()
+        .edges(vec![1.0])
+        .cloud_pool(1)
+        .build();
     let inst = Instance::new(spec, vec![Job::new(EdgeId(0), 0.0, 1.0, 0.0, 0.0)]).unwrap();
     let recs = serve_lines(&inst, &ServeConfig::default(), "");
     let summary = recs.last().unwrap();
     assert_eq!(num(summary, "completed"), 1.0);
     assert_eq!(num(summary, "lines"), 0.0);
+}
+
+#[test]
+fn set_hop_reprices_a_tiered_session_mid_stream() {
+    // Two tiers: tier-1 cloud one hop away, tier-2 cloud behind a second
+    // (pricier) hop. `set-hop` on hop 1 reprices the deep cloud only.
+    let spec = PlatformSpec::builder()
+        .edges(vec![0.5, 0.8])
+        .tier(1.0, 1.0)
+        .cloud(1.0)
+        .tier(2.0, 3.0)
+        .cloud(1.0)
+        .build();
+    let inst = Instance::new(spec, vec![]).unwrap();
+    let input = r#"
+{"origin": 0, "release": 1.0, "work": 2.0, "up": 0.5, "dn": 0.25}
+{"type": "platform", "op": "set-hop", "hop": 1, "up": 4.0, "dn": 0.5}
+"#;
+    let cfg = ServeConfig {
+        stats_every: Some(1),
+        ..ServeConfig::default()
+    };
+    let recs = serve_lines(&inst, &cfg, input);
+
+    let oks: Vec<_> = recs
+        .iter()
+        .filter(|r| kind_of(r) == "platform-ok")
+        .collect();
+    assert_eq!(oks.len(), 1);
+    assert_eq!(txt(oks[0], "op"), "set-hop");
+    assert_eq!(num(oks[0], "version"), 2.0);
+
+    // The v4 stats payload reports the tier depth and per-tier live
+    // cloud counts on tiered sessions.
+    let stats: Vec<_> = recs.iter().filter(|r| kind_of(r) == "stats").collect();
+    assert!(!stats.is_empty());
+    assert_eq!(num(stats[0], "tiers"), 2.0);
+    assert_eq!(txt(stats[0], "clouds_by_tier"), "1,1");
+
+    let summary = recs.last().unwrap();
+    assert_eq!(num(summary, "rejected"), 0.0);
+    assert_eq!(num(summary, "completed"), 1.0);
+}
+
+#[test]
+fn flat_sessions_report_depth_one_and_reject_set_hop() {
+    let inst = platform();
+    let input = r#"
+{"type": "platform", "op": "set-hop", "hop": 0, "up": 2.0, "dn": 2.0}
+{"origin": 0, "release": 1.0, "work": 2.0}
+"#;
+    let cfg = ServeConfig {
+        stats_every: Some(1),
+        ..ServeConfig::default()
+    };
+    let recs = serve_lines(&inst, &cfg, input);
+    let rejects: Vec<_> = recs.iter().filter(|r| kind_of(r) == "reject").collect();
+    assert_eq!(rejects.len(), 1);
+    assert_eq!(txt(rejects[0], "code"), "unknown-hop");
+    assert!(txt(rejects[0], "error").contains("unknown tier hop 0"));
+    // A flat platform is a depth-1 continuum with unit hops.
+    let stats: Vec<_> = recs.iter().filter(|r| kind_of(r) == "stats").collect();
+    assert_eq!(num(stats[0], "tiers"), 1.0);
+}
+
+#[test]
+fn rejects_carry_stable_codes_and_fields() {
+    let inst = platform();
+    let input = r#"
+not json at all
+{"origin": 0, "work": 2.0, "bogus": 1}
+{"work": 2.0}
+{"origin": 0, "work": -1.0}
+{"origin": 0, "work": "heavy"}
+{"type": "platform", "op": "warp", "unit": 0}
+{"type": "platform", "op": "set-edge-speed", "unit": 99, "speed": 2.0}
+"#;
+    let recs = serve_lines(&inst, &ServeConfig::default(), input);
+    let rejects: Vec<_> = recs.iter().filter(|r| kind_of(r) == "reject").collect();
+    let got: Vec<(&str, &str)> = rejects
+        .iter()
+        .map(|r| {
+            let field = if has_field(r, "field") {
+                txt(r, "field")
+            } else {
+                ""
+            };
+            (txt(r, "code"), field)
+        })
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("parse-error", ""),
+            ("unknown-field", "bogus"),
+            ("missing-field", "origin"),
+            ("bad-value", "work"),
+            ("bad-type", "work"),
+            ("unknown-op", "op"),
+            ("unknown-edge", "op"),
+        ]
+    );
 }
 
 #[test]
@@ -511,12 +632,12 @@ fn serve_binary_round_trips_ndjson() {
         2
     );
     // --stats-every 1: one stats record per input line, numbered 1..=2,
-    // each carrying the v3 payload.
+    // each carrying the v4 payload.
     let stats: Vec<_> = recs.iter().filter(|r| kind_of(r) == "stats").collect();
     assert_eq!(stats.len(), 2);
     for (i, rec) in stats.iter().enumerate() {
         assert_eq!(num(rec, "line"), (i + 1) as f64);
-        assert_eq!(num(rec, "v"), 3.0);
+        assert_eq!(num(rec, "v"), 4.0);
         assert!(has_field(rec, "pending"));
         assert!(has_field(rec, "decides"));
     }

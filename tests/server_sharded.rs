@@ -13,7 +13,10 @@ use proptest::prelude::*;
 use std::io::Cursor;
 
 fn platform() -> Instance {
-    let spec = PlatformSpec::homogeneous_cloud(vec![0.5, 0.8], 2);
+    let spec = PlatformSpec::builder()
+        .edges(vec![0.5, 0.8])
+        .cloud_pool(2)
+        .build();
     Instance::new(spec, vec![]).unwrap()
 }
 

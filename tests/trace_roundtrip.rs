@@ -1,0 +1,129 @@
+//! The NDJSON trace codec is lossless: `export → import` reproduces the
+//! instance **bit-for-bit** (numbers are serialized in Rust's shortest
+//! round-trip form), so replaying a trace yields bit-identical
+//! schedules, completions, and stretches to simulating the original.
+//!
+//! The property sweeps generated workloads on flat platforms and on
+//! random multi-tier continuum platforms (random hop factors, random
+//! cloud→tier assignment, random unavailability windows), which pins the
+//! full spec-record schema: speed lists, `hop-up`/`hop-dn`,
+//! `cloud-tiers`, and `unavail`.
+
+use mmsec_apps::trace::{read_trace, write_trace};
+use mmsec_core::PolicyKind;
+use mmsec_platform::{CloudId, Instance, PlatformSpec, Simulation, StretchReport};
+use mmsec_sim::Interval;
+use mmsec_workload::{KangConfig, RandomCcrConfig};
+use proptest::prelude::*;
+
+/// Flat workloads from both generator families.
+fn arb_flat() -> impl Strategy<Value = Instance> {
+    let kang = (2usize..20, 0u64..1000).prop_map(|(n, seed)| {
+        KangConfig {
+            num_edge: 4,
+            num_cloud: 3,
+            n,
+            ..KangConfig::default()
+        }
+        .generate(seed)
+    });
+    let ccr = (2usize..20, 0u64..1000, 1usize..4).prop_map(|(n, seed, num_cloud)| {
+        RandomCcrConfig {
+            n,
+            num_cloud,
+            slow_edges: 2,
+            fast_edges: 2,
+            ..RandomCcrConfig::default()
+        }
+        .generate(seed)
+    });
+    prop_oneof![kang, ccr]
+}
+
+/// Re-platforms a flat instance onto a random continuum: 1–3 tiers with
+/// random hop factors, each cloud at a random tier, and optionally an
+/// unavailability window on cloud 0.
+fn arb_tiered() -> impl Strategy<Value = Instance> {
+    (
+        arb_flat(),
+        proptest::collection::vec((0.25f64..4.0, 0.25f64..4.0), 1..4),
+        proptest::collection::vec(1usize..4, 8),
+        (any::<bool>(), 1.0f64..40.0, 0.5f64..15.0),
+    )
+        .prop_map(|(inst, hops, tiers, (windowed, start, len))| {
+            let window = windowed.then_some((start, len));
+            let spec = &inst.spec;
+            let depth = hops.len();
+            let mut b = PlatformSpec::builder().edges(spec.edges().map(|j| spec.edge_speed(j)));
+            for (u, d) in hops {
+                b = b.tier(u, d);
+            }
+            for (i, k) in spec.clouds().enumerate() {
+                b = b.cloud_at(spec.cloud_speed(k), tiers[i % tiers.len()].min(depth));
+            }
+            if let Some((start, len)) = window {
+                if spec.num_cloud() > 0 {
+                    b = b.unavailability(CloudId(0), Interval::from_secs(start, start + len));
+                }
+            }
+            Instance::new(b.build(), inst.jobs.clone()).expect("re-platformed instance valid")
+        })
+}
+
+/// Export → import must be the identity on the instance (which is
+/// `PartialEq` over every `f64` field, i.e. bitwise for non-NaN data).
+fn assert_round_trip(inst: &Instance) {
+    let mut buf = Vec::new();
+    write_trace(inst, &mut buf).expect("export in-memory");
+    let back = read_trace(buf.as_slice()).expect("import what we exported");
+    assert_eq!(&back, inst, "trace round-trip must be lossless");
+}
+
+/// ...and therefore simulating the replayed instance gives bit-identical
+/// completions and stretches under every policy in the registry.
+fn assert_identical_runs(inst: &Instance) {
+    let mut buf = Vec::new();
+    write_trace(inst, &mut buf).unwrap();
+    let back = read_trace(buf.as_slice()).unwrap();
+    for kind in PolicyKind::ALL {
+        if kind == PolicyKind::CloudOnly && inst.spec.num_cloud() == 0 {
+            continue;
+        }
+        let mut p1 = kind.build(7);
+        let mut p2 = kind.build(7);
+        let a = Simulation::of(inst).policy(p1.as_mut()).run();
+        let b = Simulation::of(&back).policy(p2.as_mut()).run();
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(
+                    a.schedule, b.schedule,
+                    "{kind}: schedules diverge after replay"
+                );
+                let ra = StretchReport::new(inst, &a.schedule);
+                let rb = StretchReport::new(&back, &b.schedule);
+                assert_eq!(
+                    ra.max_stretch.to_bits(),
+                    rb.max_stretch.to_bits(),
+                    "{kind}: max stretch diverges after replay"
+                );
+            }
+            (a, b) => assert_eq!(a.is_err(), b.is_err(), "{kind}: one run failed"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn flat_traces_round_trip(inst in arb_flat()) {
+        assert_round_trip(&inst);
+        assert_identical_runs(&inst);
+    }
+
+    #[test]
+    fn tiered_traces_round_trip(inst in arb_tiered()) {
+        assert_round_trip(&inst);
+        assert_identical_runs(&inst);
+    }
+}

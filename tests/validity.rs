@@ -122,7 +122,10 @@ fn degenerate_platforms() {
 fn simultaneous_releases_burst() {
     // Everything released at t = 0 (load → ∞ stress).
     use mmsec_platform::{EdgeId, Instance, Job, PlatformSpec};
-    let spec = PlatformSpec::homogeneous_cloud(vec![0.3, 0.3], 3);
+    let spec = PlatformSpec::builder()
+        .edges(vec![0.3, 0.3])
+        .cloud_pool(3)
+        .build();
     let jobs: Vec<Job> = (0..30)
         .map(|i| {
             Job::new(
